@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the substrate components: timelines, graph
+//! algorithms, the spec parser.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftbar_core::Timeline;
+use ftbar_model::{paper_example, spec, Time};
+use ftbar_workload::{layered, LayeredConfig};
+
+fn bench_timeline(c: &mut Criterion) {
+    c.bench_function("timeline/insert_1000_with_gaps", |b| {
+        b.iter(|| {
+            let mut tl: Timeline<u32> = Timeline::new();
+            for i in 0..1000u32 {
+                // Alternate between appends and gap-fills.
+                let ready = Time::from_ticks(u64::from((i % 37) * 500));
+                tl.insert_earliest(ready, Time::from_ticks(250), i);
+            }
+            tl
+        });
+    });
+    let mut tl: Timeline<u32> = Timeline::new();
+    for i in 0..1000u32 {
+        tl.insert_earliest(Time::from_ticks(u64::from(i % 53) * 100), Time::from_ticks(80), i);
+    }
+    c.bench_function("timeline/probe_on_1000", |b| {
+        b.iter(|| tl.probe(Time::from_ticks(12_345), Time::from_ticks(400)));
+    });
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let alg = layered(&LayeredConfig {
+        n_ops: 200,
+        seed: 5,
+        ..Default::default()
+    });
+    c.bench_function("graph/topo_order_200", |b| {
+        b.iter(|| alg.topo_order().len());
+    });
+    c.bench_function("graph/generate_layered_200", |b| {
+        b.iter(|| {
+            layered(&LayeredConfig {
+                n_ops: 200,
+                seed: 5,
+                ..Default::default()
+            })
+        });
+    });
+}
+
+fn bench_spec(c: &mut Criterion) {
+    let text = spec::print_problem(&paper_example());
+    c.bench_function("spec/parse_paper_example", |b| {
+        b.iter(|| spec::parse_problem(&text).expect("parses"));
+    });
+    let p = paper_example();
+    c.bench_function("spec/print_paper_example", |b| {
+        b.iter(|| spec::print_problem(&p));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_timeline, bench_graph, bench_spec
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Replay/analysis throughput: how fast the static timing analysis of
+//! paper §2 (point 2) runs — computing completion dates with and without
+//! failures, and the exhaustive tolerance check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftbar_bench::experiment::{problem_for, PointConfig};
+use ftbar_core::{analysis, ftbar, replay, FailureScenario};
+use ftbar_model::{ProcId, Time};
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay");
+    group.sample_size(20);
+    for n in [20usize, 80] {
+        let config = PointConfig {
+            n_ops: n,
+            ccr: 5.0,
+            graphs: 1,
+            seed_base: 50_000 + n as u64,
+            ..Default::default()
+        };
+        let problem = problem_for(&config, 0);
+        let schedule = ftbar::schedule(&problem).expect("schedules");
+        group.bench_with_input(
+            BenchmarkId::new("nominal", n),
+            &(&problem, &schedule),
+            |b, (p, s)| {
+                b.iter(|| replay(p, s, &FailureScenario::none(4)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("one_failure", n),
+            &(&problem, &schedule),
+            |b, (p, s)| {
+                b.iter(|| replay(p, s, &FailureScenario::single(4, ProcId(0), Time::ZERO)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive_analysis", n),
+            &(&problem, &schedule),
+            |b, (p, s)| {
+                b.iter(|| analysis::analyze(p, s));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Scheduling-time comparison (the paper's §6.2 complexity remark: "The
+//! time complexity of FTBAR is less than the time complexity of HBP").
+//!
+//! One Criterion group per graph size; `ftbar` vs `hbp` on identical
+//! problems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftbar_bench::experiment::{problem_for, PointConfig};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling_time");
+    group.sample_size(10);
+    for n in [20usize, 50, 80] {
+        let config = PointConfig {
+            n_ops: n,
+            ccr: 5.0,
+            graphs: 1,
+            seed_base: 40_000 + n as u64,
+            ..Default::default()
+        };
+        let problem = problem_for(&config, 0);
+        group.bench_with_input(BenchmarkId::new("FTBAR", n), &problem, |b, p| {
+            b.iter(|| ftbar_core::ftbar::schedule(p).expect("schedules"));
+        });
+        group.bench_with_input(BenchmarkId::new("HBP", n), &problem, |b, p| {
+            b.iter(|| ftbar_hbp::schedule(p).expect("schedules"));
+        });
+        group.bench_with_input(BenchmarkId::new("non-FT", n), &problem, |b, p| {
+            b.iter(|| ftbar_core::basic::schedule_non_ft(p).expect("schedules"));
+        });
+    }
+    group.finish();
+}
+
+/// The paper attributes HBP's higher complexity to its exhaustive
+/// processor-pair search — an O(P²) factor per task. Sweep P at fixed N.
+fn bench_proc_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling_time_vs_procs");
+    group.sample_size(10);
+    for p_count in [3usize, 6, 9] {
+        let config = PointConfig {
+            n_ops: 40,
+            ccr: 2.0,
+            procs: p_count,
+            graphs: 1,
+            seed_base: 41_000 + p_count as u64,
+            ..Default::default()
+        };
+        let problem = problem_for(&config, 0);
+        group.bench_with_input(BenchmarkId::new("FTBAR", p_count), &problem, |b, p| {
+            b.iter(|| ftbar_core::ftbar::schedule(p).expect("schedules"));
+        });
+        group.bench_with_input(BenchmarkId::new("HBP", p_count), &problem, |b, p| {
+            b.iter(|| ftbar_hbp::schedule(p).expect("schedules"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_proc_scaling);
+criterion_main!(benches);

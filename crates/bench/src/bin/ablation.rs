@@ -1,0 +1,45 @@
+//! Ablations of FTBAR's two signature design choices (DESIGN.md §4):
+//!
+//! * `Minimize_start_time` (LIP duplication) on vs. off — the paper's
+//!   Ahmad-Kwok ingredient, expected to matter most at high CCR;
+//! * the schedule-pressure cost function vs. plain earliest-start.
+//!
+//! ```text
+//! cargo run --release -p ftbar-bench --bin ablation [graphs-per-point]
+//! ```
+
+use ftbar_bench::experiment::{row, run_point, PointConfig, Scheduler};
+
+fn main() {
+    let graphs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    println!("== Ablation: FTBAR design choices (N = 50, P = 4, Npf = 1, {graphs} graphs/point) ==\n");
+    let variants = [
+        Scheduler::Ftbar,
+        Scheduler::FtbarWith {
+            no_duplication: true,
+            earliest_start: false,
+        },
+        Scheduler::FtbarWith {
+            no_duplication: false,
+            earliest_start: true,
+        },
+    ];
+    for ccr in [0.5, 2.0, 5.0] {
+        for sched in variants {
+            let config = PointConfig {
+                n_ops: 50,
+                ccr,
+                graphs,
+                seed_base: 30_000 + (ccr * 10.0) as u64,
+                ..Default::default()
+            };
+            let r = run_point(&config, sched);
+            println!("{}", row("CCR", ccr, sched.label(), &r));
+        }
+        println!();
+    }
+    println!("expected: disabling duplication hurts most at high CCR; earliest-start is a weaker priority.");
+}

@@ -1,0 +1,117 @@
+//! Reproduces the paper's running example end to end (§4.3–§4.4,
+//! Figures 5–8 and the overhead analysis).
+//!
+//! ```text
+//! cargo run --release -p ftbar-bench --bin example_repro
+//! ```
+
+use ftbar_core::{analysis, basic, ftbar, gantt, replay, FailureScenario, FtbarConfig};
+use ftbar_model::{paper_example, Time};
+
+fn main() {
+    let problem = paper_example();
+    println!("== Paper running example (Fig. 2, Tables 1-2) ==");
+    println!(
+        "N = {} operations, {} dependencies; P = {} processors, {} links; Npf = {}, Rtc = {}",
+        problem.alg().op_count(),
+        problem.alg().dep_count(),
+        problem.arch().proc_count(),
+        problem.arch().link_count(),
+        problem.npf(),
+        problem.rtc().unwrap()
+    );
+
+    // Figures 5-6: the heuristic's intermediate steps.
+    let outcome = ftbar::schedule_with(
+        &problem,
+        &FtbarConfig {
+            trace: true,
+            ..FtbarConfig::default()
+        },
+    )
+    .expect("paper example schedules");
+    println!("\n== Heuristic steps (Figures 5-6) ==");
+    for step in &outcome.steps {
+        let procs: Vec<_> = step
+            .procs
+            .iter()
+            .map(|&p| problem.arch().proc(p).name().to_owned())
+            .collect();
+        let sigmas: Vec<String> = step
+            .pressures
+            .iter()
+            .map(|(p, s)| format!("{}:{:.2}", problem.arch().proc(*p).name(), s))
+            .collect();
+        println!(
+            "step {}: schedule {} on {{{}}}   (pressures {})",
+            step.step,
+            problem.alg().op(step.op).name(),
+            procs.join(", "),
+            sigmas.join(" ")
+        );
+        if step.step == 2 || step.step == 3 {
+            println!(
+                "-- snapshot after step {} (paper Fig. {}) --\n{}",
+                step.step,
+                if step.step == 2 { 5 } else { 6 },
+                gantt::render(&problem, &step.snapshot, 100)
+            );
+        }
+    }
+
+    // Figure 7: the final fault-tolerant schedule.
+    let schedule = outcome.schedule;
+    println!("== Final fault-tolerant schedule (Figure 7) ==");
+    println!("{}", gantt::render(&problem, &schedule, 100));
+    println!(
+        "FT schedule length (FTSL)      = {:>6}   (paper: 15.05)",
+        schedule.makespan()
+    );
+
+    // §4.4: the non-fault-tolerant baseline and the overhead.
+    let non_ft = basic::schedule_non_ft(&problem).expect("non-FT schedules");
+    println!(
+        "non-FT schedule length          = {:>6}   (paper: 10.7, SynDEx basic heuristic)",
+        non_ft.makespan()
+    );
+    println!(
+        "fault-tolerance overhead        = {:>6}   (paper: 4.35)",
+        schedule.makespan() - non_ft.makespan()
+    );
+
+    // Figure 8: timed executions under each single failure at t = 0.
+    println!("\n== Single-failure executions (Figure 8) ==");
+    let paper_lengths = ["15.35", "15.05", "12.6"];
+    for (i, proc) in problem.arch().procs().enumerate() {
+        let scen = FailureScenario::single(3, proc, Time::ZERO);
+        let result = replay(&problem, &schedule, &scen);
+        let len = result
+            .completion()
+            .expect("single failures are masked (Npf = 1)");
+        println!(
+            "{} fails at 0: completion = {:>6}  (paper: {})  rtc_ok = {}",
+            problem.arch().proc(proc).name(),
+            len,
+            paper_lengths[i],
+            len <= problem.rtc().unwrap()
+        );
+        if i == 0 {
+            println!("{}", gantt::render_replay(&problem, &schedule, &result, 100));
+        }
+    }
+
+    // Exhaustive verification.
+    let report = analysis::analyze(&problem, &schedule);
+    println!(
+        "tolerance: all {} single-failure scenarios masked = {}, worst completion = {}, Rtc met = {:?}",
+        report.scenarios.len(),
+        report.tolerated,
+        report.worst_completion.unwrap(),
+        report.rtc_met
+    );
+    let violations = ftbar_core::validate::validate(&problem, &schedule);
+    println!("validator: {} violations", violations.len());
+    for v in violations {
+        println!("  {v}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 10: average fault-tolerance overhead vs. the communication-to-
+//! computation ratio `CCR`, for FTBAR and HBP, fault-free (a) and with one
+//! processor failure (b). Parameters per the paper: `N = 50`, `P = 4`,
+//! `Npf = 1`, 60 random graphs per point.
+//!
+//! ```text
+//! cargo run --release -p ftbar-bench --bin fig10 [graphs-per-point]
+//! ```
+
+use ftbar_bench::experiment::{row, run_point, PointConfig, Scheduler};
+
+fn main() {
+    let graphs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    println!("== Figure 10: overhead vs CCR  (N = 50, P = 4, Npf = 1, {graphs} graphs/point) ==");
+    println!("(a) = fault-free, (b) = max over processors of one failure at t = 0\n");
+    for ccr in [0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
+        let config = PointConfig {
+            n_ops: 50,
+            ccr,
+            graphs,
+            seed_base: 10_000 + (ccr * 10.0) as u64,
+            ..Default::default()
+        };
+        for sched in [Scheduler::Ftbar, Scheduler::Hbp] {
+            let r = run_point(&config, sched);
+            println!("{}", row("CCR", ccr, sched.label(), &r));
+        }
+    }
+    println!(
+        "\nexpected shape (paper): overheads decrease once CCR > 1; FTBAR clearly below HBP for CCR >= 2."
+    );
+}

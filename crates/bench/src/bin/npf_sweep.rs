@@ -1,0 +1,49 @@
+//! §7 extension: overhead as a function of the number of tolerated failures
+//! `Npf`, on a heterogeneous architecture ("the first results show that the
+//! overheads increase with the number of failures Npf").
+//!
+//! ```text
+//! cargo run --release -p ftbar-bench --bin npf_sweep [graphs-per-point]
+//! ```
+
+use ftbar_bench::stats::mean;
+use ftbar_core::{basic, ftbar};
+use ftbar_workload::{arch, layered, timing, LayeredConfig, TimingConfig};
+
+fn main() {
+    let graphs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let procs = 5; // the paper's planned electric-vehicle architecture size
+    println!(
+        "== Npf sweep: overhead vs Npf (N = 40, CCR = 2, P = {procs} heterogeneous, {graphs} graphs/point) =="
+    );
+    for npf in 0..=3u32 {
+        let mut overheads = Vec::with_capacity(graphs);
+        for g in 0..graphs {
+            let alg = layered(&LayeredConfig {
+                n_ops: 40,
+                seed: 20_000 + g as u64,
+                ..Default::default()
+            });
+            let problem = timing(
+                alg,
+                arch::fully_connected(procs),
+                &TimingConfig {
+                    ccr: 2.0,
+                    npf,
+                    heterogeneity: 0.5,
+                    seed: 20_000 + g as u64,
+                    ..Default::default()
+                },
+            )
+            .expect("valid problem");
+            let ft = ftbar::schedule(&problem).expect("schedules");
+            let non_ft = basic::schedule_non_ft(&problem).expect("schedules");
+            overheads.push(basic::overhead_percent(ft.makespan(), non_ft.makespan()));
+        }
+        println!("Npf={npf}  avg overhead = {:>7.2}%", mean(&overheads));
+    }
+    println!("\nexpected shape (paper §7): overhead increases with Npf.");
+}

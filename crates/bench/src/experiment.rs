@@ -1,0 +1,251 @@
+//! The §6.2 overhead experiment, shared by the `fig9`/`fig10`/`npf_sweep`/
+//! `ablation` binaries.
+//!
+//! For each random graph:
+//!
+//! * `nonFTSL` — schedule length of FTBAR with `Npf = 0` (the paper's
+//!   overhead denominator reference);
+//! * `FTSL` — schedule length of the evaluated fault-tolerant scheduler
+//!   (FTBAR or HBP), fault-free;
+//! * per processor `p`: the schedule length when `p` fails at `t = 0`
+//!   (replay).
+//!
+//! The overhead is `(FTSL − nonFTSL) / FTSL × 100` (§6.2). Fault-free
+//! overheads are averaged over graphs; faulty overheads are averaged per
+//! processor then maximized over processors, exactly like Figures 9(b) and
+//! 10(b).
+
+use ftbar_core::{basic, ftbar, replay, FailureScenario, FtbarConfig, Schedule, ScheduleError};
+use ftbar_model::{Problem, Time};
+use ftbar_workload::{arch, layered, timing, LayeredConfig, TimingConfig};
+
+use crate::stats::{max, mean};
+
+/// Which fault-tolerant scheduler to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// FTBAR with the paper's configuration.
+    Ftbar,
+    /// FTBAR with a custom configuration (ablations).
+    FtbarWith {
+        /// Disable LIP duplication.
+        no_duplication: bool,
+        /// Use the earliest-start cost instead of schedule pressure.
+        earliest_start: bool,
+    },
+    /// The HBP baseline.
+    Hbp,
+}
+
+impl Scheduler {
+    /// Runs the scheduler on `problem`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduleError`].
+    pub fn schedule(&self, problem: &Problem) -> Result<Schedule, ScheduleError> {
+        match self {
+            Scheduler::Ftbar => ftbar::schedule(problem),
+            Scheduler::FtbarWith {
+                no_duplication,
+                earliest_start,
+            } => ftbar::schedule_with(
+                problem,
+                &FtbarConfig {
+                    no_duplication: *no_duplication,
+                    cost: if *earliest_start {
+                        ftbar_core::CostFunction::EarliestStart
+                    } else {
+                        ftbar_core::CostFunction::SchedulePressure
+                    },
+                    trace: false,
+                },
+            )
+            .map(|o| o.schedule),
+            Scheduler::Hbp => ftbar_hbp::schedule(problem),
+        }
+    }
+
+    /// Short label for report rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheduler::Ftbar => "FTBAR",
+            Scheduler::FtbarWith {
+                no_duplication: true,
+                earliest_start: false,
+            } => "FTBAR-nodup",
+            Scheduler::FtbarWith {
+                no_duplication: false,
+                earliest_start: true,
+            } => "FTBAR-EST",
+            Scheduler::FtbarWith { .. } => "FTBAR-variant",
+            Scheduler::Hbp => "HBP",
+        }
+    }
+}
+
+/// Parameters of one experiment point (one curve sample).
+#[derive(Debug, Clone)]
+pub struct PointConfig {
+    /// Operations per random graph (`N`).
+    pub n_ops: usize,
+    /// Communication-to-computation ratio.
+    pub ccr: f64,
+    /// Processors (fully connected homogeneous machine).
+    pub procs: usize,
+    /// Tolerated failures.
+    pub npf: u32,
+    /// Random graphs averaged per point (the paper uses 60).
+    pub graphs: usize,
+    /// Base seed; graph `g` uses seed `base + g`.
+    pub seed_base: u64,
+}
+
+impl Default for PointConfig {
+    fn default() -> Self {
+        PointConfig {
+            n_ops: 50,
+            ccr: 5.0,
+            procs: 4,
+            npf: 1,
+            graphs: 60,
+            seed_base: 1000,
+        }
+    }
+}
+
+/// Aggregated overheads of one scheduler at one experiment point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Average fault-free overhead, percent (Figures 9a/10a).
+    pub overhead_ff: f64,
+    /// Max over processors of the average overhead with that processor
+    /// failed at `t = 0`, percent (Figures 9b/10b).
+    pub overhead_fault: f64,
+    /// Graphs where a replay failed to mask (should be 0).
+    pub masking_failures: usize,
+}
+
+/// Generates the `g`-th random problem of a point.
+pub fn problem_for(config: &PointConfig, g: usize) -> Problem {
+    let alg = layered(&LayeredConfig {
+        n_ops: config.n_ops,
+        seed: config.seed_base + g as u64,
+        ..Default::default()
+    });
+    timing(
+        alg,
+        arch::fully_connected(config.procs),
+        &TimingConfig {
+            ccr: config.ccr,
+            npf: config.npf,
+            seed: config.seed_base + g as u64,
+            ..Default::default()
+        },
+    )
+    .expect("generated problems are valid")
+}
+
+/// The §6.2 overhead, in percent.
+pub fn overhead_percent(ftsl: Time, non_ftsl: Time) -> f64 {
+    basic::overhead_percent(ftsl, non_ftsl)
+}
+
+/// Runs one experiment point for `scheduler`.
+///
+/// # Panics
+///
+/// Panics if scheduling fails (generated problems are validated).
+pub fn run_point(config: &PointConfig, scheduler: Scheduler) -> PointResult {
+    let mut ff = Vec::with_capacity(config.graphs);
+    // fault_ov[p][g]: overhead when processor p fails on graph g.
+    let mut fault_ov = vec![Vec::with_capacity(config.graphs); config.procs];
+    let mut masking_failures = 0usize;
+
+    for g in 0..config.graphs {
+        let problem = problem_for(config, g);
+        let non_ft = basic::schedule_non_ft(&problem).expect("non-FT scheduling succeeds");
+        let non_ftsl = non_ft.makespan();
+        let ft = scheduler.schedule(&problem).expect("FT scheduling succeeds");
+        ff.push(overhead_percent(ft.makespan(), non_ftsl));
+
+        for p in problem.arch().procs() {
+            let scen = FailureScenario::single(config.procs, p, Time::ZERO);
+            match replay(&problem, &ft, &scen).completion() {
+                Some(len) => fault_ov[p.index()].push(overhead_percent(len, non_ftsl)),
+                None => masking_failures += 1,
+            }
+        }
+    }
+
+    PointResult {
+        overhead_ff: mean(&ff),
+        overhead_fault: max(
+            &fault_ov
+                .iter()
+                .map(|per_proc| mean(per_proc))
+                .collect::<Vec<_>>(),
+        ),
+        masking_failures,
+    }
+}
+
+/// Formats one aligned report row.
+pub fn row(x_label: &str, x: f64, scheduler: &str, r: &PointResult) -> String {
+    format!(
+        "{x_label}={x:<6} {scheduler:<12} overhead_ff={:>7.2}%  overhead_fault={:>7.2}%  mask_fail={}",
+        r.overhead_ff, r.overhead_fault, r.masking_failures
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PointConfig {
+        PointConfig {
+            n_ops: 12,
+            ccr: 2.0,
+            graphs: 4,
+            seed_base: 77,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn point_runs_and_masks_everything() {
+        let r = run_point(&small(), Scheduler::Ftbar);
+        assert_eq!(r.masking_failures, 0);
+        assert!(r.overhead_ff >= 0.0);
+        assert!(r.overhead_fault >= 0.0);
+    }
+
+    #[test]
+    fn hbp_point_runs() {
+        let r = run_point(&small(), Scheduler::Hbp);
+        assert_eq!(r.masking_failures, 0);
+        assert!(r.overhead_ff > 0.0, "replication cannot be free");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_point(&small(), Scheduler::Ftbar);
+        let b = run_point(&small(), Scheduler::Ftbar);
+        assert_eq!(a.overhead_ff, b.overhead_ff);
+        assert_eq!(a.overhead_fault, b.overhead_fault);
+    }
+
+    #[test]
+    fn scheduler_labels() {
+        assert_eq!(Scheduler::Ftbar.label(), "FTBAR");
+        assert_eq!(Scheduler::Hbp.label(), "HBP");
+        assert_eq!(
+            Scheduler::FtbarWith {
+                no_duplication: true,
+                earliest_start: false
+            }
+            .label(),
+            "FTBAR-nodup"
+        );
+    }
+}

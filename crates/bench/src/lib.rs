@@ -1,0 +1,20 @@
+//! Shared experiment harness for the FTBAR paper's evaluation (§6).
+//!
+//! The binaries in `src/bin` regenerate every table and figure:
+//!
+//! | binary          | paper artefact                                   |
+//! |-----------------|--------------------------------------------------|
+//! | `example_repro` | §4.3–4.4 running example, Figures 5–8            |
+//! | `fig9`          | Figure 9 (overhead vs. N, CCR = 5)               |
+//! | `fig10`         | Figure 10 (overhead vs. CCR, N = 50)             |
+//! | `npf_sweep`     | §7 future-work claim (overhead grows with Npf)   |
+//! | `ablation`      | DESIGN.md ablations (duplication, cost function) |
+//!
+//! This library holds the pieces they share: the overhead experiment of
+//! §6.2 ([`experiment`]) and small statistics helpers ([`stats`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod stats;

@@ -1,0 +1,710 @@
+//! Implementation of the `ftbar` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `ftbar schedule <spec> [--npf N] [--hbp|--no-dup|--est] [--gantt W]
+//!   [--summary] [--dot] [--json] [--validate]` — schedule a problem file;
+//! * `ftbar analyze <spec>` — schedule + exhaustive tolerance report;
+//! * `ftbar simulate <spec> [--fail P@T ...] [--iterations K] [--detect]` —
+//!   multi-iteration fault-injection simulation;
+//! * `ftbar gen [--n N] [--procs P] [--ccr X] [--npf N] [--seed S]` — print
+//!   a random problem spec;
+//! * `ftbar example` — print the paper's running example as a spec.
+//!
+//! The library form exists so the argument parser and command logic are
+//! unit-testable; `main.rs` is a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use ftbar_core::{analysis, ftbar, gantt, validate, FtbarConfig};
+use ftbar_model::{spec, Problem, Time};
+use ftbar_sim::{simulate, Detection, FaultPlan, SimConfig};
+use ftbar_workload::{arch, layered, timing, LayeredConfig, TimingConfig};
+
+/// A CLI failure: message plus suggested exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+        code: 2,
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+ftbar — distributed fault-tolerant static scheduling (FTBAR, DSN 2003)
+
+USAGE:
+  ftbar schedule <spec-file> [--npf N] [--hbp | --no-dup | --est]
+                 [--gantt WIDTH] [--summary] [--stats] [--dot] [--json] [--validate]
+  ftbar analyze  <spec-file> [--npf N] [--thorough] [--links] [--rel LAMBDA]
+  ftbar simulate <spec-file> [--fail PROC@TIME]... [--window PROC@FROM..UNTIL]...
+                 [--iterations K] [--detect]
+  ftbar gen      [--n N] [--procs P] [--ccr X] [--npf N] [--seed S] [--het H]
+  ftbar example
+";
+
+/// Runs the CLI; returns the text to print on success.
+///
+/// # Errors
+///
+/// [`CliError`] with a message and exit code on bad arguments, unreadable
+/// files, invalid specs, or failed scheduling.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("schedule") => cmd_schedule(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("example") => Ok(spec::print_problem(&ftbar_model::paper_example())),
+        Some("help") | Some("--help") | Some("-h") | None => Ok(USAGE.to_owned()),
+        Some(other) => Err(err(format!("unknown subcommand `{other}`\n\n{USAGE}"))),
+    }
+}
+
+/// Tiny flag cursor over the argument list.
+struct Args<'a> {
+    rest: &'a [String],
+    pos: usize,
+    positional: Vec<&'a str>,
+}
+
+impl<'a> Args<'a> {
+    fn new(rest: &'a [String]) -> Self {
+        Args {
+            rest,
+            pos: 0,
+            positional: Vec::new(),
+        }
+    }
+
+    /// Consumes the whole list, dispatching flags to `on_flag`.
+    fn scan(
+        &mut self,
+        mut on_flag: impl FnMut(&str, &mut dyn FnMut() -> Result<String, CliError>) -> Result<bool, CliError>,
+    ) -> Result<(), CliError> {
+        while self.pos < self.rest.len() {
+            let a = self.rest[self.pos].as_str();
+            self.pos += 1;
+            if let Some(flag) = a.strip_prefix("--") {
+                let pos_cell = &mut self.pos;
+                let rest = self.rest;
+                let mut value = move || -> Result<String, CliError> {
+                    let v = rest
+                        .get(*pos_cell)
+                        .ok_or_else(|| err(format!("flag --{flag} expects a value")))?;
+                    *pos_cell += 1;
+                    Ok(v.clone())
+                };
+                if !on_flag(flag, &mut value)? {
+                    return Err(err(format!("unknown flag --{flag}")));
+                }
+            } else {
+                self.positional.push(a);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn load_problem(path: &str, npf_override: Option<u32>) -> Result<Problem, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
+    let problem = spec::parse_problem(&text).map_err(|e| err(format!("{path}: {e}")))?;
+    match npf_override {
+        Some(npf) => problem
+            .with_npf(npf)
+            .map_err(|e| err(format!("{path}: {e}"))),
+        None => Ok(problem),
+    }
+}
+
+fn parse_u32(s: &str, what: &str) -> Result<u32, CliError> {
+    s.parse().map_err(|_| err(format!("invalid {what}: `{s}`")))
+}
+
+fn parse_time(s: &str, what: &str) -> Result<Time, CliError> {
+    s.parse().map_err(|_| err(format!("invalid {what}: `{s}`")))
+}
+
+fn cmd_schedule(rest: &[String]) -> Result<String, CliError> {
+    let mut npf = None;
+    let mut use_hbp = false;
+    let mut no_dup = false;
+    let mut est = false;
+    let mut gantt_w = Some(100usize);
+    let mut want_summary = false;
+    let mut want_stats = false;
+    let mut want_dot = false;
+    let mut want_json = false;
+    let mut want_validate = false;
+    let mut args = Args::new(rest);
+    args.scan(|flag, value| {
+        match flag {
+            "npf" => npf = Some(parse_u32(&value()?, "npf")?),
+            "hbp" => use_hbp = true,
+            "no-dup" => no_dup = true,
+            "est" => est = true,
+            "gantt" => gantt_w = Some(value()?.parse().map_err(|_| err("invalid width"))?),
+            "no-gantt" => gantt_w = None,
+            "summary" => want_summary = true,
+            "stats" => want_stats = true,
+            "dot" => want_dot = true,
+            "json" => want_json = true,
+            "validate" => want_validate = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })?;
+    let [path] = args.positional[..] else {
+        return Err(err(format!("schedule expects one spec file\n\n{USAGE}")));
+    };
+    let problem = load_problem(path, npf)?;
+
+    let schedule = if use_hbp {
+        ftbar_hbp::schedule(&problem).map_err(|e| err(e.to_string()))?
+    } else {
+        ftbar::schedule_with(
+            &problem,
+            &FtbarConfig {
+                no_duplication: no_dup,
+                cost: if est {
+                    ftbar_core::CostFunction::EarliestStart
+                } else {
+                    ftbar_core::CostFunction::SchedulePressure
+                },
+                trace: false,
+            },
+        )
+        .map(|o| o.schedule)
+        .map_err(|e| err(e.to_string()))?
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scheduler = {}, npf = {}, makespan = {}, completion = {}, replicas = {}, comms = {}",
+        if use_hbp { "HBP" } else { "FTBAR" },
+        problem.npf(),
+        schedule.makespan(),
+        schedule.completion(),
+        schedule.replica_count(),
+        schedule.comm_count()
+    );
+    if let Some(rtc) = problem.rtc() {
+        let _ = writeln!(
+            out,
+            "rtc = {} -> {}",
+            rtc,
+            if schedule.makespan() <= rtc {
+                "met"
+            } else {
+                "MISSED"
+            }
+        );
+    }
+    if let Some(w) = gantt_w {
+        out.push_str(&gantt::render(&problem, &schedule, w));
+    }
+    if want_summary {
+        out.push_str(&ftbar_core::export::summary(&problem, &schedule));
+    }
+    if want_stats {
+        let st = ftbar_core::stats::stats(&problem, &schedule);
+        let _ = writeln!(
+            out,
+            "stats: replicas = {} ({} duplicated), avg replication = {:.2}, comms = {}",
+            st.replicas, st.duplicated_replicas, st.avg_replication, st.comms
+        );
+        for p in problem.arch().procs() {
+            let _ = writeln!(
+                out,
+                "  {:<10} busy {:>8}  utilization {:>5.1}%",
+                problem.arch().proc(p).name(),
+                st.proc_busy[p.index()],
+                st.proc_utilization[p.index()] * 100.0
+            );
+        }
+        for l in problem.arch().links() {
+            let _ = writeln!(
+                out,
+                "  {:<10} busy {:>8}  utilization {:>5.1}%",
+                problem.arch().link(l).name(),
+                st.link_busy[l.index()],
+                st.link_utilization[l.index()] * 100.0
+            );
+        }
+    }
+    if want_dot {
+        out.push_str(&ftbar_core::export::to_dot(&problem, &schedule));
+    }
+    if want_json {
+        let _ = writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&schedule).expect("schedules serialize")
+        );
+    }
+    if want_validate {
+        let violations = validate::validate(&problem, &schedule);
+        if violations.is_empty() {
+            out.push_str("validation: ok\n");
+        } else {
+            for v in &violations {
+                let _ = writeln!(out, "validation: {v}");
+            }
+            return Err(CliError {
+                message: out,
+                code: 1,
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_analyze(rest: &[String]) -> Result<String, CliError> {
+    let mut npf = None;
+    let mut thorough = false;
+    let mut links = false;
+    let mut rel: Option<f64> = None;
+    let mut args = Args::new(rest);
+    args.scan(|flag, value| {
+        match flag {
+            "npf" => npf = Some(parse_u32(&value()?, "npf")?),
+            "thorough" => thorough = true,
+            "links" => links = true,
+            "rel" => {
+                rel = Some(value()?.parse().map_err(|_| err("invalid failure rate"))?)
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })?;
+    let [path] = args.positional[..] else {
+        return Err(err(format!("analyze expects one spec file\n\n{USAGE}")));
+    };
+    let problem = load_problem(path, npf)?;
+    let schedule = ftbar::schedule(&problem).map_err(|e| err(e.to_string()))?;
+    let report = analysis::analyze_with(
+        &problem,
+        &schedule,
+        &analysis::AnalysisConfig { thorough },
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "nominal completion = {}", report.nominal);
+    for s in &report.scenarios {
+        let names: Vec<_> = s
+            .procs
+            .iter()
+            .map(|&p| problem.arch().proc(p).name().to_owned())
+            .collect();
+        let _ = writeln!(
+            out,
+            "fail {{{}}} at {} -> {}",
+            names.join(","),
+            s.at,
+            s.completion
+                .map_or_else(|| "NOT MASKED".to_owned(), |t| t.to_string())
+        );
+    }
+    let _ = writeln!(
+        out,
+        "tolerated = {}, worst completion = {}, rtc met = {}",
+        report.tolerated,
+        report
+            .worst_completion
+            .map_or_else(|| "-".to_owned(), |t| t.to_string()),
+        report
+            .rtc_met
+            .map_or_else(|| "-".to_owned(), |b| b.to_string())
+    );
+    if links {
+        let link_report = analysis::analyze_link_failures(&problem, &schedule);
+        for s in &link_report.scenarios {
+            let _ = writeln!(
+                out,
+                "link {} fails at {} -> {}",
+                problem.arch().link(s.link).name(),
+                s.at,
+                s.completion
+                    .map_or_else(|| "NOT MASKED".to_owned(), |t| t.to_string())
+            );
+        }
+        let _ = writeln!(out, "single link failures tolerated = {}", link_report.tolerated);
+    }
+    if let Some(lambda) = rel {
+        use ftbar_core::reliability::{estimate, FailureRates};
+        let rates = FailureRates::uniform(problem.arch().proc_count(), lambda);
+        let r = estimate(&problem, &schedule, &rates);
+        let _ = writeln!(
+            out,
+            "reliability (lambda = {lambda}/unit): iteration = {:.6}, single-copy reference = {:.6}",
+            r.iteration_reliability, r.single_copy_reference
+        );
+    }
+    if report.tolerated {
+        Ok(out)
+    } else {
+        Err(CliError {
+            message: out,
+            code: 1,
+        })
+    }
+}
+
+/// Parses `PROC@TIME` into a processor name and instant.
+fn parse_fail_spec(s: &str) -> Result<(&str, Time), CliError> {
+    let (name, t) = s
+        .split_once('@')
+        .ok_or_else(|| err(format!("--fail expects PROC@TIME, got `{s}`")))?;
+    Ok((name, parse_time(t, "failure time")?))
+}
+
+/// Parses `PROC@FROM..UNTIL` into a processor name and window.
+fn parse_window_spec(s: &str) -> Result<(&str, Time, Time), CliError> {
+    let (name, range) = s
+        .split_once('@')
+        .ok_or_else(|| err(format!("--window expects PROC@FROM..UNTIL, got `{s}`")))?;
+    let (from, until) = range
+        .split_once("..")
+        .ok_or_else(|| err(format!("--window expects PROC@FROM..UNTIL, got `{s}`")))?;
+    Ok((
+        name,
+        parse_time(from, "window start")?,
+        parse_time(until, "window end")?,
+    ))
+}
+
+fn cmd_simulate(rest: &[String]) -> Result<String, CliError> {
+    let mut iterations = 1usize;
+    let mut detect = false;
+    let mut fails: Vec<String> = Vec::new();
+    let mut windows: Vec<String> = Vec::new();
+    let mut args = Args::new(rest);
+    args.scan(|flag, value| {
+        match flag {
+            "iterations" => {
+                iterations = value()?
+                    .parse()
+                    .map_err(|_| err("invalid iteration count"))?
+            }
+            "detect" => detect = true,
+            "fail" => fails.push(value()?),
+            "window" => windows.push(value()?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })?;
+    let [path] = args.positional[..] else {
+        return Err(err(format!("simulate expects one spec file\n\n{USAGE}")));
+    };
+    let problem = load_problem(path, None)?;
+    let schedule = ftbar::schedule(&problem).map_err(|e| err(e.to_string()))?;
+
+    let mut plan = FaultPlan::new(problem.arch().proc_count());
+    for f in &fails {
+        let (name, t) = parse_fail_spec(f)?;
+        let p = problem
+            .arch()
+            .proc_by_name(name)
+            .ok_or_else(|| err(format!("unknown processor `{name}`")))?;
+        plan.permanent(p, t);
+    }
+    for w in &windows {
+        let (name, from, until) = parse_window_spec(w)?;
+        let p = problem
+            .arch()
+            .proc_by_name(name)
+            .ok_or_else(|| err(format!("unknown processor `{name}`")))?;
+        plan.intermittent(p, from, until);
+    }
+
+    let report = simulate(
+        &problem,
+        &schedule,
+        &plan,
+        &SimConfig {
+            iterations,
+            detection: if detect {
+                Detection::Array
+            } else {
+                Detection::None
+            },
+        },
+    );
+    let mut out = String::new();
+    for (i, it) in report.iterations.iter().enumerate() {
+        let failed: Vec<_> = it
+            .failed_procs
+            .iter()
+            .map(|&p| problem.arch().proc(p).name().to_owned())
+            .collect();
+        let _ = writeln!(
+            out,
+            "iteration {i}: start={} completion={} failed={{{}}} delivered={} cancelled={}",
+            it.start,
+            it.completion
+                .map_or_else(|| "NOT MASKED".to_owned(), |t| t.to_string()),
+            failed.join(","),
+            it.comms_delivered,
+            it.comms_cancelled
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total time = {}, all masked = {}, detected faulty = {:?}",
+        report.total_time,
+        report.all_masked(),
+        report
+            .detected_faulty
+            .iter()
+            .map(|&p| problem.arch().proc(p).name().to_owned())
+            .collect::<Vec<_>>()
+    );
+    if report.all_masked() {
+        Ok(out)
+    } else {
+        Err(CliError {
+            message: out,
+            code: 1,
+        })
+    }
+}
+
+fn cmd_gen(rest: &[String]) -> Result<String, CliError> {
+    let mut n = 20usize;
+    let mut procs = 4usize;
+    let mut ccr = 1.0f64;
+    let mut npf = 1u32;
+    let mut seed = 0u64;
+    let mut het = 0.0f64;
+    let mut args = Args::new(rest);
+    args.scan(|flag, value| {
+        match flag {
+            "n" => n = value()?.parse().map_err(|_| err("invalid --n"))?,
+            "procs" => procs = value()?.parse().map_err(|_| err("invalid --procs"))?,
+            "ccr" => ccr = value()?.parse().map_err(|_| err("invalid --ccr"))?,
+            "npf" => npf = parse_u32(&value()?, "npf")?,
+            "seed" => seed = value()?.parse().map_err(|_| err("invalid --seed"))?,
+            "het" => het = value()?.parse().map_err(|_| err("invalid --het"))?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })?;
+    if !args.positional.is_empty() {
+        return Err(err("gen takes no positional arguments"));
+    }
+    let alg = layered(&LayeredConfig {
+        n_ops: n,
+        seed,
+        ..Default::default()
+    });
+    let problem = timing(
+        alg,
+        arch::fully_connected(procs),
+        &TimingConfig {
+            ccr,
+            npf,
+            heterogeneity: het,
+            seed,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| err(e.to_string()))?;
+    Ok(spec::print_problem(&problem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_strs(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&v)
+    }
+
+    fn example_file() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ftbar-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("example.ftbar");
+        std::fs::write(&path, run_strs(&["example"]).unwrap()).unwrap();
+        path
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run_strs(&[]).unwrap().contains("USAGE"));
+        assert!(run_strs(&["help"]).unwrap().contains("USAGE"));
+        let e = run_strs(&["frobnicate"]).unwrap_err();
+        assert!(e.message.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn example_prints_spec() {
+        let text = run_strs(&["example"]).unwrap();
+        assert!(text.contains("algorithm paper_fig2"));
+        assert!(text.contains("npf 1;"));
+    }
+
+    #[test]
+    fn schedule_end_to_end() {
+        let path = example_file();
+        let out = run_strs(&["schedule", path.to_str().unwrap(), "--validate", "--summary"])
+            .unwrap();
+        assert!(out.contains("makespan = 15.05"));
+        assert!(out.contains("rtc = 16 -> met"));
+        assert!(out.contains("validation: ok"));
+        assert!(out.contains("# makespan"));
+    }
+
+    #[test]
+    fn schedule_with_hbp_and_flags() {
+        let path = example_file();
+        let out = run_strs(&[
+            "schedule",
+            path.to_str().unwrap(),
+            "--hbp",
+            "--no-gantt",
+            "--dot",
+        ])
+        .unwrap();
+        assert!(out.contains("scheduler = HBP"));
+        assert!(out.contains("digraph schedule"));
+    }
+
+    #[test]
+    fn schedule_json_round_trips() {
+        let path = example_file();
+        let out = run_strs(&["schedule", path.to_str().unwrap(), "--no-gantt", "--json"])
+            .unwrap();
+        let json_start = out.find('{').unwrap();
+        let _: ftbar_core::Schedule = serde_json::from_str(out[json_start..].trim()).unwrap();
+    }
+
+    #[test]
+    fn analyze_reports_tolerance() {
+        let path = example_file();
+        let out = run_strs(&["analyze", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("tolerated = true"));
+        assert!(out.contains("rtc met = true"));
+    }
+
+    #[test]
+    fn analyze_links_and_reliability() {
+        let path = example_file();
+        let out = run_strs(&[
+            "analyze",
+            path.to_str().unwrap(),
+            "--links",
+            "--rel",
+            "0.01",
+        ])
+        .unwrap();
+        assert!(out.contains("single link failures tolerated = true"));
+        assert!(out.contains("reliability (lambda = 0.01/unit)"));
+    }
+
+    #[test]
+    fn schedule_stats_flag() {
+        let path = example_file();
+        let out = run_strs(&[
+            "schedule",
+            path.to_str().unwrap(),
+            "--no-gantt",
+            "--stats",
+        ])
+        .unwrap();
+        assert!(out.contains("avg replication"));
+        assert!(out.contains("utilization"));
+    }
+
+    #[test]
+    fn simulate_with_failure() {
+        let path = example_file();
+        let out = run_strs(&[
+            "simulate",
+            path.to_str().unwrap(),
+            "--fail",
+            "P1@0",
+            "--iterations",
+            "2",
+            "--detect",
+        ])
+        .unwrap();
+        assert!(out.contains("all masked = true"));
+        assert!(out.contains("detected faulty = [\"P1\"]"));
+    }
+
+    #[test]
+    fn simulate_window() {
+        let path = example_file();
+        let out = run_strs(&[
+            "simulate",
+            path.to_str().unwrap(),
+            "--window",
+            "P2@1..2",
+            "--iterations",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("all masked = true"));
+    }
+
+    #[test]
+    fn gen_produces_parseable_spec() {
+        let out = run_strs(&["gen", "--n", "12", "--procs", "3", "--ccr", "2", "--seed", "9"])
+            .unwrap();
+        let p = spec::parse_problem(&out).unwrap();
+        assert_eq!(p.alg().op_count(), 12);
+        assert_eq!(p.arch().proc_count(), 3);
+    }
+
+    #[test]
+    fn bad_args_are_reported() {
+        assert!(run_strs(&["schedule"]).is_err());
+        assert!(run_strs(&["schedule", "/nonexistent/file"]).is_err());
+        assert!(run_strs(&["gen", "--n"]).unwrap_err().message.contains("expects a value"));
+        assert!(run_strs(&["gen", "--bogus", "1"]).unwrap_err().message.contains("unknown flag"));
+        let path = example_file();
+        assert!(run_strs(&["simulate", path.to_str().unwrap(), "--fail", "nope"])
+            .unwrap_err()
+            .message
+            .contains("PROC@TIME"));
+        assert!(run_strs(&["simulate", path.to_str().unwrap(), "--fail", "P9@0"])
+            .unwrap_err()
+            .message
+            .contains("unknown processor"));
+    }
+
+    #[test]
+    fn parse_helpers() {
+        assert_eq!(
+            parse_fail_spec("P1@2.5").unwrap(),
+            ("P1", Time::from_units(2.5))
+        );
+        assert!(parse_fail_spec("P1").is_err());
+        let (p, a, b) = parse_window_spec("P2@1..2.5").unwrap();
+        assert_eq!(p, "P2");
+        assert_eq!(a, Time::from_units(1.0));
+        assert_eq!(b, Time::from_units(2.5));
+        assert!(parse_window_spec("P2@1").is_err());
+    }
+}

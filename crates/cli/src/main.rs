@@ -1,0 +1,15 @@
+//! Thin shim over [`ftbar_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ftbar_cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprint!("{}", e.message);
+            if !e.message.ends_with('\n') {
+                eprintln!();
+            }
+            std::process::exit(e.code);
+        }
+    }
+}

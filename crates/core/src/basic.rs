@@ -1,0 +1,78 @@
+//! The non-fault-tolerant baseline scheduler (paper §4.4 / §6.2).
+//!
+//! The paper defines the overhead denominator `non FTSL` as FTBAR run with
+//! `Npf = 0`; with a single replica per operation and no comm replication
+//! the heuristic degenerates to SynDEx's pressure-based list scheduling.
+
+use ftbar_model::Problem;
+
+use crate::error::ScheduleError;
+use crate::ftbar;
+use crate::schedule::Schedule;
+
+/// Schedules `problem` without fault tolerance (`Npf = 0`), regardless of
+/// the problem's own `npf`.
+///
+/// # Errors
+///
+/// Propagates [`ScheduleError`] from the underlying scheduler.
+///
+/// # Example
+///
+/// ```
+/// use ftbar_core::{basic, ftbar};
+/// use ftbar_model::paper_example;
+///
+/// let p = paper_example();
+/// let non_ft = basic::schedule_non_ft(&p)?;
+/// let ft = ftbar::schedule(&p)?;
+/// assert!(non_ft.makespan() <= ft.makespan());
+/// # Ok::<(), ftbar_core::ScheduleError>(())
+/// ```
+pub fn schedule_non_ft(problem: &Problem) -> Result<Schedule, ScheduleError> {
+    let p0 = problem
+        .with_npf(0)
+        .expect("npf = 0 is feasible for any valid problem");
+    ftbar::schedule(&p0)
+}
+
+/// The paper's fault-tolerance overhead metric, in percent:
+/// `(FTSL − nonFTSL) / FTSL × 100`.
+///
+/// Returns 0 when `ftsl` is zero.
+pub fn overhead_percent(ftsl: ftbar_model::Time, non_ftsl: ftbar_model::Time) -> f64 {
+    let f = ftsl.as_units();
+    if f == 0.0 {
+        0.0
+    } else {
+        (f - non_ftsl.as_units()) / f * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbar_model::{paper_example, Time};
+
+    #[test]
+    fn single_replica_per_op() {
+        let p = paper_example();
+        let s = schedule_non_ft(&p).unwrap();
+        for op in p.alg().ops() {
+            // Duplication may add replicas, but at least one exists and the
+            // op is covered.
+            assert!(!s.replicas_of(op).is_empty());
+        }
+        assert_eq!(s.npf(), 0);
+    }
+
+    #[test]
+    fn overhead_formula() {
+        let ft = Time::from_units(15.05);
+        let non = Time::from_units(10.7);
+        let o = overhead_percent(ft, non);
+        assert!((o - 28.903).abs() < 0.01, "got {o}");
+        assert_eq!(overhead_percent(Time::ZERO, Time::ZERO), 0.0);
+        assert_eq!(overhead_percent(ft, ft), 0.0);
+    }
+}

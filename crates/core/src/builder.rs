@@ -1,0 +1,646 @@
+//! Low-level schedule construction: replica placement, comm booking, and
+//! the paper's `Minimize_start_time` predecessor-duplication procedure.
+//!
+//! [`ScheduleBuilder`] is the mutable state shared by all schedulers in this
+//! workspace (FTBAR, the non-FT baseline, and the HBP comparator). It owns
+//! one [`Timeline`] per processor and per link and books:
+//!
+//! * **replicas** — operation instances placed in the earliest feasible gap
+//!   of a processor timeline at their `S_best` (first complete input set);
+//! * **comms** — for every ⟨predecessor, replica⟩ pair with no local copy of
+//!   the predecessor, `Npf + 1` transfers from distinct predecessor replicas
+//!   routed (possibly multi-hop) over link timelines, in parallel.
+//!
+//! Rollback (paper step Ð, "undo all the replications") is transactional:
+//! callers clone the builder, attempt a placement, and commit the clone only
+//! if it improves `S_worst`.
+
+use ftbar_model::{DepId, OpId, ProcId, Problem, Time};
+
+use crate::error::ScheduleError;
+use crate::schedule::{BookedHop, Comm, CommId, Replica, ReplicaId, Schedule};
+use crate::timeline::Timeline;
+
+/// Maximum recursion depth of `Minimize_start_time` (bounds the cost of
+/// duplicating whole ancestor chains on deep graphs).
+const MAX_DUPLICATION_DEPTH: usize = 24;
+
+/// Probed (non-mutating) placement estimate for an ⟨operation, processor⟩
+/// pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbePoint {
+    /// Earliest start given the *first* arriving input set (`S_best`).
+    pub start_best: Time,
+    /// Earliest start given the *latest* booked input arrival (`S_worst`).
+    pub start_worst: Time,
+    /// `start_best` plus the execution time on the probed processor.
+    pub end_best: Time,
+}
+
+/// How one dependency's data reaches a replica being planned.
+#[derive(Debug, Clone)]
+enum DepSources {
+    /// A replica of the producer lives on the same processor; no comms.
+    Local {
+        ready: Time,
+    },
+    /// Data arrives over links from the chosen producer replicas
+    /// (sorted by probed arrival).
+    Remote {
+        chosen: Vec<(ReplicaId, Time)>,
+    },
+}
+
+/// Incremental schedule state. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ScheduleBuilder<'p> {
+    problem: &'p Problem,
+    proc_tl: Vec<Timeline<ReplicaId>>,
+    link_tl: Vec<Timeline<(CommId, usize)>>,
+    replicas: Vec<Replica>,
+    comms: Vec<Comm>,
+    replicas_of: Vec<Vec<ReplicaId>>,
+}
+
+impl<'p> ScheduleBuilder<'p> {
+    /// Creates an empty builder for `problem`.
+    pub fn new(problem: &'p Problem) -> Self {
+        ScheduleBuilder {
+            problem,
+            proc_tl: vec![Timeline::new(); problem.arch().proc_count()],
+            link_tl: vec![Timeline::new(); problem.arch().link_count()],
+            replicas: Vec::new(),
+            comms: Vec::new(),
+            replicas_of: vec![Vec::new(); problem.alg().op_count()],
+        }
+    }
+
+    /// The problem being scheduled.
+    pub fn problem(&self) -> &'p Problem {
+        self.problem
+    }
+
+    /// Replication level (`Npf + 1`).
+    pub fn replication(&self) -> usize {
+        self.problem.replication()
+    }
+
+    /// True if `op` already has a replica hosted on `proc`.
+    pub fn has_replica_on(&self, op: OpId, proc: ProcId) -> bool {
+        self.replica_on(op, proc).is_some()
+    }
+
+    /// The replica of `op` on `proc`, if any.
+    pub fn replica_on(&self, op: OpId, proc: ProcId) -> Option<ReplicaId> {
+        self.replicas_of[op.index()]
+            .iter()
+            .copied()
+            .find(|&r| self.replicas[r.index()].proc == proc)
+    }
+
+    /// Replicas of `op` booked so far.
+    pub fn replicas_of(&self, op: OpId) -> &[ReplicaId] {
+        &self.replicas_of[op.index()]
+    }
+
+    /// A booked replica.
+    pub fn replica(&self, id: ReplicaId) -> &Replica {
+        &self.replicas[id.index()]
+    }
+
+    /// Probes where a replica of `op` would land on `proc` without booking
+    /// anything. If `op` already has a replica there, returns its recorded
+    /// times.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScheduleError::Forbidden`] if the `Dis` constraints exclude the
+    ///   pair;
+    /// * [`ScheduleError::PredNotScheduled`] if a predecessor has no replica
+    ///   yet.
+    pub fn probe(&self, op: OpId, proc: ProcId) -> Result<ProbePoint, ScheduleError> {
+        if let Some(r) = self.replica_on(op, proc) {
+            let rep = &self.replicas[r.index()];
+            return Ok(ProbePoint {
+                start_best: rep.start(),
+                start_worst: rep.start_worst,
+                end_best: rep.end(),
+            });
+        }
+        let dur = self
+            .problem
+            .exec()
+            .get(op, proc)
+            .ok_or(ScheduleError::Forbidden { op, proc })?;
+        let (_, best_ready, worst_ready) = self.plan_inputs(op, proc)?;
+        let start_best = self.proc_tl[proc.index()].probe(best_ready, dur);
+        let start_worst = self.proc_tl[proc.index()].probe(worst_ready, dur);
+        Ok(ProbePoint {
+            start_best,
+            start_worst,
+            end_best: start_best + dur,
+        })
+    }
+
+    /// Plans how each intra-iteration dependency of `op` reaches `proc`:
+    /// local availability or the `Npf + 1` earliest-arriving remote sources.
+    /// Returns `(plans, best_ready, worst_ready)`.
+    fn plan_inputs(
+        &self,
+        op: OpId,
+        proc: ProcId,
+    ) -> Result<(Vec<(DepId, DepSources)>, Time, Time), ScheduleError> {
+        let alg = self.problem.alg();
+        let k = self.replication();
+        let mut plans = Vec::new();
+        let mut best_ready = Time::ZERO;
+        let mut worst_ready = Time::ZERO;
+        for (dep, pred) in alg.sched_preds(op) {
+            if self.replicas_of[pred.index()].is_empty() {
+                return Err(ScheduleError::PredNotScheduled { op, pred });
+            }
+            // Fig. 3(b): a local replica of the predecessor suppresses all
+            // comms for this dependency (intra-processor, cost 0).
+            if let Some(local) = self.replica_on(pred, proc) {
+                let ready = self.replicas[local.index()].end();
+                best_ready = best_ready.max(ready);
+                worst_ready = worst_ready.max(ready);
+                plans.push((dep, DepSources::Local { ready }));
+                continue;
+            }
+            // Fig. 3(c): otherwise take the Npf+1 sources with the earliest
+            // probed arrival (they live on pairwise distinct processors).
+            let mut arrivals: Vec<(ReplicaId, Time)> = self.replicas_of[pred.index()]
+                .iter()
+                .map(|&r| (r, self.probe_arrival(dep, r, proc)))
+                .collect();
+            arrivals.sort_by_key(|&(r, t)| (t, r));
+            arrivals.truncate(k);
+            best_ready = best_ready.max(arrivals.first().expect("non-empty").1);
+            worst_ready = worst_ready.max(arrivals.last().expect("non-empty").1);
+            plans.push((dep, DepSources::Remote { chosen: arrivals }));
+        }
+        Ok((plans, best_ready, worst_ready))
+    }
+
+    /// Probed arrival time of `dep`'s data from `src` to `dst_proc`,
+    /// chaining link probes along the precomputed route.
+    fn probe_arrival(&self, dep: DepId, src: ReplicaId, dst_proc: ProcId) -> Time {
+        let rep = &self.replicas[src.index()];
+        let mut t = rep.end();
+        for hop in self.problem.arch().route(rep.proc, dst_proc) {
+            let dur = self
+                .problem
+                .comm()
+                .get(dep, hop.link)
+                .expect("problem validation guarantees routable dependencies");
+            t = self.link_tl[hop.link.index()].probe(t, dur) + dur;
+        }
+        t
+    }
+
+    /// Places a replica of `op` on `proc`, booking its incoming comms, with
+    /// no predecessor duplication. Returns the new replica's id.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScheduleBuilder::probe`], plus [`ScheduleError::ReplicaExists`]
+    /// if `op` is already hosted on `proc`.
+    pub fn place(&mut self, op: OpId, proc: ProcId) -> Result<ReplicaId, ScheduleError> {
+        self.place_flagged(op, proc, false)
+    }
+
+    fn place_flagged(
+        &mut self,
+        op: OpId,
+        proc: ProcId,
+        duplicated: bool,
+    ) -> Result<ReplicaId, ScheduleError> {
+        if self.has_replica_on(op, proc) {
+            return Err(ScheduleError::ReplicaExists { op, proc });
+        }
+        let dur = self
+            .problem
+            .exec()
+            .get(op, proc)
+            .ok_or(ScheduleError::Forbidden { op, proc })?;
+        let (plans, _, _) = self.plan_inputs(op, proc)?;
+        let rid = ReplicaId(self.replicas.len() as u32);
+
+        // Book the comms for real, in dependency order then arrival order.
+        // Booked arrivals may differ slightly from probed ones because
+        // bookings interact on shared links; ready times use booked values.
+        let mut best_ready = Time::ZERO;
+        let mut worst_ready = Time::ZERO;
+        for (dep, sources) in plans {
+            match sources {
+                DepSources::Local { ready } => {
+                    best_ready = best_ready.max(ready);
+                    worst_ready = worst_ready.max(ready);
+                }
+                DepSources::Remote { chosen } => {
+                    let mut dep_best = Time::MAX;
+                    let mut dep_worst = Time::ZERO;
+                    for (src, _) in chosen {
+                        let arrival = self.book_comm(dep, src, rid, proc);
+                        dep_best = dep_best.min(arrival);
+                        dep_worst = dep_worst.max(arrival);
+                    }
+                    best_ready = best_ready.max(dep_best);
+                    worst_ready = worst_ready.max(dep_worst);
+                }
+            }
+        }
+
+        let start_worst = self.proc_tl[proc.index()].probe(worst_ready, dur);
+        let slot = self.proc_tl[proc.index()].insert_earliest(best_ready, dur, rid);
+        self.replicas.push(Replica {
+            op,
+            proc,
+            slot,
+            start_worst,
+            duplicated,
+        });
+        self.replicas_of[op.index()].push(rid);
+        Ok(rid)
+    }
+
+    /// Books one comm (all hops of the route) and returns its arrival time.
+    fn book_comm(&mut self, dep: DepId, src: ReplicaId, dst: ReplicaId, dst_proc: ProcId) -> Time {
+        let src_rep = &self.replicas[src.index()];
+        let cid = CommId(self.comms.len() as u32);
+        let mut t = src_rep.end();
+        let mut hops = Vec::new();
+        for (i, hop) in self
+            .problem
+            .arch()
+            .route(src_rep.proc, dst_proc)
+            .iter()
+            .enumerate()
+        {
+            let dur = self
+                .problem
+                .comm()
+                .get(dep, hop.link)
+                .expect("problem validation guarantees routable dependencies");
+            let slot = self.link_tl[hop.link.index()].insert_earliest(t, dur, (cid, i));
+            t = slot.end;
+            hops.push(BookedHop {
+                link: hop.link,
+                from: hop.from,
+                to: hop.to,
+                slot,
+            });
+        }
+        debug_assert!(!hops.is_empty(), "remote comms traverse at least one link");
+        self.comms.push(Comm {
+            dep,
+            src,
+            dst,
+            hops,
+        });
+        t
+    }
+
+    /// Places a replica of `op` on `proc` applying the paper's
+    /// `Minimize_start_time`: repeatedly duplicate the Latest Immediate
+    /// Predecessor (LIP) onto `proc` (recursively minimized) while doing so
+    /// strictly reduces the replica's `S_worst`; otherwise undo (the
+    /// baseline placement without duplication is kept).
+    ///
+    /// # Errors
+    ///
+    /// As [`ScheduleBuilder::place`].
+    pub fn place_min_start(&mut self, op: OpId, proc: ProcId) -> Result<ReplicaId, ScheduleError> {
+        self.place_min_inner(op, proc, 0)
+    }
+
+    fn place_min_inner(
+        &mut self,
+        op: OpId,
+        proc: ProcId,
+        depth: usize,
+    ) -> Result<ReplicaId, ScheduleError> {
+        // Ê/Ë: baseline placement (fails fast if o cannot run on p).
+        let mut best_state = self.clone();
+        let rid = best_state.place_flagged(op, proc, depth > 0)?;
+        let mut best_worst = best_state.replicas[rid.index()].start_worst;
+
+        if depth < MAX_DUPLICATION_DEPTH {
+            // Working copy *without* op placed, on which LIPs are duplicated.
+            let mut cur = self.clone();
+            loop {
+                // Ì: the remote predecessor whose (k-th) arrival is latest.
+                let Some(lip) = cur.lip_of(op, proc) else {
+                    break;
+                };
+                // Í: duplicate it onto proc, recursively minimized.
+                let mut trial = cur.clone();
+                if trial.place_min_inner(lip, proc, depth + 1).is_err() {
+                    break;
+                }
+                // Î: re-evaluate op's placement with the duplicate present.
+                let mut trial_placed = trial.clone();
+                let Ok(rid2) = trial_placed.place_flagged(op, proc, depth > 0) else {
+                    break;
+                };
+                let w2 = trial_placed.replicas[rid2.index()].start_worst;
+                if w2 < best_worst {
+                    // Ñ: keep the duplication, look for the new LIP.
+                    best_worst = w2;
+                    best_state = trial_placed;
+                    cur = trial;
+                } else {
+                    // Ï/Ð: undo — `cur`/`best_state` unchanged.
+                    break;
+                }
+            }
+        }
+
+        *self = best_state;
+        Ok(self
+            .replica_on(op, proc)
+            .expect("place_min_inner committed a placement"))
+    }
+
+    /// The Latest Immediate Predecessor of `op` w.r.t. `proc`: among the
+    /// intra-iteration predecessors with no local replica on `proc` that the
+    /// `Dis` constraints allow on `proc`, the one whose worst chosen arrival
+    /// is latest. Ties break toward the smaller operation id.
+    fn lip_of(&self, op: OpId, proc: ProcId) -> Option<OpId> {
+        let alg = self.problem.alg();
+        let k = self.replication();
+        let mut best: Option<(Time, OpId)> = None;
+        for (dep, pred) in alg.sched_preds(op) {
+            if self.replicas_of[pred.index()].is_empty() {
+                continue;
+            }
+            if self.has_replica_on(pred, proc) {
+                continue; // already local: nothing to improve
+            }
+            if !self.problem.exec().allows(pred, proc) {
+                continue; // cannot be duplicated here
+            }
+            let mut arrivals: Vec<Time> = self.replicas_of[pred.index()]
+                .iter()
+                .map(|&r| self.probe_arrival(dep, r, proc))
+                .collect();
+            arrivals.sort();
+            arrivals.truncate(k);
+            let worst = *arrivals.last().expect("non-empty");
+            let better = match best {
+                None => true,
+                Some((bw, bo)) => worst > bw || (worst == bw && pred < bo),
+            };
+            if better {
+                best = Some((worst, pred));
+            }
+        }
+        best.map(|(_, o)| o)
+    }
+
+    /// Freezes the builder into an immutable [`Schedule`].
+    pub fn finish(self) -> Schedule {
+        let proc_order = self
+            .proc_tl
+            .iter()
+            .map(|tl| tl.iter().map(|(_, &r)| r).collect())
+            .collect();
+        let link_order = self
+            .link_tl
+            .iter()
+            .map(|tl| tl.iter().map(|(_, &c)| c).collect())
+            .collect();
+        Schedule {
+            npf: self.problem.npf(),
+            replicas: self.replicas,
+            comms: self.comms,
+            replicas_of: self.replicas_of,
+            proc_order,
+            link_order,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbar_model::{paper_example, Alg, Arch, CommTable, ExecTable};
+
+    fn t(u: f64) -> Time {
+        Time::from_units(u)
+    }
+
+    /// Two ops in a chain on two processors, npf = 1.
+    fn chain_problem() -> Problem {
+        let mut b = Alg::builder("chain");
+        let x = b.comp("X");
+        let y = b.comp("Y");
+        b.dep(x, y);
+        let alg = b.build().unwrap();
+        let mut b = Arch::builder("duo");
+        let p1 = b.proc("P1");
+        let p2 = b.proc("P2");
+        b.link("L", &[p1, p2]);
+        let arch = b.build().unwrap();
+        let exec = ExecTable::uniform(2, 2, t(2.0));
+        let comm = CommTable::uniform(1, 1, t(1.0));
+        let mut pb = Problem::builder(alg, arch, exec, comm);
+        pb.npf(1);
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn place_entry_op_starts_at_zero() {
+        let p = chain_problem();
+        let mut b = ScheduleBuilder::new(&p);
+        let x = p.alg().op_by_name("X").unwrap();
+        let r = b.place(x, ProcId(0)).unwrap();
+        assert_eq!(b.replica(r).start(), Time::ZERO);
+        assert_eq!(b.replica(r).end(), t(2.0));
+        assert!(!b.replica(r).duplicated);
+    }
+
+    #[test]
+    fn duplicate_placement_rejected() {
+        let p = chain_problem();
+        let mut b = ScheduleBuilder::new(&p);
+        let x = p.alg().op_by_name("X").unwrap();
+        b.place(x, ProcId(0)).unwrap();
+        assert!(matches!(
+            b.place(x, ProcId(0)),
+            Err(ScheduleError::ReplicaExists { .. })
+        ));
+    }
+
+    #[test]
+    fn pred_not_scheduled_rejected() {
+        let p = chain_problem();
+        let mut b = ScheduleBuilder::new(&p);
+        let y = p.alg().op_by_name("Y").unwrap();
+        assert!(matches!(
+            b.place(y, ProcId(0)),
+            Err(ScheduleError::PredNotScheduled { .. })
+        ));
+        assert!(matches!(
+            b.probe(y, ProcId(0)),
+            Err(ScheduleError::PredNotScheduled { .. })
+        ));
+    }
+
+    #[test]
+    fn local_pred_suppresses_comms() {
+        let p = chain_problem();
+        let mut b = ScheduleBuilder::new(&p);
+        let x = p.alg().op_by_name("X").unwrap();
+        let y = p.alg().op_by_name("Y").unwrap();
+        b.place(x, ProcId(0)).unwrap();
+        b.place(x, ProcId(1)).unwrap();
+        let r = b.place(y, ProcId(0)).unwrap();
+        // X is local on P1: Y starts right after it, zero comms.
+        assert_eq!(b.replica(r).start(), t(2.0));
+        let sched = b.finish();
+        assert_eq!(sched.comm_count(), 0);
+    }
+
+    #[test]
+    fn remote_pred_books_npf_plus_one_comms() {
+        let p = chain_problem();
+        let mut b = ScheduleBuilder::new(&p);
+        let x = p.alg().op_by_name("X").unwrap();
+        let y = p.alg().op_by_name("Y").unwrap();
+        b.place(x, ProcId(0)).unwrap();
+        // Only one replica of X exists; Y on P2 books 1 comm (all available).
+        b.place(x, ProcId(1)).unwrap();
+        // Now X is local on P2 too — place Y on P2 after removing locality?
+        // Instead test Y on P2 in a fresh builder with X only on P1... but
+        // problem validation wants 2 replicas eventually; builder does not
+        // enforce that mid-flight.
+        let mut b2 = ScheduleBuilder::new(&p);
+        b2.place(x, ProcId(0)).unwrap();
+        let r = b2.place(y, ProcId(1)).unwrap();
+        // X ends at 2, comm takes 1 => Y starts at 3 on P2.
+        assert_eq!(b2.replica(r).start(), t(3.0));
+        let sched = b2.finish();
+        assert_eq!(sched.comm_count(), 1);
+        assert_eq!(sched.comms()[0].arrival(), t(3.0));
+    }
+
+    #[test]
+    fn worst_start_tracks_latest_arrival() {
+        let p = paper_example();
+        let alg = p.alg();
+        let mut b = ScheduleBuilder::new(&p);
+        let i = alg.op_by_name("I").unwrap();
+        let a = alg.op_by_name("A").unwrap();
+        // I on P1 (end 1.0) and P2 (end 1.3).
+        b.place(i, ProcId(0)).unwrap();
+        b.place(i, ProcId(1)).unwrap();
+        // A on P3: receives I from P1 via L1.3 (1.25) and from P2 via L2.3
+        // (1.25): arrivals 2.25 and 2.55.
+        let r = b.place(a, ProcId(2)).unwrap();
+        assert_eq!(b.replica(r).start(), t(2.25));
+        assert_eq!(b.replica(r).start_worst, t(2.55));
+        assert_eq!(b.replica(r).end(), t(3.25)); // A on P3 takes 1.0
+    }
+
+    #[test]
+    fn probe_matches_place() {
+        let p = paper_example();
+        let alg = p.alg();
+        let mut b = ScheduleBuilder::new(&p);
+        let i = alg.op_by_name("I").unwrap();
+        let a = alg.op_by_name("A").unwrap();
+        b.place(i, ProcId(0)).unwrap();
+        b.place(i, ProcId(1)).unwrap();
+        let probe = b.probe(a, ProcId(2)).unwrap();
+        let r = b.place(a, ProcId(2)).unwrap();
+        assert_eq!(probe.start_best, b.replica(r).start());
+        assert_eq!(probe.start_worst, b.replica(r).start_worst);
+        assert_eq!(probe.end_best, b.replica(r).end());
+        // Probing an already-placed pair returns the recorded times.
+        let probe2 = b.probe(a, ProcId(2)).unwrap();
+        assert_eq!(probe2.start_best, b.replica(r).start());
+    }
+
+    #[test]
+    fn forbidden_pairs_error() {
+        let p = paper_example();
+        let i = p.alg().op_by_name("I").unwrap();
+        let b = ScheduleBuilder::new(&p);
+        assert!(matches!(
+            b.probe(i, ProcId(2)),
+            Err(ScheduleError::Forbidden { .. })
+        ));
+    }
+
+    #[test]
+    fn min_start_duplicates_lip_when_profitable() {
+        // Mirrors the paper's step 3 (Fig. 6): duplicating A on P3 lets C
+        // start locally instead of waiting for a comm.
+        let p = paper_example();
+        let alg = p.alg();
+        let mut b = ScheduleBuilder::new(&p);
+        let i = alg.op_by_name("I").unwrap();
+        let a = alg.op_by_name("A").unwrap();
+        let c = alg.op_by_name("C").unwrap();
+        b.place(i, ProcId(0)).unwrap();
+        b.place(i, ProcId(1)).unwrap();
+        b.place(a, ProcId(0)).unwrap();
+        b.place(a, ProcId(1)).unwrap();
+        // Without duplication C on P3 waits for a comm from A.
+        let probe_plain = b.probe(c, ProcId(2)).unwrap();
+        let r = b.place_min_start(c, ProcId(2)).unwrap();
+        // Duplication must not be worse than the plain placement.
+        assert!(b.replica(r).start_worst <= probe_plain.start_worst);
+        // A must now have a (duplicated) replica on P3.
+        let a_on_p3 = b.replica_on(a, ProcId(2));
+        assert!(a_on_p3.is_some(), "LIP A should be duplicated on P3");
+        assert!(b.replica(a_on_p3.unwrap()).duplicated);
+    }
+
+    #[test]
+    fn min_start_keeps_baseline_when_duplication_useless() {
+        let p = chain_problem();
+        let mut b = ScheduleBuilder::new(&p);
+        let x = p.alg().op_by_name("X").unwrap();
+        let y = p.alg().op_by_name("Y").unwrap();
+        b.place(x, ProcId(0)).unwrap();
+        b.place(x, ProcId(1)).unwrap();
+        // X is already local on both processors: no LIP to duplicate.
+        let before = b.finish().replica_count();
+        let p2 = chain_problem();
+        let mut b = ScheduleBuilder::new(&p2);
+        b.place(x, ProcId(0)).unwrap();
+        b.place(x, ProcId(1)).unwrap();
+        b.place_min_start(y, ProcId(0)).unwrap();
+        let sched = b.finish();
+        assert_eq!(sched.replica_count(), before + 1);
+        assert_eq!(sched.comm_count(), 0);
+    }
+
+    #[test]
+    fn finish_orders_resources_by_start() {
+        let p = paper_example();
+        let alg = p.alg();
+        let mut b = ScheduleBuilder::new(&p);
+        let i = alg.op_by_name("I").unwrap();
+        let a = alg.op_by_name("A").unwrap();
+        b.place(i, ProcId(0)).unwrap();
+        b.place(i, ProcId(1)).unwrap();
+        b.place(a, ProcId(0)).unwrap();
+        b.place(a, ProcId(2)).unwrap();
+        let s = b.finish();
+        for proc in 0..s.proc_count() {
+            let order = s.proc_order(ProcId(proc as u32));
+            for w in order.windows(2) {
+                assert!(s.replica(w[0]).start() <= s.replica(w[1]).start());
+            }
+        }
+        assert_eq!(s.replicas_of(i).len(), 2);
+        assert_eq!(s.replicas_of(a).len(), 2);
+        assert!(s.makespan() > Time::ZERO);
+        assert!(s.completion() <= s.makespan());
+        assert!(s.makespan() <= s.last_activity());
+    }
+}

@@ -1,0 +1,92 @@
+//! Scheduling errors.
+
+use core::fmt;
+
+use ftbar_model::{OpId, ProcId};
+
+/// Error raised while constructing a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// The operation may not execute on the processor (`Dis` constraint).
+    Forbidden {
+        /// The operation.
+        op: OpId,
+        /// The processor.
+        proc: ProcId,
+    },
+    /// A predecessor of the operation has no scheduled replica yet.
+    PredNotScheduled {
+        /// The operation being placed.
+        op: OpId,
+        /// The unscheduled predecessor.
+        pred: OpId,
+    },
+    /// The operation already has a replica on the processor.
+    ReplicaExists {
+        /// The operation.
+        op: OpId,
+        /// The processor.
+        proc: ProcId,
+    },
+    /// Fewer processors accept the operation than the replication level
+    /// requires (should have been caught by problem validation).
+    NotEnoughProcessors {
+        /// The operation.
+        op: OpId,
+        /// Required replica count.
+        needed: usize,
+    },
+    /// A communication could not be routed or timed.
+    CommFailed {
+        /// The operation whose inputs could not be routed.
+        op: OpId,
+        /// The processor hosting the replica.
+        proc: ProcId,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Forbidden { op, proc } => {
+                write!(f, "operation {op} may not execute on {proc}")
+            }
+            ScheduleError::PredNotScheduled { op, pred } => {
+                write!(f, "cannot place {op}: predecessor {pred} is not scheduled")
+            }
+            ScheduleError::ReplicaExists { op, proc } => {
+                write!(f, "operation {op} already has a replica on {proc}")
+            }
+            ScheduleError::NotEnoughProcessors { op, needed } => {
+                write!(f, "operation {op} cannot be replicated on {needed} processors")
+            }
+            ScheduleError::CommFailed { op, proc } => {
+                write!(f, "could not route the inputs of {op} to {proc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_entities() {
+        let e = ScheduleError::Forbidden {
+            op: OpId(3),
+            proc: ProcId(1),
+        };
+        assert!(e.to_string().contains("op3"));
+        assert!(e.to_string().contains("proc1"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<ScheduleError>();
+    }
+}

@@ -1,0 +1,133 @@
+//! Schedule export helpers: named summaries and Graphviz output.
+//!
+//! The [`Schedule`] type itself is `serde`-serializable (JSON, etc. via any
+//! serde format crate); this module adds a human-oriented [`summary`] table
+//! and a DOT rendering of the deployed data-flow ([`to_dot`]).
+
+use std::fmt::Write as _;
+
+use ftbar_model::Problem;
+
+use crate::schedule::Schedule;
+
+/// A plain-text table of every replica and comm, in time order — handy for
+/// diffs and golden tests.
+pub fn summary(problem: &Problem, schedule: &Schedule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# replicas (op proc start end worst dup)");
+    let mut rows: Vec<String> = Vec::new();
+    for rep in schedule.replicas() {
+        rows.push(format!(
+            "{} {} {} {} {} {}",
+            problem.alg().op(rep.op).name(),
+            problem.arch().proc(rep.proc).name(),
+            rep.start(),
+            rep.end(),
+            rep.start_worst,
+            if rep.duplicated { "dup" } else { "-" }
+        ));
+    }
+    rows.sort();
+    for r in rows {
+        let _ = writeln!(out, "{r}");
+    }
+    let _ = writeln!(out, "# comms (dep src dst link start end)");
+    let mut rows: Vec<String> = Vec::new();
+    for comm in schedule.comms() {
+        let src = schedule.replica(comm.src);
+        let dst = schedule.replica(comm.dst);
+        for hop in &comm.hops {
+            rows.push(format!(
+                "{} {} {} {} {} {}",
+                problem.alg().dep_name(comm.dep),
+                problem.arch().proc(src.proc).name(),
+                problem.arch().proc(dst.proc).name(),
+                problem.arch().link(hop.link).name(),
+                hop.slot.start,
+                hop.slot.end
+            ));
+        }
+    }
+    rows.sort();
+    for r in rows {
+        let _ = writeln!(out, "{r}");
+    }
+    let _ = writeln!(out, "# makespan {}", schedule.makespan());
+    out
+}
+
+/// Renders the deployed graph as DOT: one node per replica (clustered by
+/// processor), one edge per comm.
+pub fn to_dot(problem: &Problem, schedule: &Schedule) -> String {
+    let mut out = String::from("digraph schedule {\n  rankdir=LR;\n");
+    for proc in problem.arch().procs() {
+        let _ = writeln!(out, "  subgraph cluster_{} {{", proc.index());
+        let _ = writeln!(out, "    label=\"{}\";", problem.arch().proc(proc).name());
+        for &rid in schedule.proc_order(proc) {
+            let rep = schedule.replica(rid);
+            let _ = writeln!(
+                out,
+                "    r{} [label=\"{}\\n[{}, {}]\"{}];",
+                rid.index(),
+                problem.alg().op(rep.op).name(),
+                rep.start(),
+                rep.end(),
+                if rep.duplicated { " style=dashed" } else { "" }
+            );
+        }
+        out.push_str("  }\n");
+    }
+    for comm in schedule.comms() {
+        let _ = writeln!(
+            out,
+            "  r{} -> r{} [label=\"{}\"];",
+            comm.src.index(),
+            comm.dst.index(),
+            problem
+                .arch()
+                .link(comm.hops[0].link)
+                .name()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftbar;
+    use ftbar_model::paper_example;
+
+    #[test]
+    fn summary_lists_everything() {
+        let p = paper_example();
+        let s = ftbar::schedule(&p).unwrap();
+        let text = summary(&p, &s);
+        assert!(text.contains("# replicas"));
+        assert!(text.contains("# comms"));
+        assert!(text.contains("# makespan"));
+        // Deterministic scheduling => deterministic summary.
+        assert_eq!(text, summary(&p, &ftbar::schedule(&p).unwrap()));
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let p = paper_example();
+        let s = ftbar::schedule(&p).unwrap();
+        let dot = to_dot(&p, &s);
+        assert!(dot.starts_with("digraph schedule {"));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches("->").count(), s.comm_count());
+    }
+
+    #[test]
+    fn schedule_serializes_to_json() {
+        let p = paper_example();
+        let s = ftbar::schedule(&p).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: crate::schedule::Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,325 @@
+//! The FTBAR heuristic (paper §4.2): greedy list scheduling with active
+//! replication.
+//!
+//! Each main-loop step:
+//!
+//! 1. **À** For every candidate operation (all predecessors scheduled),
+//!    compute the schedule pressure `σ(o, p) = S_worst(o, p) + S̄(o)` on
+//!    every allowed processor and keep the `Npf + 1` smallest.
+//! 2. **Á** Select the most *urgent* candidate: the one whose kept-set
+//!    maximum pressure is largest.
+//! 3. **Â** Place the selected operation on its `Npf + 1` kept processors,
+//!    applying `Minimize_start_time` (LIP duplication) on each.
+//! 4. **Ã** Update the candidate set with newly-enabled successors.
+//!
+//! Ties break deterministically (smaller processor id, then smaller
+//! operation id), so the scheduler is a pure function of the problem.
+
+use ftbar_model::{OpId, ProcId, Problem};
+
+use crate::builder::ScheduleBuilder;
+use crate::error::ScheduleError;
+use crate::pressure::Pressure;
+use crate::schedule::Schedule;
+
+/// Cost function used at micro-step À.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostFunction {
+    /// The paper's schedule pressure: `S_worst(o, p) + S̄(o)`.
+    #[default]
+    SchedulePressure,
+    /// Ablation: plain earliest start time `S_best(o, p)` (no look-ahead).
+    EarliestStart,
+}
+
+/// Tunable knobs of the FTBAR scheduler.
+///
+/// The defaults reproduce the paper's algorithm; the other settings exist
+/// for the ablation benchmarks.
+#[derive(Debug, Clone, Default)]
+pub struct FtbarConfig {
+    /// Cost function for processor selection.
+    pub cost: CostFunction,
+    /// Disable `Minimize_start_time` (LIP duplication) when `true`.
+    pub no_duplication: bool,
+    /// Record a [`StepTrace`] (with schedule snapshots) per main-loop step.
+    pub trace: bool,
+}
+
+/// One recorded main-loop step (for the paper's Figures 5–6).
+#[derive(Debug, Clone)]
+pub struct StepTrace {
+    /// 1-based step number.
+    pub step: usize,
+    /// The operation selected at micro-step Á.
+    pub op: OpId,
+    /// The processors it was placed on (pressure order).
+    pub procs: Vec<ProcId>,
+    /// All evaluated `(processor, pressure)` pairs, ascending by pressure.
+    pub pressures: Vec<(ProcId, f64)>,
+    /// Snapshot of the schedule after the step.
+    pub snapshot: Schedule,
+}
+
+/// Result of [`schedule_with`]: the schedule plus an optional step trace.
+#[derive(Debug, Clone)]
+pub struct FtbarOutcome {
+    /// The fault-tolerant static schedule.
+    pub schedule: Schedule,
+    /// Per-step trace; empty unless [`FtbarConfig::trace`] was set.
+    pub steps: Vec<StepTrace>,
+}
+
+/// Runs FTBAR with default configuration.
+///
+/// # Errors
+///
+/// Propagates [`ScheduleError`] — with a validated [`Problem`] the only
+/// reachable failure is pathological (e.g. `Npf + 1` exceeding the allowed
+/// processors of an operation, which problem validation already excludes).
+///
+/// # Example
+///
+/// ```
+/// use ftbar_core::ftbar;
+/// use ftbar_model::paper_example;
+///
+/// let problem = paper_example();
+/// let schedule = ftbar::schedule(&problem)?;
+/// // Npf = 1: every operation is replicated on two distinct processors.
+/// for op in problem.alg().ops() {
+///     assert!(schedule.replicas_of(op).len() >= 2);
+/// }
+/// # Ok::<(), ftbar_core::ScheduleError>(())
+/// ```
+pub fn schedule(problem: &Problem) -> Result<Schedule, ScheduleError> {
+    schedule_with(problem, &FtbarConfig::default()).map(|o| o.schedule)
+}
+
+/// Runs FTBAR with an explicit configuration.
+///
+/// # Errors
+///
+/// See [`schedule`].
+pub fn schedule_with(
+    problem: &Problem,
+    config: &FtbarConfig,
+) -> Result<FtbarOutcome, ScheduleError> {
+    let alg = problem.alg();
+    let pressure = Pressure::new(problem);
+    let mut builder = ScheduleBuilder::new(problem);
+    let k = problem.replication();
+
+    let mut scheduled = vec![false; alg.op_count()];
+    let mut cand: std::collections::BTreeSet<OpId> = alg.entry_ops().into_iter().collect();
+    let mut steps = Vec::new();
+    let mut step = 0usize;
+
+    while !cand.is_empty() {
+        step += 1;
+        // Micro-step À: evaluate pressures; keep the Npf+1 best per op.
+        let mut selected: Option<(f64, OpId, Vec<(ProcId, f64)>)> = None;
+        for &op in &cand {
+            let mut sigmas: Vec<(ProcId, f64)> = Vec::new();
+            for proc in problem.arch().procs() {
+                if !problem.exec().allows(op, proc) {
+                    continue;
+                }
+                let probe = builder.probe(op, proc)?;
+                let sigma = match config.cost {
+                    CostFunction::SchedulePressure => {
+                        probe.start_worst.as_units() + pressure.bottom_level(op)
+                    }
+                    CostFunction::EarliestStart => probe.start_best.as_units(),
+                };
+                sigmas.push((proc, sigma));
+            }
+            sigmas.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("pressures are finite")
+                    .then(a.0.cmp(&b.0))
+            });
+            if sigmas.len() < k {
+                return Err(ScheduleError::NotEnoughProcessors { op, needed: k });
+            }
+            let kept = sigmas[..k].to_vec();
+            // Micro-step Á: urgency = the kept-set maximum pressure.
+            let urgency = kept.last().expect("k >= 1").1;
+            let take = match &selected {
+                None => true,
+                // Strictly greater keeps the smallest op id on ties
+                // (candidates iterate in ascending id order).
+                Some((u, _, _)) => urgency > *u,
+            };
+            if take {
+                let mut all = sigmas;
+                all.truncate(problem.arch().proc_count());
+                selected = Some((urgency, op, all));
+            }
+        }
+        let (_, op, pressures) = selected.expect("candidate set is non-empty");
+
+        // Micro-step Â: place on the Npf+1 best processors.
+        let mut placed_procs = Vec::with_capacity(k);
+        for &(proc, _) in pressures.iter().take(k) {
+            if builder.has_replica_on(op, proc) {
+                // An earlier LIP duplication already put a replica here.
+                placed_procs.push(proc);
+                continue;
+            }
+            if config.no_duplication {
+                builder.place(op, proc)?;
+            } else {
+                builder.place_min_start(op, proc)?;
+            }
+            placed_procs.push(proc);
+        }
+
+        // Micro-step Ã: update candidate/scheduled sets.
+        scheduled[op.index()] = true;
+        cand.remove(&op);
+        for (_, succ) in alg.sched_succs(op) {
+            if !scheduled[succ.index()]
+                && alg.sched_preds(succ).all(|(_, p)| scheduled[p.index()])
+            {
+                cand.insert(succ);
+            }
+        }
+
+        if config.trace {
+            steps.push(StepTrace {
+                step,
+                op,
+                procs: placed_procs,
+                pressures,
+                snapshot: builder.clone().finish(),
+            });
+        }
+    }
+
+    Ok(FtbarOutcome {
+        schedule: builder.finish(),
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbar_model::{paper_example, Time};
+
+    #[test]
+    fn paper_example_meets_rtc() {
+        let p = paper_example();
+        let s = schedule(&p).unwrap();
+        let rtc = p.rtc().unwrap();
+        assert!(
+            s.makespan() <= rtc,
+            "makespan {} must be within Rtc {}",
+            s.makespan(),
+            rtc
+        );
+        assert!(s.makespan() > Time::ZERO);
+    }
+
+    #[test]
+    fn every_op_replicated_on_distinct_procs() {
+        let p = paper_example();
+        let s = schedule(&p).unwrap();
+        for op in p.alg().ops() {
+            let reps = s.replicas_of(op);
+            assert!(reps.len() >= 2, "{} under-replicated", p.alg().op(op).name());
+            let mut procs: Vec<_> = reps.iter().map(|&r| s.replica(r).proc).collect();
+            procs.sort();
+            procs.dedup();
+            assert_eq!(procs.len(), reps.len(), "replicas share a processor");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = paper_example();
+        let a = schedule(&p).unwrap();
+        let b = schedule(&p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn npf_zero_yields_single_replicas_and_shorter_schedule() {
+        let p = paper_example();
+        let p0 = p.with_npf(0).unwrap();
+        let s0 = schedule(&p0).unwrap();
+        let s1 = schedule(&p).unwrap();
+        for op in p0.alg().ops() {
+            assert!(!s0.replicas_of(op).is_empty());
+        }
+        assert!(
+            s0.makespan() <= s1.makespan(),
+            "non-FT schedule must not be longer"
+        );
+    }
+
+    #[test]
+    fn trace_records_each_step() {
+        let p = paper_example();
+        let out = schedule_with(
+            &p,
+            &FtbarConfig {
+                trace: true,
+                ..FtbarConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.steps.len(), p.alg().op_count());
+        // Step 1 must schedule I (the only entry op).
+        let i = p.alg().op_by_name("I").unwrap();
+        assert_eq!(out.steps[0].op, i);
+        assert_eq!(out.steps[0].procs.len(), 2);
+        // Snapshots grow monotonically.
+        for w in out.steps.windows(2) {
+            assert!(w[0].snapshot.replica_count() <= w[1].snapshot.replica_count());
+        }
+        assert_eq!(
+            out.steps.last().unwrap().snapshot.replica_count(),
+            out.schedule.replica_count()
+        );
+    }
+
+    #[test]
+    fn no_duplication_config_produces_no_duplicates() {
+        let p = paper_example();
+        let out = schedule_with(
+            &p,
+            &FtbarConfig {
+                no_duplication: true,
+                ..FtbarConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(out
+            .schedule
+            .replicas()
+            .iter()
+            .all(|r| !r.duplicated));
+        // Exactly Npf+1 replicas per op in that case.
+        for op in p.alg().ops() {
+            assert_eq!(out.schedule.replicas_of(op).len(), 2);
+        }
+    }
+
+    #[test]
+    fn earliest_start_cost_also_schedules() {
+        let p = paper_example();
+        let out = schedule_with(
+            &p,
+            &FtbarConfig {
+                cost: CostFunction::EarliestStart,
+                ..FtbarConfig::default()
+            },
+        )
+        .unwrap();
+        for op in p.alg().ops() {
+            assert!(out.schedule.replicas_of(op).len() >= 2);
+        }
+    }
+}

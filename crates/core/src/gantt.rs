@@ -1,0 +1,202 @@
+//! ASCII Gantt rendering of schedules (the textual analogue of the paper's
+//! Figures 5–8).
+//!
+//! Each processor and link becomes one row; time flows left to right and is
+//! scaled to the requested width. Replicas render as `[NAME    ]` boxes
+//! (lowercase for duplicated replicas), comm hops as `<dep>` boxes.
+
+use std::fmt::Write as _;
+
+use ftbar_model::{Problem, Time};
+
+use crate::replay::{ReplayResult, ReplicaOutcome};
+use crate::schedule::Schedule;
+
+/// Renders the nominal schedule as an ASCII Gantt chart.
+pub fn render(problem: &Problem, schedule: &Schedule, width: usize) -> String {
+    render_inner(problem, schedule, None, width)
+}
+
+/// Renders a replayed execution (lost replicas are omitted, actual times
+/// used).
+pub fn render_replay(
+    problem: &Problem,
+    schedule: &Schedule,
+    replayed: &ReplayResult,
+    width: usize,
+) -> String {
+    render_inner(problem, schedule, Some(replayed), width)
+}
+
+fn render_inner(
+    problem: &Problem,
+    schedule: &Schedule,
+    replayed: Option<&ReplayResult>,
+    width: usize,
+) -> String {
+    let width = width.max(20);
+    let horizon = match replayed {
+        None => schedule.last_activity(),
+        Some(r) => r.last_event(),
+    }
+    .max(Time::from_ticks(1));
+    let scale = |t: Time| -> usize {
+        ((t.ticks() as u128 * width as u128) / horizon.ticks() as u128) as usize
+    };
+
+    let label_w = problem
+        .arch()
+        .procs()
+        .map(|p| problem.arch().proc(p).name().len())
+        .chain(
+            problem
+                .arch()
+                .links()
+                .map(|l| problem.arch().link(l).name().len()),
+        )
+        .max()
+        .unwrap_or(4)
+        .max(4);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:label_w$} 0{:>rest$}",
+        "",
+        horizon,
+        rest = width.saturating_sub(1)
+    );
+
+    for proc in problem.arch().procs() {
+        let mut row = vec![b' '; width + 1];
+        for &rid in schedule.proc_order(proc) {
+            let rep = schedule.replica(rid);
+            let (start, end) = match replayed {
+                None => (rep.start(), rep.end()),
+                Some(r) => match r.outcome(rid) {
+                    ReplicaOutcome::Completed { start, end } => (start, end),
+                    ReplicaOutcome::Lost => continue,
+                },
+            };
+            let mut name = problem.alg().op(rep.op).name().to_owned();
+            if rep.duplicated {
+                name = name.to_lowercase();
+            }
+            draw_box(&mut row, scale(start), scale(end), &name);
+        }
+        let _ = writeln!(
+            out,
+            "{:label_w$}|{}|",
+            problem.arch().proc(proc).name(),
+            String::from_utf8_lossy(&row[..width])
+        );
+    }
+    for link in problem.arch().links() {
+        let mut row = vec![b' '; width + 1];
+        for &(cid, hop) in schedule.link_order(link) {
+            let comm = schedule.comm(cid);
+            let h = &comm.hops[hop];
+            let (start, end) = match replayed {
+                None => (h.slot.start, h.slot.end),
+                Some(r) => {
+                    // Approximate: draw delivered comms at their final
+                    // arrival window; skip cancelled ones.
+                    match r.comm_arrival(cid) {
+                        Some(arr) => (arr.saturating_sub(h.slot.duration()), arr),
+                        None => continue,
+                    }
+                }
+            };
+            let (s, d) = problem.alg().dep_endpoints(comm.dep);
+            let name = format!(
+                "{}>{}",
+                problem.alg().op(s).name(),
+                problem.alg().op(d).name()
+            );
+            draw_box(&mut row, scale(start), scale(end), &name);
+        }
+        let _ = writeln!(
+            out,
+            "{:label_w$}|{}|",
+            problem.arch().link(link).name(),
+            String::from_utf8_lossy(&row[..width])
+        );
+    }
+    out
+}
+
+/// Draws `[name]` between columns `a` and `b` (clipped, best effort).
+fn draw_box(row: &mut [u8], a: usize, b: usize, name: &str) {
+    let b = b.min(row.len().saturating_sub(1));
+    let a = a.min(b);
+    if b <= a {
+        if a < row.len() {
+            row[a] = b'|';
+        }
+        return;
+    }
+    row[a] = b'[';
+    row[b.saturating_sub(1).max(a)] = b']';
+    let inner = a + 1..b.saturating_sub(1);
+    let mut chars = name.bytes();
+    for i in inner {
+        match chars.next() {
+            Some(c) => row[i] = c,
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftbar;
+    use crate::replay::{replay, FailureScenario};
+    use ftbar_model::paper_example;
+
+    #[test]
+    fn renders_all_resources() {
+        let p = paper_example();
+        let s = ftbar::schedule(&p).unwrap();
+        let g = render(&p, &s, 100);
+        for name in ["P1", "P2", "P3", "L1.2", "L1.3", "L2.3"] {
+            assert!(g.contains(name), "missing row {name} in:\n{g}");
+        }
+        // All nine op names show up somewhere.
+        for op in ["I", "A", "B", "C", "D", "E", "F", "G", "O"] {
+            assert!(
+                g.to_uppercase().contains(op),
+                "missing op {op} in:\n{g}"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_render_omits_lost_work() {
+        let p = paper_example();
+        let s = ftbar::schedule(&p).unwrap();
+        let r = replay(
+            &p,
+            &s,
+            &FailureScenario::single(3, ftbar_model::ProcId(0), Time::ZERO),
+        );
+        let g = render_replay(&p, &s, &r, 100);
+        // P1's row must be empty between the pipes.
+        let p1_row = g.lines().find(|l| l.starts_with("P1")).unwrap();
+        let inner: String = p1_row
+            .chars()
+            .skip_while(|&c| c != '|')
+            .skip(1)
+            .take_while(|&c| c != '|')
+            .collect();
+        assert!(inner.trim().is_empty(), "P1 should be idle: {p1_row}");
+    }
+
+    #[test]
+    fn tiny_width_does_not_panic() {
+        let p = paper_example();
+        let s = ftbar::schedule(&p).unwrap();
+        let g = render(&p, &s, 1);
+        assert!(!g.is_empty());
+    }
+}

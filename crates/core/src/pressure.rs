@@ -1,0 +1,107 @@
+//! Schedule-pressure ingredients (paper §4.2).
+//!
+//! The cost function used to rank ⟨operation, processor⟩ pairs is the
+//! *schedule pressure*
+//!
+//! ```text
+//! σ(n)(o, p) = S_worst(n)(o, p) + S̄(o) − R(n−1)
+//! ```
+//!
+//! where `S̄(o)` is the "latest start time from end" — the *bottom level* of
+//! `o`: the longest remaining path from the start of `o` to the end of the
+//! graph. Since `R(n−1)` is identical for every candidate within one step,
+//! the implementation drops it (the paper makes the same remark).
+//!
+//! Heterogeneity interpretation: `S̄` is computed once on the algorithm
+//! graph using the **average** execution time of each operation over its
+//! allowed processors and the **average** transmission time of each
+//! dependency over all links (see DESIGN.md §3.1).
+
+use ftbar_graph::bottom_levels;
+use ftbar_model::{OpId, Problem};
+
+/// Precomputed static priorities for a problem.
+#[derive(Debug, Clone)]
+pub struct Pressure {
+    /// `S̄(o)` per operation, in floating-point time units.
+    bottom: Vec<f64>,
+}
+
+impl Pressure {
+    /// Computes bottom levels for `problem`.
+    pub fn new(problem: &Problem) -> Self {
+        let alg = problem.alg();
+        // Build the intra-iteration precedence graph with averaged weights.
+        let mut g: ftbar_graph::DiGraph<f64, f64> =
+            ftbar_graph::DiGraph::with_capacity(alg.op_count(), alg.dep_count());
+        for op in alg.ops() {
+            g.add_node(problem.exec().avg_units(op));
+        }
+        for dep in alg.deps() {
+            if !alg.is_sched_dep(dep) {
+                continue; // edges into a mem are inter-iteration
+            }
+            let (s, d) = alg.dep_endpoints(dep);
+            g.add_edge(
+                ftbar_graph::NodeId(s.0),
+                ftbar_graph::NodeId(d.0),
+                problem.comm().avg_units(dep),
+            );
+        }
+        let bottom = bottom_levels(&g, |v| *g.node(v), |e| *g.edge(e))
+            .expect("validated algorithm graphs are acyclic");
+        Pressure { bottom }
+    }
+
+    /// `S̄(o)`: longest remaining path from the start of `o` (inclusive of
+    /// its averaged execution time) to the end of the graph.
+    pub fn bottom_level(&self, op: OpId) -> f64 {
+        self.bottom[op.index()]
+    }
+
+    /// The static critical path estimate `R(0)`: the largest bottom level.
+    pub fn critical_path(&self) -> f64 {
+        self.bottom.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbar_model::paper_example;
+
+    #[test]
+    fn bottom_levels_decrease_along_paths() {
+        let p = paper_example();
+        let pressure = Pressure::new(&p);
+        let alg = p.alg();
+        for dep in alg.deps() {
+            let (s, d) = alg.dep_endpoints(dep);
+            assert!(
+                pressure.bottom_level(s) > pressure.bottom_level(d),
+                "bottom({}) must exceed bottom({})",
+                alg.op(s).name(),
+                alg.op(d).name()
+            );
+        }
+    }
+
+    #[test]
+    fn critical_path_is_entry_bottom_level() {
+        let p = paper_example();
+        let pressure = Pressure::new(&p);
+        let i = p.alg().op_by_name("I").unwrap();
+        // I is the unique entry, so the critical path starts there.
+        assert_eq!(pressure.critical_path(), pressure.bottom_level(i));
+        assert!(pressure.critical_path() > 0.0);
+    }
+
+    #[test]
+    fn exit_bottom_level_is_own_avg_exec() {
+        let p = paper_example();
+        let pressure = Pressure::new(&p);
+        let o = p.alg().op_by_name("O").unwrap();
+        // O runs on P1 (1.4) and P3 (1.8); average 1.6.
+        assert!((pressure.bottom_level(o) - 1.6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,262 @@
+//! Resource timelines: sorted, non-overlapping booked intervals with
+//! gap-insertion (the mechanism behind insertion-based list scheduling).
+//!
+//! Both processors (executing operation replicas) and links (serializing
+//! comms) are modelled as a [`Timeline`]. Intervals are half-open
+//! `[start, end)`, so back-to-back bookings do not overlap.
+
+use ftbar_model::Time;
+use serde::{Deserialize, Serialize};
+
+/// A booked half-open interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Slot {
+    /// Inclusive start.
+    pub start: Time,
+    /// Exclusive end.
+    pub end: Time,
+}
+
+impl Slot {
+    /// Duration of the slot.
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+
+    /// True if the half-open intervals intersect.
+    pub fn overlaps(&self, other: &Slot) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// A resource timeline holding non-overlapping payloads sorted by start.
+///
+/// # Example
+///
+/// ```
+/// use ftbar_core::Timeline;
+/// use ftbar_model::Time;
+///
+/// let mut tl: Timeline<&str> = Timeline::new();
+/// tl.insert_earliest(Time::ZERO, Time::from_units(2.0), "a");
+/// tl.insert_earliest(Time::ZERO, Time::from_units(3.0), "b");
+/// // "b" lands after "a".
+/// assert_eq!(tl.probe(Time::ZERO, Time::from_units(1.0)), Time::from_units(5.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline<P> {
+    items: Vec<(Slot, P)>,
+}
+
+impl<P> Default for Timeline<P> {
+    fn default() -> Self {
+        Timeline { items: Vec::new() }
+    }
+}
+
+impl<P> Timeline<P> {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of booked slots.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing is booked.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// End of the last booked slot ([`Time::ZERO`] when empty).
+    pub fn last_end(&self) -> Time {
+        self.items.last().map_or(Time::ZERO, |(s, _)| s.end)
+    }
+
+    /// Earliest start `t ≥ ready` such that `[t, t + dur)` is free.
+    ///
+    /// Zero-duration requests fit in any gap boundary at or after `ready`.
+    pub fn probe(&self, ready: Time, dur: Time) -> Time {
+        let mut candidate = ready;
+        for (slot, _) in &self.items {
+            if candidate + dur <= slot.start {
+                return candidate;
+            }
+            if slot.end > candidate {
+                candidate = slot.end;
+            }
+        }
+        candidate
+    }
+
+    /// Books `[t, t + dur)` at the earliest feasible `t ≥ ready` and returns
+    /// the booked slot.
+    pub fn insert_earliest(&mut self, ready: Time, dur: Time, payload: P) -> Slot {
+        let start = self.probe(ready, dur);
+        let slot = Slot {
+            start,
+            end: start + dur,
+        };
+        let pos = self
+            .items
+            .partition_point(|(s, _)| (s.start, s.end) <= (slot.start, slot.start + dur));
+        self.items.insert(pos, (slot, payload));
+        slot
+    }
+
+    /// Books exactly `[start, start + dur)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(conflicting_slot)` if the interval overlaps a booking.
+    pub fn insert_at(&mut self, start: Time, dur: Time, payload: P) -> Result<Slot, Slot> {
+        let slot = Slot {
+            start,
+            end: start + dur,
+        };
+        for (s, _) in &self.items {
+            if s.overlaps(&slot) {
+                return Err(*s);
+            }
+        }
+        let pos = self
+            .items
+            .partition_point(|(s, _)| (s.start, s.end) <= (slot.start, slot.end));
+        self.items.insert(pos, (slot, payload));
+        Ok(slot)
+    }
+
+    /// Iterates over `(slot, payload)` in start order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (Slot, &P)> {
+        self.items.iter().map(|(s, p)| (*s, p))
+    }
+
+    /// Total booked duration.
+    pub fn busy_time(&self) -> Time {
+        self.items
+            .iter()
+            .map(|(s, _)| s.duration())
+            .fold(Time::ZERO, |a, b| a + b)
+    }
+
+    /// Verifies the sorted non-overlap invariant (used by the validator and
+    /// the property tests).
+    pub fn check_invariants(&self) -> bool {
+        self.items.windows(2).all(|w| {
+            let (a, b) = (&w[0].0, &w[1].0);
+            a.start <= b.start && !a.overlaps(b)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(u: f64) -> Time {
+        Time::from_units(u)
+    }
+
+    #[test]
+    fn empty_probe_returns_ready() {
+        let tl: Timeline<()> = Timeline::new();
+        assert_eq!(tl.probe(t(3.0), t(1.0)), t(3.0));
+        assert_eq!(tl.last_end(), Time::ZERO);
+    }
+
+    #[test]
+    fn insert_earliest_appends_when_no_gap() {
+        let mut tl: Timeline<u32> = Timeline::new();
+        let s1 = tl.insert_earliest(Time::ZERO, t(2.0), 1);
+        let s2 = tl.insert_earliest(Time::ZERO, t(2.0), 2);
+        assert_eq!(s1.start, Time::ZERO);
+        assert_eq!(s2.start, t(2.0));
+        assert!(tl.check_invariants());
+    }
+
+    #[test]
+    fn insert_earliest_fills_gaps() {
+        let mut tl: Timeline<u32> = Timeline::new();
+        tl.insert_at(t(0.0), t(1.0), 1).unwrap();
+        tl.insert_at(t(5.0), t(1.0), 2).unwrap();
+        // A 2-unit job fits in the [1, 5) gap.
+        let s = tl.insert_earliest(t(0.5), t(2.0), 3);
+        assert_eq!(s.start, t(1.0));
+        // A 5-unit job does not; it goes after the last slot.
+        let s = tl.insert_earliest(Time::ZERO, t(5.0), 4);
+        assert_eq!(s.start, t(6.0));
+        assert!(tl.check_invariants());
+    }
+
+    #[test]
+    fn probe_respects_ready_inside_gap() {
+        let mut tl: Timeline<u32> = Timeline::new();
+        tl.insert_at(t(0.0), t(1.0), 1).unwrap();
+        tl.insert_at(t(10.0), t(1.0), 2).unwrap();
+        assert_eq!(tl.probe(t(4.0), t(2.0)), t(4.0));
+        assert_eq!(tl.probe(t(9.5), t(2.0)), t(11.0));
+    }
+
+    #[test]
+    fn insert_at_detects_overlap() {
+        let mut tl: Timeline<u32> = Timeline::new();
+        tl.insert_at(t(1.0), t(2.0), 1).unwrap();
+        let conflict = tl.insert_at(t(2.0), t(2.0), 2).unwrap_err();
+        assert_eq!(conflict.start, t(1.0));
+        // Touching at the boundary is fine (half-open).
+        assert!(tl.insert_at(t(3.0), t(1.0), 3).is_ok());
+        assert!(tl.check_invariants());
+    }
+
+    #[test]
+    fn zero_duration_bookings() {
+        let mut tl: Timeline<u32> = Timeline::new();
+        tl.insert_at(t(0.0), t(2.0), 1).unwrap();
+        // Even zero-duration work waits for the resource to free up.
+        let s = tl.insert_earliest(t(1.0), Time::ZERO, 2);
+        assert_eq!(s.start, t(2.0));
+        assert_eq!(s.duration(), Time::ZERO);
+        // In an open gap it lands at the ready time.
+        let s = tl.insert_earliest(t(5.0), Time::ZERO, 3);
+        assert_eq!(s.start, t(5.0));
+        assert!(tl.check_invariants());
+    }
+
+    #[test]
+    fn busy_time_sums_durations() {
+        let mut tl: Timeline<u32> = Timeline::new();
+        tl.insert_at(t(0.0), t(2.0), 1).unwrap();
+        tl.insert_at(t(5.0), t(1.5), 2).unwrap();
+        assert_eq!(tl.busy_time(), t(3.5));
+        assert_eq!(tl.last_end(), t(6.5));
+    }
+
+    #[test]
+    fn iter_in_start_order() {
+        let mut tl: Timeline<u32> = Timeline::new();
+        tl.insert_at(t(5.0), t(1.0), 2).unwrap();
+        tl.insert_at(t(0.0), t(1.0), 1).unwrap();
+        let payloads: Vec<u32> = tl.iter().map(|(_, p)| *p).collect();
+        assert_eq!(payloads, vec![1, 2]);
+    }
+
+    #[test]
+    fn slot_overlap_rules() {
+        let a = Slot {
+            start: t(0.0),
+            end: t(2.0),
+        };
+        let b = Slot {
+            start: t(2.0),
+            end: t(3.0),
+        };
+        assert!(!a.overlaps(&b));
+        let c = Slot {
+            start: t(1.5),
+            end: t(1.6),
+        };
+        assert!(a.overlaps(&c));
+    }
+}

@@ -1,0 +1,347 @@
+//! Schedule validation: structural invariants + behavioural cross-checks.
+//!
+//! [`validate`] checks everything the correctness argument of §5 relies on:
+//!
+//! 1. coverage: every operation has ≥ `Npf + 1` replicas, on pairwise
+//!    distinct processors;
+//! 2. resource sanity: processor/link timelines are sorted and
+//!    non-overlapping; durations match the `Exe` tables; replicas respect
+//!    the `Dis` constraints;
+//! 3. comm sanity: every comm follows the architecture route between its
+//!    endpoint processors, hops chain causally, the first hop departs no
+//!    earlier than the producer's completion;
+//! 4. wiring: every replica's remote dependency receives comms from
+//!    `min(Npf + 1, replica count)` producer replicas on distinct
+//!    processors, or has a local producer;
+//! 5. **nominal replay equivalence**: replaying with no failure reproduces
+//!    every booked start/end exactly (the schedule is exactly as analyzable
+//!    as the paper claims);
+//! 6. **masking**: every failure pattern of size ≤ `Npf` at `t = 0`
+//!    completes every operation.
+
+use core::fmt;
+
+use ftbar_model::{Problem, Time};
+
+use crate::analysis::analyze;
+use crate::replay::{replay, FailureScenario, ReplicaOutcome};
+use crate::schedule::Schedule;
+
+/// A violated invariant, with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which check failed.
+    pub rule: &'static str,
+    /// Details naming the offending entities.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.detail)
+    }
+}
+
+/// Validates `schedule` against `problem`; returns all violations found
+/// (empty = valid).
+pub fn validate(problem: &Problem, schedule: &Schedule) -> Vec<Violation> {
+    let mut v = Vec::new();
+    check_coverage(problem, schedule, &mut v);
+    check_resources(problem, schedule, &mut v);
+    check_comms(problem, schedule, &mut v);
+    check_wiring(problem, schedule, &mut v);
+    check_nominal_replay(problem, schedule, &mut v);
+    check_masking(problem, schedule, &mut v);
+    v
+}
+
+/// Convenience: `Ok(())` when [`validate`] finds nothing.
+///
+/// # Errors
+///
+/// Returns the violation list otherwise.
+pub fn assert_valid(problem: &Problem, schedule: &Schedule) -> Result<(), Vec<Violation>> {
+    let v = validate(problem, schedule);
+    if v.is_empty() {
+        Ok(())
+    } else {
+        Err(v)
+    }
+}
+
+fn check_coverage(problem: &Problem, schedule: &Schedule, v: &mut Vec<Violation>) {
+    let k = problem.replication();
+    for op in problem.alg().ops() {
+        let reps = schedule.replicas_of(op);
+        let mut procs: Vec<_> = reps.iter().map(|&r| schedule.replica(r).proc).collect();
+        procs.sort();
+        let before = procs.len();
+        procs.dedup();
+        if procs.len() != before {
+            v.push(Violation {
+                rule: "distinct-processors",
+                detail: format!(
+                    "operation {} has two replicas on one processor",
+                    problem.alg().op(op).name()
+                ),
+            });
+        }
+        if procs.len() < k {
+            v.push(Violation {
+                rule: "replication",
+                detail: format!(
+                    "operation {} has {} replicas, need {}",
+                    problem.alg().op(op).name(),
+                    procs.len(),
+                    k
+                ),
+            });
+        }
+    }
+}
+
+fn check_resources(problem: &Problem, schedule: &Schedule, v: &mut Vec<Violation>) {
+    // Processor timelines: order, overlap, durations, Dis.
+    for proc in problem.arch().procs() {
+        let order = schedule.proc_order(proc);
+        for w in order.windows(2) {
+            let (a, b) = (schedule.replica(w[0]), schedule.replica(w[1]));
+            if a.slot.start > b.slot.start || a.slot.end > b.slot.start {
+                v.push(Violation {
+                    rule: "proc-timeline",
+                    detail: format!("{} and {} overlap on {}", w[0], w[1], proc),
+                });
+            }
+        }
+        for &rid in order {
+            let rep = schedule.replica(rid);
+            match problem.exec().get(rep.op, proc) {
+                None => v.push(Violation {
+                    rule: "dis-constraint",
+                    detail: format!(
+                        "{} hosts {} despite a Dis forbid",
+                        proc,
+                        problem.alg().op(rep.op).name()
+                    ),
+                }),
+                Some(dur) => {
+                    if rep.slot.duration() != dur {
+                        v.push(Violation {
+                            rule: "exec-duration",
+                            detail: format!(
+                                "{} on {} lasts {} instead of {}",
+                                problem.alg().op(rep.op).name(),
+                                proc,
+                                rep.slot.duration(),
+                                dur
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Link timelines.
+    for link in problem.arch().links() {
+        let order = schedule.link_order(link);
+        let mut prev_end = Time::ZERO;
+        let mut prev_start = Time::ZERO;
+        for &(cid, hop) in order {
+            let h = &schedule.comm(cid).hops[hop];
+            if h.link != link {
+                v.push(Violation {
+                    rule: "link-order",
+                    detail: format!("{cid} hop {hop} listed on the wrong link"),
+                });
+                continue;
+            }
+            if h.slot.start < prev_end || h.slot.start < prev_start {
+                v.push(Violation {
+                    rule: "link-timeline",
+                    detail: format!("{cid} hop {hop} overlaps its predecessor on {link}"),
+                });
+            }
+            prev_end = h.slot.end;
+            prev_start = h.slot.start;
+            let dur = problem.comm().get(schedule.comm(cid).dep, link);
+            if dur != Some(h.slot.duration()) {
+                v.push(Violation {
+                    rule: "comm-duration",
+                    detail: format!("{cid} hop {hop} duration mismatch on {link}"),
+                });
+            }
+        }
+    }
+}
+
+fn check_comms(problem: &Problem, schedule: &Schedule, v: &mut Vec<Violation>) {
+    for (i, comm) in schedule.comms().iter().enumerate() {
+        let src = schedule.replica(comm.src);
+        let dst = schedule.replica(comm.dst);
+        let (dep_src, dep_dst) = problem.alg().dep_endpoints(comm.dep);
+        if src.op != dep_src || dst.op != dep_dst {
+            v.push(Violation {
+                rule: "comm-endpoints",
+                detail: format!("comm{i} endpoints do not match dependency {}", comm.dep),
+            });
+        }
+        let route = problem.arch().route(src.proc, dst.proc);
+        if route.len() != comm.hops.len()
+            || route
+                .iter()
+                .zip(&comm.hops)
+                .any(|(r, h)| r.link != h.link || r.from != h.from || r.to != h.to)
+        {
+            v.push(Violation {
+                rule: "comm-route",
+                detail: format!("comm{i} does not follow the architecture route"),
+            });
+        }
+        if comm.hops[0].slot.start < src.slot.end {
+            v.push(Violation {
+                rule: "comm-causality",
+                detail: format!("comm{i} departs before its producer completes"),
+            });
+        }
+        for w in comm.hops.windows(2) {
+            if w[1].slot.start < w[0].slot.end {
+                v.push(Violation {
+                    rule: "comm-chaining",
+                    detail: format!("comm{i} hop starts before the previous hop arrives"),
+                });
+            }
+        }
+    }
+}
+
+fn check_wiring(problem: &Problem, schedule: &Schedule, v: &mut Vec<Violation>) {
+    let k = problem.replication();
+    for (ri, rep) in schedule.replicas().iter().enumerate() {
+        let rid = crate::schedule::ReplicaId(ri as u32);
+        for (dep, pred) in problem.alg().sched_preds(rep.op) {
+            let incoming: Vec<_> = schedule
+                .incoming_comms(rid)
+                .filter(|&c| schedule.comm(c).dep == dep)
+                .collect();
+            if incoming.is_empty() {
+                if schedule.replica_on(pred, rep.proc).is_none() {
+                    v.push(Violation {
+                        rule: "wiring",
+                        detail: format!(
+                            "{} of {} on {} has neither comms nor a local producer",
+                            problem.alg().dep_name(dep),
+                            problem.alg().op(rep.op).name(),
+                            rep.proc
+                        ),
+                    });
+                }
+            } else {
+                let mut src_procs: Vec<_> = incoming
+                    .iter()
+                    .map(|&c| schedule.replica(schedule.comm(c).src).proc)
+                    .collect();
+                src_procs.sort();
+                src_procs.dedup();
+                let expected = k.min(schedule.replicas_of(pred).len());
+                if src_procs.len() < expected {
+                    v.push(Violation {
+                        rule: "wiring-redundancy",
+                        detail: format!(
+                            "{} into {} on {}: {} distinct sources, expected {}",
+                            problem.alg().dep_name(dep),
+                            problem.alg().op(rep.op).name(),
+                            rep.proc,
+                            src_procs.len(),
+                            expected
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_nominal_replay(problem: &Problem, schedule: &Schedule, v: &mut Vec<Violation>) {
+    let result = replay(
+        problem,
+        schedule,
+        &FailureScenario::none(problem.arch().proc_count()),
+    );
+    for (i, rep) in schedule.replicas().iter().enumerate() {
+        match result.outcomes()[i] {
+            ReplicaOutcome::Completed { start, end } => {
+                if start != rep.slot.start || end != rep.slot.end {
+                    v.push(Violation {
+                        rule: "nominal-replay",
+                        detail: format!(
+                            "replica {i} of {} replayed at [{start}, {end}], booked [{}, {}]",
+                            problem.alg().op(rep.op).name(),
+                            rep.slot.start,
+                            rep.slot.end
+                        ),
+                    });
+                }
+            }
+            ReplicaOutcome::Lost => v.push(Violation {
+                rule: "nominal-replay",
+                detail: format!("replica {i} lost without any failure"),
+            }),
+        }
+    }
+}
+
+fn check_masking(problem: &Problem, schedule: &Schedule, v: &mut Vec<Violation>) {
+    let report = analyze(problem, schedule);
+    for s in &report.scenarios {
+        if s.completion.is_none() {
+            let names: Vec<_> = s
+                .procs
+                .iter()
+                .map(|&p| problem.arch().proc(p).name().to_owned())
+                .collect();
+            v.push(Violation {
+                rule: "masking",
+                detail: format!(
+                    "failure of {{{}}} at {} is not masked",
+                    names.join(", "),
+                    s.at
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{basic, ftbar};
+    use ftbar_model::paper_example;
+
+    #[test]
+    fn ftbar_schedule_is_valid() {
+        let p = paper_example();
+        let s = ftbar::schedule(&p).unwrap();
+        let violations = validate(&p, &s);
+        assert!(violations.is_empty(), "violations: {violations:#?}");
+        assert!(assert_valid(&p, &s).is_ok());
+    }
+
+    #[test]
+    fn non_ft_schedule_fails_replication_and_masking() {
+        let p = paper_example();
+        let s = basic::schedule_non_ft(&p).unwrap();
+        let violations = validate(&p, &s);
+        assert!(violations.iter().any(|v| v.rule == "replication"));
+        assert!(violations.iter().any(|v| v.rule == "masking"));
+        assert!(assert_valid(&p, &s).is_err());
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation {
+            rule: "demo",
+            detail: "something odd".into(),
+        };
+        assert_eq!(v.to_string(), "[demo] something odd");
+    }
+}

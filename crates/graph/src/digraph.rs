@@ -1,0 +1,521 @@
+//! The core [`DiGraph`] container.
+
+use core::fmt;
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node inside a [`DiGraph`].
+///
+/// Node ids are dense indices assigned in insertion order, which makes
+/// iteration order deterministic — a property the schedulers rely on for
+/// reproducible tie-breaking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct NodeId(pub u32);
+
+/// Identifier of an edge inside a [`DiGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+struct NodeSlot<N> {
+    weight: N,
+    /// Outgoing edge ids, in insertion order.
+    out: Vec<EdgeId>,
+    /// Incoming edge ids, in insertion order.
+    inc: Vec<EdgeId>,
+}
+
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+struct EdgeSlot<E> {
+    weight: E,
+    src: NodeId,
+    dst: NodeId,
+}
+
+/// A growable directed multigraph with node weights `N` and edge weights `E`.
+///
+/// Nodes and edges are never removed; ids stay stable for the lifetime of the
+/// graph. This matches how the scheduler uses graphs (models are built once,
+/// then only read) and keeps every algorithm `O(V + E)` with plain `Vec`s.
+///
+/// # Example
+///
+/// ```
+/// use ftbar_graph::DiGraph;
+///
+/// let mut g: DiGraph<&str, u32> = DiGraph::new();
+/// let a = g.add_node("a");
+/// let b = g.add_node("b");
+/// let e = g.add_edge(a, b, 7);
+/// assert_eq!(g.edge_endpoints(e), (a, b));
+/// assert_eq!(g.succs(a).collect::<Vec<_>>(), vec![b]);
+/// ```
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct DiGraph<N, E> {
+    nodes: Vec<NodeSlot<N>>,
+    edges: Vec<EdgeSlot<E>>,
+}
+
+impl<N, E> Default for DiGraph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N, E> DiGraph<N, E> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DiGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates an empty graph with pre-allocated capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        DiGraph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, weight: N) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node count exceeds u32"));
+        self.nodes.push(NodeSlot {
+            weight,
+            out: Vec::new(),
+            inc: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a directed edge `src -> dst` and returns its id.
+    ///
+    /// Parallel edges and self-loops are representable (algorithms that
+    /// require a DAG detect loops through [`crate::topo_order`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is not a node of this graph.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: E) -> EdgeId {
+        assert!(src.index() < self.nodes.len(), "src node out of bounds");
+        assert!(dst.index() < self.nodes.len(), "dst node out of bounds");
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("edge count exceeds u32"));
+        self.edges.push(EdgeSlot { weight, src, dst });
+        self.nodes[src.index()].out.push(id);
+        self.nodes[dst.index()].inc.push(id);
+        id
+    }
+
+    /// Returns a reference to a node weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()].weight
+    }
+
+    /// Returns a mutable reference to a node weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()].weight
+    }
+
+    /// Returns a reference to an edge weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn edge(&self, id: EdgeId) -> &E {
+        &self.edges[id.index()].weight
+    }
+
+    /// Returns a mutable reference to an edge weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn edge_mut(&mut self, id: EdgeId) -> &mut E {
+        &mut self.edges[id.index()].weight
+    }
+
+    /// Returns the `(source, destination)` endpoints of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn edge_endpoints(&self, id: EdgeId) -> (NodeId, NodeId) {
+        let e = &self.edges[id.index()];
+        (e.src, e.dst)
+    }
+
+    /// Iterates over all node ids in insertion order.
+    pub fn node_ids(&self) -> NodeIds {
+        NodeIds {
+            next: 0,
+            len: self.nodes.len() as u32,
+        }
+    }
+
+    /// Iterates over all edges as [`EdgeRef`]s in insertion order.
+    pub fn edge_refs(&self) -> Edges<'_, E> {
+        Edges {
+            next: 0,
+            edges: &self.edges,
+        }
+    }
+
+    /// Iterates over the successors of `n` (deduplicated only if the graph
+    /// has no parallel edges), in edge insertion order.
+    pub fn succs(&self, n: NodeId) -> Neighbors<'_, N, E> {
+        Neighbors {
+            graph: self,
+            ids: &self.nodes[n.index()].out,
+            pos: 0,
+            incoming: false,
+        }
+    }
+
+    /// Iterates over the predecessors of `n`, in edge insertion order.
+    pub fn preds(&self, n: NodeId) -> Neighbors<'_, N, E> {
+        Neighbors {
+            graph: self,
+            ids: &self.nodes[n.index()].inc,
+            pos: 0,
+            incoming: true,
+        }
+    }
+
+    /// Outgoing edge ids of `n`, in insertion order.
+    pub fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.nodes[n.index()].out
+    }
+
+    /// Incoming edge ids of `n`, in insertion order.
+    pub fn in_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.nodes[n.index()].inc
+    }
+
+    /// Out-degree of `n`.
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.nodes[n.index()].out.len()
+    }
+
+    /// In-degree of `n`.
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.nodes[n.index()].inc.len()
+    }
+
+    /// Nodes with no incoming edges, in id order.
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&n| self.in_degree(n) == 0).collect()
+    }
+
+    /// Nodes with no outgoing edges, in id order.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&n| self.out_degree(n) == 0).collect()
+    }
+
+    /// Returns the first edge id from `src` to `dst`, if any.
+    pub fn find_edge(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
+        self.nodes[src.index()]
+            .out
+            .iter()
+            .copied()
+            .find(|&e| self.edges[e.index()].dst == dst)
+    }
+
+    /// True if there is an edge from `src` to `dst`.
+    pub fn contains_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        self.find_edge(src, dst).is_some()
+    }
+
+    /// Maps node and edge weights into a new graph with identical structure.
+    pub fn map<N2, E2>(
+        &self,
+        mut node_map: impl FnMut(NodeId, &N) -> N2,
+        mut edge_map: impl FnMut(EdgeId, &E) -> E2,
+    ) -> DiGraph<N2, E2> {
+        DiGraph {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, s)| NodeSlot {
+                    weight: node_map(NodeId(i as u32), &s.weight),
+                    out: s.out.clone(),
+                    inc: s.inc.clone(),
+                })
+                .collect(),
+            edges: self
+                .edges
+                .iter()
+                .enumerate()
+                .map(|(i, s)| EdgeSlot {
+                    weight: edge_map(EdgeId(i as u32), &s.weight),
+                    src: s.src,
+                    dst: s.dst,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Iterator over node ids. Created by [`DiGraph::node_ids`].
+#[derive(Debug, Clone)]
+pub struct NodeIds {
+    next: u32,
+    len: u32,
+}
+
+impl Iterator for NodeIds {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next < self.len {
+            let id = NodeId(self.next);
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.len - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for NodeIds {}
+
+/// A borrowed view of one edge. Yielded by [`DiGraph::edge_refs`].
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeRef<'a, E> {
+    /// Edge id.
+    pub id: EdgeId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Edge weight.
+    pub weight: &'a E,
+}
+
+/// Iterator over [`EdgeRef`]s. Created by [`DiGraph::edge_refs`].
+#[derive(Debug, Clone)]
+pub struct Edges<'a, E> {
+    next: usize,
+    edges: &'a [EdgeSlot<E>],
+}
+
+impl<'a, E> Iterator for Edges<'a, E> {
+    type Item = EdgeRef<'a, E>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let slot = self.edges.get(self.next)?;
+        let id = EdgeId(self.next as u32);
+        self.next += 1;
+        Some(EdgeRef {
+            id,
+            src: slot.src,
+            dst: slot.dst,
+            weight: &slot.weight,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.edges.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl<E> ExactSizeIterator for Edges<'_, E> {}
+
+/// Iterator over neighbor node ids. Created by [`DiGraph::succs`] /
+/// [`DiGraph::preds`].
+#[derive(Debug)]
+pub struct Neighbors<'a, N, E> {
+    graph: &'a DiGraph<N, E>,
+    ids: &'a [EdgeId],
+    pos: usize,
+    incoming: bool,
+}
+
+impl<N, E> Iterator for Neighbors<'_, N, E> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let e = *self.ids.get(self.pos)?;
+        self.pos += 1;
+        let slot = &self.graph.edges[e.index()];
+        Some(if self.incoming { slot.src } else { slot.dst })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.ids.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl<N, E> ExactSizeIterator for Neighbors<'_, N, E> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (DiGraph<&'static str, u32>, [NodeId; 4]) {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 1);
+        g.add_edge(a, c, 2);
+        g.add_edge(b, d, 3);
+        g.add_edge(c, d, 4);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn counts_and_ids_are_dense() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.node_ids().collect::<Vec<_>>(), vec![a, b, c, d]);
+    }
+
+    #[test]
+    fn neighbors_follow_insertion_order() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.succs(a).collect::<Vec<_>>(), vec![b, c]);
+        assert_eq!(g.preds(d).collect::<Vec<_>>(), vec![b, c]);
+        assert_eq!(g.succs(d).count(), 0);
+        assert_eq!(g.preds(a).count(), 0);
+    }
+
+    #[test]
+    fn degrees_sources_sinks() {
+        let (g, [a, _b, _c, d]) = diamond();
+        assert_eq!(g.in_degree(a), 0);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![d]);
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let (g, [a, b, _c, d]) = diamond();
+        assert!(g.contains_edge(a, b));
+        assert!(!g.contains_edge(b, a));
+        let e = g.find_edge(b, d).unwrap();
+        assert_eq!(g.edge_endpoints(e), (b, d));
+        assert_eq!(*g.edge(e), 3);
+    }
+
+    #[test]
+    fn mutate_weights() {
+        let (mut g, [a, ..]) = diamond();
+        *g.node_mut(a) = "z";
+        assert_eq!(*g.node(a), "z");
+        let e = g.find_edge(a, NodeId(1)).unwrap();
+        *g.edge_mut(e) = 99;
+        assert_eq!(*g.edge(e), 99);
+    }
+
+    #[test]
+    fn map_preserves_structure() {
+        let (g, [a, _, _, d]) = diamond();
+        let g2 = g.map(|id, w| format!("{w}{}", id.0), |_, w| *w as f64);
+        assert_eq!(g2.node_count(), 4);
+        assert_eq!(g2.node(a), "a0");
+        assert_eq!(g2.preds(d).count(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_supported() {
+        let mut g: DiGraph<(), u32> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1);
+        g.add_edge(a, b, 2);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.succs(a).collect::<Vec<_>>(), vec![b, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dst node out of bounds")]
+    fn add_edge_bounds_checked() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, NodeId(5), ());
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(EdgeId(7).to_string(), "e7");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.sources(), Vec::<NodeId>::new());
+        assert_eq!(g.node_ids().count(), 0);
+    }
+}

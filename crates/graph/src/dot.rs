@@ -1,0 +1,151 @@
+//! Graphviz (DOT) export.
+//!
+//! [`Dot`] renders a [`DiGraph`] through user-supplied label closures, so any
+//! node/edge weight type can be exported without trait requirements.
+//!
+//! ```
+//! use ftbar_graph::{DiGraph, dot::Dot};
+//!
+//! let mut g: DiGraph<&str, u32> = DiGraph::new();
+//! let a = g.add_node("in");
+//! let b = g.add_node("out");
+//! g.add_edge(a, b, 3);
+//! let text = Dot::new(&g)
+//!     .name("pipeline")
+//!     .to_string_with(|_, w| w.to_string(), |_, w| format!("{w}"));
+//! assert!(text.contains("digraph pipeline"));
+//! assert!(text.contains("\"in\""));
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+
+/// Builder for DOT output of a [`DiGraph`].
+#[derive(Debug)]
+pub struct Dot<'a, N, E> {
+    graph: &'a DiGraph<N, E>,
+    name: String,
+    rankdir_lr: bool,
+}
+
+impl<'a, N, E> Dot<'a, N, E> {
+    /// Creates a DOT exporter for `graph`.
+    pub fn new(graph: &'a DiGraph<N, E>) -> Self {
+        Dot {
+            graph,
+            name: "g".to_owned(),
+            rankdir_lr: false,
+        }
+    }
+
+    /// Sets the digraph name (default `g`).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Lays the graph out left-to-right instead of top-down.
+    pub fn rankdir_lr(mut self) -> Self {
+        self.rankdir_lr = true;
+        self
+    }
+
+    /// Renders to DOT text using the provided node/edge label closures.
+    pub fn to_string_with(
+        &self,
+        mut node_label: impl FnMut(NodeId, &N) -> String,
+        mut edge_label: impl FnMut(EdgeId, &E) -> String,
+    ) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {} {{", sanitize_id(&self.name));
+        if self.rankdir_lr {
+            let _ = writeln!(out, "  rankdir=LR;");
+        }
+        for v in self.graph.node_ids() {
+            let label = node_label(v, self.graph.node(v));
+            let _ = writeln!(out, "  {} [label={}];", v, quote(&label));
+        }
+        for e in self.graph.edge_refs() {
+            let label = edge_label(e.id, e.weight);
+            if label.is_empty() {
+                let _ = writeln!(out, "  {} -> {};", e.src, e.dst);
+            } else {
+                let _ = writeln!(out, "  {} -> {} [label={}];", e.src, e.dst, quote(&label));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn sanitize_id(s: &str) -> String {
+    let cleaned: String = s
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() || cleaned.chars().next().unwrap().is_ascii_digit() {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut q = String::with_capacity(s.len() + 2);
+    q.push('"');
+    for c in s.chars() {
+        if c == '"' || c == '\\' {
+            q.push('\\');
+        }
+        q.push(c);
+    }
+    q.push('"');
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g: DiGraph<&str, f64> = DiGraph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_edge(a, b, 1.5);
+        let dot = Dot::new(&g)
+            .rankdir_lr()
+            .to_string_with(|_, w| w.to_string(), |_, w| format!("{w}"));
+        assert!(dot.starts_with("digraph g {"));
+        assert!(dot.contains("rankdir=LR;"));
+        assert!(dot.contains("n0 [label=\"A\"];"));
+        assert!(dot.contains("n0 -> n1 [label=\"1.5\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_edge_labels_are_omitted() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        let dot = Dot::new(&g).to_string_with(|id, _| id.to_string(), |_, _| String::new());
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(!dot.contains("label=]"));
+    }
+
+    #[test]
+    fn quoting_escapes_special_chars() {
+        assert_eq!(quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        let dot = Dot::new(&g)
+            .name("1 weird-name")
+            .to_string_with(|_, _| String::new(), |_, _| String::new());
+        assert!(dot.starts_with("digraph g_1_weird_name {"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Topological ordering and cycle detection.
+
+use core::fmt;
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Error returned when an algorithm requiring a DAG is given a cyclic graph.
+///
+/// Contains one witness cycle, as a sequence of node ids `v0 -> v1 -> ... ->
+/// v0` (the first node is repeated at the end is *not* included; the cycle
+/// closes from the last node back to the first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError {
+    /// The nodes of a witness cycle, in traversal order.
+    pub cycle: Vec<NodeId>,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph contains a cycle through ")?;
+        for (i, n) in self.cycle.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// Computes a topological order of the graph (Kahn's algorithm).
+///
+/// Nodes become ready in id order among equals, so the result is
+/// deterministic. Runs in `O(V + E)`.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] with a witness cycle if the graph is not a DAG.
+///
+/// # Example
+///
+/// ```
+/// use ftbar_graph::{DiGraph, topo_order};
+///
+/// let mut g: DiGraph<(), ()> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let c = g.add_node(());
+/// g.add_edge(a, c, ());
+/// g.add_edge(c, b, ());
+/// assert_eq!(topo_order(&g).unwrap(), vec![a, c, b]);
+/// ```
+pub fn topo_order<N, E>(graph: &DiGraph<N, E>) -> Result<Vec<NodeId>, CycleError> {
+    let n = graph.node_count();
+    let mut in_deg: Vec<usize> = graph.node_ids().map(|v| graph.in_degree(v)).collect();
+    // A sorted-by-id worklist: we pop the smallest ready id to keep the order
+    // deterministic and stable under unrelated insertions.
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<NodeId>> = graph
+        .node_ids()
+        .filter(|v| in_deg[v.index()] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(v)) = ready.pop() {
+        order.push(v);
+        for s in graph.succs(v) {
+            in_deg[s.index()] -= 1;
+            if in_deg[s.index()] == 0 {
+                ready.push(std::cmp::Reverse(s));
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        Err(CycleError {
+            cycle: find_cycle(graph).expect("kahn detected a cycle"),
+        })
+    }
+}
+
+/// True if the graph is a DAG.
+pub fn is_acyclic<N, E>(graph: &DiGraph<N, E>) -> bool {
+    topo_order(graph).is_ok()
+}
+
+/// Finds one directed cycle, if any, using iterative DFS with colors.
+///
+/// Returns the cycle as a node sequence (closing edge from last back to
+/// first), or `None` for a DAG.
+pub fn find_cycle<N, E>(graph: &DiGraph<N, E>) -> Option<Vec<NodeId>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = graph.node_count();
+    let mut color = vec![Color::White; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+
+    for root in graph.node_ids() {
+        if color[root.index()] != Color::White {
+            continue;
+        }
+        // Stack of (node, next-successor-index).
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        color[root.index()] = Color::Gray;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            let out = graph.out_edges(v);
+            if *next < out.len() {
+                let e = out[*next];
+                *next += 1;
+                let (_, w) = graph.edge_endpoints(e);
+                match color[w.index()] {
+                    Color::White => {
+                        parent[w.index()] = Some(v);
+                        color[w.index()] = Color::Gray;
+                        stack.push((w, 0));
+                    }
+                    Color::Gray => {
+                        // Found a back edge v -> w: reconstruct w ... v.
+                        let mut cycle = vec![v];
+                        let mut cur = v;
+                        while cur != w {
+                            cur = parent[cur.index()].expect("path to gray ancestor");
+                            cycle.push(cur);
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[v.index()] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear(k: usize) -> (DiGraph<(), ()>, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..k).map(|_| g.add_node(())).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn topo_linear_chain() {
+        let (g, ids) = linear(5);
+        assert_eq!(topo_order(&g).unwrap(), ids);
+    }
+
+    #[test]
+    fn topo_respects_precedence() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(c, a, ());
+        g.add_edge(a, b, ());
+        let order = topo_order(&g).unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(c) < pos(a));
+        assert!(pos(a) < pos(b));
+    }
+
+    #[test]
+    fn topo_detects_self_loop() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        let err = topo_order(&g).unwrap_err();
+        assert_eq!(err.cycle, vec![a]);
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn topo_detects_two_cycle() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        let err = topo_order(&g).unwrap_err();
+        assert_eq!(err.cycle.len(), 2);
+        let msg = err.to_string();
+        assert!(msg.contains("cycle"), "{msg}");
+    }
+
+    #[test]
+    fn cycle_witness_is_a_real_cycle() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let ids: Vec<_> = (0..6).map(|_| g.add_node(())).collect();
+        g.add_edge(ids[0], ids[1], ());
+        g.add_edge(ids[1], ids[2], ());
+        g.add_edge(ids[2], ids[3], ());
+        g.add_edge(ids[3], ids[1], ()); // cycle 1-2-3
+        g.add_edge(ids[0], ids[4], ());
+        g.add_edge(ids[4], ids[5], ());
+        let cycle = find_cycle(&g).unwrap();
+        assert_eq!(cycle.len(), 3);
+        for w in cycle.windows(2) {
+            assert!(g.contains_edge(w[0], w[1]));
+        }
+        assert!(g.contains_edge(*cycle.last().unwrap(), cycle[0]));
+    }
+
+    #[test]
+    fn dag_has_no_cycle() {
+        let (g, _) = linear(10);
+        assert!(find_cycle(&g).is_none());
+        assert!(is_acyclic(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert_eq!(topo_order(&g).unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for `ftbar-graph` invariants.
+
+use ftbar_graph::{
+    ancestors, bottom_levels, critical_path, descendants, find_cycle, is_acyclic, node_levels,
+    top_levels, topo_order, transitive_reduction, DiGraph, NodeId,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random DAG with `n` nodes whose edges all go from a lower
+/// node id to a higher one (guaranteeing acyclicity), plus f64 weights.
+fn arb_dag() -> impl Strategy<Value = (DiGraph<f64, f64>, usize)> {
+    (2usize..24).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        (
+            proptest::collection::vec((0usize..n, 0usize..n, 0.0f64..10.0), 0..=max_edges.min(60)),
+            proptest::collection::vec(0.1f64..10.0, n),
+        )
+            .prop_map(move |(raw_edges, node_ws)| {
+                let mut g: DiGraph<f64, f64> = DiGraph::new();
+                for w in &node_ws {
+                    g.add_node(*w);
+                }
+                for (a, b, w) in raw_edges {
+                    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                    if lo != hi && !g.contains_edge(NodeId(lo as u32), NodeId(hi as u32)) {
+                        g.add_edge(NodeId(lo as u32), NodeId(hi as u32), w);
+                    }
+                }
+                (g, n)
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn topo_order_is_valid((g, n) in arb_dag()) {
+        let order = topo_order(&g).expect("generated DAGs are acyclic");
+        prop_assert_eq!(order.len(), n);
+        let mut pos = vec![0usize; n];
+        for (i, v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for e in g.edge_refs() {
+            prop_assert!(pos[e.src.index()] < pos[e.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn dag_is_acyclic_and_has_no_cycle_witness((g, _) in arb_dag()) {
+        prop_assert!(is_acyclic(&g));
+        prop_assert!(find_cycle(&g).is_none());
+    }
+
+    #[test]
+    fn critical_path_is_max_over_nodes((g, _) in arb_dag()) {
+        let nw = |v: NodeId| *g.node(v);
+        let ew = |e: ftbar_graph::EdgeId| *g.edge(e);
+        let (len, path) = critical_path(&g, nw, ew).unwrap();
+        let bl = bottom_levels(&g, nw, ew).unwrap();
+        let max_bl = g
+            .node_ids()
+            .filter(|&v| g.in_degree(v) == 0)
+            .map(|v| bl[v.index()])
+            .fold(0.0_f64, f64::max);
+        prop_assert!((len - max_bl).abs() < 1e-9);
+        // The returned path must be a real path whose total weight is `len`.
+        let mut total = 0.0;
+        for w in path.windows(2) {
+            prop_assert!(g.contains_edge(w[0], w[1]));
+            let e = g.find_edge(w[0], w[1]).unwrap();
+            total += *g.edge(e);
+        }
+        for &v in &path {
+            total += *g.node(v);
+        }
+        prop_assert!((total - len).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_plus_bottom_bounded_by_cp((g, _) in arb_dag()) {
+        let nw = |v: NodeId| *g.node(v);
+        let ew = |e: ftbar_graph::EdgeId| *g.edge(e);
+        let (len, _) = critical_path(&g, nw, ew).unwrap();
+        let tl = top_levels(&g, nw, ew).unwrap();
+        let bl = bottom_levels(&g, nw, ew).unwrap();
+        for v in g.node_ids() {
+            prop_assert!(tl[v.index()] + bl[v.index()] <= len + 1e-9);
+        }
+    }
+
+    #[test]
+    fn levels_increase_along_edges((g, _) in arb_dag()) {
+        let lv = node_levels(&g).unwrap();
+        for e in g.edge_refs() {
+            prop_assert!(lv[e.src.index()] < lv[e.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn reachability_is_consistent((g, _) in arb_dag()) {
+        for v in g.node_ids() {
+            let desc = descendants(&g, v);
+            for u in g.node_ids() {
+                if desc[u.index()] {
+                    let anc = ancestors(&g, u);
+                    prop_assert!(anc[v.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transitive_reduction_preserves_reachability((g, _) in arb_dag()) {
+        let redundant = transitive_reduction(&g).unwrap();
+        // Rebuild without redundant edges; descendant masks must not change.
+        let mut g2: DiGraph<f64, f64> = DiGraph::new();
+        for v in g.node_ids() {
+            g2.add_node(*g.node(v));
+        }
+        let redundant_set: std::collections::HashSet<_> = redundant.iter().copied().collect();
+        for e in g.edge_refs() {
+            if !redundant_set.contains(&e.id) {
+                g2.add_edge(e.src, e.dst, *e.weight);
+            }
+        }
+        for v in g.node_ids() {
+            prop_assert_eq!(descendants(&g, v), descendants(&g2, v));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Model construction and validation errors.
+
+use core::fmt;
+
+use ftbar_graph::CycleError;
+
+/// Error raised while building or validating a model
+/// ([`crate::Alg`], [`crate::Arch`], [`crate::Problem`]).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// Two entities of the same kind share a name.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+        /// What kind of entity (`"operation"`, `"processor"`, …).
+        kind: &'static str,
+    },
+    /// A name was referenced but never declared.
+    UnknownName {
+        /// The unresolved name.
+        name: String,
+        /// What kind of entity was expected.
+        kind: &'static str,
+    },
+    /// An entity name is empty or contains separators.
+    InvalidName {
+        /// The offending name.
+        name: String,
+    },
+    /// The intra-iteration algorithm graph has a cycle.
+    AlgCycle(CycleError),
+    /// The algorithm graph has no operation.
+    EmptyAlg,
+    /// The architecture has no processor.
+    EmptyArch,
+    /// A link must connect at least two distinct processors.
+    DegenerateLink {
+        /// Name of the offending link.
+        link: String,
+    },
+    /// Two processors have no communication route between them.
+    Disconnected {
+        /// One processor name.
+        a: String,
+        /// The other processor name.
+        b: String,
+    },
+    /// An `extio` operation has both predecessors and successors, so it is
+    /// neither an input nor an output interface.
+    ExtioNotInterface {
+        /// Name of the offending operation.
+        op: String,
+    },
+    /// A table's dimensions do not match the algorithm/architecture.
+    DimensionMismatch {
+        /// Human description of the mismatch.
+        what: &'static str,
+    },
+    /// An operation cannot be replicated `npf + 1` times because too few
+    /// processors may execute it.
+    NotEnoughProcessors {
+        /// Name of the operation.
+        op: String,
+        /// Required number of distinct processors (`npf + 1`).
+        needed: usize,
+        /// Number of processors allowed by the `Dis` constraints.
+        available: usize,
+    },
+    /// `npf` must be smaller than the processor count.
+    NpfTooLarge {
+        /// Requested number of tolerated failures.
+        npf: u32,
+        /// Processors in the architecture.
+        procs: usize,
+    },
+    /// A dependency has no link that can carry it along some route.
+    UnroutableDependency {
+        /// Name of the dependency (`"A -> B"`).
+        dep: String,
+        /// Name of the link with no transmission time.
+        link: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateName { name, kind } => {
+                write!(f, "duplicate {kind} name `{name}`")
+            }
+            ModelError::UnknownName { name, kind } => {
+                write!(f, "unknown {kind} `{name}`")
+            }
+            ModelError::InvalidName { name } => write!(f, "invalid name `{name}`"),
+            ModelError::AlgCycle(c) => write!(f, "algorithm graph is cyclic: {c}"),
+            ModelError::EmptyAlg => write!(f, "algorithm graph has no operation"),
+            ModelError::EmptyArch => write!(f, "architecture has no processor"),
+            ModelError::DegenerateLink { link } => {
+                write!(f, "link `{link}` must connect at least two distinct processors")
+            }
+            ModelError::Disconnected { a, b } => {
+                write!(f, "no communication route between processors `{a}` and `{b}`")
+            }
+            ModelError::ExtioNotInterface { op } => write!(
+                f,
+                "extio operation `{op}` must be a pure input (no predecessors) \
+                 or a pure output (no successors)"
+            ),
+            ModelError::DimensionMismatch { what } => {
+                write!(f, "table dimensions do not match the model: {what}")
+            }
+            ModelError::NotEnoughProcessors {
+                op,
+                needed,
+                available,
+            } => write!(
+                f,
+                "operation `{op}` needs {needed} distinct processors for replication \
+                 but only {available} are allowed by the distribution constraints"
+            ),
+            ModelError::NpfTooLarge { npf, procs } => write!(
+                f,
+                "cannot tolerate {npf} failures with only {procs} processors"
+            ),
+            ModelError::UnroutableDependency { dep, link } => write!(
+                f,
+                "dependency `{dep}` has no transmission time on link `{link}` \
+                 which lies on a required route"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::AlgCycle(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl From<CycleError> for ModelError {
+    fn from(c: CycleError) -> Self {
+        ModelError::AlgCycle(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::NotEnoughProcessors {
+            op: "A".into(),
+            needed: 2,
+            available: 1,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("A") && msg.contains("2") && msg.contains("1"));
+
+        let e = ModelError::Disconnected {
+            a: "P1".into(),
+            b: "P9".into(),
+        };
+        assert!(e.to_string().contains("P1"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_err<T: std::error::Error + Send + Sync>() {}
+        assert_err::<ModelError>();
+    }
+}

@@ -1,0 +1,329 @@
+//! Execution-time tables: `Exe` and the distribution constraints `Dis`
+//! (paper §3.4).
+//!
+//! * [`ExecTable`] maps ⟨operation, processor⟩ to an execution time, or to
+//!   "forbidden" (the paper's `∞` entries — the `Dis` constraints).
+//! * [`CommTable`] maps ⟨data-dependency, link⟩ to a transmission time.
+//!   Intra-processor communication always costs zero and is not stored.
+
+use serde::{Deserialize, Serialize};
+
+use crate::alg::Alg;
+use crate::arch::Arch;
+use crate::error::ModelError;
+use crate::ids::{DepId, LinkId, OpId, ProcId};
+use crate::time::Time;
+
+/// Dense ⟨operation × processor⟩ execution-time table.
+///
+/// `None` entries mean the operation may not run on that processor
+/// (distribution constraint `∞`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecTable {
+    n_ops: usize,
+    n_procs: usize,
+    times: Vec<Option<Time>>,
+}
+
+impl ExecTable {
+    /// Creates a table with every entry forbidden.
+    pub fn new(n_ops: usize, n_procs: usize) -> Self {
+        ExecTable {
+            n_ops,
+            n_procs,
+            times: vec![None; n_ops * n_procs],
+        }
+    }
+
+    /// Creates a table with every entry set to `t` (homogeneous machine).
+    pub fn uniform(n_ops: usize, n_procs: usize, t: Time) -> Self {
+        ExecTable {
+            n_ops,
+            n_procs,
+            times: vec![Some(t); n_ops * n_procs],
+        }
+    }
+
+    fn idx(&self, op: OpId, proc: ProcId) -> usize {
+        debug_assert!(op.index() < self.n_ops && proc.index() < self.n_procs);
+        op.index() * self.n_procs + proc.index()
+    }
+
+    /// Sets the execution time of `op` on `proc`.
+    pub fn set(&mut self, op: OpId, proc: ProcId, t: Time) {
+        let i = self.idx(op, proc);
+        self.times[i] = Some(t);
+    }
+
+    /// Forbids `op` on `proc` (a `Dis` `∞` entry).
+    pub fn forbid(&mut self, op: OpId, proc: ProcId) {
+        let i = self.idx(op, proc);
+        self.times[i] = None;
+    }
+
+    /// Execution time of `op` on `proc`, or `None` if forbidden.
+    pub fn get(&self, op: OpId, proc: ProcId) -> Option<Time> {
+        self.times[self.idx(op, proc)]
+    }
+
+    /// True if `op` may execute on `proc`.
+    pub fn allows(&self, op: OpId, proc: ProcId) -> bool {
+        self.get(op, proc).is_some()
+    }
+
+    /// Processors allowed for `op`, in id order.
+    pub fn allowed_procs(&self, op: OpId) -> impl Iterator<Item = ProcId> + '_ {
+        (0..self.n_procs as u32)
+            .map(ProcId)
+            .filter(move |&p| self.allows(op, p))
+    }
+
+    /// Average execution time of `op` over its allowed processors, in
+    /// floating-point units (0 if fully forbidden).
+    pub fn avg_units(&self, op: OpId) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for p in self.allowed_procs(op) {
+            sum += self.get(op, p).expect("allowed").as_units();
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Number of operations (rows).
+    pub fn op_count(&self) -> usize {
+        self.n_ops
+    }
+
+    /// Number of processors (columns).
+    pub fn proc_count(&self) -> usize {
+        self.n_procs
+    }
+
+    /// Mean of all finite entries, in units (0 if none).
+    pub fn mean_units(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for t in self.times.iter().flatten() {
+            sum += t.as_units();
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+/// Dense ⟨data-dependency × link⟩ transmission-time table.
+///
+/// `None` means the link cannot carry the dependency (unusual; validation
+/// rejects it when the link lies on a route the schedule might use).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommTable {
+    n_deps: usize,
+    n_links: usize,
+    times: Vec<Option<Time>>,
+}
+
+impl CommTable {
+    /// Creates a table with every entry missing.
+    pub fn new(n_deps: usize, n_links: usize) -> Self {
+        CommTable {
+            n_deps,
+            n_links,
+            times: vec![None; n_deps.max(1) * n_links],
+        }
+    }
+
+    /// Creates a table where every dependency costs `t` on every link.
+    pub fn uniform(n_deps: usize, n_links: usize, t: Time) -> Self {
+        CommTable {
+            n_deps,
+            n_links,
+            times: vec![Some(t); n_deps.max(1) * n_links],
+        }
+    }
+
+    /// Derives a table from dependency sizes and a per-link time-per-unit
+    /// rate: `time(dep, link) = size(dep) × rate(link)`.
+    pub fn from_rates(alg: &Alg, arch: &Arch, rate: impl Fn(LinkId) -> Time) -> Self {
+        let mut t = CommTable::new(alg.dep_count(), arch.link_count());
+        for d in alg.deps() {
+            for l in arch.links() {
+                t.set(d, l, rate(l).scale(alg.dep(d).size()));
+            }
+        }
+        t
+    }
+
+    fn idx(&self, dep: DepId, link: LinkId) -> usize {
+        debug_assert!(dep.index() < self.n_deps && link.index() < self.n_links);
+        dep.index() * self.n_links + link.index()
+    }
+
+    /// Sets the transmission time of `dep` on `link`.
+    pub fn set(&mut self, dep: DepId, link: LinkId, t: Time) {
+        let i = self.idx(dep, link);
+        self.times[i] = Some(t);
+    }
+
+    /// Transmission time of `dep` on `link`, or `None`.
+    pub fn get(&self, dep: DepId, link: LinkId) -> Option<Time> {
+        self.times[self.idx(dep, link)]
+    }
+
+    /// Average transmission time of `dep` over links carrying it, in units
+    /// (0 if the table is empty — e.g. a single-processor architecture).
+    pub fn avg_units(&self, dep: DepId) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for l in 0..self.n_links {
+            if let Some(t) = self.times[dep.index() * self.n_links + l] {
+                sum += t.as_units();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Number of dependencies (rows).
+    pub fn dep_count(&self) -> usize {
+        self.n_deps
+    }
+
+    /// Number of links (columns).
+    pub fn link_count(&self) -> usize {
+        self.n_links
+    }
+
+    /// Mean of all present entries, in units (0 if none).
+    pub fn mean_units(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for t in self.times.iter().flatten() {
+            sum += t.as_units();
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+/// Validates table dimensions against the models.
+pub(crate) fn check_dims(
+    alg: &Alg,
+    arch: &Arch,
+    exec: &ExecTable,
+    comm: &CommTable,
+) -> Result<(), ModelError> {
+    if exec.op_count() != alg.op_count() || exec.proc_count() != arch.proc_count() {
+        return Err(ModelError::DimensionMismatch {
+            what: "ExecTable is not |ops| x |procs|",
+        });
+    }
+    if comm.dep_count() != alg.dep_count() || comm.link_count() != arch.link_count() {
+        return Err(ModelError::DimensionMismatch {
+            what: "CommTable is not |deps| x |links|",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::Alg;
+    use crate::arch::Arch;
+
+    fn tiny() -> (Alg, Arch) {
+        let mut b = Alg::builder("t");
+        let a = b.comp("A");
+        let c = b.comp("B");
+        b.dep_sized(a, c, 2.0);
+        let alg = b.build().unwrap();
+        let mut b = Arch::builder("duo");
+        let p1 = b.proc("P1");
+        let p2 = b.proc("P2");
+        b.link("L", &[p1, p2]);
+        (alg, b.build().unwrap())
+    }
+
+    #[test]
+    fn exec_set_get_forbid() {
+        let mut t = ExecTable::new(2, 2);
+        let (a, p1) = (OpId(0), ProcId(0));
+        assert!(!t.allows(a, p1));
+        t.set(a, p1, Time::from_units(1.5));
+        assert_eq!(t.get(a, p1), Some(Time::from_units(1.5)));
+        t.forbid(a, p1);
+        assert!(t.get(a, p1).is_none());
+    }
+
+    #[test]
+    fn exec_allowed_and_avg() {
+        let mut t = ExecTable::new(1, 3);
+        t.set(OpId(0), ProcId(0), Time::from_units(1.0));
+        t.set(OpId(0), ProcId(2), Time::from_units(3.0));
+        let allowed: Vec<_> = t.allowed_procs(OpId(0)).collect();
+        assert_eq!(allowed, vec![ProcId(0), ProcId(2)]);
+        assert_eq!(t.avg_units(OpId(0)), 2.0);
+    }
+
+    #[test]
+    fn exec_uniform_and_mean() {
+        let t = ExecTable::uniform(2, 2, Time::from_units(4.0));
+        assert_eq!(t.mean_units(), 4.0);
+        assert_eq!(t.avg_units(OpId(1)), 4.0);
+    }
+
+    #[test]
+    fn comm_set_get_avg() {
+        let mut t = CommTable::new(1, 2);
+        assert_eq!(t.avg_units(DepId(0)), 0.0);
+        t.set(DepId(0), LinkId(0), Time::from_units(1.0));
+        t.set(DepId(0), LinkId(1), Time::from_units(2.0));
+        assert_eq!(t.get(DepId(0), LinkId(1)), Some(Time::from_units(2.0)));
+        assert_eq!(t.avg_units(DepId(0)), 1.5);
+        assert_eq!(t.mean_units(), 1.5);
+    }
+
+    #[test]
+    fn comm_from_rates_scales_by_size() {
+        let (alg, arch) = tiny();
+        let t = CommTable::from_rates(&alg, &arch, |_| Time::from_units(0.5));
+        // dep size is 2.0, rate 0.5 => 1.0
+        assert_eq!(t.get(DepId(0), LinkId(0)), Some(Time::from_units(1.0)));
+    }
+
+    #[test]
+    fn dims_checked() {
+        let (alg, arch) = tiny();
+        let good_e = ExecTable::uniform(alg.op_count(), arch.proc_count(), Time::from_units(1.0));
+        let good_c = CommTable::uniform(alg.dep_count(), arch.link_count(), Time::from_units(1.0));
+        assert!(check_dims(&alg, &arch, &good_e, &good_c).is_ok());
+        let bad_e = ExecTable::uniform(5, 2, Time::from_units(1.0));
+        assert!(check_dims(&alg, &arch, &bad_e, &good_c).is_err());
+        let bad_c = CommTable::uniform(9, 9, Time::from_units(1.0));
+        assert!(check_dims(&alg, &arch, &good_e, &bad_c).is_err());
+    }
+
+    #[test]
+    fn zero_dep_graph_supported() {
+        let t = CommTable::new(0, 3);
+        assert_eq!(t.dep_count(), 0);
+        assert_eq!(t.mean_units(), 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Typed identifiers for model entities.
+//!
+//! Each id is a dense index into its owning collection (operations of an
+//! [`crate::Alg`], processors/links of an [`crate::Arch`], …). Newtypes keep
+//! the scheduler honest about which index space a number lives in
+//! (C-NEWTYPE).
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[derive(Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the id as a `usize` index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("index exceeds u32"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an operation in an algorithm graph.
+    OpId,
+    "op"
+);
+define_id!(
+    /// Identifier of a data-dependency (edge) in an algorithm graph.
+    DepId,
+    "dep"
+);
+define_id!(
+    /// Identifier of a processor in an architecture graph.
+    ProcId,
+    "proc"
+);
+define_id!(
+    /// Identifier of a communication link in an architecture graph.
+    LinkId,
+    "link"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(OpId::from_index(7).index(), 7);
+        assert_eq!(ProcId::from_index(0), ProcId(0));
+    }
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(OpId(1).to_string(), "op1");
+        assert_eq!(DepId(2).to_string(), "dep2");
+        assert_eq!(ProcId(3).to_string(), "proc3");
+        assert_eq!(LinkId(4).to_string(), "link4");
+    }
+
+    #[test]
+    fn ordering_by_value() {
+        assert!(OpId(1) < OpId(2));
+        assert!(LinkId(0) < LinkId(9));
+    }
+}

@@ -1,0 +1,69 @@
+//! Problem models for FTBAR-style fault-tolerant static scheduling.
+//!
+//! This crate defines everything the schedulers in `ftbar-core` consume
+//! (paper §3, "Models"):
+//!
+//! * [`Time`] — exact fixed-point time units;
+//! * [`Alg`] — the algorithm: a cyclically-executed data-flow graph of
+//!   operations ([`OpKind::Comp`] / [`OpKind::Mem`] / [`OpKind::Extio`]) and
+//!   data-dependencies;
+//! * [`Arch`] — the architecture: processors and (point-to-point or
+//!   multipoint) communication links, with precomputed shortest routes;
+//! * [`ExecTable`] / [`CommTable`] — the heterogeneous `Exe` tables, with
+//!   `∞` entries encoding the distribution constraints `Dis`;
+//! * [`Problem`] — the validated bundle, plus the real-time constraint
+//!   `Rtc` and the failure count `Npf`;
+//! * [`spec`] — a small textual language for problems (parse and print);
+//! * [`paper_example`] — the paper's running example (Fig. 2, Tables 1–2).
+//!
+//! # Quick start
+//!
+//! ```
+//! use ftbar_model::{Alg, Arch, CommTable, ExecTable, Problem, Time};
+//!
+//! // Algorithm: sensor -> filter -> actuator.
+//! let mut a = Alg::builder("pipeline");
+//! let s = a.extio("sensor");
+//! let f = a.comp("filter");
+//! let act = a.extio("actuator");
+//! a.dep(s, f);
+//! a.dep(f, act);
+//! let alg = a.build()?;
+//!
+//! // Architecture: two processors, one link.
+//! let mut m = Arch::builder("duo");
+//! let p1 = m.proc("P1");
+//! let p2 = m.proc("P2");
+//! m.link("L", &[p1, p2]);
+//! let arch = m.build()?;
+//!
+//! let exec = ExecTable::uniform(alg.op_count(), arch.proc_count(), Time::from_units(1.0));
+//! let comm = CommTable::uniform(alg.dep_count(), arch.link_count(), Time::from_units(0.5));
+//! let mut b = Problem::builder(alg, arch, exec, comm);
+//! b.npf(1).rtc(Time::from_units(20.0));
+//! let problem = b.build()?;
+//! assert_eq!(problem.replication(), 2);
+//! # Ok::<(), ftbar_model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alg;
+mod arch;
+mod error;
+mod exec;
+mod ids;
+mod paper;
+mod problem;
+pub mod spec;
+mod time;
+
+pub use alg::{Alg, AlgBuilder, DataDep, OpKind, Operation};
+pub use arch::{Arch, ArchBuilder, Hop, Link, Processor};
+pub use error::ModelError;
+pub use exec::{CommTable, ExecTable};
+pub use ids::{DepId, LinkId, OpId, ProcId};
+pub use paper::paper_example;
+pub use problem::{Problem, ProblemBuilder};
+pub use time::{ParseTimeError, Time, TICKS_PER_UNIT};

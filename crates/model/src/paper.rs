@@ -1,0 +1,204 @@
+//! The paper's running example (Figure 2, Tables 1 and 2).
+//!
+//! Nine operations `I, A..G, O` on three processors `P1..P3` connected by
+//! three point-to-point links, with the exact heterogeneous time tables of
+//! the paper, `Npf = 1` and `Rtc = 16`.
+
+use crate::alg::Alg;
+use crate::arch::Arch;
+use crate::exec::{CommTable, ExecTable};
+use crate::problem::Problem;
+use crate::time::Time;
+
+/// Builds the paper's running example problem.
+///
+/// * Algorithm (Fig. 2a): `I → A`, `A → {B, C, D, E}`, `{B, C} → F`,
+///   `{D, E, F} → G`, `G → O`;
+/// * Architecture (Fig. 2b): `P1, P2, P3` fully connected by point-to-point
+///   links `L1.2, L1.3, L2.3`;
+/// * `Exe`/`Dis` for operations (Table 1) — note `⟨I, P3⟩ = ∞` and
+///   `⟨O, P2⟩ = ∞`;
+/// * `Exe` for communications (Table 2), heterogeneous: `L1.2` is slower
+///   than `L1.3`/`L2.3`;
+/// * `Rtc = 16`, `Npf = 1`.
+///
+/// # Example
+///
+/// ```
+/// use ftbar_model::paper_example;
+///
+/// let p = paper_example();
+/// let i = p.alg().op_by_name("I").unwrap();
+/// let p3 = p.arch().proc_by_name("P3").unwrap();
+/// assert!(p.exec().get(i, p3).is_none()); // Dis: I cannot run on P3
+/// ```
+pub fn paper_example() -> Problem {
+    let mut b = Alg::builder("paper_fig2");
+    let i = b.extio("I");
+    let a = b.comp("A");
+    let bb = b.comp("B");
+    let c = b.comp("C");
+    let d = b.comp("D");
+    let e = b.comp("E");
+    let f = b.comp("F");
+    let g = b.comp("G");
+    let o = b.extio("O");
+    // Dependency order matches Table 2's column order.
+    let deps = [
+        b.dep(i, a),  // I . A
+        b.dep(a, bb), // A . B
+        b.dep(a, c),  // A . C
+        b.dep(a, d),  // A . D
+        b.dep(a, e),  // A . E
+        b.dep(bb, f), // B . F
+        b.dep(c, f),  // C . F
+        b.dep(d, g),  // D . G
+        b.dep(e, g),  // E . G
+        b.dep(f, g),  // F . G
+        b.dep(g, o),  // G . O
+    ];
+    let alg = b.build().expect("paper algorithm graph is valid");
+
+    let mut b = Arch::builder("paper_arc");
+    let p1 = b.proc("P1");
+    let p2 = b.proc("P2");
+    let p3 = b.proc("P3");
+    let l12 = b.link("L1.2", &[p1, p2]);
+    let l23 = b.link("L2.3", &[p2, p3]);
+    let l13 = b.link("L1.3", &[p1, p3]);
+    let arch = b.build().expect("paper architecture is valid");
+
+    // Table 1: rows P1, P2, P3; columns I A B C D E F G O; None = ∞.
+    let ops = [i, a, bb, c, d, e, f, g, o];
+    let table1: [[Option<f64>; 9]; 3] = [
+        [
+            Some(1.0),
+            Some(2.0),
+            Some(3.0),
+            Some(2.0),
+            Some(3.0),
+            Some(1.0),
+            Some(2.0),
+            Some(1.4),
+            Some(1.4),
+        ],
+        [
+            Some(1.3),
+            Some(1.5),
+            Some(1.0),
+            Some(3.0),
+            Some(1.7),
+            Some(1.2),
+            Some(2.5),
+            Some(1.0),
+            None,
+        ],
+        [
+            None,
+            Some(1.0),
+            Some(1.5),
+            Some(1.0),
+            Some(3.0),
+            Some(2.0),
+            Some(1.0),
+            Some(1.5),
+            Some(1.8),
+        ],
+    ];
+    let mut exec = ExecTable::new(alg.op_count(), arch.proc_count());
+    for (pi, proc) in [p1, p2, p3].into_iter().enumerate() {
+        for (oi, &op) in ops.iter().enumerate() {
+            if let Some(t) = table1[pi][oi] {
+                exec.set(op, proc, Time::from_units(t));
+            }
+        }
+    }
+
+    // Table 2: rows L1.2, L2.3, L1.3; columns follow `deps` order.
+    let table2: [[f64; 11]; 3] = [
+        [1.75, 1.0, 1.0, 1.5, 1.0, 1.0, 1.3, 1.9, 1.3, 1.0, 1.1],
+        [1.25, 0.5, 0.5, 1.0, 0.5, 0.5, 0.8, 1.4, 0.8, 0.5, 0.6],
+        [1.25, 0.5, 0.5, 1.0, 0.5, 0.5, 0.8, 1.4, 0.8, 0.5, 0.6],
+    ];
+    let mut comm = CommTable::new(alg.dep_count(), arch.link_count());
+    for (li, link) in [l12, l23, l13].into_iter().enumerate() {
+        for (di, &dep) in deps.iter().enumerate() {
+            comm.set(dep, link, Time::from_units(table2[li][di]));
+        }
+    }
+
+    let mut b = Problem::builder(alg, arch, exec, comm);
+    b.rtc(Time::from_units(16.0)).npf(1);
+    b.build().expect("paper example is a valid problem")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LinkId, ProcId};
+
+    #[test]
+    fn dimensions_match_the_paper() {
+        let p = paper_example();
+        assert_eq!(p.alg().op_count(), 9);
+        assert_eq!(p.alg().dep_count(), 11);
+        assert_eq!(p.arch().proc_count(), 3);
+        assert_eq!(p.arch().link_count(), 3);
+        assert!(p.arch().is_fully_connected());
+        assert_eq!(p.npf(), 1);
+        assert_eq!(p.rtc(), Some(Time::from_units(16.0)));
+    }
+
+    #[test]
+    fn dis_constraints_match_table1() {
+        let p = paper_example();
+        let i = p.alg().op_by_name("I").unwrap();
+        let o = p.alg().op_by_name("O").unwrap();
+        let p2 = p.arch().proc_by_name("P2").unwrap();
+        let p3 = p.arch().proc_by_name("P3").unwrap();
+        assert!(p.exec().get(i, p3).is_none());
+        assert!(p.exec().get(o, p2).is_none());
+        // Every op still has >= 2 allowed processors (Npf + 1 = 2).
+        for op in p.alg().ops() {
+            assert!(p.exec().allowed_procs(op).count() >= 2);
+        }
+    }
+
+    #[test]
+    fn spot_check_table1_values() {
+        let p = paper_example();
+        let g = p.alg().op_by_name("G").unwrap();
+        assert_eq!(
+            p.exec().get(g, ProcId(0)),
+            Some(Time::from_units(1.4)),
+            "G on P1"
+        );
+        assert_eq!(p.exec().get(g, ProcId(1)), Some(Time::from_units(1.0)));
+        assert_eq!(p.exec().get(g, ProcId(2)), Some(Time::from_units(1.5)));
+    }
+
+    #[test]
+    fn spot_check_table2_values() {
+        let p = paper_example();
+        let ia = p.alg().dep_by_names("I", "A").unwrap();
+        let l12 = p.arch().link_by_name("L1.2").unwrap();
+        let l13 = p.arch().link_by_name("L1.3").unwrap();
+        assert_eq!(p.comm().get(ia, l12), Some(Time::from_units(1.75)));
+        assert_eq!(p.comm().get(ia, l13), Some(Time::from_units(1.25)));
+        let go = p.alg().dep_by_names("G", "O").unwrap();
+        assert_eq!(p.comm().get(go, LinkId(0)), Some(Time::from_units(1.1)));
+        assert_eq!(p.comm().get(go, LinkId(1)), Some(Time::from_units(0.6)));
+    }
+
+    #[test]
+    fn graph_shape_matches_fig2() {
+        let p = paper_example();
+        let alg = p.alg();
+        let a = alg.op_by_name("A").unwrap();
+        let g = alg.op_by_name("G").unwrap();
+        assert_eq!(alg.succs(a).count(), 4);
+        assert_eq!(alg.preds(g).count(), 3);
+        assert_eq!(alg.entry_ops().len(), 1);
+        assert_eq!(alg.exit_ops().len(), 1);
+    }
+}

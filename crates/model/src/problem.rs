@@ -1,0 +1,304 @@
+//! The complete scheduling problem: `⟨Alg, Arc, Exe, Dis, Rtc, Npf⟩`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::alg::Alg;
+use crate::arch::Arch;
+use crate::error::ModelError;
+use crate::exec::{check_dims, CommTable, ExecTable};
+use crate::ids::OpId;
+use crate::time::Time;
+
+/// A validated scheduling problem (paper §1): algorithm, architecture,
+/// execution/communication times with distribution constraints, an optional
+/// real-time constraint and the number of fail-silent processor failures to
+/// tolerate.
+///
+/// # Example
+///
+/// ```
+/// use ftbar_model::paper_example;
+///
+/// let p = paper_example();
+/// assert_eq!(p.npf(), 1);
+/// assert_eq!(p.rtc().unwrap().to_string(), "16");
+/// assert_eq!(p.alg().op_count(), 9);
+/// assert_eq!(p.arch().proc_count(), 3);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Problem {
+    alg: Alg,
+    arch: Arch,
+    exec: ExecTable,
+    comm: CommTable,
+    rtc: Option<Time>,
+    npf: u32,
+}
+
+/// Builder for [`Problem`]. Construct with [`Problem::builder`].
+#[derive(Debug, Clone)]
+pub struct ProblemBuilder {
+    alg: Alg,
+    arch: Arch,
+    exec: ExecTable,
+    comm: CommTable,
+    rtc: Option<Time>,
+    npf: u32,
+}
+
+impl ProblemBuilder {
+    /// Sets the real-time constraint (deadline on schedule completion).
+    pub fn rtc(&mut self, deadline: Time) -> &mut Self {
+        self.rtc = Some(deadline);
+        self
+    }
+
+    /// Sets the number of fail-silent processor failures to tolerate
+    /// (default 0).
+    pub fn npf(&mut self, npf: u32) -> &mut Self {
+        self.npf = npf;
+        self
+    }
+
+    /// Validates and freezes the problem.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::DimensionMismatch`] if a table does not match the
+    ///   models;
+    /// * [`ModelError::NpfTooLarge`] if `npf ≥ |procs|`;
+    /// * [`ModelError::NotEnoughProcessors`] if some operation is allowed on
+    ///   fewer than `npf + 1` processors;
+    /// * [`ModelError::UnroutableDependency`] if a dependency has no
+    ///   transmission time on a link of a route between two processors that
+    ///   may host its endpoints.
+    pub fn build(self) -> Result<Problem, ModelError> {
+        check_dims(&self.alg, &self.arch, &self.exec, &self.comm)?;
+        let needed = self.npf as usize + 1;
+        if needed > self.arch.proc_count() {
+            return Err(ModelError::NpfTooLarge {
+                npf: self.npf,
+                procs: self.arch.proc_count(),
+            });
+        }
+        for op in self.alg.ops() {
+            let available = self.exec.allowed_procs(op).count();
+            if available < needed {
+                return Err(ModelError::NotEnoughProcessors {
+                    op: self.alg.op(op).name().to_owned(),
+                    needed,
+                    available,
+                });
+            }
+        }
+        // Every dependency must be transmissible over every route between a
+        // processor pair that could host (producer, consumer) replicas.
+        for dep in self.alg.deps() {
+            let (src, dst) = self.alg.dep_endpoints(dep);
+            for ps in self.exec.allowed_procs(src) {
+                for pd in self.exec.allowed_procs(dst) {
+                    if ps == pd {
+                        continue;
+                    }
+                    for hop in self.arch.route(ps, pd) {
+                        if self.comm.get(dep, hop.link).is_none() {
+                            return Err(ModelError::UnroutableDependency {
+                                dep: self.alg.dep_name(dep),
+                                link: self.arch.link(hop.link).name().to_owned(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Problem {
+            alg: self.alg,
+            arch: self.arch,
+            exec: self.exec,
+            comm: self.comm,
+            rtc: self.rtc,
+            npf: self.npf,
+        })
+    }
+}
+
+impl Problem {
+    /// Starts building a problem from its four mandatory parts.
+    pub fn builder(alg: Alg, arch: Arch, exec: ExecTable, comm: CommTable) -> ProblemBuilder {
+        ProblemBuilder {
+            alg,
+            arch,
+            exec,
+            comm,
+            rtc: None,
+            npf: 0,
+        }
+    }
+
+    /// The algorithm graph.
+    pub fn alg(&self) -> &Alg {
+        &self.alg
+    }
+
+    /// The architecture graph.
+    pub fn arch(&self) -> &Arch {
+        &self.arch
+    }
+
+    /// The execution-time table (with `Dis` constraints as `None`).
+    pub fn exec(&self) -> &ExecTable {
+        &self.exec
+    }
+
+    /// The communication-time table.
+    pub fn comm(&self) -> &CommTable {
+        &self.comm
+    }
+
+    /// The real-time constraint, if any.
+    pub fn rtc(&self) -> Option<Time> {
+        self.rtc
+    }
+
+    /// The number of tolerated fail-silent processor failures.
+    pub fn npf(&self) -> u32 {
+        self.npf
+    }
+
+    /// Number of replicas each operation must have (`npf + 1`).
+    pub fn replication(&self) -> usize {
+        self.npf as usize + 1
+    }
+
+    /// Returns the same problem with a different `npf`.
+    ///
+    /// Used to produce the non-fault-tolerant baseline (`npf = 0`) of the
+    /// paper's overhead metric.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`ProblemBuilder::build`] if the new `npf` is infeasible.
+    pub fn with_npf(&self, npf: u32) -> Result<Problem, ModelError> {
+        let mut b = Problem::builder(
+            self.alg.clone(),
+            self.arch.clone(),
+            self.exec.clone(),
+            self.comm.clone(),
+        );
+        if let Some(r) = self.rtc {
+            b.rtc(r);
+        }
+        b.npf(npf);
+        b.build()
+    }
+
+    /// Measured communication-to-computation ratio of the tables:
+    /// mean communication entry over mean execution entry.
+    pub fn ccr(&self) -> f64 {
+        let e = self.exec.mean_units();
+        if e == 0.0 {
+            0.0
+        } else {
+            self.comm.mean_units() / e
+        }
+    }
+
+    /// The entry operations (no intra-iteration predecessor), in id order.
+    pub fn entry_ops(&self) -> Vec<OpId> {
+        self.alg.entry_ops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::Alg;
+    use crate::arch::Arch;
+
+    fn parts() -> (Alg, Arch) {
+        let mut b = Alg::builder("t");
+        let a = b.comp("A");
+        let c = b.comp("B");
+        b.dep(a, c);
+        let alg = b.build().unwrap();
+        let mut b = Arch::builder("duo");
+        let p1 = b.proc("P1");
+        let p2 = b.proc("P2");
+        b.link("L", &[p1, p2]);
+        (alg, b.build().unwrap())
+    }
+
+    #[test]
+    fn builds_valid_problem() {
+        let (alg, arch) = parts();
+        let exec = ExecTable::uniform(2, 2, Time::from_units(1.0));
+        let comm = CommTable::uniform(1, 1, Time::from_units(0.5));
+        let mut b = Problem::builder(alg, arch, exec, comm);
+        b.npf(1).rtc(Time::from_units(10.0));
+        let p = b.build().unwrap();
+        assert_eq!(p.replication(), 2);
+        assert_eq!(p.ccr(), 0.5);
+        assert_eq!(p.entry_ops().len(), 1);
+    }
+
+    #[test]
+    fn npf_too_large_rejected() {
+        let (alg, arch) = parts();
+        let exec = ExecTable::uniform(2, 2, Time::from_units(1.0));
+        let comm = CommTable::uniform(1, 1, Time::from_units(0.5));
+        let mut b = Problem::builder(alg, arch, exec, comm);
+        b.npf(2);
+        assert!(matches!(b.build(), Err(ModelError::NpfTooLarge { .. })));
+    }
+
+    #[test]
+    fn not_enough_processors_rejected() {
+        let (alg, arch) = parts();
+        let mut exec = ExecTable::uniform(2, 2, Time::from_units(1.0));
+        exec.forbid(OpId(0), crate::ids::ProcId(1));
+        let comm = CommTable::uniform(1, 1, Time::from_units(0.5));
+        let mut b = Problem::builder(alg, arch, exec, comm);
+        b.npf(1);
+        assert!(matches!(
+            b.build(),
+            Err(ModelError::NotEnoughProcessors { .. })
+        ));
+    }
+
+    #[test]
+    fn unroutable_dependency_rejected() {
+        let (alg, arch) = parts();
+        let exec = ExecTable::uniform(2, 2, Time::from_units(1.0));
+        let comm = CommTable::new(1, 1); // no entry for the only dep/link
+        let b = Problem::builder(alg, arch, exec, comm);
+        assert!(matches!(
+            b.build(),
+            Err(ModelError::UnroutableDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn with_npf_round_trip() {
+        let (alg, arch) = parts();
+        let exec = ExecTable::uniform(2, 2, Time::from_units(1.0));
+        let comm = CommTable::uniform(1, 1, Time::from_units(0.5));
+        let mut b = Problem::builder(alg, arch, exec, comm);
+        b.npf(1);
+        let p = b.build().unwrap();
+        let p0 = p.with_npf(0).unwrap();
+        assert_eq!(p0.npf(), 0);
+        assert_eq!(p0.alg().op_count(), p.alg().op_count());
+        assert!(p.with_npf(5).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let (alg, arch) = parts();
+        let exec = ExecTable::uniform(9, 9, Time::from_units(1.0));
+        let comm = CommTable::uniform(1, 1, Time::from_units(0.5));
+        assert!(matches!(
+            Problem::builder(alg, arch, exec, comm).build(),
+            Err(ModelError::DimensionMismatch { .. })
+        ));
+    }
+}

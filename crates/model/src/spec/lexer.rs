@@ -1,0 +1,315 @@
+//! Tokenizer for the spec language.
+
+use core::fmt;
+
+/// A token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`algorithm`, `P1`, `L1.2`, …). Identifiers may
+    /// contain dots after the first character, so the paper's `L1.2` link
+    /// names lex as single tokens.
+    Ident(String),
+    /// Decimal number literal (`16`, `1.75`).
+    Number(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `->`
+    Arrow,
+    /// `--`
+    DashDash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Number(s) => write!(f, "number `{s}`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::DashDash => write!(f, "`--`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Error produced on an unexpected character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// The offending character.
+    pub ch: char,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unexpected character `{}` at {}:{}",
+            self.ch, self.line, self.col
+        )
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `input`; `#` comments run to end of line.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    loop {
+        let (tl, tc) = (line, col);
+        let Some(&c) = chars.peek() else {
+            tokens.push(Token {
+                kind: TokenKind::Eof,
+                line: tl,
+                col: tc,
+            });
+            return Ok(tokens);
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '{' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    line: tl,
+                    col: tc,
+                });
+            }
+            '}' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    line: tl,
+                    col: tc,
+                });
+            }
+            ';' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    line: tl,
+                    col: tc,
+                });
+            }
+            ':' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    line: tl,
+                    col: tc,
+                });
+            }
+            '=' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    line: tl,
+                    col: tc,
+                });
+            }
+            '-' => {
+                bump!();
+                match chars.peek() {
+                    Some('>') => {
+                        bump!();
+                        tokens.push(Token {
+                            kind: TokenKind::Arrow,
+                            line: tl,
+                            col: tc,
+                        });
+                    }
+                    Some('-') => {
+                        bump!();
+                        tokens.push(Token {
+                            kind: TokenKind::DashDash,
+                            line: tl,
+                            col: tc,
+                        });
+                    }
+                    _ => {
+                        return Err(LexError {
+                            ch: '-',
+                            line: tl,
+                            col: tc,
+                        })
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                let mut seen_dot = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        bump!();
+                    } else if c == '.' && !seen_dot {
+                        seen_dot = true;
+                        s.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number(s),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                        s.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    ch: other,
+                    line: tl,
+                    col: tc,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_punctuation_and_words() {
+        assert_eq!(
+            kinds("op A ; x -> y -- z { } : ="),
+            vec![
+                TokenKind::Ident("op".into()),
+                TokenKind::Ident("A".into()),
+                TokenKind::Semi,
+                TokenKind::Ident("x".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("y".into()),
+                TokenKind::DashDash,
+                TokenKind::Ident("z".into()),
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Colon,
+                TokenKind::Eq,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_and_dotted_idents() {
+        assert_eq!(
+            kinds("1.75 16 L1.2"),
+            vec![
+                TokenKind::Number("1.75".into()),
+                TokenKind::Number("16".into()),
+                TokenKind::Ident("L1.2".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a # comment ; -> \n b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("ab\n  cd").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_character_is_reported() {
+        let err = lex("a @ b").unwrap_err();
+        assert_eq!(err.ch, '@');
+        assert_eq!((err.line, err.col), (1, 3));
+        assert!(err.to_string().contains("1:3"));
+    }
+
+    #[test]
+    fn lone_dash_is_an_error() {
+        assert!(lex("a - b").is_err());
+    }
+}

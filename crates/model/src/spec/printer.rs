@@ -1,0 +1,126 @@
+//! Pretty-printer: renders a [`Problem`] back to spec text.
+//!
+//! `parse_problem(print_problem(p))` reconstructs an equivalent problem, and
+//! printing is a fixpoint (printing the reparsed problem yields identical
+//! text) — both properties are tested.
+
+use std::fmt::Write as _;
+
+use crate::problem::Problem;
+
+/// Renders `problem` as spec-language text.
+pub fn print_problem(problem: &Problem) -> String {
+    let alg = problem.alg();
+    let arch = problem.arch();
+    let mut out = String::new();
+
+    let _ = writeln!(out, "algorithm {} {{", alg.name());
+    for op in alg.ops() {
+        let o = alg.op(op);
+        let _ = writeln!(out, "  op {} kind {};", o.name(), o.kind().keyword());
+    }
+    for dep in alg.deps() {
+        let (s, d) = alg.dep_endpoints(dep);
+        let size = alg.dep(dep).size();
+        if (size - 1.0).abs() < f64::EPSILON {
+            let _ = writeln!(out, "  dep {} -> {};", alg.op(s).name(), alg.op(d).name());
+        } else {
+            let _ = writeln!(
+                out,
+                "  dep {} -> {} size {};",
+                alg.op(s).name(),
+                alg.op(d).name(),
+                size
+            );
+        }
+    }
+    out.push_str("}\n\n");
+
+    let _ = writeln!(out, "architecture {} {{", arch.name());
+    for p in arch.procs() {
+        let _ = writeln!(out, "  proc {};", arch.proc(p).name());
+    }
+    for l in arch.links() {
+        let link = arch.link(l);
+        let eps: Vec<&str> = link
+            .endpoints()
+            .iter()
+            .map(|&p| arch.proc(p).name())
+            .collect();
+        let _ = writeln!(out, "  link {}: {};", link.name(), eps.join(" -- "));
+    }
+    out.push_str("}\n\n");
+
+    out.push_str("exec {\n");
+    for op in alg.ops() {
+        let _ = write!(out, " ");
+        for p in arch.procs() {
+            match problem.exec().get(op, p) {
+                Some(t) => {
+                    let _ = write!(out, " {} on {} = {};", alg.op(op).name(), arch.proc(p).name(), t);
+                }
+                None => {
+                    let _ = write!(
+                        out,
+                        " {} on {} = inf;",
+                        alg.op(op).name(),
+                        arch.proc(p).name()
+                    );
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n\n");
+
+    out.push_str("comm {\n");
+    for dep in alg.deps() {
+        let (s, d) = alg.dep_endpoints(dep);
+        let _ = write!(out, " ");
+        for l in arch.links() {
+            if let Some(t) = problem.comm().get(dep, l) {
+                let _ = write!(
+                    out,
+                    " {} -> {} on {} = {};",
+                    alg.op(s).name(),
+                    alg.op(d).name(),
+                    arch.link(l).name(),
+                    t
+                );
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n\n");
+
+    if let Some(rtc) = problem.rtc() {
+        let _ = writeln!(out, "rtc {rtc};");
+    }
+    let _ = writeln!(out, "npf {};", problem.npf());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::paper_example;
+    use crate::spec::parse_problem;
+
+    #[test]
+    fn printed_paper_example_contains_key_lines() {
+        let text = print_problem(&paper_example());
+        assert!(text.contains("op I kind extio;"));
+        assert!(text.contains("dep I -> A;"));
+        assert!(text.contains("link L1.2: P1 -- P2;"));
+        assert!(text.contains("I on P3 = inf;"));
+        assert!(text.contains("rtc 16;"));
+        assert!(text.contains("npf 1;"));
+    }
+
+    #[test]
+    fn printing_is_a_parse_fixpoint() {
+        let text = print_problem(&paper_example());
+        let reparsed = parse_problem(&text).unwrap();
+        assert_eq!(print_problem(&reparsed), text);
+    }
+}

@@ -1,0 +1,175 @@
+//! Fault plans: fail-silent processor failures over absolute simulation
+//! time, permanent or intermittent (paper §3.1, §5).
+
+use ftbar_model::{ProcId, Time};
+use serde::{Deserialize, Serialize};
+
+/// One fail-silent window of a processor: silent during `[from, until)`
+/// (`until = None` ⇒ permanent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// The failing processor.
+    pub proc: ProcId,
+    /// First silent instant (absolute simulation time).
+    pub from: Time,
+    /// First instant after recovery; `None` for a permanent failure.
+    pub until: Option<Time>,
+}
+
+/// A set of fault windows over the whole (multi-iteration) simulation.
+///
+/// # Example
+///
+/// ```
+/// use ftbar_model::{ProcId, Time};
+/// use ftbar_sim::FaultPlan;
+///
+/// let mut plan = FaultPlan::new(3);
+/// plan.permanent(ProcId(0), Time::from_units(5.0));
+/// plan.intermittent(ProcId(2), Time::from_units(1.0), Time::from_units(2.0));
+/// assert!(plan.is_failed(ProcId(0), Time::from_units(9.0)));
+/// assert!(!plan.is_failed(ProcId(2), Time::from_units(3.0)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    proc_count: usize,
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no failure) for `proc_count` processors.
+    pub fn new(proc_count: usize) -> Self {
+        FaultPlan {
+            proc_count,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Adds a permanent failure of `proc` starting at `from`.
+    pub fn permanent(&mut self, proc: ProcId, from: Time) -> &mut Self {
+        self.windows.push(FaultWindow {
+            proc,
+            from,
+            until: None,
+        });
+        self
+    }
+
+    /// Adds an intermittent failure of `proc` during `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn intermittent(&mut self, proc: ProcId, from: Time, until: Time) -> &mut Self {
+        assert!(until > from, "empty failure window");
+        self.windows.push(FaultWindow {
+            proc,
+            from,
+            until: Some(until),
+        });
+        self
+    }
+
+    /// Number of processors covered by the plan.
+    pub fn proc_count(&self) -> usize {
+        self.proc_count
+    }
+
+    /// All windows, in insertion order.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// True if `proc` is silent at instant `t`.
+    pub fn is_failed(&self, proc: ProcId, t: Time) -> bool {
+        self.windows.iter().any(|w| {
+            w.proc == proc && w.from <= t && w.until.map_or(true, |u| t < u)
+        })
+    }
+
+    /// The first instant within `[start, end)` at which `proc` is silent,
+    /// if any.
+    pub fn first_failure_in(&self, proc: ProcId, start: Time, end: Time) -> Option<Time> {
+        self.windows
+            .iter()
+            .filter(|w| w.proc == proc)
+            .filter_map(|w| {
+                let begin = w.from.max(start);
+                let still_failed = w.until.map_or(true, |u| begin < u);
+                (begin < end && still_failed).then_some(begin)
+            })
+            .min()
+    }
+
+    /// Processors with at least one window, in id order.
+    pub fn affected_procs(&self) -> Vec<ProcId> {
+        let mut v: Vec<ProcId> = self.windows.iter().map(|w| w.proc).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(u: f64) -> Time {
+        Time::from_units(u)
+    }
+
+    #[test]
+    fn permanent_failure_is_forever() {
+        let mut p = FaultPlan::new(2);
+        p.permanent(ProcId(0), t(3.0));
+        assert!(!p.is_failed(ProcId(0), t(2.9)));
+        assert!(p.is_failed(ProcId(0), t(3.0)));
+        assert!(p.is_failed(ProcId(0), t(1e6)));
+        assert!(!p.is_failed(ProcId(1), t(5.0)));
+    }
+
+    #[test]
+    fn intermittent_failure_recovers() {
+        let mut p = FaultPlan::new(1);
+        p.intermittent(ProcId(0), t(1.0), t(2.0));
+        assert!(!p.is_failed(ProcId(0), t(0.5)));
+        assert!(p.is_failed(ProcId(0), t(1.5)));
+        assert!(!p.is_failed(ProcId(0), t(2.0)), "until is exclusive");
+    }
+
+    #[test]
+    fn first_failure_in_window_queries() {
+        let mut p = FaultPlan::new(2);
+        p.intermittent(ProcId(0), t(5.0), t(6.0));
+        p.permanent(ProcId(0), t(20.0));
+        assert_eq!(p.first_failure_in(ProcId(0), t(0.0), t(4.0)), None);
+        assert_eq!(p.first_failure_in(ProcId(0), t(0.0), t(10.0)), Some(t(5.0)));
+        assert_eq!(
+            p.first_failure_in(ProcId(0), t(5.5), t(10.0)),
+            Some(t(5.5)),
+            "window already open at range start"
+        );
+        assert_eq!(p.first_failure_in(ProcId(0), t(7.0), t(10.0)), None);
+        assert_eq!(
+            p.first_failure_in(ProcId(0), t(15.0), t(30.0)),
+            Some(t(20.0))
+        );
+        assert_eq!(p.first_failure_in(ProcId(1), t(0.0), t(99.0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty failure window")]
+    fn empty_window_rejected() {
+        let mut p = FaultPlan::new(1);
+        p.intermittent(ProcId(0), t(2.0), t(2.0));
+    }
+
+    #[test]
+    fn affected_procs_deduplicates() {
+        let mut p = FaultPlan::new(3);
+        p.intermittent(ProcId(2), t(0.0), t(1.0));
+        p.intermittent(ProcId(2), t(5.0), t(6.0));
+        p.permanent(ProcId(0), t(9.0));
+        assert_eq!(p.affected_procs(), vec![ProcId(0), ProcId(2)]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Wire encoding of executive messages.
+//!
+//! A deployed FTBAR executive sends values over real links; the threaded
+//! executive mirrors that with a fixed little binary layout (all fields
+//! big-endian):
+//!
+//! ```text
+//! magic  u16 = 0xF7BA
+//! comm   u32   (CommId of the transfer)
+//! dep    u32   (DepId of the carried dependency)
+//! time   u64   (logical timestamp, ticks)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ftbar_model::Time;
+
+/// Magic header of every message.
+pub const MAGIC: u16 = 0xF7BA;
+/// Encoded length in bytes.
+pub const MESSAGE_LEN: usize = 2 + 4 + 4 + 8;
+
+/// One data message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// Comm identifier.
+    pub comm: u32,
+    /// Dependency identifier.
+    pub dep: u32,
+    /// Logical delivery timestamp.
+    pub timestamp: Time,
+}
+
+/// Encodes a message into a frozen byte buffer.
+pub fn encode(msg: &Message) -> Bytes {
+    let mut b = BytesMut::with_capacity(MESSAGE_LEN);
+    b.put_u16(MAGIC);
+    b.put_u32(msg.comm);
+    b.put_u32(msg.dep);
+    b.put_u64(msg.timestamp.ticks());
+    b.freeze()
+}
+
+/// Decodes a message.
+///
+/// Returns `None` on a short buffer or a bad magic header.
+pub fn decode(mut buf: &[u8]) -> Option<Message> {
+    if buf.len() < MESSAGE_LEN || buf.get_u16() != MAGIC {
+        return None;
+    }
+    let comm = buf.get_u32();
+    let dep = buf.get_u32();
+    let timestamp = Time::from_ticks(buf.get_u64());
+    Some(Message {
+        comm,
+        dep,
+        timestamp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let m = Message {
+            comm: 42,
+            dep: 7,
+            timestamp: Time::from_units(15.05),
+        };
+        let bytes = encode(&m);
+        assert_eq!(bytes.len(), MESSAGE_LEN);
+        assert_eq!(decode(&bytes), Some(m));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let m = Message {
+            comm: 1,
+            dep: 2,
+            timestamp: Time::ZERO,
+        };
+        let mut bytes = encode(&m).to_vec();
+        bytes[0] = 0;
+        assert_eq!(decode(&bytes), None);
+    }
+
+    #[test]
+    fn rejects_short_buffer() {
+        assert_eq!(decode(&[0xF7]), None);
+        assert_eq!(decode(&[]), None);
+    }
+}

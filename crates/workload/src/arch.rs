@@ -1,0 +1,92 @@
+//! Architecture generators.
+
+use ftbar_model::Arch;
+
+/// A fully connected machine: `p` processors `P0..P{p-1}` with one
+/// point-to-point link `L{i}.{j}` per pair — the paper's experimental
+/// topology (`P = 4`).
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+pub fn fully_connected(p: usize) -> Arch {
+    assert!(p > 0, "need at least one processor");
+    let mut b = Arch::builder(format!("mesh{p}"));
+    let procs: Vec<_> = (0..p).map(|i| b.proc(format!("P{i}"))).collect();
+    for i in 0..p {
+        for j in (i + 1)..p {
+            b.link(format!("L{i}.{j}"), &[procs[i], procs[j]]);
+        }
+    }
+    b.build().expect("full meshes are valid")
+}
+
+/// A ring of `p ≥ 3` processors with point-to-point links between
+/// neighbours (multi-hop routes exercise store-and-forward).
+///
+/// # Panics
+///
+/// Panics if `p < 3`.
+pub fn ring(p: usize) -> Arch {
+    assert!(p >= 3, "a ring needs at least three processors");
+    let mut b = Arch::builder(format!("ring{p}"));
+    let procs: Vec<_> = (0..p).map(|i| b.proc(format!("P{i}"))).collect();
+    for i in 0..p {
+        let j = (i + 1) % p;
+        b.link(format!("L{i}.{j}"), &[procs[i], procs[j]]);
+    }
+    b.build().expect("rings are valid")
+}
+
+/// `p` processors on a single multipoint bus (the topology of the authors'
+/// earlier ICDCS/FTPDS work; comms serialize on one medium).
+///
+/// # Panics
+///
+/// Panics if `p < 2`.
+pub fn bus(p: usize) -> Arch {
+    assert!(p >= 2, "a bus needs at least two processors");
+    let mut b = Arch::builder(format!("bus{p}"));
+    let procs: Vec<_> = (0..p).map(|i| b.proc(format!("P{i}"))).collect();
+    b.link("BUS", &procs);
+    b.build().expect("buses are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_shape() {
+        let a = fully_connected(4);
+        assert_eq!(a.proc_count(), 4);
+        assert_eq!(a.link_count(), 6);
+        assert!(a.is_fully_connected());
+    }
+
+    #[test]
+    fn mesh_of_one() {
+        let a = fully_connected(1);
+        assert_eq!(a.proc_count(), 1);
+        assert_eq!(a.link_count(), 0);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let a = ring(5);
+        assert_eq!(a.proc_count(), 5);
+        assert_eq!(a.link_count(), 5);
+        assert!(!a.is_fully_connected());
+        // Opposite nodes are two hops apart.
+        let p0 = a.proc_by_name("P0").unwrap();
+        let p2 = a.proc_by_name("P2").unwrap();
+        assert_eq!(a.route(p0, p2).len(), 2);
+    }
+
+    #[test]
+    fn bus_shape() {
+        let a = bus(4);
+        assert_eq!(a.link_count(), 1);
+        assert!(a.is_fully_connected());
+    }
+}

@@ -1,0 +1,286 @@
+//! Classic deterministic task-graph families.
+//!
+//! These widen the test corpus beyond the paper's layered random graphs
+//! with the standard shapes of the scheduling literature. All are `comp`
+//! operations with unit-size dependencies; attach times with
+//! [`crate::timing`].
+
+use ftbar_model::{Alg, OpId};
+
+/// A linear chain `C0 -> C1 -> … -> C{n-1}`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn chain(n: usize) -> Alg {
+    assert!(n > 0);
+    let mut b = Alg::builder(format!("chain{n}"));
+    let ops: Vec<OpId> = (0..n).map(|i| b.comp(format!("C{i}"))).collect();
+    for w in ops.windows(2) {
+        b.dep(w[0], w[1]);
+    }
+    b.build().expect("chains are valid")
+}
+
+/// Fork-join: one source fanning out to `width` parallel tasks joined by
+/// one sink (`n = width + 2` operations).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn fork_join(width: usize) -> Alg {
+    assert!(width > 0);
+    let mut b = Alg::builder(format!("forkjoin{width}"));
+    let src = b.comp("SRC");
+    let sink = b.comp("SINK");
+    for i in 0..width {
+        let mid = b.comp(format!("W{i}"));
+        b.dep(src, mid);
+        b.dep(mid, sink);
+    }
+    b.build().expect("fork-joins are valid")
+}
+
+/// A complete out-tree (every node has `arity` children) with `depth`
+/// levels.
+///
+/// # Panics
+///
+/// Panics if `arity == 0` or `depth == 0`.
+pub fn out_tree(arity: usize, depth: usize) -> Alg {
+    assert!(arity > 0 && depth > 0);
+    let mut b = Alg::builder(format!("outtree{arity}x{depth}"));
+    let root = b.comp("N0");
+    let mut frontier = vec![root];
+    let mut next_id = 1usize;
+    for _ in 1..depth {
+        let mut next = Vec::new();
+        for &parent in &frontier {
+            for _ in 0..arity {
+                let child = b.comp(format!("N{next_id}"));
+                next_id += 1;
+                b.dep(parent, child);
+                next.push(child);
+            }
+        }
+        frontier = next;
+    }
+    b.build().expect("out-trees are valid")
+}
+
+/// A complete in-tree: the mirror of [`out_tree`] (reduction).
+///
+/// # Panics
+///
+/// Panics if `arity == 0` or `depth == 0`.
+pub fn in_tree(arity: usize, depth: usize) -> Alg {
+    assert!(arity > 0 && depth > 0);
+    let mut b = Alg::builder(format!("intree{arity}x{depth}"));
+    // Build level by level from the leaves toward the root.
+    let mut width = arity.pow(depth as u32 - 1);
+    let mut next_id = 0usize;
+    let mut frontier: Vec<OpId> = (0..width)
+        .map(|_| {
+            let op = b.comp(format!("N{next_id}"));
+            next_id += 1;
+            op
+        })
+        .collect();
+    while width > 1 {
+        width /= arity;
+        let parents: Vec<OpId> = (0..width)
+            .map(|_| {
+                let op = b.comp(format!("N{next_id}"));
+                next_id += 1;
+                op
+            })
+            .collect();
+        for (i, &child) in frontier.iter().enumerate() {
+            b.dep(child, parents[i / arity]);
+        }
+        frontier = parents;
+    }
+    b.build().expect("in-trees are valid")
+}
+
+/// The diamond/stencil DAG of a `rows × cols` wavefront computation:
+/// task `(i, j)` depends on `(i-1, j)` and `(i, j-1)`.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+pub fn stencil(rows: usize, cols: usize) -> Alg {
+    assert!(rows > 0 && cols > 0);
+    let mut b = Alg::builder(format!("stencil{rows}x{cols}"));
+    let mut grid = vec![vec![None; cols]; rows];
+    for (i, row) in grid.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = Some(b.comp(format!("S{i}_{j}")));
+        }
+    }
+    for i in 0..rows {
+        for j in 0..cols {
+            let me = grid[i][j].unwrap();
+            if i > 0 {
+                b.dep(grid[i - 1][j].unwrap(), me);
+            }
+            if j > 0 {
+                b.dep(grid[i][j - 1].unwrap(), me);
+            }
+        }
+    }
+    b.build().expect("stencils are valid")
+}
+
+/// The task graph of an `n`-point FFT (`n` a power of two): `log2 n`
+/// butterfly ranks of `n` tasks each, plus an input rank.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `n` is not a power of two.
+pub fn fft(n: usize) -> Alg {
+    assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two >= 2");
+    let ranks = n.trailing_zeros() as usize;
+    let mut b = Alg::builder(format!("fft{n}"));
+    let mut prev: Vec<OpId> = (0..n).map(|i| b.comp(format!("X0_{i}"))).collect();
+    for r in 1..=ranks {
+        let cur: Vec<OpId> = (0..n).map(|i| b.comp(format!("X{r}_{i}"))).collect();
+        let stride = n >> r;
+        for i in 0..n {
+            let partner = i ^ stride;
+            b.dep(prev[i], cur[i]);
+            b.dep(prev[partner], cur[i]);
+        }
+        prev = cur;
+    }
+    b.build().expect("fft graphs are valid")
+}
+
+/// The task graph of Gaussian elimination on an `n × n` matrix: pivot task
+/// `P_k` feeds update tasks `U_{k,j}` (`j > k`), which feed the next pivot.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn gaussian_elimination(n: usize) -> Alg {
+    assert!(n >= 2);
+    let mut b = Alg::builder(format!("gauss{n}"));
+    let mut prev_updates: Vec<Option<OpId>> = vec![None; n + 1];
+    for k in 0..n - 1 {
+        let pivot = b.comp(format!("P{k}"));
+        if let Some(u) = prev_updates[k + 1] {
+            b.dep(u, pivot);
+        }
+        let mut row = vec![None; n + 1];
+        for j in k + 1..n {
+            let upd = b.comp(format!("U{k}_{j}"));
+            b.dep(pivot, upd);
+            if let Some(u) = prev_updates[j] {
+                b.dep(u, upd);
+            }
+            row[j] = Some(upd);
+        }
+        prev_updates = row;
+    }
+    b.build().expect("gaussian elimination graphs are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let a = chain(5);
+        assert_eq!(a.op_count(), 5);
+        assert_eq!(a.dep_count(), 4);
+        assert_eq!(a.entry_ops().len(), 1);
+        assert_eq!(a.exit_ops().len(), 1);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let a = fork_join(6);
+        assert_eq!(a.op_count(), 8);
+        assert_eq!(a.dep_count(), 12);
+        let src = a.op_by_name("SRC").unwrap();
+        assert_eq!(a.succs(src).count(), 6);
+    }
+
+    #[test]
+    fn out_tree_shape() {
+        let a = out_tree(2, 4);
+        assert_eq!(a.op_count(), 15); // 1 + 2 + 4 + 8
+        assert_eq!(a.dep_count(), 14);
+        assert_eq!(a.entry_ops().len(), 1);
+        assert_eq!(a.exit_ops().len(), 8);
+    }
+
+    #[test]
+    fn in_tree_shape() {
+        let a = in_tree(2, 4);
+        assert_eq!(a.op_count(), 15);
+        assert_eq!(a.entry_ops().len(), 8);
+        assert_eq!(a.exit_ops().len(), 1);
+    }
+
+    #[test]
+    fn stencil_shape() {
+        let a = stencil(3, 4);
+        assert_eq!(a.op_count(), 12);
+        assert_eq!(a.dep_count(), 2 * 3 * 4 - 3 - 4);
+        assert_eq!(a.entry_ops().len(), 1);
+    }
+
+    #[test]
+    fn fft_shape() {
+        let a = fft(8);
+        assert_eq!(a.op_count(), 8 * 4); // input rank + 3 butterfly ranks
+        assert_eq!(a.dep_count(), 8 * 3 * 2);
+        assert_eq!(a.entry_ops().len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_requires_power_of_two() {
+        let _ = fft(6);
+    }
+
+    #[test]
+    fn gauss_shape() {
+        let a = gaussian_elimination(4);
+        // pivots: P0..P2; updates: 3 + 2 + 1.
+        assert_eq!(a.op_count(), 3 + 6);
+        assert_eq!(a.entry_ops().len(), 1);
+    }
+
+    #[test]
+    fn all_families_schedule() {
+        use crate::arch::fully_connected;
+        use crate::timing_gen::{timing, TimingConfig};
+        for alg in [
+            chain(6),
+            fork_join(4),
+            out_tree(2, 3),
+            in_tree(2, 3),
+            stencil(3, 3),
+            fft(4),
+            gaussian_elimination(4),
+        ] {
+            let name = alg.name().to_owned();
+            let p = timing(
+                alg,
+                fully_connected(3),
+                &TimingConfig {
+                    npf: 1,
+                    seed: 11,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let s = ftbar_core::ftbar::schedule(&p).unwrap();
+            let v = ftbar_core::validate::validate(&p, &s);
+            assert!(v.is_empty(), "{name}: {v:#?}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The paper's random algorithm-graph generator (§6.1).
+//!
+//! > "Given the number of operations N, we randomly generate a set of levels
+//! > with a random number of operations. Then, operations at a given level
+//! > are randomly connected to operations at a higher level."
+
+use ftbar_model::{Alg, OpId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the layered random DAG generator.
+#[derive(Debug, Clone)]
+pub struct LayeredConfig {
+    /// Total number of operations `N`.
+    pub n_ops: usize,
+    /// Average operations per level (level widths are uniform in
+    /// `1..=2*avg_width-1`).
+    pub avg_width: usize,
+    /// Probability that a given (lower-level op, higher-level op) pair is
+    /// connected. Every non-entry op gets at least one predecessor so the
+    /// graph stays a single phase.
+    pub edge_prob: f64,
+    /// How far edges may jump: an edge from level `l` goes to a level in
+    /// `l+1 ..= l+max_jump`.
+    pub max_jump: usize,
+    /// RNG seed (generators are pure functions of the config).
+    pub seed: u64,
+}
+
+impl Default for LayeredConfig {
+    fn default() -> Self {
+        LayeredConfig {
+            n_ops: 20,
+            avg_width: 4,
+            edge_prob: 0.35,
+            max_jump: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a random layered algorithm graph.
+///
+/// Operation names are `T0..T{N-1}`; all operations are `comp` (the paper's
+/// simulations have no `mem`/`extio` distinction).
+///
+/// # Panics
+///
+/// Panics if `n_ops == 0`, `avg_width == 0`, or `edge_prob` is not in
+/// `[0, 1]`.
+pub fn layered(config: &LayeredConfig) -> Alg {
+    assert!(config.n_ops > 0, "n_ops must be positive");
+    assert!(config.avg_width > 0, "avg_width must be positive");
+    assert!(
+        (0.0..=1.0).contains(&config.edge_prob),
+        "edge_prob must be a probability"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Partition N into levels of random width.
+    let mut levels: Vec<Vec<usize>> = Vec::new();
+    let mut next = 0usize;
+    while next < config.n_ops {
+        let w = rng.gen_range(1..=2 * config.avg_width - 1);
+        let w = w.min(config.n_ops - next);
+        levels.push((next..next + w).collect());
+        next += w;
+    }
+
+    let mut b = Alg::builder(format!("layered_n{}_s{}", config.n_ops, config.seed));
+    let ops: Vec<OpId> = (0..config.n_ops).map(|i| b.comp(format!("T{i}"))).collect();
+    let mut has_pred = vec![false; config.n_ops];
+
+    let jump = config.max_jump.max(1);
+    for (li, level) in levels.iter().enumerate() {
+        for &src in level {
+            for (lj, target_level) in levels.iter().enumerate().skip(li + 1) {
+                if lj - li > jump {
+                    break;
+                }
+                for &dst in target_level {
+                    if rng.gen_bool(config.edge_prob) {
+                        b.dep(ops[src], ops[dst]);
+                        has_pred[dst] = true;
+                    }
+                }
+            }
+        }
+    }
+    // Connectivity guarantee: every op beyond level 0 gets at least one
+    // predecessor from the previous level.
+    for (li, level) in levels.iter().enumerate().skip(1) {
+        for &dst in level {
+            if !has_pred[dst] {
+                let prev = &levels[li - 1];
+                let src = prev[rng.gen_range(0..prev.len())];
+                b.dep(ops[src], ops[dst]);
+                has_pred[dst] = true;
+            }
+        }
+    }
+    b.build().expect("layered generation yields a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_op_count() {
+        for n in [1, 5, 10, 40, 80] {
+            let alg = layered(&LayeredConfig {
+                n_ops: n,
+                seed: 42,
+                ..Default::default()
+            });
+            assert_eq!(alg.op_count(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = LayeredConfig {
+            n_ops: 30,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = layered(&c);
+        let b = layered(&c);
+        assert_eq!(a.dep_count(), b.dep_count());
+        for (da, db) in a.deps().zip(b.deps()) {
+            assert_eq!(a.dep_endpoints(da), b.dep_endpoints(db));
+        }
+        let c2 = LayeredConfig { seed: 8, ..c };
+        let other = layered(&c2);
+        // Overwhelmingly likely to differ.
+        assert!(
+            a.dep_count() != other.dep_count()
+                || a.deps()
+                    .zip(other.deps())
+                    .any(|(x, y)| a.dep_endpoints(x) != other.dep_endpoints(y))
+        );
+    }
+
+    #[test]
+    fn every_non_entry_has_a_pred() {
+        let alg = layered(&LayeredConfig {
+            n_ops: 50,
+            edge_prob: 0.05, // sparse: orphan fix-up must kick in
+            seed: 3,
+            ..Default::default()
+        });
+        // All ops are reachable: exactly the level-0 ops are entries.
+        let entries = alg.entry_ops();
+        assert!(!entries.is_empty());
+        for op in alg.ops() {
+            if !entries.contains(&op) {
+                assert!(alg.preds(op).count() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn edges_go_forward_only() {
+        let alg = layered(&LayeredConfig {
+            n_ops: 60,
+            seed: 9,
+            ..Default::default()
+        });
+        // Names encode generation order; edges must go from lower to higher
+        // indices (levels are index ranges).
+        for dep in alg.deps() {
+            let (s, d) = alg.dep_endpoints(dep);
+            let si: usize = alg.op(s).name()[1..].parse().unwrap();
+            let di: usize = alg.op(d).name()[1..].parse().unwrap();
+            assert!(si < di);
+        }
+    }
+
+    #[test]
+    fn single_op_graph() {
+        let alg = layered(&LayeredConfig {
+            n_ops: 1,
+            seed: 0,
+            ..Default::default()
+        });
+        assert_eq!(alg.op_count(), 1);
+        assert_eq!(alg.dep_count(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Workload generators for the FTBAR benchmarks.
+//!
+//! * [`layered`] — the paper's §6.1 random graph model: random levels with a
+//!   random number of operations each, edges from a level to higher levels,
+//!   uniform execution/communication times around chosen means (the
+//!   communication mean is `CCR ×` the execution mean);
+//! * [`families`] — classic deterministic task-graph shapes used to widen
+//!   the test corpus (chains, forks/joins, diamonds, in/out-trees, stencils,
+//!   FFT butterflies, Gaussian elimination);
+//! * [`arch`] — architecture generators: fully connected point-to-point
+//!   meshes (the paper's 4-processor setup), rings, and single buses;
+//! * [`timing`] — attaches `Exe`/`Dis` tables to any algorithm/architecture
+//!   pair with controlled heterogeneity and CCR.
+//!
+//! All randomness comes from a caller-provided seed; every generator is a
+//! pure function of its config.
+//!
+//! # Example
+//!
+//! ```
+//! use ftbar_workload::{arch, layered, timing, LayeredConfig, TimingConfig};
+//!
+//! let alg = layered(&LayeredConfig { n_ops: 20, seed: 7, ..Default::default() });
+//! let machine = arch::fully_connected(4);
+//! let problem = timing(
+//!     alg,
+//!     machine,
+//!     &TimingConfig { ccr: 5.0, npf: 1, seed: 7, ..Default::default() },
+//! )?;
+//! assert_eq!(problem.alg().op_count(), 20);
+//! assert_eq!(problem.arch().proc_count(), 4);
+//! # Ok::<(), ftbar_model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod families;
+mod layered_gen;
+mod timing_gen;
+
+pub use layered_gen::{layered, LayeredConfig};
+pub use timing_gen::{timing, TimingConfig};

@@ -1,0 +1,275 @@
+//! Timing assignment: builds `Exe`/`Dis` tables for an
+//! algorithm/architecture pair (§6.1).
+//!
+//! Execution times are uniform around `mean_exec`; communication times are
+//! uniform around `ccr × mean_exec` (the definition of the paper's
+//! communication-to-computation ratio). `heterogeneity` scales each
+//! processor/link by its own uniform factor, turning the homogeneous
+//! simulation setup into the heterogeneous benchmark of the paper's §7.
+
+use ftbar_model::{Alg, Arch, CommTable, ExecTable, ModelError, Problem, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of [`timing`].
+#[derive(Debug, Clone)]
+pub struct TimingConfig {
+    /// Mean execution time (time units).
+    pub mean_exec: f64,
+    /// Communication-to-computation ratio: mean comm = `ccr × mean_exec`.
+    pub ccr: f64,
+    /// Half-width of the uniform distributions, as a fraction of the mean
+    /// (`0.5` ⇒ `U[0.5µ, 1.5µ]`, the classic scheduling-literature choice).
+    pub spread: f64,
+    /// Per-processor / per-link speed heterogeneity: each resource draws a
+    /// factor in `U[1 - h, 1 + h]`. `0` reproduces the paper's homogeneous
+    /// §6 setup.
+    pub heterogeneity: f64,
+    /// Probability that an ⟨op, proc⟩ pair is forbidden (`Dis` constraint).
+    /// Feasibility (`npf + 1` processors per op) is preserved.
+    pub forbid_prob: f64,
+    /// Number of tolerated failures recorded in the problem.
+    pub npf: u32,
+    /// Optional real-time constraint.
+    pub rtc: Option<Time>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            mean_exec: 1.0,
+            ccr: 1.0,
+            spread: 0.5,
+            heterogeneity: 0.0,
+            forbid_prob: 0.0,
+            npf: 1,
+            rtc: None,
+            seed: 0,
+        }
+    }
+}
+
+fn uniform_around(rng: &mut StdRng, mean: f64, spread: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let lo = mean * (1.0 - spread);
+    let hi = mean * (1.0 + spread);
+    if hi <= lo {
+        mean
+    } else {
+        rng.gen_range(lo..hi)
+    }
+}
+
+/// Builds a [`Problem`] by drawing `Exe`/`Dis` tables for `alg` on `arch`.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from problem validation (only reachable with
+/// contradictory configs, e.g. `npf + 1 > proc_count`).
+///
+/// # Panics
+///
+/// Panics if a mean/spread/probability parameter is out of range.
+pub fn timing(alg: Alg, arch: Arch, config: &TimingConfig) -> Result<Problem, ModelError> {
+    assert!(config.mean_exec > 0.0, "mean_exec must be positive");
+    assert!(config.ccr >= 0.0, "ccr must be non-negative");
+    assert!(
+        (0.0..1.0).contains(&config.spread),
+        "spread must be in [0, 1)"
+    );
+    assert!(
+        (0.0..1.0).contains(&config.heterogeneity),
+        "heterogeneity must be in [0, 1)"
+    );
+    assert!(
+        (0.0..1.0).contains(&config.forbid_prob),
+        "forbid_prob must be a probability below 1"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let proc_factor: Vec<f64> = (0..arch.proc_count())
+        .map(|_| uniform_around(&mut rng, 1.0, config.heterogeneity))
+        .collect();
+    let link_factor: Vec<f64> = (0..arch.link_count())
+        .map(|_| uniform_around(&mut rng, 1.0, config.heterogeneity))
+        .collect();
+
+    let k = config.npf as usize + 1;
+    let mut exec = ExecTable::new(alg.op_count(), arch.proc_count());
+    for op in alg.ops() {
+        // Draw the base time once per op so processors differ only by their
+        // speed factor.
+        let base = uniform_around(&mut rng, config.mean_exec, config.spread);
+        let mut allowed: Vec<bool> = (0..arch.proc_count())
+            .map(|_| !rng.gen_bool(config.forbid_prob))
+            .collect();
+        // Keep feasibility: force-allow processors until k are available.
+        let mut available = allowed.iter().filter(|&&a| a).count();
+        let mut i = 0;
+        while available < k && i < allowed.len() {
+            if !allowed[i] {
+                allowed[i] = true;
+                available += 1;
+            }
+            i += 1;
+        }
+        for proc in arch.procs() {
+            if allowed[proc.index()] {
+                let t = (base * proc_factor[proc.index()]).max(0.001);
+                exec.set(op, proc, Time::from_units(t));
+            }
+        }
+    }
+
+    let mean_comm = config.ccr * config.mean_exec;
+    let mut comm = CommTable::new(alg.dep_count(), arch.link_count());
+    for dep in alg.deps() {
+        let base = uniform_around(&mut rng, mean_comm, config.spread);
+        for link in arch.links() {
+            let t = base * link_factor[link.index()];
+            comm.set(dep, link, Time::from_units(t));
+        }
+    }
+
+    let mut b = Problem::builder(alg, arch, exec, comm);
+    b.npf(config.npf);
+    if let Some(rtc) = config.rtc {
+        b.rtc(rtc);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::fully_connected;
+    use crate::layered_gen::{layered, LayeredConfig};
+
+    fn alg20(seed: u64) -> Alg {
+        layered(&LayeredConfig {
+            n_ops: 20,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn ccr_is_respected_on_average() {
+        for ccr in [0.1, 1.0, 5.0] {
+            let p = timing(
+                alg20(1),
+                fully_connected(4),
+                &TimingConfig {
+                    ccr,
+                    seed: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let measured = p.ccr();
+            assert!(
+                (measured / ccr - 1.0).abs() < 0.35,
+                "ccr {ccr}: measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn homogeneous_tables_when_heterogeneity_zero() {
+        let p = timing(
+            alg20(2),
+            fully_connected(3),
+            &TimingConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for op in p.alg().ops() {
+            let times: Vec<_> = p
+                .arch()
+                .procs()
+                .map(|pr| p.exec().get(op, pr).unwrap())
+                .collect();
+            assert!(times.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn heterogeneity_varies_processors() {
+        let p = timing(
+            alg20(3),
+            fully_connected(3),
+            &TimingConfig {
+                heterogeneity: 0.5,
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let any_varies = p.alg().ops().any(|op| {
+            let times: Vec<_> = p
+                .arch()
+                .procs()
+                .map(|pr| p.exec().get(op, pr).unwrap())
+                .collect();
+            times.windows(2).any(|w| w[0] != w[1])
+        });
+        assert!(any_varies);
+    }
+
+    #[test]
+    fn forbid_prob_keeps_feasibility() {
+        let p = timing(
+            alg20(4),
+            fully_connected(4),
+            &TimingConfig {
+                forbid_prob: 0.7,
+                npf: 1,
+                seed: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for op in p.alg().ops() {
+            assert!(p.exec().allowed_procs(op).count() >= 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = TimingConfig {
+            ccr: 2.0,
+            seed: 5,
+            ..Default::default()
+        };
+        let a = timing(alg20(5), fully_connected(4), &c).unwrap();
+        let b = timing(alg20(5), fully_connected(4), &c).unwrap();
+        for op in a.alg().ops() {
+            for pr in a.arch().procs() {
+                assert_eq!(a.exec().get(op, pr), b.exec().get(op, pr));
+            }
+        }
+    }
+
+    #[test]
+    fn generated_problems_schedule_end_to_end() {
+        let p = timing(
+            alg20(6),
+            fully_connected(4),
+            &TimingConfig {
+                ccr: 5.0,
+                npf: 1,
+                seed: 6,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s = ftbar_core::ftbar::schedule(&p).unwrap();
+        assert!(ftbar_core::validate::validate(&p, &s).is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Cross-engine agreement: the three execution engines — analytic replay,
+//! multi-iteration DES, and the threaded executive — must tell the same
+//! story about the same schedule and scenario.
+
+use ftbar::model::{ProcId, Time};
+use ftbar::prelude::*;
+use ftbar::sim::executive::{self, ExecOutcome};
+use ftbar::workload::{arch, layered, timing, LayeredConfig, TimingConfig};
+use proptest::prelude::*;
+
+fn make_problem(n_ops: usize, ccr: f64, seed: u64) -> Problem {
+    let alg = layered(&LayeredConfig {
+        n_ops,
+        seed,
+        ..Default::default()
+    });
+    timing(
+        alg,
+        arch::fully_connected(4),
+        &TimingConfig {
+            ccr,
+            npf: 1,
+            seed,
+            ..Default::default()
+        },
+    )
+    .expect("valid problem")
+}
+
+fn assert_executive_matches_replay(problem: &Problem, scen: &FailureScenario) {
+    let schedule = ftbar_schedule(problem).expect("schedules");
+    let exec = executive::run(problem, &schedule, scen).expect("single-hop");
+    let ana = replay(problem, &schedule, scen);
+    for i in 0..schedule.replica_count() {
+        let expected = match ana.outcomes()[i] {
+            ftbar::core::ReplicaOutcome::Completed { start, end } => {
+                ExecOutcome::Completed { start, end }
+            }
+            ftbar::core::ReplicaOutcome::Lost => ExecOutcome::Lost,
+        };
+        assert_eq!(exec.outcomes[i], expected, "replica {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn executive_equals_replay_on_random_problems(
+        n_ops in 3usize..18,
+        ccr in 0.2f64..4.0,
+        seed in 0u64..10_000,
+        failing in 0u32..4,
+        fail_at in 0u64..12_000,
+    ) {
+        let problem = make_problem(n_ops, ccr, seed);
+        let scen = FailureScenario::single(
+            4,
+            ProcId(failing),
+            Time::from_ticks(fail_at),
+        );
+        assert_executive_matches_replay(&problem, &scen);
+    }
+
+    #[test]
+    fn des_first_iteration_equals_replay_completion(
+        n_ops in 3usize..18,
+        ccr in 0.2f64..4.0,
+        seed in 0u64..10_000,
+        failing in 0u32..4,
+    ) {
+        let problem = make_problem(n_ops, ccr, seed);
+        let schedule = ftbar_schedule(&problem).expect("schedules");
+        let scen = FailureScenario::single(4, ProcId(failing), Time::ZERO);
+        let ana = replay(&problem, &schedule, &scen);
+
+        let mut plan = FaultPlan::new(4);
+        plan.permanent(ProcId(failing), Time::ZERO);
+        let sim = simulate(&problem, &schedule, &plan, &SimConfig::default());
+        prop_assert_eq!(sim.iterations[0].completion, ana.completion());
+    }
+}
+
+#[test]
+fn nominal_executive_equals_replay_on_paper_example() {
+    let problem = paper_example();
+    assert_executive_matches_replay(&problem, &FailureScenario::none(3));
+}
+
+#[test]
+fn des_steady_state_is_periodic_without_failures() {
+    let problem = make_problem(14, 1.5, 7);
+    let schedule = ftbar_schedule(&problem).unwrap();
+    let sim = simulate(
+        &problem,
+        &schedule,
+        &FaultPlan::new(4),
+        &SimConfig {
+            iterations: 5,
+            detection: Detection::None,
+        },
+    );
+    assert!(sim.all_masked());
+    let period = sim.iterations[1].start - sim.iterations[0].start;
+    for w in sim.iterations.windows(2) {
+        assert_eq!(w[1].start - w[0].start, period, "iterations drift");
+    }
+}
+
+#[test]
+fn executive_rejects_multi_hop_topologies() {
+    // On a ring, some comms need two hops; the executive must refuse
+    // rather than silently misexecute.
+    let alg = layered(&LayeredConfig {
+        n_ops: 10,
+        seed: 3,
+        ..Default::default()
+    });
+    let problem = timing(
+        alg,
+        arch::ring(4),
+        &TimingConfig {
+            ccr: 1.0,
+            npf: 1,
+            seed: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let schedule = ftbar_schedule(&problem).unwrap();
+    let has_multi_hop = schedule.comms().iter().any(|c| c.hops.len() > 1);
+    let result = executive::run(&problem, &schedule, &FailureScenario::none(4));
+    if has_multi_hop {
+        assert!(result.is_err());
+    } else {
+        assert!(result.is_ok());
+    }
+}

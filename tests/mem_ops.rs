@@ -1,0 +1,126 @@
+//! Memory (`mem`) operations: inter-iteration state (paper §3.2 — "the
+//! data is held by a mem in sequential order between iterations; the
+//! output precedes the input, like a register").
+
+use ftbar::model::{CommTable, ExecTable, ProcId, Time};
+use ftbar::prelude::*;
+
+/// A feedback controller: `sensor -> control -> actuator`, with the
+/// controller reading the previous command from a `mem` and writing the new
+/// one back (a cycle through the register — legal).
+fn feedback_problem(npf: u32) -> Problem {
+    let mut a = Alg::builder("feedback");
+    let sensor = a.extio("sensor");
+    let state = a.mem("state");
+    let control = a.comp("control");
+    let actuator = a.extio("actuator");
+    a.dep(sensor, control);
+    a.dep(state, control); // previous iteration's state
+    a.dep(control, state); // state update (no intra-iteration precedence)
+    a.dep(control, actuator);
+    let alg = a.build().expect("mem breaks the cycle");
+
+    let mut m = Arch::builder("tri");
+    let ps: Vec<_> = (0..3).map(|i| m.proc(format!("P{i}"))).collect();
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            m.link(format!("L{i}{j}"), &[ps[i], ps[j]]);
+        }
+    }
+    let arch = m.build().unwrap();
+    let exec = ExecTable::uniform(alg.op_count(), 3, Time::from_units(1.0));
+    let comm = CommTable::uniform(alg.dep_count(), 3, Time::from_units(0.5));
+    let mut b = Problem::builder(alg, arch, exec, comm);
+    b.npf(npf);
+    b.build().expect("valid problem")
+}
+
+#[test]
+fn mem_cycle_is_schedulable_and_valid() {
+    let problem = feedback_problem(1);
+    let schedule = ftbar_schedule(&problem).unwrap();
+    let violations = validate(&problem, &schedule);
+    assert!(violations.is_empty(), "{violations:#?}");
+    // The mem itself is replicated like any operation.
+    let state = problem.alg().op_by_name("state").unwrap();
+    assert!(schedule.replicas_of(state).len() >= 2);
+}
+
+#[test]
+fn mem_has_no_intra_iteration_input_constraint() {
+    let problem = feedback_problem(1);
+    let schedule = ftbar_schedule(&problem).unwrap();
+    let state = problem.alg().op_by_name("state").unwrap();
+    let control = problem.alg().op_by_name("control").unwrap();
+    // The mem is an entry of the iteration: its replicas may start at 0.
+    let earliest_state = schedule
+        .replicas_of(state)
+        .iter()
+        .map(|&r| schedule.replica(r).start())
+        .min()
+        .unwrap();
+    assert_eq!(earliest_state, Time::ZERO);
+    // The consumer still waits for the mem's *output*.
+    let earliest_control = schedule
+        .replicas_of(control)
+        .iter()
+        .map(|&r| schedule.replica(r).start())
+        .min()
+        .unwrap();
+    assert!(earliest_control >= Time::from_units(1.0));
+}
+
+#[test]
+fn mem_schedule_masks_failures() {
+    let problem = feedback_problem(1);
+    let schedule = ftbar_schedule(&problem).unwrap();
+    let report = analyze(&problem, &schedule);
+    assert!(report.tolerated);
+}
+
+#[test]
+fn mem_schedule_runs_across_iterations() {
+    let problem = feedback_problem(1);
+    let schedule = ftbar_schedule(&problem).unwrap();
+    let mut plan = FaultPlan::new(3);
+    // P0 dies during iteration 1 (iterations are back to back).
+    let horizon = schedule.last_activity();
+    plan.permanent(ProcId(0), horizon + Time::from_units(0.5));
+    let report = simulate(
+        &problem,
+        &schedule,
+        &plan,
+        &SimConfig {
+            iterations: 4,
+            detection: Detection::None,
+        },
+    );
+    assert!(report.all_masked(), "{report:#?}");
+    assert!(report.iterations[0].failed_procs.is_empty());
+    assert_eq!(report.iterations[1].failed_procs, vec![ProcId(0)]);
+    assert_eq!(report.iterations[3].failed_procs, vec![ProcId(0)]);
+}
+
+#[test]
+fn pure_mem_source_graph() {
+    // A mem with no writer at all (constant register) is legal.
+    let mut a = Alg::builder("const_reg");
+    let state = a.mem("k");
+    let f = a.comp("f");
+    let out = a.extio("out");
+    a.dep(state, f);
+    a.dep(f, out);
+    let alg = a.build().unwrap();
+    let mut m = Arch::builder("duo");
+    let p0 = m.proc("P0");
+    let p1 = m.proc("P1");
+    m.link("L", &[p0, p1]);
+    let arch = m.build().unwrap();
+    let exec = ExecTable::uniform(3, 2, Time::from_units(1.0));
+    let comm = CommTable::uniform(2, 1, Time::from_units(0.5));
+    let mut b = Problem::builder(alg, arch, exec, comm);
+    b.npf(1);
+    let problem = b.build().unwrap();
+    let schedule = ftbar_schedule(&problem).unwrap();
+    assert!(validate(&problem, &schedule).is_empty());
+}

@@ -1,0 +1,124 @@
+//! End-to-end reproduction of the paper's running example (§4.3–§4.4):
+//! golden numbers, heuristic trace, failure behaviour.
+
+use ftbar::model::{ProcId, Time};
+use ftbar::prelude::*;
+
+fn t(u: f64) -> Time {
+    Time::from_units(u)
+}
+
+#[test]
+fn final_schedule_length_matches_the_paper() {
+    let problem = paper_example();
+    let schedule = ftbar_schedule(&problem).unwrap();
+    // The paper's Figure 7 reports 15.05 — our implementation lands on the
+    // same length exactly.
+    assert_eq!(schedule.makespan(), t(15.05));
+    assert!(schedule.makespan() <= problem.rtc().unwrap());
+}
+
+#[test]
+fn non_ft_baseline_is_close_to_the_papers_10_7() {
+    let problem = paper_example();
+    let s = schedule_non_ft(&problem).unwrap();
+    // SynDEx's basic heuristic reports 10.7; our pressure-based Npf = 0 run
+    // must land in the same range (and strictly below the FT length).
+    assert!(s.makespan() >= t(9.5) && s.makespan() <= t(11.5), "{}", s.makespan());
+    let ft = ftbar_schedule(&problem).unwrap();
+    assert!(s.makespan() < ft.makespan());
+}
+
+#[test]
+fn p1_crash_reproduces_figure_8() {
+    let problem = paper_example();
+    let schedule = ftbar_schedule(&problem).unwrap();
+    let r = replay(
+        &problem,
+        &schedule,
+        &FailureScenario::single(3, ProcId(0), Time::ZERO),
+    );
+    // The paper reports 15.35 when P1 crashes at time 0 — exact match.
+    assert_eq!(r.completion(), Some(t(15.35)));
+}
+
+#[test]
+fn all_single_crashes_meet_rtc() {
+    let problem = paper_example();
+    let schedule = ftbar_schedule(&problem).unwrap();
+    // Paper: 15.35 / 15.05 / 12.6 when P1 / P2 / P3 fails — all below 16.
+    for p in problem.arch().procs() {
+        let r = replay(
+            &problem,
+            &schedule,
+            &FailureScenario::single(3, p, Time::ZERO),
+        );
+        let len = r.completion().expect("masked");
+        assert!(
+            len <= problem.rtc().unwrap(),
+            "{} crash: {len} exceeds Rtc",
+            problem.arch().proc(p).name()
+        );
+    }
+}
+
+#[test]
+fn heuristic_trace_follows_the_papers_narrative() {
+    let problem = paper_example();
+    let out = ftbar_schedule_with(
+        &problem,
+        &FtbarConfig {
+            trace: true,
+            ..FtbarConfig::default()
+        },
+    )
+    .unwrap();
+    let alg = problem.alg();
+    // Step 1 schedules I (the only entry op) on two processors; I cannot
+    // run on P3 (Dis), so its replicas are on P1 and P2 — Figure 5.
+    let step1 = &out.steps[0];
+    assert_eq!(step1.op, alg.op_by_name("I").unwrap());
+    let mut procs = step1.procs.clone();
+    procs.sort();
+    assert_eq!(procs, vec![ProcId(0), ProcId(1)]);
+    // A is scheduled before its siblings (largest bottom level).
+    assert_eq!(out.steps[1].op, alg.op_by_name("A").unwrap());
+    // Somewhere in the run, LIP duplication fires (the paper duplicates A
+    // on P3 at step 3).
+    assert!(
+        out.schedule.replicas().iter().any(|r| r.duplicated),
+        "Minimize_start_time should duplicate at least one predecessor"
+    );
+    // Every operation is eventually selected exactly once.
+    let mut selected: Vec<_> = out.steps.iter().map(|s| s.op).collect();
+    selected.sort();
+    selected.dedup();
+    assert_eq!(selected.len(), alg.op_count());
+}
+
+#[test]
+fn overhead_analysis_matches_section_4_4_shape() {
+    let problem = paper_example();
+    let ft = ftbar_schedule(&problem).unwrap();
+    let non_ft = schedule_non_ft(&problem).unwrap();
+    let overhead = ft.makespan() - non_ft.makespan();
+    // Paper: 15.05 − 10.7 = 4.35. Ours: 15.05 − non-FT; the overhead must
+    // be positive and in the same range.
+    assert!(overhead >= t(3.0) && overhead <= t(6.0), "overhead {overhead}");
+}
+
+#[test]
+fn schedule_is_fully_valid() {
+    let problem = paper_example();
+    let schedule = ftbar_schedule(&problem).unwrap();
+    assert_eq!(validate(&problem, &schedule), vec![]);
+}
+
+#[test]
+fn hbp_also_tolerates_the_single_failure() {
+    let problem = paper_example();
+    let schedule = hbp_schedule(&problem).unwrap();
+    assert_eq!(validate(&problem, &schedule), vec![]);
+    let report = analyze(&problem, &schedule);
+    assert!(report.tolerated);
+}

@@ -1,0 +1,189 @@
+//! Property-based end-to-end validation: on randomly generated problems,
+//! both schedulers must produce schedules that pass the *entire* validator —
+//! structural invariants, exact nominal-replay equivalence, and exhaustive
+//! masking of every failure pattern of size ≤ Npf.
+
+use ftbar::prelude::*;
+use ftbar::workload::{arch, layered, timing, LayeredConfig, TimingConfig};
+use proptest::prelude::*;
+
+fn make_problem(
+    n_ops: usize,
+    procs: usize,
+    ccr: f64,
+    npf: u32,
+    het: f64,
+    forbid: f64,
+    seed: u64,
+) -> Problem {
+    let alg = layered(&LayeredConfig {
+        n_ops,
+        seed,
+        ..Default::default()
+    });
+    timing(
+        alg,
+        arch::fully_connected(procs),
+        &TimingConfig {
+            ccr,
+            npf,
+            heterogeneity: het,
+            forbid_prob: forbid,
+            seed,
+            ..Default::default()
+        },
+    )
+    .expect("generated problems are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ftbar_schedules_are_fully_valid(
+        n_ops in 3usize..24,
+        procs in 2usize..5,
+        ccr in 0.1f64..6.0,
+        het in 0.0f64..0.6,
+        seed in 0u64..10_000,
+    ) {
+        let npf = 1u32;
+        let problem = make_problem(n_ops, procs.max(2), ccr, npf, het, 0.0, seed);
+        let schedule = ftbar_schedule(&problem).expect("schedules");
+        let violations = validate(&problem, &schedule);
+        prop_assert!(violations.is_empty(), "{violations:#?}");
+    }
+
+    #[test]
+    fn hbp_schedules_are_fully_valid(
+        n_ops in 3usize..20,
+        procs in 2usize..5,
+        ccr in 0.1f64..6.0,
+        seed in 0u64..10_000,
+    ) {
+        let problem = make_problem(n_ops, procs.max(2), ccr, 1, 0.0, 0.0, seed);
+        let schedule = hbp_schedule(&problem).expect("schedules");
+        let violations = validate(&problem, &schedule);
+        prop_assert!(violations.is_empty(), "{violations:#?}");
+    }
+
+    #[test]
+    fn npf_two_schedules_are_fully_valid(
+        n_ops in 3usize..14,
+        ccr in 0.2f64..4.0,
+        seed in 0u64..10_000,
+    ) {
+        // Npf = 2 on four processors: C(4,1) + C(4,2) = 10 failure patterns
+        // replayed per schedule by the validator.
+        let problem = make_problem(n_ops, 4, ccr, 2, 0.3, 0.0, seed);
+        let schedule = ftbar_schedule(&problem).expect("schedules");
+        let violations = validate(&problem, &schedule);
+        prop_assert!(violations.is_empty(), "{violations:#?}");
+    }
+
+    #[test]
+    fn dis_constraints_are_honored(
+        n_ops in 3usize..16,
+        forbid in 0.1f64..0.6,
+        seed in 0u64..10_000,
+    ) {
+        let problem = make_problem(n_ops, 4, 1.0, 1, 0.0, forbid, seed);
+        let schedule = ftbar_schedule(&problem).expect("schedules");
+        for rep in schedule.replicas() {
+            prop_assert!(
+                problem.exec().allows(rep.op, rep.proc),
+                "replica of {} placed on forbidden {}",
+                problem.alg().op(rep.op).name(),
+                problem.arch().proc(rep.proc).name()
+            );
+        }
+        let violations = validate(&problem, &schedule);
+        prop_assert!(violations.is_empty(), "{violations:#?}");
+    }
+
+    #[test]
+    fn ftbar_never_beats_itself_nonft(
+        n_ops in 3usize..20,
+        ccr in 0.1f64..4.0,
+        seed in 0u64..10_000,
+    ) {
+        // Fault tolerance on the same hardware can help locality but the
+        // replay under *no* failure must still complete everything, and the
+        // non-FT baseline must itself be a valid npf = 0 schedule.
+        let problem = make_problem(n_ops, 4, ccr, 1, 0.0, 0.0, seed);
+        let non_ft = schedule_non_ft(&problem).expect("schedules");
+        let p0 = problem.with_npf(0).expect("npf 0 valid");
+        let violations = validate(&p0, &non_ft);
+        prop_assert!(violations.is_empty(), "{violations:#?}");
+    }
+}
+
+#[test]
+fn ring_topologies_with_multi_hop_routes_validate() {
+    // Store-and-forward routes: the validator's masking check accounts for
+    // intermediate processors dying, so Npf = 1 on a ring still must hold
+    // (the scheduler books comms along 2-hop routes).
+    for seed in 0..8u64 {
+        let alg = layered(&LayeredConfig {
+            n_ops: 10,
+            seed,
+            ..Default::default()
+        });
+        let problem = timing(
+            alg,
+            arch::ring(4),
+            &TimingConfig {
+                ccr: 1.0,
+                npf: 1,
+                seed,
+                ..Default::default()
+            },
+        )
+        .expect("valid problem");
+        let schedule = ftbar_schedule(&problem).expect("schedules");
+        let violations = validate(&problem, &schedule);
+        assert!(violations.is_empty(), "seed {seed}: {violations:#?}");
+    }
+}
+
+#[test]
+fn bus_topologies_serialize_all_comms_on_one_link() {
+    for seed in 0..8u64 {
+        let alg = layered(&LayeredConfig {
+            n_ops: 12,
+            seed: seed + 100,
+            ..Default::default()
+        });
+        let problem = timing(
+            alg,
+            arch::bus(3),
+            &TimingConfig {
+                ccr: 2.0,
+                npf: 1,
+                seed,
+                ..Default::default()
+            },
+        )
+        .expect("valid problem");
+        let schedule = ftbar_schedule(&problem).expect("schedules");
+        let violations = validate(&problem, &schedule);
+        assert!(violations.is_empty(), "seed {seed}: {violations:#?}");
+        // Everything is on the single bus.
+        for comm in schedule.comms() {
+            assert_eq!(comm.hops.len(), 1);
+            assert_eq!(comm.hops[0].link, ftbar::model::LinkId(0));
+        }
+    }
+}
+
+#[test]
+fn regression_link_arbitration_deadlock_seed_9697() {
+    // Found by `dis_constraints_are_honored`: with a strict global per-link
+    // comm order, failing P1 at t=0 dead-locked L0.3 (comm blocked behind a
+    // transfer whose producer transitively waited on it). The forfeit
+    // arbitration in `ftbar_core::replay` must mask this scenario.
+    let problem = make_problem(15, 4, 1.0, 1, 0.0, 0.22490922561859145, 9697);
+    let schedule = ftbar_schedule(&problem).expect("schedules");
+    let violations = validate(&problem, &schedule);
+    assert!(violations.is_empty(), "{violations:#?}");
+}

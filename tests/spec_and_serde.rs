@@ -1,0 +1,100 @@
+//! Round-trip properties of the persistence layers: the spec language and
+//! serde serialization, driven through randomly generated problems.
+
+use ftbar::model::spec::{parse_problem, print_problem};
+use ftbar::prelude::*;
+use ftbar::workload::{arch, layered, timing, LayeredConfig, TimingConfig};
+use proptest::prelude::*;
+
+fn make_problem(n_ops: usize, procs: usize, seed: u64, forbid: f64) -> Problem {
+    let alg = layered(&LayeredConfig {
+        n_ops,
+        seed,
+        ..Default::default()
+    });
+    timing(
+        alg,
+        arch::fully_connected(procs),
+        &TimingConfig {
+            ccr: 1.7,
+            npf: 1,
+            forbid_prob: forbid,
+            seed,
+            ..Default::default()
+        },
+    )
+    .expect("valid problem")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn spec_round_trip_preserves_the_problem(
+        n_ops in 2usize..20,
+        procs in 2usize..5,
+        seed in 0u64..10_000,
+        forbid in 0.0f64..0.4,
+    ) {
+        let p = make_problem(n_ops, procs, seed, forbid);
+        let text = print_problem(&p);
+        let q = parse_problem(&text).expect("printed specs parse");
+        prop_assert_eq!(p.alg().op_count(), q.alg().op_count());
+        prop_assert_eq!(p.alg().dep_count(), q.alg().dep_count());
+        prop_assert_eq!(p.npf(), q.npf());
+        for op in p.alg().ops() {
+            for proc in p.arch().procs() {
+                prop_assert_eq!(p.exec().get(op, proc), q.exec().get(op, proc));
+            }
+        }
+        for dep in p.alg().deps() {
+            for link in p.arch().links() {
+                prop_assert_eq!(p.comm().get(dep, link), q.comm().get(dep, link));
+            }
+        }
+        // Printing is a fixpoint.
+        prop_assert_eq!(print_problem(&q), text);
+    }
+
+    #[test]
+    fn reparsed_problems_schedule_identically(
+        n_ops in 2usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let p = make_problem(n_ops, 3, seed, 0.0);
+        let q = parse_problem(&print_problem(&p)).expect("parses");
+        let sp = ftbar_schedule(&p).expect("schedules");
+        let sq = ftbar_schedule(&q).expect("schedules");
+        prop_assert_eq!(sp.makespan(), sq.makespan());
+        prop_assert_eq!(sp.replica_count(), sq.replica_count());
+        prop_assert_eq!(sp.comm_count(), sq.comm_count());
+    }
+
+    #[test]
+    fn schedules_survive_json_round_trip(
+        n_ops in 2usize..14,
+        seed in 0u64..10_000,
+    ) {
+        let p = make_problem(n_ops, 3, seed, 0.0);
+        let s = ftbar_schedule(&p).expect("schedules");
+        let json = serde_json::to_string(&s).expect("serializes");
+        let back: Schedule = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(&s, &back);
+        // And the deserialized schedule still validates.
+        let violations = validate(&p, &back);
+        prop_assert!(violations.is_empty(), "{violations:#?}");
+    }
+
+    #[test]
+    fn problems_survive_json_round_trip(
+        n_ops in 2usize..14,
+        seed in 0u64..10_000,
+    ) {
+        let p = make_problem(n_ops, 3, seed, 0.2);
+        let json = serde_json::to_string(&p).expect("serializes");
+        let back: Problem = serde_json::from_str(&json).expect("deserializes");
+        let sp = ftbar_schedule(&p).expect("schedules");
+        let sb = ftbar_schedule(&back).expect("schedules");
+        prop_assert_eq!(sp, sb);
+    }
+}
