@@ -20,7 +20,11 @@ fn bench_timeline(c: &mut Criterion) {
     });
     let mut tl: Timeline<u32> = Timeline::new();
     for i in 0..1000u32 {
-        tl.insert_earliest(Time::from_ticks(u64::from(i % 53) * 100), Time::from_ticks(80), i);
+        tl.insert_earliest(
+            Time::from_ticks(u64::from(i % 53) * 100),
+            Time::from_ticks(80),
+            i,
+        );
     }
     c.bench_function("timeline/probe_on_1000", |b| {
         b.iter(|| tl.probe(Time::from_ticks(12_345), Time::from_ticks(400)));

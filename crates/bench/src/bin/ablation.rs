@@ -15,7 +15,9 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(30);
-    println!("== Ablation: FTBAR design choices (N = 50, P = 4, Npf = 1, {graphs} graphs/point) ==\n");
+    println!(
+        "== Ablation: FTBAR design choices (N = 50, P = 4, Npf = 1, {graphs} graphs/point) ==\n"
+    );
     let variants = [
         Scheduler::Ftbar,
         Scheduler::FtbarWith {

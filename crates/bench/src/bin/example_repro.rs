@@ -96,7 +96,10 @@ fn main() {
             len <= problem.rtc().unwrap()
         );
         if i == 0 {
-            println!("{}", gantt::render_replay(&problem, &schedule, &result, 100));
+            println!(
+                "{}",
+                gantt::render_replay(&problem, &schedule, &result, 100)
+            );
         }
     }
 

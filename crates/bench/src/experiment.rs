@@ -166,7 +166,9 @@ pub fn run_point(config: &PointConfig, scheduler: Scheduler) -> PointResult {
         let problem = problem_for(config, g);
         let non_ft = basic::schedule_non_ft(&problem).expect("non-FT scheduling succeeds");
         let non_ftsl = non_ft.makespan();
-        let ft = scheduler.schedule(&problem).expect("FT scheduling succeeds");
+        let ft = scheduler
+            .schedule(&problem)
+            .expect("FT scheduling succeeds");
         ff.push(overhead_percent(ft.makespan(), non_ftsl));
 
         for p in problem.arch().procs() {
@@ -180,12 +182,10 @@ pub fn run_point(config: &PointConfig, scheduler: Scheduler) -> PointResult {
 
     PointResult {
         overhead_ff: mean(&ff),
-        overhead_fault: max(
-            &fault_ov
-                .iter()
-                .map(|per_proc| mean(per_proc))
-                .collect::<Vec<_>>(),
-        ),
+        overhead_fault: max(&fault_ov
+            .iter()
+            .map(|per_proc| mean(per_proc))
+            .collect::<Vec<_>>()),
         masking_failures,
     }
 }

@@ -99,7 +99,10 @@ impl<'a> Args<'a> {
     /// Consumes the whole list, dispatching flags to `on_flag`.
     fn scan(
         &mut self,
-        mut on_flag: impl FnMut(&str, &mut dyn FnMut() -> Result<String, CliError>) -> Result<bool, CliError>,
+        mut on_flag: impl FnMut(
+            &str,
+            &mut dyn FnMut() -> Result<String, CliError>,
+        ) -> Result<bool, CliError>,
     ) -> Result<(), CliError> {
         while self.pos < self.rest.len() {
             let a = self.rest[self.pos].as_str();
@@ -126,8 +129,8 @@ impl<'a> Args<'a> {
 }
 
 fn load_problem(path: &str, npf_override: Option<u32>) -> Result<Problem, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
     let problem = spec::parse_problem(&text).map_err(|e| err(format!("{path}: {e}")))?;
     match npf_override {
         Some(npf) => problem
@@ -291,9 +294,7 @@ fn cmd_analyze(rest: &[String]) -> Result<String, CliError> {
             "npf" => npf = Some(parse_u32(&value()?, "npf")?),
             "thorough" => thorough = true,
             "links" => links = true,
-            "rel" => {
-                rel = Some(value()?.parse().map_err(|_| err("invalid failure rate"))?)
-            }
+            "rel" => rel = Some(value()?.parse().map_err(|_| err("invalid failure rate"))?),
             _ => return Ok(false),
         }
         Ok(true)
@@ -303,11 +304,8 @@ fn cmd_analyze(rest: &[String]) -> Result<String, CliError> {
     };
     let problem = load_problem(path, npf)?;
     let schedule = ftbar::schedule(&problem).map_err(|e| err(e.to_string()))?;
-    let report = analysis::analyze_with(
-        &problem,
-        &schedule,
-        &analysis::AnalysisConfig { thorough },
-    );
+    let report =
+        analysis::analyze_with(&problem, &schedule, &analysis::AnalysisConfig { thorough });
     let mut out = String::new();
     let _ = writeln!(out, "nominal completion = {}", report.nominal);
     for s in &report.scenarios {
@@ -348,7 +346,11 @@ fn cmd_analyze(rest: &[String]) -> Result<String, CliError> {
                     .map_or_else(|| "NOT MASKED".to_owned(), |t| t.to_string())
             );
         }
-        let _ = writeln!(out, "single link failures tolerated = {}", link_report.tolerated);
+        let _ = writeln!(
+            out,
+            "single link failures tolerated = {}",
+            link_report.tolerated
+        );
     }
     if let Some(lambda) = rel {
         use ftbar_core::reliability::{estimate, FailureRates};
@@ -512,6 +514,20 @@ fn cmd_gen(rest: &[String]) -> Result<String, CliError> {
     if !args.positional.is_empty() {
         return Err(err("gen takes no positional arguments"));
     }
+    // Reject out-of-domain values here: the generators treat them as
+    // programming errors (assertions), but from the CLI they are user input.
+    if n == 0 {
+        return Err(err("--n must be at least 1"));
+    }
+    if procs < 2 {
+        return Err(err("--procs must be at least 2"));
+    }
+    if !(0.0..1.0).contains(&het) {
+        return Err(err("--het must be in [0, 1)"));
+    }
+    if !ccr.is_finite() || ccr < 0.0 {
+        return Err(err("--ccr must be a non-negative number"));
+    }
     let alg = layered(&LayeredConfig {
         n_ops: n,
         seed,
@@ -567,8 +583,13 @@ mod tests {
     #[test]
     fn schedule_end_to_end() {
         let path = example_file();
-        let out = run_strs(&["schedule", path.to_str().unwrap(), "--validate", "--summary"])
-            .unwrap();
+        let out = run_strs(&[
+            "schedule",
+            path.to_str().unwrap(),
+            "--validate",
+            "--summary",
+        ])
+        .unwrap();
         assert!(out.contains("makespan = 15.05"));
         assert!(out.contains("rtc = 16 -> met"));
         assert!(out.contains("validation: ok"));
@@ -593,8 +614,7 @@ mod tests {
     #[test]
     fn schedule_json_round_trips() {
         let path = example_file();
-        let out = run_strs(&["schedule", path.to_str().unwrap(), "--no-gantt", "--json"])
-            .unwrap();
+        let out = run_strs(&["schedule", path.to_str().unwrap(), "--no-gantt", "--json"]).unwrap();
         let json_start = out.find('{').unwrap();
         let _: ftbar_core::Schedule = serde_json::from_str(out[json_start..].trim()).unwrap();
     }
@@ -625,13 +645,7 @@ mod tests {
     #[test]
     fn schedule_stats_flag() {
         let path = example_file();
-        let out = run_strs(&[
-            "schedule",
-            path.to_str().unwrap(),
-            "--no-gantt",
-            "--stats",
-        ])
-        .unwrap();
+        let out = run_strs(&["schedule", path.to_str().unwrap(), "--no-gantt", "--stats"]).unwrap();
         assert!(out.contains("avg replication"));
         assert!(out.contains("utilization"));
     }
@@ -670,8 +684,10 @@ mod tests {
 
     #[test]
     fn gen_produces_parseable_spec() {
-        let out = run_strs(&["gen", "--n", "12", "--procs", "3", "--ccr", "2", "--seed", "9"])
-            .unwrap();
+        let out = run_strs(&[
+            "gen", "--n", "12", "--procs", "3", "--ccr", "2", "--seed", "9",
+        ])
+        .unwrap();
         let p = spec::parse_problem(&out).unwrap();
         assert_eq!(p.alg().op_count(), 12);
         assert_eq!(p.arch().proc_count(), 3);
@@ -681,17 +697,27 @@ mod tests {
     fn bad_args_are_reported() {
         assert!(run_strs(&["schedule"]).is_err());
         assert!(run_strs(&["schedule", "/nonexistent/file"]).is_err());
-        assert!(run_strs(&["gen", "--n"]).unwrap_err().message.contains("expects a value"));
-        assert!(run_strs(&["gen", "--bogus", "1"]).unwrap_err().message.contains("unknown flag"));
+        assert!(run_strs(&["gen", "--n"])
+            .unwrap_err()
+            .message
+            .contains("expects a value"));
+        assert!(run_strs(&["gen", "--bogus", "1"])
+            .unwrap_err()
+            .message
+            .contains("unknown flag"));
         let path = example_file();
-        assert!(run_strs(&["simulate", path.to_str().unwrap(), "--fail", "nope"])
-            .unwrap_err()
-            .message
-            .contains("PROC@TIME"));
-        assert!(run_strs(&["simulate", path.to_str().unwrap(), "--fail", "P9@0"])
-            .unwrap_err()
-            .message
-            .contains("unknown processor"));
+        assert!(
+            run_strs(&["simulate", path.to_str().unwrap(), "--fail", "nope"])
+                .unwrap_err()
+                .message
+                .contains("PROC@TIME")
+        );
+        assert!(
+            run_strs(&["simulate", path.to_str().unwrap(), "--fail", "P9@0"])
+                .unwrap_err()
+                .message
+                .contains("unknown processor")
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! [`AnalysisConfig::thorough`] mode, also at every distinct nominal replica
 //! completion boundary — catching mid-schedule failures.
 
-use ftbar_model::{ProcId, Problem, Time};
+use ftbar_model::{Problem, ProcId, Time};
 use serde::{Deserialize, Serialize};
 
 use crate::replay::{replay, FailureScenario};
@@ -245,11 +245,7 @@ mod tests {
         let p = paper_example();
         let s = ftbar::schedule(&p).unwrap();
         let quick = analyze(&p, &s);
-        let thorough = analyze_with(
-            &p,
-            &s,
-            &AnalysisConfig { thorough: true },
-        );
+        let thorough = analyze_with(&p, &s, &AnalysisConfig { thorough: true });
         assert!(thorough.scenarios.len() > quick.scenarios.len());
         assert!(thorough.tolerated, "mid-schedule failures must be masked");
         // Thorough worst case is at least as bad as the quick one.

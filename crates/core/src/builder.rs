@@ -15,7 +15,7 @@
 //! callers clone the builder, attempt a placement, and commit the clone only
 //! if it improves `S_worst`.
 
-use ftbar_model::{DepId, OpId, ProcId, Problem, Time};
+use ftbar_model::{DepId, OpId, Problem, ProcId, Time};
 
 use crate::error::ScheduleError;
 use crate::schedule::{BookedHop, Comm, CommId, Replica, ReplicaId, Schedule};
@@ -41,15 +41,15 @@ pub struct ProbePoint {
 #[derive(Debug, Clone)]
 enum DepSources {
     /// A replica of the producer lives on the same processor; no comms.
-    Local {
-        ready: Time,
-    },
+    Local { ready: Time },
     /// Data arrives over links from the chosen producer replicas
     /// (sorted by probed arrival).
-    Remote {
-        chosen: Vec<(ReplicaId, Time)>,
-    },
+    Remote { chosen: Vec<(ReplicaId, Time)> },
 }
+
+/// One planned input per dependency, plus the best/worst ready instants of
+/// the full input set.
+type InputPlan = (Vec<(DepId, DepSources)>, Time, Time);
 
 /// Incremental schedule state. See the module docs.
 #[derive(Debug, Clone)]
@@ -145,11 +145,7 @@ impl<'p> ScheduleBuilder<'p> {
     /// Plans how each intra-iteration dependency of `op` reaches `proc`:
     /// local availability or the `Npf + 1` earliest-arriving remote sources.
     /// Returns `(plans, best_ready, worst_ready)`.
-    fn plan_inputs(
-        &self,
-        op: OpId,
-        proc: ProcId,
-    ) -> Result<(Vec<(DepId, DepSources)>, Time, Time), ScheduleError> {
+    fn plan_inputs(&self, op: OpId, proc: ProcId) -> Result<InputPlan, ScheduleError> {
         let alg = self.problem.alg();
         let k = self.replication();
         let mut plans = Vec::new();
@@ -329,11 +325,9 @@ impl<'p> ScheduleBuilder<'p> {
         if depth < MAX_DUPLICATION_DEPTH {
             // Working copy *without* op placed, on which LIPs are duplicated.
             let mut cur = self.clone();
-            loop {
-                // Ì: the remote predecessor whose (k-th) arrival is latest.
-                let Some(lip) = cur.lip_of(op, proc) else {
-                    break;
-                };
+            // Ì: while there is a remote predecessor whose (k-th) arrival
+            // is latest, try duplicating it locally.
+            while let Some(lip) = cur.lip_of(op, proc) {
                 // Í: duplicate it onto proc, recursively minimized.
                 let mut trial = cur.clone();
                 if trial.place_min_inner(lip, proc, depth + 1).is_err() {

@@ -59,7 +59,10 @@ impl fmt::Display for ScheduleError {
                 write!(f, "operation {op} already has a replica on {proc}")
             }
             ScheduleError::NotEnoughProcessors { op, needed } => {
-                write!(f, "operation {op} cannot be replicated on {needed} processors")
+                write!(
+                    f,
+                    "operation {op} cannot be replicated on {needed} processors"
+                )
             }
             ScheduleError::CommFailed { op, proc } => {
                 write!(f, "could not route the inputs of {op} to {proc}")

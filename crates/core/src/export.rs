@@ -83,10 +83,7 @@ pub fn to_dot(problem: &Problem, schedule: &Schedule) -> String {
             "  r{} -> r{} [label=\"{}\"];",
             comm.src.index(),
             comm.dst.index(),
-            problem
-                .arch()
-                .link(comm.hops[0].link)
-                .name()
+            problem.arch().link(comm.hops[0].link).name()
         );
     }
     out.push_str("}\n");

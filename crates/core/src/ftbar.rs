@@ -15,7 +15,7 @@
 //! Ties break deterministically (smaller processor id, then smaller
 //! operation id), so the scheduler is a pure function of the problem.
 
-use ftbar_model::{OpId, ProcId, Problem};
+use ftbar_model::{OpId, Problem, ProcId};
 
 use crate::builder::ScheduleBuilder;
 use crate::error::ScheduleError;
@@ -118,7 +118,9 @@ pub fn schedule_with(
     while !cand.is_empty() {
         step += 1;
         // Micro-step À: evaluate pressures; keep the Npf+1 best per op.
-        let mut selected: Option<(f64, OpId, Vec<(ProcId, f64)>)> = None;
+        // The selection is (urgency, op, per-processor pressures).
+        type Selection = (f64, OpId, Vec<(ProcId, f64)>);
+        let mut selected: Option<Selection> = None;
         for &op in &cand {
             let mut sigmas: Vec<(ProcId, f64)> = Vec::new();
             for proc in problem.arch().procs() {
@@ -179,8 +181,7 @@ pub fn schedule_with(
         scheduled[op.index()] = true;
         cand.remove(&op);
         for (_, succ) in alg.sched_succs(op) {
-            if !scheduled[succ.index()]
-                && alg.sched_preds(succ).all(|(_, p)| scheduled[p.index()])
+            if !scheduled[succ.index()] && alg.sched_preds(succ).all(|(_, p)| scheduled[p.index()])
             {
                 cand.insert(succ);
             }
@@ -228,7 +229,11 @@ mod tests {
         let s = schedule(&p).unwrap();
         for op in p.alg().ops() {
             let reps = s.replicas_of(op);
-            assert!(reps.len() >= 2, "{} under-replicated", p.alg().op(op).name());
+            assert!(
+                reps.len() >= 2,
+                "{} under-replicated",
+                p.alg().op(op).name()
+            );
             let mut procs: Vec<_> = reps.iter().map(|&r| s.replica(r).proc).collect();
             procs.sort();
             procs.dedup();
@@ -296,11 +301,7 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(out
-            .schedule
-            .replicas()
-            .iter()
-            .all(|r| !r.duplicated));
+        assert!(out.schedule.replicas().iter().all(|r| !r.duplicated));
         // Exactly Npf+1 replicas per op in that case.
         for op in p.alg().ops() {
             assert_eq!(out.schedule.replicas_of(op).len(), 2);

@@ -164,10 +164,7 @@ mod tests {
         }
         // All nine op names show up somewhere.
         for op in ["I", "A", "B", "C", "D", "E", "F", "G", "O"] {
-            assert!(
-                g.to_uppercase().contains(op),
-                "missing op {op} in:\n{g}"
-            );
+            assert!(g.to_uppercase().contains(op), "missing op {op} in:\n{g}");
         }
     }
 

@@ -58,6 +58,8 @@ pub use builder::{ProbePoint, ScheduleBuilder};
 pub use error::ScheduleError;
 pub use ftbar::{CostFunction, FtbarConfig, FtbarOutcome, StepTrace};
 pub use pressure::Pressure;
-pub use replay::{replay, replay_with, FailureScenario, ReplayConfig, ReplayResult, ReplicaOutcome};
+pub use replay::{
+    replay, replay_with, FailureScenario, ReplayConfig, ReplayResult, ReplicaOutcome,
+};
 pub use schedule::{BookedHop, Comm, CommId, Replica, ReplicaId, Schedule};
 pub use timeline::{Slot, Timeline};

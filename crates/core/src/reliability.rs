@@ -25,7 +25,7 @@
 //! [`estimate_npf_bound`] gives the closed-form lower bound that only uses
 //! the schedule's tolerance level: `P(at most Npf processors fail)`.
 
-use ftbar_model::{ProcId, Problem, Time};
+use ftbar_model::{Problem, ProcId, Time};
 use serde::{Deserialize, Serialize};
 
 use crate::replay::{replay, FailureScenario};
@@ -104,7 +104,10 @@ pub struct ReliabilityReport {
 pub fn estimate(problem: &Problem, schedule: &Schedule, rates: &FailureRates) -> ReliabilityReport {
     let n = problem.arch().proc_count();
     assert_eq!(rates.proc_count(), n, "rates/architecture mismatch");
-    assert!(n <= 20, "2^P enumeration is intractable beyond ~20 processors");
+    assert!(
+        n <= 20,
+        "2^P enumeration is intractable beyond ~20 processors"
+    );
     let horizon = schedule.last_activity();
 
     let p_survive: Vec<f64> = problem
@@ -167,11 +170,7 @@ pub fn estimate(problem: &Problem, schedule: &Schedule, rates: &FailureRates) ->
 
 /// Closed-form lower bound using only the tolerance level: the probability
 /// that at most `npf` processors fail within the horizon.
-pub fn estimate_npf_bound(
-    problem: &Problem,
-    schedule: &Schedule,
-    rates: &FailureRates,
-) -> f64 {
+pub fn estimate_npf_bound(problem: &Problem, schedule: &Schedule, rates: &FailureRates) -> f64 {
     let n = problem.arch().proc_count();
     let horizon = schedule.last_activity();
     let p_survive: Vec<f64> = problem
@@ -220,10 +219,7 @@ mod tests {
         let s = ftbar::schedule(&p).unwrap();
         let rates = FailureRates::uniform(3, 0.01);
         let r = estimate(&p, &s, &rates);
-        assert!(
-            r.iteration_reliability > r.single_copy_reference,
-            "{r:#?}"
-        );
+        assert!(r.iteration_reliability > r.single_copy_reference, "{r:#?}");
         assert!(r.iteration_reliability < 1.0);
         assert!(r.iteration_reliability > 0.9, "{r:#?}");
     }

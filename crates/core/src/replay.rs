@@ -24,7 +24,7 @@
 //! In the **absence** of failures the replay reproduces the booked times
 //! exactly; the validator asserts this invariant.
 
-use ftbar_model::{ProcId, Problem, Time};
+use ftbar_model::{Problem, ProcId, Time};
 use serde::{Deserialize, Serialize};
 
 use crate::schedule::{CommId, ReplicaId, Schedule};
@@ -533,10 +533,7 @@ impl<'a> Replay<'a> {
             let src_lost = matches!(self.rstate[comm.src.index()], RState::Lost);
             // A pending or in-flight hop sent from p will never complete.
             let next = self.comm_next_hop[c];
-            let sends_from_p = comm
-                .hops
-                .get(next)
-                .is_some_and(|h| h.from == p);
+            let sends_from_p = comm.hops.get(next).is_some_and(|h| h.from == p);
             if src_lost || sends_from_p {
                 if self.comm_arrival[c].is_some() {
                     continue; // already fully delivered
@@ -576,7 +573,10 @@ impl<'a> Replay<'a> {
                 if self.comm_cancelled[cid.index()] || self.hop_started[cid.index()][hop] {
                     continue;
                 }
-                if matches!(self.rstate[self.schedule.comm(cid).src.index()], RState::Lost) {
+                if matches!(
+                    self.rstate[self.schedule.comm(cid).src.index()],
+                    RState::Lost
+                ) {
                     self.comm_cancelled[cid.index()] = true;
                     continue;
                 }

@@ -110,12 +110,20 @@ pub struct Comm {
 impl Comm {
     /// Nominal arrival time at the consumer's processor.
     pub fn arrival(&self) -> Time {
-        self.hops.last().expect("comms have at least one hop").slot.end
+        self.hops
+            .last()
+            .expect("comms have at least one hop")
+            .slot
+            .end
     }
 
     /// Nominal departure time from the producer's processor.
     pub fn departure(&self) -> Time {
-        self.hops.first().expect("comms have at least one hop").slot.start
+        self.hops
+            .first()
+            .expect("comms have at least one hop")
+            .slot
+            .start
     }
 }
 

@@ -100,11 +100,20 @@ mod tests {
         assert_eq!(st.makespan, Time::from_units(15.05));
         assert_eq!(st.proc_busy.len(), 3);
         assert_eq!(st.link_busy.len(), 3);
-        assert!(st.proc_utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
-        assert!(st.link_utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(st
+            .proc_utilization
+            .iter()
+            .all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(st
+            .link_utilization
+            .iter()
+            .all(|&u| (0.0..=1.0).contains(&u)));
         // Npf = 1: at least two replicas per op.
         assert!(st.avg_replication >= 2.0);
-        assert!(st.duplicated_replicas > 0, "the example duplicates A et al.");
+        assert!(
+            st.duplicated_replicas > 0,
+            "the example duplicates A et al."
+        );
         assert_eq!(st.replicas, s.replica_count());
         assert!(st.exec_time > st.makespan, "3 processors work in parallel");
         assert!(st.mean_proc_utilization() > 0.3);

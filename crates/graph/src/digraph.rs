@@ -262,12 +262,16 @@ impl<N, E> DiGraph<N, E> {
 
     /// Nodes with no incoming edges, in id order.
     pub fn sources(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.in_degree(n) == 0).collect()
+        self.node_ids()
+            .filter(|&n| self.in_degree(n) == 0)
+            .collect()
     }
 
     /// Nodes with no outgoing edges, in id order.
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.out_degree(n) == 0).collect()
+        self.node_ids()
+            .filter(|&n| self.out_degree(n) == 0)
+            .collect()
     }
 
     /// Returns the first edge id from `src` to `dst`, if any.

@@ -82,7 +82,13 @@ impl<'a, N, E> Dot<'a, N, E> {
 fn sanitize_id(s: &str) -> String {
     let cleaned: String = s
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() || cleaned.chars().next().unwrap().is_ascii_digit() {
         format!("g_{cleaned}")

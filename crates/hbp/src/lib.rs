@@ -42,7 +42,7 @@
 
 use ftbar_core::{Schedule, ScheduleBuilder, ScheduleError};
 use ftbar_graph::node_levels;
-use ftbar_model::{OpId, ProcId, Problem};
+use ftbar_model::{OpId, Problem, ProcId};
 
 /// Schedules `problem` with the HBP heuristic.
 ///
@@ -139,9 +139,7 @@ fn place_copies(
             let (later, earlier) = (e1.max(e2), e1.min(e2));
             let better = match &best {
                 None => true,
-                Some((bl, be, bp1, bp2)) => {
-                    (later, earlier, p1, p2) < (*bl, *be, *bp1, *bp2)
-                }
+                Some((bl, be, bp1, bp2)) => (later, earlier, p1, p2) < (*bl, *be, *bp1, *bp2),
             };
             if better {
                 best = Some((later, earlier, p1, p2));

@@ -117,7 +117,10 @@ impl AlgBuilder {
     ///
     /// Panics if `size` is not finite and positive, or on unknown ids.
     pub fn dep_sized(&mut self, src: OpId, dst: OpId, size: f64) -> DepId {
-        assert!(size.is_finite() && size > 0.0, "dependency size must be positive");
+        assert!(
+            size.is_finite() && size > 0.0,
+            "dependency size must be positive"
+        );
         let id = self
             .graph
             .add_edge(NodeId(src.0), NodeId(dst.0), DataDep { size });
@@ -407,7 +410,10 @@ mod tests {
         b.comp("X");
         assert!(matches!(
             b.build(),
-            Err(ModelError::DuplicateName { kind: "operation", .. })
+            Err(ModelError::DuplicateName {
+                kind: "operation",
+                ..
+            })
         ));
     }
 

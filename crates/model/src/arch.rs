@@ -435,7 +435,10 @@ mod tests {
         b.proc("P");
         assert!(matches!(
             b.build(),
-            Err(ModelError::DuplicateName { kind: "processor", .. })
+            Err(ModelError::DuplicateName {
+                kind: "processor",
+                ..
+            })
         ));
 
         let mut b = Arch::builder("x");

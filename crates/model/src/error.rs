@@ -97,10 +97,16 @@ impl fmt::Display for ModelError {
             ModelError::EmptyAlg => write!(f, "algorithm graph has no operation"),
             ModelError::EmptyArch => write!(f, "architecture has no processor"),
             ModelError::DegenerateLink { link } => {
-                write!(f, "link `{link}` must connect at least two distinct processors")
+                write!(
+                    f,
+                    "link `{link}` must connect at least two distinct processors"
+                )
             }
             ModelError::Disconnected { a, b } => {
-                write!(f, "no communication route between processors `{a}` and `{b}`")
+                write!(
+                    f,
+                    "no communication route between processors `{a}` and `{b}`"
+                )
             }
             ModelError::ExtioNotInterface { op } => write!(
                 f,

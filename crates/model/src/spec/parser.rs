@@ -267,9 +267,9 @@ impl Parser {
                 npf = Some(v as u32);
                 self.expect(&TokenKind::Semi, "`;`")?;
             } else {
-                return Err(self.unexpected(
-                    "`algorithm`, `architecture`, `exec`, `comm`, `rtc` or `npf`",
-                ));
+                return Err(
+                    self.unexpected("`algorithm`, `architecture`, `exec`, `comm`, `rtc` or `npf`")
+                );
             }
         }
 
@@ -292,12 +292,12 @@ impl Parser {
         }
         let mut comm = CommTable::new(alg.dep_count(), arch.link_count());
         for (src, dst, link_name, t) in raw_comm.unwrap_or_default() {
-            let dep = alg
-                .dep_by_names(&src, &dst)
-                .ok_or_else(|| ParseError::Model(ModelError::UnknownName {
+            let dep = alg.dep_by_names(&src, &dst).ok_or_else(|| {
+                ParseError::Model(ModelError::UnknownName {
                     name: format!("{src} -> {dst}"),
                     kind: "dependency",
-                }))?;
+                })
+            })?;
             let link = lookup_link(&arch, &link_name)?;
             if let Some(t) = t {
                 comm.set(dep, link, t);
@@ -589,7 +589,10 @@ mod tests {
     #[test]
     fn npf_must_be_integer() {
         let err = parse_problem(&format!("{MINI} npf 1.5;")).unwrap_err();
-        assert!(matches!(err, ParseError::DuplicateSection { .. } | ParseError::Unexpected { .. }));
+        assert!(matches!(
+            err,
+            ParseError::DuplicateSection { .. } | ParseError::Unexpected { .. }
+        ));
     }
 
     #[test]

@@ -57,7 +57,13 @@ pub fn print_problem(problem: &Problem) -> String {
         for p in arch.procs() {
             match problem.exec().get(op, p) {
                 Some(t) => {
-                    let _ = write!(out, " {} on {} = {};", alg.op(op).name(), arch.proc(p).name(), t);
+                    let _ = write!(
+                        out,
+                        " {} on {} = {};",
+                        alg.op(op).name(),
+                        arch.proc(p).name(),
+                        t
+                    );
                 }
                 None => {
                     let _ = write!(

@@ -33,8 +33,9 @@ pub const TICKS_PER_UNIT: u64 = 1000;
 /// assert_eq!((a - b), Time::from_units(1.5));
 /// assert!(a > b);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Time(u64);
 

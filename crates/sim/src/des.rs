@@ -19,7 +19,7 @@
 //!   paper's §5 drawback, observable in the metrics).
 
 use ftbar_core::{replay_with, FailureScenario, ReplayConfig, Schedule};
-use ftbar_model::{ProcId, Problem, Time};
+use ftbar_model::{Problem, ProcId, Time};
 use serde::{Deserialize, Serialize};
 
 use crate::fault::FaultPlan;
@@ -162,7 +162,7 @@ pub fn simulate(
             }
         }
         // Advance to the end of this iteration.
-        clock = clock + result.last_event().max(horizon);
+        clock += result.last_event().max(horizon);
     }
 
     SimReport {
@@ -302,9 +302,7 @@ mod tests {
             },
         );
         // From iteration 1 on, comms toward P1 are suppressed.
-        assert!(
-            with.iterations[1].comms_delivered <= without.iterations[1].comms_delivered
-        );
+        assert!(with.iterations[1].comms_delivered <= without.iterations[1].comms_delivered);
         assert!(with.all_masked());
     }
 

@@ -33,7 +33,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ftbar_core::{CommId, FailureScenario, ReplicaId, Schedule};
-use ftbar_model::{OpId, ProcId, Problem, Time};
+use ftbar_model::{OpId, Problem, ProcId, Time};
 use parking_lot::{Condvar, Mutex};
 
 use crate::wire::{decode, encode, Message};
@@ -97,6 +97,10 @@ impl ExecutiveReport {
             .min()
     }
 }
+
+/// One mailbox item per processor: the comm, and `Some(wire bytes)` for a
+/// delivery or `None` for a cancellation notice.
+type Delivery = (CommId, Option<bytes::Bytes>);
 
 /// State of one comm's source data, shared between the producing compute
 /// thread and the link thread.
@@ -192,9 +196,8 @@ pub fn run(
             .map(|_| CommSlot::new())
             .collect(),
     );
-    // One mailbox per processor: (comm, Some(wire bytes) | None=cancelled).
-    let mut senders: Vec<Sender<(CommId, Option<bytes::Bytes>)>> = Vec::new();
-    let mut receivers: Vec<Option<Receiver<(CommId, Option<bytes::Bytes>)>>> = Vec::new();
+    let mut senders: Vec<Sender<Delivery>> = Vec::new();
+    let mut receivers: Vec<Option<Receiver<Delivery>>> = Vec::new();
     for _ in 0..n_procs {
         let (tx, rx) = unbounded();
         senders.push(tx);
@@ -256,7 +259,15 @@ pub fn run(
             let slots = Arc::clone(&slots);
             let outcome_cells = Arc::clone(&outcome_cells);
             scope.spawn(move || {
-                compute_thread(problem, schedule, scenario, proc, rx, &slots, &outcome_cells);
+                compute_thread(
+                    problem,
+                    schedule,
+                    scenario,
+                    proc,
+                    rx,
+                    &slots,
+                    &outcome_cells,
+                );
             });
         }
     });
@@ -284,7 +295,7 @@ fn compute_thread(
     schedule: &Schedule,
     scenario: &FailureScenario,
     proc: ProcId,
-    rx: Receiver<(CommId, Option<bytes::Bytes>)>,
+    rx: Receiver<Delivery>,
     slots: &[CommSlot],
     outcomes: &[Mutex<ExecOutcome>],
 ) {
@@ -323,9 +334,8 @@ fn compute_thread(
                 }
                 match rx.recv() {
                     Ok((cid, payload)) => {
-                        let t = payload.map(|b| {
-                            decode(&b).expect("well-formed wire message").timestamp
-                        });
+                        let t = payload
+                            .map(|b| decode(&b).expect("well-formed wire message").timestamp);
                         inbox.insert(cid, t);
                     }
                     Err(_) => {
@@ -396,9 +406,7 @@ mod tests {
         let ana = replay(&p, &s, scenario);
         for i in 0..s.replica_count() {
             let expected = match ana.outcomes()[i] {
-                ReplicaOutcome::Completed { start, end } => {
-                    ExecOutcome::Completed { start, end }
-                }
+                ReplicaOutcome::Completed { start, end } => ExecOutcome::Completed { start, end },
                 ReplicaOutcome::Lost => ExecOutcome::Lost,
             };
             assert_eq!(
@@ -436,8 +444,7 @@ mod tests {
         // Beyond Npf the system cannot mask, but the harness must not hang.
         let p = paper_example();
         let s = ftbar::schedule(&p).unwrap();
-        let scen =
-            FailureScenario::multi(3, &[(ProcId(0), Time::ZERO), (ProcId(1), Time::ZERO)]);
+        let scen = FailureScenario::multi(3, &[(ProcId(0), Time::ZERO), (ProcId(1), Time::ZERO)]);
         let exec = run(&p, &s, &scen).unwrap();
         let i = p.alg().op_by_name("I").unwrap();
         assert!(exec.op_completion(&s, i).is_none());

@@ -82,9 +82,9 @@ impl FaultPlan {
 
     /// True if `proc` is silent at instant `t`.
     pub fn is_failed(&self, proc: ProcId, t: Time) -> bool {
-        self.windows.iter().any(|w| {
-            w.proc == proc && w.from <= t && w.until.map_or(true, |u| t < u)
-        })
+        self.windows
+            .iter()
+            .any(|w| w.proc == proc && w.from <= t && w.until.is_none_or(|u| t < u))
     }
 
     /// The first instant within `[start, end)` at which `proc` is silent,
@@ -95,7 +95,7 @@ impl FaultPlan {
             .filter(|w| w.proc == proc)
             .filter_map(|w| {
                 let begin = w.from.max(start);
-                let still_failed = w.until.map_or(true, |u| begin < u);
+                let still_failed = w.until.is_none_or(|u| begin < u);
                 (begin < end && still_failed).then_some(begin)
             })
             .min()

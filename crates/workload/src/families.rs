@@ -139,7 +139,10 @@ pub fn stencil(rows: usize, cols: usize) -> Alg {
 ///
 /// Panics if `n < 2` or `n` is not a power of two.
 pub fn fft(n: usize) -> Alg {
-    assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two >= 2");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "n must be a power of two >= 2"
+    );
     let ranks = n.trailing_zeros() as usize;
     let mut b = Alg::builder(format!("fft{n}"));
     let mut prev: Vec<OpId> = (0..n).map(|i| b.comp(format!("X0_{i}"))).collect();

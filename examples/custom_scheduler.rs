@@ -67,7 +67,11 @@ fn main() -> Result<(), ScheduleError> {
     let baseline = hbp_schedule(&problem)?;
 
     // All three pass the same correctness bar...
-    for (name, s) in [("round-robin", &naive), ("FTBAR", &smart), ("HBP", &baseline)] {
+    for (name, s) in [
+        ("round-robin", &naive),
+        ("FTBAR", &smart),
+        ("HBP", &baseline),
+    ] {
         let violations = validate(&problem, s);
         let report = analyze(&problem, s);
         println!(

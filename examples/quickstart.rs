@@ -33,7 +33,7 @@ fn main() -> Result<(), ScheduleError> {
             "if {} fails at {}: completion = {}",
             problem.arch().proc(s.procs[0]).name(),
             s.at,
-            s.completion.expect("masked").to_string()
+            s.completion.expect("masked")
         );
     }
     assert!(report.tolerated);

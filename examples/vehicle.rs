@@ -84,7 +84,11 @@ fn build_problem(npf: u32) -> Problem {
         let op = alg.op_by_name(name).expect("declared above");
         for proc in arch.procs() {
             let pname = arch.proc(proc).name();
-            let speed_factor = if pname.starts_with("compute") { 1.0 } else { 3.0 };
+            let speed_factor = if pname.starts_with("compute") {
+                1.0
+            } else {
+                3.0
+            };
             // Dis: sensor interfaces on the sensor ECUs (dual-homed to
             // computeA so Npf = 2 stays feasible); actuator interfaces only
             // on actuator/compute ECUs.
@@ -92,9 +96,7 @@ fn build_problem(npf: u32) -> Problem {
                 "lidar" | "camera" | "odometry" => {
                     pname.starts_with("sensor") || pname == "computeA"
                 }
-                "steering_act" | "brake_act" => {
-                    pname == "actuator" || pname.starts_with("compute")
-                }
+                "steering_act" | "brake_act" => pname == "actuator" || pname.starts_with("compute"),
                 _ => true,
             };
             if allowed {

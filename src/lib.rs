@@ -55,8 +55,6 @@ pub mod prelude {
     pub use ftbar_core::validate::validate;
     pub use ftbar_core::{replay, FailureScenario, Schedule, ScheduleError};
     pub use ftbar_hbp::schedule as hbp_schedule;
-    pub use ftbar_model::{
-        paper_example, Alg, Arch, CommTable, ExecTable, OpKind, Problem, Time,
-    };
+    pub use ftbar_model::{paper_example, Alg, Arch, CommTable, ExecTable, OpKind, Problem, Time};
     pub use ftbar_sim::{simulate, Detection, FaultPlan, SimConfig};
 }

@@ -24,7 +24,11 @@ fn non_ft_baseline_is_close_to_the_papers_10_7() {
     let s = schedule_non_ft(&problem).unwrap();
     // SynDEx's basic heuristic reports 10.7; our pressure-based Npf = 0 run
     // must land in the same range (and strictly below the FT length).
-    assert!(s.makespan() >= t(9.5) && s.makespan() <= t(11.5), "{}", s.makespan());
+    assert!(
+        s.makespan() >= t(9.5) && s.makespan() <= t(11.5),
+        "{}",
+        s.makespan()
+    );
     let ft = ftbar_schedule(&problem).unwrap();
     assert!(s.makespan() < ft.makespan());
 }
@@ -104,7 +108,10 @@ fn overhead_analysis_matches_section_4_4_shape() {
     let overhead = ft.makespan() - non_ft.makespan();
     // Paper: 15.05 − 10.7 = 4.35. Ours: 15.05 − non-FT; the overhead must
     // be positive and in the same range.
-    assert!(overhead >= t(3.0) && overhead <= t(6.0), "overhead {overhead}");
+    assert!(
+        overhead >= t(3.0) && overhead <= t(6.0),
+        "overhead {overhead}"
+    );
 }
 
 #[test]

@@ -1,0 +1,47 @@
+//! Fast tier-1 guard for the core pipeline: the paper's running example
+//! (Fig. 2 + Tables 1-2, `Npf = 1`, `Rtc = 16`) must schedule, replay to
+//! completion under every single-processor failure, and be reported
+//! tolerated by the exhaustive analysis.
+
+use ftbar::model::ProcId;
+use ftbar::prelude::*;
+
+#[test]
+fn paper_example_schedules_replays_and_is_tolerated() {
+    let problem = paper_example();
+    assert_eq!(problem.npf(), 1);
+    assert_eq!(problem.rtc(), Some(Time::from_units(16.0)));
+
+    // Schedules within the deadline.
+    let schedule = ftbar_schedule(&problem).expect("the paper example schedules");
+    assert!(schedule.makespan() <= problem.rtc().expect("Rtc set"));
+
+    // Fault-free replay completes everything, no later than the makespan
+    // (an op is complete at its *first* finished replica, so completion can
+    // come in under the Gantt height).
+    let procs = problem.arch().proc_count();
+    let nominal = replay(&problem, &schedule, &FailureScenario::none(procs));
+    let nominal_completion = nominal.completion().expect("fault-free replay completes");
+    assert!(nominal_completion <= schedule.makespan());
+
+    // Every single-processor failure at t = 0 is masked by replication and
+    // still meets the deadline.
+    for p in 0..procs {
+        let scenario = FailureScenario::single(procs, ProcId(p as u32), Time::ZERO);
+        let result = replay(&problem, &schedule, &scenario);
+        let completion = result
+            .completion()
+            .unwrap_or_else(|| panic!("failure of P{} is not masked", p + 1));
+        assert!(
+            completion <= problem.rtc().expect("Rtc set"),
+            "failure of P{} misses the deadline: {completion}",
+            p + 1
+        );
+    }
+
+    // The exhaustive analysis agrees.
+    let report = analyze(&problem, &schedule);
+    assert!(report.tolerated, "analysis reports an unmasked scenario");
+    assert_eq!(report.rtc_met, Some(true));
+    assert_eq!(report.nominal, nominal_completion);
+}

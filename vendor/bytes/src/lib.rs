@@ -1,0 +1,154 @@
+//! Workspace-local minimal stand-in for the `bytes` crate.
+//!
+//! Provides the subset the wire codec uses: [`Bytes`] / [`BytesMut`] with
+//! `freeze`, and the big-endian [`Buf`] / [`BufMut`] accessors.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable immutable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with the given capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read access to a byte cursor (big-endian), advancing past what is read.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads the next `N` bytes into an array, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `N` bytes remain.
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take_array())
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_array())
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        let (head, rest) = self.split_at(N);
+        *self = rest;
+        head.try_into().expect("split_at returns N bytes")
+    }
+}
+
+/// Write access to a growable byte buffer (big-endian).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_big_endian() {
+        let mut b = BytesMut::with_capacity(14);
+        b.put_u16(0xF7BA);
+        b.put_u32(7);
+        b.put_u64(u64::MAX - 1);
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 14);
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.get_u16(), 0xF7BA);
+        assert_eq!(cursor.get_u32(), 7);
+        assert_eq!(cursor.get_u64(), u64::MAX - 1);
+        assert_eq!(cursor.remaining(), 0);
+    }
+}

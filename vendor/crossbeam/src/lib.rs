@@ -1,0 +1,15 @@
+//! Workspace-local minimal stand-in for the `crossbeam` crate.
+//!
+//! The executive only uses unbounded MPSC channels, which map directly to
+//! `std::sync::mpsc` (the std `Sender` is cloneable and the single
+//! `Receiver` is moved into its consuming thread).
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

@@ -1,0 +1,507 @@
+//! Workspace-local minimal stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! simplified trait pair of the vendored `serde` stand-in (`to_value` /
+//! `from_value` over `serde::Value`). The parser is hand-rolled on raw
+//! `proc_macro` tokens — no `syn`/`quote` — and supports exactly the item
+//! shapes this workspace derives on:
+//!
+//! * structs with named fields (including generic type parameters);
+//! * tuple structs (arity 1 serializes transparently, like serde newtypes,
+//!   which also covers `#[serde(transparent)]`);
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Unsupported shapes (`where` clauses, lifetimes, const generics, other
+//! `#[serde(...)]` options) panic at expansion time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field list of a struct or enum variant.
+enum Fields {
+    /// `{ a: T, b: U }` — the field names, in order.
+    Named(Vec<String>),
+    /// `(T, U)` — the arity.
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+/// A parsed `struct` or `enum` item.
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// --------------------------------------------------------------------------
+// Parsing
+// --------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+
+    let kind_word = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    let generics = parse_generics(&tokens, &mut i);
+
+    match kind_word.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde stand-in derive: unexpected struct body {other:?}"),
+            };
+            Item {
+                name,
+                generics,
+                kind: ItemKind::Struct(fields),
+            }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde stand-in derive: unexpected enum body {other:?}"),
+            };
+            Item {
+                name,
+                generics,
+                kind: ItemKind::Enum(parse_variants(body)),
+            }
+        }
+        other => panic!("serde stand-in derive: expected struct or enum, got `{other}`"),
+    }
+}
+
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (tokens.get(*i), tokens.get(*i + 1))
+    {
+        if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket {
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+}
+
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde stand-in derive: expected identifier, got {other:?}"),
+    }
+}
+
+/// Parses `<T, P: Bound, ...>` (type parameters only) and returns the
+/// parameter names. `where` clauses, lifetimes and const generics are
+/// rejected.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => *i += 1,
+        _ => return params,
+    }
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                *i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                depth -= 1;
+                *i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                at_param_start = true;
+                *i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                panic!("serde stand-in derive: lifetimes are not supported");
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "const" {
+                    panic!("serde stand-in derive: const generics are not supported");
+                }
+                if at_param_start && depth == 1 {
+                    params.push(word);
+                    at_param_start = false;
+                }
+                *i += 1;
+            }
+            Some(_) => *i += 1,
+            None => panic!("serde stand-in derive: unterminated generics"),
+        }
+    }
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "where" {
+            panic!("serde stand-in derive: where clauses are not supported");
+        }
+    }
+    params
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stand-in derive: expected `:` after field, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,` (angle-bracket depth
+/// tracked; parens/brackets/braces arrive as atomic groups).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0usize;
+    while let Some(tt) = tokens.get(*i) {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+// --------------------------------------------------------------------------
+// Code generation
+// --------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    let bounded: Vec<String> = item
+        .generics
+        .iter()
+        .map(|g| format!("{g}: ::serde::{trait_name}"))
+        .collect();
+    let plain = item.generics.join(", ");
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", item.name)
+    } else {
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{}>",
+            bounded.join(", "),
+            item.name,
+            plain
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let name = &item.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let payload = if *n == 1 {
+                            items[0].clone()
+                        } else {
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![\
+                             (::std::string::String::from(\"{v}\"), {payload})]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Object(vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "Serialize")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         __v.get(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "if __v.as_object().is_none() {{ \
+                 return ::core::result::Result::Err(::serde::Error::custom(\
+                 \"expected object for {name}\")); }} \
+                 ::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!(
+                "::core::result::Result::Ok({name}(\
+                 ::serde::Deserialize::from_value(__v)?))"
+            )
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected array for {name}\"))?; \
+                 if __items.len() != {n} {{ \
+                 return ::core::result::Result::Err(::serde::Error::custom(\
+                 \"wrong arity for {name}\")); }} \
+                 ::core::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        ItemKind::Struct(Fields::Unit) => {
+            format!("::core::result::Result::Ok({name})")
+        }
+        ItemKind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => return ::core::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .map(|(v, fields)| match fields {
+                    Fields::Tuple(1) => format!(
+                        "\"{v}\" => return ::core::result::Result::Ok(\
+                         {name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => {{ \
+                             let __items = __inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}::{v}\"))?; \
+                             if __items.len() != {n} {{ \
+                             return ::core::result::Result::Err(::serde::Error::custom(\
+                             \"wrong arity for {name}::{v}\")); }} \
+                             return ::core::result::Result::Ok({name}::{v}({})); }}",
+                            inits.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     __inner.get(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "\"{v}\" => return ::core::result::Result::Ok(\
+                             {name}::{v} {{ {} }}),",
+                            inits.join(", ")
+                        )
+                    }
+                    Fields::Unit => unreachable!("unit variants filtered out"),
+                })
+                .collect();
+            let unit_branch = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::core::option::Option::Some(__s) = __v.as_str() {{ \
+                     match __s {{ {} _ => {{}} }} }}",
+                    unit_arms.join(" ")
+                )
+            };
+            let tagged_branch = if tagged_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::core::option::Option::Some(__entries) = __v.as_object() {{ \
+                     if __entries.len() == 1 {{ \
+                     let (__tag, __inner) = &__entries[0]; \
+                     match __tag.as_str() {{ {} _ => {{}} }} }} }}",
+                    tagged_arms.join(" ")
+                )
+            };
+            format!(
+                "{unit_branch} {tagged_branch} \
+                 ::core::result::Result::Err(::serde::Error::custom(\
+                 \"unknown variant for {name}\"))"
+            )
+        }
+    };
+    format!(
+        "{} {{ fn from_value(__v: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        impl_header(item, "Deserialize")
+    )
+}
