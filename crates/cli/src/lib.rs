@@ -7,8 +7,9 @@
 //! * `ftbar analyze <spec>` — schedule + exhaustive tolerance report;
 //! * `ftbar simulate <spec> [--fail P@T ...] [--iterations K] [--detect]` —
 //!   multi-iteration fault-injection simulation;
-//! * `ftbar gen [--n N] [--procs P] [--ccr X] [--npf N] [--seed S]` — print
-//!   a random problem spec;
+//! * `ftbar gen [--n N] [--procs P] [--topology T] [--ccr X] [--npf N]
+//!   [--seed S]` — print a random problem spec (topologies: `full`, `ring`,
+//!   `bus`, `mesh:WxH`, `hypercube:D`);
 //! * `ftbar example` — print the paper's running example as a spec.
 //!
 //! The library form exists so the argument parser and command logic are
@@ -58,7 +59,8 @@ USAGE:
   ftbar analyze  <spec-file> [--npf N] [--thorough] [--links] [--rel LAMBDA]
   ftbar simulate <spec-file> [--fail PROC@TIME]... [--window PROC@FROM..UNTIL]...
                  [--iterations K] [--detect]
-  ftbar gen      [--n N] [--procs P] [--ccr X] [--npf N] [--seed S] [--het H]
+  ftbar gen      [--n N] [--procs P] [--topology full|ring|bus|mesh:WxH|hypercube:D]
+                 [--ccr X] [--npf N] [--seed S] [--het H]
   ftbar example
 ";
 
@@ -491,9 +493,52 @@ fn cmd_simulate(rest: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// Builds the architecture named by `gen`'s `--topology` flag.
+///
+/// `full`, `ring` and `bus` size themselves from `--procs`; `mesh:WxH` and
+/// `hypercube:D` carry their own dimensions.
+fn parse_topology(spec: &str, procs: usize) -> Result<ftbar_model::Arch, CliError> {
+    match spec {
+        "full" => Ok(arch::fully_connected(procs)),
+        "bus" => Ok(arch::bus(procs)),
+        "ring" => {
+            if procs < 3 {
+                return Err(err("a ring needs --procs of at least 3"));
+            }
+            Ok(arch::ring(procs))
+        }
+        _ => {
+            if let Some(dims) = spec.strip_prefix("mesh:") {
+                let (w, h) = dims
+                    .split_once('x')
+                    .ok_or_else(|| err(format!("--topology mesh expects WxH, got `{dims}`")))?;
+                let w: usize = w.parse().map_err(|_| err("invalid mesh width"))?;
+                let h: usize = h.parse().map_err(|_| err("invalid mesh height"))?;
+                if !(1..=64).contains(&w) || !(1..=64).contains(&h) || w * h < 2 {
+                    return Err(err(
+                        "--topology mesh expects dimensions in 1..=64 spanning at least 2 processors",
+                    ));
+                }
+                Ok(arch::mesh(w, h))
+            } else if let Some(d) = spec.strip_prefix("hypercube:") {
+                let d: usize = d.parse().map_err(|_| err("invalid hypercube dimension"))?;
+                if !(1..=8).contains(&d) {
+                    return Err(err("--topology hypercube expects a dimension in 1..=8"));
+                }
+                Ok(arch::hypercube(d))
+            } else {
+                Err(err(format!(
+                    "unknown topology `{spec}` (expected full, ring, bus, mesh:WxH or hypercube:D)"
+                )))
+            }
+        }
+    }
+}
+
 fn cmd_gen(rest: &[String]) -> Result<String, CliError> {
     let mut n = 20usize;
     let mut procs = 4usize;
+    let mut topology = "full".to_owned();
     let mut ccr = 1.0f64;
     let mut npf = 1u32;
     let mut seed = 0u64;
@@ -503,6 +548,7 @@ fn cmd_gen(rest: &[String]) -> Result<String, CliError> {
         match flag {
             "n" => n = value()?.parse().map_err(|_| err("invalid --n"))?,
             "procs" => procs = value()?.parse().map_err(|_| err("invalid --procs"))?,
+            "topology" => topology = value()?,
             "ccr" => ccr = value()?.parse().map_err(|_| err("invalid --ccr"))?,
             "npf" => npf = parse_u32(&value()?, "npf")?,
             "seed" => seed = value()?.parse().map_err(|_| err("invalid --seed"))?,
@@ -528,6 +574,7 @@ fn cmd_gen(rest: &[String]) -> Result<String, CliError> {
     if !ccr.is_finite() || ccr < 0.0 {
         return Err(err("--ccr must be a non-negative number"));
     }
+    let machine = parse_topology(&topology, procs)?;
     let alg = layered(&LayeredConfig {
         n_ops: n,
         seed,
@@ -535,7 +582,7 @@ fn cmd_gen(rest: &[String]) -> Result<String, CliError> {
     });
     let problem = timing(
         alg,
-        arch::fully_connected(procs),
+        machine,
         &TimingConfig {
             ccr,
             npf,
@@ -691,6 +738,47 @@ mod tests {
         let p = spec::parse_problem(&out).unwrap();
         assert_eq!(p.alg().op_count(), 12);
         assert_eq!(p.arch().proc_count(), 3);
+    }
+
+    #[test]
+    fn gen_topologies() {
+        // Ring sized by --procs.
+        let out = run_strs(&["gen", "--n", "8", "--procs", "4", "--topology", "ring"]).unwrap();
+        let p = spec::parse_problem(&out).unwrap();
+        assert_eq!(p.arch().proc_count(), 4);
+        assert_eq!(p.arch().link_count(), 4);
+        assert!(!p.arch().is_fully_connected());
+
+        // Mesh and hypercube carry their own dimensions.
+        let out = run_strs(&["gen", "--n", "8", "--topology", "mesh:3x2"]).unwrap();
+        let p = spec::parse_problem(&out).unwrap();
+        assert_eq!(p.arch().proc_count(), 6);
+        assert_eq!(p.arch().link_count(), 7);
+
+        let out = run_strs(&["gen", "--n", "8", "--topology", "hypercube:3"]).unwrap();
+        let p = spec::parse_problem(&out).unwrap();
+        assert_eq!(p.arch().proc_count(), 8);
+        assert_eq!(p.arch().link_count(), 12);
+
+        let out = run_strs(&["gen", "--n", "8", "--procs", "3", "--topology", "bus"]).unwrap();
+        let p = spec::parse_problem(&out).unwrap();
+        assert_eq!(p.arch().link_count(), 1);
+
+        // Bad topologies are rejected with a pointer to the syntax.
+        for bad in [
+            "torus",
+            "mesh:x2",
+            "mesh:1x1",
+            "mesh:100000x100000",
+            "mesh:0x4",
+            "hypercube:0",
+            "hypercube:x",
+        ] {
+            let e = run_strs(&["gen", "--topology", bad]).unwrap_err();
+            assert_eq!(e.code, 2, "`{bad}` must be rejected");
+        }
+        let e = run_strs(&["gen", "--procs", "2", "--topology", "ring"]).unwrap_err();
+        assert!(e.message.contains("at least 3"));
     }
 
     #[test]

@@ -133,6 +133,20 @@ impl<P> Timeline<P> {
         self.items.iter().map(|(s, p)| (*s, p))
     }
 
+    /// Removes the booking holding `payload` and returns its slot, or
+    /// `None` if no booking carries it. Removing the most recent insertion
+    /// restores the timeline exactly — the mechanism behind the schedule
+    /// builder's undo-log rollback.
+    pub fn remove(&mut self, payload: &P) -> Option<Slot>
+    where
+        P: PartialEq,
+    {
+        // Rollback removes the most recent bookings, which usually sit at
+        // the tail of the time-sorted store: scan from the back.
+        let pos = self.items.iter().rposition(|(_, p)| p == payload)?;
+        Some(self.items.remove(pos).0)
+    }
+
     /// Total booked duration.
     pub fn busy_time(&self) -> Time {
         self.items
@@ -240,6 +254,20 @@ mod tests {
         tl.insert_at(t(0.0), t(1.0), 1).unwrap();
         let payloads: Vec<u32> = tl.iter().map(|(_, p)| *p).collect();
         assert_eq!(payloads, vec![1, 2]);
+    }
+
+    #[test]
+    fn remove_restores_the_previous_timeline() {
+        let mut tl: Timeline<u32> = Timeline::new();
+        tl.insert_at(t(0.0), t(1.0), 1).unwrap();
+        tl.insert_at(t(5.0), t(1.0), 2).unwrap();
+        let before: Vec<_> = tl.iter().map(|(s, &p)| (s, p)).collect();
+        let slot = tl.insert_earliest(t(0.5), t(2.0), 3);
+        assert_eq!(tl.remove(&3), Some(slot));
+        let after: Vec<_> = tl.iter().map(|(s, &p)| (s, p)).collect();
+        assert_eq!(before, after);
+        assert_eq!(tl.remove(&9), None);
+        assert!(tl.check_invariants());
     }
 
     #[test]

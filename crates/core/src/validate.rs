@@ -7,16 +7,21 @@
 //! 2. resource sanity: processor/link timelines are sorted and
 //!    non-overlapping; durations match the `Exe` tables; replicas respect
 //!    the `Dis` constraints;
-//! 3. comm sanity: every comm follows the architecture route between its
-//!    endpoint processors, hops chain causally, the first hop departs no
-//!    earlier than the producer's completion;
+//! 3. comm sanity: every comm follows one of the problem's candidate
+//!    routes (primary or disjoint alternative) between its endpoint
+//!    processors, hops chain causally, the first hop departs no earlier
+//!    than the producer's completion;
 //! 4. wiring: every replica's remote dependency receives comms from
 //!    `min(Npf + 1, replica count)` producer replicas on distinct
 //!    processors, or has a local producer;
-//! 5. **nominal replay equivalence**: replaying with no failure reproduces
+//! 5. **route coverage**: a static data-flow check — for every failure
+//!    pattern of size ≤ `Npf`, every operation keeps a replica whose whole
+//!    support (sources, routes, transitive inputs) survives the pattern
+//!    (the failure-disjointness criterion, see `DESIGN.md`);
+//! 6. **nominal replay equivalence**: replaying with no failure reproduces
 //!    every booked start/end exactly (the schedule is exactly as analyzable
 //!    as the paper claims);
-//! 6. **masking**: every failure pattern of size ≤ `Npf` at `t = 0`
+//! 7. **masking**: every failure pattern of size ≤ `Npf` at `t = 0`
 //!    completes every operation.
 
 use core::fmt;
@@ -50,6 +55,7 @@ pub fn validate(problem: &Problem, schedule: &Schedule) -> Vec<Violation> {
     check_resources(problem, schedule, &mut v);
     check_comms(problem, schedule, &mut v);
     check_wiring(problem, schedule, &mut v);
+    check_route_coverage(problem, schedule, &mut v);
     check_nominal_replay(problem, schedule, &mut v);
     check_masking(problem, schedule, &mut v);
     v
@@ -185,16 +191,17 @@ fn check_comms(problem: &Problem, schedule: &Schedule, v: &mut Vec<Violation>) {
                 detail: format!("comm{i} endpoints do not match dependency {}", comm.dep),
             });
         }
-        let route = problem.arch().route(src.proc, dst.proc);
-        if route.len() != comm.hops.len()
-            || route
-                .iter()
-                .zip(&comm.hops)
-                .any(|(r, h)| r.link != h.link || r.from != h.from || r.to != h.to)
-        {
+        let route_ok = problem.routes().all(src.proc, dst.proc).iter().any(|r| {
+            r.hops().len() == comm.hops.len()
+                && r.hops()
+                    .iter()
+                    .zip(&comm.hops)
+                    .all(|(r, h)| r.link == h.link && r.from == h.from && r.to == h.to)
+        });
+        if !route_ok {
             v.push(Violation {
                 rule: "comm-route",
-                detail: format!("comm{i} does not follow the architecture route"),
+                detail: format!("comm{i} does not follow a candidate route"),
             });
         }
         if comm.hops[0].slot.start < src.slot.end {
@@ -256,6 +263,113 @@ fn check_wiring(problem: &Problem, schedule: &Schedule, v: &mut Vec<Violation>) 
                         ),
                     });
                 }
+            }
+        }
+    }
+}
+
+/// Static failure-disjointness check (`DESIGN.md`): for every failure
+/// pattern `F` of size ≤ `Npf`, every operation must keep one replica whose
+/// whole support survives `F` — its processor is alive, and each dependency
+/// is fed either by a surviving comm (source replica survives, no route
+/// processor in `F`) or, when no comms were booked for it, by a surviving
+/// local producer replica (the executive's source rule). Unlike the replay
+/// masking check this is purely structural, so a violation names the exact
+/// data-flow cut rather than a timed starvation.
+fn check_route_coverage(problem: &Problem, schedule: &Schedule, v: &mut Vec<Violation>) {
+    let n = problem.arch().proc_count();
+    let patterns = crate::builder::failure_patterns(n, problem.npf() as usize);
+    if patterns.is_empty() {
+        return; // npf = 0, or too many processors to track (builder degraded too)
+    }
+
+    // Operations in topological order of scheduling dependencies (Kahn), so
+    // every producer replica is evaluated before its consumers.
+    let alg = problem.alg();
+    let mut indeg: Vec<usize> = alg.ops().map(|o| alg.sched_preds(o).count()).collect();
+    let mut queue: std::collections::VecDeque<_> =
+        alg.ops().filter(|&o| indeg[o.index()] == 0).collect();
+    let mut order = Vec::with_capacity(alg.op_count());
+    while let Some(op) = queue.pop_front() {
+        order.push(op);
+        for (_, succ) in alg.sched_succs(op) {
+            indeg[succ.index()] -= 1;
+            if indeg[succ.index()] == 0 {
+                queue.push_back(succ);
+            }
+        }
+    }
+    if order.len() != alg.op_count() {
+        return; // cyclic scheduling graph: reported elsewhere
+    }
+
+    // Per replica, per dependency (in sched_preds order): its booked comms.
+    let mut incoming: Vec<Vec<Vec<&crate::schedule::Comm>>> = schedule
+        .replicas()
+        .iter()
+        .map(|r| vec![Vec::new(); alg.sched_preds(r.op).count()])
+        .collect();
+    for comm in schedule.comms() {
+        let dst_op = schedule.replica(comm.dst).op;
+        for (i, (d, _)) in alg.sched_preds(dst_op).enumerate() {
+            if d == comm.dep {
+                incoming[comm.dst.index()][i].push(comm);
+            }
+        }
+    }
+
+    let mut surv = vec![vec![false; patterns.len()]; schedule.replica_count()];
+    for &op in &order {
+        for &rid in schedule.replicas_of(op) {
+            let rep = schedule.replica(rid);
+            let pbit = 1u64 << rep.proc.index();
+            for (pi, &mask) in patterns.iter().enumerate() {
+                if mask & pbit != 0 {
+                    continue;
+                }
+                let ok = alg.sched_preds(op).enumerate().all(|(i, (_, pred))| {
+                    let comms = &incoming[rid.index()][i];
+                    if comms.is_empty() {
+                        schedule
+                            .replica_on(pred, rep.proc)
+                            .is_some_and(|l| surv[l.index()][pi])
+                    } else {
+                        comms.iter().any(|c| {
+                            surv[c.src.index()][pi]
+                                && c.hops.iter().all(|h| mask >> h.from.index() & 1 == 0)
+                        })
+                    }
+                });
+                surv[rid.index()][pi] = ok;
+            }
+        }
+    }
+
+    for op in alg.ops() {
+        for (pi, &mask) in patterns.iter().enumerate() {
+            let alive = schedule
+                .replicas_of(op)
+                .iter()
+                .any(|&r| surv[r.index()][pi]);
+            if !alive {
+                let names: Vec<String> = (0..n)
+                    .filter(|i| mask >> i & 1 == 1)
+                    .map(|i| {
+                        problem
+                            .arch()
+                            .proc(ftbar_model::ProcId(i as u32))
+                            .name()
+                            .to_owned()
+                    })
+                    .collect();
+                v.push(Violation {
+                    rule: "route-coverage",
+                    detail: format!(
+                        "failure of {{{}}} cuts every data-flow support of operation {}",
+                        names.join(", "),
+                        problem.alg().op(op).name()
+                    ),
+                });
             }
         }
     }

@@ -12,6 +12,9 @@
 //! * structural helpers: [`DiGraph::sources`], [`DiGraph::sinks`],
 //!   reachability ([`descendants`], [`ancestors`]), level assignment
 //!   ([`node_levels`]), transitive reduction ([`transitive_reduction`]);
+//! * routing: k vertex-disjoint paths via unit-capacity max-flow
+//!   ([`vertex_disjoint_paths`]), the substrate of fault-disjoint
+//!   communication routing;
 //! * Graphviz export ([`dot::Dot`]).
 //!
 //! It is written from scratch (rather than pulling in `petgraph`) so that the
@@ -37,6 +40,7 @@
 mod algo;
 mod digraph;
 pub mod dot;
+mod routes;
 mod topo;
 
 pub use algo::{
@@ -44,4 +48,5 @@ pub use algo::{
     top_levels, transitive_reduction,
 };
 pub use digraph::{DiGraph, EdgeId, EdgeRef, Edges, Neighbors, NodeId, NodeIds};
+pub use routes::vertex_disjoint_paths;
 pub use topo::{find_cycle, is_acyclic, topo_order, CycleError};

@@ -1,0 +1,272 @@
+//! Vertex-disjoint path computation (the routing substrate).
+//!
+//! [`vertex_disjoint_paths`] finds up to `k` pairwise *internally*
+//! vertex-disjoint paths between two nodes of an undirected multigraph,
+//! using unit-capacity max-flow with node splitting (the classic
+//! Suurballe-style construction): every node except the endpoints is split
+//! into an in/out pair joined by a capacity-1 arc, every undirected edge
+//! becomes two capacity-1 arcs, and each BFS augmentation (Edmonds–Karp,
+//! so shortest paths are found first) adds one more disjoint path.
+//!
+//! The fault-tolerant scheduler uses this to book redundant communications
+//! over routes that share no intermediate processor: a set of paths whose
+//! interiors are pairwise disjoint cannot all be severed by fewer failures
+//! than there are paths.
+//!
+//! Determinism: adjacency lists are consumed in the order given, BFS
+//! explores arcs in insertion order, and flow decomposition follows the
+//! lowest-index arc first — identical inputs yield identical paths.
+
+/// One arc of the unit-capacity residual network.
+#[derive(Debug, Clone, Copy)]
+struct Arc {
+    to: usize,
+    cap: u32,
+    /// Index of the reverse arc in `arcs`.
+    rev: usize,
+    /// Original edge id carried by this arc (`usize::MAX` for split arcs).
+    edge: usize,
+}
+
+/// Finds up to `k` internally vertex-disjoint `src → dst` paths.
+///
+/// `adj[v]` lists the incident edges of node `v` as `(edge_id, neighbor)`
+/// pairs; parallel edges and asymmetric listings are allowed (each listed
+/// pair is one usable direction). Returns each path as the `(edge_id,
+/// node)` hops taken from `src`, shortest paths first. Returns an empty
+/// set when `src == dst` or no path exists.
+///
+/// # Panics
+///
+/// Panics if `src` or `dst` is out of range.
+pub fn vertex_disjoint_paths(
+    n: usize,
+    adj: &[Vec<(usize, usize)>],
+    src: usize,
+    dst: usize,
+    k: usize,
+) -> Vec<Vec<(usize, usize)>> {
+    assert!(src < n && dst < n, "endpoint out of range");
+    if src == dst || k == 0 {
+        return Vec::new();
+    }
+    // Split graph: node v becomes v_in = 2v and v_out = 2v + 1.
+    let node_in = |v: usize| 2 * v;
+    let node_out = |v: usize| 2 * v + 1;
+    let mut arcs: Vec<Arc> = Vec::new();
+    let mut heads: Vec<Vec<usize>> = vec![Vec::new(); 2 * n];
+    let add_arc = |heads: &mut Vec<Vec<usize>>,
+                   arcs: &mut Vec<Arc>,
+                   from: usize,
+                   to: usize,
+                   cap: u32,
+                   edge: usize| {
+        let a = arcs.len();
+        arcs.push(Arc {
+            to,
+            cap,
+            rev: a + 1,
+            edge,
+        });
+        arcs.push(Arc {
+            to: from,
+            cap: 0,
+            rev: a,
+            edge,
+        });
+        heads[from].push(a);
+        heads[to].push(a + 1);
+    };
+    let k = k.min(n.max(2)) as u32;
+    for v in 0..n {
+        // Interior nodes can carry one path; endpoints carry up to k.
+        let cap = if v == src || v == dst { k } else { 1 };
+        add_arc(
+            &mut heads,
+            &mut arcs,
+            node_in(v),
+            node_out(v),
+            cap,
+            usize::MAX,
+        );
+    }
+    for (v, list) in adj.iter().enumerate() {
+        for &(edge, w) in list {
+            if w < n && w != v {
+                add_arc(&mut heads, &mut arcs, node_out(v), node_in(w), 1, edge);
+            }
+        }
+    }
+
+    // Edmonds–Karp: augment along BFS-shortest residual paths, at most k
+    // times (each augmentation adds exactly one unit of src → dst flow).
+    let source = node_out(src);
+    let sink = node_in(dst);
+    let mut found = 0u32;
+    while found < k {
+        let mut prev_arc: Vec<Option<usize>> = vec![None; 2 * n];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(source);
+        let mut seen = vec![false; 2 * n];
+        seen[source] = true;
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &a in &heads[u] {
+                let arc = arcs[a];
+                if arc.cap > 0 && !seen[arc.to] {
+                    seen[arc.to] = true;
+                    prev_arc[arc.to] = Some(a);
+                    if arc.to == sink {
+                        break 'bfs;
+                    }
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        if !seen[sink] {
+            break;
+        }
+        let mut v = sink;
+        while v != source {
+            let a = prev_arc[v].expect("augmenting path reaches the source");
+            arcs[a].cap -= 1;
+            let rev = arcs[a].rev;
+            arcs[rev].cap += 1;
+            v = arcs[rev].to;
+        }
+        found += 1;
+    }
+
+    // Decompose the flow into paths: from src, repeatedly follow the
+    // lowest-index saturated forward arc, consuming flow as we walk.
+    let mut paths = Vec::with_capacity(found as usize);
+    for _ in 0..found {
+        let mut path = Vec::new();
+        let mut v = src;
+        while v != dst {
+            let u = node_out(v);
+            let a = heads[u]
+                .iter()
+                .copied()
+                .find(|&a| {
+                    arcs[a].edge != usize::MAX && arcs[a].rev > a && arcs[arcs[a].rev].cap > 0
+                })
+                .expect("flow conservation yields an outgoing saturated arc");
+            let rev = arcs[a].rev;
+            arcs[rev].cap -= 1;
+            let edge = arcs[a].edge;
+            v = arcs[a].to / 2;
+            path.push((edge, v));
+        }
+        paths.push(path);
+    }
+    // Shortest first; among equal lengths keep discovery (flow) order.
+    paths.sort_by_key(|p| p.len());
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Undirected helper: every edge is listed in both directions.
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<(usize, usize)>> {
+        let mut adj = vec![Vec::new(); n];
+        for (e, &(a, b)) in edges.iter().enumerate() {
+            adj[a].push((e, b));
+            adj[b].push((e, a));
+        }
+        adj
+    }
+
+    fn assert_valid_paths(
+        paths: &[Vec<(usize, usize)>],
+        adj: &[Vec<(usize, usize)>],
+        src: usize,
+        dst: usize,
+    ) {
+        let mut interiors = std::collections::HashSet::new();
+        for path in paths {
+            let mut at = src;
+            for &(edge, to) in path {
+                assert!(
+                    adj[at].contains(&(edge, to)),
+                    "hop ({edge}, {to}) is not an edge out of {at}"
+                );
+                at = to;
+            }
+            assert_eq!(at, dst, "path must end at the destination");
+            for &(_, node) in &path[..path.len() - 1] {
+                assert!(interiors.insert(node), "interior node {node} reused");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_has_two_disjoint_paths() {
+        // 0-1-2-3-0
+        let adj = undirected(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let paths = vertex_disjoint_paths(4, &adj, 0, 2, 4);
+        assert_eq!(paths.len(), 2);
+        assert_valid_paths(&paths, &adj, 0, 2);
+        // Both arcs have length two on a 4-ring.
+        assert_eq!(paths[0].len(), 2);
+        assert_eq!(paths[1].len(), 2);
+    }
+
+    #[test]
+    fn line_has_one_path() {
+        let adj = undirected(3, &[(0, 1), (1, 2)]);
+        let paths = vertex_disjoint_paths(3, &adj, 0, 2, 3);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0], vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn complete_graph_has_n_minus_one_paths() {
+        let edges: Vec<(usize, usize)> = (0..4)
+            .flat_map(|a| ((a + 1)..4).map(move |b| (a, b)))
+            .collect();
+        let adj = undirected(4, &edges);
+        let paths = vertex_disjoint_paths(4, &adj, 0, 3, 8);
+        assert_eq!(paths.len(), 3, "direct path plus one via each other node");
+        assert_valid_paths(&paths, &adj, 0, 3);
+        assert_eq!(paths[0].len(), 1, "shortest (direct) path first");
+    }
+
+    #[test]
+    fn k_caps_the_path_count() {
+        let edges: Vec<(usize, usize)> = (0..5)
+            .flat_map(|a| ((a + 1)..5).map(move |b| (a, b)))
+            .collect();
+        let adj = undirected(5, &edges);
+        assert_eq!(vertex_disjoint_paths(5, &adj, 0, 4, 2).len(), 2);
+        assert!(vertex_disjoint_paths(5, &adj, 0, 4, 0).is_empty());
+    }
+
+    #[test]
+    fn disconnected_and_trivial_cases() {
+        let adj = undirected(4, &[(0, 1), (2, 3)]);
+        assert!(vertex_disjoint_paths(4, &adj, 0, 3, 2).is_empty());
+        assert!(vertex_disjoint_paths(4, &adj, 1, 1, 2).is_empty());
+    }
+
+    #[test]
+    fn parallel_edges_give_parallel_direct_paths() {
+        let adj = undirected(2, &[(0, 1), (0, 1)]);
+        let paths = vertex_disjoint_paths(2, &adj, 0, 1, 4);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].len(), 1);
+        assert_eq!(paths[1].len(), 1);
+        assert_ne!(paths[0][0].0, paths[1][0].0, "distinct parallel edges");
+    }
+
+    #[test]
+    fn deterministic() {
+        let adj = undirected(6, &[(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5), (0, 5)]);
+        let a = vertex_disjoint_paths(6, &adj, 0, 5, 3);
+        let b = vertex_disjoint_paths(6, &adj, 0, 5, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_valid_paths(&a, &adj, 0, 5);
+    }
+}

@@ -121,21 +121,25 @@ fn place_copies(
     }
 
     // Exhaustive ordered-pair search (the O(P^2) cost the paper mentions).
+    // Each attempt books both copies for real and is unwound through the
+    // builder's undo log — no per-pair deep clone.
     let mut best: Option<(ftbar_model::Time, ftbar_model::Time, ProcId, ProcId)> = None;
+    let mark = builder.checkpoint();
     for &p1 in &allowed {
         for &p2 in &allowed {
             if p1 == p2 {
                 continue;
             }
-            let mut scratch = builder.clone();
-            let Ok(r1) = scratch.place(op, p1) else {
+            let Ok(r1) = builder.place(op, p1) else {
                 continue;
             };
-            let Ok(r2) = scratch.place(op, p2) else {
+            let Ok(r2) = builder.place(op, p2) else {
+                builder.rollback(mark);
                 continue;
             };
-            let e1 = scratch.replica(r1).end();
-            let e2 = scratch.replica(r2).end();
+            let e1 = builder.replica(r1).end();
+            let e2 = builder.replica(r2).end();
+            builder.rollback(mark);
             let (later, earlier) = (e1.max(e2), e1.min(e2));
             let better = match &best {
                 None => true,

@@ -164,21 +164,30 @@ impl ArchBuilder {
     }
 }
 
-/// All-pairs BFS over the processor/link graph. Deterministic: neighbors
-/// are explored in link-id order, endpoint order.
-fn compute_routes(procs: &[Processor], links: &[Link]) -> Result<Vec<Vec<Vec<Hop>>>, ModelError> {
-    let n = procs.len();
-    // adjacency: proc -> [(link, neighbor)]
-    let mut adj: Vec<Vec<(LinkId, ProcId)>> = vec![Vec::new(); n];
+/// Adjacency over the processor/link graph as index pairs: for every link,
+/// every ordered endpoint pair, in link-id order. Shared by the primary
+/// route BFS below and the [`crate::RouteTable`] disjoint-path computation,
+/// so both always explore neighbours in the same order (which keeps the
+/// shortest flow path aligned with the primary route).
+pub(crate) fn link_adjacency(proc_count: usize, links: &[Link]) -> Vec<Vec<(usize, usize)>> {
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); proc_count];
     for (li, l) in links.iter().enumerate() {
         for &a in &l.endpoints {
             for &b in &l.endpoints {
                 if a != b {
-                    adj[a.index()].push((LinkId::from_index(li), b));
+                    adj[a.index()].push((li, b.index()));
                 }
             }
         }
     }
+    adj
+}
+
+/// All-pairs BFS over the processor/link graph. Deterministic: neighbors
+/// are explored in link-id order, endpoint order.
+fn compute_routes(procs: &[Processor], links: &[Link]) -> Result<Vec<Vec<Vec<Hop>>>, ModelError> {
+    let n = procs.len();
+    let adj = link_adjacency(n, links);
     let mut routes: Vec<Vec<Vec<Hop>>> = vec![vec![Vec::new(); n]; n];
     for src in 0..n {
         // BFS from src
@@ -189,10 +198,11 @@ fn compute_routes(procs: &[Processor], links: &[Link]) -> Result<Vec<Vec<Vec<Hop
         queue.push_back(ProcId::from_index(src));
         while let Some(u) = queue.pop_front() {
             for &(link, v) in &adj[u.index()] {
+                let v = ProcId::from_index(v);
                 if dist[v.index()] == usize::MAX {
                     dist[v.index()] = dist[u.index()] + 1;
                     prev[v.index()] = Some(Hop {
-                        link,
+                        link: LinkId::from_index(link),
                         from: u,
                         to: v,
                     });
@@ -324,6 +334,11 @@ impl Arch {
     /// Links incident to processor `p`, in id order.
     pub fn links_of(&self, p: ProcId) -> Vec<LinkId> {
         self.links().filter(|&l| self.link(l).connects(p)).collect()
+    }
+
+    /// The link adjacency as index pairs (see [`link_adjacency`]).
+    pub(crate) fn link_adjacency(&self) -> Vec<Vec<(usize, usize)>> {
+        link_adjacency(self.procs.len(), &self.links)
     }
 }
 

@@ -9,6 +9,9 @@
 //!   data-dependencies;
 //! * [`Arch`] — the architecture: processors and (point-to-point or
 //!   multipoint) communication links, with precomputed shortest routes;
+//! * [`RouteTable`] — per processor pair, the primary route plus
+//!   vertex-disjoint alternatives (cached on every [`Problem`] for
+//!   fault-disjoint comm booking);
 //! * [`ExecTable`] / [`CommTable`] — the heterogeneous `Exe` tables, with
 //!   `∞` entries encoding the distribution constraints `Dis`;
 //! * [`Problem`] — the validated bundle, plus the real-time constraint
@@ -56,6 +59,7 @@ mod exec;
 mod ids;
 mod paper;
 mod problem;
+mod routes;
 pub mod spec;
 mod time;
 
@@ -66,4 +70,5 @@ pub use exec::{CommTable, ExecTable};
 pub use ids::{DepId, LinkId, OpId, ProcId};
 pub use paper::paper_example;
 pub use problem::{Problem, ProblemBuilder};
+pub use routes::{Route, RouteTable};
 pub use time::{ParseTimeError, Time, TICKS_PER_UNIT};

@@ -7,6 +7,7 @@ use crate::arch::Arch;
 use crate::error::ModelError;
 use crate::exec::{check_dims, CommTable, ExecTable};
 use crate::ids::OpId;
+use crate::routes::RouteTable;
 use crate::time::Time;
 
 /// A validated scheduling problem (paper §1): algorithm, architecture,
@@ -33,6 +34,9 @@ pub struct Problem {
     comm: CommTable,
     rtc: Option<Time>,
     npf: u32,
+    /// Cached per-architecture route sets (primary + disjoint alternatives,
+    /// capped at `npf + 1` per pair), built once at validation time.
+    routes: RouteTable,
 }
 
 /// Builder for [`Problem`]. Construct with [`Problem::builder`].
@@ -111,6 +115,7 @@ impl ProblemBuilder {
                 }
             }
         }
+        let routes = RouteTable::build(&self.arch, needed);
         Ok(Problem {
             alg: self.alg,
             arch: self.arch,
@@ -118,6 +123,7 @@ impl ProblemBuilder {
             comm: self.comm,
             rtc: self.rtc,
             npf: self.npf,
+            routes,
         })
     }
 }
@@ -153,6 +159,13 @@ impl Problem {
     /// The communication-time table.
     pub fn comm(&self) -> &CommTable {
         &self.comm
+    }
+
+    /// The cached candidate-route table: per ordered processor pair, the
+    /// architecture's primary route plus up to `npf` vertex-disjoint
+    /// alternatives for fault-disjoint comm booking.
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
     }
 
     /// The real-time constraint, if any.
@@ -239,6 +252,23 @@ mod tests {
         assert_eq!(p.replication(), 2);
         assert_eq!(p.ccr(), 0.5);
         assert_eq!(p.entry_ops().len(), 1);
+    }
+
+    #[test]
+    fn route_table_is_cached() {
+        let (alg, arch) = parts();
+        let exec = ExecTable::uniform(2, 2, Time::from_units(1.0));
+        let comm = CommTable::uniform(1, 1, Time::from_units(0.5));
+        let mut b = Problem::builder(alg, arch, exec, comm);
+        b.npf(1);
+        let p = b.build().unwrap();
+        assert_eq!(p.routes().max_routes(), 2, "npf + 1 routes per pair");
+        let duo = p.routes().all(crate::ids::ProcId(0), crate::ids::ProcId(1));
+        assert_eq!(duo.len(), 1, "a two-processor duo has one route");
+        assert_eq!(
+            duo[0].hops(),
+            p.arch().route(crate::ids::ProcId(0), crate::ids::ProcId(1))
+        );
     }
 
     #[test]

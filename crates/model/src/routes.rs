@@ -1,0 +1,287 @@
+//! Cached multi-route tables: per processor pair, the primary shortest
+//! route plus vertex-disjoint alternatives.
+//!
+//! The architecture's own [`Arch::route`] is a single shortest route per
+//! ordered pair — enough for latency, not for fault tolerance: on
+//! store-and-forward topologies every comm booked along one route dies with
+//! any of the route's processors. A [`RouteTable`] extends each pair to a
+//! small set of candidate routes whose *interiors* are pairwise disjoint
+//! (computed by [`ftbar_graph::vertex_disjoint_paths`]), so a scheduler can
+//! book redundant transfers that no `Npf`-subset of processor failures can
+//! sever simultaneously.
+//!
+//! The table is built once per [`Problem`](crate::Problem) (route count
+//! capped at `Npf + 1` per pair) and is deterministic: route `0` of every
+//! pair is exactly the architecture's primary route, alternatives follow
+//! shortest-first.
+
+use serde::{Deserialize, Serialize};
+
+use crate::arch::{Arch, Hop};
+use crate::ids::ProcId;
+
+/// One candidate route: a chain of hops from a source processor to a
+/// destination processor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    hops: Vec<Hop>,
+}
+
+impl Route {
+    /// The hops of the route, in traversal order (never empty).
+    pub fn hops(&self) -> &[Hop] {
+        &self.hops
+    }
+
+    /// Number of links traversed (the hop cost).
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// The intermediate (store-and-forward) processors of the route, in
+    /// traversal order — excludes both endpoints.
+    pub fn intermediates(&self) -> impl Iterator<Item = ProcId> + '_ {
+        self.hops[1..].iter().map(|h| h.from)
+    }
+
+    /// The processors whose fail-silent death silences a transfer on this
+    /// route: the source plus every intermediate (the destination is the
+    /// consumer itself and is accounted separately).
+    pub fn blockers(&self) -> impl Iterator<Item = ProcId> + '_ {
+        std::iter::once(self.hops[0].from).chain(self.intermediates())
+    }
+}
+
+/// All-pairs candidate route sets. See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteTable {
+    /// `routes[src][dst]`: candidate routes, primary first (empty iff
+    /// `src == dst`).
+    routes: Vec<Vec<Vec<Route>>>,
+    /// The per-pair route cap the table was built with.
+    max_routes: usize,
+}
+
+impl RouteTable {
+    /// Builds the table for `arch`, keeping up to `max_routes` pairwise
+    /// vertex-disjoint routes per ordered pair. The architecture's primary
+    /// route is always route 0; when the disjoint set does not happen to
+    /// contain it (max-flow may settle on a different decomposition), it is
+    /// prepended *in addition* — evicting a disjoint alternative to make
+    /// room for it could leave every cached route sharing an interior
+    /// processor, defeating coverage the topology actually supports.
+    pub fn build(arch: &Arch, max_routes: usize) -> Self {
+        let n = arch.proc_count();
+        let max_routes = max_routes.max(1);
+        // Same adjacency the architecture's own BFS routing uses, so the
+        // shortest flow path and the primary route usually coincide.
+        let adj = arch.link_adjacency();
+        let mut routes: Vec<Vec<Vec<Route>>> = vec![vec![Vec::new(); n]; n];
+        for (src, row) in routes.iter_mut().enumerate() {
+            for (dst, cell) in row.iter_mut().enumerate() {
+                if src == dst {
+                    continue;
+                }
+                let primary = Route {
+                    hops: arch
+                        .route(ProcId::from_index(src), ProcId::from_index(dst))
+                        .to_vec(),
+                };
+                if max_routes == 1 {
+                    // A single candidate per pair is by definition the
+                    // primary route; skip the max-flow machinery entirely
+                    // (the npf = 0 case).
+                    *cell = vec![primary];
+                    continue;
+                }
+                let paths = ftbar_graph::vertex_disjoint_paths(n, &adj, src, dst, max_routes);
+                let mut set: Vec<Route> = paths
+                    .into_iter()
+                    .map(|p| {
+                        let mut from = ProcId::from_index(src);
+                        let hops = p
+                            .into_iter()
+                            .map(|(edge, node)| {
+                                let to = ProcId::from_index(node);
+                                let hop = Hop {
+                                    link: crate::ids::LinkId::from_index(edge),
+                                    from,
+                                    to,
+                                };
+                                from = to;
+                                hop
+                            })
+                            .collect();
+                        Route { hops }
+                    })
+                    .collect();
+                if let Some(pos) = set.iter().position(|r| *r == primary) {
+                    set.swap(0, pos);
+                    // Keep the alternatives shortest-first after the swap.
+                    set[1..].sort_by_key(|r| r.hop_count());
+                } else {
+                    set.insert(0, primary);
+                }
+                *cell = set;
+            }
+        }
+        RouteTable { routes, max_routes }
+    }
+
+    /// The candidate routes from `src` to `dst`, primary route first.
+    /// Empty iff `src == dst`; holds up to `max_routes` pairwise disjoint
+    /// routes, plus one when the primary is not part of the disjoint set.
+    pub fn all(&self, src: ProcId, dst: ProcId) -> &[Route] {
+        &self.routes[src.index()][dst.index()]
+    }
+
+    /// The per-pair disjoint-route cap the table was built with.
+    pub fn max_routes(&self) -> usize {
+        self.max_routes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring4() -> Arch {
+        let mut b = Arch::builder("ring4");
+        let ps: Vec<_> = (0..4).map(|i| b.proc(format!("P{i}"))).collect();
+        for i in 0..4 {
+            b.link(format!("L{i}"), &[ps[i], ps[(i + 1) % 4]]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ring_pairs_have_two_disjoint_routes() {
+        let arch = ring4();
+        let table = RouteTable::build(&arch, 2);
+        for src in arch.procs() {
+            for dst in arch.procs() {
+                if src == dst {
+                    assert!(table.all(src, dst).is_empty());
+                    continue;
+                }
+                let set = table.all(src, dst);
+                assert_eq!(set.len(), 2, "{src} -> {dst}");
+                assert_eq!(set[0].hops(), arch.route(src, dst), "primary first");
+                let a: Vec<_> = set[0].intermediates().collect();
+                let b: Vec<_> = set[1].intermediates().collect();
+                assert!(a.iter().all(|p| !b.contains(p)), "disjoint interiors");
+            }
+        }
+    }
+
+    #[test]
+    fn blockers_include_source_and_intermediates() {
+        let arch = ring4();
+        let table = RouteTable::build(&arch, 2);
+        let p0 = ProcId(0);
+        let p2 = ProcId(2);
+        for route in table.all(p0, p2) {
+            let blockers: Vec<_> = route.blockers().collect();
+            assert_eq!(blockers[0], p0);
+            assert_eq!(blockers.len(), route.hop_count());
+            assert!(!blockers.contains(&p2));
+        }
+    }
+
+    #[test]
+    fn fully_connected_keeps_direct_primary() {
+        let mut b = Arch::builder("tri");
+        let p1 = b.proc("P1");
+        let p2 = b.proc("P2");
+        let p3 = b.proc("P3");
+        b.link("L12", &[p1, p2]);
+        b.link("L13", &[p1, p3]);
+        b.link("L23", &[p2, p3]);
+        let arch = b.build().unwrap();
+        let table = RouteTable::build(&arch, 2);
+        let set = table.all(p1, p3);
+        assert_eq!(set[0].hop_count(), 1);
+        assert_eq!(set[0].hops(), arch.route(p1, p3));
+        // The alternative detours through P2.
+        assert_eq!(set.len(), 2);
+        assert_eq!(set[1].intermediates().collect::<Vec<_>>(), vec![p2]);
+    }
+
+    #[test]
+    fn line_topology_has_single_routes() {
+        let mut b = Arch::builder("line");
+        let p1 = b.proc("P1");
+        let p2 = b.proc("P2");
+        let p3 = b.proc("P3");
+        b.link("L12", &[p1, p2]);
+        b.link("L23", &[p2, p3]);
+        let arch = b.build().unwrap();
+        let table = RouteTable::build(&arch, 3);
+        assert_eq!(table.all(p1, p3).len(), 1);
+        assert_eq!(table.all(p1, p2).len(), 1);
+        assert_eq!(table.max_routes(), 3);
+    }
+
+    #[test]
+    fn primary_outside_the_disjoint_set_does_not_evict_alternatives() {
+        // s-a, a-b, b-t, a-c, c-t, s-d, d-b: the BFS primary s -> t is
+        // s-a-b-t, but the max-flow decomposition settles on the disjoint
+        // pair {s-a-c-t, s-d-b-t}, which does not contain the primary.
+        // The table must keep *both* disjoint routes (each single interior
+        // failure leaves a survivor) and still expose the primary first.
+        let mut bld = Arch::builder("cancel");
+        let s = bld.proc("S");
+        let a = bld.proc("A");
+        let b = bld.proc("B");
+        let c = bld.proc("C");
+        let d = bld.proc("D");
+        let t = bld.proc("T");
+        bld.link("L0", &[s, a]);
+        bld.link("L1", &[a, b]);
+        bld.link("L2", &[b, t]);
+        bld.link("L3", &[a, c]);
+        bld.link("L4", &[c, t]);
+        bld.link("L5", &[s, d]);
+        bld.link("L6", &[d, b]);
+        let arch = bld.build().unwrap();
+        let table = RouteTable::build(&arch, 2);
+        let set = table.all(s, t);
+        assert_eq!(set[0].hops(), arch.route(s, t), "primary stays first");
+        // Every interior processor must leave at least one route alive.
+        for fail in [a, b, c, d] {
+            assert!(
+                set.iter().any(|r| r.blockers().all(|p| p != fail)),
+                "failure of {fail} blocks every cached route"
+            );
+        }
+    }
+
+    #[test]
+    fn single_route_tables_skip_the_flow_machinery() {
+        let arch = ring4();
+        let table = RouteTable::build(&arch, 1);
+        for src in arch.procs() {
+            for dst in arch.procs() {
+                if src != dst {
+                    let set = table.all(src, dst);
+                    assert_eq!(set.len(), 1);
+                    assert_eq!(set[0].hops(), arch.route(src, dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bus_offers_detour_routes() {
+        let mut b = Arch::builder("bus");
+        let ps: Vec<_> = (0..3).map(|i| b.proc(format!("P{i}"))).collect();
+        b.link("BUS", &ps);
+        let arch = b.build().unwrap();
+        let table = RouteTable::build(&arch, 2);
+        let set = table.all(ps[0], ps[1]);
+        assert_eq!(set[0].hop_count(), 1);
+        // A second, vertex-disjoint route exists via the third processor
+        // (useless against link failures, but interiors are disjoint).
+        assert_eq!(set.len(), 2);
+    }
+}

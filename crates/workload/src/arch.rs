@@ -38,6 +38,57 @@ pub fn ring(p: usize) -> Arch {
     b.build().expect("rings are valid")
 }
 
+/// A `w × h` grid of processors with point-to-point links between
+/// horizontal and vertical neighbours. Processor `P{i}` sits at
+/// `(i % w, i / w)`; links are named `L{i}.{j}` for `i < j`. With both
+/// dimensions ≥ 2 the grid is 2-connected, so every processor pair has two
+/// vertex-disjoint routes (what route-aware booking needs for `Npf = 1`).
+///
+/// # Panics
+///
+/// Panics if fewer than two processors result (`w * h < 2`).
+pub fn mesh(w: usize, h: usize) -> Arch {
+    assert!(w * h >= 2, "a mesh needs at least two processors");
+    let mut b = Arch::builder(format!("mesh{w}x{h}"));
+    let procs: Vec<_> = (0..w * h).map(|i| b.proc(format!("P{i}"))).collect();
+    for y in 0..h {
+        for x in 0..w {
+            let i = y * w + x;
+            if x + 1 < w {
+                b.link(format!("L{i}.{}", i + 1), &[procs[i], procs[i + 1]]);
+            }
+            if y + 1 < h {
+                b.link(format!("L{i}.{}", i + w), &[procs[i], procs[i + w]]);
+            }
+        }
+    }
+    b.build().expect("meshes are valid")
+}
+
+/// A `dim`-dimensional hypercube: `2^dim` processors, one point-to-point
+/// link per edge (processors whose indices differ in exactly one bit). A
+/// hypercube is `dim`-connected, so up to `dim` vertex-disjoint routes
+/// exist between any pair.
+///
+/// # Panics
+///
+/// Panics if `dim == 0`.
+pub fn hypercube(dim: usize) -> Arch {
+    assert!(dim >= 1, "a hypercube needs at least one dimension");
+    let n = 1usize << dim;
+    let mut b = Arch::builder(format!("hcube{dim}"));
+    let procs: Vec<_> = (0..n).map(|i| b.proc(format!("P{i}"))).collect();
+    for i in 0..n {
+        for bit in 0..dim {
+            let j = i ^ (1 << bit);
+            if i < j {
+                b.link(format!("L{i}.{j}"), &[procs[i], procs[j]]);
+            }
+        }
+    }
+    b.build().expect("hypercubes are valid")
+}
+
 /// `p` processors on a single multipoint bus (the topology of the authors'
 /// earlier ICDCS/FTPDS work; comms serialize on one medium).
 ///
@@ -88,5 +139,60 @@ mod tests {
         let a = bus(4);
         assert_eq!(a.link_count(), 1);
         assert!(a.is_fully_connected());
+    }
+
+    #[test]
+    fn mesh_grid_shape() {
+        let a = mesh(3, 2);
+        assert_eq!(a.proc_count(), 6);
+        // 2-per-row horizontal times 2 rows + 3 vertical = 7 links.
+        assert_eq!(a.link_count(), 7);
+        assert!(!a.is_fully_connected());
+        // Opposite corners are (w - 1) + (h - 1) hops apart.
+        let p0 = a.proc_by_name("P0").unwrap();
+        let p5 = a.proc_by_name("P5").unwrap();
+        assert_eq!(a.route(p0, p5).len(), 3);
+        // Degenerate 1-row mesh is a line.
+        let line = mesh(3, 1);
+        assert_eq!(line.link_count(), 2);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let a = hypercube(3);
+        assert_eq!(a.proc_count(), 8);
+        assert_eq!(a.link_count(), 12, "dim * 2^(dim-1) edges");
+        assert!(!a.is_fully_connected());
+        // Antipodal nodes are `dim` hops apart.
+        let p0 = a.proc_by_name("P0").unwrap();
+        let p7 = a.proc_by_name("P7").unwrap();
+        assert_eq!(a.route(p0, p7).len(), 3);
+        // dim = 1 is a connected pair.
+        let duo = hypercube(1);
+        assert_eq!(duo.proc_count(), 2);
+        assert_eq!(duo.link_count(), 1);
+    }
+
+    #[test]
+    fn mesh_and_hypercube_offer_disjoint_routes() {
+        use ftbar_model::RouteTable;
+        let a = mesh(2, 2);
+        let t = RouteTable::build(&a, 2);
+        for src in a.procs() {
+            for dst in a.procs() {
+                if src != dst {
+                    assert_eq!(t.all(src, dst).len(), 2, "mesh {src} -> {dst}");
+                }
+            }
+        }
+        let a = hypercube(3);
+        let t = RouteTable::build(&a, 3);
+        for src in a.procs() {
+            for dst in a.procs() {
+                if src != dst {
+                    assert_eq!(t.all(src, dst).len(), 3, "hcube {src} -> {dst}");
+                }
+            }
+        }
     }
 }

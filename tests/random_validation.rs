@@ -118,77 +118,60 @@ proptest! {
     }
 }
 
-#[test]
-fn ring_topologies_with_multi_hop_routes_validate() {
-    // Store-and-forward routes: the validator's masking check accounts for
-    // intermediate processors dying, and on these pinned instances Npf = 1
-    // on a ring holds (the scheduler books comms along 2-hop routes).
-    //
-    // Masking on multi-hop topologies is NOT guaranteed in general — see
-    // `ring_masking_known_limitation` below — so this test pins concrete
-    // generator seeds verified to be masked, as a regression set.
-    for seed in [0u64, 1, 2, 3, 4, 6, 7, 8] {
-        let alg = layered(&LayeredConfig {
-            n_ops: 10,
-            seed,
-            ..Default::default()
-        });
-        let problem = timing(
-            alg,
-            arch::ring(4),
-            &TimingConfig {
-                ccr: 1.0,
-                npf: 1,
-                seed,
-                ..Default::default()
-            },
-        )
-        .expect("valid problem");
-        let schedule = ftbar_schedule(&problem).expect("schedules");
-        let violations = validate(&problem, &schedule);
-        assert!(violations.is_empty(), "seed {seed}: {violations:#?}");
-    }
-}
-
-#[test]
-fn ring_masking_known_limitation() {
-    // KNOWN LIMITATION (multi-hop extension, beyond the paper's model): the
-    // scheduler treats a *local* producer replica as a sufficient source for
-    // a dependency. On fully connected architectures that is sound — a
-    // replica can only be lost together with its processor, so the local
-    // consumer dies with it. With store-and-forward routes a producer can
-    // starve while its processor is alive (all of its own input comms can
-    // route through one failed intermediate processor), and a consumer
-    // relying solely on that local copy then starves too.
-    //
-    // Seed 5 generates exactly that pattern on ring(4): failing P1 kills
-    // both booked T3→T6 comms into P2 (source on P1, and the P0 route's
-    // intermediate hop on P1), so T6's P2 replica starves and T4 on P2 has
-    // no other booked source for it. This pins the behaviour so a future
-    // route-disjointness-aware fix (see ROADMAP) flips this test.
+/// Schedules one generated layered problem on `arch` and asserts the full
+/// validator — including exhaustive masking and the static route-coverage
+/// check — finds nothing.
+fn assert_masked_on(topology: &str, a: ftbar::model::Arch, n_ops: usize, seed: u64) {
     let alg = layered(&LayeredConfig {
-        n_ops: 10,
-        seed: 5,
+        n_ops,
+        seed,
         ..Default::default()
     });
     let problem = timing(
         alg,
-        arch::ring(4),
+        a,
         &TimingConfig {
             ccr: 1.0,
             npf: 1,
-            seed: 5,
+            seed,
             ..Default::default()
         },
     )
     .expect("valid problem");
     let schedule = ftbar_schedule(&problem).expect("schedules");
     let violations = validate(&problem, &schedule);
-    // Every violation is a masking violation: structure, replication and
-    // nominal-replay equivalence all hold even on the failing instance.
-    assert!(!violations.is_empty(), "limitation no longer reproduces — promote this seed to the regression set and record the fix in ROADMAP.md");
-    for v in &violations {
-        assert_eq!(v.rule, "masking", "unexpected violation: {v:?}");
+    assert!(
+        violations.is_empty(),
+        "{topology} seed {seed}: {violations:#?}"
+    );
+}
+
+#[test]
+fn ring_topologies_with_multi_hop_routes_validate() {
+    // Store-and-forward routes: failure-disjoint booking routes redundant
+    // comms around shared intermediates, so Npf = 1 masking holds on rings.
+    // Seed 5 was the historical counterexample (a local producer replica
+    // whose own inputs all transited P1 starved its consumer when P1
+    // failed); route-aware booking fixed it and it now runs with the rest.
+    for seed in 0..24u64 {
+        assert_masked_on("ring(4)", arch::ring(4), 10, seed);
+    }
+}
+
+#[test]
+fn mesh_topologies_validate() {
+    // A 3×2 grid is 2-connected: two vertex-disjoint routes per pair.
+    for seed in 0..24u64 {
+        assert_masked_on("mesh(3,2)", arch::mesh(3, 2), 10, seed);
+    }
+}
+
+#[test]
+fn hypercube_topologies_validate() {
+    // A 3-cube is 3-connected; Npf = 1 booking needs only two disjoint
+    // routes, so coverage always exists.
+    for seed in 0..24u64 {
+        assert_masked_on("hypercube(3)", arch::hypercube(3), 12, seed);
     }
 }
 

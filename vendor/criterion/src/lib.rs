@@ -7,6 +7,11 @@
 //! statistical analysis it runs a fixed warm-up plus `sample_size` timed
 //! samples and prints mean / min / max per benchmark — enough to compare
 //! schedulers and watch regressions by eye.
+//!
+//! Like the real crate, passing `--test` on the bench binary's command line
+//! (`cargo bench -- --test`) switches to smoke mode: every routine runs
+//! exactly once with no warm-up, so CI can assert the benches still execute
+//! without paying for timing runs.
 
 use std::hint;
 use std::time::{Duration, Instant};
@@ -14,6 +19,12 @@ use std::time::{Duration, Instant};
 /// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
     hint::black_box(x)
+}
+
+/// True when the bench binary was invoked with `--test` (smoke mode: one
+/// untimed run per routine, mirroring real Criterion's behaviour).
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
 }
 
 /// Top-level benchmark driver.
@@ -123,10 +134,16 @@ impl Bencher {
     where
         R: FnMut() -> O,
     {
+        self.samples.clear();
+        if test_mode() {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            return;
+        }
         for _ in 0..2 {
             black_box(routine());
         }
-        self.samples.clear();
         for _ in 0..self.sample_size {
             let start = Instant::now();
             black_box(routine());
