@@ -2,10 +2,15 @@
 //! time complexity of FTBAR is less than the time complexity of HBP").
 //!
 //! One Criterion group per graph size; `ftbar` vs `hbp` on identical
-//! problems.
+//! problems. The `FTBAR-incremental` / `FTBAR-naive` / `FTBAR-parallel`
+//! and `HBP-exhaustive` rows pin the incremental pressure engine's speedup
+//! against the retained reference sweeps (the paper's complexity remark
+//! applies to the unoptimized algorithms, i.e. the naive/exhaustive rows).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftbar_bench::experiment::{problem_for, PointConfig};
+use ftbar_core::{FtbarConfig, SweepStrategy};
+use ftbar_hbp::HbpConfig;
 
 fn bench_schedulers(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduling_time");
@@ -22,8 +27,28 @@ fn bench_schedulers(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("FTBAR", n), &problem, |b, p| {
             b.iter(|| ftbar_core::ftbar::schedule(p).expect("schedules"));
         });
+        group.bench_with_input(BenchmarkId::new("FTBAR-naive", n), &problem, |b, p| {
+            let cfg = FtbarConfig {
+                sweep: SweepStrategy::Naive,
+                ..FtbarConfig::default()
+            };
+            b.iter(|| ftbar_core::ftbar::schedule_with(p, &cfg).expect("schedules"));
+        });
+        group.bench_with_input(BenchmarkId::new("FTBAR-parallel", n), &problem, |b, p| {
+            let cfg = FtbarConfig {
+                parallel: true,
+                ..FtbarConfig::default()
+            };
+            b.iter(|| ftbar_core::ftbar::schedule_with(p, &cfg).expect("schedules"));
+        });
         group.bench_with_input(BenchmarkId::new("HBP", n), &problem, |b, p| {
             b.iter(|| ftbar_hbp::schedule(p).expect("schedules"));
+        });
+        group.bench_with_input(BenchmarkId::new("HBP-exhaustive", n), &problem, |b, p| {
+            let cfg = HbpConfig {
+                exhaustive_pairs: true,
+            };
+            b.iter(|| ftbar_hbp::schedule_with(p, &cfg).expect("schedules"));
         });
         group.bench_with_input(BenchmarkId::new("non-FT", n), &problem, |b, p| {
             b.iter(|| ftbar_core::basic::schedule_non_ft(p).expect("schedules"));

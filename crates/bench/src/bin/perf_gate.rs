@@ -1,0 +1,151 @@
+//! Machine-readable scheduling-time gate: emits `BENCH_scheduling.json`
+//! with the median nanoseconds of every `scheduling_time` point so the
+//! perf trajectory of the FTBAR/HBP main loops is tracked in-repo, not
+//! anecdotally.
+//!
+//! ```sh
+//! cargo run --release -p ftbar-bench --bin perf_gate            # full run
+//! cargo run --release -p ftbar-bench --bin perf_gate -- --test  # CI smoke
+//! cargo run --release -p ftbar-bench --bin perf_gate -- --stats # + cache stats
+//! ```
+//!
+//! `--test` runs every point once (no warm-up, one sample) so CI can
+//! assert the gate still executes without paying for timing; the JSON is
+//! still written (values are then indicative only). `--out PATH` overrides
+//! the output path.
+
+use std::time::Instant;
+
+use ftbar_bench::experiment::{problem_for, PointConfig};
+use ftbar_core::{ftbar, FtbarConfig, SweepStrategy};
+use ftbar_model::Problem;
+
+/// One measured point.
+struct Point {
+    variant: &'static str,
+    n_ops: usize,
+    median_ns: u128,
+}
+
+fn median_ns(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn measure(f: &dyn Fn(), smoke: bool) -> u128 {
+    if smoke {
+        let t = Instant::now();
+        f();
+        return t.elapsed().as_nanos();
+    }
+    for _ in 0..2 {
+        f(); // warm-up
+    }
+    let mut samples = Vec::with_capacity(9);
+    for _ in 0..9 {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos());
+    }
+    median_ns(&mut samples)
+}
+
+fn ftbar_with(problem: &Problem, sweep: SweepStrategy, parallel: bool) {
+    let config = FtbarConfig {
+        sweep,
+        parallel,
+        ..FtbarConfig::default()
+    };
+    ftbar::schedule_with(problem, &config).expect("schedules");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let stats = args.iter().any(|a| a == "--stats");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_scheduling.json".to_string());
+
+    let mut points: Vec<Point> = Vec::new();
+    for n in [20usize, 50, 80] {
+        let config = PointConfig {
+            n_ops: n,
+            ccr: 5.0,
+            graphs: 1,
+            seed_base: 40_000 + n as u64,
+            ..Default::default()
+        };
+        let problem = problem_for(&config, 0);
+        #[allow(clippy::type_complexity)]
+        let runs: [(&'static str, Box<dyn Fn()>); 6] = [
+            (
+                "FTBAR",
+                Box::new(|| ftbar_with(&problem, SweepStrategy::Incremental, false)),
+            ),
+            (
+                "FTBAR-naive",
+                Box::new(|| ftbar_with(&problem, SweepStrategy::Naive, false)),
+            ),
+            (
+                "FTBAR-parallel",
+                Box::new(|| ftbar_with(&problem, SweepStrategy::Incremental, true)),
+            ),
+            (
+                "HBP",
+                Box::new(|| {
+                    ftbar_hbp::schedule(&problem).expect("schedules");
+                }),
+            ),
+            (
+                "HBP-exhaustive",
+                Box::new(|| {
+                    let cfg = ftbar_hbp::HbpConfig {
+                        exhaustive_pairs: true,
+                    };
+                    ftbar_hbp::schedule_with(&problem, &cfg).expect("schedules");
+                }),
+            ),
+            (
+                "non-FT",
+                Box::new(|| {
+                    ftbar_core::basic::schedule_non_ft(&problem).expect("schedules");
+                }),
+            ),
+        ];
+        for (variant, f) in &runs {
+            let median = measure(f.as_ref(), smoke);
+            println!("scheduling_time/{variant}/{n}: {median} ns");
+            points.push(Point {
+                variant,
+                n_ops: n,
+                median_ns: median,
+            });
+        }
+        if stats {
+            let s = ftbar::sweep_stats_for(&problem);
+            println!(
+                "  cache n={n}: probes {} version-hits {} replay-hits {} recomputes {}",
+                s.probes, s.version_hits, s.replay_hits, s.recomputes
+            );
+        }
+    }
+
+    // Hand-rolled JSON: stable field order, no dependencies.
+    let mut json = String::from("{\n  \"schema\": 1,\n  \"unit\": \"ns\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n  \"points\": [\n"));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"bench\": \"scheduling_time\", \"variant\": \"{}\", \"n_ops\": {}, \"median_ns\": {}}}{}\n",
+            p.variant,
+            p.n_ops,
+            p.median_ns,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write BENCH_scheduling.json");
+    println!("wrote {out}");
+}

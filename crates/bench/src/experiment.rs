@@ -58,7 +58,7 @@ impl Scheduler {
                     } else {
                         ftbar_core::CostFunction::SchedulePressure
                     },
-                    trace: false,
+                    ..FtbarConfig::default()
                 },
             )
             .map(|o| o.schedule),

@@ -196,7 +196,7 @@ fn cmd_schedule(rest: &[String]) -> Result<String, CliError> {
                 } else {
                     ftbar_core::CostFunction::SchedulePressure
                 },
-                trace: false,
+                ..FtbarConfig::default()
             },
         )
         .map(|o| o.schedule)

@@ -41,11 +41,42 @@
 //! (`place_min_start`, HBP's processor-pair probing) rolls back instead of
 //! deep-cloning the whole builder per attempt.
 
-use ftbar_model::{DepId, OpId, Problem, ProcId, Time};
+use ftbar_model::{DepId, LinkId, OpId, Problem, ProcId, Time};
 
 use crate::error::ScheduleError;
 use crate::schedule::{BookedHop, Comm, CommId, Replica, ReplicaId, Schedule};
 use crate::timeline::Timeline;
+
+/// A bookable resource timeline: a processor lane or a link lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lane {
+    /// The processor's execution timeline.
+    Proc(ProcId),
+    /// The link's transfer timeline.
+    Link(LinkId),
+}
+
+/// One timeline probe performed while evaluating [`ScheduleBuilder::probe`],
+/// recorded by [`ScheduleBuilder::probe_traced`].
+///
+/// A probed placement is a pure function of (a) the static problem tables,
+/// (b) the predecessor replica sets (guarded by
+/// [`ScheduleBuilder::op_replicas_version`]), and (c) the answers the lane
+/// timelines gave to exactly these probe calls — so a cached [`ProbePoint`]
+/// is still exact whenever every recorded event reproduces
+/// ([`ScheduleBuilder::replay_probe`]). The sweep engine builds its
+/// invalidation on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeEvent {
+    /// The probed lane.
+    pub lane: Lane,
+    /// The ready instant the probe started from.
+    pub ready: Time,
+    /// The requested duration.
+    pub dur: Time,
+    /// The start the timeline answered.
+    pub start: Time,
+}
 
 /// Maximum recursion depth of `Minimize_start_time` (bounds the cost of
 /// duplicating whole ancestor chains on deep graphs).
@@ -87,19 +118,95 @@ struct RemoteSource {
     blockers: u64,
 }
 
-/// How one dependency's data reaches a replica being planned.
-#[derive(Debug, Clone)]
-enum DepSources {
+/// How one dependency's data reaches a replica being planned. Remote
+/// choices index into the owning [`PlanBuf`]'s flat source pool.
+#[derive(Debug, Clone, Copy)]
+enum PlanItem {
     /// A replica of the producer lives on the same processor; no comms.
     Local { src: ReplicaId, ready: Time },
-    /// Data arrives over links from the chosen producer replicas
-    /// (sorted by probed arrival).
-    Remote { chosen: Vec<RemoteSource> },
+    /// Data arrives over links from `pool[start..start + len]`
+    /// (ascending by probed arrival).
+    Remote { start: u32, len: u32 },
 }
 
-/// One planned input per dependency, plus the best/worst ready instants of
-/// the full input set.
-type InputPlan = (Vec<(DepId, DepSources)>, Time, Time);
+/// Outcome of choosing the sources of one dependency
+/// ([`ScheduleBuilder::pick_dep_sources`]): either a reliable/forced local
+/// copy, or the remote sources left in the caller's scratch buffer
+/// (ascending by `(arrival, src, route)`).
+enum DepPick {
+    Local {
+        src: ReplicaId,
+        ready: Time,
+    },
+    Remote {
+        /// Worst (`Npf + 1`-th smallest) primary-route arrival before
+        /// coverage augmentation — the quantity LIP selection ranks by.
+        primary_worst: Time,
+        /// A (fragile) local replica of the producer exists nonetheless.
+        local: bool,
+    },
+}
+
+/// A reusable flat input plan: one [`PlanItem`] per dependency plus the
+/// pooled remote sources, and the best/worst ready instants of the full
+/// input set. Owned by the builder and recycled across placements — the
+/// booking path allocates nothing per attempt.
+#[derive(Debug, Clone, Default)]
+struct PlanBuf {
+    items: Vec<(DepId, PlanItem)>,
+    pool: Vec<RemoteSource>,
+    best_ready: Time,
+    worst_ready: Time,
+    /// Latest Immediate Predecessor w.r.t. the planned processor, if any.
+    lip: Option<(Time, OpId)>,
+}
+
+/// Saved bookings of one completed placement — the replica pushed after a
+/// checkpoint and its comms, with their exact slots. After speculative work
+/// on the same state was rolled back, [`ScheduleBuilder::replay_segment`]
+/// redoes the placement verbatim (no planning, no probing): the state is
+/// identical to when the segment was saved, so every `insert_at` lands in a
+/// free gap and all ids come out unchanged.
+#[derive(Debug, Clone)]
+struct PlacedSegment {
+    replica: Replica,
+    surv: Vec<u64>,
+    fully: bool,
+    comms: Vec<Comm>,
+}
+
+/// Reusable buffers for the allocation-free probe path
+/// ([`ScheduleBuilder::probe_traced_with`]). Callers on the hot sweep keep
+/// one per worker; contents are meaningless between calls.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeScratch {
+    chosen: Vec<RemoteSource>,
+}
+
+/// The input-plan half of a probe ([`ScheduleBuilder::probe_plan`]): what a
+/// would-be replica's inputs cost, before the hosting processor's timeline
+/// is consulted. Splitting here lets the sweep engine cache the expensive
+/// plan evaluation (source selection, route probing, coverage) under
+/// link-lane/replica-set invalidation only, while the volatile processor
+/// lanes — written by every placement — cost just two binary-search probes
+/// per refresh ([`ScheduleBuilder::proc_probe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanProbe {
+    /// `op` already has a replica on the processor: the probe is its
+    /// recorded times, independent of any timeline.
+    Fixed(ProbePoint),
+    /// Input-set ready instants and the execution duration; the probe
+    /// completes as
+    /// `start_best/worst = proc_probe(proc, best/worst_ready, dur)`.
+    Ready {
+        /// Earliest instant the first complete input set is available.
+        best_ready: Time,
+        /// Earliest instant accounting for the latest planned arrival.
+        worst_ready: Time,
+        /// Execution time of `op` on the probed processor.
+        dur: Time,
+    },
+}
 
 /// Bitmasks limit pattern tracking to this many processors; larger
 /// architectures degrade to the classic distinct-source rule.
@@ -130,10 +237,6 @@ pub(crate) fn failure_patterns(proc_count: usize, npf: usize) -> Vec<u64> {
     out
 }
 
-fn bits_new(n: usize) -> Vec<u64> {
-    vec![0; n.div_ceil(64)]
-}
-
 fn bit_get(bits: &[u64], i: usize) -> bool {
     bits[i / 64] >> (i % 64) & 1 == 1
 }
@@ -157,11 +260,57 @@ pub struct ScheduleBuilder<'p> {
     surv: Vec<Vec<u64>>,
     /// Per replica: survives every pattern not containing its processor.
     fully_live: Vec<bool>,
+    /// Recycled input-plan buffer for the booking path (placements
+    /// allocate nothing per attempt).
+    plan_buf: PlanBuf,
+    /// Recycled per-dependency source buffer shared by booking and the
+    /// internal probe paths.
+    plan_scratch: ProbeScratch,
+    /// LIP of the last planned placement (set by `place_flagged` from its
+    /// input plan; consumed by `place_min_inner`).
+    last_lip: Option<OpId>,
+    /// Flattened scheduling-predecessor adjacency: `preds[pred_off[op] ..
+    /// pred_off[op + 1]]` — the boxed `Alg::sched_preds` iterator is too
+    /// expensive for the planning hot paths.
+    preds: Vec<(DepId, OpId)>,
+    pred_off: Vec<u32>,
+    /// Monotone count of mutation bursts (placements, rollbacks,
+    /// replays); lets observers detect quiescence cheaply. See
+    /// [`ScheduleBuilder::mutation_count`].
+    mutations: u64,
+    /// Recycled hop buffers (rollback returns unwound comms' allocations
+    /// here; booking reuses them — the speculation loop allocates nothing
+    /// in steady state).
+    hops_pool: Vec<Vec<BookedHop>>,
+    /// Recycled survival bitsets, same lifecycle.
+    surv_pool: Vec<Vec<u64>>,
+    /// Recycled segment comm buffers, same lifecycle.
+    seg_comms_pool: Vec<Vec<Comm>>,
 }
 
 impl<'p> ScheduleBuilder<'p> {
     /// Creates an empty builder for `problem`.
     pub fn new(problem: &'p Problem) -> Self {
+        let alg = problem.alg();
+        let mut preds = Vec::with_capacity(alg.dep_count());
+        let mut pred_off = Vec::with_capacity(alg.op_count() + 1);
+        pred_off.push(0);
+        for op in alg.ops() {
+            preds.extend(alg.sched_preds(op));
+            pred_off.push(preds.len() as u32);
+        }
+        // On a fully connected architecture (every ordered pair one hop
+        // apart — the paper's model) a comm is lost only with its source
+        // processor, so the classic `Npf + 1` distinct-source rule already
+        // defeats every failure pattern: every replica is fully live and
+        // coverage augmentation never fires (DESIGN.md §2 point 1). Skip
+        // pattern tracking entirely — the booking decisions, and hence the
+        // schedules, are bit-identical, only cheaper.
+        let patterns = if Self::fully_connected(problem) {
+            Vec::new()
+        } else {
+            failure_patterns(problem.arch().proc_count(), problem.npf() as usize)
+        };
         ScheduleBuilder {
             problem,
             proc_tl: vec![Timeline::new(); problem.arch().proc_count()],
@@ -169,10 +318,48 @@ impl<'p> ScheduleBuilder<'p> {
             replicas: Vec::new(),
             comms: Vec::new(),
             replicas_of: vec![Vec::new(); problem.alg().op_count()],
-            patterns: failure_patterns(problem.arch().proc_count(), problem.npf() as usize),
+            patterns,
             surv: Vec::new(),
             fully_live: Vec::new(),
+            plan_buf: PlanBuf::default(),
+            plan_scratch: ProbeScratch::default(),
+            last_lip: None,
+            preds,
+            pred_off,
+            mutations: 0,
+            hops_pool: Vec::new(),
+            surv_pool: Vec::new(),
+            seg_comms_pool: Vec::new(),
         }
+    }
+
+    /// Monotone counter bumped by every mutating operation (placement,
+    /// rollback, segment replay). Equal values bracket a quiescent span in
+    /// which no timeline or replica store changed — the sweep engine's
+    /// cue that its per-step change masks are current.
+    pub fn mutation_count(&self) -> u64 {
+        self.mutations
+    }
+
+    /// True when every ordered processor pair is one hop apart (the
+    /// paper's fully connected model; includes bus topologies — links do
+    /// not fail in this model, only processors do).
+    fn fully_connected(problem: &Problem) -> bool {
+        let n = problem.arch().proc_count();
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let routes = problem
+                    .routes()
+                    .all(ProcId::from_index(s), ProcId::from_index(d));
+                if routes.first().is_none_or(|r| r.hop_count() != 1) {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// The problem being scheduled.
@@ -208,6 +395,43 @@ impl<'p> ScheduleBuilder<'p> {
         &self.replicas[id.index()]
     }
 
+    /// The monotone mutation counter of a lane's timeline (see
+    /// [`Timeline::version`]): equal versions of the same lane imply
+    /// identical bookings. Rollback churn bumps it conservatively.
+    pub fn lane_version(&self, lane: Lane) -> u64 {
+        match lane {
+            Lane::Proc(p) => self.proc_tl[p.index()].version(),
+            Lane::Link(l) => self.link_tl[l.index()].version(),
+        }
+    }
+
+    /// Replica-set version of `op`: its current replica count.
+    ///
+    /// Committed bookings are never removed — rollback only unwinds
+    /// *speculative* work back to a checkpoint — so between any two
+    /// **transactionally consistent** observations (no checkpoint pending,
+    /// as at the top of a scheduler main-loop step), an equal count implies
+    /// the very same replica list. Mid-transaction states can alias
+    /// (a rolled-back replica id is reused by the next booking); cache
+    /// observations must therefore happen at committed states, which is
+    /// how the sweep engine drives it.
+    pub fn op_replicas_version(&self, op: OpId) -> u64 {
+        self.replicas_of[op.index()].len() as u64
+    }
+
+    /// Re-runs a recorded probe event against the current timelines and
+    /// reports whether the answer is unchanged. When every event of a
+    /// [`ScheduleBuilder::probe_traced`] call replays (and the involved
+    /// replica sets are unchanged), the recorded [`ProbePoint`] is still
+    /// exact even though lane versions moved.
+    pub fn replay_probe(&self, ev: &ProbeEvent) -> bool {
+        let got = match ev.lane {
+            Lane::Proc(p) => self.proc_tl[p.index()].probe(ev.ready, ev.dur),
+            Lane::Link(l) => self.link_tl[l.index()].probe(ev.ready, ev.dur),
+        };
+        got == ev.start
+    }
+
     /// Marks the current transaction point. Everything booked after the
     /// mark can be unwound with [`ScheduleBuilder::rollback`].
     pub fn checkpoint(&self) -> Checkpoint {
@@ -227,6 +451,7 @@ impl<'p> ScheduleBuilder<'p> {
     /// own past — marks are not transferable across builders and cannot be
     /// replayed after an earlier rollback already consumed them.
     pub fn rollback(&mut self, mark: Checkpoint) {
+        self.mutations += 1;
         debug_assert!(
             mark.replicas <= self.replicas.len() && mark.comms <= self.comms.len(),
             "rollback mark is ahead of the builder state"
@@ -237,7 +462,11 @@ impl<'p> ScheduleBuilder<'p> {
                 debug_assert!(removed.is_some(), "booked hop present on its link");
             }
         }
-        self.comms.truncate(mark.comms);
+        for comm in self.comms.drain(mark.comms..) {
+            let mut hops = comm.hops;
+            hops.clear();
+            self.hops_pool.push(hops);
+        }
         for rid in (mark.replicas..self.replicas.len()).rev() {
             let rep = &self.replicas[rid];
             let removed = self.proc_tl[rep.proc.index()].remove(&ReplicaId(rid as u32));
@@ -247,7 +476,7 @@ impl<'p> ScheduleBuilder<'p> {
             list.pop();
         }
         self.replicas.truncate(mark.replicas);
-        self.surv.truncate(mark.replicas);
+        self.surv_pool.extend(self.surv.drain(mark.replicas..));
         self.fully_live.truncate(mark.replicas);
     }
 
@@ -262,103 +491,316 @@ impl<'p> ScheduleBuilder<'p> {
     /// * [`ScheduleError::PredNotScheduled`] if a predecessor has no replica
     ///   yet.
     pub fn probe(&self, op: OpId, proc: ProcId) -> Result<ProbePoint, ScheduleError> {
+        self.probe_with(op, proc, &mut ProbeScratch::default(), None)
+    }
+
+    /// [`ScheduleBuilder::probe`] that additionally appends every timeline
+    /// probe it performs to `events` (in deterministic evaluation order).
+    /// The recorded events, together with the replica-set versions of `op`
+    /// and its predecessors, fully determine the result — the contract the
+    /// sweep engine's cache invalidation relies on (`DESIGN.md` §7).
+    ///
+    /// # Errors
+    ///
+    /// As [`ScheduleBuilder::probe`]. `events` content is unspecified on
+    /// error.
+    pub fn probe_traced(
+        &self,
+        op: OpId,
+        proc: ProcId,
+        events: &mut Vec<ProbeEvent>,
+    ) -> Result<ProbePoint, ScheduleError> {
+        self.probe_with(op, proc, &mut ProbeScratch::default(), Some(events))
+    }
+
+    /// As [`ScheduleBuilder::probe_traced`], reusing the caller's scratch
+    /// buffers — the allocation-free form the sweep engine's hot recompute
+    /// path uses (`probe` is `&self`, so parallel sweep workers each carry
+    /// their own scratch).
+    pub fn probe_traced_with(
+        &self,
+        op: OpId,
+        proc: ProcId,
+        events: &mut Vec<ProbeEvent>,
+        scratch: &mut ProbeScratch,
+    ) -> Result<ProbePoint, ScheduleError> {
+        self.probe_with(op, proc, scratch, Some(events))
+    }
+
+    fn probe_with(
+        &self,
+        op: OpId,
+        proc: ProcId,
+        scratch: &mut ProbeScratch,
+        mut trace: Option<&mut Vec<ProbeEvent>>,
+    ) -> Result<ProbePoint, ScheduleError> {
+        match self.probe_plan_with(op, proc, scratch, trace.as_deref_mut())? {
+            PlanProbe::Fixed(point) => Ok(point),
+            PlanProbe::Ready {
+                best_ready,
+                worst_ready,
+                dur,
+            } => {
+                let start_best = self.proc_tl[proc.index()].probe(best_ready, dur);
+                let start_worst = self.proc_tl[proc.index()].probe(worst_ready, dur);
+                if let Some(tr) = trace {
+                    tr.push(ProbeEvent {
+                        lane: Lane::Proc(proc),
+                        ready: best_ready,
+                        dur,
+                        start: start_best,
+                    });
+                    tr.push(ProbeEvent {
+                        lane: Lane::Proc(proc),
+                        ready: worst_ready,
+                        dur,
+                        start: start_worst,
+                    });
+                }
+                Ok(ProbePoint {
+                    start_best,
+                    start_worst,
+                    end_best: start_best + dur,
+                })
+            }
+        }
+    }
+
+    /// The input-plan half of [`ScheduleBuilder::probe`]: everything up to
+    /// (but excluding) the hosting processor's timeline. Recorded `events`
+    /// are link-lane probes only — the result is a pure function of the
+    /// static tables, the replica sets of `op` and its predecessors, and
+    /// exactly these link answers.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScheduleBuilder::probe`].
+    pub fn probe_plan(
+        &self,
+        op: OpId,
+        proc: ProcId,
+        events: &mut Vec<ProbeEvent>,
+        scratch: &mut ProbeScratch,
+    ) -> Result<PlanProbe, ScheduleError> {
+        self.probe_plan_with(op, proc, scratch, Some(events))
+    }
+
+    fn probe_plan_with(
+        &self,
+        op: OpId,
+        proc: ProcId,
+        scratch: &mut ProbeScratch,
+        trace: Option<&mut Vec<ProbeEvent>>,
+    ) -> Result<PlanProbe, ScheduleError> {
         if let Some(r) = self.replica_on(op, proc) {
+            // Recorded times of a booked replica: no timelines consulted
+            // (replica slots are immutable; the set is guarded by
+            // `op_replicas_version`).
             let rep = &self.replicas[r.index()];
-            return Ok(ProbePoint {
+            return Ok(PlanProbe::Fixed(ProbePoint {
                 start_best: rep.start(),
                 start_worst: rep.start_worst,
                 end_best: rep.end(),
-            });
+            }));
         }
         let dur = self
             .problem
             .exec()
             .get(op, proc)
             .ok_or(ScheduleError::Forbidden { op, proc })?;
-        let (_, best_ready, worst_ready) = self.plan_inputs(op, proc)?;
-        let start_best = self.proc_tl[proc.index()].probe(best_ready, dur);
-        let start_worst = self.proc_tl[proc.index()].probe(worst_ready, dur);
-        Ok(ProbePoint {
-            start_best,
-            start_worst,
-            end_best: start_best + dur,
+        let (best_ready, worst_ready) = self.input_ready_times(op, proc, scratch, trace)?;
+        Ok(PlanProbe::Ready {
+            best_ready,
+            worst_ready,
+            dur,
         })
     }
 
-    /// Plans how each intra-iteration dependency of `op` reaches `proc`:
-    /// local availability, or remote sources chosen so that every tracked
-    /// failure pattern leaves at least one surviving source.
-    /// Returns `(plans, best_ready, worst_ready)`.
-    fn plan_inputs(&self, op: OpId, proc: ProcId) -> Result<InputPlan, ScheduleError> {
-        let alg = self.problem.alg();
+    /// Earliest start `t ≥ ready` for a `dur`-long slot on `proc`'s
+    /// execution timeline (the point-completion half of the split probe;
+    /// see [`PlanProbe`]).
+    pub fn proc_probe(&self, proc: ProcId, ready: Time, dur: Time) -> Time {
+        self.proc_tl[proc.index()].probe(ready, dur)
+    }
+
+    /// Chooses how dependency `dep` (produced by `pred`) reaches `proc`:
+    /// Fig. 3(b) — a *reliable* local replica of the predecessor suppresses
+    /// all comms (intra-processor, cost 0; on fully connected architectures
+    /// every replica is reliable, reproducing the paper exactly, while
+    /// elsewhere a local copy that can starve no longer silences redundant
+    /// comms) — or Fig. 3(c) — the `Npf + 1` sources with the earliest
+    /// probed arrival over their primary routes, extended along alternative
+    /// routes until every tracked failure pattern is defeated, falling back
+    /// to a fragile local copy where coverage is unachievable. Remote
+    /// choices are left in `chosen`, ascending by `(arrival, src, route)`.
+    ///
+    /// Shared by the probing and the booking path, so the two can never
+    /// disagree on a plan.
+    fn pick_dep_sources(
+        &self,
+        op: OpId,
+        dep: DepId,
+        pred: OpId,
+        proc: ProcId,
+        chosen: &mut Vec<RemoteSource>,
+        mut trace: Option<&mut Vec<ProbeEvent>>,
+    ) -> Result<DepPick, ScheduleError> {
+        let preds = &self.replicas_of[pred.index()];
+        if preds.is_empty() {
+            return Err(ScheduleError::PredNotScheduled { op, pred });
+        }
         let k = self.replication();
-        let mut plans = Vec::new();
-        let mut best_ready = Time::ZERO;
-        let mut worst_ready = Time::ZERO;
-        for (dep, pred) in alg.sched_preds(op) {
-            if self.replicas_of[pred.index()].is_empty() {
-                return Err(ScheduleError::PredNotScheduled { op, pred });
-            }
-            // Fig. 3(b): a *reliable* local replica of the predecessor
-            // suppresses all comms for this dependency (intra-processor,
-            // cost 0). On fully connected architectures every replica is
-            // reliable, reproducing the paper exactly; elsewhere a local
-            // copy that can starve no longer silences redundant comms.
-            let local = self.replica_on(pred, proc);
-            if let Some(l) = local {
-                if self.fully_live[l.index()] {
-                    let ready = self.replicas[l.index()].end();
-                    best_ready = best_ready.max(ready);
-                    worst_ready = worst_ready.max(ready);
-                    plans.push((dep, DepSources::Local { src: l, ready }));
-                    continue;
-                }
-            }
-            let remotes: Vec<ReplicaId> = self.replicas_of[pred.index()]
-                .iter()
-                .copied()
-                .filter(|&r| self.replicas[r.index()].proc != proc)
-                .collect();
-            if remotes.is_empty() {
-                // Only the (fragile) local copy exists: nothing to book.
-                let l = local.expect("a predecessor replica exists on this processor");
+        let local = self.replica_on(pred, proc);
+        if let Some(l) = local {
+            if self.fully_live[l.index()] {
                 let ready = self.replicas[l.index()].end();
-                best_ready = best_ready.max(ready);
-                worst_ready = worst_ready.max(ready);
-                plans.push((dep, DepSources::Local { src: l, ready }));
+                return Ok(DepPick::Local { src: l, ready });
+            }
+        }
+        chosen.clear();
+        for &r in preds {
+            if self.replicas[r.index()].proc == proc {
                 continue;
             }
-            // Fig. 3(c): take the Npf+1 sources with the earliest probed
-            // arrival over their primary routes (pairwise distinct
-            // processors), then extend the set along alternative routes
-            // until every tracked failure pattern is defeated.
-            let mut chosen: Vec<RemoteSource> = remotes
-                .iter()
-                .map(|&r| {
-                    self.remote_candidate(dep, r, proc, 0)
-                        .expect("primary route")
-                })
-                .collect();
-            chosen.sort_by_key(|c| (c.arrival, c.src));
-            chosen.truncate(k);
-            let covered = self.augment_for_coverage(dep, proc, &remotes, &mut chosen);
-            if !covered {
-                if let Some(l) = local {
-                    // Disjoint coverage is unachievable; keep the fragile
-                    // local copy (pre-routing behaviour, best effort).
-                    let ready = self.replicas[l.index()].end();
-                    best_ready = best_ready.max(ready);
-                    worst_ready = worst_ready.max(ready);
-                    plans.push((dep, DepSources::Local { src: l, ready }));
-                    continue;
+            chosen.push(
+                self.remote_candidate(dep, r, proc, 0, trace.as_deref_mut())
+                    .expect("primary route"),
+            );
+        }
+        if chosen.is_empty() {
+            // Only the (fragile) local copy exists: nothing to book.
+            let l = local.expect("a predecessor replica exists on this processor");
+            let ready = self.replicas[l.index()].end();
+            return Ok(DepPick::Local { src: l, ready });
+        }
+        chosen.sort_by_key(|c| (c.arrival, c.src));
+        chosen.truncate(k);
+        let primary_worst = chosen.last().expect("non-empty").arrival;
+        let covered = self.augment_for_coverage(dep, proc, pred, chosen, trace);
+        if !covered {
+            if let Some(l) = local {
+                // Disjoint coverage is unachievable; keep the fragile
+                // local copy (pre-routing behaviour, best effort).
+                let ready = self.replicas[l.index()].end();
+                return Ok(DepPick::Local { src: l, ready });
+            }
+        }
+        chosen.sort_by_key(|c| (c.arrival, c.src, c.route));
+        Ok(DepPick::Remote {
+            primary_worst,
+            local: local.is_some(),
+        })
+    }
+
+    /// Plans how each intra-iteration dependency of `op` reaches `proc`,
+    /// into the reusable `buf`. Booking path — the probe path uses
+    /// [`ScheduleBuilder::input_ready_times`]; both share
+    /// [`ScheduleBuilder::pick_dep_sources`].
+    fn plan_inputs_buf(
+        &self,
+        op: OpId,
+        proc: ProcId,
+        buf: &mut PlanBuf,
+        scratch: &mut ProbeScratch,
+        mut trace: Option<&mut Vec<ProbeEvent>>,
+    ) -> Result<(), ScheduleError> {
+        buf.items.clear();
+        buf.pool.clear();
+        buf.best_ready = Time::ZERO;
+        buf.worst_ready = Time::ZERO;
+        buf.lip = None;
+        for di in self.pred_off[op.index()]..self.pred_off[op.index() + 1] {
+            let (dep, pred) = self.preds[di as usize];
+            match self.pick_dep_sources(
+                op,
+                dep,
+                pred,
+                proc,
+                &mut scratch.chosen,
+                trace.as_deref_mut(),
+            )? {
+                DepPick::Local { src, ready } => {
+                    buf.best_ready = buf.best_ready.max(ready);
+                    buf.worst_ready = buf.worst_ready.max(ready);
+                    buf.items.push((dep, PlanItem::Local { src, ready }));
+                }
+                DepPick::Remote {
+                    primary_worst,
+                    local,
+                } => {
+                    let chosen = &scratch.chosen;
+                    buf.best_ready = buf
+                        .best_ready
+                        .max(chosen.first().expect("non-empty").arrival);
+                    buf.worst_ready = buf
+                        .worst_ready
+                        .max(chosen.last().expect("non-empty").arrival);
+                    let start = buf.pool.len() as u32;
+                    buf.pool.extend_from_slice(chosen);
+                    buf.items.push((
+                        dep,
+                        PlanItem::Remote {
+                            start,
+                            len: chosen.len() as u32,
+                        },
+                    ));
+                    // The Latest Immediate Predecessor falls out of the
+                    // plan for free: among remote-fed dependencies whose
+                    // producer has no replica on `proc` yet and may execute
+                    // there, the one with the latest worst primary arrival
+                    // (ties toward the smaller operation id).
+                    if !local && self.problem.exec().allows(pred, proc) {
+                        let better = match buf.lip {
+                            None => true,
+                            Some((bw, bo)) => {
+                                primary_worst > bw || (primary_worst == bw && pred < bo)
+                            }
+                        };
+                        if better {
+                            buf.lip = Some((primary_worst, pred));
+                        }
+                    }
                 }
             }
-            chosen.sort_by_key(|c| (c.arrival, c.src, c.route));
-            best_ready = best_ready.max(chosen.first().expect("non-empty").arrival);
-            worst_ready = worst_ready.max(chosen.last().expect("non-empty").arrival);
-            plans.push((dep, DepSources::Remote { chosen }));
         }
-        Ok((plans, best_ready, worst_ready))
+        Ok(())
+    }
+
+    /// The best/worst input-set ready instants of a would-be replica of
+    /// `op` on `proc` — what [`ScheduleBuilder::probe`] needs, without
+    /// materializing the per-dependency plans. Buffers come from `scratch`;
+    /// the hot sweep calls this thousands of times per schedule.
+    fn input_ready_times(
+        &self,
+        op: OpId,
+        proc: ProcId,
+        scratch: &mut ProbeScratch,
+        mut trace: Option<&mut Vec<ProbeEvent>>,
+    ) -> Result<(Time, Time), ScheduleError> {
+        let mut best_ready = Time::ZERO;
+        let mut worst_ready = Time::ZERO;
+        for di in self.pred_off[op.index()]..self.pred_off[op.index() + 1] {
+            let (dep, pred) = self.preds[di as usize];
+            match self.pick_dep_sources(
+                op,
+                dep,
+                pred,
+                proc,
+                &mut scratch.chosen,
+                trace.as_deref_mut(),
+            )? {
+                DepPick::Local { ready, .. } => {
+                    best_ready = best_ready.max(ready);
+                    worst_ready = worst_ready.max(ready);
+                }
+                DepPick::Remote { .. } => {
+                    let chosen = &scratch.chosen;
+                    best_ready = best_ready.max(chosen.first().expect("non-empty").arrival);
+                    worst_ready = worst_ready.max(chosen.last().expect("non-empty").arrival);
+                }
+            }
+        }
+        Ok((best_ready, worst_ready))
     }
 
     /// Builds the candidate for sending `dep` from `src` to `dst_proc` over
@@ -370,6 +812,7 @@ impl<'p> ScheduleBuilder<'p> {
         src: ReplicaId,
         dst_proc: ProcId,
         route_idx: usize,
+        mut trace: Option<&mut Vec<ProbeEvent>>,
     ) -> Option<RemoteSource> {
         let rep = &self.replicas[src.index()];
         let route = self
@@ -381,7 +824,16 @@ impl<'p> ScheduleBuilder<'p> {
         let mut blockers = 0u64;
         for hop in route.hops() {
             let dur = self.problem.comm().get(dep, hop.link)?;
-            t = self.link_tl[hop.link.index()].probe(t, dur) + dur;
+            let start = self.link_tl[hop.link.index()].probe(t, dur);
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.push(ProbeEvent {
+                    lane: Lane::Link(hop.link),
+                    ready: t,
+                    dur,
+                    start,
+                });
+            }
+            t = start + dur;
             if hop.from.index() < MAX_TRACKED_PROCS {
                 blockers |= 1 << hop.from.index();
             }
@@ -395,14 +847,16 @@ impl<'p> ScheduleBuilder<'p> {
     }
 
     /// Extends `chosen` until every tracked failure pattern (excluding
-    /// those containing `dst_proc`) leaves a surviving source. Returns
-    /// whether full coverage was reached.
+    /// those containing `dst_proc`) leaves a surviving source, drawing from
+    /// `pred`'s replicas hosted away from `dst_proc`. Returns whether full
+    /// coverage was reached.
     fn augment_for_coverage(
         &self,
         dep: DepId,
         dst_proc: ProcId,
-        remotes: &[ReplicaId],
+        pred: OpId,
         chosen: &mut Vec<RemoteSource>,
+        mut trace: Option<&mut Vec<ProbeEvent>>,
     ) -> bool {
         if self.patterns.is_empty() {
             return true;
@@ -412,7 +866,10 @@ impl<'p> ScheduleBuilder<'p> {
                 return true;
             };
             let mut best: Option<RemoteSource> = None;
-            for &r in remotes {
+            for &r in &self.replicas_of[pred.index()] {
+                if self.replicas[r.index()].proc == dst_proc {
+                    continue; // not remote
+                }
                 if !bit_get(&self.surv[r.index()], pi) {
                     continue; // the source replica itself dies under F
                 }
@@ -422,7 +879,8 @@ impl<'p> ScheduleBuilder<'p> {
                     if chosen.iter().any(|c| c.src == r && c.route == ri) {
                         continue;
                     }
-                    let Some(c) = self.remote_candidate(dep, r, dst_proc, ri) else {
+                    let Some(c) = self.remote_candidate(dep, r, dst_proc, ri, trace.as_deref_mut())
+                    else {
                         continue;
                     };
                     if c.blockers & mask != 0 {
@@ -486,25 +944,36 @@ impl<'p> ScheduleBuilder<'p> {
             .exec()
             .get(op, proc)
             .ok_or(ScheduleError::Forbidden { op, proc })?;
-        let (plans, _, _) = self.plan_inputs(op, proc)?;
+        // Recycle the builder-owned plan buffers (placements are on the
+        // `Minimize_start_time` hot path; no allocation per attempt).
+        let mut buf = std::mem::take(&mut self.plan_buf);
+        let mut scratch = std::mem::take(&mut self.plan_scratch);
+        let planned = self.plan_inputs_buf(op, proc, &mut buf, &mut scratch, None);
+        self.plan_scratch = scratch;
+        if let Err(e) = planned {
+            self.plan_buf = buf;
+            return Err(e);
+        }
+        self.last_lip = buf.lip.map(|(_, o)| o);
         let rid = ReplicaId(self.replicas.len() as u32);
+        self.mutations += 1;
 
         // Book the comms for real, in dependency order then arrival order.
         // Booked arrivals may differ slightly from probed ones because
         // bookings interact on shared links; ready times use booked values.
         let mut best_ready = Time::ZERO;
         let mut worst_ready = Time::ZERO;
-        for (dep, sources) in &plans {
-            match sources {
-                DepSources::Local { ready, .. } => {
-                    best_ready = best_ready.max(*ready);
-                    worst_ready = worst_ready.max(*ready);
+        for &(dep, item) in &buf.items {
+            match item {
+                PlanItem::Local { ready, .. } => {
+                    best_ready = best_ready.max(ready);
+                    worst_ready = worst_ready.max(ready);
                 }
-                DepSources::Remote { chosen } => {
+                PlanItem::Remote { start, len } => {
                     let mut dep_best = Time::MAX;
                     let mut dep_worst = Time::ZERO;
-                    for c in chosen {
-                        let arrival = self.book_comm(*dep, c.src, rid, proc, c.route);
+                    for c in &buf.pool[start as usize..(start + len) as usize] {
+                        let arrival = self.book_comm(dep, c.src, rid, proc, c.route);
                         dep_best = dep_best.min(arrival);
                         dep_worst = dep_worst.max(arrival);
                     }
@@ -517,15 +986,17 @@ impl<'p> ScheduleBuilder<'p> {
         // The replica survives a failure pattern iff its processor does and
         // every dependency keeps a surviving planned source.
         let pbit = 1u64 << (proc.index().min(MAX_TRACKED_PROCS - 1));
-        let mut surv = bits_new(self.patterns.len());
+        let mut surv = self.surv_pool.pop().unwrap_or_default();
+        surv.clear();
+        surv.resize(self.patterns.len().div_ceil(64), 0);
         let mut fully = true;
         for (pi, &mask) in self.patterns.iter().enumerate() {
             if mask & pbit != 0 {
                 continue;
             }
-            let ok = plans.iter().all(|(_, sources)| match sources {
-                DepSources::Local { src, .. } => bit_get(&self.surv[src.index()], pi),
-                DepSources::Remote { chosen } => chosen
+            let ok = buf.items.iter().all(|&(_, item)| match item {
+                PlanItem::Local { src, .. } => bit_get(&self.surv[src.index()], pi),
+                PlanItem::Remote { start, len } => buf.pool[start as usize..(start + len) as usize]
                     .iter()
                     .any(|c| c.blockers & mask == 0 && bit_get(&self.surv[c.src.index()], pi)),
             });
@@ -535,6 +1006,7 @@ impl<'p> ScheduleBuilder<'p> {
                 fully = false;
             }
         }
+        self.plan_buf = buf;
 
         let start_worst = self.proc_tl[proc.index()].probe(worst_ready, dur);
         let slot = self.proc_tl[proc.index()].insert_earliest(best_ready, dur, rid);
@@ -564,7 +1036,8 @@ impl<'p> ScheduleBuilder<'p> {
         let src_rep = &self.replicas[src.index()];
         let cid = CommId(self.comms.len() as u32);
         let mut t = src_rep.end();
-        let mut hops = Vec::new();
+        let mut hops = self.hops_pool.pop().unwrap_or_default();
+        hops.clear();
         let route = &self.problem.routes().all(src_rep.proc, dst_proc)[route_idx];
         for (i, hop) in route.hops().iter().enumerate() {
             let dur = self
@@ -611,20 +1084,36 @@ impl<'p> ScheduleBuilder<'p> {
         proc: ProcId,
         depth: usize,
     ) -> Result<ReplicaId, ScheduleError> {
-        // Ê/Ë: baseline placement (fails fast if o cannot run on p).
+        // Ê/Ë: baseline placement (fails fast if o cannot run on p). Its
+        // input plan doubles as the Ì-guard: the LIP falls out of planning
+        // (computed on the pre-placement state, identical to the
+        // post-retraction state the loop below would see). No LIP means
+        // the baseline placement is final — no retract/redo round trip.
         let base = self.checkpoint();
         let rid = self.place_flagged(op, proc, depth > 0)?;
         let mut best_worst = self.replicas[rid.index()].start_worst;
-        if depth >= MAX_DUPLICATION_DEPTH {
+        let first_lip = if depth < MAX_DUPLICATION_DEPTH {
+            self.last_lip
+        } else {
+            None
+        };
+        if first_lip.is_none() {
             return Ok(rid);
         }
 
-        // Retract the baseline; the state now carries only the accepted
-        // duplications (none yet) and `op` is re-placed at the end.
-        self.rollback(base);
+        // Retract the baseline, keeping its bookings as a redo segment;
+        // the state now carries only the accepted duplications (none yet)
+        // and `op` is re-placed at the end.
+        // `segment` always holds `op`'s placement as booked on the current
+        // (post-unwinding) state: the baseline initially, then the last
+        // accepted trial. Committing is a verbatim redo — the second
+        // planning pass of the paper's step Ê/Ñ loop is never repeated.
+        let mut segment = self.retract_segment(base);
         // Ì: while there is a remote predecessor whose (k-th) arrival is
-        // latest, try duplicating it locally.
-        while let Some(lip) = self.lip_of(op, proc) {
+        // latest, try duplicating it locally (the first candidate was
+        // already found on this exact state by the guard above).
+        let mut next_lip = first_lip;
+        while let Some(lip) = next_lip {
             let cur = self.checkpoint();
             // Í: duplicate it onto proc, recursively minimized.
             if self.place_min_inner(lip, proc, depth + 1).is_err() {
@@ -634,68 +1123,104 @@ impl<'p> ScheduleBuilder<'p> {
             // Î: re-evaluate op's placement with the duplicate present.
             let trial = self.checkpoint();
             let Ok(rid2) = self.place_flagged(op, proc, depth > 0) else {
+                // Undoes this round's duplication too, restoring the state
+                // `segment` was saved on.
                 self.rollback(cur);
                 break;
             };
+            // The trial's plan was computed on the post-duplication state:
+            // its LIP is exactly the next candidate should we keep it.
+            let trial_lip = self.last_lip;
             let w2 = self.replicas[rid2.index()].start_worst;
             if w2 < best_worst {
                 // Ñ: keep the duplication, look for the new LIP.
                 best_worst = w2;
-                self.rollback(trial);
+                let old = std::mem::replace(&mut segment, self.retract_segment(trial));
+                self.recycle_segment(old);
+                next_lip = trial_lip;
             } else {
                 // Ï/Ð: undo the duplication and stop.
                 self.rollback(cur);
                 break;
             }
         }
-        // Commit: place `op` on top of the accepted duplications. The same
-        // placement succeeded above on this exact state, so this re-runs it.
-        self.place_flagged(op, proc, depth > 0)
+        // Commit `op` on top of whatever duplications were kept: the saved
+        // segment was booked on this exact state.
+        Ok(self.replay_segment(segment))
     }
 
-    /// The Latest Immediate Predecessor of `op` w.r.t. `proc`: among the
-    /// intra-iteration predecessors with no local replica on `proc` that the
-    /// `Dis` constraints allow on `proc`, the one whose worst chosen arrival
-    /// (over primary routes) is latest. Ties break toward the smaller
-    /// operation id.
-    fn lip_of(&self, op: OpId, proc: ProcId) -> Option<OpId> {
-        let alg = self.problem.alg();
-        let k = self.replication();
-        let mut best: Option<(Time, OpId)> = None;
-        for (dep, pred) in alg.sched_preds(op) {
-            if self.replicas_of[pred.index()].is_empty() {
-                continue;
-            }
-            if self.has_replica_on(pred, proc) {
-                continue; // already local: nothing to improve
-            }
-            if !self.problem.exec().allows(pred, proc) {
-                continue; // cannot be duplicated here
-            }
-            let mut arrivals: Vec<Time> = self.replicas_of[pred.index()]
-                .iter()
-                .map(|&r| {
-                    self.remote_candidate(dep, r, proc, 0)
-                        .expect("primary route")
-                        .arrival
-                })
-                .collect();
-            arrivals.sort();
-            arrivals.truncate(k);
-            let worst = *arrivals.last().expect("non-empty");
-            let better = match best {
-                None => true,
-                Some((bw, bo)) => worst > bw || (worst == bw && pred < bo),
-            };
-            if better {
-                best = Some((worst, pred));
+    /// Retracts the placement booked since `base` (exactly one replica and
+    /// its comms) from the timelines and stores, keeping its bookings for a
+    /// later verbatim redo — a rollback that steals instead of dropping.
+    fn retract_segment(&mut self, base: Checkpoint) -> PlacedSegment {
+        self.mutations += 1;
+        debug_assert_eq!(base.replicas + 1, self.replicas.len());
+        for cid in (base.comms..self.comms.len()).rev() {
+            for (i, hop) in self.comms[cid].hops.iter().enumerate() {
+                let removed = self.link_tl[hop.link.index()].remove(&(CommId(cid as u32), i));
+                debug_assert!(removed.is_some(), "booked hop present on its link");
             }
         }
-        best.map(|(_, o)| o)
+        let mut comms = self.seg_comms_pool.pop().unwrap_or_default();
+        comms.clear();
+        comms.extend(self.comms.drain(base.comms..));
+        let rid = ReplicaId(base.replicas as u32);
+        let replica = self.replicas.pop().expect("segment replica present");
+        let removed = self.proc_tl[replica.proc.index()].remove(&rid);
+        debug_assert!(removed.is_some(), "booked replica present on its processor");
+        let list = &mut self.replicas_of[replica.op.index()];
+        debug_assert_eq!(list.last(), Some(&rid));
+        list.pop();
+        let surv = self.surv.pop().expect("segment survival bits present");
+        let fully = self.fully_live.pop().expect("segment liveness present");
+        PlacedSegment {
+            replica,
+            surv,
+            fully,
+            comms,
+        }
     }
 
-    /// Freezes the builder into an immutable [`Schedule`].
-    pub fn finish(self) -> Schedule {
+    /// Redoes a retracted placement on the exact state it was retracted
+    /// from. See [`PlacedSegment`].
+    fn replay_segment(&mut self, mut seg: PlacedSegment) -> ReplicaId {
+        self.mutations += 1;
+        let rid = ReplicaId(self.replicas.len() as u32);
+        let slot = seg.replica.slot;
+        self.proc_tl[seg.replica.proc.index()]
+            .insert_at(slot.start, slot.duration(), rid)
+            .expect("segment replays on the state it was saved from");
+        self.replicas_of[seg.replica.op.index()].push(rid);
+        self.replicas.push(seg.replica);
+        self.surv.push(seg.surv);
+        self.fully_live.push(seg.fully);
+        for comm in seg.comms.drain(..) {
+            let cid = CommId(self.comms.len() as u32);
+            for (i, hop) in comm.hops.iter().enumerate() {
+                self.link_tl[hop.link.index()]
+                    .insert_at(hop.slot.start, hop.slot.duration(), (cid, i))
+                    .expect("segment replays on the state it was saved from");
+            }
+            self.comms.push(comm);
+        }
+        self.seg_comms_pool.push(seg.comms);
+        rid
+    }
+
+    /// Returns a superseded segment's buffers to the pools.
+    fn recycle_segment(&mut self, mut seg: PlacedSegment) {
+        self.surv_pool.push(seg.surv);
+        for comm in seg.comms.drain(..) {
+            let mut hops = comm.hops;
+            hops.clear();
+            self.hops_pool.push(hops);
+        }
+        self.seg_comms_pool.push(seg.comms);
+    }
+
+    /// Per-resource static orders, derived from the timelines.
+    #[allow(clippy::type_complexity)]
+    fn resource_orders(&self) -> (Vec<Vec<ReplicaId>>, Vec<Vec<(CommId, usize)>>) {
         let proc_order = self
             .proc_tl
             .iter()
@@ -706,11 +1231,34 @@ impl<'p> ScheduleBuilder<'p> {
             .iter()
             .map(|tl| tl.iter().map(|(_, &c)| c).collect())
             .collect();
+        (proc_order, link_order)
+    }
+
+    /// Freezes the builder into an immutable [`Schedule`].
+    pub fn finish(self) -> Schedule {
+        let (proc_order, link_order) = self.resource_orders();
         Schedule {
             npf: self.problem.npf(),
             replicas: self.replicas,
             comms: self.comms,
             replicas_of: self.replicas_of,
+            proc_order,
+            link_order,
+        }
+    }
+
+    /// A [`Schedule`] snapshot of the current state, leaving the builder
+    /// usable. Copies only what the schedule needs (replicas, comms, static
+    /// orders) — not the timelines, undo bookkeeping, or survival bitsets
+    /// that `self.clone().finish()` used to drag along per step-trace
+    /// snapshot.
+    pub fn finish_snapshot(&self) -> Schedule {
+        let (proc_order, link_order) = self.resource_orders();
+        Schedule {
+            npf: self.problem.npf(),
+            replicas: self.replicas.clone(),
+            comms: self.comms.clone(),
+            replicas_of: self.replicas_of.clone(),
             proc_order,
             link_order,
         }

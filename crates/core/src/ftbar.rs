@@ -21,6 +21,7 @@ use crate::builder::ScheduleBuilder;
 use crate::error::ScheduleError;
 use crate::pressure::Pressure;
 use crate::schedule::Schedule;
+use crate::sweep::SweepEngine;
 
 /// Cost function used at micro-step À.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -32,10 +33,26 @@ pub enum CostFunction {
     EarliestStart,
 }
 
+/// How micro-steps À/Á evaluate the candidate pressures.
+///
+/// Both strategies produce bit-identical schedules (asserted by the
+/// cross-topology property tests); the naive sweep is retained as the
+/// reference and for the benchmarks pinning the speedup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepStrategy {
+    /// Probe-cache driven: only pairs invalidated by the last placement are
+    /// recomputed (see [`crate::sweep`]).
+    #[default]
+    Incremental,
+    /// Re-probe every ⟨candidate, processor⟩ pair from scratch each step.
+    Naive,
+}
+
 /// Tunable knobs of the FTBAR scheduler.
 ///
 /// The defaults reproduce the paper's algorithm; the other settings exist
-/// for the ablation benchmarks.
+/// for the ablation benchmarks and the incremental-vs-naive sweep
+/// comparisons.
 #[derive(Debug, Clone, Default)]
 pub struct FtbarConfig {
     /// Cost function for processor selection.
@@ -44,6 +61,13 @@ pub struct FtbarConfig {
     pub no_duplication: bool,
     /// Record a [`StepTrace`] (with schedule snapshots) per main-loop step.
     pub trace: bool,
+    /// Pressure evaluation strategy (incremental probe cache by default).
+    pub sweep: SweepStrategy,
+    /// Recompute dirty probe pairs on scoped worker threads. Deterministic:
+    /// results are reduced in the same order as the serial sweep, so the
+    /// schedule is bit-identical. Only effective with
+    /// [`SweepStrategy::Incremental`].
+    pub parallel: bool,
 }
 
 /// One recorded main-loop step (for the paper's Figures 5–6).
@@ -68,6 +92,8 @@ pub struct FtbarOutcome {
     pub schedule: Schedule,
     /// Per-step trace; empty unless [`FtbarConfig::trace`] was set.
     pub steps: Vec<StepTrace>,
+    /// Probe-cache counters; `None` under [`SweepStrategy::Naive`].
+    pub sweep_stats: Option<crate::sweep::SweepStats>,
 }
 
 /// Runs FTBAR with default configuration.
@@ -110,60 +136,96 @@ pub fn schedule_with(
     let mut builder = ScheduleBuilder::new(problem);
     let k = problem.replication();
 
-    let mut scheduled = vec![false; alg.op_count()];
+    let mut engine = match config.sweep {
+        SweepStrategy::Incremental => {
+            let mut e = SweepEngine::new(problem, &pressure, config.cost);
+            e.set_parallel(config.parallel);
+            Some(e)
+        }
+        SweepStrategy::Naive => None,
+    };
+
+    // Kahn-style pending-predecessor counters drive candidate updates (no
+    // per-step predecessor rescans).
+    let mut pending: Vec<u32> = alg
+        .ops()
+        .map(|o| alg.sched_preds(o).count() as u32)
+        .collect();
     let mut cand: std::collections::BTreeSet<OpId> = alg.entry_ops().into_iter().collect();
     let mut steps = Vec::new();
     let mut step = 0usize;
+    // Scratch buffers reused across steps (hot loop: no per-candidate
+    // allocations).
+    let mut sigmas: Vec<(ProcId, f64)> = Vec::new();
+    let mut kept_buf: Vec<(ProcId, f64)> = Vec::new();
 
     while !cand.is_empty() {
         step += 1;
-        // Micro-step À: evaluate pressures; keep the Npf+1 best per op.
-        // The selection is (urgency, op, per-processor pressures).
-        type Selection = (f64, OpId, Vec<(ProcId, f64)>);
-        let mut selected: Option<Selection> = None;
-        for &op in &cand {
-            let mut sigmas: Vec<(ProcId, f64)> = Vec::new();
-            for proc in problem.arch().procs() {
-                if !problem.exec().allows(op, proc) {
-                    continue;
-                }
-                let probe = builder.probe(op, proc)?;
-                let sigma = match config.cost {
-                    CostFunction::SchedulePressure => {
-                        probe.start_worst.as_units() + pressure.bottom_level(op)
-                    }
-                    CostFunction::EarliestStart => probe.start_best.as_units(),
+        // Micro-steps À/Á: evaluate pressures, keep the Npf+1 best per op,
+        // select the candidate whose kept-set maximum is largest.
+        // `pressures` (all evaluated pairs, ascending) is only materialized
+        // for the step trace.
+        let (op, pressures): (OpId, Vec<(ProcId, f64)>) = match &mut engine {
+            Some(engine) => {
+                let (op, kept) = engine.select(&builder, &cand)?;
+                kept_buf.clear();
+                kept_buf.extend_from_slice(kept);
+                let all = if config.trace {
+                    engine.pressures_of(&builder, op)?
+                } else {
+                    Vec::new()
                 };
-                sigmas.push((proc, sigma));
+                (op, all)
             }
-            sigmas.sort_by(|a, b| {
-                a.1.partial_cmp(&b.1)
-                    .expect("pressures are finite")
-                    .then(a.0.cmp(&b.0))
-            });
-            if sigmas.len() < k {
-                return Err(ScheduleError::NotEnoughProcessors { op, needed: k });
+            None => {
+                // The retained naive reference sweep.
+                type Selection = (f64, OpId, Vec<(ProcId, f64)>);
+                let mut selected: Option<Selection> = None;
+                for &op in &cand {
+                    sigmas.clear();
+                    for proc in problem.arch().procs() {
+                        if !problem.exec().allows(op, proc) {
+                            continue;
+                        }
+                        let probe = builder.probe(op, proc)?;
+                        let sigma = match config.cost {
+                            CostFunction::SchedulePressure => {
+                                probe.start_worst.as_units() + pressure.bottom_level(op)
+                            }
+                            CostFunction::EarliestStart => probe.start_best.as_units(),
+                        };
+                        sigmas.push((proc, sigma));
+                    }
+                    sigmas.sort_by(|a, b| {
+                        a.1.partial_cmp(&b.1)
+                            .expect("pressures are finite")
+                            .then(a.0.cmp(&b.0))
+                    });
+                    if sigmas.len() < k {
+                        return Err(ScheduleError::NotEnoughProcessors { op, needed: k });
+                    }
+                    // Micro-step Á: urgency = the kept-set maximum pressure.
+                    let urgency = sigmas[k - 1].1;
+                    let take = match &selected {
+                        None => true,
+                        // Strictly greater keeps the smallest op id on ties
+                        // (candidates iterate in ascending id order).
+                        Some((u, _, _)) => urgency > *u,
+                    };
+                    if take {
+                        selected = Some((urgency, op, sigmas.clone()));
+                    }
+                }
+                let (_, op, all) = selected.expect("candidate set is non-empty");
+                kept_buf.clear();
+                kept_buf.extend_from_slice(&all[..k]);
+                (op, all)
             }
-            let kept = sigmas[..k].to_vec();
-            // Micro-step Á: urgency = the kept-set maximum pressure.
-            let urgency = kept.last().expect("k >= 1").1;
-            let take = match &selected {
-                None => true,
-                // Strictly greater keeps the smallest op id on ties
-                // (candidates iterate in ascending id order).
-                Some((u, _, _)) => urgency > *u,
-            };
-            if take {
-                let mut all = sigmas;
-                all.truncate(problem.arch().proc_count());
-                selected = Some((urgency, op, all));
-            }
-        }
-        let (_, op, pressures) = selected.expect("candidate set is non-empty");
+        };
 
         // Micro-step Â: place on the Npf+1 best processors.
         let mut placed_procs = Vec::with_capacity(k);
-        for &(proc, _) in pressures.iter().take(k) {
+        for &(proc, _) in kept_buf.iter() {
             if builder.has_replica_on(op, proc) {
                 // An earlier LIP duplication already put a replica here.
                 placed_procs.push(proc);
@@ -177,12 +239,14 @@ pub fn schedule_with(
             placed_procs.push(proc);
         }
 
-        // Micro-step Ã: update candidate/scheduled sets.
-        scheduled[op.index()] = true;
+        // Micro-step Ã: update the candidate set.
         cand.remove(&op);
+        if let Some(engine) = &mut engine {
+            engine.retire(op);
+        }
         for (_, succ) in alg.sched_succs(op) {
-            if !scheduled[succ.index()] && alg.sched_preds(succ).all(|(_, p)| scheduled[p.index()])
-            {
+            pending[succ.index()] -= 1;
+            if pending[succ.index()] == 0 {
                 cand.insert(succ);
             }
         }
@@ -193,7 +257,7 @@ pub fn schedule_with(
                 op,
                 procs: placed_procs,
                 pressures,
-                snapshot: builder.clone().finish(),
+                snapshot: builder.finish_snapshot(),
             });
         }
     }
@@ -201,7 +265,21 @@ pub fn schedule_with(
     Ok(FtbarOutcome {
         schedule: builder.finish(),
         steps,
+        sweep_stats: engine.map(|e| e.stats()),
     })
+}
+
+/// Schedules `problem` with the incremental engine and returns the probe
+/// cache effectiveness counters (diagnostics; used by the perf gate).
+///
+/// # Panics
+///
+/// Panics if the problem cannot be scheduled.
+pub fn sweep_stats_for(problem: &Problem) -> crate::sweep::SweepStats {
+    schedule_with(problem, &FtbarConfig::default())
+        .expect("schedules")
+        .sweep_stats
+        .expect("incremental sweep records stats")
 }
 
 #[cfg(test)]

@@ -51,15 +51,17 @@ pub mod reliability;
 mod replay;
 mod schedule;
 pub mod stats;
+pub mod sweep;
 mod timeline;
 pub mod validate;
 
-pub use builder::{ProbePoint, ScheduleBuilder};
+pub use builder::{Lane, PlanProbe, ProbeEvent, ProbePoint, ProbeScratch, ScheduleBuilder};
 pub use error::ScheduleError;
-pub use ftbar::{CostFunction, FtbarConfig, FtbarOutcome, StepTrace};
+pub use ftbar::{CostFunction, FtbarConfig, FtbarOutcome, StepTrace, SweepStrategy};
 pub use pressure::Pressure;
 pub use replay::{
     replay, replay_with, FailureScenario, ReplayConfig, ReplayResult, ReplicaOutcome,
 };
 pub use schedule::{BookedHop, Comm, CommId, Replica, ReplicaId, Schedule};
+pub use sweep::{PointFocus, ProbeCache, SweepEngine, SweepStats};
 pub use timeline::{Slot, Timeline};

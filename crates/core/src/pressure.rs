@@ -17,7 +17,6 @@
 //! allowed processors and the **average** transmission time of each
 //! dependency over all links (see DESIGN.md §3.1).
 
-use ftbar_graph::bottom_levels;
 use ftbar_model::{OpId, Problem};
 
 /// Precomputed static priorities for a problem.
@@ -29,27 +28,26 @@ pub struct Pressure {
 
 impl Pressure {
     /// Computes bottom levels for `problem`.
+    ///
+    /// Runs the [`ftbar_graph::bottom_levels`] recurrence directly on the
+    /// algorithm's own graph (reverse topological order, successor edges
+    /// folded in dependency order — the same float operations in the same
+    /// order as building a weighted [`ftbar_graph::DiGraph`] first, so the
+    /// levels are bit-identical, without the per-schedule graph
+    /// construction).
     pub fn new(problem: &Problem) -> Self {
         let alg = problem.alg();
-        // Build the intra-iteration precedence graph with averaged weights.
-        let mut g: ftbar_graph::DiGraph<f64, f64> =
-            ftbar_graph::DiGraph::with_capacity(alg.op_count(), alg.dep_count());
-        for op in alg.ops() {
-            g.add_node(problem.exec().avg_units(op));
-        }
-        for dep in alg.deps() {
-            if !alg.is_sched_dep(dep) {
-                continue; // edges into a mem are inter-iteration
+        let mut bottom = vec![0.0_f64; alg.op_count()];
+        for &op in alg.topo_order().iter().rev() {
+            let mut best = 0.0_f64;
+            for (dep, succ) in alg.sched_succs(op) {
+                let cand = problem.comm().avg_units(dep) + bottom[succ.index()];
+                if cand > best {
+                    best = cand;
+                }
             }
-            let (s, d) = alg.dep_endpoints(dep);
-            g.add_edge(
-                ftbar_graph::NodeId(s.0),
-                ftbar_graph::NodeId(d.0),
-                problem.comm().avg_units(dep),
-            );
+            bottom[op.index()] = problem.exec().avg_units(op) + best;
         }
-        let bottom = bottom_levels(&g, |v| *g.node(v), |e| *g.edge(e))
-            .expect("validated algorithm graphs are acyclic");
         Pressure { bottom }
     }
 

@@ -1,0 +1,771 @@
+//! Incremental schedule-pressure evaluation — the probe cache behind the
+//! FTBAR and HBP main loops.
+//!
+//! The naive main loop re-probes every ⟨candidate operation, processor⟩
+//! pair from scratch at every step, although one placement only perturbs
+//! the few lanes (processor and link timelines) and replica sets it
+//! touched. This module caches [`ProbePoint`]s per pair and re-validates
+//! them in three tiers, cheapest first:
+//!
+//! 1. **Replica-set stamp** — the sum of the monotone
+//!    [`ScheduleBuilder::op_replicas_version`] counters of the operation
+//!    and its scheduling predecessors. A moved stamp means the set of
+//!    source replicas changed (a placement, an LIP duplication, or a
+//!    rollback): the plan space itself changed, recompute.
+//! 2. **Lane versions** — the monotone [`Timeline`](crate::Timeline)
+//!    version of every lane the cached probe consulted. All unchanged ⇒
+//!    the cached result is trivially still exact.
+//! 3. **Probe-event replay** — when versions moved (placements elsewhere,
+//!    or speculative book-then-rollback churn that restored the contents),
+//!    re-ask each recorded [`ProbeEvent`] and compare answers. A probed
+//!    placement is a pure function of the static tables, the replica sets
+//!    (tier 1) and exactly these timeline answers, so full agreement
+//!    proves the cached [`ProbePoint`] exact — at the cost of bare
+//!    timeline scans, without re-running source selection, route
+//!    enumeration, or failure-pattern coverage.
+//!
+//! Only pairs that fail all three tiers are recomputed
+//! ([`ScheduleBuilder::probe_traced`]), optionally in parallel
+//! ([`SweepEngine::set_parallel`]): dirty pairs are partitioned into
+//! contiguous chunks over scoped worker threads (`probe` takes `&self`),
+//! and the results are applied serially in deterministic pair order, so
+//! schedules are bit-identical with and without parallelism.
+//!
+//! On top of the cache, [`SweepEngine`] maintains per-candidate kept sets
+//! (the `Npf + 1` lowest-pressure processors, found by
+//! `select_nth_unstable` instead of a full sort) and a max-structure over
+//! kept-set pressures keyed by `(urgency, operation)`, so micro-step Á is
+//! a lookup instead of a sweep. See `DESIGN.md` §6 for the invalidation
+//! rules and the determinism argument.
+
+use std::collections::BTreeSet;
+
+use ftbar_model::{OpId, Problem, ProcId, Time};
+
+use crate::builder::{Lane, PlanProbe, ProbeEvent, ProbePoint, ProbeScratch, ScheduleBuilder};
+use crate::error::ScheduleError;
+use crate::ftbar::CostFunction;
+use crate::pressure::Pressure;
+
+/// Spawning threads is only worth it when enough pairs must be recomputed.
+const PARALLEL_MIN_DIRTY: usize = 8;
+
+/// Sentinel lane mask for entries whose lanes do not fit the 64-bit image
+/// (architectures with more than 64 lanes): never skipped by the mask
+/// fast path, always validated the slow way.
+const LANES_MASK_ALL: u64 = u64::MAX;
+
+/// Which processor-lane probes the point layer completes. The selection
+/// sweep only consumes the field its cost function ranks by, so the other
+/// probe can be skipped; the unused fields then mirror the focused one
+/// (consistent and deterministic, but not meaningful). External users of
+/// [`ProbeCache::probe`] get [`PointFocus::Full`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PointFocus {
+    /// Complete both `start_best` and `start_worst` (exact [`ProbePoint`]).
+    #[default]
+    Full,
+    /// Complete only `start_worst` (schedule-pressure selection).
+    WorstOnly,
+    /// Complete only `start_best` (earliest-start selection).
+    BestOnly,
+}
+
+/// Cache effectiveness counters (cumulative over the engine's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Total probe requests served.
+    pub probes: u64,
+    /// Served from cache because no consulted lane changed version.
+    pub version_hits: u64,
+    /// Served from cache after replaying the recorded probe events.
+    pub replay_hits: u64,
+    /// Recomputed from scratch.
+    pub recomputes: u64,
+}
+
+/// One cached pair, split in two layers. The **plan layer** (source
+/// selection, route probing, coverage — the expensive part) depends only
+/// on replica sets and link lanes, and is validated by the three tiers.
+/// The **point layer** re-runs the two cheap processor-lane probes
+/// whenever that single volatile lane moved, without touching the plan.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Replica-set stamp at plan-compute time (tier 1).
+    stamp: u64,
+    /// The cached input plan.
+    plan: PlanProbe,
+    /// Link lanes the plan consulted, with their versions (tier 2).
+    lanes: Vec<(Lane, u64)>,
+    /// Bit image of `lanes` over the flat lane space (processors first,
+    /// then links); [`LANES_MASK_ALL`] when some lane does not fit 64 bits.
+    /// Drives the engine's per-step mask fast path.
+    lanes_mask: u64,
+    /// Every link probe performed, in evaluation order (tier 3).
+    events: Vec<ProbeEvent>,
+    /// Version of the processor lane when `point` was completed
+    /// (`u64::MAX` forces re-completion after a plan recompute).
+    proc_ver: u64,
+    /// The completed probe result.
+    point: ProbePoint,
+    /// Bumped whenever `point`'s *value* changes; lets kept-set caching
+    /// skip rebuilds when refreshes reproduced the same numbers.
+    gen: u64,
+    /// Sync span in which the plan was last validated; the mask fast path
+    /// requires the current or previous span (older entries have missed a
+    /// delta the masks no longer describe).
+    checked_sync: u64,
+}
+
+/// The shared per-⟨operation, processor⟩ probe cache.
+///
+/// [`ProbeCache::probe`] returns exactly what
+/// [`ScheduleBuilder::probe`] would, but reuses cached results where the
+/// three-tier validation proves them still exact. Both FTBAR's sweep and
+/// HBP's pair search sit on top of it.
+#[derive(Debug)]
+pub struct ProbeCache {
+    procs: usize,
+    entries: Vec<Option<Entry>>,
+    /// Flattened scheduling-predecessor adjacency
+    /// (`preds[preds_off[op]..preds_off[op + 1]]`), cached to keep stamp
+    /// computation allocation-free.
+    preds: Vec<OpId>,
+    preds_off: Vec<u32>,
+    stats: SweepStats,
+    next_gen: u64,
+    scratch: ProbeScratch,
+    // --- change-mask fast path (see `sync`) ---
+    /// Builder mutation count at the last sync; equal ⇒ masks current.
+    synced_mutations: u64,
+    /// Bumped per sync; entries validated in the current or previous
+    /// quiescent span may use the mask fast path.
+    sync_count: u64,
+    /// Last observed version per flat lane (processors then links).
+    lane_vers: Vec<u64>,
+    /// Lanes whose version moved in the last sync, as a bit image
+    /// ([`LANES_MASK_ALL`]-saturated when lanes exceed 64).
+    changed_lanes: u64,
+    focus: PointFocus,
+    /// Recycled entry buffers (retired rows feed new entries).
+    events_pool: Vec<Vec<ProbeEvent>>,
+    lanes_pool: Vec<Vec<(Lane, u64)>>,
+}
+
+impl ProbeCache {
+    /// An empty cache for `problem` (exact probes).
+    pub fn new(problem: &Problem) -> Self {
+        Self::new_focused(problem, PointFocus::Full)
+    }
+
+    /// An empty cache completing only the probe field `focus` names.
+    pub fn new_focused(problem: &Problem, focus: PointFocus) -> Self {
+        let alg = problem.alg();
+        let n_ops = alg.op_count();
+        let mut preds = Vec::with_capacity(alg.dep_count());
+        let mut preds_off = Vec::with_capacity(n_ops + 1);
+        preds_off.push(0u32);
+        for op in alg.ops() {
+            preds.extend(alg.sched_preds(op).map(|(_, p)| p));
+            preds_off.push(preds.len() as u32);
+        }
+        let procs = problem.arch().proc_count();
+        ProbeCache {
+            procs,
+            entries: vec![None; n_ops * procs],
+            preds,
+            preds_off,
+            stats: SweepStats::default(),
+            next_gen: 0,
+            scratch: ProbeScratch::default(),
+            synced_mutations: u64::MAX,
+            sync_count: 0,
+            lane_vers: vec![0; procs + problem.arch().link_count()],
+            changed_lanes: LANES_MASK_ALL,
+            focus,
+            events_pool: Vec::new(),
+            lanes_pool: Vec::new(),
+        }
+    }
+
+    /// Cache effectiveness counters.
+    pub fn stats(&self) -> SweepStats {
+        self.stats
+    }
+
+    fn idx(&self, op: OpId, proc: ProcId) -> usize {
+        op.index() * self.procs + proc.index()
+    }
+
+    /// Tier-1 stamp: moved iff the replica set of `op` or of any of its
+    /// scheduling predecessors changed (the counters are monotone between
+    /// committed states, so the sum moves iff any component moved).
+    fn stamp(&self, b: &ScheduleBuilder<'_>, op: OpId) -> u64 {
+        let mut s = b.op_replicas_version(op);
+        for &p in &self.preds
+            [self.preds_off[op.index()] as usize..self.preds_off[op.index() + 1] as usize]
+        {
+            s += b.op_replicas_version(p);
+        }
+        s
+    }
+
+    /// Refreshes the change mask if the builder mutated since the last
+    /// probe: one pass over the lane versions, amortized over every probe
+    /// of the following quiescent span. `changed_lanes` then describes
+    /// exactly the lane delta of the last span, so an entry validated in
+    /// the current *or previous* span whose stamp matches and whose
+    /// consulted-lane mask misses it is still exact — an integer compare
+    /// and an AND instead of per-lane version scans (tier 0; replica-set
+    /// changes are covered by the per-op stamp, not by a mask).
+    fn sync(&mut self, b: &ScheduleBuilder<'_>) {
+        let mc = b.mutation_count();
+        if self.synced_mutations == mc {
+            return;
+        }
+        self.synced_mutations = mc;
+        self.sync_count += 1;
+        let mut changed = 0u64;
+        for i in 0..self.lane_vers.len() {
+            let lane = if i < self.procs {
+                Lane::Proc(ProcId::from_index(i))
+            } else {
+                Lane::Link(ftbar_model::LinkId::from_index(i - self.procs))
+            };
+            let v = b.lane_version(lane);
+            if v != self.lane_vers[i] {
+                self.lane_vers[i] = v;
+                changed |= if i < 64 { 1u64 << i } else { LANES_MASK_ALL };
+            }
+        }
+        self.changed_lanes = changed;
+    }
+
+    /// Probes `op` on `proc` through the cache. Bit-identical to
+    /// [`ScheduleBuilder::probe`] on the same state.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScheduleBuilder::probe`]; errors are not cached.
+    pub fn probe(
+        &mut self,
+        b: &ScheduleBuilder<'_>,
+        op: OpId,
+        proc: ProcId,
+    ) -> Result<ProbePoint, ScheduleError> {
+        self.sync(b);
+        let stamp = self.stamp(b, op);
+        Ok(self.probe_entry(b, op, proc, stamp)?.0)
+    }
+
+    /// As [`ProbeCache::probe`], with the caller having hoisted
+    /// [`ProbeCache::sync`]-equivalent state and the per-op stamp, also
+    /// returning the entry generation (bumped whenever the value actually
+    /// changed).
+    fn probe_entry(
+        &mut self,
+        b: &ScheduleBuilder<'_>,
+        op: OpId,
+        proc: ProcId,
+        stamp: u64,
+    ) -> Result<(ProbePoint, u64), ScheduleError> {
+        self.stats.probes += 1;
+        let idx = self.idx(op, proc);
+        // Plan layer: tier 0 (stamp + change mask), then tiers 2-3.
+        let mut plan_valid = false;
+        if let Some(e) = &mut self.entries[idx] {
+            if e.stamp == stamp {
+                // Tier 0 (change masks since the last quiescent span) or
+                // tier 2 (per-lane version scan): either proves no
+                // consulted lane moved.
+                if (e.checked_sync + 1 >= self.sync_count && e.lanes_mask & self.changed_lanes == 0)
+                    || e.lanes.iter().all(|&(l, v)| b.lane_version(l) == v)
+                {
+                    e.checked_sync = self.sync_count;
+                    self.stats.version_hits += 1;
+                    plan_valid = true;
+                } else if e.events.iter().rev().all(|ev| b.replay_probe(ev)) {
+                    for (l, v) in &mut e.lanes {
+                        *v = b.lane_version(*l);
+                    }
+                    e.checked_sync = self.sync_count;
+                    self.stats.replay_hits += 1;
+                    plan_valid = true;
+                }
+            }
+        }
+        if !plan_valid {
+            let mut events = self.events_pool.pop().unwrap_or_default();
+            events.clear();
+            let plan = match b.probe_plan(op, proc, &mut events, &mut self.scratch) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    self.events_pool.push(events);
+                    return Err(e);
+                }
+            };
+            self.install_plan(b, idx, stamp, plan, events);
+        }
+        // Point layer: complete against the (volatile) processor lane.
+        let pv = b.lane_version(Lane::Proc(proc));
+        let next_gen = &mut self.next_gen;
+        let e = self.entries[idx].as_mut().expect("entry present");
+        let point = match e.plan {
+            PlanProbe::Fixed(p) => p,
+            PlanProbe::Ready {
+                best_ready,
+                worst_ready,
+                dur,
+            } => {
+                if e.proc_ver == pv {
+                    e.point
+                } else {
+                    e.proc_ver = pv;
+                    match self.focus {
+                        PointFocus::Full => {
+                            let start_best = b.proc_probe(proc, best_ready, dur);
+                            let start_worst = b.proc_probe(proc, worst_ready, dur);
+                            ProbePoint {
+                                start_best,
+                                start_worst,
+                                end_best: start_best + dur,
+                            }
+                        }
+                        PointFocus::WorstOnly => {
+                            let start_worst = b.proc_probe(proc, worst_ready, dur);
+                            ProbePoint {
+                                start_best: start_worst,
+                                start_worst,
+                                end_best: start_worst + dur,
+                            }
+                        }
+                        PointFocus::BestOnly => {
+                            let start_best = b.proc_probe(proc, best_ready, dur);
+                            ProbePoint {
+                                start_best,
+                                start_worst: start_best,
+                                end_best: start_best + dur,
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        if point != e.point {
+            e.point = point;
+            e.gen = *next_gen;
+            *next_gen += 1;
+        }
+        Ok((point, e.gen))
+    }
+
+    /// Installs a freshly computed plan for the pair at `idx`: recycles
+    /// the replaced entry's buffers into the pools, preserves its
+    /// point/generation for value-change detection, and stamps the new
+    /// entry as validated in the current sync span. Shared by the serial
+    /// recompute path and the parallel apply phase so the entry layout has
+    /// a single owner.
+    fn install_plan(
+        &mut self,
+        b: &ScheduleBuilder<'_>,
+        idx: usize,
+        stamp: u64,
+        plan: PlanProbe,
+        events: Vec<ProbeEvent>,
+    ) {
+        self.stats.recomputes += 1;
+        let (point, gen) = match self.entries[idx].take() {
+            Some(e) => {
+                self.events_pool.push(e.events);
+                self.lanes_pool.push(e.lanes);
+                (e.point, e.gen)
+            }
+            None => {
+                let gen = self.next_gen;
+                self.next_gen += 1;
+                // Placeholder that cannot equal a real probe, so the first
+                // completion always bumps the generation.
+                let never = ProbePoint {
+                    start_best: Time::MAX,
+                    start_worst: Time::MAX,
+                    end_best: Time::MAX,
+                };
+                (never, gen)
+            }
+        };
+        let mut lanes = self.lanes_pool.pop().unwrap_or_default();
+        lanes.clear();
+        let lanes_mask = lanes_of(b, self.procs, &events, &mut lanes);
+        self.entries[idx] = Some(Entry {
+            stamp,
+            plan,
+            lanes,
+            lanes_mask,
+            events,
+            proc_ver: u64::MAX,
+            point,
+            gen,
+            checked_sync: self.sync_count,
+        });
+    }
+
+    /// Drops the cached row of `op` (called when it leaves the candidate
+    /// set — its pairs will never be probed again), recycling its buffers.
+    pub fn forget_op(&mut self, op: OpId) {
+        for proc in 0..self.procs {
+            if let Some(e) = self.entries[op.index() * self.procs + proc].take() {
+                self.events_pool.push(e.events);
+                self.lanes_pool.push(e.lanes);
+            }
+        }
+    }
+}
+
+/// Collects the distinct lanes consulted by `events` into `lanes`, stamped
+/// with their current versions (first-occurrence order; the lists are
+/// short, linear dedup), returning their bit image over the flat lane
+/// space.
+fn lanes_of(
+    b: &ScheduleBuilder<'_>,
+    n_procs: usize,
+    events: &[ProbeEvent],
+    lanes: &mut Vec<(Lane, u64)>,
+) -> u64 {
+    let mut mask = 0u64;
+    for ev in events {
+        if !lanes.iter().any(|&(l, _)| l == ev.lane) {
+            lanes.push((ev.lane, b.lane_version(ev.lane)));
+            let flat = match ev.lane {
+                Lane::Proc(p) => p.index(),
+                Lane::Link(l) => n_procs + l.index(),
+            };
+            mask |= if flat < 64 {
+                1u64 << flat
+            } else {
+                LANES_MASK_ALL
+            };
+        }
+    }
+    mask
+}
+
+/// Cached evaluation of one candidate operation.
+#[derive(Debug, Clone, Default)]
+struct OpEval {
+    valid: bool,
+    /// Selection key of the kept-set maximum pressure (monotone bit image
+    /// of the non-negative `f64`).
+    urgency_bits: u64,
+    /// The `Npf + 1` kept processors, ascending by `(pressure, proc)`.
+    kept: Vec<(ProcId, f64)>,
+    /// Sum of the pair entry generations the eval was built from.
+    gen_sum: u64,
+}
+
+/// Outcome of re-evaluating one dirty pair's plan layer (parallel phase).
+enum PairOutcome {
+    /// The recorded events replayed: cached plan still exact.
+    Replayed,
+    /// Freshly recomputed.
+    Computed(Result<(PlanProbe, Vec<ProbeEvent>), ScheduleError>),
+}
+
+/// The incremental selection engine driving FTBAR's micro-steps À/Á.
+///
+/// Owns a [`ProbeCache`], per-candidate kept sets, and the urgency
+/// max-structure. One [`SweepEngine::select`] call per main-loop step
+/// replaces the naive full sweep.
+#[derive(Debug)]
+pub struct SweepEngine {
+    cache: ProbeCache,
+    cost: CostFunction,
+    parallel: bool,
+    /// `available_parallelism()` read once — it is a filesystem probe on
+    /// cgroup systems, far too slow for once-per-step calls.
+    max_workers: usize,
+    k: usize,
+    /// `S̄(o)` per operation (static).
+    bottom: Vec<f64>,
+    /// Flattened allowed-processor lists per operation (static):
+    /// `allowed[allowed_off[op]..allowed_off[op + 1]]`.
+    allowed: Vec<ProcId>,
+    allowed_off: Vec<u32>,
+    evals: Vec<OpEval>,
+    /// Scratch: per-step dirty pairs `(op, proc, replayable)`.
+    dirty: Vec<(OpId, ProcId, bool)>,
+    /// Scratch: per-candidate sigmas.
+    sigmas: Vec<(ProcId, f64)>,
+}
+
+impl SweepEngine {
+    /// A fresh engine for `problem`.
+    pub fn new(problem: &Problem, pressure: &Pressure, cost: CostFunction) -> Self {
+        let alg = problem.alg();
+        let mut allowed = Vec::with_capacity(alg.op_count() * problem.arch().proc_count());
+        let mut allowed_off = Vec::with_capacity(alg.op_count() + 1);
+        allowed_off.push(0u32);
+        for op in alg.ops() {
+            allowed.extend(problem.exec().allowed_procs(op));
+            allowed_off.push(allowed.len() as u32);
+        }
+        let focus = match cost {
+            CostFunction::SchedulePressure => PointFocus::WorstOnly,
+            CostFunction::EarliestStart => PointFocus::BestOnly,
+        };
+        SweepEngine {
+            cache: ProbeCache::new_focused(problem, focus),
+            cost,
+            parallel: false,
+            max_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            k: problem.replication(),
+            bottom: alg.ops().map(|op| pressure.bottom_level(op)).collect(),
+            allowed,
+            allowed_off,
+            evals: vec![OpEval::default(); alg.op_count()],
+            dirty: Vec::new(),
+            sigmas: Vec::new(),
+        }
+    }
+
+    /// Enables the deterministic parallel sweep (scoped worker threads for
+    /// the recompute phase). Off by default.
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
+    }
+
+    /// Cache effectiveness counters.
+    pub fn stats(&self) -> SweepStats {
+        self.cache.stats()
+    }
+
+    /// Runs micro-steps À and Á: refreshes every dirty ⟨candidate,
+    /// processor⟩ pair, rebuilds the affected kept sets, and returns the
+    /// most urgent candidate. `cand` must be the current candidate set.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::NotEnoughProcessors`] if a candidate admits fewer
+    /// processors than the replication level (as the naive sweep), plus
+    /// any probe error.
+    #[allow(clippy::type_complexity)]
+    pub fn select(
+        &mut self,
+        b: &ScheduleBuilder<'_>,
+        cand: &BTreeSet<OpId>,
+    ) -> Result<(OpId, &[(ProcId, f64)]), ScheduleError> {
+        if self.parallel {
+            self.refresh_parallel(b, cand)?;
+        }
+        // Serial refresh + eval rebuild. After refresh_parallel this only
+        // revalidates version-clean pairs (cheap) and sums generations.
+        // `best` is the flat max-structure over kept-set pressures:
+        // candidates iterate in ascending id order and the comparison is
+        // strictly greater, reproducing the naive sweep's tie-break
+        // (largest urgency, then smallest operation id).
+        let mut best: Option<(u64, OpId)> = None;
+        self.cache.sync(b);
+        for &op in cand {
+            let eval = &self.evals[op.index()];
+            let (prev_valid, prev_gen_sum) = (eval.valid, eval.gen_sum);
+            let stamp = self.cache.stamp(b, op);
+            let mut gen_sum = 0u64;
+            self.sigmas.clear();
+            for pi in self.allowed_off[op.index()]..self.allowed_off[op.index() + 1] {
+                let proc = self.allowed[pi as usize];
+                let (point, gen) = self.cache.probe_entry(b, op, proc, stamp)?;
+                gen_sum += gen;
+                let sigma = match self.cost {
+                    CostFunction::SchedulePressure => {
+                        point.start_worst.as_units() + self.bottom[op.index()]
+                    }
+                    CostFunction::EarliestStart => point.start_best.as_units(),
+                };
+                self.sigmas.push((proc, sigma));
+            }
+            if !(prev_valid && gen_sum == prev_gen_sum) {
+                // Some pair's value moved: rebuild the kept set.
+                if self.sigmas.len() < self.k {
+                    return Err(ScheduleError::NotEnoughProcessors { op, needed: self.k });
+                }
+                // Micro-step À: top-(Npf+1) selection, then order the kept
+                // set (replaces the naive full sort).
+                let cmp = |a: &(ProcId, f64), b: &(ProcId, f64)| {
+                    a.1.partial_cmp(&b.1)
+                        .expect("pressures are finite")
+                        .then(a.0.cmp(&b.0))
+                };
+                if self.sigmas.len() > self.k {
+                    self.sigmas.select_nth_unstable_by(self.k - 1, cmp);
+                }
+                self.sigmas.truncate(self.k);
+                self.sigmas.sort_by(cmp);
+                let urgency = self.sigmas.last().expect("k >= 1").1;
+                let eval = &mut self.evals[op.index()];
+                eval.kept.clear();
+                eval.kept.extend_from_slice(&self.sigmas);
+                eval.urgency_bits = urgency.to_bits();
+                eval.gen_sum = gen_sum;
+                eval.valid = true;
+            }
+            // Micro-step Á: urgency = the kept-set maximum pressure
+            // (non-negative, so the bit image orders like the float).
+            let bits = self.evals[op.index()].urgency_bits;
+            if best.is_none_or(|(bb, _)| bits > bb) {
+                best = Some((bits, op));
+            }
+        }
+        let (_, op) = best.expect("candidate set is non-empty");
+        Ok((op, &self.evals[op.index()].kept))
+    }
+
+    /// Re-validates and recomputes the dirty pairs of `cand` with scoped
+    /// worker threads, applying results in deterministic pair order.
+    fn refresh_parallel(
+        &mut self,
+        b: &ScheduleBuilder<'_>,
+        cand: &BTreeSet<OpId>,
+    ) -> Result<(), ScheduleError> {
+        if self.max_workers <= 1 {
+            // A single worker is the serial sweep with extra thread-spawn
+            // latency; let `select` do the work inline.
+            return Ok(());
+        }
+        // Tier-0/2 triage (cheap, serial, deterministic order).
+        self.cache.sync(b);
+        self.dirty.clear();
+        for &op in cand {
+            let stamp = self.cache.stamp(b, op);
+            for pi in self.allowed_off[op.index()]..self.allowed_off[op.index() + 1] {
+                let proc = self.allowed[pi as usize];
+                let idx = self.cache.idx(op, proc);
+                match &mut self.cache.entries[idx] {
+                    Some(e) if e.stamp == stamp => {
+                        if (e.checked_sync + 1 >= self.cache.sync_count
+                            && e.lanes_mask & self.cache.changed_lanes == 0)
+                            || e.lanes.iter().all(|&(l, v)| b.lane_version(l) == v)
+                        {
+                            e.checked_sync = self.cache.sync_count;
+                        } else {
+                            self.dirty.push((op, proc, true));
+                        }
+                    }
+                    _ => self.dirty.push((op, proc, false)),
+                }
+            }
+        }
+        if self.dirty.len() < PARALLEL_MIN_DIRTY {
+            return Ok(()); // the serial pass in `select` will handle them
+        }
+        let workers = self
+            .max_workers
+            .min(self.dirty.len().div_ceil(PARALLEL_MIN_DIRTY));
+        let chunk_len = self.dirty.len().div_ceil(workers.max(1));
+        let entries = &self.cache.entries;
+        let procs = self.cache.procs;
+        let dirty = &self.dirty;
+        // Tier-3 + recompute, fanned out over contiguous chunks. Each pair
+        // is a pure function of the (immutable) builder, so the outcome is
+        // independent of the partition.
+        let outcomes: Vec<Vec<PairOutcome>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = dirty
+                .chunks(chunk_len.max(1))
+                .map(|chunk| {
+                    s.spawn(move || {
+                        let mut scratch = ProbeScratch::default();
+                        chunk
+                            .iter()
+                            .map(|&(op, proc, replayable)| {
+                                let idx = op.index() * procs + proc.index();
+                                if replayable {
+                                    if let Some(e) = &entries[idx] {
+                                        if e.events.iter().rev().all(|ev| b.replay_probe(ev)) {
+                                            return PairOutcome::Replayed;
+                                        }
+                                    }
+                                }
+                                let mut events = Vec::new();
+                                PairOutcome::Computed(
+                                    b.probe_plan(op, proc, &mut events, &mut scratch)
+                                        .map(|plan| (plan, events)),
+                                )
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Serial apply, in the same deterministic order the triage used.
+        // Only replay_hits / recomputes are counted here — `select`'s
+        // serial pass will count each pair's `probes` (and the now-valid
+        // entries as hits) exactly once, keeping the stats comparable with
+        // the serial engine's.
+        let mut it = self.dirty.iter();
+        let mut first_err = None;
+        for outcome in outcomes.into_iter().flatten() {
+            let &(op, proc, _) = it.next().expect("one outcome per dirty pair");
+            let idx = self.cache.idx(op, proc);
+            match outcome {
+                PairOutcome::Replayed => {
+                    let sync_count = self.cache.sync_count;
+                    let e = self.cache.entries[idx].as_mut().expect("replayed entry");
+                    for (l, v) in &mut e.lanes {
+                        *v = b.lane_version(*l);
+                    }
+                    e.checked_sync = sync_count;
+                    self.cache.stats.replay_hits += 1;
+                }
+                PairOutcome::Computed(Ok((plan, events))) => {
+                    let stamp = self.cache.stamp(b, op);
+                    self.cache.install_plan(b, idx, stamp, plan, events);
+                }
+                PairOutcome::Computed(Err(e)) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Full evaluated pressure list of `op`, ascending by
+    /// `(pressure, proc)` — what the naive sweep's `StepTrace` records.
+    /// Call only after [`SweepEngine::select`] in the same step.
+    pub fn pressures_of(
+        &mut self,
+        b: &ScheduleBuilder<'_>,
+        op: OpId,
+    ) -> Result<Vec<(ProcId, f64)>, ScheduleError> {
+        let span = self.allowed_off[op.index()]..self.allowed_off[op.index() + 1];
+        let mut all = Vec::with_capacity(span.len());
+        for pi in span {
+            let proc = self.allowed[pi as usize];
+            let point = self.cache.probe(b, op, proc)?;
+            let sigma = match self.cost {
+                CostFunction::SchedulePressure => {
+                    point.start_worst.as_units() + self.bottom[op.index()]
+                }
+                CostFunction::EarliestStart => point.start_best.as_units(),
+            };
+            all.push((proc, sigma));
+        }
+        all.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("pressures are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        Ok(all)
+    }
+
+    /// Retires a scheduled operation: drops its cache row and evaluation.
+    pub fn retire(&mut self, op: OpId) {
+        self.cache.forget_op(op);
+        self.evals[op.index()].valid = false;
+    }
+}

@@ -31,6 +31,16 @@ impl Slot {
 
 /// A resource timeline holding non-overlapping payloads sorted by start.
 ///
+/// # Versioning
+///
+/// Every mutation (insert or remove) bumps a monotone [`Timeline::version`]
+/// counter. Two observations of the *same* timeline with equal versions are
+/// guaranteed to have seen identical bookings — the invariant behind the
+/// sweep engine's probe-cache invalidation (see `sweep`). The counter never
+/// decreases, so rollback churn conservatively invalidates: a
+/// booked-then-unwound slot leaves the contents unchanged but not the
+/// version.
+///
 /// # Example
 ///
 /// ```
@@ -42,15 +52,29 @@ impl Slot {
 /// tl.insert_earliest(Time::ZERO, Time::from_units(3.0), "b");
 /// // "b" lands after "a".
 /// assert_eq!(tl.probe(Time::ZERO, Time::from_units(1.0)), Time::from_units(5.0));
+/// assert_eq!(tl.version(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Timeline<P> {
     items: Vec<(Slot, P)>,
+    version: u64,
 }
 
 impl<P> Default for Timeline<P> {
     fn default() -> Self {
-        Timeline { items: Vec::new() }
+        Timeline {
+            items: Vec::new(),
+            version: 0,
+        }
+    }
+}
+
+/// Equality compares the booked contents only; the mutation counter is
+/// bookkeeping, not state (a timeline restored by exact rollback equals its
+/// pre-transaction self).
+impl<P: PartialEq> PartialEq for Timeline<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.items == other.items
     }
 }
 
@@ -75,12 +99,30 @@ impl<P> Timeline<P> {
         self.items.last().map_or(Time::ZERO, |(s, _)| s.end)
     }
 
+    /// Monotone mutation counter: bumped by every insert and remove, never
+    /// reset. Equal versions of one timeline imply identical contents.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Earliest start `t ≥ ready` such that `[t, t + dur)` is free.
     ///
     /// Zero-duration requests fit in any gap boundary at or after `ready`.
     pub fn probe(&self, ready: Time, dur: Time) -> Time {
+        // Common hot case: the request lands at or after every booking
+        // (candidate inputs are typically ready near the schedule's
+        // frontier) — nothing constrains it.
+        if ready >= self.last_end() {
+            return ready;
+        }
+        // Slots ending at or before `ready` cannot constrain the result
+        // (they neither push the candidate nor open an earlier return —
+        // non-overlap rules out a booking that straddles `ready` next to
+        // one that ends at it), and slots are sorted by start *and* end, so
+        // skip them wholesale.
+        let from = self.items.partition_point(|(s, _)| s.end <= ready);
         let mut candidate = ready;
-        for (slot, _) in &self.items {
+        for (slot, _) in &self.items[from..] {
             if candidate + dur <= slot.start {
                 return candidate;
             }
@@ -103,6 +145,7 @@ impl<P> Timeline<P> {
             .items
             .partition_point(|(s, _)| (s.start, s.end) <= (slot.start, slot.start + dur));
         self.items.insert(pos, (slot, payload));
+        self.version += 1;
         slot
     }
 
@@ -116,15 +159,25 @@ impl<P> Timeline<P> {
             start,
             end: start + dur,
         };
-        for (s, _) in &self.items {
-            if s.overlaps(&slot) {
-                return Err(*s);
-            }
-        }
         let pos = self
             .items
             .partition_point(|(s, _)| (s.start, s.end) <= (slot.start, slot.end));
+        // Booked slots are sorted and pairwise disjoint, so only the
+        // immediate neighbours of the insertion point can overlap (and the
+        // earlier one first, preserving the reported conflict).
+        if pos > 0 {
+            let prev = self.items[pos - 1].0;
+            if prev.overlaps(&slot) {
+                return Err(prev);
+            }
+        }
+        if let Some(&(next, _)) = self.items.get(pos) {
+            if next.overlaps(&slot) {
+                return Err(next);
+            }
+        }
         self.items.insert(pos, (slot, payload));
+        self.version += 1;
         Ok(slot)
     }
 
@@ -144,6 +197,7 @@ impl<P> Timeline<P> {
         // Rollback removes the most recent bookings, which usually sit at
         // the tail of the time-sorted store: scan from the back.
         let pos = self.items.iter().rposition(|(_, p)| p == payload)?;
+        self.version += 1;
         Some(self.items.remove(pos).0)
     }
 
@@ -268,6 +322,53 @@ mod tests {
         assert_eq!(before, after);
         assert_eq!(tl.remove(&9), None);
         assert!(tl.check_invariants());
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation_but_not_on_probes() {
+        let mut tl: Timeline<u32> = Timeline::new();
+        assert_eq!(tl.version(), 0);
+        tl.insert_earliest(Time::ZERO, t(1.0), 1);
+        assert_eq!(tl.version(), 1);
+        tl.insert_at(t(5.0), t(1.0), 2).unwrap();
+        assert_eq!(tl.version(), 2);
+        // Failed inserts and probes leave the version alone.
+        assert!(tl.insert_at(t(5.5), t(1.0), 3).is_err());
+        tl.probe(Time::ZERO, t(10.0));
+        assert_eq!(tl.version(), 2);
+        // Removal bumps too (monotone, even though contents are restored),
+        // but equality ignores the counter.
+        let restored = {
+            let mut other = tl.clone();
+            other.insert_earliest(Time::ZERO, t(1.0), 9);
+            other.remove(&9);
+            other
+        };
+        assert_eq!(restored.version(), 4);
+        assert_eq!(restored, tl);
+        assert_eq!(tl.remove(&42), None);
+        assert_eq!(tl.version(), 2);
+    }
+
+    #[test]
+    fn probe_skips_prefix_consistently() {
+        // The binary-search fast path must agree with a full scan,
+        // including around zero-width slots and straddling ready times.
+        let mut tl: Timeline<u32> = Timeline::new();
+        tl.insert_at(t(0.0), t(2.0), 1).unwrap();
+        tl.insert_at(t(3.0), Time::ZERO, 2).unwrap();
+        tl.insert_at(t(4.0), t(2.0), 3).unwrap();
+        for (ready, dur, want) in [
+            (0.0, 1.0, 2.0),
+            (1.0, 0.0, 2.0),
+            (3.0, 0.0, 3.0),
+            (3.0, 1.0, 3.0),
+            (3.5, 1.0, 6.0),
+            (5.0, 0.0, 6.0),
+            (9.0, 2.0, 9.0),
+        ] {
+            assert_eq!(tl.probe(t(ready), t(dur)), t(want), "probe({ready}, {dur})");
+        }
     }
 
     #[test]

@@ -40,11 +40,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ftbar_core::{Schedule, ScheduleBuilder, ScheduleError};
+use ftbar_core::{ProbeCache, Schedule, ScheduleBuilder, ScheduleError};
 use ftbar_graph::node_levels;
-use ftbar_model::{OpId, Problem, ProcId};
+use ftbar_model::{OpId, Problem, ProcId, Time};
 
-/// Schedules `problem` with the HBP heuristic.
+/// Tunable knobs of the HBP scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct HbpConfig {
+    /// Evaluate every ordered processor pair unconditionally (the
+    /// published algorithm verbatim) instead of pruning with probe-cache
+    /// lower bounds. Both settings produce bit-identical schedules
+    /// (asserted by the cross-engine property tests); the exhaustive
+    /// search is retained as the reference and for benchmarks.
+    pub exhaustive_pairs: bool,
+}
+
+/// Schedules `problem` with the HBP heuristic (pruned pair search).
 ///
 /// Replication level follows the problem's `npf` (the original algorithm
 /// fixes it at 2, i.e. `npf = 1`; higher values generalize the pair search
@@ -55,6 +66,15 @@ use ftbar_model::{OpId, Problem, ProcId};
 /// Propagates [`ScheduleError`] from the booking layer (unreachable for a
 /// validated problem).
 pub fn schedule(problem: &Problem) -> Result<Schedule, ScheduleError> {
+    schedule_with(problem, &HbpConfig::default())
+}
+
+/// Runs HBP with an explicit configuration.
+///
+/// # Errors
+///
+/// See [`schedule`].
+pub fn schedule_with(problem: &Problem, config: &HbpConfig) -> Result<Schedule, ScheduleError> {
     let alg = problem.alg();
     let k = problem.replication();
 
@@ -77,6 +97,13 @@ pub fn schedule(problem: &Problem) -> Result<Schedule, ScheduleError> {
     let pressure = ftbar_core::Pressure::new(problem);
 
     let mut builder = ScheduleBuilder::new(problem);
+    // The probe cache backing the pruned pair search; probes happen only at
+    // transactionally consistent states (before an op's trials, after the
+    // previous op's commits), as its invalidation contract requires.
+    let mut cache = (!config.exhaustive_pairs).then(|| ProbeCache::new(problem));
+    // Scratch reused across operations (hot loop: no per-op allocations).
+    let mut allowed: Vec<ProcId> = Vec::new();
+    let mut pairs: Vec<(Time, ProcId, ProcId)> = Vec::new();
     for h in 0..=max_height {
         let mut group: Vec<OpId> = alg.ops().filter(|o| heights[o.index()] == h).collect();
         group.sort_by(|&a, &b| {
@@ -87,7 +114,15 @@ pub fn schedule(problem: &Problem) -> Result<Schedule, ScheduleError> {
                 .then(a.cmp(&b))
         });
         for op in group {
-            place_copies(&mut builder, problem, op, k)?;
+            place_copies(
+                &mut builder,
+                problem,
+                op,
+                k,
+                cache.as_mut(),
+                &mut allowed,
+                &mut pairs,
+            )?;
         }
     }
     Ok(builder.finish())
@@ -99,55 +134,112 @@ pub fn schedule(problem: &Problem) -> Result<Schedule, ScheduleError> {
 /// allowed processors is evaluated jointly on a scratch builder; for larger
 /// `k` the pair search seeds the first two copies and the remaining ones are
 /// added greedily by earliest finish.
+///
+/// With a probe `cache`, pairs are tried in ascending order of the lower
+/// bound `max(end(p1), end(p2))` over single-copy probes, and the search
+/// stops once the bound exceeds the best later-finish found. The bound is
+/// sound because adding bookings never accelerates a probe (free timeline
+/// gaps only shrink) and booked arrivals never beat probed ones (a
+/// placement's own comms can only delay each other on shared links), so
+/// `e1 ≥ probe(p1)` and `e2 ≥ probe(p2)`; every skipped pair therefore
+/// finishes strictly later than the kept one and cannot win under the
+/// lexicographic tie-break — the chosen pair, and the schedule, are
+/// bit-identical to the exhaustive search.
+#[allow(clippy::too_many_arguments)]
 fn place_copies(
     builder: &mut ScheduleBuilder<'_>,
     problem: &Problem,
     op: OpId,
     k: usize,
+    mut cache: Option<&mut ProbeCache>,
+    allowed: &mut Vec<ProcId>,
+    pairs: &mut Vec<(Time, ProcId, ProcId)>,
 ) -> Result<(), ScheduleError> {
-    let allowed: Vec<ProcId> = problem.exec().allowed_procs(op).collect();
+    allowed.clear();
+    allowed.extend(problem.exec().allowed_procs(op));
     if allowed.len() < k {
         return Err(ScheduleError::NotEnoughProcessors { op, needed: k });
     }
+    let probe_end = |builder: &ScheduleBuilder<'_>,
+                     cache: &mut Option<&mut ProbeCache>,
+                     p: ProcId|
+     -> Result<Time, ScheduleError> {
+        Ok(match cache {
+            Some(c) => c.probe(builder, op, p)?.end_best,
+            None => builder.probe(op, p)?.end_best,
+        })
+    };
     if k == 1 {
         // Degenerate (non-FT) case: earliest finish over all processors.
-        let best = allowed
-            .iter()
-            .copied()
-            .min_by_key(|&p| (builder.probe(op, p).expect("allowed").end_best, p))
-            .expect("non-empty");
-        builder.place(op, best)?;
+        let mut best: Option<(Time, ProcId)> = None;
+        for &p in allowed.iter() {
+            let end = probe_end(builder, &mut cache, p)?;
+            if best.is_none_or(|b| (end, p) < b) {
+                best = Some((end, p));
+            }
+        }
+        builder.place(op, best.expect("non-empty").1)?;
+        if let Some(c) = cache {
+            c.forget_op(op); // placed: this row is never probed again
+        }
         return Ok(());
     }
 
-    // Exhaustive ordered-pair search (the O(P^2) cost the paper mentions).
-    // Each attempt books both copies for real and is unwound through the
+    // Ordered-pair search (the O(P^2) cost the paper mentions). Each
+    // attempt books both copies for real and is unwound through the
     // builder's undo log — no per-pair deep clone.
-    let mut best: Option<(ftbar_model::Time, ftbar_model::Time, ProcId, ProcId)> = None;
+    pairs.clear();
+    if cache.is_some() {
+        // Bound phase: one cached probe per processor, then pairs ascending
+        // by bound (ties in `(p1, p2)` order, matching the exhaustive
+        // iteration).
+        for &p1 in allowed.iter() {
+            let e1 = probe_end(builder, &mut cache, p1)?;
+            for &p2 in allowed.iter() {
+                if p1 == p2 {
+                    continue;
+                }
+                let e2 = probe_end(builder, &mut cache, p2)?;
+                pairs.push((e1.max(e2), p1, p2));
+            }
+        }
+        pairs.sort_unstable();
+    } else {
+        for &p1 in allowed.iter() {
+            for &p2 in allowed.iter() {
+                if p1 != p2 {
+                    pairs.push((Time::ZERO, p1, p2));
+                }
+            }
+        }
+    }
+    let mut best: Option<(Time, Time, ProcId, ProcId)> = None;
     let mark = builder.checkpoint();
-    for &p1 in &allowed {
-        for &p2 in &allowed {
-            if p1 == p2 {
-                continue;
+    for &(bound, p1, p2) in pairs.iter() {
+        if let Some((bl, _, _, _)) = &best {
+            // Bounds ascend: every remaining pair finishes strictly later
+            // than the incumbent and cannot win the tie-break.
+            if bound > *bl {
+                break;
             }
-            let Ok(r1) = builder.place(op, p1) else {
-                continue;
-            };
-            let Ok(r2) = builder.place(op, p2) else {
-                builder.rollback(mark);
-                continue;
-            };
-            let e1 = builder.replica(r1).end();
-            let e2 = builder.replica(r2).end();
+        }
+        let Ok(r1) = builder.place(op, p1) else {
+            continue;
+        };
+        let Ok(r2) = builder.place(op, p2) else {
             builder.rollback(mark);
-            let (later, earlier) = (e1.max(e2), e1.min(e2));
-            let better = match &best {
-                None => true,
-                Some((bl, be, bp1, bp2)) => (later, earlier, p1, p2) < (*bl, *be, *bp1, *bp2),
-            };
-            if better {
-                best = Some((later, earlier, p1, p2));
-            }
+            continue;
+        };
+        let e1 = builder.replica(r1).end();
+        let e2 = builder.replica(r2).end();
+        builder.rollback(mark);
+        let (later, earlier) = (e1.max(e2), e1.min(e2));
+        let better = match &best {
+            None => true,
+            Some((bl, be, bp1, bp2)) => (later, earlier, p1, p2) < (*bl, *be, *bp1, *bp2),
+        };
+        if better {
+            best = Some((later, earlier, p1, p2));
         }
     }
     let (_, _, p1, p2) = best.ok_or(ScheduleError::NotEnoughProcessors { op, needed: k })?;
@@ -157,17 +249,25 @@ fn place_copies(
     // Generalization beyond the published k = 2: greedy earliest finish for
     // the remaining copies.
     for _ in 2..k {
-        let next = allowed
-            .iter()
-            .copied()
-            .filter(|&p| !builder.has_replica_on(op, p))
-            .min_by_key(|&p| (builder.probe(op, p).expect("allowed").end_best, p));
+        let mut next: Option<(Time, ProcId)> = None;
+        for &p in allowed.iter() {
+            if builder.has_replica_on(op, p) {
+                continue;
+            }
+            let end = probe_end(builder, &mut cache, p)?;
+            if next.is_none_or(|b| (end, p) < b) {
+                next = Some((end, p));
+            }
+        }
         match next {
-            Some(p) => {
+            Some((_, p)) => {
                 builder.place(op, p)?;
             }
             None => return Err(ScheduleError::NotEnoughProcessors { op, needed: k }),
         }
+    }
+    if let Some(c) = cache {
+        c.forget_op(op); // placed: this row is never probed again
     }
     Ok(())
 }
@@ -208,6 +308,20 @@ mod tests {
     fn hbp_is_deterministic() {
         let p = paper_example();
         assert_eq!(schedule(&p).unwrap(), schedule(&p).unwrap());
+    }
+
+    #[test]
+    fn pruned_pair_search_matches_exhaustive() {
+        let p = paper_example();
+        let pruned = schedule(&p).unwrap();
+        let exhaustive = schedule_with(
+            &p,
+            &HbpConfig {
+                exhaustive_pairs: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(pruned, exhaustive);
     }
 
     #[test]

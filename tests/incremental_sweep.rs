@@ -1,0 +1,228 @@
+//! Bit-identity of the incremental pressure engine.
+//!
+//! The probe-cache-driven sweep (`ftbar_core::sweep`), its deterministic
+//! parallel variant, and HBP's bound-pruned pair search are pure
+//! optimizations: on every problem they must reproduce the retained naive
+//! reference sweeps **bit for bit**. These property tests pin that across
+//! random problems on all supported topology families, and a unit test
+//! pins that cache invalidation fires on route-lane changes (the multi-hop
+//! booking path of the route-aware masking work).
+
+use ftbar::core::sweep::ProbeCache;
+use ftbar::core::{FtbarConfig, ScheduleBuilder, SweepStrategy};
+use ftbar::hbp;
+use ftbar::model::{Alg, Arch, CommTable, ExecTable, Problem, ProcId, Time};
+use ftbar::prelude::*;
+use ftbar::workload::{arch, layered, timing, LayeredConfig, TimingConfig};
+use proptest::prelude::*;
+
+/// The topology families the engine must agree on.
+#[derive(Debug, Clone, Copy)]
+enum Topology {
+    Full,
+    Ring,
+    Mesh,
+    Hypercube,
+}
+
+fn make_problem(topology: Topology, n_ops: usize, ccr: f64, seed: u64) -> Problem {
+    let a = match topology {
+        Topology::Full => arch::fully_connected(4),
+        Topology::Ring => arch::ring(4),
+        Topology::Mesh => arch::mesh(3, 2),
+        Topology::Hypercube => arch::hypercube(3),
+    };
+    let alg = layered(&LayeredConfig {
+        n_ops,
+        seed,
+        ..Default::default()
+    });
+    timing(
+        alg,
+        a,
+        &TimingConfig {
+            ccr,
+            npf: 1,
+            seed,
+            ..Default::default()
+        },
+    )
+    .expect("valid problem")
+}
+
+/// The vendored proptest stand-in has no `prop_oneof`; draw an index.
+fn topology_of(index: usize) -> Topology {
+    match index % 4 {
+        0 => Topology::Full,
+        1 => Topology::Ring,
+        2 => Topology::Mesh,
+        _ => Topology::Hypercube,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FTBAR: incremental, incremental-parallel, and naive sweeps agree.
+    #[test]
+    fn ftbar_engines_are_bit_identical(
+        topo_index in 0usize..4,
+        n_ops in 4usize..24,
+        ccr in 0.2f64..5.0,
+        seed in 0u64..10_000,
+    ) {
+        let problem = make_problem(topology_of(topo_index), n_ops, ccr, seed);
+        let naive = ftbar_schedule_with(
+            &problem,
+            &FtbarConfig { sweep: SweepStrategy::Naive, ..FtbarConfig::default() },
+        )
+        .expect("schedules")
+        .schedule;
+        let incremental = ftbar_schedule(&problem).expect("schedules");
+        prop_assert_eq!(&naive, &incremental, "incremental sweep diverged");
+        let parallel = ftbar_schedule_with(
+            &problem,
+            &FtbarConfig { parallel: true, ..FtbarConfig::default() },
+        )
+        .expect("schedules")
+        .schedule;
+        prop_assert_eq!(&naive, &parallel, "parallel sweep diverged");
+    }
+
+    /// HBP: the bound-pruned pair search equals the exhaustive one.
+    #[test]
+    fn hbp_pruning_is_bit_identical(
+        topo_index in 0usize..4,
+        n_ops in 4usize..24,
+        ccr in 0.2f64..5.0,
+        seed in 0u64..10_000,
+    ) {
+        let problem = make_problem(topology_of(topo_index), n_ops, ccr, seed);
+        let exhaustive = hbp::schedule_with(
+            &problem,
+            &hbp::HbpConfig { exhaustive_pairs: true },
+        )
+        .expect("schedules");
+        let pruned = hbp::schedule(&problem).expect("schedules");
+        prop_assert_eq!(exhaustive, pruned, "pruned pair search diverged");
+    }
+
+    /// The trace-enabled run (step snapshots through `finish_snapshot`)
+    /// produces the same schedule as the plain run.
+    #[test]
+    fn traced_run_matches_plain(
+        topo_index in 0usize..4,
+        n_ops in 4usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let problem = make_problem(topology_of(topo_index), n_ops, 1.0, seed);
+        let plain = ftbar_schedule(&problem).expect("schedules");
+        let traced = ftbar_schedule_with(
+            &problem,
+            &FtbarConfig { trace: true, ..FtbarConfig::default() },
+        )
+        .expect("schedules");
+        prop_assert_eq!(&plain, &traced.schedule);
+        prop_assert_eq!(traced.steps.len(), problem.alg().op_count());
+        let last = traced.steps.last().expect("steps recorded");
+        prop_assert_eq!(last.snapshot.replica_count(), plain.replica_count());
+    }
+}
+
+/// `X -> {Y, W}` on a four-processor ring, npf = 1: probes traverse
+/// multi-hop routes, so route (link) lanes participate in cache
+/// invalidation, and placing `W` perturbs links without touching `Y`'s or
+/// `X`'s replica sets.
+fn ring_chain_problem() -> Problem {
+    let mut b = Alg::builder("chain");
+    let x = b.comp("X");
+    let y = b.comp("Y");
+    let w = b.comp("W");
+    b.dep(x, y);
+    b.dep(x, w);
+    let alg = b.build().unwrap();
+    let mut b = Arch::builder("ring4");
+    let ps: Vec<_> = (0..4).map(|i| b.proc(format!("P{i}"))).collect();
+    for i in 0..4 {
+        b.link(format!("L{i}"), &[ps[i], ps[(i + 1) % 4]]);
+    }
+    let arch = b.build().unwrap();
+    let exec = ExecTable::uniform(3, 4, Time::from_units(2.0));
+    let comm = CommTable::uniform(2, 4, Time::from_units(1.0));
+    let mut pb = Problem::builder(alg, arch, exec, comm);
+    pb.npf(1);
+    pb.build().unwrap()
+}
+
+/// Cache invalidation must fire when a *route* lane changes: booking a
+/// comm on an intermediate link of Y's multi-hop input route changes the
+/// cached probe, and the cache must hand back exactly what a fresh probe
+/// computes (the PR 2 multi-hop booking path).
+#[test]
+fn cache_invalidates_on_route_lane_changes() {
+    let p = ring_chain_problem();
+    let x = p.alg().op_by_name("X").unwrap();
+    let y = p.alg().op_by_name("Y").unwrap();
+    let w = p.alg().op_by_name("W").unwrap();
+
+    let mut b = ScheduleBuilder::new(&p);
+    let mut cache = ProbeCache::new(&p);
+    b.place(x, ProcId(0)).unwrap();
+    b.place(x, ProcId(1)).unwrap();
+
+    // Prime the cache: Y on P2 pulls X over multi-hop routes (P0 -> P2
+    // crosses an intermediate processor on the ring).
+    let before = cache.probe(&b, y, ProcId(2)).unwrap();
+    assert_eq!(before, b.probe(y, ProcId(2)).unwrap());
+    let s0 = cache.stats();
+    assert!(s0.recomputes > 0, "first probe computes");
+
+    // A cache hit on the unchanged state returns the same value cheaply.
+    let again = cache.probe(&b, y, ProcId(2)).unwrap();
+    assert_eq!(again, before);
+    let s1 = cache.stats();
+    assert_eq!(s1.recomputes, s0.recomputes, "unchanged state must hit");
+    assert!(s1.version_hits + s1.replay_hits > s0.version_hits + s0.replay_hits);
+
+    // Booking W on P3 occupies ring links that Y@P2's input routes cross
+    // (the redundant comms from X@P0/X@P1 wrap both ways around the ring)
+    // while leaving Y's and X's replica sets — the tier-1 stamp — and P2's
+    // processor lane untouched: only *route lanes* changed.
+    b.place(w, ProcId(3)).unwrap();
+    let fresh = b.probe(y, ProcId(2)).unwrap();
+    let cached = cache.probe(&b, y, ProcId(2)).unwrap();
+    assert_eq!(
+        cached, fresh,
+        "cache must recompute or replay to the fresh value after route-lane changes"
+    );
+
+    // The stats must show the route-lane change was detected (a replay
+    // pass or a full recompute — never a blind version hit alone).
+    let s2 = cache.stats();
+    assert!(
+        s2.recomputes > s1.recomputes || s2.replay_hits > s1.replay_hits,
+        "route-lane change went unnoticed: {s2:?} vs {s1:?}"
+    );
+}
+
+/// On multi-hop topologies the probe cache keeps agreeing with fresh
+/// probes while the schedule grows — every pair, every step.
+#[test]
+fn cache_agrees_with_fresh_probes_during_a_ring_schedule() {
+    let problem = make_problem(Topology::Ring, 12, 2.0, 7);
+    let alg = problem.alg();
+    let mut b = ScheduleBuilder::new(&problem);
+    let mut cache = ProbeCache::new(&problem);
+    for &op in alg.topo_order() {
+        for proc in problem.arch().procs() {
+            if !problem.exec().allows(op, proc) {
+                continue;
+            }
+            let fresh = b.probe(op, proc).unwrap();
+            let cached = cache.probe(&b, op, proc).unwrap();
+            assert_eq!(cached, fresh, "divergence at {op} on {proc}");
+        }
+        b.place_min_start(op, problem.exec().allowed_procs(op).next().unwrap())
+            .unwrap();
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! The executive only uses unbounded MPSC channels, which map directly to
 //! `std::sync::mpsc` (the std `Sender` is cloneable and the single
-//! `Receiver` is moved into its consuming thread).
+//! `Receiver` is moved into its consuming thread). The scheduler's parallel
+//! sweep uses scoped threads, which map to `std::thread::scope`.
 
 /// Multi-producer channels, mirroring `crossbeam::channel`.
 pub mod channel {
@@ -11,5 +12,24 @@ pub mod channel {
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
+    }
+}
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+///
+/// Backed by `std::thread::scope`: spawned threads may borrow from the
+/// enclosing stack frame and are all joined before `scope` returns. Unlike
+/// the real crate the closure receives the std scope handle (so `spawn`
+/// closures take no argument), and panics propagate as panics instead of an
+/// `Err` payload — the supported surface of this workspace.
+pub mod thread {
+    pub use std::thread::{Scope, ScopedJoinHandle};
+
+    /// Creates a scope for spawning borrowing threads.
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    {
+        std::thread::scope(f)
     }
 }
