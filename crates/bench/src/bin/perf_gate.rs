@@ -1,7 +1,8 @@
 //! Machine-readable scheduling-time gate: emits `BENCH_scheduling.json`
-//! with the median nanoseconds of every `scheduling_time` point so the
-//! perf trajectory of the FTBAR/HBP main loops is tracked in-repo, not
-//! anecdotally.
+//! with the median nanoseconds of every `scheduling_time` point (the
+//! FTBAR/HBP main loops) and every `batch_throughput` point (the service
+//! layer at several `--jobs` worker counts) so the perf trajectory is
+//! tracked in-repo, not anecdotally.
 //!
 //! ```sh
 //! cargo run --release -p ftbar-bench --bin perf_gate            # full run
@@ -19,9 +20,11 @@ use std::time::Instant;
 use ftbar_bench::experiment::{problem_for, PointConfig};
 use ftbar_core::{ftbar, FtbarConfig, SweepStrategy};
 use ftbar_model::Problem;
+use ftbar_service::{run_batch, BatchConfig, JobInput, JobSpec, SchedulerKind};
 
 /// One measured point.
 struct Point {
+    bench: &'static str,
     variant: &'static str,
     n_ops: usize,
     median_ns: u128,
@@ -119,6 +122,7 @@ fn main() {
             let median = measure(f.as_ref(), smoke);
             println!("scheduling_time/{variant}/{n}: {median} ns");
             points.push(Point {
+                bench: "scheduling_time",
                 variant,
                 n_ops: n,
                 median_ns: median,
@@ -133,12 +137,69 @@ fn main() {
         }
     }
 
+    // Batch throughput: the service layer scheduling many independent
+    // problems, at several worker counts. The workload (12 mixed FTBAR/HBP
+    // jobs) is identical for every `jobs` value, so the ratio
+    // jobs-1 / jobs-N is the driver's thread-scaling factor on this
+    // machine. NOTE: worker threads only buy wall-clock on multi-core
+    // hosts; on a single-core container the honest expectation is ~1×,
+    // and the point of the gate is to record whatever this machine truly
+    // delivers (the committed numbers say which case they are).
+    let batch_n = 40usize;
+    let batch_config = PointConfig {
+        n_ops: batch_n,
+        ccr: 5.0,
+        graphs: 12,
+        seed_base: 50_000,
+        ..Default::default()
+    };
+    let jobs: Vec<JobSpec> = (0..batch_config.graphs)
+        .map(|g| JobSpec {
+            name: format!("job-{g}"),
+            input: JobInput::Problem(Box::new(problem_for(&batch_config, g))),
+            scheduler: if g % 2 == 0 {
+                SchedulerKind::Ftbar
+            } else {
+                SchedulerKind::Hbp
+            },
+            npf: None,
+        })
+        .collect();
+    let mut batch_medians = Vec::new();
+    for (workers, variant) in [(1usize, "jobs-1"), (2, "jobs-2"), (4, "jobs-4")] {
+        let f = || {
+            let out = run_batch(
+                &jobs,
+                &BatchConfig {
+                    jobs: workers,
+                    keep_schedules: false,
+                },
+            );
+            assert!(out.iter().all(|o| o.result.is_ok()));
+        };
+        let median = measure(&f, smoke);
+        println!("batch_throughput/{variant}/{batch_n}: {median} ns");
+        batch_medians.push(median);
+        points.push(Point {
+            bench: "batch_throughput",
+            variant,
+            n_ops: batch_n,
+            median_ns: median,
+        });
+    }
+    println!(
+        "batch speedup jobs-4 vs jobs-1: {:.2}x ({} worker threads usable on this host)",
+        batch_medians[0] as f64 / batch_medians[2].max(1) as f64,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
     // Hand-rolled JSON: stable field order, no dependencies.
     let mut json = String::from("{\n  \"schema\": 1,\n  \"unit\": \"ns\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n  \"points\": [\n"));
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"bench\": \"scheduling_time\", \"variant\": \"{}\", \"n_ops\": {}, \"median_ns\": {}}}{}\n",
+            "    {{\"bench\": \"{}\", \"variant\": \"{}\", \"n_ops\": {}, \"median_ns\": {}}}{}\n",
+            p.bench,
             p.variant,
             p.n_ops,
             p.median_ns,

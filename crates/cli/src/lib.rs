@@ -7,10 +7,19 @@
 //! * `ftbar analyze <spec>` — schedule + exhaustive tolerance report;
 //! * `ftbar simulate <spec> [--fail P@T ...] [--iterations K] [--detect]` —
 //!   multi-iteration fault-injection simulation;
+//! * `ftbar batch <list-file> [--jobs N] [--hbp] [--npf N] [--schedules]
+//!   [--out PATH]` — schedule many independent spec files concurrently
+//!   through the batch service (deterministic JSON results in submission
+//!   order; a bad spec fails alone without killing the batch);
 //! * `ftbar gen [--n N] [--procs P] [--topology T] [--ccr X] [--npf N]
 //!   [--seed S]` — print a random problem spec (topologies: `full`, `ring`,
 //!   `bus`, `mesh:WxH`, `hypercube:D`);
 //! * `ftbar example` — print the paper's running example as a spec.
+//!
+//! Flag parsing is table-driven: each command declares its options as
+//! `Opt` bindings and `parse_args` does the scanning, so there is one
+//! flag loop for the whole tool instead of one hand-rolled `match` per
+//! subcommand.
 //!
 //! The library form exists so the argument parser and command logic are
 //! unit-testable; `main.rs` is a thin shim.
@@ -22,16 +31,22 @@ use std::fmt::Write as _;
 
 use ftbar_core::{analysis, ftbar, gantt, validate, FtbarConfig};
 use ftbar_model::{spec, Problem, Time};
+use ftbar_service::{BatchConfig, JobInput, JobSpec, SchedulerKind};
 use ftbar_sim::{simulate, Detection, FaultPlan, SimConfig};
 use ftbar_workload::{arch, layered, timing, LayeredConfig, TimingConfig};
 
 /// A CLI failure: message plus suggested exit code.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliError {
-    /// Human-readable message.
+    /// Human-readable message (for stderr).
     pub message: String,
     /// Process exit code.
     pub code: i32,
+    /// Result payload that still belongs on stdout despite the failure
+    /// exit — e.g. the `batch` JSON, whose per-job statuses already
+    /// carry the errors (pipelines read stdout; the exit code signals
+    /// the partial failure).
+    pub output: Option<String>,
 }
 
 impl core::fmt::Display for CliError {
@@ -46,6 +61,7 @@ fn err(message: impl Into<String>) -> CliError {
     CliError {
         message: message.into(),
         code: 2,
+        output: None,
     }
 }
 
@@ -59,6 +75,7 @@ USAGE:
   ftbar analyze  <spec-file> [--npf N] [--thorough] [--links] [--rel LAMBDA]
   ftbar simulate <spec-file> [--fail PROC@TIME]... [--window PROC@FROM..UNTIL]...
                  [--iterations K] [--detect]
+  ftbar batch    <list-file> [--jobs N] [--hbp] [--npf N] [--schedules] [--out PATH]
   ftbar gen      [--n N] [--procs P] [--topology full|ring|bus|mesh:WxH|hypercube:D]
                  [--ccr X] [--npf N] [--seed S] [--het H]
   ftbar example
@@ -75,6 +92,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("schedule") => cmd_schedule(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("example") => Ok(spec::print_problem(&ftbar_model::paper_example())),
         Some("help") | Some("--help") | Some("-h") | None => Ok(USAGE.to_owned()),
@@ -82,51 +100,126 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 }
 
-/// Tiny flag cursor over the argument list.
-struct Args<'a> {
-    rest: &'a [String],
-    pos: usize,
-    positional: Vec<&'a str>,
+/// One `--name` option binding: whether it consumes a value and how the
+/// value (or the bare flag) updates the command's locals.
+struct Opt<'a> {
+    name: &'static str,
+    takes_value: bool,
+    set: Box<dyn FnMut(Option<String>) -> Result<(), CliError> + 'a>,
 }
 
-impl<'a> Args<'a> {
-    fn new(rest: &'a [String]) -> Self {
-        Args {
-            rest,
-            pos: 0,
-            positional: Vec::new(),
+/// A bare boolean flag (`--detect`).
+fn flag<'a>(name: &'static str, target: &'a mut bool) -> Opt<'a> {
+    Opt {
+        name,
+        takes_value: false,
+        set: Box::new(move |_| {
+            *target = true;
+            Ok(())
+        }),
+    }
+}
+
+/// A valued option parsed via `FromStr` (`--seed 9`); `what` names the
+/// quantity in the error message.
+fn val<'a, T: std::str::FromStr>(
+    name: &'static str,
+    what: &'static str,
+    target: &'a mut T,
+) -> Opt<'a> {
+    Opt {
+        name,
+        takes_value: true,
+        set: Box::new(move |v| {
+            let v = v.expect("valued option");
+            *target = v
+                .parse()
+                .map_err(|_| err(format!("invalid {what}: `{v}`")))?;
+            Ok(())
+        }),
+    }
+}
+
+/// As [`val`], wrapping the parsed value in `Some` (`--npf 2` overrides).
+fn opt_val<'a, T: std::str::FromStr>(
+    name: &'static str,
+    what: &'static str,
+    target: &'a mut Option<T>,
+) -> Opt<'a> {
+    Opt {
+        name,
+        takes_value: true,
+        set: Box::new(move |v| {
+            let v = v.expect("valued option");
+            *target = Some(
+                v.parse()
+                    .map_err(|_| err(format!("invalid {what}: `{v}`")))?,
+            );
+            Ok(())
+        }),
+    }
+}
+
+/// A repeatable valued option collected verbatim (`--fail P1@0 ...`).
+fn push_val<'a>(name: &'static str, target: &'a mut Vec<String>) -> Opt<'a> {
+    Opt {
+        name,
+        takes_value: true,
+        set: Box::new(move |v| {
+            target.push(v.expect("valued option"));
+            Ok(())
+        }),
+    }
+}
+
+/// An option with bespoke handling (e.g. two flags steering one setting,
+/// order-sensitively, through a shared `Cell`).
+fn custom<'a>(
+    name: &'static str,
+    takes_value: bool,
+    set: impl FnMut(Option<String>) -> Result<(), CliError> + 'a,
+) -> Opt<'a> {
+    Opt {
+        name,
+        takes_value,
+        set: Box::new(set),
+    }
+}
+
+/// Scans `rest` against the option table, returning the positional
+/// arguments. Shared by every subcommand — the one flag loop of the tool.
+fn parse_args<'a>(rest: &'a [String], opts: &mut [Opt<'_>]) -> Result<Vec<&'a str>, CliError> {
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = rest[i].as_str();
+        i += 1;
+        if let Some(name) = a.strip_prefix("--") {
+            let Some(opt) = opts.iter_mut().find(|o| o.name == name) else {
+                return Err(err(format!("unknown flag --{name}")));
+            };
+            let value = if opt.takes_value {
+                let v = rest
+                    .get(i)
+                    .ok_or_else(|| err(format!("flag --{name} expects a value")))?;
+                i += 1;
+                Some(v.clone())
+            } else {
+                None
+            };
+            (opt.set)(value)?;
+        } else {
+            positional.push(a);
         }
     }
+    Ok(positional)
+}
 
-    /// Consumes the whole list, dispatching flags to `on_flag`.
-    fn scan(
-        &mut self,
-        mut on_flag: impl FnMut(
-            &str,
-            &mut dyn FnMut() -> Result<String, CliError>,
-        ) -> Result<bool, CliError>,
-    ) -> Result<(), CliError> {
-        while self.pos < self.rest.len() {
-            let a = self.rest[self.pos].as_str();
-            self.pos += 1;
-            if let Some(flag) = a.strip_prefix("--") {
-                let pos_cell = &mut self.pos;
-                let rest = self.rest;
-                let mut value = move || -> Result<String, CliError> {
-                    let v = rest
-                        .get(*pos_cell)
-                        .ok_or_else(|| err(format!("flag --{flag} expects a value")))?;
-                    *pos_cell += 1;
-                    Ok(v.clone())
-                };
-                if !on_flag(flag, &mut value)? {
-                    return Err(err(format!("unknown flag --{flag}")));
-                }
-            } else {
-                self.positional.push(a);
-            }
-        }
-        Ok(())
+/// The single-`<spec-file>` positional contract of most subcommands.
+fn one_file<'a>(positional: &[&'a str], cmd: &str, kind: &str) -> Result<&'a str, CliError> {
+    match positional {
+        [path] => Ok(path),
+        _ => Err(err(format!("{cmd} expects one {kind}\n\n{USAGE}"))),
     }
 }
 
@@ -142,47 +235,52 @@ fn load_problem(path: &str, npf_override: Option<u32>) -> Result<Problem, CliErr
     }
 }
 
-fn parse_u32(s: &str, what: &str) -> Result<u32, CliError> {
-    s.parse().map_err(|_| err(format!("invalid {what}: `{s}`")))
-}
-
 fn parse_time(s: &str, what: &str) -> Result<Time, CliError> {
     s.parse().map_err(|_| err(format!("invalid {what}: `{s}`")))
 }
 
 fn cmd_schedule(rest: &[String]) -> Result<String, CliError> {
-    let mut npf = None;
+    let mut npf: Option<u32> = None;
     let mut use_hbp = false;
     let mut no_dup = false;
     let mut est = false;
-    let mut gantt_w = Some(100usize);
+    // `--gantt W` and `--no-gantt` steer one setting, last flag wins; a
+    // `Cell` lets both table entries share it.
+    let gantt_w = std::cell::Cell::new(Some(100usize));
     let mut want_summary = false;
     let mut want_stats = false;
     let mut want_dot = false;
     let mut want_json = false;
     let mut want_validate = false;
-    let mut args = Args::new(rest);
-    args.scan(|flag, value| {
-        match flag {
-            "npf" => npf = Some(parse_u32(&value()?, "npf")?),
-            "hbp" => use_hbp = true,
-            "no-dup" => no_dup = true,
-            "est" => est = true,
-            "gantt" => gantt_w = Some(value()?.parse().map_err(|_| err("invalid width"))?),
-            "no-gantt" => gantt_w = None,
-            "summary" => want_summary = true,
-            "stats" => want_stats = true,
-            "dot" => want_dot = true,
-            "json" => want_json = true,
-            "validate" => want_validate = true,
-            _ => return Ok(false),
-        }
-        Ok(true)
-    })?;
-    let [path] = args.positional[..] else {
-        return Err(err(format!("schedule expects one spec file\n\n{USAGE}")));
-    };
+    let positional = parse_args(
+        rest,
+        &mut [
+            opt_val("npf", "npf", &mut npf),
+            flag("hbp", &mut use_hbp),
+            flag("no-dup", &mut no_dup),
+            flag("est", &mut est),
+            custom("gantt", true, |v| {
+                let v = v.expect("valued option");
+                gantt_w.set(Some(
+                    v.parse()
+                        .map_err(|_| err(format!("invalid width: `{v}`")))?,
+                ));
+                Ok(())
+            }),
+            custom("no-gantt", false, |_| {
+                gantt_w.set(None);
+                Ok(())
+            }),
+            flag("summary", &mut want_summary),
+            flag("stats", &mut want_stats),
+            flag("dot", &mut want_dot),
+            flag("json", &mut want_json),
+            flag("validate", &mut want_validate),
+        ],
+    )?;
+    let path = one_file(&positional, "schedule", "spec file")?;
     let problem = load_problem(path, npf)?;
+    let gantt_w = gantt_w.get();
 
     let schedule = if use_hbp {
         ftbar_hbp::schedule(&problem).map_err(|e| err(e.to_string()))?
@@ -279,6 +377,7 @@ fn cmd_schedule(rest: &[String]) -> Result<String, CliError> {
             return Err(CliError {
                 message: out,
                 code: 1,
+                output: None,
             });
         }
     }
@@ -286,24 +385,20 @@ fn cmd_schedule(rest: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_analyze(rest: &[String]) -> Result<String, CliError> {
-    let mut npf = None;
+    let mut npf: Option<u32> = None;
     let mut thorough = false;
     let mut links = false;
     let mut rel: Option<f64> = None;
-    let mut args = Args::new(rest);
-    args.scan(|flag, value| {
-        match flag {
-            "npf" => npf = Some(parse_u32(&value()?, "npf")?),
-            "thorough" => thorough = true,
-            "links" => links = true,
-            "rel" => rel = Some(value()?.parse().map_err(|_| err("invalid failure rate"))?),
-            _ => return Ok(false),
-        }
-        Ok(true)
-    })?;
-    let [path] = args.positional[..] else {
-        return Err(err(format!("analyze expects one spec file\n\n{USAGE}")));
-    };
+    let positional = parse_args(
+        rest,
+        &mut [
+            opt_val("npf", "npf", &mut npf),
+            flag("thorough", &mut thorough),
+            flag("links", &mut links),
+            opt_val("rel", "failure rate", &mut rel),
+        ],
+    )?;
+    let path = one_file(&positional, "analyze", "spec file")?;
     let problem = load_problem(path, npf)?;
     let schedule = ftbar::schedule(&problem).map_err(|e| err(e.to_string()))?;
     let report =
@@ -370,6 +465,7 @@ fn cmd_analyze(rest: &[String]) -> Result<String, CliError> {
         Err(CliError {
             message: out,
             code: 1,
+            output: None,
         })
     }
 }
@@ -402,24 +498,16 @@ fn cmd_simulate(rest: &[String]) -> Result<String, CliError> {
     let mut detect = false;
     let mut fails: Vec<String> = Vec::new();
     let mut windows: Vec<String> = Vec::new();
-    let mut args = Args::new(rest);
-    args.scan(|flag, value| {
-        match flag {
-            "iterations" => {
-                iterations = value()?
-                    .parse()
-                    .map_err(|_| err("invalid iteration count"))?
-            }
-            "detect" => detect = true,
-            "fail" => fails.push(value()?),
-            "window" => windows.push(value()?),
-            _ => return Ok(false),
-        }
-        Ok(true)
-    })?;
-    let [path] = args.positional[..] else {
-        return Err(err(format!("simulate expects one spec file\n\n{USAGE}")));
-    };
+    let positional = parse_args(
+        rest,
+        &mut [
+            val("iterations", "iteration count", &mut iterations),
+            flag("detect", &mut detect),
+            push_val("fail", &mut fails),
+            push_val("window", &mut windows),
+        ],
+    )?;
+    let path = one_file(&positional, "simulate", "spec file")?;
     let problem = load_problem(path, None)?;
     let schedule = ftbar::schedule(&problem).map_err(|e| err(e.to_string()))?;
 
@@ -489,6 +577,90 @@ fn cmd_simulate(rest: &[String]) -> Result<String, CliError> {
         Err(CliError {
             message: out,
             code: 1,
+            output: None,
+        })
+    }
+}
+
+fn cmd_batch(rest: &[String]) -> Result<String, CliError> {
+    let mut jobs = 1usize;
+    let mut use_hbp = false;
+    let mut npf: Option<u32> = None;
+    let mut schedules = false;
+    let mut out_path: Option<String> = None;
+    let positional = parse_args(
+        rest,
+        &mut [
+            val("jobs", "worker count", &mut jobs),
+            flag("hbp", &mut use_hbp),
+            opt_val("npf", "npf", &mut npf),
+            flag("schedules", &mut schedules),
+            opt_val("out", "output path", &mut out_path),
+        ],
+    )?;
+    if jobs == 0 {
+        return Err(err("--jobs must be at least 1"));
+    }
+    let list_path = one_file(&positional, "batch", "spec-list file")?;
+    let list = std::fs::read_to_string(list_path)
+        .map_err(|e| err(format!("cannot read `{list_path}`: {e}")))?;
+    let scheduler = if use_hbp {
+        SchedulerKind::Hbp
+    } else {
+        SchedulerKind::Ftbar
+    };
+
+    // One job per listed spec path; '#' starts a comment. An unreadable
+    // spec poisons only its own job.
+    let specs: Vec<JobSpec> = list
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(|path| JobSpec {
+            name: path.to_owned(),
+            input: match std::fs::read_to_string(path) {
+                Ok(text) => JobInput::Spec(text),
+                Err(e) => JobInput::Invalid(format!("cannot read `{path}`: {e}")),
+            },
+            scheduler,
+            npf,
+        })
+        .collect();
+    if specs.is_empty() {
+        return Err(err(format!("`{list_path}` lists no spec files")));
+    }
+
+    let outcomes = ftbar_service::run_batch(
+        &specs,
+        &BatchConfig {
+            jobs,
+            keep_schedules: schedules,
+        },
+    );
+    let failed = outcomes.iter().filter(|o| o.result.is_err()).count();
+    let json = ftbar_service::render_json(&outcomes);
+    let text = match &out_path {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| err(format!("cannot write `{path}`: {e}")))?;
+            format!(
+                "batch: {} ok, {} failed -> {}\n",
+                outcomes.len() - failed,
+                failed,
+                path
+            )
+        }
+        None => json,
+    };
+    if failed == 0 {
+        Ok(text)
+    } else {
+        // The JSON (with its per-job statuses) still belongs on stdout —
+        // pipelines read the healthy jobs' results there; the exit code
+        // and the stderr summary signal the partial failure.
+        Err(CliError {
+            message: format!("batch: {} of {} jobs failed\n", failed, outcomes.len()),
+            code: 1,
+            output: Some(text),
         })
     }
 }
@@ -543,21 +715,19 @@ fn cmd_gen(rest: &[String]) -> Result<String, CliError> {
     let mut npf = 1u32;
     let mut seed = 0u64;
     let mut het = 0.0f64;
-    let mut args = Args::new(rest);
-    args.scan(|flag, value| {
-        match flag {
-            "n" => n = value()?.parse().map_err(|_| err("invalid --n"))?,
-            "procs" => procs = value()?.parse().map_err(|_| err("invalid --procs"))?,
-            "topology" => topology = value()?,
-            "ccr" => ccr = value()?.parse().map_err(|_| err("invalid --ccr"))?,
-            "npf" => npf = parse_u32(&value()?, "npf")?,
-            "seed" => seed = value()?.parse().map_err(|_| err("invalid --seed"))?,
-            "het" => het = value()?.parse().map_err(|_| err("invalid --het"))?,
-            _ => return Ok(false),
-        }
-        Ok(true)
-    })?;
-    if !args.positional.is_empty() {
+    let positional = parse_args(
+        rest,
+        &mut [
+            val("n", "--n", &mut n),
+            val("procs", "--procs", &mut procs),
+            val("topology", "--topology", &mut topology),
+            val("ccr", "--ccr", &mut ccr),
+            val("npf", "npf", &mut npf),
+            val("seed", "--seed", &mut seed),
+            val("het", "--het", &mut het),
+        ],
+    )?;
+    if !positional.is_empty() {
         return Err(err("gen takes no positional arguments"));
     }
     // Reject out-of-domain values here: the generators treat them as
@@ -604,10 +774,14 @@ mod tests {
         run(&v)
     }
 
-    fn example_file() -> std::path::PathBuf {
+    fn test_dir() -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("ftbar-cli-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("example.ftbar");
+        dir
+    }
+
+    fn example_file() -> std::path::PathBuf {
+        let path = test_dir().join("example.ftbar");
         std::fs::write(&path, run_strs(&["example"]).unwrap()).unwrap();
         path
     }
@@ -656,6 +830,17 @@ mod tests {
         .unwrap();
         assert!(out.contains("scheduler = HBP"));
         assert!(out.contains("digraph schedule"));
+    }
+
+    #[test]
+    fn gantt_flags_are_order_sensitive() {
+        // Last flag wins, as with the pre-table-driven parser.
+        let path = example_file();
+        let p = path.to_str().unwrap();
+        let out = run_strs(&["schedule", p, "--no-gantt", "--gantt", "80"]).unwrap();
+        assert!(out.contains("P1"), "--gantt after --no-gantt re-enables");
+        let out = run_strs(&["schedule", p, "--gantt", "80", "--no-gantt"]).unwrap();
+        assert!(!out.contains("|"), "--no-gantt after --gantt suppresses");
     }
 
     #[test]
@@ -779,6 +964,104 @@ mod tests {
         }
         let e = run_strs(&["gen", "--procs", "2", "--topology", "ring"]).unwrap_err();
         assert!(e.message.contains("at least 3"));
+    }
+
+    #[test]
+    fn batch_schedules_spec_list() {
+        let dir = test_dir();
+        let spec_path = example_file();
+        let list = dir.join("batch.list");
+        std::fs::write(
+            &list,
+            format!(
+                "# paper example, twice\n{spec}\n{spec}   # trailing comment\n",
+                spec = spec_path.display()
+            ),
+        )
+        .unwrap();
+        let out = run_strs(&["batch", list.to_str().unwrap()]).unwrap();
+        assert!(out.contains("\"schema\": 1"));
+        assert!(out.contains("\"index\": 1"));
+        assert!(out.contains("\"status\": \"ok\""));
+        assert!(out.contains("\"makespan\": \"15.05\""));
+
+        // Worker count must never change a byte of the output.
+        let par = run_strs(&["batch", list.to_str().unwrap(), "--jobs", "4"]).unwrap();
+        assert_eq!(out, par);
+
+        // HBP variant + npf override are applied to every job.
+        let hbp = run_strs(&["batch", list.to_str().unwrap(), "--hbp", "--npf", "0"]).unwrap();
+        assert!(hbp.contains("\"scheduler\": \"hbp\""));
+        assert!(hbp.contains("\"npf\": 0"));
+    }
+
+    #[test]
+    fn batch_isolates_poisoned_jobs() {
+        let dir = test_dir();
+        let spec_path = example_file();
+        let bad_path = dir.join("bad.ftbar");
+        std::fs::write(&bad_path, "algorithm broken {").unwrap();
+        let list = dir.join("poisoned.list");
+        std::fs::write(
+            &list,
+            format!(
+                "{ok}\n{bad}\n{missing}\n{ok}\n",
+                ok = spec_path.display(),
+                bad = bad_path.display(),
+                missing = dir.join("nonexistent.ftbar").display()
+            ),
+        )
+        .unwrap();
+        let e = run_strs(&["batch", list.to_str().unwrap()]).unwrap_err();
+        assert_eq!(e.code, 1, "a failed job exits 1");
+        assert!(e.message.contains("2 of 4 jobs failed"));
+        // The JSON stays on stdout: healthy jobs' results are readable by
+        // pipelines, poisoned slots carry their errors.
+        let json = e.output.expect("batch JSON goes to stdout");
+        assert_eq!(json.matches("\"status\": \"ok\"").count(), 2);
+        assert_eq!(json.matches("\"status\": \"error\"").count(), 2);
+        assert!(json.contains("spec error"));
+        assert!(json.contains("cannot read"));
+    }
+
+    #[test]
+    fn batch_writes_out_file() {
+        let dir = test_dir();
+        let spec_path = example_file();
+        let list = dir.join("out.list");
+        std::fs::write(&list, format!("{}\n", spec_path.display())).unwrap();
+        let out_path = dir.join("results.json");
+        let msg = run_strs(&[
+            "batch",
+            list.to_str().unwrap(),
+            "--schedules",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(msg.contains("1 ok, 0 failed"));
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        assert!(json.contains("\"status\": \"ok\""));
+        assert!(
+            json.contains("\"schedule\": {"),
+            "--schedules embeds the full schedule"
+        );
+    }
+
+    #[test]
+    fn batch_rejects_bad_usage() {
+        let dir = test_dir();
+        let empty = dir.join("empty.list");
+        std::fs::write(&empty, "# nothing here\n").unwrap();
+        assert!(run_strs(&["batch", empty.to_str().unwrap()])
+            .unwrap_err()
+            .message
+            .contains("lists no spec files"));
+        assert!(run_strs(&["batch", empty.to_str().unwrap(), "--jobs", "0"])
+            .unwrap_err()
+            .message
+            .contains("at least 1"));
+        assert!(run_strs(&["batch"]).is_err());
     }
 
     #[test]

@@ -5,6 +5,11 @@ fn main() {
     match ftbar_cli::run(&args) {
         Ok(out) => print!("{out}"),
         Err(e) => {
+            // Some failures still carry a result payload for stdout
+            // (e.g. `batch` JSON with per-job statuses).
+            if let Some(out) = &e.output {
+                print!("{out}");
+            }
             eprint!("{}", e.message);
             if !e.message.ends_with('\n') {
                 eprintln!();

@@ -288,9 +288,36 @@ pub struct ScheduleBuilder<'p> {
     seg_comms_pool: Vec<Vec<Comm>>,
 }
 
+/// Recyclable buffers of a finished [`ScheduleBuilder`]: the input-plan
+/// arena, the probe scratch, and the undo-log pools. Problem-agnostic —
+/// reclaim them from one builder ([`ScheduleBuilder::finish_reclaim`]) and
+/// seed the next one ([`ScheduleBuilder::new_with_pools`]), even for a
+/// different [`Problem`]. The batch service threads these through every
+/// job a worker runs, so steady-state scheduling allocates nothing per
+/// job beyond the problem-sized state itself.
+#[derive(Debug, Default)]
+pub struct BuilderPools {
+    plan_buf: PlanBuf,
+    plan_scratch: ProbeScratch,
+    hops: Vec<Vec<BookedHop>>,
+    surv: Vec<Vec<u64>>,
+    seg_comms: Vec<Vec<Comm>>,
+}
+
 impl<'p> ScheduleBuilder<'p> {
     /// Creates an empty builder for `problem`.
     pub fn new(problem: &'p Problem) -> Self {
+        Self::new_with_pools(problem, BuilderPools::default())
+    }
+
+    /// As [`ScheduleBuilder::new`], seeded with recycled buffer `pools`.
+    ///
+    /// Purely an allocation optimization: the pools never carry schedule
+    /// state, so a pooled builder behaves bit-identically to a fresh one.
+    pub fn new_with_pools(problem: &'p Problem, mut pools: BuilderPools) -> Self {
+        pools.plan_buf.items.clear();
+        pools.plan_buf.pool.clear();
+        pools.plan_scratch.chosen.clear();
         let alg = problem.alg();
         let mut preds = Vec::with_capacity(alg.dep_count());
         let mut pred_off = Vec::with_capacity(alg.op_count() + 1);
@@ -321,15 +348,15 @@ impl<'p> ScheduleBuilder<'p> {
             patterns,
             surv: Vec::new(),
             fully_live: Vec::new(),
-            plan_buf: PlanBuf::default(),
-            plan_scratch: ProbeScratch::default(),
+            plan_buf: pools.plan_buf,
+            plan_scratch: pools.plan_scratch,
             last_lip: None,
             preds,
             pred_off,
             mutations: 0,
-            hops_pool: Vec::new(),
-            surv_pool: Vec::new(),
-            seg_comms_pool: Vec::new(),
+            hops_pool: pools.hops,
+            surv_pool: pools.surv,
+            seg_comms_pool: pools.seg_comms,
         }
     }
 
@@ -1236,15 +1263,31 @@ impl<'p> ScheduleBuilder<'p> {
 
     /// Freezes the builder into an immutable [`Schedule`].
     pub fn finish(self) -> Schedule {
+        self.finish_reclaim().0
+    }
+
+    /// As [`ScheduleBuilder::finish`], also reclaiming the recyclable
+    /// buffer pools for the next builder (see [`BuilderPools`]).
+    pub fn finish_reclaim(mut self) -> (Schedule, BuilderPools) {
         let (proc_order, link_order) = self.resource_orders();
-        Schedule {
+        // Stale hop/survival buffers from unwound speculation recycle just
+        // as well as empty ones; each is cleared at reuse time.
+        let pools = BuilderPools {
+            plan_buf: std::mem::take(&mut self.plan_buf),
+            plan_scratch: std::mem::take(&mut self.plan_scratch),
+            hops: std::mem::take(&mut self.hops_pool),
+            surv: std::mem::take(&mut self.surv_pool),
+            seg_comms: std::mem::take(&mut self.seg_comms_pool),
+        };
+        let schedule = Schedule {
             npf: self.problem.npf(),
             replicas: self.replicas,
             comms: self.comms,
             replicas_of: self.replicas_of,
             proc_order,
             link_order,
-        }
+        };
+        (schedule, pools)
     }
 
     /// A [`Schedule`] snapshot of the current state, leaving the builder

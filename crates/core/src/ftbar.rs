@@ -14,14 +14,24 @@
 //!
 //! Ties break deterministically (smaller processor id, then smaller
 //! operation id), so the scheduler is a pure function of the problem.
+//!
+//! The main loop itself (ready-set bookkeeping, cache routing, retiring,
+//! tracing) lives in the shared [`crate::engine`] pipeline; this module
+//! contributes the FTBAR [`PlacementPolicy`] — micro-steps À/Á as
+//! `select` (incremental [`SweepEngine`] or the retained naive reference
+//! sweep) and micro-step Â as `commit`.
+
+use std::collections::BTreeSet;
 
 use ftbar_model::{OpId, Problem, ProcId};
 
-use crate::builder::ScheduleBuilder;
+use crate::engine::{Engine, EngineConfig, EngineCx, EnginePools, PlacementPolicy};
 use crate::error::ScheduleError;
 use crate::pressure::Pressure;
 use crate::schedule::Schedule;
-use crate::sweep::SweepEngine;
+use crate::sweep::{PointFocus, SweepEngine};
+
+pub use crate::engine::StepTrace;
 
 /// Cost function used at micro-step À.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,21 +80,6 @@ pub struct FtbarConfig {
     pub parallel: bool,
 }
 
-/// One recorded main-loop step (for the paper's Figures 5–6).
-#[derive(Debug, Clone)]
-pub struct StepTrace {
-    /// 1-based step number.
-    pub step: usize,
-    /// The operation selected at micro-step Á.
-    pub op: OpId,
-    /// The processors it was placed on (pressure order).
-    pub procs: Vec<ProcId>,
-    /// All evaluated `(processor, pressure)` pairs, ascending by pressure.
-    pub pressures: Vec<(ProcId, f64)>,
-    /// Snapshot of the schedule after the step.
-    pub snapshot: Schedule,
-}
-
 /// Result of [`schedule_with`]: the schedule plus an optional step trace.
 #[derive(Debug, Clone)]
 pub struct FtbarOutcome {
@@ -94,6 +89,145 @@ pub struct FtbarOutcome {
     pub steps: Vec<StepTrace>,
     /// Probe-cache counters; `None` under [`SweepStrategy::Naive`].
     pub sweep_stats: Option<crate::sweep::SweepStats>,
+}
+
+/// FTBAR as an engine policy: micro-steps À/Á in `select` (sweep-engine
+/// driven or the retained naive reference), micro-step Â in `commit`.
+struct FtbarPolicy {
+    cost: CostFunction,
+    no_duplication: bool,
+    k: usize,
+    /// `S̄(o)` per operation (static), for the naive sweep.
+    bottom: Vec<f64>,
+    /// The incremental kept-set engine; `None` under the naive strategy.
+    sweep: Option<SweepEngine>,
+    /// The `Npf + 1` processors kept at the last `select`.
+    kept: Vec<(ProcId, f64)>,
+    /// All pairs evaluated for the selected candidate (naive sweep only;
+    /// consumed by the step trace).
+    all: Vec<(ProcId, f64)>,
+    /// Scratch: per-candidate sigmas (naive sweep).
+    sigmas: Vec<(ProcId, f64)>,
+}
+
+impl FtbarPolicy {
+    /// The retained naive reference sweep: re-probe every ⟨candidate,
+    /// processor⟩ pair from scratch, keep the `Npf + 1` best per op,
+    /// select the candidate whose kept-set maximum pressure is largest.
+    fn select_naive(
+        &mut self,
+        cx: &mut EngineCx<'_>,
+        cand: &BTreeSet<OpId>,
+    ) -> Result<OpId, ScheduleError> {
+        let problem = cx.problem();
+        type Selection = (f64, OpId, Vec<(ProcId, f64)>);
+        let mut selected: Option<Selection> = None;
+        for &op in cand {
+            self.sigmas.clear();
+            for proc in problem.arch().procs() {
+                if !problem.exec().allows(op, proc) {
+                    continue;
+                }
+                let probe = cx.probe(op, proc)?;
+                let sigma = match self.cost {
+                    CostFunction::SchedulePressure => {
+                        probe.start_worst.as_units() + self.bottom[op.index()]
+                    }
+                    CostFunction::EarliestStart => probe.start_best.as_units(),
+                };
+                self.sigmas.push((proc, sigma));
+            }
+            self.sigmas.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("pressures are finite")
+                    .then(a.0.cmp(&b.0))
+            });
+            if self.sigmas.len() < self.k {
+                return Err(ScheduleError::NotEnoughProcessors { op, needed: self.k });
+            }
+            // Micro-step Á: urgency = the kept-set maximum pressure.
+            let urgency = self.sigmas[self.k - 1].1;
+            let take = match &selected {
+                None => true,
+                // Strictly greater keeps the smallest op id on ties
+                // (candidates iterate in ascending id order).
+                Some((u, _, _)) => urgency > *u,
+            };
+            if take {
+                selected = Some((urgency, op, self.sigmas.clone()));
+            }
+        }
+        let (_, op, all) = selected.expect("candidate set is non-empty");
+        self.kept.clear();
+        self.kept.extend_from_slice(&all[..self.k]);
+        self.all = all;
+        Ok(op)
+    }
+}
+
+impl PlacementPolicy for FtbarPolicy {
+    fn select(
+        &mut self,
+        cx: &mut EngineCx<'_>,
+        ready: &BTreeSet<OpId>,
+    ) -> Result<OpId, ScheduleError> {
+        match &mut self.sweep {
+            Some(sweep) => {
+                let (b, cache) = cx.sweep_parts();
+                let cache = cache.expect("incremental FTBAR runs on a cached engine");
+                let (op, kept) = sweep.select(cache, b, ready)?;
+                self.kept.clear();
+                self.kept.extend_from_slice(kept);
+                Ok(op)
+            }
+            None => self.select_naive(cx, ready),
+        }
+    }
+
+    fn commit(
+        &mut self,
+        cx: &mut EngineCx<'_>,
+        op: OpId,
+        placed: &mut Vec<ProcId>,
+    ) -> Result<(), ScheduleError> {
+        // Micro-step Â: place on the Npf+1 best processors.
+        for i in 0..self.kept.len() {
+            let proc = self.kept[i].0;
+            if cx.builder().has_replica_on(op, proc) {
+                // An earlier LIP duplication already put a replica here.
+                placed.push(proc);
+                continue;
+            }
+            if self.no_duplication {
+                cx.builder_mut().place(op, proc)?;
+            } else {
+                cx.builder_mut().place_min_start(op, proc)?;
+            }
+            placed.push(proc);
+        }
+        Ok(())
+    }
+
+    fn pressures(
+        &mut self,
+        cx: &mut EngineCx<'_>,
+        op: OpId,
+    ) -> Result<Vec<(ProcId, f64)>, ScheduleError> {
+        match &mut self.sweep {
+            Some(sweep) => {
+                let (b, cache) = cx.sweep_parts();
+                let cache = cache.expect("incremental FTBAR runs on a cached engine");
+                sweep.pressures_of(cache, b, op)
+            }
+            None => Ok(std::mem::take(&mut self.all)),
+        }
+    }
+
+    fn retired(&mut self, op: OpId) {
+        if let Some(sweep) = &mut self.sweep {
+            sweep.retire(op);
+        }
+    }
 }
 
 /// Runs FTBAR with default configuration.
@@ -131,142 +265,63 @@ pub fn schedule_with(
     problem: &Problem,
     config: &FtbarConfig,
 ) -> Result<FtbarOutcome, ScheduleError> {
-    let alg = problem.alg();
+    schedule_with_pools(problem, config, EnginePools::default()).map(|(o, _)| o)
+}
+
+/// As [`schedule_with`], seeded with recycled engine arenas and returning
+/// them for the next run — the batch service's per-worker steady state.
+/// Bit-identical to an unpooled run.
+///
+/// # Errors
+///
+/// See [`schedule`].
+pub fn schedule_with_pools(
+    problem: &Problem,
+    config: &FtbarConfig,
+    pools: EnginePools,
+) -> Result<(FtbarOutcome, EnginePools), ScheduleError> {
     let pressure = Pressure::new(problem);
-    let mut builder = ScheduleBuilder::new(problem);
-    let k = problem.replication();
-
-    let mut engine = match config.sweep {
+    let (sweep, cache) = match config.sweep {
         SweepStrategy::Incremental => {
-            let mut e = SweepEngine::new(problem, &pressure, config.cost);
-            e.set_parallel(config.parallel);
-            Some(e)
+            let mut engine = SweepEngine::new(problem, &pressure, config.cost);
+            engine.set_parallel(config.parallel);
+            // The selection sweep only ranks by the cost function's field,
+            // so the cache completes just that probe (see `PointFocus`).
+            let focus = match config.cost {
+                CostFunction::SchedulePressure => PointFocus::WorstOnly,
+                CostFunction::EarliestStart => PointFocus::BestOnly,
+            };
+            (Some(engine), Some(focus))
         }
-        SweepStrategy::Naive => None,
+        SweepStrategy::Naive => (None, None),
     };
-
-    // Kahn-style pending-predecessor counters drive candidate updates (no
-    // per-step predecessor rescans).
-    let mut pending: Vec<u32> = alg
-        .ops()
-        .map(|o| alg.sched_preds(o).count() as u32)
-        .collect();
-    let mut cand: std::collections::BTreeSet<OpId> = alg.entry_ops().into_iter().collect();
-    let mut steps = Vec::new();
-    let mut step = 0usize;
-    // Scratch buffers reused across steps (hot loop: no per-candidate
-    // allocations).
-    let mut sigmas: Vec<(ProcId, f64)> = Vec::new();
-    let mut kept_buf: Vec<(ProcId, f64)> = Vec::new();
-
-    while !cand.is_empty() {
-        step += 1;
-        // Micro-steps À/Á: evaluate pressures, keep the Npf+1 best per op,
-        // select the candidate whose kept-set maximum is largest.
-        // `pressures` (all evaluated pairs, ascending) is only materialized
-        // for the step trace.
-        let (op, pressures): (OpId, Vec<(ProcId, f64)>) = match &mut engine {
-            Some(engine) => {
-                let (op, kept) = engine.select(&builder, &cand)?;
-                kept_buf.clear();
-                kept_buf.extend_from_slice(kept);
-                let all = if config.trace {
-                    engine.pressures_of(&builder, op)?
-                } else {
-                    Vec::new()
-                };
-                (op, all)
-            }
-            None => {
-                // The retained naive reference sweep.
-                type Selection = (f64, OpId, Vec<(ProcId, f64)>);
-                let mut selected: Option<Selection> = None;
-                for &op in &cand {
-                    sigmas.clear();
-                    for proc in problem.arch().procs() {
-                        if !problem.exec().allows(op, proc) {
-                            continue;
-                        }
-                        let probe = builder.probe(op, proc)?;
-                        let sigma = match config.cost {
-                            CostFunction::SchedulePressure => {
-                                probe.start_worst.as_units() + pressure.bottom_level(op)
-                            }
-                            CostFunction::EarliestStart => probe.start_best.as_units(),
-                        };
-                        sigmas.push((proc, sigma));
-                    }
-                    sigmas.sort_by(|a, b| {
-                        a.1.partial_cmp(&b.1)
-                            .expect("pressures are finite")
-                            .then(a.0.cmp(&b.0))
-                    });
-                    if sigmas.len() < k {
-                        return Err(ScheduleError::NotEnoughProcessors { op, needed: k });
-                    }
-                    // Micro-step Á: urgency = the kept-set maximum pressure.
-                    let urgency = sigmas[k - 1].1;
-                    let take = match &selected {
-                        None => true,
-                        // Strictly greater keeps the smallest op id on ties
-                        // (candidates iterate in ascending id order).
-                        Some((u, _, _)) => urgency > *u,
-                    };
-                    if take {
-                        selected = Some((urgency, op, sigmas.clone()));
-                    }
-                }
-                let (_, op, all) = selected.expect("candidate set is non-empty");
-                kept_buf.clear();
-                kept_buf.extend_from_slice(&all[..k]);
-                (op, all)
-            }
-        };
-
-        // Micro-step Â: place on the Npf+1 best processors.
-        let mut placed_procs = Vec::with_capacity(k);
-        for &(proc, _) in kept_buf.iter() {
-            if builder.has_replica_on(op, proc) {
-                // An earlier LIP duplication already put a replica here.
-                placed_procs.push(proc);
-                continue;
-            }
-            if config.no_duplication {
-                builder.place(op, proc)?;
-            } else {
-                builder.place_min_start(op, proc)?;
-            }
-            placed_procs.push(proc);
-        }
-
-        // Micro-step Ã: update the candidate set.
-        cand.remove(&op);
-        if let Some(engine) = &mut engine {
-            engine.retire(op);
-        }
-        for (_, succ) in alg.sched_succs(op) {
-            pending[succ.index()] -= 1;
-            if pending[succ.index()] == 0 {
-                cand.insert(succ);
-            }
-        }
-
-        if config.trace {
-            steps.push(StepTrace {
-                step,
-                op,
-                procs: placed_procs,
-                pressures,
-                snapshot: builder.finish_snapshot(),
-            });
-        }
-    }
-
-    Ok(FtbarOutcome {
-        schedule: builder.finish(),
-        steps,
-        sweep_stats: engine.map(|e| e.stats()),
-    })
+    let policy = FtbarPolicy {
+        cost: config.cost,
+        no_duplication: config.no_duplication,
+        k: problem.replication(),
+        bottom: problem
+            .alg()
+            .ops()
+            .map(|op| pressure.bottom_level(op))
+            .collect(),
+        sweep,
+        kept: Vec::new(),
+        all: Vec::new(),
+        sigmas: Vec::new(),
+    };
+    let engine_config = EngineConfig {
+        cache,
+        trace: config.trace,
+    };
+    let out = Engine::with_pools(problem, policy, engine_config, pools).run()?;
+    Ok((
+        FtbarOutcome {
+            schedule: out.schedule,
+            steps: out.steps,
+            sweep_stats: out.sweep_stats,
+        },
+        out.pools,
+    ))
 }
 
 /// Schedules `problem` with the incremental engine and returns the probe
@@ -400,5 +455,14 @@ mod tests {
         for op in p.alg().ops() {
             assert!(out.schedule.replicas_of(op).len() >= 2);
         }
+    }
+
+    #[test]
+    fn pooled_rerun_is_bit_identical() {
+        let p = paper_example();
+        let config = FtbarConfig::default();
+        let (first, pools) = schedule_with_pools(&p, &config, EnginePools::default()).unwrap();
+        let (second, _) = schedule_with_pools(&p, &config, pools).unwrap();
+        assert_eq!(first.schedule, second.schedule);
     }
 }

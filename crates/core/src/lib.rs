@@ -42,6 +42,7 @@
 pub mod analysis;
 pub mod basic;
 mod builder;
+pub mod engine;
 mod error;
 pub mod export;
 pub mod ftbar;
@@ -55,7 +56,10 @@ pub mod sweep;
 mod timeline;
 pub mod validate;
 
-pub use builder::{Lane, PlanProbe, ProbeEvent, ProbePoint, ProbeScratch, ScheduleBuilder};
+pub use builder::{
+    BuilderPools, Lane, PlanProbe, ProbeEvent, ProbePoint, ProbeScratch, ScheduleBuilder,
+};
+pub use engine::{Engine, EngineConfig, EngineCx, EngineOutcome, EnginePools, PlacementPolicy};
 pub use error::ScheduleError;
 pub use ftbar::{CostFunction, FtbarConfig, FtbarOutcome, StepTrace, SweepStrategy};
 pub use pressure::Pressure;
@@ -63,5 +67,5 @@ pub use replay::{
     replay, replay_with, FailureScenario, ReplayConfig, ReplayResult, ReplicaOutcome,
 };
 pub use schedule::{BookedHop, Comm, CommId, Replica, ReplicaId, Schedule};
-pub use sweep::{PointFocus, ProbeCache, SweepEngine, SweepStats};
+pub use sweep::{CachePools, PointFocus, ProbeCache, SweepEngine, SweepStats};
 pub use timeline::{Slot, Timeline};

@@ -152,6 +152,16 @@ pub struct ProbeCache {
     lanes_pool: Vec<Vec<(Lane, u64)>>,
 }
 
+/// Recyclable buffers of a retired [`ProbeCache`]: the event and lane
+/// lists its entries accumulated. Problem-agnostic, like
+/// [`crate::builder::BuilderPools`] — reclaim with [`ProbeCache::reclaim`]
+/// and seed the next cache with [`ProbeCache::new_focused_with_pools`].
+#[derive(Debug, Default)]
+pub struct CachePools {
+    events: Vec<Vec<ProbeEvent>>,
+    lanes: Vec<Vec<(Lane, u64)>>,
+}
+
 impl ProbeCache {
     /// An empty cache for `problem` (exact probes).
     pub fn new(problem: &Problem) -> Self {
@@ -160,6 +170,13 @@ impl ProbeCache {
 
     /// An empty cache completing only the probe field `focus` names.
     pub fn new_focused(problem: &Problem, focus: PointFocus) -> Self {
+        Self::new_focused_with_pools(problem, focus, CachePools::default())
+    }
+
+    /// As [`ProbeCache::new_focused`], seeded with recycled buffer
+    /// `pools`. Purely an allocation optimization — cached state never
+    /// crosses over, so a pooled cache behaves bit-identically.
+    pub fn new_focused_with_pools(problem: &Problem, focus: PointFocus, pools: CachePools) -> Self {
         let alg = problem.alg();
         let n_ops = alg.op_count();
         let mut preds = Vec::with_capacity(alg.dep_count());
@@ -183,8 +200,21 @@ impl ProbeCache {
             lane_vers: vec![0; procs + problem.arch().link_count()],
             changed_lanes: LANES_MASK_ALL,
             focus,
-            events_pool: Vec::new(),
-            lanes_pool: Vec::new(),
+            events_pool: pools.events,
+            lanes_pool: pools.lanes,
+        }
+    }
+
+    /// Retires the cache, reclaiming its recyclable buffers — both the
+    /// free pools and the per-entry lists still installed in live rows.
+    pub fn reclaim(mut self) -> CachePools {
+        for e in self.entries.into_iter().flatten() {
+            self.events_pool.push(e.events);
+            self.lanes_pool.push(e.lanes);
+        }
+        CachePools {
+            events: self.events_pool,
+            lanes: self.lanes_pool,
         }
     }
 
@@ -472,12 +502,15 @@ enum PairOutcome {
 
 /// The incremental selection engine driving FTBAR's micro-steps À/Á.
 ///
-/// Owns a [`ProbeCache`], per-candidate kept sets, and the urgency
-/// max-structure. One [`SweepEngine::select`] call per main-loop step
-/// replaces the naive full sweep.
+/// Maintains per-candidate kept sets and the urgency max-structure over a
+/// [`ProbeCache`] owned by the caller (the [`crate::engine::Engine`]
+/// pipeline, which also owns the builder the cache shadows). One
+/// [`SweepEngine::select`] call per main-loop step replaces the naive full
+/// sweep. The borrowed cache's [`PointFocus`] must match the cost function
+/// (`WorstOnly` for schedule pressure, `BestOnly` for earliest start);
+/// [`crate::ftbar::schedule_with`] wires this up.
 #[derive(Debug)]
 pub struct SweepEngine {
-    cache: ProbeCache,
     cost: CostFunction,
     parallel: bool,
     /// `available_parallelism()` read once — it is a filesystem probe on
@@ -508,12 +541,7 @@ impl SweepEngine {
             allowed.extend(problem.exec().allowed_procs(op));
             allowed_off.push(allowed.len() as u32);
         }
-        let focus = match cost {
-            CostFunction::SchedulePressure => PointFocus::WorstOnly,
-            CostFunction::EarliestStart => PointFocus::BestOnly,
-        };
         SweepEngine {
-            cache: ProbeCache::new_focused(problem, focus),
             cost,
             parallel: false,
             max_workers: std::thread::available_parallelism()
@@ -535,11 +563,6 @@ impl SweepEngine {
         self.parallel = parallel;
     }
 
-    /// Cache effectiveness counters.
-    pub fn stats(&self) -> SweepStats {
-        self.cache.stats()
-    }
-
     /// Runs micro-steps À and Á: refreshes every dirty ⟨candidate,
     /// processor⟩ pair, rebuilds the affected kept sets, and returns the
     /// most urgent candidate. `cand` must be the current candidate set.
@@ -552,11 +575,12 @@ impl SweepEngine {
     #[allow(clippy::type_complexity)]
     pub fn select(
         &mut self,
+        cache: &mut ProbeCache,
         b: &ScheduleBuilder<'_>,
         cand: &BTreeSet<OpId>,
     ) -> Result<(OpId, &[(ProcId, f64)]), ScheduleError> {
         if self.parallel {
-            self.refresh_parallel(b, cand)?;
+            self.refresh_parallel(cache, b, cand)?;
         }
         // Serial refresh + eval rebuild. After refresh_parallel this only
         // revalidates version-clean pairs (cheap) and sums generations.
@@ -565,16 +589,16 @@ impl SweepEngine {
         // strictly greater, reproducing the naive sweep's tie-break
         // (largest urgency, then smallest operation id).
         let mut best: Option<(u64, OpId)> = None;
-        self.cache.sync(b);
+        cache.sync(b);
         for &op in cand {
             let eval = &self.evals[op.index()];
             let (prev_valid, prev_gen_sum) = (eval.valid, eval.gen_sum);
-            let stamp = self.cache.stamp(b, op);
+            let stamp = cache.stamp(b, op);
             let mut gen_sum = 0u64;
             self.sigmas.clear();
             for pi in self.allowed_off[op.index()]..self.allowed_off[op.index() + 1] {
                 let proc = self.allowed[pi as usize];
-                let (point, gen) = self.cache.probe_entry(b, op, proc, stamp)?;
+                let (point, gen) = cache.probe_entry(b, op, proc, stamp)?;
                 gen_sum += gen;
                 let sigma = match self.cost {
                     CostFunction::SchedulePressure => {
@@ -624,6 +648,7 @@ impl SweepEngine {
     /// worker threads, applying results in deterministic pair order.
     fn refresh_parallel(
         &mut self,
+        cache: &mut ProbeCache,
         b: &ScheduleBuilder<'_>,
         cand: &BTreeSet<OpId>,
     ) -> Result<(), ScheduleError> {
@@ -633,20 +658,20 @@ impl SweepEngine {
             return Ok(());
         }
         // Tier-0/2 triage (cheap, serial, deterministic order).
-        self.cache.sync(b);
+        cache.sync(b);
         self.dirty.clear();
         for &op in cand {
-            let stamp = self.cache.stamp(b, op);
+            let stamp = cache.stamp(b, op);
             for pi in self.allowed_off[op.index()]..self.allowed_off[op.index() + 1] {
                 let proc = self.allowed[pi as usize];
-                let idx = self.cache.idx(op, proc);
-                match &mut self.cache.entries[idx] {
+                let idx = cache.idx(op, proc);
+                match &mut cache.entries[idx] {
                     Some(e) if e.stamp == stamp => {
-                        if (e.checked_sync + 1 >= self.cache.sync_count
-                            && e.lanes_mask & self.cache.changed_lanes == 0)
+                        if (e.checked_sync + 1 >= cache.sync_count
+                            && e.lanes_mask & cache.changed_lanes == 0)
                             || e.lanes.iter().all(|&(l, v)| b.lane_version(l) == v)
                         {
-                            e.checked_sync = self.cache.sync_count;
+                            e.checked_sync = cache.sync_count;
                         } else {
                             self.dirty.push((op, proc, true));
                         }
@@ -662,8 +687,8 @@ impl SweepEngine {
             .max_workers
             .min(self.dirty.len().div_ceil(PARALLEL_MIN_DIRTY));
         let chunk_len = self.dirty.len().div_ceil(workers.max(1));
-        let entries = &self.cache.entries;
-        let procs = self.cache.procs;
+        let entries = &cache.entries;
+        let procs = cache.procs;
         let dirty = &self.dirty;
         // Tier-3 + recompute, fanned out over contiguous chunks. Each pair
         // is a pure function of the (immutable) builder, so the outcome is
@@ -706,20 +731,20 @@ impl SweepEngine {
         let mut first_err = None;
         for outcome in outcomes.into_iter().flatten() {
             let &(op, proc, _) = it.next().expect("one outcome per dirty pair");
-            let idx = self.cache.idx(op, proc);
+            let idx = cache.idx(op, proc);
             match outcome {
                 PairOutcome::Replayed => {
-                    let sync_count = self.cache.sync_count;
-                    let e = self.cache.entries[idx].as_mut().expect("replayed entry");
+                    let sync_count = cache.sync_count;
+                    let e = cache.entries[idx].as_mut().expect("replayed entry");
                     for (l, v) in &mut e.lanes {
                         *v = b.lane_version(*l);
                     }
                     e.checked_sync = sync_count;
-                    self.cache.stats.replay_hits += 1;
+                    cache.stats.replay_hits += 1;
                 }
                 PairOutcome::Computed(Ok((plan, events))) => {
-                    let stamp = self.cache.stamp(b, op);
-                    self.cache.install_plan(b, idx, stamp, plan, events);
+                    let stamp = cache.stamp(b, op);
+                    cache.install_plan(b, idx, stamp, plan, events);
                 }
                 PairOutcome::Computed(Err(e)) => {
                     if first_err.is_none() {
@@ -739,6 +764,7 @@ impl SweepEngine {
     /// Call only after [`SweepEngine::select`] in the same step.
     pub fn pressures_of(
         &mut self,
+        cache: &mut ProbeCache,
         b: &ScheduleBuilder<'_>,
         op: OpId,
     ) -> Result<Vec<(ProcId, f64)>, ScheduleError> {
@@ -746,7 +772,7 @@ impl SweepEngine {
         let mut all = Vec::with_capacity(span.len());
         for pi in span {
             let proc = self.allowed[pi as usize];
-            let point = self.cache.probe(b, op, proc)?;
+            let point = cache.probe(b, op, proc)?;
             let sigma = match self.cost {
                 CostFunction::SchedulePressure => {
                     point.start_worst.as_units() + self.bottom[op.index()]
@@ -763,9 +789,10 @@ impl SweepEngine {
         Ok(all)
     }
 
-    /// Retires a scheduled operation: drops its cache row and evaluation.
+    /// Retires a scheduled operation: drops its cached evaluation. The
+    /// matching cache row is dropped by the cache's owner
+    /// ([`ProbeCache::forget_op`], called by the engine pipeline).
     pub fn retire(&mut self, op: OpId) {
-        self.cache.forget_op(op);
         self.evals[op.index()].valid = false;
     }
 }

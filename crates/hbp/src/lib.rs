@@ -24,6 +24,12 @@
 //!   [`ftbar_core::ScheduleBuilder`], so both schedulers are judged by the
 //!   same validator and replay.
 //!
+//! Structurally, HBP is a [`PlacementPolicy`] on the shared
+//! [`ftbar_core::engine`] pipeline: the engine owns the ready set, the
+//! probe cache, and the undo-log transactions; this crate contributes only
+//! the height/bottom-level selection rank and the transactional
+//! processor-pair search.
+//!
 //! # Example
 //!
 //! ```
@@ -40,7 +46,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ftbar_core::{ProbeCache, Schedule, ScheduleBuilder, ScheduleError};
+use std::collections::BTreeSet;
+
+use ftbar_core::engine::{Engine, EngineConfig, EngineCx, EnginePools, PlacementPolicy};
+use ftbar_core::{PointFocus, Schedule, ScheduleError};
 use ftbar_graph::node_levels;
 use ftbar_model::{OpId, Problem, ProcId, Time};
 
@@ -75,201 +84,240 @@ pub fn schedule(problem: &Problem) -> Result<Schedule, ScheduleError> {
 ///
 /// See [`schedule`].
 pub fn schedule_with(problem: &Problem, config: &HbpConfig) -> Result<Schedule, ScheduleError> {
-    let alg = problem.alg();
-    let k = problem.replication();
-
-    // Height = hop level in the intra-iteration DAG.
-    let mut g: ftbar_graph::DiGraph<(), ()> = ftbar_graph::DiGraph::new();
-    for _ in alg.ops() {
-        g.add_node(());
-    }
-    for dep in alg.deps() {
-        if alg.is_sched_dep(dep) {
-            let (s, d) = alg.dep_endpoints(dep);
-            g.add_edge(ftbar_graph::NodeId(s.0), ftbar_graph::NodeId(d.0), ());
-        }
-    }
-    let heights = node_levels(&g).expect("validated algorithm graphs are acyclic");
-    let max_height = heights.iter().copied().max().unwrap_or(0);
-
-    // Priority within a height group: descending bottom level (critical
-    // tasks first), ties by id.
-    let pressure = ftbar_core::Pressure::new(problem);
-
-    let mut builder = ScheduleBuilder::new(problem);
-    // The probe cache backing the pruned pair search; probes happen only at
-    // transactionally consistent states (before an op's trials, after the
-    // previous op's commits), as its invalidation contract requires.
-    let mut cache = (!config.exhaustive_pairs).then(|| ProbeCache::new(problem));
-    // Scratch reused across operations (hot loop: no per-op allocations).
-    let mut allowed: Vec<ProcId> = Vec::new();
-    let mut pairs: Vec<(Time, ProcId, ProcId)> = Vec::new();
-    for h in 0..=max_height {
-        let mut group: Vec<OpId> = alg.ops().filter(|o| heights[o.index()] == h).collect();
-        group.sort_by(|&a, &b| {
-            pressure
-                .bottom_level(b)
-                .partial_cmp(&pressure.bottom_level(a))
-                .expect("bottom levels are finite")
-                .then(a.cmp(&b))
-        });
-        for op in group {
-            place_copies(
-                &mut builder,
-                problem,
-                op,
-                k,
-                cache.as_mut(),
-                &mut allowed,
-                &mut pairs,
-            )?;
-        }
-    }
-    Ok(builder.finish())
+    schedule_with_pools(problem, config, EnginePools::default()).map(|(s, _)| s)
 }
 
-/// Chooses the processor tuple for the `k` copies of `op`.
+/// As [`schedule_with`], seeded with recycled engine arenas and returning
+/// them for the next run — the batch service's per-worker steady state.
+/// Bit-identical to an unpooled run.
 ///
-/// For `k = 2` (the published algorithm) every ordered pair of distinct
-/// allowed processors is evaluated jointly on a scratch builder; for larger
-/// `k` the pair search seeds the first two copies and the remaining ones are
-/// added greedily by earliest finish.
+/// # Errors
 ///
-/// With a probe `cache`, pairs are tried in ascending order of the lower
-/// bound `max(end(p1), end(p2))` over single-copy probes, and the search
-/// stops once the bound exceeds the best later-finish found. The bound is
-/// sound because adding bookings never accelerates a probe (free timeline
-/// gaps only shrink) and booked arrivals never beat probed ones (a
-/// placement's own comms can only delay each other on shared links), so
-/// `e1 ≥ probe(p1)` and `e2 ≥ probe(p2)`; every skipped pair therefore
-/// finishes strictly later than the kept one and cannot win under the
-/// lexicographic tie-break — the chosen pair, and the schedule, are
-/// bit-identical to the exhaustive search.
-#[allow(clippy::too_many_arguments)]
-fn place_copies(
-    builder: &mut ScheduleBuilder<'_>,
+/// See [`schedule`].
+pub fn schedule_with_pools(
     problem: &Problem,
-    op: OpId,
-    k: usize,
-    mut cache: Option<&mut ProbeCache>,
-    allowed: &mut Vec<ProcId>,
-    pairs: &mut Vec<(Time, ProcId, ProcId)>,
-) -> Result<(), ScheduleError> {
-    allowed.clear();
-    allowed.extend(problem.exec().allowed_procs(op));
-    if allowed.len() < k {
-        return Err(ScheduleError::NotEnoughProcessors { op, needed: k });
-    }
-    let probe_end = |builder: &ScheduleBuilder<'_>,
-                     cache: &mut Option<&mut ProbeCache>,
-                     p: ProcId|
-     -> Result<Time, ScheduleError> {
-        Ok(match cache {
-            Some(c) => c.probe(builder, op, p)?.end_best,
-            None => builder.probe(op, p)?.end_best,
-        })
+    config: &HbpConfig,
+    pools: EnginePools,
+) -> Result<(Schedule, EnginePools), ScheduleError> {
+    let policy = HbpPolicy::new(problem);
+    let engine_config = EngineConfig {
+        // The pruned pair search bounds with cached single-copy probes; the
+        // exhaustive reference never probes ahead, so it runs uncached.
+        cache: (!config.exhaustive_pairs).then_some(PointFocus::Full),
+        trace: false,
     };
-    if k == 1 {
-        // Degenerate (non-FT) case: earliest finish over all processors.
-        let mut best: Option<(Time, ProcId)> = None;
-        for &p in allowed.iter() {
-            let end = probe_end(builder, &mut cache, p)?;
-            if best.is_none_or(|b| (end, p) < b) {
-                best = Some((end, p));
+    let out = Engine::with_pools(problem, policy, engine_config, pools).run()?;
+    Ok((out.schedule, out.pools))
+}
+
+/// HBP as an engine policy: static height/bottom-level order for
+/// selection, transactional ordered-pair search for commitment.
+struct HbpPolicy {
+    k: usize,
+    /// The full processing order: (height asc, bottom-level desc, id asc).
+    /// Walking it with a cursor reproduces the published height-partition
+    /// processing exactly, and the next operation is always ready — its
+    /// predecessors all have strictly smaller heights, hence earlier
+    /// positions, so they are already scheduled (the engine's ready-set
+    /// `debug_assert` checks this invariant on every step).
+    order: Vec<OpId>,
+    cursor: usize,
+    /// Scratch reused across operations (hot loop: no per-op allocations).
+    allowed: Vec<ProcId>,
+    pairs: Vec<(Time, ProcId, ProcId)>,
+}
+
+impl HbpPolicy {
+    fn new(problem: &Problem) -> Self {
+        let alg = problem.alg();
+
+        // Height = hop level in the intra-iteration DAG.
+        let mut g: ftbar_graph::DiGraph<(), ()> = ftbar_graph::DiGraph::new();
+        for _ in alg.ops() {
+            g.add_node(());
+        }
+        for dep in alg.deps() {
+            if alg.is_sched_dep(dep) {
+                let (s, d) = alg.dep_endpoints(dep);
+                g.add_edge(ftbar_graph::NodeId(s.0), ftbar_graph::NodeId(d.0), ());
             }
         }
-        builder.place(op, best.expect("non-empty").1)?;
-        if let Some(c) = cache {
-            c.forget_op(op); // placed: this row is never probed again
+        let heights = node_levels(&g).expect("validated algorithm graphs are acyclic");
+
+        // Priority within a height group: descending bottom level (critical
+        // tasks first), ties by id.
+        let pressure = ftbar_core::Pressure::new(problem);
+        let mut order: Vec<OpId> = alg.ops().collect();
+        order.sort_by(|&a, &b| {
+            heights[a.index()]
+                .cmp(&heights[b.index()])
+                .then(
+                    pressure
+                        .bottom_level(b)
+                        .partial_cmp(&pressure.bottom_level(a))
+                        .expect("bottom levels are finite"),
+                )
+                .then(a.cmp(&b))
+        });
+        HbpPolicy {
+            k: problem.replication(),
+            order,
+            cursor: 0,
+            allowed: Vec::new(),
+            pairs: Vec::new(),
         }
-        return Ok(());
+    }
+}
+
+impl PlacementPolicy for HbpPolicy {
+    fn select(
+        &mut self,
+        _cx: &mut EngineCx<'_>,
+        _ready: &BTreeSet<OpId>,
+    ) -> Result<OpId, ScheduleError> {
+        let op = self.order[self.cursor];
+        self.cursor += 1;
+        Ok(op)
     }
 
-    // Ordered-pair search (the O(P^2) cost the paper mentions). Each
-    // attempt books both copies for real and is unwound through the
-    // builder's undo log — no per-pair deep clone.
-    pairs.clear();
-    if cache.is_some() {
-        // Bound phase: one cached probe per processor, then pairs ascending
-        // by bound (ties in `(p1, p2)` order, matching the exhaustive
-        // iteration).
-        for &p1 in allowed.iter() {
-            let e1 = probe_end(builder, &mut cache, p1)?;
-            for &p2 in allowed.iter() {
-                if p1 == p2 {
+    /// Chooses the processor tuple for the `k` copies of `op`.
+    ///
+    /// For `k = 2` (the published algorithm) every ordered pair of distinct
+    /// allowed processors is evaluated jointly inside an undo-log
+    /// [`EngineCx::trial`]; for larger `k` the pair search seeds the first
+    /// two copies and the remaining ones are added greedily by earliest
+    /// finish.
+    ///
+    /// On a cached engine, pairs are tried in ascending order of the lower
+    /// bound `max(end(p1), end(p2))` over single-copy probes, and the
+    /// search stops once the bound exceeds the best later-finish found.
+    /// The bound is sound because adding bookings never accelerates a
+    /// probe (free timeline gaps only shrink) and booked arrivals never
+    /// beat probed ones (a placement's own comms can only delay each other
+    /// on shared links), so `e1 ≥ probe(p1)` and `e2 ≥ probe(p2)`; every
+    /// skipped pair therefore finishes strictly later than the kept one
+    /// and cannot win under the lexicographic tie-break — the chosen pair,
+    /// and the schedule, are bit-identical to the exhaustive search.
+    fn commit(
+        &mut self,
+        cx: &mut EngineCx<'_>,
+        op: OpId,
+        placed: &mut Vec<ProcId>,
+    ) -> Result<(), ScheduleError> {
+        let k = self.k;
+        self.allowed.clear();
+        self.allowed.extend(cx.problem().exec().allowed_procs(op));
+        if self.allowed.len() < k {
+            return Err(ScheduleError::NotEnoughProcessors { op, needed: k });
+        }
+        if k == 1 {
+            // Degenerate (non-FT) case: earliest finish over all processors.
+            let mut best: Option<(Time, ProcId)> = None;
+            for i in 0..self.allowed.len() {
+                let p = self.allowed[i];
+                let end = cx.probe(op, p)?.end_best;
+                if best.is_none_or(|b| (end, p) < b) {
+                    best = Some((end, p));
+                }
+            }
+            let p = best.expect("non-empty").1;
+            cx.builder_mut().place(op, p)?;
+            placed.push(p);
+            return Ok(());
+        }
+
+        // Ordered-pair search (the O(P^2) cost the paper mentions). Each
+        // attempt books both copies for real inside a `trial` and is
+        // unwound through the engine's undo log — no per-pair deep clone.
+        self.pairs.clear();
+        if cx.cached() {
+            // Bound phase: one cached probe per processor, then pairs
+            // ascending by bound (ties in `(p1, p2)` order, matching the
+            // exhaustive iteration).
+            for i in 0..self.allowed.len() {
+                let p1 = self.allowed[i];
+                let e1 = cx.probe(op, p1)?.end_best;
+                for j in 0..self.allowed.len() {
+                    let p2 = self.allowed[j];
+                    if p1 == p2 {
+                        continue;
+                    }
+                    let e2 = cx.probe(op, p2)?.end_best;
+                    self.pairs.push((e1.max(e2), p1, p2));
+                }
+            }
+            self.pairs.sort_unstable();
+        } else {
+            for &p1 in self.allowed.iter() {
+                for &p2 in self.allowed.iter() {
+                    if p1 != p2 {
+                        self.pairs.push((Time::ZERO, p1, p2));
+                    }
+                }
+            }
+        }
+        let mut best: Option<(Time, Time, ProcId, ProcId)> = None;
+        for i in 0..self.pairs.len() {
+            let (bound, p1, p2) = self.pairs[i];
+            if let Some((bl, _, _, _)) = &best {
+                // Bounds ascend: every remaining pair finishes strictly
+                // later than the incumbent and cannot win the tie-break.
+                if bound > *bl {
+                    break;
+                }
+            }
+            let ends = cx.trial(|cx| {
+                let Ok(r1) = cx.builder_mut().place(op, p1) else {
+                    return Ok(None);
+                };
+                let Ok(r2) = cx.builder_mut().place(op, p2) else {
+                    return Ok(None);
+                };
+                Ok(Some((
+                    cx.builder().replica(r1).end(),
+                    cx.builder().replica(r2).end(),
+                )))
+            })?;
+            let Some((e1, e2)) = ends else { continue };
+            let (later, earlier) = (e1.max(e2), e1.min(e2));
+            let better = match &best {
+                None => true,
+                Some((bl, be, bp1, bp2)) => (later, earlier, p1, p2) < (*bl, *be, *bp1, *bp2),
+            };
+            if better {
+                best = Some((later, earlier, p1, p2));
+            }
+        }
+        let (_, _, p1, p2) = best.ok_or(ScheduleError::NotEnoughProcessors { op, needed: k })?;
+        cx.builder_mut().place(op, p1)?;
+        cx.builder_mut().place(op, p2)?;
+        placed.push(p1);
+        placed.push(p2);
+
+        // Generalization beyond the published k = 2: greedy earliest finish
+        // for the remaining copies.
+        for _ in 2..k {
+            let mut next: Option<(Time, ProcId)> = None;
+            for i in 0..self.allowed.len() {
+                let p = self.allowed[i];
+                if cx.builder().has_replica_on(op, p) {
                     continue;
                 }
-                let e2 = probe_end(builder, &mut cache, p2)?;
-                pairs.push((e1.max(e2), p1, p2));
-            }
-        }
-        pairs.sort_unstable();
-    } else {
-        for &p1 in allowed.iter() {
-            for &p2 in allowed.iter() {
-                if p1 != p2 {
-                    pairs.push((Time::ZERO, p1, p2));
+                let end = cx.probe(op, p)?.end_best;
+                if next.is_none_or(|b| (end, p) < b) {
+                    next = Some((end, p));
                 }
             }
-        }
-    }
-    let mut best: Option<(Time, Time, ProcId, ProcId)> = None;
-    let mark = builder.checkpoint();
-    for &(bound, p1, p2) in pairs.iter() {
-        if let Some((bl, _, _, _)) = &best {
-            // Bounds ascend: every remaining pair finishes strictly later
-            // than the incumbent and cannot win the tie-break.
-            if bound > *bl {
-                break;
+            match next {
+                Some((_, p)) => {
+                    cx.builder_mut().place(op, p)?;
+                    placed.push(p);
+                }
+                None => return Err(ScheduleError::NotEnoughProcessors { op, needed: k }),
             }
         }
-        let Ok(r1) = builder.place(op, p1) else {
-            continue;
-        };
-        let Ok(r2) = builder.place(op, p2) else {
-            builder.rollback(mark);
-            continue;
-        };
-        let e1 = builder.replica(r1).end();
-        let e2 = builder.replica(r2).end();
-        builder.rollback(mark);
-        let (later, earlier) = (e1.max(e2), e1.min(e2));
-        let better = match &best {
-            None => true,
-            Some((bl, be, bp1, bp2)) => (later, earlier, p1, p2) < (*bl, *be, *bp1, *bp2),
-        };
-        if better {
-            best = Some((later, earlier, p1, p2));
-        }
+        Ok(())
     }
-    let (_, _, p1, p2) = best.ok_or(ScheduleError::NotEnoughProcessors { op, needed: k })?;
-    builder.place(op, p1)?;
-    builder.place(op, p2)?;
-
-    // Generalization beyond the published k = 2: greedy earliest finish for
-    // the remaining copies.
-    for _ in 2..k {
-        let mut next: Option<(Time, ProcId)> = None;
-        for &p in allowed.iter() {
-            if builder.has_replica_on(op, p) {
-                continue;
-            }
-            let end = probe_end(builder, &mut cache, p)?;
-            if next.is_none_or(|b| (end, p) < b) {
-                next = Some((end, p));
-            }
-        }
-        match next {
-            Some((_, p)) => {
-                builder.place(op, p)?;
-            }
-            None => return Err(ScheduleError::NotEnoughProcessors { op, needed: k }),
-        }
-    }
-    if let Some(c) = cache {
-        c.forget_op(op); // placed: this row is never probed again
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -345,6 +393,15 @@ mod tests {
         for op in p.alg().ops() {
             assert_eq!(s.replicas_of(op).len(), 1);
         }
+    }
+
+    #[test]
+    fn pooled_rerun_is_bit_identical() {
+        let p = paper_example();
+        let config = HbpConfig::default();
+        let (first, pools) = schedule_with_pools(&p, &config, EnginePools::default()).unwrap();
+        let (second, _) = schedule_with_pools(&p, &config, pools).unwrap();
+        assert_eq!(first, second);
     }
 
     #[test]

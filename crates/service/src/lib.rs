@@ -1,0 +1,436 @@
+//! Batched multi-problem scheduling — the service layer over the
+//! [`ftbar_core::engine`] pipeline.
+//!
+//! The papers this repo leans on (Dwork–Halpern–Waarts on performing work
+//! under faults, Goemans–Lynch–Saias on fault-tolerance bounds) frame the
+//! production regime as *many independent fault-tolerant work items at
+//! high throughput*, not one problem at a time. This crate is that
+//! regime's front door: submit a batch of independent scheduling
+//! [`JobSpec`]s, get one [`JobOutcome`] per job.
+//!
+//! Guarantees:
+//!
+//! * **Determinism** — each job is a pure function of its spec, results
+//!   are returned in submission order, and the output is bit-identical
+//!   for every worker count (`--jobs 1` and `--jobs 4` agree; pinned by
+//!   `tests/batch_service.rs`).
+//! * **Isolation** — a poisoned job (unparsable spec, infeasible `npf`,
+//!   unschedulable problem) yields an `Err` in *its* slot; every other
+//!   job completes normally.
+//! * **Steady-state allocation** — each worker thread recycles one
+//!   [`EnginePools`] arena through all the jobs it runs
+//!   ([`ftbar_core::ftbar::schedule_with_pools`]), so per-job setup does
+//!   not re-grow the plan/undo/cache buffers.
+//!
+//! Work is distributed over the vendored crossbeam scoped threads by an
+//! atomic job cursor; ordering is restored by submission index, so the
+//! (nondeterministic) claim order never leaks into results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::channel::Sender;
+
+use ftbar_core::engine::EnginePools;
+use ftbar_core::{ftbar, FtbarConfig, Schedule};
+use ftbar_model::{spec, Problem};
+
+/// Which scheduler a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// FTBAR (paper §4.2), default configuration.
+    #[default]
+    Ftbar,
+    /// The HBP comparison baseline.
+    Hbp,
+}
+
+impl SchedulerKind {
+    /// Stable lowercase name, as used in the JSON output and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Ftbar => "ftbar",
+            SchedulerKind::Hbp => "hbp",
+        }
+    }
+}
+
+/// The problem a job schedules.
+#[derive(Debug, Clone)]
+pub enum JobInput {
+    /// Spec-language text, parsed and validated inside the job (so a bad
+    /// spec poisons only its own slot).
+    Spec(String),
+    /// An already-validated problem.
+    Problem(Box<Problem>),
+    /// A job poisoned before submission (e.g. an unreadable spec file):
+    /// fails with this message, in its own slot, like any other error.
+    Invalid(String),
+}
+
+/// One independent scheduling job.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Caller-chosen label, echoed in the result (e.g. the spec path).
+    pub name: String,
+    /// The problem to schedule.
+    pub input: JobInput,
+    /// Scheduler to run.
+    pub scheduler: SchedulerKind,
+    /// Override the spec's `npf` (applied before scheduling; an
+    /// infeasible value poisons only this job).
+    pub npf: Option<u32>,
+}
+
+/// Batch driver configuration.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Worker threads (`--jobs`). Clamped to at least 1; `1` runs
+    /// serially on the caller's thread.
+    pub jobs: usize,
+    /// Retain each job's full [`Schedule`] in its [`JobResult`] (the
+    /// summary metrics are always present).
+    pub keep_schedules: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            jobs: 1,
+            keep_schedules: false,
+        }
+    }
+}
+
+/// Metrics of one successfully scheduled job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Scheduler that ran.
+    pub scheduler: SchedulerKind,
+    /// Effective `npf` (after any override).
+    pub npf: u32,
+    /// Operation count of the problem.
+    pub ops: usize,
+    /// Processor count of the architecture.
+    pub procs: usize,
+    /// Makespan of the schedule.
+    pub makespan: ftbar_model::Time,
+    /// Completion instant (= makespan for these schedulers).
+    pub completion: ftbar_model::Time,
+    /// Total replicas booked.
+    pub replicas: usize,
+    /// Total comms booked.
+    pub comms: usize,
+    /// Whether the real-time constraint was met; `None` without an `Rtc`.
+    pub rtc_met: Option<bool>,
+    /// The schedule itself, when [`BatchConfig::keep_schedules`] was set.
+    pub schedule: Option<Schedule>,
+}
+
+/// One job's slot in the batch output.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Submission index (results are returned in this order).
+    pub index: usize,
+    /// The job's label.
+    pub name: String,
+    /// The job's result; `Err` carries a human-readable message and
+    /// affects no other slot.
+    pub result: Result<JobResult, String>,
+}
+
+/// Runs every job and returns one outcome per job, in submission order.
+///
+/// The output is a pure function of `jobs` and
+/// [`BatchConfig::keep_schedules`] — the worker count only changes
+/// wall-clock time, never a byte of the results.
+pub fn run_batch(jobs: &[JobSpec], config: &BatchConfig) -> Vec<JobOutcome> {
+    let workers = config.jobs.max(1).min(jobs.len().max(1));
+    if workers <= 1 {
+        let mut pools = EnginePools::default();
+        return jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let (outcome, p) = run_job(i, job, config, std::mem::take(&mut pools));
+                pools = p;
+                outcome
+            })
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<JobOutcome>();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx: Sender<JobOutcome> = tx.clone();
+            let cursor = &cursor;
+            s.spawn(move || {
+                // One recycled arena per worker, threaded through every
+                // job it claims.
+                let mut pools = EnginePools::default();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let (outcome, p) = run_job(i, job, config, pools);
+                    pools = p;
+                    if tx.send(outcome).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // Restore submission order: claim order is racy, slots are not.
+        let mut slots: Vec<Option<JobOutcome>> = (0..jobs.len()).map(|_| None).collect();
+        for outcome in rx {
+            let i = outcome.index;
+            slots[i] = Some(outcome);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job reports exactly once"))
+            .collect()
+    })
+}
+
+/// Runs one job, recycling `pools` (returned for the worker's next job).
+fn run_job(
+    index: usize,
+    job: &JobSpec,
+    config: &BatchConfig,
+    pools: EnginePools,
+) -> (JobOutcome, EnginePools) {
+    let (result, pools) = job_result(job, config, pools);
+    (
+        JobOutcome {
+            index,
+            name: job.name.clone(),
+            result,
+        },
+        pools,
+    )
+}
+
+fn job_result(
+    job: &JobSpec,
+    config: &BatchConfig,
+    pools: EnginePools,
+) -> (Result<JobResult, String>, EnginePools) {
+    // Parse/validate inside the job: bad inputs poison only this slot.
+    let parsed;
+    let mut problem: &Problem = match &job.input {
+        JobInput::Spec(text) => match spec::parse_problem(text) {
+            Ok(p) => {
+                parsed = p;
+                &parsed
+            }
+            Err(e) => return (Err(format!("spec error: {e}")), pools),
+        },
+        JobInput::Problem(p) => p,
+        JobInput::Invalid(message) => return (Err(message.clone()), pools),
+    };
+    let overridden;
+    if let Some(npf) = job.npf {
+        match problem.with_npf(npf) {
+            Ok(p) => {
+                overridden = p;
+                problem = &overridden;
+            }
+            Err(e) => return (Err(format!("npf override: {e}")), pools),
+        }
+    }
+    let (schedule, pools) = match job.scheduler {
+        SchedulerKind::Ftbar => {
+            match ftbar::schedule_with_pools(problem, &FtbarConfig::default(), pools) {
+                Ok((outcome, pools)) => (outcome.schedule, pools),
+                // The failed engine's pools are gone; restart the arena.
+                Err(e) => return (Err(format!("schedule error: {e}")), EnginePools::default()),
+            }
+        }
+        SchedulerKind::Hbp => {
+            match ftbar_hbp::schedule_with_pools(problem, &ftbar_hbp::HbpConfig::default(), pools) {
+                Ok(ok) => ok,
+                Err(e) => return (Err(format!("schedule error: {e}")), EnginePools::default()),
+            }
+        }
+    };
+    let result = JobResult {
+        scheduler: job.scheduler,
+        npf: problem.npf(),
+        ops: problem.alg().op_count(),
+        procs: problem.arch().proc_count(),
+        makespan: schedule.makespan(),
+        completion: schedule.completion(),
+        replicas: schedule.replica_count(),
+        comms: schedule.comm_count(),
+        rtc_met: problem.rtc().map(|rtc| schedule.makespan() <= rtc),
+        schedule: config.keep_schedules.then_some(schedule),
+    };
+    (Ok(result), pools)
+}
+
+/// Renders batch outcomes as deterministic JSON (stable field order, no
+/// timing data — byte-identical across runs and worker counts).
+pub fn render_json(outcomes: &[JobOutcome]) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"jobs\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!(
+            "\"index\": {}, \"name\": {}",
+            o.index,
+            json_string(&o.name)
+        ));
+        match &o.result {
+            Ok(r) => {
+                out.push_str(&format!(
+                    ", \"status\": \"ok\", \"scheduler\": \"{}\", \"npf\": {}, \"ops\": {}, \
+                     \"procs\": {}, \"makespan\": \"{}\", \"makespan_ticks\": {}, \
+                     \"completion_ticks\": {}, \"replicas\": {}, \"comms\": {}, \"rtc_met\": {}",
+                    r.scheduler.name(),
+                    r.npf,
+                    r.ops,
+                    r.procs,
+                    r.makespan,
+                    r.makespan.ticks(),
+                    r.completion.ticks(),
+                    r.replicas,
+                    r.comms,
+                    match r.rtc_met {
+                        Some(b) => b.to_string(),
+                        None => "null".to_owned(),
+                    },
+                ));
+                if let Some(schedule) = &r.schedule {
+                    let json = serde_json::to_string(schedule).expect("schedules serialize");
+                    out.push_str(&format!(", \"schedule\": {json}"));
+                }
+            }
+            Err(msg) => {
+                out.push_str(&format!(
+                    ", \"status\": \"error\", \"error\": {}",
+                    json_string(msg)
+                ));
+            }
+        }
+        out.push('}');
+        if i + 1 < outcomes.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// A quoted, escaped JSON string (serde_json owns the escaping rules).
+fn json_string(s: &str) -> String {
+    serde_json::to_string(s).expect("strings serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbar_model::paper_example;
+
+    fn paper_jobs(n: usize) -> Vec<JobSpec> {
+        (0..n)
+            .map(|i| JobSpec {
+                name: format!("job{i}"),
+                input: JobInput::Problem(Box::new(paper_example())),
+                scheduler: if i % 2 == 0 {
+                    SchedulerKind::Ftbar
+                } else {
+                    SchedulerKind::Hbp
+                },
+                npf: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_direct_scheduling() {
+        let jobs = paper_jobs(4);
+        let out = run_batch(
+            &jobs,
+            &BatchConfig {
+                jobs: 1,
+                keep_schedules: true,
+            },
+        );
+        let p = paper_example();
+        let ft = ftbar::schedule(&p).unwrap();
+        let hbp = ftbar_hbp::schedule(&p).unwrap();
+        for o in &out {
+            let r = o.result.as_ref().unwrap();
+            let expected = match r.scheduler {
+                SchedulerKind::Ftbar => &ft,
+                SchedulerKind::Hbp => &hbp,
+            };
+            assert_eq!(r.schedule.as_ref().unwrap(), expected);
+            assert_eq!(r.rtc_met, Some(true));
+        }
+    }
+
+    #[test]
+    fn worker_count_never_changes_results() {
+        let jobs = paper_jobs(7);
+        let serial = run_batch(&jobs, &BatchConfig::default());
+        for workers in [2, 4, 9] {
+            let parallel = run_batch(
+                &jobs,
+                &BatchConfig {
+                    jobs: workers,
+                    ..BatchConfig::default()
+                },
+            );
+            assert_eq!(render_json(&serial), render_json(&parallel));
+        }
+    }
+
+    #[test]
+    fn poisoned_jobs_fail_alone() {
+        let mut jobs = paper_jobs(3);
+        jobs.insert(
+            1,
+            JobSpec {
+                name: "bad-spec".into(),
+                input: JobInput::Spec("algorithm nope {".into()),
+                scheduler: SchedulerKind::Ftbar,
+                npf: None,
+            },
+        );
+        jobs.insert(
+            3,
+            JobSpec {
+                name: "bad-npf".into(),
+                input: JobInput::Problem(Box::new(paper_example())),
+                scheduler: SchedulerKind::Ftbar,
+                npf: Some(99),
+            },
+        );
+        let out = run_batch(&jobs, &BatchConfig::default());
+        assert_eq!(out.len(), 5);
+        assert!(out[1].result.is_err());
+        assert!(out[3].result.is_err());
+        for i in [0, 2, 4] {
+            assert!(out[i].result.is_ok(), "job {i} must be isolated");
+        }
+    }
+
+    #[test]
+    fn json_is_parseable_and_escaped() {
+        let jobs = vec![JobSpec {
+            name: "quote\"and\\slash".into(),
+            input: JobInput::Spec("bad".into()),
+            scheduler: SchedulerKind::Hbp,
+            npf: None,
+        }];
+        let out = run_batch(&jobs, &BatchConfig::default());
+        let json = render_json(&out);
+        assert!(json.contains("\\\"and\\\\slash"));
+        assert!(json.contains("\"status\": \"error\""));
+    }
+}

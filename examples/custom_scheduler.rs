@@ -1,47 +1,89 @@
-//! Extending the library: build your own fault-tolerant scheduler on top of
-//! [`ftbar::core::ScheduleBuilder`] and judge it with the same validator,
+//! Extending the library: plug your own heuristic into the shared
+//! [`ftbar::core::engine`] pipeline and judge it with the same validator,
 //! replay and analysis as FTBAR.
 //!
-//! The toy scheduler below ("round-robin duplex") walks the operations in
-//! topological order and places the `Npf + 1` replicas round-robin over the
-//! processors — no cost function at all. It is *correct* (the validator and
-//! the exhaustive failure analysis accept it) but much slower than FTBAR,
-//! which is the point: correctness comes from the booking layer, quality
-//! from the heuristic.
+//! A scheduler is a [`PlacementPolicy`]: the engine owns the main loop
+//! (ready-set bookkeeping, probe caching, undo-log transactions); the
+//! policy answers "which ready operation next?" and "where do its
+//! replicas go?". The toy policy below ("round-robin duplex") takes the
+//! first ready operation and places its `Npf + 1` replicas round-robin
+//! over the processors — no cost function at all. It is *correct* (the
+//! validator and the exhaustive failure analysis accept it) but much
+//! slower than FTBAR, which is the point: correctness comes from the
+//! engine and the booking layer, quality from the heuristic.
 //!
 //! ```text
 //! cargo run --example custom_scheduler
 //! ```
 
-use ftbar::core::{Schedule, ScheduleBuilder, ScheduleError};
+use std::collections::BTreeSet;
+
+use ftbar::core::engine::{Engine, EngineConfig, EngineCx, PlacementPolicy};
+use ftbar::core::{Schedule, ScheduleError};
+use ftbar::model::{OpId, ProcId};
 use ftbar::prelude::*;
 use ftbar::workload::{arch, layered, timing, LayeredConfig, TimingConfig};
 
 /// Places `npf + 1` replicas of each operation round-robin, skipping
 /// processors the `Dis` constraints forbid.
-fn round_robin_duplex(problem: &Problem) -> Result<Schedule, ScheduleError> {
-    let mut b = ScheduleBuilder::new(problem);
-    let k = problem.replication();
-    let procs: Vec<_> = problem.arch().procs().collect();
-    let mut cursor = 0usize;
-    for &op in problem.alg().topo_order() {
-        let mut placed = 0;
-        let mut tried = 0;
-        while placed < k {
-            let p = procs[cursor % procs.len()];
-            cursor += 1;
-            tried += 1;
-            if tried > procs.len() + k {
-                return Err(ScheduleError::NotEnoughProcessors { op, needed: k });
-            }
-            if !problem.exec().allows(op, p) || b.has_replica_on(op, p) {
-                continue;
-            }
-            b.place(op, p)?;
-            placed += 1;
+struct RoundRobinDuplex {
+    /// The processor list, collected once — per-step state belongs in the
+    /// policy struct, not rebuilt on every `commit` call.
+    procs: Vec<ProcId>,
+    cursor: usize,
+}
+
+impl RoundRobinDuplex {
+    fn new(problem: &Problem) -> Self {
+        RoundRobinDuplex {
+            procs: problem.arch().procs().collect(),
+            cursor: 0,
         }
     }
-    Ok(b.finish())
+}
+
+impl PlacementPolicy for RoundRobinDuplex {
+    fn select(
+        &mut self,
+        _cx: &mut EngineCx<'_>,
+        ready: &BTreeSet<OpId>,
+    ) -> Result<OpId, ScheduleError> {
+        // No urgency notion: first ready operation (smallest id).
+        Ok(*ready.iter().next().expect("ready set is non-empty"))
+    }
+
+    fn commit(
+        &mut self,
+        cx: &mut EngineCx<'_>,
+        op: OpId,
+        placed: &mut Vec<ProcId>,
+    ) -> Result<(), ScheduleError> {
+        let k = cx.replication();
+        let mut tried = 0;
+        while placed.len() < k {
+            let p = self.procs[self.cursor % self.procs.len()];
+            self.cursor += 1;
+            tried += 1;
+            if tried > self.procs.len() + k {
+                return Err(ScheduleError::NotEnoughProcessors { op, needed: k });
+            }
+            if !cx.problem().exec().allows(op, p) || cx.builder().has_replica_on(op, p) {
+                continue;
+            }
+            cx.builder_mut().place(op, p)?;
+            placed.push(p);
+        }
+        Ok(())
+    }
+}
+
+fn round_robin_duplex(problem: &Problem) -> Result<Schedule, ScheduleError> {
+    let engine = Engine::new(
+        problem,
+        RoundRobinDuplex::new(problem),
+        EngineConfig::default(),
+    );
+    Ok(engine.run()?.schedule)
 }
 
 fn main() -> Result<(), ScheduleError> {

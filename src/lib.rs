@@ -17,6 +17,7 @@
 //! | [`hbp`] | the Height-Based Partitioning comparison scheduler |
 //! | [`workload`] | random layered DAGs (§6.1), classic families, architectures, timing |
 //! | [`sim`] | multi-iteration fault injection (§5) and the threaded executive |
+//! | [`service`] | deterministic batched scheduling of many independent problems |
 //!
 //! # Quick start
 //!
@@ -42,6 +43,7 @@ pub use ftbar_core as core;
 pub use ftbar_graph as graph;
 pub use ftbar_hbp as hbp;
 pub use ftbar_model as model;
+pub use ftbar_service as service;
 pub use ftbar_sim as sim;
 pub use ftbar_workload as workload;
 

@@ -1,0 +1,166 @@
+//! Batch-service contracts: deterministic results regardless of worker
+//! count, submission-order output, and per-job failure isolation.
+
+use ftbar::model::paper_example;
+use ftbar::prelude::*;
+use ftbar::service::{render_json, run_batch, BatchConfig, JobInput, JobSpec, SchedulerKind};
+use ftbar::workload::{arch, layered, timing, LayeredConfig, TimingConfig};
+
+/// A mixed workload: both schedulers over several problem families.
+fn mixed_jobs() -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for (i, seed) in (0..6).enumerate() {
+        let a = match i % 3 {
+            0 => arch::fully_connected(4),
+            1 => arch::ring(4),
+            _ => arch::hypercube(3),
+        };
+        let alg = layered(&LayeredConfig {
+            n_ops: 14 + i,
+            seed,
+            ..Default::default()
+        });
+        let problem = timing(
+            alg,
+            a,
+            &TimingConfig {
+                ccr: 1.0,
+                npf: 1,
+                seed,
+                ..Default::default()
+            },
+        )
+        .expect("valid problem");
+        jobs.push(JobSpec {
+            name: format!("generated-{i}"),
+            input: JobInput::Problem(Box::new(problem)),
+            scheduler: if i % 2 == 0 {
+                SchedulerKind::Ftbar
+            } else {
+                SchedulerKind::Hbp
+            },
+            npf: None,
+        });
+    }
+    jobs.push(JobSpec {
+        name: "paper".into(),
+        input: JobInput::Problem(Box::new(paper_example())),
+        scheduler: SchedulerKind::Ftbar,
+        npf: None,
+    });
+    jobs
+}
+
+#[test]
+fn jobs_1_and_jobs_4_produce_identical_json() {
+    let jobs = mixed_jobs();
+    let serial = run_batch(
+        &jobs,
+        &BatchConfig {
+            jobs: 1,
+            keep_schedules: true,
+        },
+    );
+    let parallel = run_batch(
+        &jobs,
+        &BatchConfig {
+            jobs: 4,
+            keep_schedules: true,
+        },
+    );
+    assert_eq!(
+        render_json(&serial),
+        render_json(&parallel),
+        "worker count leaked into the results"
+    );
+}
+
+#[test]
+fn results_come_back_in_submission_order() {
+    let jobs = mixed_jobs();
+    let out = run_batch(
+        &jobs,
+        &BatchConfig {
+            jobs: 3,
+            ..BatchConfig::default()
+        },
+    );
+    assert_eq!(out.len(), jobs.len());
+    for (i, o) in out.iter().enumerate() {
+        assert_eq!(o.index, i);
+        assert_eq!(o.name, jobs[i].name);
+    }
+}
+
+#[test]
+fn batched_schedules_equal_direct_scheduling() {
+    // The batch layer must be a pure wrapper: pooled engines, worker
+    // threads and job interleavings never change a schedule.
+    let jobs = mixed_jobs();
+    let out = run_batch(
+        &jobs,
+        &BatchConfig {
+            jobs: 4,
+            keep_schedules: true,
+        },
+    );
+    for (job, o) in jobs.iter().zip(&out) {
+        let JobInput::Problem(problem) = &job.input else {
+            unreachable!("mixed_jobs submits problems")
+        };
+        let expected = match job.scheduler {
+            SchedulerKind::Ftbar => ftbar_schedule(problem).unwrap(),
+            SchedulerKind::Hbp => hbp_schedule(problem).unwrap(),
+        };
+        let got = o.result.as_ref().expect("job succeeds");
+        assert_eq!(got.schedule.as_ref().unwrap(), &expected, "{}", o.name);
+        assert_eq!(got.makespan, expected.makespan());
+    }
+}
+
+#[test]
+fn poisoned_job_fails_in_isolation() {
+    let mut jobs = mixed_jobs();
+    // An infeasible npf override: validation fails inside the job.
+    jobs.insert(
+        2,
+        JobSpec {
+            name: "poisoned-npf".into(),
+            input: JobInput::Problem(Box::new(paper_example())),
+            scheduler: SchedulerKind::Ftbar,
+            npf: Some(17),
+        },
+    );
+    // An unparsable spec.
+    jobs.insert(
+        5,
+        JobSpec {
+            name: "poisoned-spec".into(),
+            input: JobInput::Spec("not a spec at all".into()),
+            scheduler: SchedulerKind::Hbp,
+            npf: None,
+        },
+    );
+    for workers in [1, 4] {
+        let out = run_batch(
+            &jobs,
+            &BatchConfig {
+                jobs: workers,
+                ..BatchConfig::default()
+            },
+        );
+        assert_eq!(out.len(), jobs.len());
+        for (i, o) in out.iter().enumerate() {
+            if o.name.starts_with("poisoned") {
+                assert!(o.result.is_err(), "job {i} must fail");
+            } else {
+                assert!(
+                    o.result.is_ok(),
+                    "job {i} ({}) must be isolated from the poisoned ones: {:?}",
+                    o.name,
+                    o.result
+                );
+            }
+        }
+    }
+}

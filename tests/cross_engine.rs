@@ -107,6 +107,86 @@ fn des_steady_state_is_periodic_without_failures() {
     }
 }
 
+/// Golden schedule snapshots: the engine-pipeline refactor must leave both
+/// schedulers **bit-identical** on these pinned instances.
+///
+/// The JSON files under `tests/golden/` were generated from the
+/// pre-refactor (PR 3) schedulers. Regenerate deliberately with
+/// `UPDATE_GOLDEN=1 cargo test --test cross_engine golden` — never as a
+/// side effect of making a failing test pass.
+mod golden {
+    use ftbar::core::Schedule;
+    use ftbar::model::Problem;
+    use ftbar::prelude::*;
+    use ftbar::workload::{arch, layered, timing, LayeredConfig, TimingConfig};
+
+    /// One pinned instance per supported topology family.
+    fn cases() -> Vec<(&'static str, Problem)> {
+        let topo = |name: &'static str, a: ftbar::model::Arch, seed: u64| {
+            let alg = layered(&LayeredConfig {
+                n_ops: 24,
+                seed,
+                ..Default::default()
+            });
+            let p = timing(
+                alg,
+                a,
+                &TimingConfig {
+                    ccr: 1.5,
+                    npf: 1,
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .expect("valid problem");
+            (name, p)
+        };
+        vec![
+            ("paper", paper_example()),
+            topo("ring4_seed11", arch::ring(4), 11),
+            topo("mesh3x2_seed12", arch::mesh(3, 2), 12),
+            topo("hypercube3_seed13", arch::hypercube(3), 13),
+        ]
+    }
+
+    fn golden_dir() -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests")
+            .join("golden")
+    }
+
+    fn check(scheduler: &str, name: &str, schedule: &Schedule) {
+        let path = golden_dir().join(format!("{scheduler}_{name}.json"));
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::create_dir_all(golden_dir()).unwrap();
+            let json = serde_json::to_string_pretty(schedule).expect("schedules serialize");
+            std::fs::write(&path, json + "\n").unwrap();
+            return;
+        }
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+        let pinned: Schedule = serde_json::from_str(text.trim()).expect("golden parses");
+        assert_eq!(
+            *schedule, pinned,
+            "{scheduler} diverged from the pinned pre-refactor schedule on `{name}`"
+        );
+    }
+
+    #[test]
+    fn ftbar_matches_pinned_schedules() {
+        for (name, problem) in cases() {
+            check("ftbar", name, &ftbar_schedule(&problem).expect("schedules"));
+        }
+    }
+
+    #[test]
+    fn hbp_matches_pinned_schedules() {
+        for (name, problem) in cases() {
+            check("hbp", name, &hbp_schedule(&problem).expect("schedules"));
+        }
+    }
+}
+
 #[test]
 fn executive_rejects_multi_hop_topologies() {
     // On a ring, some comms need two hops; the executive must refuse
