@@ -2,31 +2,39 @@
 //! time complexity of FTBAR is less than the time complexity of HBP").
 //!
 //! One Criterion group per graph size; `ftbar` vs `hbp` on identical
-//! problems. The `FTBAR-incremental` / `FTBAR-naive` / `FTBAR-parallel`
-//! and `HBP-exhaustive` rows pin the incremental pressure engine's speedup
+//! problems (the shared `ftbar_workload::scheduling_point` presets, so the
+//! Criterion rows and the `perf_gate` medians measure the same instances).
+//! The `FTBAR-incremental` / `FTBAR-naive` / `FTBAR-parallel` and
+//! `HBP-exhaustive` rows pin the incremental pressure engine's speedup
 //! against the retained reference sweeps (the paper's complexity remark
-//! applies to the unoptimized algorithms, i.e. the naive/exhaustive rows).
+//! applies to the unoptimized algorithms, i.e. the naive/exhaustive rows);
+//! the plain `FTBAR` row is the adaptive default users get. Sizes extend
+//! to N = 1000, where the naive references pay their quadratic sweep.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ftbar_bench::experiment::{problem_for, PointConfig};
 use ftbar_core::{FtbarConfig, SweepStrategy};
-use ftbar_hbp::HbpConfig;
+use ftbar_hbp::{HbpConfig, PairSearch};
+use ftbar_workload::scheduling_point;
 
 fn bench_schedulers(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduling_time");
     group.sample_size(10);
-    for n in [20usize, 50, 80] {
-        let config = PointConfig {
-            n_ops: n,
-            ccr: 5.0,
-            graphs: 1,
-            seed_base: 40_000 + n as u64,
-            ..Default::default()
-        };
-        let problem = problem_for(&config, 0);
+    for n in [20usize, 50, 80, 200, 500, 1000] {
+        let problem = scheduling_point(n);
         group.bench_with_input(BenchmarkId::new("FTBAR", n), &problem, |b, p| {
             b.iter(|| ftbar_core::ftbar::schedule(p).expect("schedules"));
         });
+        group.bench_with_input(
+            BenchmarkId::new("FTBAR-incremental", n),
+            &problem,
+            |b, p| {
+                let cfg = FtbarConfig {
+                    sweep: SweepStrategy::Incremental,
+                    ..FtbarConfig::default()
+                };
+                b.iter(|| ftbar_core::ftbar::schedule_with(p, &cfg).expect("schedules"));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("FTBAR-naive", n), &problem, |b, p| {
             let cfg = FtbarConfig {
                 sweep: SweepStrategy::Naive,
@@ -36,6 +44,7 @@ fn bench_schedulers(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("FTBAR-parallel", n), &problem, |b, p| {
             let cfg = FtbarConfig {
+                sweep: SweepStrategy::Incremental,
                 parallel: true,
                 ..FtbarConfig::default()
             };
@@ -46,7 +55,8 @@ fn bench_schedulers(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("HBP-exhaustive", n), &problem, |b, p| {
             let cfg = HbpConfig {
-                exhaustive_pairs: true,
+                pair_search: PairSearch::Exhaustive,
+                ..HbpConfig::default()
             };
             b.iter(|| ftbar_hbp::schedule_with(p, &cfg).expect("schedules"));
         });
@@ -63,15 +73,22 @@ fn bench_proc_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduling_time_vs_procs");
     group.sample_size(10);
     for p_count in [3usize, 6, 9] {
-        let config = PointConfig {
+        let alg = ftbar_workload::layered(&ftbar_workload::LayeredConfig {
             n_ops: 40,
-            ccr: 2.0,
-            procs: p_count,
-            graphs: 1,
-            seed_base: 41_000 + p_count as u64,
+            seed: 41_000 + p_count as u64,
             ..Default::default()
-        };
-        let problem = problem_for(&config, 0);
+        });
+        let problem = ftbar_workload::timing(
+            alg,
+            ftbar_workload::arch::fully_connected(p_count),
+            &ftbar_workload::TimingConfig {
+                ccr: 2.0,
+                npf: 1,
+                seed: 41_000 + p_count as u64,
+                ..Default::default()
+            },
+        )
+        .expect("valid problem");
         group.bench_with_input(BenchmarkId::new("FTBAR", p_count), &problem, |b, p| {
             b.iter(|| ftbar_core::ftbar::schedule(p).expect("schedules"));
         });

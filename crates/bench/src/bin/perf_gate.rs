@@ -1,26 +1,95 @@
 //! Machine-readable scheduling-time gate: emits `BENCH_scheduling.json`
 //! with the median nanoseconds of every `scheduling_time` point (the
-//! FTBAR/HBP main loops) and every `batch_throughput` point (the service
-//! layer at several `--jobs` worker counts) so the perf trajectory is
-//! tracked in-repo, not anecdotally.
+//! FTBAR/HBP main loops at N up to 1000), every `batch_throughput` point
+//! (the service layer at several `--jobs` worker counts), and an
+//! `allocations` section (steady-state allocation counts through a
+//! counting global allocator) so the perf trajectory is tracked in-repo,
+//! not anecdotally.
 //!
 //! ```sh
 //! cargo run --release -p ftbar-bench --bin perf_gate            # full run
 //! cargo run --release -p ftbar-bench --bin perf_gate -- --test  # CI smoke
 //! cargo run --release -p ftbar-bench --bin perf_gate -- --stats # + cache stats
+//! cargo run --release -p ftbar-bench --bin perf_gate -- --test --check BENCH_scheduling.json
 //! ```
 //!
 //! `--test` runs every point once (no warm-up, one sample) so CI can
 //! assert the gate still executes without paying for timing; the JSON is
 //! still written (values are then indicative only). `--out PATH` overrides
-//! the output path.
+//! the output path. `--check BASELINE` exits non-zero if the fresh output
+//! is missing the schema, a section, or any `(bench, variant, n_ops)`
+//! point the committed baseline has — the CI perf-regression smoke.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use ftbar_bench::experiment::{problem_for, PointConfig};
+use ftbar_core::engine::EnginePools;
 use ftbar_core::{ftbar, FtbarConfig, SweepStrategy};
+use ftbar_hbp::{HbpConfig, PairSearch};
 use ftbar_model::Problem;
 use ftbar_service::{run_batch, BatchConfig, JobInput, JobSpec, SchedulerKind};
+use ftbar_workload::scheduling_point;
+
+/// Counting allocator: every allocation in the process is tallied so the
+/// gate can assert the hot paths' steady-state allocation behaviour
+/// (alloc *count* per scheduling step must stay independent of N).
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`; the counters are plain
+// atomics and never allocate.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        let live =
+            LIVE_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed) + layout.size() as u64;
+        PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        let delta = new_size as i64 - layout.size() as i64;
+        let live = if delta >= 0 {
+            LIVE_BYTES.fetch_add(delta as u64, Ordering::Relaxed) + delta as u64
+        } else {
+            LIVE_BYTES.fetch_sub((-delta) as u64, Ordering::Relaxed) - (-delta) as u64
+        };
+        PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation counters over one closure run (single-threaded sections
+/// only — the batch section is excluded from allocation accounting).
+fn count_allocs(f: impl FnOnce()) -> (u64, u64) {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+    let before = ALLOC_COUNT.load(Ordering::Relaxed);
+    let live_before = LIVE_BYTES.load(Ordering::Relaxed);
+    f();
+    let count = ALLOC_COUNT.load(Ordering::Relaxed) - before;
+    let peak_over = PEAK_BYTES
+        .load(Ordering::Relaxed)
+        .saturating_sub(live_before);
+    (count, peak_over)
+}
+
+/// The scheduling-time problem sizes. 20/50/80 are the original small-N
+/// points; 200/500/1000 are the large-N scaling points this gate exists
+/// to keep honest.
+const SIZES: [usize; 6] = [20, 50, 80, 200, 500, 1000];
 
 /// One measured point.
 struct Point {
@@ -28,6 +97,14 @@ struct Point {
     variant: &'static str,
     n_ops: usize,
     median_ns: u128,
+}
+
+/// One allocation-section row.
+struct AllocPoint {
+    variant: &'static str,
+    n_ops: usize,
+    alloc_count: u64,
+    peak_bytes: u64,
 }
 
 fn median_ns(samples: &mut [u128]) -> u128 {
@@ -41,11 +118,26 @@ fn measure(f: &dyn Fn(), smoke: bool) -> u128 {
         f();
         return t.elapsed().as_nanos();
     }
-    for _ in 0..2 {
+    for _ in 0..3 {
         f(); // warm-up
     }
-    let mut samples = Vec::with_capacity(9);
-    for _ in 0..9 {
+    // Sample count adapts to the point's speed: sub-millisecond points get
+    // enough repetitions that scheduler jitter does not move the median,
+    // without inflating the large-N rows' wall clock.
+    let probe = {
+        let t = Instant::now();
+        f();
+        t.elapsed().as_nanos()
+    };
+    let n = if probe < 1_000_000 {
+        25
+    } else if probe < 10_000_000 {
+        11
+    } else {
+        9
+    };
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
         let t = Instant::now();
         f();
         samples.push(t.elapsed().as_nanos());
@@ -62,6 +154,63 @@ fn ftbar_with(problem: &Problem, sweep: SweepStrategy, parallel: bool) {
     ftbar::schedule_with(problem, &config).expect("schedules");
 }
 
+fn hbp_with(problem: &Problem, pair_search: PairSearch) {
+    let config = HbpConfig {
+        pair_search,
+        ..HbpConfig::default()
+    };
+    ftbar_hbp::schedule_with(problem, &config).expect("schedules");
+}
+
+/// Extracts the `(bench, variant, n_ops)` key of every point line of a
+/// `BENCH_scheduling.json` (the file is hand-rolled, one point per line).
+fn point_keys(json: &str) -> Vec<(String, String, usize)> {
+    let field = |line: &str, name: &str| -> Option<String> {
+        let tag = format!("\"{name}\": ");
+        let at = line.find(&tag)? + tag.len();
+        let rest = &line[at..];
+        if let Some(stripped) = rest.strip_prefix('"') {
+            Some(stripped[..stripped.find('"')?].to_string())
+        } else {
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            (end > 0).then(|| rest[..end].to_string())
+        }
+    };
+    json.lines()
+        .filter_map(|line| {
+            Some((
+                field(line, "bench")?,
+                field(line, "variant")?,
+                field(line, "n_ops")?.parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
+/// The perf-regression smoke: every point key of the committed baseline
+/// must still exist in the fresh output, and the fresh output must carry
+/// the schema header and both sections. Returns the failures.
+fn check_against_baseline(fresh: &str, baseline: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    for required in ["\"schema\": 2", "\"points\": [", "\"allocations\": ["] {
+        if !fresh.contains(required) {
+            failures.push(format!("fresh output is missing `{required}`"));
+        }
+    }
+    let fresh_keys = point_keys(fresh);
+    for key in point_keys(baseline) {
+        if !fresh_keys.contains(&key) {
+            failures.push(format!(
+                "point ({}, {}, {}) disappeared from the gate",
+                key.0, key.1, key.2
+            ));
+        }
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--test");
@@ -71,21 +220,36 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_scheduling.json".to_string());
+    // Snapshot the baseline BEFORE anything is written: when `--out` is
+    // left at its default, the output path IS the committed baseline, and
+    // reading it afterwards would vacuously compare the fresh JSON against
+    // itself.
+    let check = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1).cloned())
+        .map(|path| {
+            let baseline = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+            (path, baseline)
+        });
 
     let mut points: Vec<Point> = Vec::new();
-    for n in [20usize, 50, 80] {
-        let config = PointConfig {
-            n_ops: n,
-            ccr: 5.0,
-            graphs: 1,
-            seed_base: 40_000 + n as u64,
-            ..Default::default()
-        };
-        let problem = problem_for(&config, 0);
+    let mut allocs: Vec<AllocPoint> = Vec::new();
+    for n in SIZES {
+        let problem = scheduling_point(n);
         #[allow(clippy::type_complexity)]
-        let runs: [(&'static str, Box<dyn Fn()>); 6] = [
+        let runs: [(&'static str, Box<dyn Fn()>); 7] = [
+            // The default configuration (adaptive: naive below the
+            // cutoff, incremental above) — what `ftbar::schedule` users
+            // actually get, and the row the small-N regression gate
+            // watches.
             (
                 "FTBAR",
+                Box::new(|| ftbar_with(&problem, SweepStrategy::Adaptive, false)),
+            ),
+            (
+                "FTBAR-incremental",
                 Box::new(|| ftbar_with(&problem, SweepStrategy::Incremental, false)),
             ),
             (
@@ -96,20 +260,10 @@ fn main() {
                 "FTBAR-parallel",
                 Box::new(|| ftbar_with(&problem, SweepStrategy::Incremental, true)),
             ),
-            (
-                "HBP",
-                Box::new(|| {
-                    ftbar_hbp::schedule(&problem).expect("schedules");
-                }),
-            ),
+            ("HBP", Box::new(|| hbp_with(&problem, PairSearch::Adaptive))),
             (
                 "HBP-exhaustive",
-                Box::new(|| {
-                    let cfg = ftbar_hbp::HbpConfig {
-                        exhaustive_pairs: true,
-                    };
-                    ftbar_hbp::schedule_with(&problem, &cfg).expect("schedules");
-                }),
+                Box::new(|| hbp_with(&problem, PairSearch::Exhaustive)),
             ),
             (
                 "non-FT",
@@ -131,10 +285,39 @@ fn main() {
         if stats {
             let s = ftbar::sweep_stats_for(&problem);
             println!(
-                "  cache n={n}: probes {} version-hits {} replay-hits {} recomputes {}",
-                s.probes, s.version_hits, s.replay_hits, s.recomputes
+                "  cache n={n}: probes {} version-hits {} replay-hits {} recomputes {} skipped-ops {}",
+                s.probes, s.version_hits, s.replay_hits, s.recomputes, s.skipped_ops
             );
         }
+
+        // Steady-state allocation profile of the incremental engine: one
+        // warm run grows the pools, the measured rerun reuses them. The
+        // count divided by N (one main-loop step per operation) must stay
+        // O(1) as N grows — per-probe/per-plan buffer churn would show up
+        // as a superlinear count here.
+        let config = FtbarConfig {
+            sweep: SweepStrategy::Incremental,
+            ..FtbarConfig::default()
+        };
+        let (_, pools) = ftbar::schedule_with_pools(&problem, &config, EnginePools::default())
+            .expect("warm run");
+        let mut reused = Some(pools);
+        let (alloc_count, peak_bytes) = count_allocs(|| {
+            let (_, p) =
+                ftbar::schedule_with_pools(&problem, &config, reused.take().expect("pools"))
+                    .expect("steady-state run");
+            reused = Some(p);
+        });
+        println!(
+            "allocations/FTBAR-steady/{n}: {alloc_count} allocs ({:.2}/step), peak {peak_bytes} B",
+            alloc_count as f64 / n as f64
+        );
+        allocs.push(AllocPoint {
+            variant: "FTBAR-steady",
+            n_ops: n,
+            alloc_count,
+            peak_bytes,
+        });
     }
 
     // Batch throughput: the service layer scheduling many independent
@@ -146,17 +329,15 @@ fn main() {
     // and the point of the gate is to record whatever this machine truly
     // delivers (the committed numbers say which case they are).
     let batch_n = 40usize;
-    let batch_config = PointConfig {
-        n_ops: batch_n,
-        ccr: 5.0,
-        graphs: 12,
-        seed_base: 50_000,
-        ..Default::default()
-    };
-    let jobs: Vec<JobSpec> = (0..batch_config.graphs)
+    let jobs: Vec<JobSpec> = (0..12)
         .map(|g| JobSpec {
             name: format!("job-{g}"),
-            input: JobInput::Problem(Box::new(problem_for(&batch_config, g))),
+            input: JobInput::Problem(Box::new(ftbar_workload::problem_on(
+                ftbar_workload::Topology::Full,
+                batch_n,
+                5.0,
+                50_000 + g as u64,
+            ))),
             scheduler: if g % 2 == 0 {
                 SchedulerKind::Ftbar
             } else {
@@ -194,7 +375,7 @@ fn main() {
     );
 
     // Hand-rolled JSON: stable field order, no dependencies.
-    let mut json = String::from("{\n  \"schema\": 1,\n  \"unit\": \"ns\",\n");
+    let mut json = String::from("{\n  \"schema\": 2,\n  \"unit\": \"ns\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n  \"points\": [\n"));
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
@@ -206,7 +387,32 @@ fn main() {
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
+    json.push_str("  ],\n  \"allocations\": [\n");
+    for (i, a) in allocs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"bench\": \"allocations\", \"variant\": \"{}\", \"n_ops\": {}, \"alloc_count\": {}, \"peak_bytes\": {}}}{}\n",
+            a.variant,
+            a.n_ops,
+            a.alloc_count,
+            a.peak_bytes,
+            if i + 1 < allocs.len() { "," } else { "" }
+        ));
+    }
     json.push_str("  ]\n}\n");
-    std::fs::write(&out, json).expect("write BENCH_scheduling.json");
+    std::fs::write(&out, &json).expect("write BENCH_scheduling.json");
     println!("wrote {out}");
+
+    if let Some((baseline_path, baseline)) = check {
+        let failures = check_against_baseline(&json, &baseline);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("perf gate check FAILED vs {baseline_path}: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "perf gate check OK: all {} points of {baseline_path} present",
+            point_keys(&baseline).len()
+        );
+    }
 }

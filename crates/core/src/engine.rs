@@ -33,8 +33,6 @@
 //! HBP schedules are bit-identical to the pre-engine implementations
 //! (pinned by the golden snapshots in `tests/cross_engine.rs`).
 
-use std::collections::BTreeSet;
-
 use ftbar_model::{OpId, Problem, ProcId};
 
 use crate::builder::{BuilderPools, ProbePoint, ScheduleBuilder};
@@ -75,17 +73,13 @@ pub struct StepTrace {
 /// so committed placements invalidate exactly the affected rows (HBP's
 /// greedy `k > 2` tail relies on this).
 pub trait PlacementPolicy {
-    /// Picks the next operation from `ready` (non-empty; every member has
-    /// all scheduling predecessors placed).
+    /// Picks the next operation from `ready` (non-empty, ascending by
+    /// operation id; every member has all scheduling predecessors placed).
     ///
     /// # Errors
     ///
     /// Any [`ScheduleError`] — typically a propagated probe failure.
-    fn select(
-        &mut self,
-        cx: &mut EngineCx<'_>,
-        ready: &BTreeSet<OpId>,
-    ) -> Result<OpId, ScheduleError>;
+    fn select(&mut self, cx: &mut EngineCx<'_>, ready: &[OpId]) -> Result<OpId, ScheduleError>;
 
     /// Places every replica of `op`, pushing the hosting processors into
     /// `placed` in placement order (`placed` arrives empty; it is an
@@ -240,7 +234,12 @@ pub struct Engine<'p, P> {
     policy: P,
     /// Kahn pending-predecessor counters.
     pending: Vec<u32>,
-    ready: BTreeSet<OpId>,
+    /// The ready set as a sorted vector (ascending op id): policies sweep
+    /// it every step, and a dense sorted slice iterates an order of
+    /// magnitude faster than a `BTreeSet` at large candidate counts, while
+    /// binary-search insert/remove stays cheap at the sizes the pending
+    /// counters produce.
+    ready: Vec<OpId>,
     trace: bool,
 }
 
@@ -263,6 +262,8 @@ impl<'p, P: PlacementPolicy> Engine<'p, P> {
             .ops()
             .map(|o| alg.sched_preds(o).count() as u32)
             .collect();
+        let mut ready: Vec<OpId> = alg.entry_ops().into_iter().collect();
+        ready.sort_unstable();
         Engine {
             cx: EngineCx {
                 builder: ScheduleBuilder::new_with_pools(problem, pools.builder),
@@ -272,7 +273,7 @@ impl<'p, P: PlacementPolicy> Engine<'p, P> {
             },
             policy,
             pending,
-            ready: alg.entry_ops().into_iter().collect(),
+            ready,
             trace: config.trace,
         }
     }
@@ -293,7 +294,10 @@ impl<'p, P: PlacementPolicy> Engine<'p, P> {
         while !self.ready.is_empty() {
             step += 1;
             let op = self.policy.select(&mut self.cx, &self.ready)?;
-            debug_assert!(self.ready.contains(&op), "selected op must be ready");
+            debug_assert!(
+                self.ready.binary_search(&op).is_ok(),
+                "selected op must be ready"
+            );
             let pressures = if self.trace {
                 self.policy.pressures(&mut self.cx, op)?
             } else {
@@ -304,7 +308,9 @@ impl<'p, P: PlacementPolicy> Engine<'p, P> {
 
             // Retire: the pair rows of a placed operation are never probed
             // again; unlock successors whose last predecessor this was.
-            self.ready.remove(&op);
+            if let Ok(pos) = self.ready.binary_search(&op) {
+                self.ready.remove(pos);
+            }
             if let Some(cache) = &mut self.cx.cache {
                 cache.forget_op(op);
             }
@@ -312,7 +318,9 @@ impl<'p, P: PlacementPolicy> Engine<'p, P> {
             for (_, succ) in alg.sched_succs(op) {
                 self.pending[succ.index()] -= 1;
                 if self.pending[succ.index()] == 0 {
-                    self.ready.insert(succ);
+                    if let Err(pos) = self.ready.binary_search(&succ) {
+                        self.ready.insert(pos, succ);
+                    }
                 }
             }
 
@@ -353,9 +361,9 @@ mod tests {
         fn select(
             &mut self,
             _cx: &mut EngineCx<'_>,
-            ready: &BTreeSet<OpId>,
+            ready: &[OpId],
         ) -> Result<OpId, ScheduleError> {
-            Ok(*ready.iter().next().expect("non-empty"))
+            Ok(*ready.first().expect("non-empty"))
         }
 
         fn commit(

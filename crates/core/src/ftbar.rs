@@ -21,8 +21,6 @@
 //! `select` (incremental [`SweepEngine`] or the retained naive reference
 //! sweep) and micro-step Â as `commit`.
 
-use std::collections::BTreeSet;
-
 use ftbar_model::{OpId, Problem, ProcId};
 
 use crate::engine::{Engine, EngineConfig, EngineCx, EnginePools, PlacementPolicy};
@@ -45,25 +43,37 @@ pub enum CostFunction {
 
 /// How micro-steps À/Á evaluate the candidate pressures.
 ///
-/// Both strategies produce bit-identical schedules (asserted by the
+/// All strategies produce bit-identical schedules (asserted by the
 /// cross-topology property tests); the naive sweep is retained as the
 /// reference and for the benchmarks pinning the speedup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SweepStrategy {
+    /// Pick [`SweepStrategy::Naive`] below
+    /// [`FtbarConfig::adaptive_cutoff`] operations and
+    /// [`SweepStrategy::Incremental`] at or above it. The probe cache's
+    /// bookkeeping only amortizes once enough pairs survive between steps;
+    /// below the crossover the naive sweep's straight-line probes win, so
+    /// the engine picks per problem instead of defaulting to either.
+    #[default]
+    Adaptive,
     /// Probe-cache driven: only pairs invalidated by the last placement are
     /// recomputed (see [`crate::sweep`]).
-    #[default]
     Incremental,
     /// Re-probe every ⟨candidate, processor⟩ pair from scratch each step.
     Naive,
 }
+
+/// Default [`FtbarConfig::adaptive_cutoff`]: the measured
+/// incremental-vs-naive crossover on the committed `BENCH_scheduling.json`
+/// workloads (4 processors, CCR 5) sits between 50 and 80 operations.
+pub const ADAPTIVE_SWEEP_CUTOFF: usize = 64;
 
 /// Tunable knobs of the FTBAR scheduler.
 ///
 /// The defaults reproduce the paper's algorithm; the other settings exist
 /// for the ablation benchmarks and the incremental-vs-naive sweep
 /// comparisons.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FtbarConfig {
     /// Cost function for processor selection.
     pub cost: CostFunction,
@@ -71,13 +81,48 @@ pub struct FtbarConfig {
     pub no_duplication: bool,
     /// Record a [`StepTrace`] (with schedule snapshots) per main-loop step.
     pub trace: bool,
-    /// Pressure evaluation strategy (incremental probe cache by default).
+    /// Pressure evaluation strategy (size-adaptive by default).
     pub sweep: SweepStrategy,
+    /// Problem size (operation count) at which [`SweepStrategy::Adaptive`]
+    /// switches from the naive to the incremental sweep.
+    pub adaptive_cutoff: usize,
     /// Recompute dirty probe pairs on scoped worker threads. Deterministic:
     /// results are reduced in the same order as the serial sweep, so the
-    /// schedule is bit-identical. Only effective with
-    /// [`SweepStrategy::Incremental`].
+    /// schedule is bit-identical. Only effective when the resolved strategy
+    /// is [`SweepStrategy::Incremental`].
     pub parallel: bool,
+}
+
+impl Default for FtbarConfig {
+    fn default() -> Self {
+        FtbarConfig {
+            cost: CostFunction::default(),
+            no_duplication: false,
+            trace: false,
+            sweep: SweepStrategy::default(),
+            adaptive_cutoff: ADAPTIVE_SWEEP_CUTOFF,
+            parallel: false,
+        }
+    }
+}
+
+impl FtbarConfig {
+    /// The concrete sweep strategy used for a problem of `n_ops`
+    /// operations: [`SweepStrategy::Adaptive`] resolves by
+    /// [`FtbarConfig::adaptive_cutoff`], the explicit strategies to
+    /// themselves. Never returns [`SweepStrategy::Adaptive`].
+    pub fn resolved_sweep(&self, n_ops: usize) -> SweepStrategy {
+        match self.sweep {
+            SweepStrategy::Adaptive => {
+                if n_ops >= self.adaptive_cutoff {
+                    SweepStrategy::Incremental
+                } else {
+                    SweepStrategy::Naive
+                }
+            }
+            explicit => explicit,
+        }
+    }
 }
 
 /// Result of [`schedule_with`]: the schedule plus an optional step trace.
@@ -87,7 +132,8 @@ pub struct FtbarOutcome {
     pub schedule: Schedule,
     /// Per-step trace; empty unless [`FtbarConfig::trace`] was set.
     pub steps: Vec<StepTrace>,
-    /// Probe-cache counters; `None` under [`SweepStrategy::Naive`].
+    /// Probe-cache counters; `None` when the resolved strategy is
+    /// [`SweepStrategy::Naive`] (including adaptive runs below the cutoff).
     pub sweep_stats: Option<crate::sweep::SweepStats>,
 }
 
@@ -117,7 +163,7 @@ impl FtbarPolicy {
     fn select_naive(
         &mut self,
         cx: &mut EngineCx<'_>,
-        cand: &BTreeSet<OpId>,
+        cand: &[OpId],
     ) -> Result<OpId, ScheduleError> {
         let problem = cx.problem();
         type Selection = (f64, OpId, Vec<(ProcId, f64)>);
@@ -166,11 +212,7 @@ impl FtbarPolicy {
 }
 
 impl PlacementPolicy for FtbarPolicy {
-    fn select(
-        &mut self,
-        cx: &mut EngineCx<'_>,
-        ready: &BTreeSet<OpId>,
-    ) -> Result<OpId, ScheduleError> {
+    fn select(&mut self, cx: &mut EngineCx<'_>, ready: &[OpId]) -> Result<OpId, ScheduleError> {
         match &mut self.sweep {
             Some(sweep) => {
                 let (b, cache) = cx.sweep_parts();
@@ -281,7 +323,8 @@ pub fn schedule_with_pools(
     pools: EnginePools,
 ) -> Result<(FtbarOutcome, EnginePools), ScheduleError> {
     let pressure = Pressure::new(problem);
-    let (sweep, cache) = match config.sweep {
+    let (sweep, cache) = match config.resolved_sweep(problem.alg().op_count()) {
+        SweepStrategy::Adaptive => unreachable!("resolved_sweep never returns Adaptive"),
         SweepStrategy::Incremental => {
             let mut engine = SweepEngine::new(problem, &pressure, config.cost);
             engine.set_parallel(config.parallel);
@@ -331,7 +374,11 @@ pub fn schedule_with_pools(
 ///
 /// Panics if the problem cannot be scheduled.
 pub fn sweep_stats_for(problem: &Problem) -> crate::sweep::SweepStats {
-    schedule_with(problem, &FtbarConfig::default())
+    let config = FtbarConfig {
+        sweep: SweepStrategy::Incremental,
+        ..FtbarConfig::default()
+    };
+    schedule_with(problem, &config)
         .expect("schedules")
         .sweep_stats
         .expect("incremental sweep records stats")

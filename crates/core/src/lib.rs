@@ -61,7 +61,9 @@ pub use builder::{
 };
 pub use engine::{Engine, EngineConfig, EngineCx, EngineOutcome, EnginePools, PlacementPolicy};
 pub use error::ScheduleError;
-pub use ftbar::{CostFunction, FtbarConfig, FtbarOutcome, StepTrace, SweepStrategy};
+pub use ftbar::{
+    CostFunction, FtbarConfig, FtbarOutcome, StepTrace, SweepStrategy, ADAPTIVE_SWEEP_CUTOFF,
+};
 pub use pressure::Pressure;
 pub use replay::{
     replay, replay_with, FailureScenario, ReplayConfig, ReplayResult, ReplicaOutcome,

@@ -4,7 +4,7 @@
 //! The naive main loop re-probes every ⟨candidate operation, processor⟩
 //! pair from scratch at every step, although one placement only perturbs
 //! the few lanes (processor and link timelines) and replica sets it
-//! touched. This module caches [`ProbePoint`]s per pair and re-validates
+//! touched. This module caches probe results per pair and re-validates
 //! them in three tiers, cheapest first:
 //!
 //! 1. **Replica-set stamp** — the sum of the monotone
@@ -24,6 +24,18 @@
 //!    timeline scans, without re-running source selection, route
 //!    enumeration, or failure-pattern coverage.
 //!
+//! # Flat row storage
+//!
+//! Rows are stored struct-of-arrays: the per-pair validation scalars
+//! (stamp, consulted-lane mask, sync span, point, generation) live in
+//! dense parallel arrays indexed by `op × procs + proc`, so the hit path
+//! of a sweep touches a handful of cache lines instead of hopping through
+//! per-pair heap nodes. The variable-length parts — the recorded probe
+//! events and the consulted lanes (as `u32` flat lane ids) — keep one
+//! persistent buffer per row that recomputes reuse **in place**: after the
+//! first visit of a pair, the steady-state cache allocates nothing, no
+//! matter how often plans are recomputed. See `DESIGN.md` §9.
+//!
 //! Only pairs that fail all three tiers are recomputed
 //! ([`ScheduleBuilder::probe_traced`]), optionally in parallel
 //! ([`SweepEngine::set_parallel`]): dirty pairs are partitioned into
@@ -34,11 +46,13 @@
 //! On top of the cache, [`SweepEngine`] maintains per-candidate kept sets
 //! (the `Npf + 1` lowest-pressure processors, found by
 //! `select_nth_unstable` instead of a full sort) and a max-structure over
-//! kept-set pressures keyed by `(urgency, operation)`, so micro-step Á is
-//! a lookup instead of a sweep. See `DESIGN.md` §6 for the invalidation
-//! rules and the determinism argument.
-
-use std::collections::BTreeSet;
+//! kept-set pressures keyed by `(urgency, operation)`. Candidates whose
+//! replica-set stamp is unchanged and whose aggregate consulted-lane mask
+//! misses the step's change mask are *skipped wholesale* — micro-step Á
+//! reuses their cached urgency without touching a single pair row — so
+//! each step pays only for the pairs a placement actually perturbed. See
+//! `DESIGN.md` §6/§9 for the invalidation rules and the determinism
+//! argument.
 
 use ftbar_model::{OpId, Problem, ProcId, Time};
 
@@ -82,39 +96,9 @@ pub struct SweepStats {
     pub replay_hits: u64,
     /// Recomputed from scratch.
     pub recomputes: u64,
-}
-
-/// One cached pair, split in two layers. The **plan layer** (source
-/// selection, route probing, coverage — the expensive part) depends only
-/// on replica sets and link lanes, and is validated by the three tiers.
-/// The **point layer** re-runs the two cheap processor-lane probes
-/// whenever that single volatile lane moved, without touching the plan.
-#[derive(Debug, Clone)]
-struct Entry {
-    /// Replica-set stamp at plan-compute time (tier 1).
-    stamp: u64,
-    /// The cached input plan.
-    plan: PlanProbe,
-    /// Link lanes the plan consulted, with their versions (tier 2).
-    lanes: Vec<(Lane, u64)>,
-    /// Bit image of `lanes` over the flat lane space (processors first,
-    /// then links); [`LANES_MASK_ALL`] when some lane does not fit 64 bits.
-    /// Drives the engine's per-step mask fast path.
-    lanes_mask: u64,
-    /// Every link probe performed, in evaluation order (tier 3).
-    events: Vec<ProbeEvent>,
-    /// Version of the processor lane when `point` was completed
-    /// (`u64::MAX` forces re-completion after a plan recompute).
-    proc_ver: u64,
-    /// The completed probe result.
-    point: ProbePoint,
-    /// Bumped whenever `point`'s *value* changes; lets kept-set caching
-    /// skip rebuilds when refreshes reproduced the same numbers.
-    gen: u64,
-    /// Sync span in which the plan was last validated; the mask fast path
-    /// requires the current or previous span (older entries have missed a
-    /// delta the masks no longer describe).
-    checked_sync: u64,
+    /// Candidates skipped wholesale by the sweep engine's dirty-set
+    /// selection (their pairs were not probed at all that step).
+    pub skipped_ops: u64,
 }
 
 /// The shared per-⟨operation, processor⟩ probe cache.
@@ -123,10 +107,41 @@ struct Entry {
 /// [`ScheduleBuilder::probe`] would, but reuses cached results where the
 /// three-tier validation proves them still exact. Both FTBAR's sweep and
 /// HBP's pair search sit on top of it.
+///
+/// Rows are flat struct-of-arrays storage — see the module docs.
 #[derive(Debug)]
 pub struct ProbeCache {
     procs: usize,
-    entries: Vec<Option<Entry>>,
+    // --- SoA pair rows, indexed `op.index() * procs + proc.index()` ---
+    /// Row occupancy. A false row has unspecified scalar fields; its
+    /// event/lane buffers are still valid (and reused by the next compute).
+    present: Vec<bool>,
+    /// Replica-set stamp at plan-compute time (tier 1).
+    stamps: Vec<u64>,
+    /// The cached input plans.
+    plans: Vec<PlanProbe>,
+    /// Bit image of each row's consulted lanes over the flat lane space
+    /// (processors first, then links); [`LANES_MASK_ALL`] when some lane
+    /// does not fit 64 bits. Drives the per-step mask fast path.
+    lanes_masks: Vec<u64>,
+    /// Sync span in which each plan was last validated; the mask fast path
+    /// requires the current or previous span (older entries have missed a
+    /// delta the masks no longer describe).
+    checked_syncs: Vec<u64>,
+    /// Version of the processor lane when each point was completed
+    /// (`u64::MAX` forces re-completion after a plan recompute).
+    proc_vers: Vec<u64>,
+    /// The completed probe results.
+    points: Vec<ProbePoint>,
+    /// Bumped whenever a point's *value* changes; lets kept-set caching
+    /// skip rebuilds when refreshes reproduced the same numbers.
+    gens: Vec<u64>,
+    /// Every link probe a row's plan performed, in evaluation order
+    /// (tier 3). Persistent per-row buffers, reused in place.
+    row_events: Vec<Vec<ProbeEvent>>,
+    /// Lanes each row's plan consulted — flat `u32` lane ids with the
+    /// versions seen at validation (tier 2). Persistent, reused in place.
+    row_lanes: Vec<Vec<(u32, u64)>>,
     /// Flattened scheduling-predecessor adjacency
     /// (`preds[preds_off[op]..preds_off[op + 1]]`), cached to keep stamp
     /// computation allocation-free.
@@ -147,19 +162,16 @@ pub struct ProbeCache {
     /// ([`LANES_MASK_ALL`]-saturated when lanes exceed 64).
     changed_lanes: u64,
     focus: PointFocus,
-    /// Recycled entry buffers (retired rows feed new entries).
-    events_pool: Vec<Vec<ProbeEvent>>,
-    lanes_pool: Vec<Vec<(Lane, u64)>>,
 }
 
-/// Recyclable buffers of a retired [`ProbeCache`]: the event and lane
-/// lists its entries accumulated. Problem-agnostic, like
+/// Recyclable buffers of a retired [`ProbeCache`]: the per-row event and
+/// lane buffers its rows accumulated. Problem-agnostic, like
 /// [`crate::builder::BuilderPools`] — reclaim with [`ProbeCache::reclaim`]
 /// and seed the next cache with [`ProbeCache::new_focused_with_pools`].
 #[derive(Debug, Default)]
 pub struct CachePools {
     events: Vec<Vec<ProbeEvent>>,
-    lanes: Vec<Vec<(Lane, u64)>>,
+    lanes: Vec<Vec<(u32, u64)>>,
 }
 
 impl ProbeCache {
@@ -176,7 +188,11 @@ impl ProbeCache {
     /// As [`ProbeCache::new_focused`], seeded with recycled buffer
     /// `pools`. Purely an allocation optimization — cached state never
     /// crosses over, so a pooled cache behaves bit-identically.
-    pub fn new_focused_with_pools(problem: &Problem, focus: PointFocus, pools: CachePools) -> Self {
+    pub fn new_focused_with_pools(
+        problem: &Problem,
+        focus: PointFocus,
+        mut pools: CachePools,
+    ) -> Self {
         let alg = problem.alg();
         let n_ops = alg.op_count();
         let mut preds = Vec::with_capacity(alg.dep_count());
@@ -187,9 +203,34 @@ impl ProbeCache {
             preds_off.push(preds.len() as u32);
         }
         let procs = problem.arch().proc_count();
+        let rows = n_ops * procs;
+        let mut row_events = Vec::with_capacity(rows);
+        let mut row_lanes = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let mut ev = pools.events.pop().unwrap_or_default();
+            ev.clear();
+            row_events.push(ev);
+            let mut ln = pools.lanes.pop().unwrap_or_default();
+            ln.clear();
+            row_lanes.push(ln);
+        }
+        let never = ProbePoint {
+            start_best: Time::MAX,
+            start_worst: Time::MAX,
+            end_best: Time::MAX,
+        };
         ProbeCache {
             procs,
-            entries: vec![None; n_ops * procs],
+            present: vec![false; rows],
+            stamps: vec![0; rows],
+            plans: vec![PlanProbe::Fixed(never); rows],
+            lanes_masks: vec![0; rows],
+            checked_syncs: vec![0; rows],
+            proc_vers: vec![u64::MAX; rows],
+            points: vec![never; rows],
+            gens: vec![0; rows],
+            row_events,
+            row_lanes,
             preds,
             preds_off,
             stats: SweepStats::default(),
@@ -200,21 +241,14 @@ impl ProbeCache {
             lane_vers: vec![0; procs + problem.arch().link_count()],
             changed_lanes: LANES_MASK_ALL,
             focus,
-            events_pool: pools.events,
-            lanes_pool: pools.lanes,
         }
     }
 
-    /// Retires the cache, reclaiming its recyclable buffers — both the
-    /// free pools and the per-entry lists still installed in live rows.
+    /// Retires the cache, reclaiming its recyclable per-row buffers.
     pub fn reclaim(mut self) -> CachePools {
-        for e in self.entries.into_iter().flatten() {
-            self.events_pool.push(e.events);
-            self.lanes_pool.push(e.lanes);
-        }
         CachePools {
-            events: self.events_pool,
-            lanes: self.lanes_pool,
+            events: std::mem::take(&mut self.row_events),
+            lanes: std::mem::take(&mut self.row_lanes),
         }
     }
 
@@ -225,6 +259,11 @@ impl ProbeCache {
 
     fn idx(&self, op: OpId, proc: ProcId) -> usize {
         op.index() * self.procs + proc.index()
+    }
+
+    /// Current builder version of a flat lane.
+    fn lane_version_flat(&self, b: &ScheduleBuilder<'_>, flat: u32) -> u64 {
+        lane_version_of(b, self.procs, flat)
     }
 
     /// Tier-1 stamp: moved iff the replica set of `op` or of any of its
@@ -244,10 +283,10 @@ impl ProbeCache {
     /// probe: one pass over the lane versions, amortized over every probe
     /// of the following quiescent span. `changed_lanes` then describes
     /// exactly the lane delta of the last span, so an entry validated in
-    /// the current *or previous* span whose stamp matches and whose
-    /// consulted-lane mask misses it is still exact — an integer compare
-    /// and an AND instead of per-lane version scans (tier 0; replica-set
-    /// changes are covered by the per-op stamp, not by a mask).
+    /// the current *or previous* quiescent span whose stamp matches and
+    /// whose consulted-lane mask misses it is still exact — an integer
+    /// compare and an AND instead of per-lane version scans (tier 0;
+    /// replica-set changes are covered by the per-op stamp, not a mask).
     fn sync(&mut self, b: &ScheduleBuilder<'_>) {
         let mc = b.mutation_count();
         if self.synced_mutations == mc {
@@ -257,12 +296,7 @@ impl ProbeCache {
         self.sync_count += 1;
         let mut changed = 0u64;
         for i in 0..self.lane_vers.len() {
-            let lane = if i < self.procs {
-                Lane::Proc(ProcId::from_index(i))
-            } else {
-                Lane::Link(ftbar_model::LinkId::from_index(i - self.procs))
-            };
-            let v = b.lane_version(lane);
+            let v = self.lane_version_flat(b, i as u32);
             if v != self.lane_vers[i] {
                 self.lane_vers[i] = v;
                 changed |= if i < 64 { 1u64 << i } else { LANES_MASK_ALL };
@@ -288,9 +322,29 @@ impl ProbeCache {
         Ok(self.probe_entry(b, op, proc, stamp)?.0)
     }
 
+    /// True if the row's plan layer passes tier 0 (stamp + change mask) or
+    /// tier 2 (full per-lane version scan); refreshes the row's sync span
+    /// on success. Does **not** try tier-3 replay.
+    fn plan_version_valid(&mut self, b: &ScheduleBuilder<'_>, idx: usize, stamp: u64) -> bool {
+        if !self.present[idx] || self.stamps[idx] != stamp {
+            return false;
+        }
+        if (self.checked_syncs[idx] + 1 >= self.sync_count
+            && self.lanes_masks[idx] & self.changed_lanes == 0)
+            || self.row_lanes[idx]
+                .iter()
+                .all(|&(l, v)| self.lane_version_flat(b, l) == v)
+        {
+            self.checked_syncs[idx] = self.sync_count;
+            true
+        } else {
+            false
+        }
+    }
+
     /// As [`ProbeCache::probe`], with the caller having hoisted
     /// [`ProbeCache::sync`]-equivalent state and the per-op stamp, also
-    /// returning the entry generation (bumped whenever the value actually
+    /// returning the row generation (bumped whenever the value actually
     /// changed).
     fn probe_entry(
         &mut self,
@@ -303,54 +357,60 @@ impl ProbeCache {
         let idx = self.idx(op, proc);
         // Plan layer: tier 0 (stamp + change mask), then tiers 2-3.
         let mut plan_valid = false;
-        if let Some(e) = &mut self.entries[idx] {
-            if e.stamp == stamp {
-                // Tier 0 (change masks since the last quiescent span) or
-                // tier 2 (per-lane version scan): either proves no
-                // consulted lane moved.
-                if (e.checked_sync + 1 >= self.sync_count && e.lanes_mask & self.changed_lanes == 0)
-                    || e.lanes.iter().all(|&(l, v)| b.lane_version(l) == v)
-                {
-                    e.checked_sync = self.sync_count;
-                    self.stats.version_hits += 1;
-                    plan_valid = true;
-                } else if e.events.iter().rev().all(|ev| b.replay_probe(ev)) {
-                    for (l, v) in &mut e.lanes {
-                        *v = b.lane_version(*l);
-                    }
-                    e.checked_sync = self.sync_count;
-                    self.stats.replay_hits += 1;
-                    plan_valid = true;
-                }
+        if self.plan_version_valid(b, idx, stamp) {
+            self.stats.version_hits += 1;
+            plan_valid = true;
+        } else if self.present[idx]
+            && self.stamps[idx] == stamp
+            && self.row_events[idx]
+                .iter()
+                .rev()
+                .all(|ev| b.replay_probe(ev))
+        {
+            let procs = self.procs;
+            for (flat, ver) in &mut self.row_lanes[idx] {
+                *ver = lane_version_of(b, procs, *flat);
             }
+            self.checked_syncs[idx] = self.sync_count;
+            self.stats.replay_hits += 1;
+            plan_valid = true;
         }
         if !plan_valid {
-            let mut events = self.events_pool.pop().unwrap_or_default();
+            // Recompute straight into the row's persistent event buffer —
+            // no allocation in steady state. The row is marked absent while
+            // its buffers are being clobbered so an error cannot leave a
+            // half-updated row behind.
+            self.present[idx] = false;
+            let events = &mut self.row_events[idx];
             events.clear();
-            let plan = match b.probe_plan(op, proc, &mut events, &mut self.scratch) {
-                Ok(plan) => plan,
-                Err(e) => {
-                    self.events_pool.push(events);
-                    return Err(e);
-                }
-            };
-            self.install_plan(b, idx, stamp, plan, events);
+            let plan = b.probe_plan(op, proc, events, &mut self.scratch)?;
+            self.install_plan(b, idx, stamp, plan);
         }
-        // Point layer: complete against the (volatile) processor lane.
+        Ok(self.complete_point(b, idx, proc))
+    }
+
+    /// Point layer: completes the row's plan against the (volatile)
+    /// processor lane, reusing the completed value while the lane version
+    /// is unchanged, and bumps the row generation when the value moved.
+    /// The row's plan must be valid.
+    fn complete_point(
+        &mut self,
+        b: &ScheduleBuilder<'_>,
+        idx: usize,
+        proc: ProcId,
+    ) -> (ProbePoint, u64) {
         let pv = b.lane_version(Lane::Proc(proc));
-        let next_gen = &mut self.next_gen;
-        let e = self.entries[idx].as_mut().expect("entry present");
-        let point = match e.plan {
+        let point = match self.plans[idx] {
             PlanProbe::Fixed(p) => p,
             PlanProbe::Ready {
                 best_ready,
                 worst_ready,
                 dur,
             } => {
-                if e.proc_ver == pv {
-                    e.point
+                if self.proc_vers[idx] == pv {
+                    self.points[idx]
                 } else {
-                    e.proc_ver = pv;
+                    self.proc_vers[idx] = pv;
                     match self.focus {
                         PointFocus::Full => {
                             let start_best = b.proc_probe(proc, best_ready, dur);
@@ -381,115 +441,97 @@ impl ProbeCache {
                 }
             }
         };
-        if point != e.point {
-            e.point = point;
-            e.gen = *next_gen;
-            *next_gen += 1;
+        if point != self.points[idx] {
+            self.points[idx] = point;
+            self.gens[idx] = self.next_gen;
+            self.next_gen += 1;
         }
-        Ok((point, e.gen))
+        (point, self.gens[idx])
     }
 
-    /// Installs a freshly computed plan for the pair at `idx`: recycles
-    /// the replaced entry's buffers into the pools, preserves its
-    /// point/generation for value-change detection, and stamps the new
-    /// entry as validated in the current sync span. Shared by the serial
-    /// recompute path and the parallel apply phase so the entry layout has
-    /// a single owner.
-    fn install_plan(
-        &mut self,
-        b: &ScheduleBuilder<'_>,
-        idx: usize,
-        stamp: u64,
-        plan: PlanProbe,
-        events: Vec<ProbeEvent>,
-    ) {
+    /// Installs a freshly computed plan for the pair at `idx`, whose
+    /// recorded events are already in `row_events[idx]`: derives the
+    /// consulted lanes and their mask in place, preserves the previous
+    /// point/generation for value-change detection, and stamps the row as
+    /// validated in the current sync span. Shared by the serial recompute
+    /// path and the parallel apply phase so the row layout has one owner.
+    fn install_plan(&mut self, b: &ScheduleBuilder<'_>, idx: usize, stamp: u64, plan: PlanProbe) {
         self.stats.recomputes += 1;
-        let (point, gen) = match self.entries[idx].take() {
-            Some(e) => {
-                self.events_pool.push(e.events);
-                self.lanes_pool.push(e.lanes);
-                (e.point, e.gen)
-            }
-            None => {
-                let gen = self.next_gen;
-                self.next_gen += 1;
-                // Placeholder that cannot equal a real probe, so the first
-                // completion always bumps the generation.
-                let never = ProbePoint {
-                    start_best: Time::MAX,
-                    start_worst: Time::MAX,
-                    end_best: Time::MAX,
+        if !self.present[idx] && self.gens[idx] == 0 && self.points[idx].start_best == Time::MAX {
+            // First compute of this row: reserve a fresh generation so the
+            // first completion always bumps it (the placeholder point can
+            // never equal a real probe).
+            self.gens[idx] = self.next_gen;
+            self.next_gen += 1;
+        }
+        let mask = {
+            let lanes = &mut self.row_lanes[idx];
+            lanes.clear();
+            let mut mask = 0u64;
+            for ev in &self.row_events[idx] {
+                let flat = match ev.lane {
+                    Lane::Proc(p) => p.index(),
+                    Lane::Link(l) => self.procs + l.index(),
                 };
-                (never, gen)
+                if !lanes.iter().any(|&(l, _)| l as usize == flat) {
+                    lanes.push((flat as u32, b.lane_version(ev.lane)));
+                    mask |= if flat < 64 {
+                        1u64 << flat
+                    } else {
+                        LANES_MASK_ALL
+                    };
+                }
             }
+            mask
         };
-        let mut lanes = self.lanes_pool.pop().unwrap_or_default();
-        lanes.clear();
-        let lanes_mask = lanes_of(b, self.procs, &events, &mut lanes);
-        self.entries[idx] = Some(Entry {
-            stamp,
-            plan,
-            lanes,
-            lanes_mask,
-            events,
-            proc_ver: u64::MAX,
-            point,
-            gen,
-            checked_sync: self.sync_count,
-        });
+        self.stamps[idx] = stamp;
+        self.plans[idx] = plan;
+        self.lanes_masks[idx] = mask;
+        self.checked_syncs[idx] = self.sync_count;
+        self.proc_vers[idx] = u64::MAX;
+        self.present[idx] = true;
     }
 
     /// Drops the cached row of `op` (called when it leaves the candidate
-    /// set — its pairs will never be probed again), recycling its buffers.
+    /// set — its pairs will never be probed again). The rows' buffers stay
+    /// in place for later reuse.
     pub fn forget_op(&mut self, op: OpId) {
         for proc in 0..self.procs {
-            if let Some(e) = self.entries[op.index() * self.procs + proc].take() {
-                self.events_pool.push(e.events);
-                self.lanes_pool.push(e.lanes);
-            }
+            self.present[op.index() * self.procs + proc] = false;
         }
     }
-}
-
-/// Collects the distinct lanes consulted by `events` into `lanes`, stamped
-/// with their current versions (first-occurrence order; the lists are
-/// short, linear dedup), returning their bit image over the flat lane
-/// space.
-fn lanes_of(
-    b: &ScheduleBuilder<'_>,
-    n_procs: usize,
-    events: &[ProbeEvent],
-    lanes: &mut Vec<(Lane, u64)>,
-) -> u64 {
-    let mut mask = 0u64;
-    for ev in events {
-        if !lanes.iter().any(|&(l, _)| l == ev.lane) {
-            lanes.push((ev.lane, b.lane_version(ev.lane)));
-            let flat = match ev.lane {
-                Lane::Proc(p) => p.index(),
-                Lane::Link(l) => n_procs + l.index(),
-            };
-            mask |= if flat < 64 {
-                1u64 << flat
-            } else {
-                LANES_MASK_ALL
-            };
-        }
-    }
-    mask
 }
 
 /// Cached evaluation of one candidate operation.
 #[derive(Debug, Clone, Default)]
 struct OpEval {
     valid: bool,
+    /// Replica-set stamp when the evaluation was built (dirty-set tier 1).
+    stamp: u64,
+    /// Sync span in which the op's plan layer was last known valid; the
+    /// plan-clean skip requires the current or previous span.
+    eval_sync: u64,
+    /// Union of the pairs' consulted-lane masks (link lanes — the plan
+    /// layer's dependency; the point layer is guarded per pair by the
+    /// exact `proc_vers` row field instead).
+    plan_mask: u64,
     /// Selection key of the kept-set maximum pressure (monotone bit image
     /// of the non-negative `f64`).
     urgency_bits: u64,
     /// The `Npf + 1` kept processors, ascending by `(pressure, proc)`.
     kept: Vec<(ProcId, f64)>,
-    /// Sum of the pair entry generations the eval was built from.
+    /// Sum of the pair row generations the eval was built from.
     gen_sum: u64,
+}
+
+/// Current builder version of a flat lane (processors first, then links).
+fn lane_version_of(b: &ScheduleBuilder<'_>, procs: usize, flat: u32) -> u64 {
+    let flat = flat as usize;
+    if flat < procs {
+        b.lane_version(Lane::Proc(ProcId::from_index(flat)))
+    } else {
+        b.lane_version(Lane::Link(ftbar_model::LinkId::from_index(flat - procs)))
+    }
 }
 
 /// Outcome of re-evaluating one dirty pair's plan layer (parallel phase).
@@ -506,8 +548,10 @@ enum PairOutcome {
 /// [`ProbeCache`] owned by the caller (the [`crate::engine::Engine`]
 /// pipeline, which also owns the builder the cache shadows). One
 /// [`SweepEngine::select`] call per main-loop step replaces the naive full
-/// sweep. The borrowed cache's [`PointFocus`] must match the cost function
-/// (`WorstOnly` for schedule pressure, `BestOnly` for earliest start);
+/// sweep; candidates untouched by the last placement are skipped without
+/// probing any of their pairs (see the module docs). The borrowed cache's
+/// [`PointFocus`] must match the cost function (`WorstOnly` for schedule
+/// pressure, `BestOnly` for earliest start);
 /// [`crate::ftbar::schedule_with`] wires this up.
 #[derive(Debug)]
 pub struct SweepEngine {
@@ -524,9 +568,13 @@ pub struct SweepEngine {
     allowed: Vec<ProcId>,
     allowed_off: Vec<u32>,
     evals: Vec<OpEval>,
+    /// Per-pair pressures, flat parallel to `allowed`: the σ value each
+    /// pair contributed to its op's latest kept set. Plan-clean refreshes
+    /// update only the entries whose processor lane moved.
+    sig: Vec<f64>,
     /// Scratch: per-step dirty pairs `(op, proc, replayable)`.
     dirty: Vec<(OpId, ProcId, bool)>,
-    /// Scratch: per-candidate sigmas.
+    /// Scratch: per-candidate sigmas for kept-set rebuilds.
     sigmas: Vec<(ProcId, f64)>,
 }
 
@@ -549,6 +597,7 @@ impl SweepEngine {
                 .unwrap_or(1),
             k: problem.replication(),
             bottom: alg.ops().map(|op| pressure.bottom_level(op)).collect(),
+            sig: vec![0.0; allowed.len()],
             allowed,
             allowed_off,
             evals: vec![OpEval::default(); alg.op_count()],
@@ -563,9 +612,61 @@ impl SweepEngine {
         self.parallel = parallel;
     }
 
+    /// True if `op`'s *plan layer* is provably current across all its
+    /// pairs: the evaluation was built at the same replica-set stamp,
+    /// validated in the current or previous quiescent span, and none of
+    /// the link lanes any pair's plan consulted changed since. The pairs'
+    /// input plans — the expensive half — are then exact without touching
+    /// a single row; only the per-pair point completions (guarded exactly
+    /// by the rows' processor-lane versions) may still need refreshing.
+    fn plan_clean(&self, op: OpId, stamp: u64, sync: u64, changed: u64) -> bool {
+        let eval = &self.evals[op.index()];
+        eval.valid
+            && eval.stamp == stamp
+            && (eval.eval_sync == sync
+                || (eval.eval_sync + 1 == sync && eval.plan_mask & changed == 0))
+    }
+
+    /// Rebuilds `op`'s kept set and urgency from the σ values in
+    /// `self.sig` (micro-step À: top-(Npf+1) selection, then order the
+    /// kept set — replaces the naive full sort).
+    fn rebuild_kept(&mut self, op: OpId) {
+        let span = self.allowed_off[op.index()] as usize..self.allowed_off[op.index() + 1] as usize;
+        self.sigmas.clear();
+        for pi in span {
+            self.sigmas.push((self.allowed[pi], self.sig[pi]));
+        }
+        let cmp = |a: &(ProcId, f64), b: &(ProcId, f64)| {
+            a.1.partial_cmp(&b.1)
+                .expect("pressures are finite")
+                .then(a.0.cmp(&b.0))
+        };
+        if self.sigmas.len() > self.k {
+            self.sigmas.select_nth_unstable_by(self.k - 1, cmp);
+        }
+        self.sigmas.truncate(self.k);
+        self.sigmas.sort_by(cmp);
+        let urgency = self.sigmas.last().expect("k >= 1").1;
+        let eval = &mut self.evals[op.index()];
+        eval.kept.clear();
+        eval.kept.extend_from_slice(&self.sigmas);
+        eval.urgency_bits = urgency.to_bits();
+    }
+
+    /// The cost function applied to a completed probe point.
+    fn sigma_of(&self, op: OpId, point: ProbePoint) -> f64 {
+        match self.cost {
+            CostFunction::SchedulePressure => {
+                point.start_worst.as_units() + self.bottom[op.index()]
+            }
+            CostFunction::EarliestStart => point.start_best.as_units(),
+        }
+    }
+
     /// Runs micro-steps À and Á: refreshes every dirty ⟨candidate,
     /// processor⟩ pair, rebuilds the affected kept sets, and returns the
-    /// most urgent candidate. `cand` must be the current candidate set.
+    /// most urgent candidate. `cand` must be the current candidate set,
+    /// ascending by operation id.
     ///
     /// # Errors
     ///
@@ -577,59 +678,79 @@ impl SweepEngine {
         &mut self,
         cache: &mut ProbeCache,
         b: &ScheduleBuilder<'_>,
-        cand: &BTreeSet<OpId>,
+        cand: &[OpId],
     ) -> Result<(OpId, &[(ProcId, f64)]), ScheduleError> {
         if self.parallel {
             self.refresh_parallel(cache, b, cand)?;
         }
-        // Serial refresh + eval rebuild. After refresh_parallel this only
-        // revalidates version-clean pairs (cheap) and sums generations.
-        // `best` is the flat max-structure over kept-set pressures:
-        // candidates iterate in ascending id order and the comparison is
-        // strictly greater, reproducing the naive sweep's tie-break
-        // (largest urgency, then smallest operation id).
+        // Serial refresh + eval rebuild, with the dirty-set skip:
+        // plan-clean candidates bypass every pair-row validation tier and
+        // only re-complete points whose processor lane actually moved —
+        // each step pays only for the pairs the last placement perturbed.
+        // After refresh_parallel the dirty candidates' pair rows are
+        // already recomputed, so the full path only revalidates (cheap)
+        // and sums generations. `best` is the flat max-structure over
+        // kept-set pressures: candidates iterate in ascending id order and
+        // the comparison is strictly greater, reproducing the naive
+        // sweep's tie-break (largest urgency, then smallest operation id).
         let mut best: Option<(u64, OpId)> = None;
         cache.sync(b);
+        let (sync, changed) = (cache.sync_count, cache.changed_lanes);
         for &op in cand {
-            let eval = &self.evals[op.index()];
-            let (prev_valid, prev_gen_sum) = (eval.valid, eval.gen_sum);
             let stamp = cache.stamp(b, op);
-            let mut gen_sum = 0u64;
-            self.sigmas.clear();
-            for pi in self.allowed_off[op.index()]..self.allowed_off[op.index() + 1] {
-                let proc = self.allowed[pi as usize];
-                let (point, gen) = cache.probe_entry(b, op, proc, stamp)?;
-                gen_sum += gen;
-                let sigma = match self.cost {
-                    CostFunction::SchedulePressure => {
-                        point.start_worst.as_units() + self.bottom[op.index()]
+            if self.plan_clean(op, stamp, sync, changed) {
+                // Point-only refresh: every pair's plan is exact; σ moves
+                // only where the hosting processor's lane version did.
+                cache.stats.skipped_ops += 1;
+                let mut gen_sum = 0u64;
+                let mut moved = false;
+                for pi in self.allowed_off[op.index()]..self.allowed_off[op.index() + 1] {
+                    let pi = pi as usize;
+                    let proc = self.allowed[pi];
+                    let idx = cache.idx(op, proc);
+                    if let PlanProbe::Ready { .. } = cache.plans[idx] {
+                        if cache.proc_vers[idx] != b.lane_version(Lane::Proc(proc)) {
+                            let (point, _) = cache.complete_point(b, idx, proc);
+                            let sigma = self.sigma_of(op, point);
+                            if sigma != self.sig[pi] {
+                                self.sig[pi] = sigma;
+                                moved = true;
+                            }
+                        }
                     }
-                    CostFunction::EarliestStart => point.start_best.as_units(),
-                };
-                self.sigmas.push((proc, sigma));
-            }
-            if !(prev_valid && gen_sum == prev_gen_sum) {
-                // Some pair's value moved: rebuild the kept set.
-                if self.sigmas.len() < self.k {
+                    gen_sum += cache.gens[idx];
+                }
+                if moved {
+                    self.rebuild_kept(op);
+                }
+                let eval = &mut self.evals[op.index()];
+                eval.eval_sync = sync;
+                eval.gen_sum = gen_sum;
+            } else {
+                let eval = &self.evals[op.index()];
+                let (prev_valid, prev_gen_sum) = (eval.valid, eval.gen_sum);
+                let mut gen_sum = 0u64;
+                let mut plan_mask = 0u64;
+                let span = self.allowed_off[op.index()]..self.allowed_off[op.index() + 1];
+                if (span.len()) < self.k {
                     return Err(ScheduleError::NotEnoughProcessors { op, needed: self.k });
                 }
-                // Micro-step À: top-(Npf+1) selection, then order the kept
-                // set (replaces the naive full sort).
-                let cmp = |a: &(ProcId, f64), b: &(ProcId, f64)| {
-                    a.1.partial_cmp(&b.1)
-                        .expect("pressures are finite")
-                        .then(a.0.cmp(&b.0))
-                };
-                if self.sigmas.len() > self.k {
-                    self.sigmas.select_nth_unstable_by(self.k - 1, cmp);
+                for pi in span {
+                    let pi = pi as usize;
+                    let proc = self.allowed[pi];
+                    let (point, gen) = cache.probe_entry(b, op, proc, stamp)?;
+                    gen_sum += gen;
+                    plan_mask |= cache.lanes_masks[cache.idx(op, proc)];
+                    self.sig[pi] = self.sigma_of(op, point);
                 }
-                self.sigmas.truncate(self.k);
-                self.sigmas.sort_by(cmp);
-                let urgency = self.sigmas.last().expect("k >= 1").1;
+                if !(prev_valid && gen_sum == prev_gen_sum) {
+                    // Some pair's value moved: rebuild the kept set.
+                    self.rebuild_kept(op);
+                }
                 let eval = &mut self.evals[op.index()];
-                eval.kept.clear();
-                eval.kept.extend_from_slice(&self.sigmas);
-                eval.urgency_bits = urgency.to_bits();
+                eval.stamp = stamp;
+                eval.eval_sync = sync;
+                eval.plan_mask = plan_mask;
                 eval.gen_sum = gen_sum;
                 eval.valid = true;
             }
@@ -650,33 +771,33 @@ impl SweepEngine {
         &mut self,
         cache: &mut ProbeCache,
         b: &ScheduleBuilder<'_>,
-        cand: &BTreeSet<OpId>,
+        cand: &[OpId],
     ) -> Result<(), ScheduleError> {
         if self.max_workers <= 1 {
             // A single worker is the serial sweep with extra thread-spawn
             // latency; let `select` do the work inline.
             return Ok(());
         }
-        // Tier-0/2 triage (cheap, serial, deterministic order).
+        // Tier-0/2 triage (cheap, serial, deterministic order), with the
+        // same plan-clean candidate skip as the serial pass (point
+        // completions are always serial — they are two binary searches).
         cache.sync(b);
+        let (sync, changed) = (cache.sync_count, cache.changed_lanes);
         self.dirty.clear();
         for &op in cand {
             let stamp = cache.stamp(b, op);
+            if self.plan_clean(op, stamp, sync, changed) {
+                continue;
+            }
             for pi in self.allowed_off[op.index()]..self.allowed_off[op.index() + 1] {
                 let proc = self.allowed[pi as usize];
                 let idx = cache.idx(op, proc);
-                match &mut cache.entries[idx] {
-                    Some(e) if e.stamp == stamp => {
-                        if (e.checked_sync + 1 >= cache.sync_count
-                            && e.lanes_mask & cache.changed_lanes == 0)
-                            || e.lanes.iter().all(|&(l, v)| b.lane_version(l) == v)
-                        {
-                            e.checked_sync = cache.sync_count;
-                        } else {
-                            self.dirty.push((op, proc, true));
-                        }
-                    }
-                    _ => self.dirty.push((op, proc, false)),
+                if cache.plan_version_valid(b, idx, stamp) {
+                    // Row provably current; nothing for the workers.
+                } else if cache.present[idx] && cache.stamps[idx] == stamp {
+                    self.dirty.push((op, proc, true));
+                } else {
+                    self.dirty.push((op, proc, false));
                 }
             }
         }
@@ -687,7 +808,7 @@ impl SweepEngine {
             .max_workers
             .min(self.dirty.len().div_ceil(PARALLEL_MIN_DIRTY));
         let chunk_len = self.dirty.len().div_ceil(workers.max(1));
-        let entries = &cache.entries;
+        let row_events = &cache.row_events;
         let procs = cache.procs;
         let dirty = &self.dirty;
         // Tier-3 + recompute, fanned out over contiguous chunks. Each pair
@@ -703,12 +824,10 @@ impl SweepEngine {
                             .iter()
                             .map(|&(op, proc, replayable)| {
                                 let idx = op.index() * procs + proc.index();
-                                if replayable {
-                                    if let Some(e) = &entries[idx] {
-                                        if e.events.iter().rev().all(|ev| b.replay_probe(ev)) {
-                                            return PairOutcome::Replayed;
-                                        }
-                                    }
+                                if replayable
+                                    && row_events[idx].iter().rev().all(|ev| b.replay_probe(ev))
+                                {
+                                    return PairOutcome::Replayed;
                                 }
                                 let mut events = Vec::new();
                                 PairOutcome::Computed(
@@ -725,7 +844,7 @@ impl SweepEngine {
         // Serial apply, in the same deterministic order the triage used.
         // Only replay_hits / recomputes are counted here — `select`'s
         // serial pass will count each pair's `probes` (and the now-valid
-        // entries as hits) exactly once, keeping the stats comparable with
+        // rows as hits) exactly once, keeping the stats comparable with
         // the serial engine's.
         let mut it = self.dirty.iter();
         let mut first_err = None;
@@ -734,17 +853,20 @@ impl SweepEngine {
             let idx = cache.idx(op, proc);
             match outcome {
                 PairOutcome::Replayed => {
-                    let sync_count = cache.sync_count;
-                    let e = cache.entries[idx].as_mut().expect("replayed entry");
-                    for (l, v) in &mut e.lanes {
-                        *v = b.lane_version(*l);
+                    let procs = cache.procs;
+                    for (flat, ver) in &mut cache.row_lanes[idx] {
+                        *ver = lane_version_of(b, procs, *flat);
                     }
-                    e.checked_sync = sync_count;
+                    cache.checked_syncs[idx] = cache.sync_count;
                     cache.stats.replay_hits += 1;
                 }
                 PairOutcome::Computed(Ok((plan, events))) => {
                     let stamp = cache.stamp(b, op);
-                    cache.install_plan(b, idx, stamp, plan, events);
+                    cache.present[idx] = false;
+                    let row = &mut cache.row_events[idx];
+                    row.clear();
+                    row.extend_from_slice(&events);
+                    cache.install_plan(b, idx, stamp, plan);
                 }
                 PairOutcome::Computed(Err(e)) => {
                     if first_err.is_none() {

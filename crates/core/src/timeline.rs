@@ -54,16 +54,33 @@ impl Slot {
 /// assert_eq!(tl.probe(Time::ZERO, Time::from_units(1.0)), Time::from_units(5.0));
 /// assert_eq!(tl.version(), 2);
 /// ```
+/// Storage is struct-of-arrays: the probe hot path touches only the
+/// densely packed `slots` and the free-`gaps` index, while the payloads —
+/// consulted by `remove` and `iter` only — live in a parallel array.
+///
+/// The gap index holds every maximal free interval strictly *between*
+/// bookings (the head gap before the first slot included, the infinite
+/// tail beyond the last slot implicit), sorted and disjoint. A probe is
+/// then two binary searches plus a scan over *gaps* — on the densely
+/// packed timelines of large schedules that replaces an O(n) walk over
+/// booked slots with O(log n) work, which is what keeps the sweep
+/// engine's point completions cheap at N = 1000 (see `DESIGN.md` §9).
+/// Every mutation repairs the index locally (split on insert, merge on
+/// remove).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Timeline<P> {
-    items: Vec<(Slot, P)>,
+    slots: Vec<Slot>,
+    payloads: Vec<P>,
+    gaps: Vec<Slot>,
     version: u64,
 }
 
 impl<P> Default for Timeline<P> {
     fn default() -> Self {
         Timeline {
-            items: Vec::new(),
+            slots: Vec::new(),
+            payloads: Vec::new(),
+            gaps: Vec::new(),
             version: 0,
         }
     }
@@ -74,7 +91,7 @@ impl<P> Default for Timeline<P> {
 /// pre-transaction self).
 impl<P: PartialEq> PartialEq for Timeline<P> {
     fn eq(&self, other: &Self) -> bool {
-        self.items == other.items
+        self.slots == other.slots && self.payloads == other.payloads
     }
 }
 
@@ -86,17 +103,17 @@ impl<P> Timeline<P> {
 
     /// Number of booked slots.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.slots.len()
     }
 
     /// True if nothing is booked.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.slots.is_empty()
     }
 
     /// End of the last booked slot ([`Time::ZERO`] when empty).
     pub fn last_end(&self) -> Time {
-        self.items.last().map_or(Time::ZERO, |(s, _)| s.end)
+        self.slots.last().map_or(Time::ZERO, |s| s.end)
     }
 
     /// Monotone mutation counter: bumped by every insert and remove, never
@@ -112,25 +129,143 @@ impl<P> Timeline<P> {
         // Common hot case: the request lands at or after every booking
         // (candidate inputs are typically ready near the schedule's
         // frontier) — nothing constrains it.
-        if ready >= self.last_end() {
+        let last = self.last_end();
+        if ready >= last {
             return ready;
         }
         // Slots ending at or before `ready` cannot constrain the result
         // (they neither push the candidate nor open an earlier return —
         // non-overlap rules out a booking that straddles `ready` next to
-        // one that ends at it), and slots are sorted by start *and* end, so
-        // skip them wholesale.
-        let from = self.items.partition_point(|(s, _)| s.end <= ready);
-        let mut candidate = ready;
-        for (slot, _) in &self.items[from..] {
-            if candidate + dur <= slot.start {
-                return candidate;
-            }
-            if slot.end > candidate {
-                candidate = slot.end;
+        // one that ends at it), and slots are sorted by start *and* end.
+        // `next` exists because `ready < last_end`.
+        let next = self.slots[self.slots.partition_point(|s| s.end <= ready)];
+        if ready + dur <= next.start {
+            // Fits before the next booking (free run or boundary point).
+            return ready;
+        }
+        if dur == Time::ZERO {
+            // `ready` is interior to `next`; the first free boundary is
+            // its end (later slots start at or after it).
+            return next.end;
+        }
+        // Otherwise the answer is the start of the first free gap at or
+        // beyond `next`'s end that is long enough, or the implicit tail.
+        // Gap starts are slot ends, so every such gap starts `>= ready`.
+        let gi = self.gaps.partition_point(|g| g.start < next.end);
+        for g in &self.gaps[gi..] {
+            if g.end - g.start >= dur {
+                return g.start;
             }
         }
-        candidate
+        last
+    }
+
+    /// Repairs the gap index around a just-inserted slot at `pos`: the
+    /// free interval that covered `[slot.start, slot.end)` is split into
+    /// its remainders (either may be empty; a zero-width slot splits a gap
+    /// into two abutting pieces, preserving its barrier semantics).
+    fn split_gap_at(&mut self, pos: usize, slot: Slot) {
+        let prev_end = if pos > 0 {
+            self.slots[pos - 1].end
+        } else {
+            Time::ZERO
+        };
+        // `pos` is the slot's own index; its successor (pre-insert next) is
+        // at `pos + 1` now.
+        if let Some(next) = self.slots.get(pos + 1) {
+            let next_start = next.start;
+            if prev_end < next_start {
+                let gi = self.gaps.partition_point(|g| g.start < prev_end);
+                debug_assert!(
+                    self.gaps
+                        .get(gi)
+                        .is_some_and(|g| g.start == prev_end && g.end == next_start),
+                    "covering gap present in the index"
+                );
+                self.gaps.remove(gi);
+                let mut at = gi;
+                if prev_end < slot.start {
+                    self.gaps.insert(
+                        at,
+                        Slot {
+                            start: prev_end,
+                            end: slot.start,
+                        },
+                    );
+                    at += 1;
+                }
+                if slot.end < next_start {
+                    self.gaps.insert(
+                        at,
+                        Slot {
+                            start: slot.end,
+                            end: next_start,
+                        },
+                    );
+                }
+            }
+        } else if prev_end < slot.start {
+            // Appended past the end: the tail is implicit, only the free
+            // run before the new slot becomes a tracked gap (and it is the
+            // last one, since all existing gaps lie before `prev_end`).
+            self.gaps.push(Slot {
+                start: prev_end,
+                end: slot.start,
+            });
+        }
+    }
+
+    /// Repairs the gap index around a just-removed slot that occupied
+    /// `pos`: its flanking gap pieces (if any) and the freed interval
+    /// merge back into one gap — or vanish into the implicit tail when the
+    /// removed slot was the last one.
+    fn merge_gap_at(&mut self, pos: usize, slot: Slot) {
+        let prev_end = if pos > 0 {
+            self.slots[pos - 1].end
+        } else {
+            Time::ZERO
+        };
+        // The flanking pieces sit consecutively at `gi` (no other gap can
+        // start inside the interval the neighbours and `slot` covered).
+        // Each piece exists exactly when its interval is non-empty — the
+        // index invariant — so presence is decided by the times, not by
+        // matching starts (a zero-width slot makes both pieces share a
+        // boundary).
+        let gi = self.gaps.partition_point(|g| g.start < prev_end);
+        if let Some(next) = self.slots.get(pos) {
+            let next_start = next.start;
+            if prev_end < slot.start {
+                debug_assert_eq!(
+                    (self.gaps[gi].start, self.gaps[gi].end),
+                    (prev_end, slot.start)
+                );
+                self.gaps.remove(gi);
+            }
+            if slot.end < next_start {
+                debug_assert_eq!(
+                    (self.gaps[gi].start, self.gaps[gi].end),
+                    (slot.end, next_start)
+                );
+                self.gaps.remove(gi);
+            }
+            if prev_end < next_start {
+                self.gaps.insert(
+                    gi,
+                    Slot {
+                        start: prev_end,
+                        end: next_start,
+                    },
+                );
+            }
+        } else if prev_end < slot.start {
+            // Removed the last slot: the piece before it joins the
+            // implicit tail.
+            debug_assert_eq!(
+                (self.gaps[gi].start, self.gaps[gi].end),
+                (prev_end, slot.start)
+            );
+            self.gaps.remove(gi);
+        }
     }
 
     /// Books `[t, t + dur)` at the earliest feasible `t ≥ ready` and returns
@@ -142,9 +277,11 @@ impl<P> Timeline<P> {
             end: start + dur,
         };
         let pos = self
-            .items
-            .partition_point(|(s, _)| (s.start, s.end) <= (slot.start, slot.start + dur));
-        self.items.insert(pos, (slot, payload));
+            .slots
+            .partition_point(|s| (s.start, s.end) <= (slot.start, slot.start + dur));
+        self.slots.insert(pos, slot);
+        self.payloads.insert(pos, payload);
+        self.split_gap_at(pos, slot);
         self.version += 1;
         slot
     }
@@ -160,30 +297,32 @@ impl<P> Timeline<P> {
             end: start + dur,
         };
         let pos = self
-            .items
-            .partition_point(|(s, _)| (s.start, s.end) <= (slot.start, slot.end));
+            .slots
+            .partition_point(|s| (s.start, s.end) <= (slot.start, slot.end));
         // Booked slots are sorted and pairwise disjoint, so only the
         // immediate neighbours of the insertion point can overlap (and the
         // earlier one first, preserving the reported conflict).
         if pos > 0 {
-            let prev = self.items[pos - 1].0;
+            let prev = self.slots[pos - 1];
             if prev.overlaps(&slot) {
                 return Err(prev);
             }
         }
-        if let Some(&(next, _)) = self.items.get(pos) {
+        if let Some(&next) = self.slots.get(pos) {
             if next.overlaps(&slot) {
                 return Err(next);
             }
         }
-        self.items.insert(pos, (slot, payload));
+        self.slots.insert(pos, slot);
+        self.payloads.insert(pos, payload);
+        self.split_gap_at(pos, slot);
         self.version += 1;
         Ok(slot)
     }
 
     /// Iterates over `(slot, payload)` in start order.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = (Slot, &P)> {
-        self.items.iter().map(|(s, p)| (*s, p))
+        self.slots.iter().copied().zip(self.payloads.iter())
     }
 
     /// Removes the booking holding `payload` and returns its slot, or
@@ -196,26 +335,44 @@ impl<P> Timeline<P> {
     {
         // Rollback removes the most recent bookings, which usually sit at
         // the tail of the time-sorted store: scan from the back.
-        let pos = self.items.iter().rposition(|(_, p)| p == payload)?;
+        let pos = self.payloads.iter().rposition(|p| p == payload)?;
         self.version += 1;
-        Some(self.items.remove(pos).0)
+        self.payloads.remove(pos);
+        let slot = self.slots.remove(pos);
+        self.merge_gap_at(pos, slot);
+        Some(slot)
     }
 
     /// Total booked duration.
     pub fn busy_time(&self) -> Time {
-        self.items
+        self.slots
             .iter()
-            .map(|(s, _)| s.duration())
+            .map(Slot::duration)
             .fold(Time::ZERO, |a, b| a + b)
     }
 
-    /// Verifies the sorted non-overlap invariant (used by the validator and
-    /// the property tests).
+    /// Verifies the sorted non-overlap invariant and the gap index (used
+    /// by the validator and the property tests).
     pub fn check_invariants(&self) -> bool {
-        self.items.windows(2).all(|w| {
-            let (a, b) = (&w[0].0, &w[1].0);
-            a.start <= b.start && !a.overlaps(b)
-        })
+        let sorted = self.slots.len() == self.payloads.len()
+            && self.slots.windows(2).all(|w| {
+                let (a, b) = (&w[0], &w[1]);
+                a.start <= b.start && !a.overlaps(b)
+            });
+        // The gap index must be exactly the non-empty free intervals
+        // between consecutive bookings (head gap included, tail implicit).
+        let mut expected = Vec::new();
+        let mut prev_end = Time::ZERO;
+        for s in &self.slots {
+            if prev_end < s.start {
+                expected.push(Slot {
+                    start: prev_end,
+                    end: s.start,
+                });
+            }
+            prev_end = s.end;
+        }
+        sorted && self.gaps == expected
     }
 }
 

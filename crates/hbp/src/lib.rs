@@ -46,22 +46,74 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::BTreeSet;
-
 use ftbar_core::engine::{Engine, EngineConfig, EngineCx, EnginePools, PlacementPolicy};
 use ftbar_core::{PointFocus, Schedule, ScheduleError};
 use ftbar_graph::node_levels;
 use ftbar_model::{OpId, Problem, ProcId, Time};
 
-/// Tunable knobs of the HBP scheduler.
-#[derive(Debug, Clone, Default)]
-pub struct HbpConfig {
+/// How the processor pair for a task's two copies is searched.
+///
+/// All variants produce bit-identical schedules (asserted by the
+/// cross-engine property tests); the exhaustive search is retained as the
+/// reference and for benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PairSearch {
+    /// Pick per problem size: [`PairSearch::Exhaustive`] below
+    /// [`HbpConfig::adaptive_cutoff`] operations, [`PairSearch::Pruned`]
+    /// at or above it. The pruned search has won at every size measured so
+    /// far (`BENCH_scheduling.json`), so the default cutoff is `0`; the
+    /// knob exists for symmetry with FTBAR's adaptive sweep and for hosts
+    /// where the crossover differs.
+    #[default]
+    Adaptive,
+    /// Bound the ordered-pair search with cached single-copy probes and
+    /// stop once the bound exceeds the best pair found.
+    Pruned,
     /// Evaluate every ordered processor pair unconditionally (the
-    /// published algorithm verbatim) instead of pruning with probe-cache
-    /// lower bounds. Both settings produce bit-identical schedules
-    /// (asserted by the cross-engine property tests); the exhaustive
-    /// search is retained as the reference and for benchmarks.
-    pub exhaustive_pairs: bool,
+    /// published algorithm verbatim), uncached.
+    Exhaustive,
+}
+
+/// Default [`HbpConfig::adaptive_cutoff`]: the pruned search wins at every
+/// measured size, so adaptive resolves to pruned everywhere.
+pub const ADAPTIVE_PAIR_CUTOFF: usize = 0;
+
+/// Tunable knobs of the HBP scheduler.
+#[derive(Debug, Clone)]
+pub struct HbpConfig {
+    /// Processor-pair search strategy (size-adaptive by default).
+    pub pair_search: PairSearch,
+    /// Problem size (operation count) at which [`PairSearch::Adaptive`]
+    /// switches from the exhaustive to the pruned search.
+    pub adaptive_cutoff: usize,
+}
+
+impl Default for HbpConfig {
+    fn default() -> Self {
+        HbpConfig {
+            pair_search: PairSearch::default(),
+            adaptive_cutoff: ADAPTIVE_PAIR_CUTOFF,
+        }
+    }
+}
+
+impl HbpConfig {
+    /// The concrete pair search used for a problem of `n_ops` operations:
+    /// [`PairSearch::Adaptive`] resolves by
+    /// [`HbpConfig::adaptive_cutoff`], the explicit strategies to
+    /// themselves. Never returns [`PairSearch::Adaptive`].
+    pub fn resolved_pairs(&self, n_ops: usize) -> PairSearch {
+        match self.pair_search {
+            PairSearch::Adaptive => {
+                if n_ops >= self.adaptive_cutoff {
+                    PairSearch::Pruned
+                } else {
+                    PairSearch::Exhaustive
+                }
+            }
+            explicit => explicit,
+        }
+    }
 }
 
 /// Schedules `problem` with the HBP heuristic (pruned pair search).
@@ -100,10 +152,11 @@ pub fn schedule_with_pools(
     pools: EnginePools,
 ) -> Result<(Schedule, EnginePools), ScheduleError> {
     let policy = HbpPolicy::new(problem);
+    let exhaustive = config.resolved_pairs(problem.alg().op_count()) == PairSearch::Exhaustive;
     let engine_config = EngineConfig {
         // The pruned pair search bounds with cached single-copy probes; the
         // exhaustive reference never probes ahead, so it runs uncached.
-        cache: (!config.exhaustive_pairs).then_some(PointFocus::Full),
+        cache: (!exhaustive).then_some(PointFocus::Full),
         trace: false,
     };
     let out = Engine::with_pools(problem, policy, engine_config, pools).run()?;
@@ -170,11 +223,7 @@ impl HbpPolicy {
 }
 
 impl PlacementPolicy for HbpPolicy {
-    fn select(
-        &mut self,
-        _cx: &mut EngineCx<'_>,
-        _ready: &BTreeSet<OpId>,
-    ) -> Result<OpId, ScheduleError> {
+    fn select(&mut self, _cx: &mut EngineCx<'_>, _ready: &[OpId]) -> Result<OpId, ScheduleError> {
         let op = self.order[self.cursor];
         self.cursor += 1;
         Ok(op)
@@ -365,11 +414,31 @@ mod tests {
         let exhaustive = schedule_with(
             &p,
             &HbpConfig {
-                exhaustive_pairs: true,
+                pair_search: PairSearch::Exhaustive,
+                ..HbpConfig::default()
             },
         )
         .unwrap();
         assert_eq!(pruned, exhaustive);
+    }
+
+    #[test]
+    fn adaptive_pair_search_flips_at_the_cutoff() {
+        let config = HbpConfig {
+            pair_search: PairSearch::Adaptive,
+            adaptive_cutoff: 10,
+        };
+        assert_eq!(config.resolved_pairs(9), PairSearch::Exhaustive);
+        assert_eq!(config.resolved_pairs(10), PairSearch::Pruned);
+        // Explicit strategies resolve to themselves regardless of size.
+        let forced = HbpConfig {
+            pair_search: PairSearch::Exhaustive,
+            adaptive_cutoff: 0,
+        };
+        assert_eq!(forced.resolved_pairs(1_000), PairSearch::Exhaustive);
+        // The default cutoff keeps the pruned search everywhere (it wins
+        // at every measured size).
+        assert_eq!(HbpConfig::default().resolved_pairs(1), PairSearch::Pruned);
     }
 
     #[test]

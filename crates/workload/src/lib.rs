@@ -10,7 +10,10 @@
 //! * [`arch`] — architecture generators: fully connected point-to-point
 //!   meshes (the paper's 4-processor setup), rings, and single buses;
 //! * [`timing`] — attaches `Exe`/`Dis` tables to any algorithm/architecture
-//!   pair with controlled heterogeneity and CCR.
+//!   pair with controlled heterogeneity and CCR;
+//! * [`presets`] — the shared seed/topology scaffolding of the integration
+//!   tests and bench binaries, including the deterministic large-N
+//!   (`N = 200/500/1000`) scheduling-time instances.
 //!
 //! All randomness comes from a caller-provided seed; every generator is a
 //! pure function of its config.
@@ -38,7 +41,9 @@
 pub mod arch;
 pub mod families;
 mod layered_gen;
+pub mod presets;
 mod timing_gen;
 
 pub use layered_gen::{layered, LayeredConfig};
+pub use presets::{problem_on, scheduling_point, Topology};
 pub use timing_gen::{timing, TimingConfig};

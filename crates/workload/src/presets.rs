@@ -1,0 +1,132 @@
+//! Shared problem presets: one place for the seed/topology scaffolding the
+//! integration tests, property suites, and bench binaries used to copy.
+//!
+//! Two families:
+//!
+//! * [`problem_on`] — a layered random problem on one of the four
+//!   supported [`Topology`] families, with the same generator parameters
+//!   the cross-engine and incremental-sweep suites have always used (so
+//!   pinned golden schedules keep matching);
+//! * [`scheduling_point`] — the deterministic problems behind the
+//!   committed `BENCH_scheduling.json` scheduling-time points, including
+//!   the large-N presets (`N = 200/500/1000`). Parameters are part of the
+//!   perf trajectory: changing them invalidates every committed median.
+
+use ftbar_model::Problem;
+
+use crate::{arch, layered, timing, LayeredConfig, TimingConfig};
+
+/// The topology families every engine/optimization must agree on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Fully connected 4-processor machine (the paper's model).
+    Full,
+    /// 4-processor ring (multi-hop routes, store-and-forward).
+    Ring,
+    /// 3×2 mesh.
+    Mesh,
+    /// 3-dimensional hypercube.
+    Hypercube,
+}
+
+impl Topology {
+    /// All four families, in the order property tests index them.
+    pub const ALL: [Topology; 4] = [
+        Topology::Full,
+        Topology::Ring,
+        Topology::Mesh,
+        Topology::Hypercube,
+    ];
+
+    /// Deterministic family from an arbitrary index (property-test draw).
+    pub fn from_index(index: usize) -> Topology {
+        Self::ALL[index % Self::ALL.len()]
+    }
+
+    /// The family's architecture instance.
+    pub fn arch(self) -> ftbar_model::Arch {
+        match self {
+            Topology::Full => arch::fully_connected(4),
+            Topology::Ring => arch::ring(4),
+            Topology::Mesh => arch::mesh(3, 2),
+            Topology::Hypercube => arch::hypercube(3),
+        }
+    }
+
+    /// Short label for test/bench diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Topology::Full => "full",
+            Topology::Ring => "ring4",
+            Topology::Mesh => "mesh3x2",
+            Topology::Hypercube => "hypercube3",
+        }
+    }
+}
+
+/// A layered random problem on `topology` with `n_ops` operations,
+/// communication-to-computation ratio `ccr`, `Npf = 1`, and otherwise
+/// default generator parameters — the scaffolding shared by the
+/// cross-engine and incremental-sweep suites.
+pub fn problem_on(topology: Topology, n_ops: usize, ccr: f64, seed: u64) -> Problem {
+    let alg = layered(&LayeredConfig {
+        n_ops,
+        seed,
+        ..Default::default()
+    });
+    timing(
+        alg,
+        topology.arch(),
+        &TimingConfig {
+            ccr,
+            npf: 1,
+            seed,
+            ..Default::default()
+        },
+    )
+    .expect("generated problems are valid")
+}
+
+/// The deterministic problem behind the `scheduling_time` /
+/// `BENCH_scheduling.json` point at `n_ops` operations: fully connected
+/// 4-processor machine, CCR 5, `Npf = 1`, seed `40_000 + n_ops`. Used by
+/// `perf_gate`, the Criterion benches, and the large-N property tests, so
+/// every consumer measures the exact same instance.
+pub fn scheduling_point(n_ops: usize) -> Problem {
+    problem_on(Topology::Full, n_ops, 5.0, 40_000 + n_ops as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topologies_cycle_deterministically() {
+        assert_eq!(Topology::from_index(0), Topology::Full);
+        assert_eq!(Topology::from_index(5), Topology::Ring);
+        for t in Topology::ALL {
+            assert!(t.arch().proc_count() >= 4, "{} too small", t.name());
+        }
+    }
+
+    #[test]
+    fn scheduling_point_matches_its_parameters() {
+        let p = scheduling_point(20);
+        assert_eq!(p.alg().op_count(), 20);
+        assert_eq!(p.arch().proc_count(), 4);
+        assert_eq!(p.npf(), 1);
+        // Pure function of the size: regenerating gives the same problem.
+        let q = scheduling_point(20);
+        assert_eq!(p.alg().op_count(), q.alg().op_count());
+        assert_eq!(
+            ftbar_core_free_probe(&p),
+            ftbar_core_free_probe(&q),
+            "presets must be deterministic"
+        );
+    }
+
+    /// A cheap deterministic fingerprint without depending on ftbar-core.
+    fn ftbar_core_free_probe(p: &Problem) -> (usize, usize, u32) {
+        (p.alg().dep_count(), p.arch().link_count(), p.npf())
+    }
+}

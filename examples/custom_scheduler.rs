@@ -16,8 +16,6 @@
 //! cargo run --example custom_scheduler
 //! ```
 
-use std::collections::BTreeSet;
-
 use ftbar::core::engine::{Engine, EngineConfig, EngineCx, PlacementPolicy};
 use ftbar::core::{Schedule, ScheduleError};
 use ftbar::model::{OpId, ProcId};
@@ -43,13 +41,9 @@ impl RoundRobinDuplex {
 }
 
 impl PlacementPolicy for RoundRobinDuplex {
-    fn select(
-        &mut self,
-        _cx: &mut EngineCx<'_>,
-        ready: &BTreeSet<OpId>,
-    ) -> Result<OpId, ScheduleError> {
+    fn select(&mut self, _cx: &mut EngineCx<'_>, ready: &[OpId]) -> Result<OpId, ScheduleError> {
         // No urgency notion: first ready operation (smallest id).
-        Ok(*ready.iter().next().expect("ready set is non-empty"))
+        Ok(*ready.first().expect("ready set is non-empty"))
     }
 
     fn commit(

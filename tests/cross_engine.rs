@@ -5,26 +5,11 @@
 use ftbar::model::{ProcId, Time};
 use ftbar::prelude::*;
 use ftbar::sim::executive::{self, ExecOutcome};
-use ftbar::workload::{arch, layered, timing, LayeredConfig, TimingConfig};
+use ftbar::workload::presets::{problem_on, Topology};
 use proptest::prelude::*;
 
 fn make_problem(n_ops: usize, ccr: f64, seed: u64) -> Problem {
-    let alg = layered(&LayeredConfig {
-        n_ops,
-        seed,
-        ..Default::default()
-    });
-    timing(
-        alg,
-        arch::fully_connected(4),
-        &TimingConfig {
-            ccr,
-            npf: 1,
-            seed,
-            ..Default::default()
-        },
-    )
-    .expect("valid problem")
+    problem_on(Topology::Full, n_ops, ccr, seed)
 }
 
 fn assert_executive_matches_replay(problem: &Problem, scen: &FailureScenario) {
@@ -118,34 +103,18 @@ mod golden {
     use ftbar::core::Schedule;
     use ftbar::model::Problem;
     use ftbar::prelude::*;
-    use ftbar::workload::{arch, layered, timing, LayeredConfig, TimingConfig};
+    use ftbar::workload::presets::{problem_on, Topology};
 
     /// One pinned instance per supported topology family.
     fn cases() -> Vec<(&'static str, Problem)> {
-        let topo = |name: &'static str, a: ftbar::model::Arch, seed: u64| {
-            let alg = layered(&LayeredConfig {
-                n_ops: 24,
-                seed,
-                ..Default::default()
-            });
-            let p = timing(
-                alg,
-                a,
-                &TimingConfig {
-                    ccr: 1.5,
-                    npf: 1,
-                    seed,
-                    ..Default::default()
-                },
-            )
-            .expect("valid problem");
-            (name, p)
-        };
         vec![
             ("paper", paper_example()),
-            topo("ring4_seed11", arch::ring(4), 11),
-            topo("mesh3x2_seed12", arch::mesh(3, 2), 12),
-            topo("hypercube3_seed13", arch::hypercube(3), 13),
+            ("ring4_seed11", problem_on(Topology::Ring, 24, 1.5, 11)),
+            ("mesh3x2_seed12", problem_on(Topology::Mesh, 24, 1.5, 12)),
+            (
+                "hypercube3_seed13",
+                problem_on(Topology::Hypercube, 24, 1.5, 13),
+            ),
         ]
     }
 
@@ -191,22 +160,7 @@ mod golden {
 fn executive_rejects_multi_hop_topologies() {
     // On a ring, some comms need two hops; the executive must refuse
     // rather than silently misexecute.
-    let alg = layered(&LayeredConfig {
-        n_ops: 10,
-        seed: 3,
-        ..Default::default()
-    });
-    let problem = timing(
-        alg,
-        arch::ring(4),
-        &TimingConfig {
-            ccr: 1.0,
-            npf: 1,
-            seed: 3,
-            ..Default::default()
-        },
-    )
-    .unwrap();
+    let problem = problem_on(Topology::Ring, 10, 1.0, 3);
     let schedule = ftbar_schedule(&problem).unwrap();
     let has_multi_hop = schedule.comms().iter().any(|c| c.hops.len() > 1);
     let result = executive::run(&problem, &schedule, &FailureScenario::none(4));

@@ -4,60 +4,80 @@
 //! parallel variant, and HBP's bound-pruned pair search are pure
 //! optimizations: on every problem they must reproduce the retained naive
 //! reference sweeps **bit for bit**. These property tests pin that across
-//! random problems on all supported topology families, and a unit test
-//! pins that cache invalidation fires on route-lane changes (the multi-hop
-//! booking path of the route-aware masking work).
+//! random problems on all supported topology families (shared scaffolding:
+//! `ftbar::workload::presets`), deterministic N = 200 instances pin it at
+//! the scale the large-N benches measure, a rollback-heavy stress seed
+//! churns the dirty-set selection index, and unit tests pin that cache
+//! invalidation fires on route-lane changes (the multi-hop booking path of
+//! the route-aware masking work).
 
 use ftbar::core::sweep::ProbeCache;
 use ftbar::core::{FtbarConfig, ScheduleBuilder, SweepStrategy};
 use ftbar::hbp;
 use ftbar::model::{Alg, Arch, CommTable, ExecTable, Problem, ProcId, Time};
 use ftbar::prelude::*;
-use ftbar::workload::{arch, layered, timing, LayeredConfig, TimingConfig};
+use ftbar::workload::presets::{problem_on, Topology};
 use proptest::prelude::*;
 
-/// The topology families the engine must agree on.
-#[derive(Debug, Clone, Copy)]
-enum Topology {
-    Full,
-    Ring,
-    Mesh,
-    Hypercube,
+fn incremental() -> FtbarConfig {
+    FtbarConfig {
+        sweep: SweepStrategy::Incremental,
+        ..FtbarConfig::default()
+    }
 }
 
-fn make_problem(topology: Topology, n_ops: usize, ccr: f64, seed: u64) -> Problem {
-    let a = match topology {
-        Topology::Full => arch::fully_connected(4),
-        Topology::Ring => arch::ring(4),
-        Topology::Mesh => arch::mesh(3, 2),
-        Topology::Hypercube => arch::hypercube(3),
-    };
-    let alg = layered(&LayeredConfig {
-        n_ops,
-        seed,
-        ..Default::default()
-    });
-    timing(
-        alg,
-        a,
-        &TimingConfig {
-            ccr,
-            npf: 1,
-            seed,
-            ..Default::default()
+fn naive() -> FtbarConfig {
+    FtbarConfig {
+        sweep: SweepStrategy::Naive,
+        ..FtbarConfig::default()
+    }
+}
+
+/// FTBAR bit-identity on one problem: incremental (serial and parallel)
+/// equals the naive reference sweep.
+fn assert_ftbar_engines_agree(problem: &Problem, context: &str) {
+    let naive = ftbar_schedule_with(problem, &naive())
+        .expect("schedules")
+        .schedule;
+    let inc = ftbar_schedule_with(problem, &incremental())
+        .expect("schedules")
+        .schedule;
+    assert_eq!(naive, inc, "incremental sweep diverged on {context}");
+    let parallel = ftbar_schedule_with(
+        problem,
+        &FtbarConfig {
+            parallel: true,
+            ..incremental()
         },
     )
-    .expect("valid problem")
+    .expect("schedules")
+    .schedule;
+    assert_eq!(naive, parallel, "parallel sweep diverged on {context}");
 }
 
-/// The vendored proptest stand-in has no `prop_oneof`; draw an index.
-fn topology_of(index: usize) -> Topology {
-    match index % 4 {
-        0 => Topology::Full,
-        1 => Topology::Ring,
-        2 => Topology::Mesh,
-        _ => Topology::Hypercube,
-    }
+/// HBP bit-identity on one problem: the bound-pruned pair search equals
+/// the exhaustive reference.
+fn assert_hbp_engines_agree(problem: &Problem, context: &str) {
+    let exhaustive = hbp::schedule_with(
+        problem,
+        &hbp::HbpConfig {
+            pair_search: hbp::PairSearch::Exhaustive,
+            ..hbp::HbpConfig::default()
+        },
+    )
+    .expect("schedules");
+    let pruned = hbp::schedule_with(
+        problem,
+        &hbp::HbpConfig {
+            pair_search: hbp::PairSearch::Pruned,
+            ..hbp::HbpConfig::default()
+        },
+    )
+    .expect("schedules");
+    assert_eq!(
+        exhaustive, pruned,
+        "pruned pair search diverged on {context}"
+    );
 }
 
 proptest! {
@@ -71,22 +91,9 @@ proptest! {
         ccr in 0.2f64..5.0,
         seed in 0u64..10_000,
     ) {
-        let problem = make_problem(topology_of(topo_index), n_ops, ccr, seed);
-        let naive = ftbar_schedule_with(
-            &problem,
-            &FtbarConfig { sweep: SweepStrategy::Naive, ..FtbarConfig::default() },
-        )
-        .expect("schedules")
-        .schedule;
-        let incremental = ftbar_schedule(&problem).expect("schedules");
-        prop_assert_eq!(&naive, &incremental, "incremental sweep diverged");
-        let parallel = ftbar_schedule_with(
-            &problem,
-            &FtbarConfig { parallel: true, ..FtbarConfig::default() },
-        )
-        .expect("schedules")
-        .schedule;
-        prop_assert_eq!(&naive, &parallel, "parallel sweep diverged");
+        let topo = Topology::from_index(topo_index);
+        let problem = problem_on(topo, n_ops, ccr, seed);
+        assert_ftbar_engines_agree(&problem, topo.name());
     }
 
     /// HBP: the bound-pruned pair search equals the exhaustive one.
@@ -97,14 +104,9 @@ proptest! {
         ccr in 0.2f64..5.0,
         seed in 0u64..10_000,
     ) {
-        let problem = make_problem(topology_of(topo_index), n_ops, ccr, seed);
-        let exhaustive = hbp::schedule_with(
-            &problem,
-            &hbp::HbpConfig { exhaustive_pairs: true },
-        )
-        .expect("schedules");
-        let pruned = hbp::schedule(&problem).expect("schedules");
-        prop_assert_eq!(exhaustive, pruned, "pruned pair search diverged");
+        let topo = Topology::from_index(topo_index);
+        let problem = problem_on(topo, n_ops, ccr, seed);
+        assert_hbp_engines_agree(&problem, topo.name());
     }
 
     /// The trace-enabled run (step snapshots through `finish_snapshot`)
@@ -115,7 +117,7 @@ proptest! {
         n_ops in 4usize..16,
         seed in 0u64..10_000,
     ) {
-        let problem = make_problem(topology_of(topo_index), n_ops, 1.0, seed);
+        let problem = problem_on(Topology::from_index(topo_index), n_ops, 1.0, seed);
         let plain = ftbar_schedule(&problem).expect("schedules");
         let traced = ftbar_schedule_with(
             &problem,
@@ -126,6 +128,51 @@ proptest! {
         prop_assert_eq!(traced.steps.len(), problem.alg().op_count());
         let last = traced.steps.last().expect("steps recorded");
         prop_assert_eq!(last.snapshot.replica_count(), plain.replica_count());
+    }
+}
+
+/// Large-N bit-identity: one deterministic N = 200 instance per topology
+/// family — the scale the committed large-N bench points measure, far
+/// beyond the proptest sizes. (One seed each; the runtime is dominated by
+/// the naive/exhaustive references.)
+#[test]
+fn ftbar_engines_agree_at_n200_on_every_topology() {
+    for (i, topo) in Topology::ALL.into_iter().enumerate() {
+        let problem = problem_on(topo, 200, 2.0, 9_000 + i as u64);
+        assert_ftbar_engines_agree(&problem, topo.name());
+    }
+}
+
+#[test]
+fn hbp_pruning_agrees_at_n200_on_every_topology() {
+    for (i, topo) in Topology::ALL.into_iter().enumerate() {
+        let problem = problem_on(topo, 200, 2.0, 9_000 + i as u64);
+        assert_hbp_engines_agree(&problem, topo.name());
+    }
+}
+
+/// Rollback-heavy stress: a high-CCR instance makes `Minimize_start_time`
+/// profitable at nearly every placement, so the main loop is dominated by
+/// speculative book-then-rollback churn — exactly the traffic that bumps
+/// lane versions without changing timeline contents and forces the
+/// dirty-set index through its replay tier. A multi-hop topology adds
+/// route-lane churn on top.
+#[test]
+fn rollback_churn_keeps_engines_bit_identical() {
+    for (topo, n_ops, ccr, seed) in [
+        (Topology::Full, 120, 8.0, 4_242),
+        (Topology::Ring, 80, 8.0, 4_243),
+    ] {
+        let problem = problem_on(topo, n_ops, ccr, seed);
+        // High CCR must actually trigger duplication for the stress to
+        // mean anything.
+        let out = ftbar_schedule_with(&problem, &incremental()).expect("schedules");
+        assert!(
+            out.schedule.replicas().iter().any(|r| r.duplicated),
+            "stress seed on {} produced no LIP duplication",
+            topo.name()
+        );
+        assert_ftbar_engines_agree(&problem, topo.name());
     }
 }
 
@@ -209,7 +256,7 @@ fn cache_invalidates_on_route_lane_changes() {
 /// probes while the schedule grows — every pair, every step.
 #[test]
 fn cache_agrees_with_fresh_probes_during_a_ring_schedule() {
-    let problem = make_problem(Topology::Ring, 12, 2.0, 7);
+    let problem = problem_on(Topology::Ring, 12, 2.0, 7);
     let alg = problem.alg();
     let mut b = ScheduleBuilder::new(&problem);
     let mut cache = ProbeCache::new(&problem);
@@ -225,4 +272,37 @@ fn cache_agrees_with_fresh_probes_during_a_ring_schedule() {
         b.place_min_start(op, problem.exec().allowed_procs(op).next().unwrap())
             .unwrap();
     }
+}
+
+/// The adaptive default resolves to naive below the cutoff and
+/// incremental at it, and both resolutions schedule identically anyway.
+#[test]
+fn adaptive_sweep_flips_at_the_cutoff() {
+    let config = FtbarConfig {
+        sweep: SweepStrategy::Adaptive,
+        adaptive_cutoff: 24,
+        ..FtbarConfig::default()
+    };
+    assert_eq!(config.resolved_sweep(23), SweepStrategy::Naive);
+    assert_eq!(config.resolved_sweep(24), SweepStrategy::Incremental);
+
+    // At exactly the cutoff the adaptive run is the incremental run.
+    let problem = problem_on(Topology::Full, 24, 2.0, 77);
+    let adaptive = ftbar_schedule_with(&problem, &config).expect("schedules");
+    assert!(
+        adaptive.sweep_stats.is_some(),
+        "adaptive at the cutoff must run the cached sweep"
+    );
+    // One below, it is the naive run (no cache, no stats)...
+    let below = problem_on(Topology::Full, 23, 2.0, 77);
+    let naive_run = ftbar_schedule_with(&below, &config).expect("schedules");
+    assert!(
+        naive_run.sweep_stats.is_none(),
+        "adaptive below the cutoff must run the naive sweep"
+    );
+    // ...and either way the schedule equals the forced strategies.
+    assert_eq!(
+        ftbar_schedule_with(&below, &naive()).unwrap().schedule,
+        naive_run.schedule
+    );
 }
