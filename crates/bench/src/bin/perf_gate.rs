@@ -1,10 +1,11 @@
 //! Machine-readable scheduling-time gate: emits `BENCH_scheduling.json`
 //! with the median nanoseconds of every `scheduling_time` point (the
 //! FTBAR/HBP main loops at N up to 1000), every `batch_throughput` point
-//! (the service layer at several `--jobs` worker counts), and an
-//! `allocations` section (steady-state allocation counts through a
-//! counting global allocator) so the perf trajectory is tracked in-repo,
-//! not anecdotally.
+//! (the service layer at several `--jobs` worker counts), every
+//! `scenarios_per_sec` point (contingency campaigns — the DES replay as a
+//! tracked hot path), and an `allocations` section (steady-state
+//! allocation counts through a counting global allocator) so the perf
+//! trajectory is tracked in-repo, not anecdotally.
 //!
 //! ```sh
 //! cargo run --release -p ftbar-bench --bin perf_gate            # full run
@@ -28,8 +29,9 @@ use ftbar_core::engine::EnginePools;
 use ftbar_core::{ftbar, FtbarConfig, SweepStrategy};
 use ftbar_hbp::{HbpConfig, PairSearch};
 use ftbar_model::Problem;
-use ftbar_service::{run_batch, BatchConfig, JobInput, JobSpec, SchedulerKind};
-use ftbar_workload::scheduling_point;
+use ftbar_service::{run_batch, run_campaign, BatchConfig, JobInput, JobSpec, SchedulerKind};
+use ftbar_sim::scenario::ScenarioConfig;
+use ftbar_workload::{campaign_problem, scheduling_point};
 
 /// Counting allocator: every allocation in the process is tallied so the
 /// gate can assert the hot paths' steady-state allocation behaviour
@@ -194,7 +196,12 @@ fn point_keys(json: &str) -> Vec<(String, String, usize)> {
 /// the schema header and both sections. Returns the failures.
 fn check_against_baseline(fresh: &str, baseline: &str) -> Vec<String> {
     let mut failures = Vec::new();
-    for required in ["\"schema\": 2", "\"points\": [", "\"allocations\": ["] {
+    for required in [
+        "\"schema\": 3",
+        "\"points\": [",
+        "\"scenarios\": [",
+        "\"allocations\": [",
+    ] {
         if !fresh.contains(required) {
             failures.push(format!("fresh output is missing `{required}`"));
         }
@@ -374,8 +381,57 @@ fn main() {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
 
+    // Contingency-campaign throughput: a full exhaustive-plus-sampled
+    // fault sweep (processor subsets, link patterns, timing jitter) over
+    // the pooled workers. The metric is scenarios replayed per second —
+    // the DES replay is a first-class tracked hot path, not a test
+    // helper. The campaign preset is deterministic, so the scenario count
+    // per point is pinned alongside the median.
+    struct ScenarioPoint {
+        variant: String,
+        n_ops: usize,
+        median_ns: u128,
+        scenarios: usize,
+    }
+    let mut scenario_points: Vec<ScenarioPoint> = Vec::new();
+    let campaign_config = ScenarioConfig {
+        beyond: 1,
+        links: true,
+        jitter_samples: 8,
+        ..Default::default()
+    };
+    for topology in [
+        ftbar_workload::Topology::Full,
+        ftbar_workload::Topology::Ring,
+    ] {
+        for n in [40usize, 100] {
+            let problem = campaign_problem(topology, n);
+            let schedule = ftbar::schedule(&problem).expect("campaign presets schedule");
+            let count = ftbar_sim::scenario::generate(&problem, &schedule, &campaign_config).len();
+            for workers in [1usize, 4] {
+                let f = || {
+                    let report = run_campaign(&problem, &schedule, &campaign_config, workers);
+                    assert!(report.certificate.pass, "campaign presets certify");
+                    assert_eq!(report.scenario_count, count);
+                };
+                let median = measure(&f, smoke);
+                let per_sec = count as f64 * 1e9 / median.max(1) as f64;
+                let variant = format!("{}-jobs-{workers}", topology.name());
+                println!(
+                    "scenarios_per_sec/{variant}/{n}: {median} ns for {count} scenarios ({per_sec:.0}/s)"
+                );
+                scenario_points.push(ScenarioPoint {
+                    variant,
+                    n_ops: n,
+                    median_ns: median,
+                    scenarios: count,
+                });
+            }
+        }
+    }
+
     // Hand-rolled JSON: stable field order, no dependencies.
-    let mut json = String::from("{\n  \"schema\": 2,\n  \"unit\": \"ns\",\n");
+    let mut json = String::from("{\n  \"schema\": 3,\n  \"unit\": \"ns\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n  \"points\": [\n"));
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
@@ -385,6 +441,19 @@ fn main() {
             p.n_ops,
             p.median_ns,
             if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"scenarios\": [\n");
+    for (i, s) in scenario_points.iter().enumerate() {
+        let per_sec = s.scenarios as f64 * 1e9 / s.median_ns.max(1) as f64;
+        json.push_str(&format!(
+            "    {{\"bench\": \"scenarios_per_sec\", \"variant\": \"{}\", \"n_ops\": {}, \"median_ns\": {}, \"scenario_count\": {}, \"scenarios_per_sec\": {:.1}}}{}\n",
+            s.variant,
+            s.n_ops,
+            s.median_ns,
+            s.scenarios,
+            per_sec,
+            if i + 1 < scenario_points.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n  \"allocations\": [\n");

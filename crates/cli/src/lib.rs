@@ -5,8 +5,14 @@
 //! * `ftbar schedule <spec> [--npf N] [--hbp|--no-dup|--est] [--gantt W]
 //!   [--summary] [--dot] [--json] [--validate]` — schedule a problem file;
 //! * `ftbar analyze <spec>` — schedule + exhaustive tolerance report;
-//! * `ftbar simulate <spec> [--fail P@T ...] [--iterations K] [--detect]` —
-//!   multi-iteration fault-injection simulation;
+//! * `ftbar simulate <spec> [--fail P@T ...] [--fail-link L@T ...]
+//!   [--iterations K] [--detect]` — multi-iteration fault-injection
+//!   simulation;
+//! * `ftbar scenarios <spec> [--beyond K] [--samples N] [--links]
+//!   [--jitter F] [--jitter-samples N] [--seed S] [--jobs N] [--json]
+//!   [--out PATH]` — contingency campaign: exhaustive ≤Npf fault sweep,
+//!   sampled beyond-Npf sweep, reliability report with a PASS/FAIL
+//!   fault-tolerance certificate (exit 1 on FAIL);
 //! * `ftbar batch <list-file> [--jobs N] [--hbp] [--npf N] [--schedules]
 //!   [--out PATH]` — schedule many independent spec files concurrently
 //!   through the batch service (deterministic JSON results in submission
@@ -32,6 +38,7 @@ use std::fmt::Write as _;
 use ftbar_core::{analysis, ftbar, gantt, validate, FtbarConfig};
 use ftbar_model::{spec, Problem, Time};
 use ftbar_service::{BatchConfig, JobInput, JobSpec, SchedulerKind};
+use ftbar_sim::scenario::ScenarioConfig;
 use ftbar_sim::{simulate, Detection, FaultPlan, SimConfig};
 use ftbar_workload::{arch, layered, timing, LayeredConfig, TimingConfig};
 
@@ -73,8 +80,11 @@ USAGE:
   ftbar schedule <spec-file> [--npf N] [--hbp | --no-dup | --est]
                  [--gantt WIDTH] [--summary] [--stats] [--dot] [--json] [--validate]
   ftbar analyze  <spec-file> [--npf N] [--thorough] [--links] [--rel LAMBDA]
-  ftbar simulate <spec-file> [--fail PROC@TIME]... [--window PROC@FROM..UNTIL]...
-                 [--iterations K] [--detect]
+  ftbar simulate <spec-file> [--fail PROC@TIME]... [--fail-link LINK@TIME]...
+                 [--window PROC@FROM..UNTIL]... [--iterations K] [--detect]
+  ftbar scenarios <spec-file> [--npf N] [--hbp] [--beyond K] [--samples N]
+                 [--cap N] [--links] [--jitter FRAC] [--jitter-samples N]
+                 [--deadline T] [--seed S] [--jobs N] [--json] [--out PATH]
   ftbar batch    <list-file> [--jobs N] [--hbp] [--npf N] [--schedules] [--out PATH]
   ftbar gen      [--n N] [--procs P] [--topology full|ring|bus|mesh:WxH|hypercube:D]
                  [--ccr X] [--npf N] [--seed S] [--het H]
@@ -92,6 +102,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("schedule") => cmd_schedule(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("scenarios") => cmd_scenarios(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("example") => Ok(spec::print_problem(&ftbar_model::paper_example())),
@@ -497,6 +508,7 @@ fn cmd_simulate(rest: &[String]) -> Result<String, CliError> {
     let mut iterations = 1usize;
     let mut detect = false;
     let mut fails: Vec<String> = Vec::new();
+    let mut link_fails: Vec<String> = Vec::new();
     let mut windows: Vec<String> = Vec::new();
     let positional = parse_args(
         rest,
@@ -504,6 +516,7 @@ fn cmd_simulate(rest: &[String]) -> Result<String, CliError> {
             val("iterations", "iteration count", &mut iterations),
             flag("detect", &mut detect),
             push_val("fail", &mut fails),
+            push_val("fail-link", &mut link_fails),
             push_val("window", &mut windows),
         ],
     )?;
@@ -519,6 +532,17 @@ fn cmd_simulate(rest: &[String]) -> Result<String, CliError> {
             .proc_by_name(name)
             .ok_or_else(|| err(format!("unknown processor `{name}`")))?;
         plan.permanent(p, t);
+    }
+    for f in &link_fails {
+        let (name, t) = f
+            .split_once('@')
+            .ok_or_else(|| err(format!("--fail-link expects LINK@TIME, got `{f}`")))
+            .and_then(|(name, t)| Ok((name, parse_time(t, "failure time")?)))?;
+        let l = problem
+            .arch()
+            .link_by_name(name)
+            .ok_or_else(|| err(format!("unknown link `{name}`")))?;
+        plan.link_permanent(l, t);
     }
     for w in &windows {
         let (name, from, until) = parse_window_spec(w)?;
@@ -549,13 +573,19 @@ fn cmd_simulate(rest: &[String]) -> Result<String, CliError> {
             .iter()
             .map(|&p| problem.arch().proc(p).name().to_owned())
             .collect();
+        let failed_links: Vec<_> = it
+            .failed_links
+            .iter()
+            .map(|&l| problem.arch().link(l).name().to_owned())
+            .collect();
         let _ = writeln!(
             out,
-            "iteration {i}: start={} completion={} failed={{{}}} delivered={} cancelled={}",
+            "iteration {i}: start={} completion={} failed={{{}}} failed_links={{{}}} delivered={} cancelled={}",
             it.start,
             it.completion
                 .map_or_else(|| "NOT MASKED".to_owned(), |t| t.to_string()),
             failed.join(","),
+            failed_links.join(","),
             it.comms_delivered,
             it.comms_cancelled
         );
@@ -578,6 +608,99 @@ fn cmd_simulate(rest: &[String]) -> Result<String, CliError> {
             message: out,
             code: 1,
             output: None,
+        })
+    }
+}
+
+fn cmd_scenarios(rest: &[String]) -> Result<String, CliError> {
+    let mut npf: Option<u32> = None;
+    let mut use_hbp = false;
+    let mut beyond = 1u32;
+    let mut samples = 32usize;
+    let mut cap = 4096usize;
+    let mut links = false;
+    let mut jitter: Option<f64> = None;
+    let mut jitter_samples: Option<usize> = None;
+    let mut deadline: Option<Time> = None;
+    let mut seed = 0u64;
+    let mut jobs = 1usize;
+    let mut want_json = false;
+    let mut out_path: Option<String> = None;
+    let positional = parse_args(
+        rest,
+        &mut [
+            opt_val("npf", "npf", &mut npf),
+            flag("hbp", &mut use_hbp),
+            val("beyond", "beyond count", &mut beyond),
+            val("samples", "sample count", &mut samples),
+            val("cap", "exhaustive cap", &mut cap),
+            flag("links", &mut links),
+            opt_val("jitter", "jitter fraction", &mut jitter),
+            opt_val("jitter-samples", "jitter sample count", &mut jitter_samples),
+            opt_val("deadline", "deadline", &mut deadline),
+            val("seed", "--seed", &mut seed),
+            val("jobs", "worker count", &mut jobs),
+            flag("json", &mut want_json),
+            opt_val("out", "output path", &mut out_path),
+        ],
+    )?;
+    if jobs == 0 {
+        return Err(err("--jobs must be at least 1"));
+    }
+    if jitter.is_some_and(|f| !f.is_finite() || f < 0.0) {
+        return Err(err("--jitter must be a non-negative fraction"));
+    }
+    let path = one_file(&positional, "scenarios", "spec file")?;
+    let problem = load_problem(path, npf)?;
+    let schedule = if use_hbp {
+        ftbar_hbp::schedule(&problem).map_err(|e| err(e.to_string()))?
+    } else {
+        ftbar::schedule(&problem).map_err(|e| err(e.to_string()))?
+    };
+
+    let defaults = ScenarioConfig::default();
+    let config = ScenarioConfig {
+        beyond,
+        samples_per_size: samples,
+        exhaustive_cap: cap,
+        links,
+        // `--jitter F` alone turns the sweep on with the default count.
+        jitter_samples: jitter_samples.unwrap_or(if jitter.is_some() { 16 } else { 0 }),
+        jitter_frac: jitter.unwrap_or(defaults.jitter_frac),
+        deadline,
+        seed,
+    };
+    let report = ftbar_service::run_campaign(&problem, &schedule, &config, jobs);
+    let rendered = if want_json {
+        ftbar_sim::scenario::render_json(&report)
+    } else {
+        ftbar_sim::scenario::render_text(&report)
+    };
+    let text = match &out_path {
+        Some(p) => {
+            std::fs::write(p, &rendered).map_err(|e| err(format!("cannot write `{p}`: {e}")))?;
+            format!(
+                "scenarios: {} scenario(s), certificate {} -> {}\n",
+                report.scenario_count,
+                if report.certificate.pass {
+                    "PASS"
+                } else {
+                    "FAIL"
+                },
+                p
+            )
+        }
+        None => rendered,
+    };
+    if report.certificate.pass {
+        Ok(text)
+    } else {
+        // The report still belongs on stdout; the exit code carries the
+        // verdict, as with a failed `analyze`.
+        Err(CliError {
+            message: "scenarios: certificate FAIL\n".to_owned(),
+            code: 1,
+            output: Some(text),
         })
     }
 }
@@ -912,6 +1035,57 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("all masked = true"));
+    }
+
+    #[test]
+    fn simulate_with_link_failure() {
+        let path = example_file();
+        let out = run_strs(&["simulate", path.to_str().unwrap(), "--fail-link", "L1.2@0"]).unwrap();
+        assert!(out.contains("failed_links={L1.2}"));
+        let e =
+            run_strs(&["simulate", path.to_str().unwrap(), "--fail-link", "L9.9@0"]).unwrap_err();
+        assert!(e.message.contains("unknown link"));
+    }
+
+    #[test]
+    fn scenarios_certificate_on_paper_example() {
+        let path = example_file();
+        let out = run_strs(&["scenarios", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("certificate: PASS"), "{out}");
+        assert!(out.contains("exhaustive k=1"));
+        // Worker count must never change a byte of the report.
+        let par = run_strs(&["scenarios", path.to_str().unwrap(), "--jobs", "4"]).unwrap();
+        assert_eq!(out, par);
+        let json = run_strs(&[
+            "scenarios",
+            path.to_str().unwrap(),
+            "--json",
+            "--links",
+            "--jitter",
+            "0.2",
+        ])
+        .unwrap();
+        assert!(json.contains("\"certificate\""));
+        assert!(json.contains("\"link_sweep\": {"));
+        assert!(json.contains("\"jitter_sweep\": {"));
+    }
+
+    #[test]
+    fn scenarios_writes_out_file() {
+        let dir = test_dir();
+        let path = example_file();
+        let out_path = dir.join("report.json");
+        let msg = run_strs(&[
+            "scenarios",
+            path.to_str().unwrap(),
+            "--json",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(msg.contains("certificate PASS"));
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        assert!(json.contains("\"pass\": true"));
     }
 
     #[test]

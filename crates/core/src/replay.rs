@@ -213,6 +213,14 @@ pub struct ReplayConfig {
     /// (failure detection with a faulty-processor array): healthy processors
     /// stop sending to detected-faulty ones, freeing link bandwidth.
     pub suppress_comms_to: Vec<bool>,
+    /// Per replica (indexed by [`ReplicaId`]): additive execution-time
+    /// stretch, modelling timing jitter beyond the worst-case `Exe` tables.
+    /// Shorter than `replica_count` is allowed (missing entries stretch by
+    /// zero); empty reproduces the booked durations exactly. The static
+    /// order and the blocking-receive semantics are unchanged — jitter only
+    /// delays completions, so the replay measures how much slack the
+    /// schedule really has before the `Rtc` deadline breaks.
+    pub extend_durations: Vec<Time>,
 }
 
 /// Replays `schedule` under `scenario`.
@@ -240,7 +248,7 @@ pub fn replay_with(
         problem.arch().proc_count(),
         "schedule/problem mismatch"
     );
-    let mut r = Replay::new(problem, schedule, scenario);
+    let mut r = Replay::new(problem, schedule, scenario, config);
     if !config.suppress_comms_to.is_empty() {
         for c in 0..schedule.comm_count() {
             let dst_proc = schedule.replica(schedule.comm(CommId(c as u32)).dst).proc;
@@ -256,6 +264,7 @@ struct Replay<'a> {
     problem: &'a Problem,
     schedule: &'a Schedule,
     scenario: &'a FailureScenario,
+    config: &'a ReplayConfig,
 
     rstate: Vec<RState>,
     /// Per replica: for each intra-iteration dependency of its op (in
@@ -311,7 +320,12 @@ impl EventKey {
 }
 
 impl<'a> Replay<'a> {
-    fn new(problem: &'a Problem, schedule: &'a Schedule, scenario: &'a FailureScenario) -> Self {
+    fn new(
+        problem: &'a Problem,
+        schedule: &'a Schedule,
+        scenario: &'a FailureScenario,
+        config: &'a ReplayConfig,
+    ) -> Self {
         let alg = problem.alg();
         let dep_ready = schedule
             .replicas()
@@ -340,6 +354,7 @@ impl<'a> Replay<'a> {
             problem,
             schedule,
             scenario,
+            config,
             rstate: vec![RState::Pending; schedule.replica_count()],
             dep_ready,
             dep_has_comms,
@@ -438,7 +453,13 @@ impl<'a> Replay<'a> {
             }
         }
         let start = prev_end.max(ready);
-        let dur = rep.slot.duration();
+        let dur = rep.slot.duration()
+            + self
+                .config
+                .extend_durations
+                .get(rid.index())
+                .copied()
+                .unwrap_or(Time::ZERO);
         let end = start + dur;
         self.rstate[rid.index()] = RState::Running { start, end };
         self.push(end, Event::ReplicaEnd(rid));
@@ -789,6 +810,33 @@ mod tests {
                 let _ = nominal;
             }
         }
+    }
+
+    #[test]
+    fn jitter_delays_but_preserves_completion() {
+        let p = paper_example();
+        let s = ftbar::schedule(&p).unwrap();
+        let none = FailureScenario::none(3);
+        let nominal = replay(&p, &s, &none).completion().unwrap();
+        let cfg = ReplayConfig {
+            extend_durations: vec![t(0.5); s.replica_count()],
+            ..Default::default()
+        };
+        let r = replay_with(&p, &s, &none, &cfg);
+        assert!(r.all_ops_complete(), "jitter never loses operations");
+        assert!(
+            r.completion().unwrap() >= nominal + t(0.5),
+            "a uniform stretch delays every first completion"
+        );
+        // A short vector stretches only the covered prefix; the rest runs
+        // at booked durations.
+        let partial = ReplayConfig {
+            extend_durations: vec![t(0.5)],
+            ..Default::default()
+        };
+        let rp = replay_with(&p, &s, &none, &partial);
+        assert!(rp.completion().unwrap() >= nominal);
+        assert!(rp.completion().unwrap() <= r.completion().unwrap());
     }
 
     #[test]

@@ -276,11 +276,52 @@ fn check_wiring(problem: &Problem, schedule: &Schedule, v: &mut Vec<Violation>) 
 /// local producer replica (the executive's source rule). Unlike the replay
 /// masking check this is purely structural, so a violation names the exact
 /// data-flow cut rather than a timed starvation.
-fn check_route_coverage(problem: &Problem, schedule: &Schedule, v: &mut Vec<Violation>) {
+/// The static route-coverage data-flow result: per failure pattern, the
+/// survival of every replica's whole support chain.
+struct RouteCoverage {
+    /// Failure patterns as processor bitmasks, every non-empty subset of
+    /// size ≤ `Npf`.
+    patterns: Vec<u64>,
+    /// `surv[replica][pattern]`: the replica keeps a surviving support
+    /// (sources, routes, transitive inputs) under the pattern.
+    surv: Vec<Vec<bool>>,
+}
+
+/// Per-failure-pattern verdict of the static **route-coverage** rule: for
+/// each non-empty processor subset of size ≤ `Npf` (as a bitmask), whether
+/// every operation keeps a replica whose whole data-flow support survives
+/// the pattern (the failure-disjointness criterion, `DESIGN.md` §2).
+///
+/// This is the validator's rule 5 exposed pattern by pattern, so the
+/// contingency engine can cross-check the *static* verdict against the
+/// *behavioural* one from the DES replay — any disagreement is a bug in
+/// one of them. Empty when `Npf = 0`, on architectures with more than 64
+/// processors (where the builder degrades pattern tracking too), or on a
+/// cyclic scheduling graph.
+pub fn route_coverage_verdicts(problem: &Problem, schedule: &Schedule) -> Vec<(u64, bool)> {
+    let Some(cov) = route_coverage(problem, schedule) else {
+        return Vec::new();
+    };
+    cov.patterns
+        .iter()
+        .enumerate()
+        .map(|(pi, &mask)| {
+            let covered = problem.alg().ops().all(|op| {
+                schedule
+                    .replicas_of(op)
+                    .iter()
+                    .any(|&r| cov.surv[r.index()][pi])
+            });
+            (mask, covered)
+        })
+        .collect()
+}
+
+fn route_coverage(problem: &Problem, schedule: &Schedule) -> Option<RouteCoverage> {
     let n = problem.arch().proc_count();
     let patterns = crate::builder::failure_patterns(n, problem.npf() as usize);
     if patterns.is_empty() {
-        return; // npf = 0, or too many processors to track (builder degraded too)
+        return None; // npf = 0, or too many processors to track (builder degraded too)
     }
 
     // Operations in topological order of scheduling dependencies (Kahn), so
@@ -300,7 +341,7 @@ fn check_route_coverage(problem: &Problem, schedule: &Schedule, v: &mut Vec<Viol
         }
     }
     if order.len() != alg.op_count() {
-        return; // cyclic scheduling graph: reported elsewhere
+        return None; // cyclic scheduling graph: reported elsewhere
     }
 
     // Per replica, per dependency (in sched_preds order): its booked comms.
@@ -344,8 +385,15 @@ fn check_route_coverage(problem: &Problem, schedule: &Schedule, v: &mut Vec<Viol
             }
         }
     }
+    Some(RouteCoverage { patterns, surv })
+}
 
-    for op in alg.ops() {
+fn check_route_coverage(problem: &Problem, schedule: &Schedule, v: &mut Vec<Violation>) {
+    let n = problem.arch().proc_count();
+    let Some(RouteCoverage { patterns, surv }) = route_coverage(problem, schedule) else {
+        return;
+    };
+    for op in problem.alg().ops() {
         for (pi, &mask) in patterns.iter().enumerate() {
             let alive = schedule
                 .replicas_of(op)

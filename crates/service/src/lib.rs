@@ -6,7 +6,9 @@
 //! production regime as *many independent fault-tolerant work items at
 //! high throughput*, not one problem at a time. This crate is that
 //! regime's front door: submit a batch of independent scheduling
-//! [`JobSpec`]s, get one [`JobOutcome`] per job.
+//! [`JobSpec`]s, get one [`JobOutcome`] per job — or fan a whole
+//! contingency campaign ([`run_campaign`], backed by
+//! [`ftbar_sim::scenario`]) across the same worker pool.
 //!
 //! Guarantees:
 //!
@@ -36,6 +38,7 @@ use crossbeam::channel::Sender;
 use ftbar_core::engine::EnginePools;
 use ftbar_core::{ftbar, FtbarConfig, Schedule};
 use ftbar_model::{spec, Problem};
+use ftbar_sim::scenario;
 
 /// Which scheduler a job runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -141,59 +144,98 @@ pub struct JobOutcome {
     pub result: Result<JobResult, String>,
 }
 
-/// Runs every job and returns one outcome per job, in submission order.
+/// Runs `n` indexed work items across `workers` pooled threads and
+/// returns the results in index order.
 ///
-/// The output is a pure function of `jobs` and
-/// [`BatchConfig::keep_schedules`] — the worker count only changes
-/// wall-clock time, never a byte of the results.
-pub fn run_batch(jobs: &[JobSpec], config: &BatchConfig) -> Vec<JobOutcome> {
-    let workers = config.jobs.max(1).min(jobs.len().max(1));
+/// The shared fan-out core of [`run_batch`] and [`run_campaign`]: an
+/// atomic cursor hands out indices, each worker recycles one `S` scratch
+/// value (its per-worker arena) through every item it claims, and slots
+/// are reassembled by index — so as long as `work` is a pure function of
+/// its index, the output is byte-identical for every worker count.
+/// `workers <= 1` runs serially on the caller's thread.
+pub fn run_indexed<S, T>(
+    n: usize,
+    workers: usize,
+    work: impl Fn(usize, &mut S) -> T + Sync,
+) -> Vec<T>
+where
+    S: Default + Send,
+    T: Send,
+{
+    let workers = workers.max(1).min(n.max(1));
     if workers <= 1 {
-        let mut pools = EnginePools::default();
-        return jobs
-            .iter()
-            .enumerate()
-            .map(|(i, job)| {
-                let (outcome, p) = run_job(i, job, config, std::mem::take(&mut pools));
-                pools = p;
-                outcome
-            })
-            .collect();
+        let mut state = S::default();
+        return (0..n).map(|i| work(i, &mut state)).collect();
     }
 
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<JobOutcome>();
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, T)>();
     crossbeam::thread::scope(|s| {
         for _ in 0..workers {
-            let tx: Sender<JobOutcome> = tx.clone();
+            let tx: Sender<(usize, T)> = tx.clone();
             let cursor = &cursor;
+            let work = &work;
             s.spawn(move || {
-                // One recycled arena per worker, threaded through every
-                // job it claims.
-                let mut pools = EnginePools::default();
+                // One recycled scratch value per worker, threaded through
+                // every item it claims.
+                let mut state = S::default();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { break };
-                    let (outcome, p) = run_job(i, job, config, pools);
-                    pools = p;
-                    if tx.send(outcome).is_err() {
+                    if i >= n {
+                        break;
+                    }
+                    if tx.send((i, work(i, &mut state))).is_err() {
                         break;
                     }
                 }
             });
         }
         drop(tx);
-        // Restore submission order: claim order is racy, slots are not.
-        let mut slots: Vec<Option<JobOutcome>> = (0..jobs.len()).map(|_| None).collect();
-        for outcome in rx {
-            let i = outcome.index;
-            slots[i] = Some(outcome);
+        // Restore index order: claim order is racy, slots are not.
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, out) in rx {
+            slots[i] = Some(out);
         }
         slots
             .into_iter()
-            .map(|s| s.expect("every job reports exactly once"))
+            .map(|s| s.expect("every item reports exactly once"))
             .collect()
     })
+}
+
+/// Runs every job and returns one outcome per job, in submission order.
+///
+/// The output is a pure function of `jobs` and
+/// [`BatchConfig::keep_schedules`] — the worker count only changes
+/// wall-clock time, never a byte of the results.
+pub fn run_batch(jobs: &[JobSpec], config: &BatchConfig) -> Vec<JobOutcome> {
+    run_indexed(jobs.len(), config.jobs, |i, pools: &mut EnginePools| {
+        let (outcome, p) = run_job(i, &jobs[i], config, std::mem::take(pools));
+        *pools = p;
+        outcome
+    })
+}
+
+/// Runs a whole contingency campaign (see [`ftbar_sim::scenario`]) for
+/// one `(problem, schedule)` pair across `workers` pooled threads.
+///
+/// Scenario generation and report assembly are single-threaded and
+/// deterministic; only the (pure) per-scenario replays fan out, and their
+/// results are reassembled by scenario index — the report is
+/// byte-identical for every worker count, mirroring [`run_batch`].
+pub fn run_campaign(
+    problem: &Problem,
+    schedule: &Schedule,
+    config: &scenario::ScenarioConfig,
+    workers: usize,
+) -> scenario::ReliabilityReport {
+    let scenarios = scenario::generate(problem, schedule, config);
+    let deadline = config.deadline.unwrap_or_else(|| schedule.completion());
+    let results: Vec<scenario::ScenarioResult> =
+        run_indexed(scenarios.len(), workers, |i, (): &mut ()| {
+            scenario::evaluate(problem, schedule, &scenarios[i], deadline)
+        });
+    scenario::assemble(problem, schedule, config, &scenarios, &results)
 }
 
 /// Runs one job, recycling `pools` (returned for the worker's next job).
@@ -387,6 +429,24 @@ mod tests {
                 },
             );
             assert_eq!(render_json(&serial), render_json(&parallel));
+        }
+    }
+
+    #[test]
+    fn campaign_worker_count_never_changes_report() {
+        let p = paper_example();
+        let s = ftbar::schedule(&p).unwrap();
+        let cfg = scenario::ScenarioConfig {
+            links: true,
+            jitter_samples: 2,
+            ..Default::default()
+        };
+        let serial = scenario::render_json(&run_campaign(&p, &s, &cfg, 1));
+        for workers in [2, 4, 9] {
+            assert_eq!(
+                scenario::render_json(&run_campaign(&p, &s, &cfg, workers)),
+                serial
+            );
         }
     }
 

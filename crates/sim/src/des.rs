@@ -19,7 +19,7 @@
 //!   paper's §5 drawback, observable in the metrics).
 
 use ftbar_core::{replay_with, FailureScenario, ReplayConfig, Schedule};
-use ftbar_model::{Problem, ProcId, Time};
+use ftbar_model::{LinkId, Problem, ProcId, Time};
 use serde::{Deserialize, Serialize};
 
 use crate::fault::FaultPlan;
@@ -65,6 +65,8 @@ pub struct IterationReport {
     pub completion: Option<Time>,
     /// Processors silent at any point during this iteration.
     pub failed_procs: Vec<ProcId>,
+    /// Links silent at any point during this iteration.
+    pub failed_links: Vec<LinkId>,
     /// Comms actually delivered.
     pub comms_delivered: usize,
     /// Comms cancelled (dead source / mid-flight failure) or suppressed by
@@ -136,12 +138,20 @@ pub fn simulate(
                 failed_procs.push(p);
             }
         }
-        let scenario = FailureScenario::multi(n, &failures);
+        let mut scenario = FailureScenario::multi(n, &failures);
+        let mut failed_links = Vec::new();
+        for l in problem.arch().links() {
+            if let Some(t) = plan.first_link_failure_in(l, clock, iter_end_estimate) {
+                scenario = scenario.with_link_failure(l, t - clock);
+                failed_links.push(l);
+            }
+        }
         let replay_cfg = ReplayConfig {
             suppress_comms_to: match config.detection {
                 Detection::None => Vec::new(),
                 Detection::Array => detected.clone(),
             },
+            extend_durations: Vec::new(),
         };
         let result = replay_with(problem, schedule, &scenario, &replay_cfg);
 
@@ -152,6 +162,7 @@ pub fn simulate(
             start: clock,
             completion: result.completion(),
             failed_procs: failed_procs.clone(),
+            failed_links,
             comms_delivered: delivered,
             comms_cancelled: schedule.comm_count() - delivered,
         });
@@ -314,6 +325,85 @@ mod tests {
         plan.permanent(ProcId(1), Time::ZERO);
         let r = simulate(&p, &s, &plan, &SimConfig::default());
         assert!(!r.all_masked());
+    }
+
+    #[test]
+    fn fault_at_time_zero_is_masked() {
+        // Edge case: the processor is dead before its first slot starts.
+        let (p, s) = setup();
+        let mut plan = FaultPlan::new(3);
+        plan.permanent(ProcId(2), Time::ZERO);
+        let r = simulate(&p, &s, &plan, &SimConfig::default());
+        assert!(r.all_masked());
+        assert_eq!(r.iterations[0].failed_procs, vec![ProcId(2)]);
+    }
+
+    #[test]
+    fn fault_after_schedule_completion_changes_nothing() {
+        // Edge case: the window opens after the single iteration's horizon,
+        // so no iteration ever observes it.
+        let (p, s) = setup();
+        let nominal = simulate(&p, &s, &FaultPlan::new(3), &SimConfig::default());
+        let mut plan = FaultPlan::new(3);
+        plan.permanent(ProcId(0), s.last_activity() + t(100.0));
+        let r = simulate(&p, &s, &plan, &SimConfig::default());
+        assert_eq!(r, nominal);
+        assert!(r.iterations[0].failed_procs.is_empty());
+        assert!(r.iterations[0].failed_links.is_empty());
+        assert_eq!(r.iterations[0].comms_cancelled, 0);
+    }
+
+    #[test]
+    fn link_failure_is_simulated_not_ignored() {
+        // Regression for the silent-drop bug: link windows used to be
+        // impossible to express, so plans could only model processor
+        // faults. Killing L1.2 at t = 0 must now show up in the report and
+        // cancel its traffic.
+        let (p, s) = setup();
+        let nominal = simulate(&p, &s, &FaultPlan::new(3), &SimConfig::default());
+        let mut plan = FaultPlan::new(3);
+        plan.link_permanent(LinkId(0), Time::ZERO);
+        let r = simulate(&p, &s, &plan, &SimConfig::default());
+        assert_eq!(r.iterations[0].failed_links, vec![LinkId(0)]);
+        assert!(r.iterations[0].failed_procs.is_empty());
+        assert!(
+            r.iterations[0].comms_delivered < nominal.iterations[0].comms_delivered,
+            "a dead link must lose at least one transfer"
+        );
+    }
+
+    #[test]
+    fn simultaneous_proc_and_link_failure_is_masked() {
+        // P1 dies at t = 0 together with L1.2. Every transfer on L1.2 has
+        // the dead P1 as an endpoint, so the combination is no worse than
+        // the processor failure alone and Npf = 1 masking must hold.
+        let (p, s) = setup();
+        let mut plan = FaultPlan::new(3);
+        plan.permanent(ProcId(0), Time::ZERO);
+        plan.link_permanent(LinkId(0), Time::ZERO);
+        let r = simulate(&p, &s, &plan, &SimConfig::default());
+        assert!(r.all_masked());
+        assert_eq!(r.iterations[0].failed_procs, vec![ProcId(0)]);
+        assert_eq!(r.iterations[0].failed_links, vec![LinkId(0)]);
+    }
+
+    #[test]
+    fn intermittent_link_failure_recovers_across_iterations() {
+        let (p, s) = setup();
+        let mut plan = FaultPlan::new(3);
+        plan.link_intermittent(LinkId(1), t(0.5), t(1.5));
+        let r = simulate(
+            &p,
+            &s,
+            &plan,
+            &SimConfig {
+                iterations: 2,
+                detection: Detection::None,
+            },
+        );
+        assert_eq!(r.iterations[0].failed_links, vec![LinkId(1)]);
+        assert!(r.iterations[1].failed_links.is_empty());
+        assert_eq!(r.iterations[1].comms_cancelled, 0);
     }
 
     #[test]

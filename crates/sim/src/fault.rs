@@ -1,7 +1,8 @@
-//! Fault plans: fail-silent processor failures over absolute simulation
-//! time, permanent or intermittent (paper §3.1, §5).
+//! Fault plans: fail-silent processor **and link** failures over absolute
+//! simulation time, permanent or intermittent (paper §3.1, §5; link
+//! failures are the §7 extension).
 
-use ftbar_model::{ProcId, Time};
+use ftbar_model::{LinkId, ProcId, Time};
 use serde::{Deserialize, Serialize};
 
 /// One fail-silent window of a processor: silent during `[from, until)`
@@ -16,24 +17,47 @@ pub struct FaultWindow {
     pub until: Option<Time>,
 }
 
+/// One fail-silent window of a link: transmits nothing during
+/// `[from, until)` (`until = None` ⇒ permanent). Transfers cut mid-flight
+/// are discarded by the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkFaultWindow {
+    /// The failing link.
+    pub link: LinkId,
+    /// First silent instant (absolute simulation time).
+    pub from: Time,
+    /// First instant after recovery; `None` for a permanent failure.
+    pub until: Option<Time>,
+}
+
 /// A set of fault windows over the whole (multi-iteration) simulation.
+///
+/// Link faults are simulated on every topology — including fully connected
+/// architectures, where the *scheduler* skips failure-pattern tracking
+/// because its model assumes links never fail (DESIGN.md §6). A schedule
+/// built under that assumption carries no link-failure guarantee, so a
+/// link fault there may well break masking; the simulation reports
+/// whatever actually happens instead of silently dropping the fault.
 ///
 /// # Example
 ///
 /// ```
-/// use ftbar_model::{ProcId, Time};
+/// use ftbar_model::{LinkId, ProcId, Time};
 /// use ftbar_sim::FaultPlan;
 ///
 /// let mut plan = FaultPlan::new(3);
 /// plan.permanent(ProcId(0), Time::from_units(5.0));
 /// plan.intermittent(ProcId(2), Time::from_units(1.0), Time::from_units(2.0));
+/// plan.link_permanent(LinkId(1), Time::from_units(2.0));
 /// assert!(plan.is_failed(ProcId(0), Time::from_units(9.0)));
 /// assert!(!plan.is_failed(ProcId(2), Time::from_units(3.0)));
+/// assert!(plan.is_link_failed(LinkId(1), Time::from_units(2.0)));
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultPlan {
     proc_count: usize,
     windows: Vec<FaultWindow>,
+    link_windows: Vec<LinkFaultWindow>,
 }
 
 impl FaultPlan {
@@ -42,6 +66,7 @@ impl FaultPlan {
         FaultPlan {
             proc_count,
             windows: Vec::new(),
+            link_windows: Vec::new(),
         }
     }
 
@@ -108,6 +133,65 @@ impl FaultPlan {
         v.dedup();
         v
     }
+
+    /// Adds a permanent failure of `link` starting at `from`.
+    pub fn link_permanent(&mut self, link: LinkId, from: Time) -> &mut Self {
+        self.link_windows.push(LinkFaultWindow {
+            link,
+            from,
+            until: None,
+        });
+        self
+    }
+
+    /// Adds an intermittent failure of `link` during `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn link_intermittent(&mut self, link: LinkId, from: Time, until: Time) -> &mut Self {
+        assert!(until > from, "empty failure window");
+        self.link_windows.push(LinkFaultWindow {
+            link,
+            from,
+            until: Some(until),
+        });
+        self
+    }
+
+    /// All link windows, in insertion order.
+    pub fn link_windows(&self) -> &[LinkFaultWindow] {
+        &self.link_windows
+    }
+
+    /// True if `link` is silent at instant `t`.
+    pub fn is_link_failed(&self, link: LinkId, t: Time) -> bool {
+        self.link_windows
+            .iter()
+            .any(|w| w.link == link && w.from <= t && w.until.is_none_or(|u| t < u))
+    }
+
+    /// The first instant within `[start, end)` at which `link` is silent,
+    /// if any.
+    pub fn first_link_failure_in(&self, link: LinkId, start: Time, end: Time) -> Option<Time> {
+        self.link_windows
+            .iter()
+            .filter(|w| w.link == link)
+            .filter_map(|w| {
+                let begin = w.from.max(start);
+                let still_failed = w.until.is_none_or(|u| begin < u);
+                (begin < end && still_failed).then_some(begin)
+            })
+            .min()
+    }
+
+    /// Links with at least one window, in id order.
+    pub fn affected_links(&self) -> Vec<LinkId> {
+        let mut v: Vec<LinkId> = self.link_windows.iter().map(|w| w.link).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +246,26 @@ mod tests {
     fn empty_window_rejected() {
         let mut p = FaultPlan::new(1);
         p.intermittent(ProcId(0), t(2.0), t(2.0));
+    }
+
+    #[test]
+    fn link_windows_mirror_proc_semantics() {
+        let mut p = FaultPlan::new(4);
+        p.link_intermittent(LinkId(3), t(1.0), t(2.0));
+        p.link_permanent(LinkId(0), t(10.0));
+        assert!(p.is_link_failed(LinkId(3), t(1.5)));
+        assert!(!p.is_link_failed(LinkId(3), t(2.0)), "until is exclusive");
+        assert!(p.is_link_failed(LinkId(0), t(1e9)));
+        assert_eq!(
+            p.first_link_failure_in(LinkId(3), t(0.0), t(5.0)),
+            Some(t(1.0))
+        );
+        assert_eq!(p.first_link_failure_in(LinkId(3), t(3.0), t(5.0)), None);
+        assert_eq!(p.affected_links(), vec![LinkId(0), LinkId(3)]);
+        assert!(
+            p.affected_procs().is_empty(),
+            "link faults are not proc faults"
+        );
     }
 
     #[test]

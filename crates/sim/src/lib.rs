@@ -9,6 +9,9 @@
 //! * [`executive`] — the schedule running on real OS threads with
 //!   channel-based send/receive and first-arrival-wins input selection,
 //!   cross-validated against the analytic replay;
+//! * [`scenario`] — the contingency engine: exhaustive N−k fault sweeps,
+//!   Monte Carlo campaigns, and the Goemans/Lynch/Saias-style
+//!   fault-tolerance certificate;
 //! * [`wire`] — the byte-level message encoding used by the executive.
 //!
 //! # Example
@@ -36,7 +39,8 @@
 mod des;
 pub mod executive;
 mod fault;
+pub mod scenario;
 pub mod wire;
 
 pub use des::{simulate, Detection, IterationReport, SimConfig, SimReport};
-pub use fault::{FaultPlan, FaultWindow};
+pub use fault::{FaultPlan, FaultWindow, LinkFaultWindow};

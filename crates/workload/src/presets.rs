@@ -96,6 +96,15 @@ pub fn scheduling_point(n_ops: usize) -> Problem {
     problem_on(Topology::Full, n_ops, 5.0, 40_000 + n_ops as u64)
 }
 
+/// The deterministic problem behind the `scenarios_per_sec` /
+/// contingency-campaign bench points at `n_ops` operations on `topology`:
+/// CCR 1, `Npf = 1`, seed `60_000 + n_ops`. Like [`scheduling_point`],
+/// the parameters are part of the perf trajectory — changing them
+/// invalidates every committed campaign median.
+pub fn campaign_problem(topology: Topology, n_ops: usize) -> Problem {
+    problem_on(topology, n_ops, 1.0, 60_000 + n_ops as u64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +116,19 @@ mod tests {
         for t in Topology::ALL {
             assert!(t.arch().proc_count() >= 4, "{} too small", t.name());
         }
+    }
+
+    #[test]
+    fn campaign_problem_is_deterministic() {
+        let p = campaign_problem(Topology::Ring, 16);
+        assert_eq!(p.alg().op_count(), 16);
+        assert_eq!(p.npf(), 1);
+        let q = campaign_problem(Topology::Ring, 16);
+        assert_eq!(
+            ftbar_core_free_probe(&p),
+            ftbar_core_free_probe(&q),
+            "presets must be deterministic"
+        );
     }
 
     #[test]
