@@ -45,7 +45,7 @@ fn bench_schedulers(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("FTBAR-parallel", n), &problem, |b, p| {
             let cfg = FtbarConfig {
                 sweep: SweepStrategy::Incremental,
-                parallel: true,
+                parallel_cutoff: 0,
                 ..FtbarConfig::default()
             };
             b.iter(|| ftbar_core::ftbar::schedule_with(p, &cfg).expect("schedules"));

@@ -1,11 +1,14 @@
 //! Machine-readable scheduling-time gate: emits `BENCH_scheduling.json`
-//! with the median nanoseconds of every `scheduling_time` point (the
-//! FTBAR/HBP main loops at N up to 1000), every `batch_throughput` point
-//! (the service layer at several `--jobs` worker counts), every
-//! `scenarios_per_sec` point (contingency campaigns — the DES replay as a
-//! tracked hot path), and an `allocations` section (steady-state
-//! allocation counts through a counting global allocator) so the perf
-//! trajectory is tracked in-repo, not anecdotally.
+//! (schema 4) with the median nanoseconds of every `scheduling_time`
+//! point (the FTBAR/HBP main loops at N up to 10,000; the expensive
+//! naive/HBP references stop at N = 1000), every `batch_throughput`
+//! point (the service layer at several `--jobs` worker counts), every
+//! `scenarios_per_sec` point (contingency campaigns — the DES replay as
+//! a tracked hot path), a `sweep_stats` section (per-size probe-cache,
+//! orbit-pruning, and cluster-granularity counters), and an
+//! `allocations` section (steady-state allocation counts through a
+//! counting global allocator) so the perf trajectory is tracked in-repo,
+//! not anecdotally.
 //!
 //! ```sh
 //! cargo run --release -p ftbar-bench --bin perf_gate            # full run
@@ -19,7 +22,12 @@
 //! still written (values are then indicative only). `--out PATH` overrides
 //! the output path. `--check BASELINE` exits non-zero if the fresh output
 //! is missing the schema, a section, or any `(bench, variant, n_ops)`
-//! point the committed baseline has — the CI perf-regression smoke.
+//! point the committed baseline has — the CI perf-regression smoke. When
+//! neither side is a smoke run, `--check` additionally enforces a
+//! per-point regression tolerance: a fresh median more than 1.5× its
+//! baseline (override with `--tolerance F`) fails the gate;
+//! `--check-warn` downgrades those timing failures to warnings (the
+//! escape hatch for known-noisy hosts — missing points still fail hard).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -90,8 +98,14 @@ fn count_allocs(f: impl FnOnce()) -> (u64, u64) {
 
 /// The scheduling-time problem sizes. 20/50/80 are the original small-N
 /// points; 200/500/1000 are the large-N scaling points this gate exists
-/// to keep honest.
-const SIZES: [usize; 6] = [20, 50, 80, 200, 500, 1000];
+/// to keep honest; 2000/5000/10000 are the symmetry-pruning / clustering
+/// scale targets (the reference variants below [`EXPENSIVE_MAX_N`] would
+/// dominate the gate's wall clock there and are skipped).
+const SIZES: [usize; 9] = [20, 50, 80, 200, 500, 1000, 2000, 5000, 10_000];
+
+/// Reference variants with super-linear sweeps (`FTBAR-naive`, both HBP
+/// pair searches) only run up to this size.
+const EXPENSIVE_MAX_N: usize = 1000;
 
 /// One measured point.
 struct Point {
@@ -107,6 +121,19 @@ struct AllocPoint {
     n_ops: usize,
     alloc_count: u64,
     peak_bytes: u64,
+}
+
+/// One `sweep_stats`-section row: the probe-cache / orbit-pruning
+/// counters of an incremental run plus the cluster count and expansion
+/// counters of a clustered run, per problem size.
+struct SweepStatsPoint {
+    n_ops: usize,
+    probes: u64,
+    orbit_hits: u64,
+    skipped_ops: u64,
+    clusters: u64,
+    expansion_probes: u64,
+    expansion_orbit_hits: u64,
 }
 
 fn median_ns(samples: &mut [u128]) -> u128 {
@@ -150,7 +177,7 @@ fn measure(f: &dyn Fn(), smoke: bool) -> u128 {
 fn ftbar_with(problem: &Problem, sweep: SweepStrategy, parallel: bool) {
     let config = FtbarConfig {
         sweep,
-        parallel,
+        parallel_cutoff: if parallel { 0 } else { usize::MAX },
         ..FtbarConfig::default()
     };
     ftbar::schedule_with(problem, &config).expect("schedules");
@@ -164,9 +191,10 @@ fn hbp_with(problem: &Problem, pair_search: PairSearch) {
     ftbar_hbp::schedule_with(problem, &config).expect("schedules");
 }
 
-/// Extracts the `(bench, variant, n_ops)` key of every point line of a
-/// `BENCH_scheduling.json` (the file is hand-rolled, one point per line).
-fn point_keys(json: &str) -> Vec<(String, String, usize)> {
+/// Extracts the `(bench, variant, n_ops)` key and `median_ns` of every
+/// point line of a `BENCH_scheduling.json` (the file is hand-rolled, one
+/// point per line).
+fn point_keys(json: &str) -> Vec<((String, String, usize), u128)> {
     let field = |line: &str, name: &str| -> Option<String> {
         let tag = format!("\"{name}\": ");
         let at = line.find(&tag)? + tag.len();
@@ -183,9 +211,12 @@ fn point_keys(json: &str) -> Vec<(String, String, usize)> {
     json.lines()
         .filter_map(|line| {
             Some((
-                field(line, "bench")?,
-                field(line, "variant")?,
-                field(line, "n_ops")?.parse().ok()?,
+                (
+                    field(line, "bench")?,
+                    field(line, "variant")?,
+                    field(line, "n_ops")?.parse().ok()?,
+                ),
+                field(line, "median_ns")?.parse().ok()?,
             ))
         })
         .collect()
@@ -193,29 +224,52 @@ fn point_keys(json: &str) -> Vec<(String, String, usize)> {
 
 /// The perf-regression smoke: every point key of the committed baseline
 /// must still exist in the fresh output, and the fresh output must carry
-/// the schema header and both sections. Returns the failures.
-fn check_against_baseline(fresh: &str, baseline: &str) -> Vec<String> {
+/// the schema header and every section. With `tolerance = Some(k)` (both
+/// runs timed, not smoke) a fresh median above `k ×` its baseline is a
+/// timing regression. Returns `(hard_failures, timing_regressions)` —
+/// the caller decides whether the latter fail or warn (`--check-warn`).
+fn check_against_baseline(
+    fresh: &str,
+    baseline: &str,
+    tolerance: Option<f64>,
+) -> (Vec<String>, Vec<String>) {
     let mut failures = Vec::new();
+    let mut regressions = Vec::new();
     for required in [
-        "\"schema\": 3",
+        "\"schema\": 4",
         "\"points\": [",
         "\"scenarios\": [",
+        "\"sweep_stats\": [",
         "\"allocations\": [",
     ] {
         if !fresh.contains(required) {
             failures.push(format!("fresh output is missing `{required}`"));
         }
     }
-    let fresh_keys = point_keys(fresh);
-    for key in point_keys(baseline) {
-        if !fresh_keys.contains(&key) {
+    let fresh_points = point_keys(fresh);
+    for (key, base_ns) in point_keys(baseline) {
+        let Some((_, fresh_ns)) = fresh_points.iter().find(|(k, _)| *k == key) else {
             failures.push(format!(
                 "point ({}, {}, {}) disappeared from the gate",
                 key.0, key.1, key.2
             ));
+            continue;
+        };
+        if let Some(tol) = tolerance {
+            if *fresh_ns as f64 > base_ns as f64 * tol {
+                regressions.push(format!(
+                    "point ({}, {}, {}) regressed {:.2}x over baseline (tolerance {tol}x): {} ns -> {} ns",
+                    key.0,
+                    key.1,
+                    key.2,
+                    *fresh_ns as f64 / base_ns.max(1) as f64,
+                    base_ns,
+                    fresh_ns
+                ));
+            }
         }
     }
-    failures
+    (failures, regressions)
 }
 
 fn main() {
@@ -240,13 +294,21 @@ fn main() {
                 .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
             (path, baseline)
         });
+    let check_warn = args.iter().any(|a| a == "--check-warn");
+    let tolerance: f64 = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("--tolerance {v}: {e}")))
+        .unwrap_or(1.5);
 
     let mut points: Vec<Point> = Vec::new();
     let mut allocs: Vec<AllocPoint> = Vec::new();
+    let mut sweep_points: Vec<SweepStatsPoint> = Vec::new();
     for n in SIZES {
         let problem = scheduling_point(n);
         #[allow(clippy::type_complexity)]
-        let runs: [(&'static str, Box<dyn Fn()>); 7] = [
+        let mut runs: Vec<(&'static str, Box<dyn Fn()>)> = vec![
             // The default configuration (adaptive: naive below the
             // cutoff, incremental above) — what `ftbar::schedule` users
             // actually get, and the row the small-N regression gate
@@ -260,17 +322,12 @@ fn main() {
                 Box::new(|| ftbar_with(&problem, SweepStrategy::Incremental, false)),
             ),
             (
-                "FTBAR-naive",
-                Box::new(|| ftbar_with(&problem, SweepStrategy::Naive, false)),
-            ),
-            (
                 "FTBAR-parallel",
                 Box::new(|| ftbar_with(&problem, SweepStrategy::Incremental, true)),
             ),
-            ("HBP", Box::new(|| hbp_with(&problem, PairSearch::Adaptive))),
             (
-                "HBP-exhaustive",
-                Box::new(|| hbp_with(&problem, PairSearch::Exhaustive)),
+                "FTBAR-clustered",
+                Box::new(|| ftbar_with(&problem, SweepStrategy::Clustered, false)),
             ),
             (
                 "non-FT",
@@ -279,6 +336,17 @@ fn main() {
                 }),
             ),
         ];
+        if n <= EXPENSIVE_MAX_N {
+            runs.push((
+                "FTBAR-naive",
+                Box::new(|| ftbar_with(&problem, SweepStrategy::Naive, false)),
+            ));
+            runs.push(("HBP", Box::new(|| hbp_with(&problem, PairSearch::Adaptive))));
+            runs.push((
+                "HBP-exhaustive",
+                Box::new(|| hbp_with(&problem, PairSearch::Exhaustive)),
+            ));
+        }
         for (variant, f) in &runs {
             let median = measure(f.as_ref(), smoke);
             println!("scheduling_time/{variant}/{n}: {median} ns");
@@ -289,13 +357,39 @@ fn main() {
                 median_ns: median,
             });
         }
+        // SweepStats diagnostics (committed as the `sweep_stats` section):
+        // one untimed incremental run surfaces the probe-cache and
+        // orbit-pruning counters, one clustered run the cluster count and
+        // the pinned expansion's counters.
+        let s = ftbar::sweep_stats_for(&problem);
+        let clustered = ftbar::schedule_with(
+            &problem,
+            &FtbarConfig {
+                sweep: SweepStrategy::Clustered,
+                ..FtbarConfig::default()
+            },
+        )
+        .expect("schedules");
+        let cs = clustered.sweep_stats.expect("clustered records stats");
         if stats {
-            let s = ftbar::sweep_stats_for(&problem);
             println!(
-                "  cache n={n}: probes {} version-hits {} replay-hits {} recomputes {} skipped-ops {}",
-                s.probes, s.version_hits, s.replay_hits, s.recomputes, s.skipped_ops
+                "  cache n={n}: probes {} version-hits {} replay-hits {} recomputes {} skipped-ops {} orbit-hits {}",
+                s.probes, s.version_hits, s.replay_hits, s.recomputes, s.skipped_ops, s.orbit_hits
+            );
+            println!(
+                "  clustered n={n}: clusters {} expansion-probes {} expansion-orbit-hits {}",
+                cs.clusters, cs.probes, cs.orbit_hits
             );
         }
+        sweep_points.push(SweepStatsPoint {
+            n_ops: n,
+            probes: s.probes,
+            orbit_hits: s.orbit_hits,
+            skipped_ops: s.skipped_ops,
+            clusters: cs.clusters,
+            expansion_probes: cs.probes,
+            expansion_orbit_hits: cs.orbit_hits,
+        });
 
         // Steady-state allocation profile of the incremental engine: one
         // warm run grows the pools, the measured rerun reuses them. The
@@ -431,7 +525,7 @@ fn main() {
     }
 
     // Hand-rolled JSON: stable field order, no dependencies.
-    let mut json = String::from("{\n  \"schema\": 3,\n  \"unit\": \"ns\",\n");
+    let mut json = String::from("{\n  \"schema\": 4,\n  \"unit\": \"ns\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n  \"points\": [\n"));
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
@@ -456,6 +550,22 @@ fn main() {
             if i + 1 < scenario_points.len() { "," } else { "" }
         ));
     }
+    // Diagnostics rows (no `median_ns`, so the `--check` point matcher
+    // ignores them): orbit-pruning effectiveness and cluster granularity.
+    json.push_str("  ],\n  \"sweep_stats\": [\n");
+    for (i, s) in sweep_points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"bench\": \"sweep_stats\", \"n_ops\": {}, \"probes\": {}, \"orbit_hits\": {}, \"skipped_ops\": {}, \"clusters\": {}, \"expansion_probes\": {}, \"expansion_orbit_hits\": {}}}{}\n",
+            s.n_ops,
+            s.probes,
+            s.orbit_hits,
+            s.skipped_ops,
+            s.clusters,
+            s.expansion_probes,
+            s.expansion_orbit_hits,
+            if i + 1 < sweep_points.len() { "," } else { "" }
+        ));
+    }
     json.push_str("  ],\n  \"allocations\": [\n");
     for (i, a) in allocs.iter().enumerate() {
         json.push_str(&format!(
@@ -472,12 +582,26 @@ fn main() {
     println!("wrote {out}");
 
     if let Some((baseline_path, baseline)) = check {
-        let failures = check_against_baseline(&json, &baseline);
+        // Timing comparison only makes sense when both sides were actually
+        // timed: a smoke run (ours or the baseline's) takes one unwarmed
+        // sample, so medians are noise.
+        let timed = !smoke && !baseline.contains("\"smoke\": true");
+        let (failures, regressions) =
+            check_against_baseline(&json, &baseline, timed.then_some(tolerance));
         if !failures.is_empty() {
             for f in &failures {
                 eprintln!("perf gate check FAILED vs {baseline_path}: {f}");
             }
             std::process::exit(1);
+        }
+        if !regressions.is_empty() {
+            let level = if check_warn { "WARNING" } else { "FAILED" };
+            for r in &regressions {
+                eprintln!("perf gate check {level} vs {baseline_path}: {r}");
+            }
+            if !check_warn {
+                std::process::exit(1);
+            }
         }
         println!(
             "perf gate check OK: all {} points of {baseline_path} present",

@@ -2,7 +2,8 @@
 //!
 //! Subcommands:
 //!
-//! * `ftbar schedule <spec> [--npf N] [--hbp|--no-dup|--est] [--gantt W]
+//! * `ftbar schedule <spec> [--npf N] [--hbp|--no-dup|--est]
+//!   [--strategy adaptive|incremental|naive|clustered] [--gantt W]
 //!   [--summary] [--dot] [--json] [--validate]` — schedule a problem file;
 //! * `ftbar analyze <spec>` — schedule + exhaustive tolerance report;
 //! * `ftbar simulate <spec> [--fail P@T ...] [--fail-link L@T ...]
@@ -78,6 +79,7 @@ ftbar — distributed fault-tolerant static scheduling (FTBAR, DSN 2003)
 
 USAGE:
   ftbar schedule <spec-file> [--npf N] [--hbp | --no-dup | --est]
+                 [--strategy adaptive|incremental|naive|clustered]
                  [--gantt WIDTH] [--summary] [--stats] [--dot] [--json] [--validate]
   ftbar analyze  <spec-file> [--npf N] [--thorough] [--links] [--rel LAMBDA]
   ftbar simulate <spec-file> [--fail PROC@TIME]... [--fail-link LINK@TIME]...
@@ -255,6 +257,7 @@ fn cmd_schedule(rest: &[String]) -> Result<String, CliError> {
     let mut use_hbp = false;
     let mut no_dup = false;
     let mut est = false;
+    let mut strategy: Option<String> = None;
     // `--gantt W` and `--no-gantt` steer one setting, last flag wins; a
     // `Cell` lets both table entries share it.
     let gantt_w = std::cell::Cell::new(Some(100usize));
@@ -270,6 +273,7 @@ fn cmd_schedule(rest: &[String]) -> Result<String, CliError> {
             flag("hbp", &mut use_hbp),
             flag("no-dup", &mut no_dup),
             flag("est", &mut est),
+            opt_val("strategy", "strategy", &mut strategy),
             custom("gantt", true, |v| {
                 let v = v.expect("valued option");
                 gantt_w.set(Some(
@@ -292,6 +296,17 @@ fn cmd_schedule(rest: &[String]) -> Result<String, CliError> {
     let path = one_file(&positional, "schedule", "spec file")?;
     let problem = load_problem(path, npf)?;
     let gantt_w = gantt_w.get();
+    let sweep = match strategy.as_deref() {
+        None | Some("adaptive") => ftbar_core::SweepStrategy::Adaptive,
+        Some("incremental") => ftbar_core::SweepStrategy::Incremental,
+        Some("naive") => ftbar_core::SweepStrategy::Naive,
+        Some("clustered") => ftbar_core::SweepStrategy::Clustered,
+        Some(other) => {
+            return Err(err(format!(
+                "invalid strategy: `{other}` (expected adaptive, incremental, naive, or clustered)"
+            )))
+        }
+    };
 
     let schedule = if use_hbp {
         ftbar_hbp::schedule(&problem).map_err(|e| err(e.to_string()))?
@@ -305,6 +320,7 @@ fn cmd_schedule(rest: &[String]) -> Result<String, CliError> {
                 } else {
                     ftbar_core::CostFunction::SchedulePressure
                 },
+                sweep,
                 ..FtbarConfig::default()
             },
         )
@@ -938,6 +954,31 @@ mod tests {
         assert!(out.contains("rtc = 16 -> met"));
         assert!(out.contains("validation: ok"));
         assert!(out.contains("# makespan"));
+    }
+
+    #[test]
+    fn schedule_strategy_flag() {
+        let path = example_file();
+        let p = path.to_str().unwrap();
+        // The exact strategies are bit-identical, so each must reproduce
+        // the default run's summary line; clustered only stays valid.
+        let default = run_strs(&["schedule", p, "--no-gantt"]).unwrap();
+        for s in ["adaptive", "incremental", "naive"] {
+            let out = run_strs(&["schedule", p, "--strategy", s, "--no-gantt"]).unwrap();
+            assert_eq!(out, default, "--strategy {s} diverged");
+        }
+        let out = run_strs(&[
+            "schedule",
+            p,
+            "--strategy",
+            "clustered",
+            "--no-gantt",
+            "--validate",
+        ])
+        .unwrap();
+        assert!(out.contains("validation: ok"));
+        let e = run_strs(&["schedule", p, "--strategy", "bogus"]).unwrap_err();
+        assert!(e.message.contains("invalid strategy"));
     }
 
     #[test]

@@ -422,6 +422,35 @@ impl<'p> ScheduleBuilder<'p> {
         &self.replicas[id.index()]
     }
 
+    /// True if processors `a` and `b` currently host *identical* placement
+    /// sequences: the same slots occupied by the same operations, in the
+    /// same order (replica identities may differ). Timelines longer than
+    /// `max_len` are declared unequal without comparing — the orbit
+    /// pruning this feeds only loses an optimization then, never
+    /// correctness. The content digests prefilter in O(1); a match is
+    /// always confirmed element-wise, so hash collisions cannot lie.
+    pub fn proc_content_eq(&self, a: ProcId, b: ProcId, max_len: usize) -> bool {
+        let (ta, tb) = (&self.proc_tl[a.index()], &self.proc_tl[b.index()]);
+        ta.len() == tb.len()
+            && ta.len() <= max_len
+            && ta.digest() == tb.digest()
+            && ta.iter().zip(tb.iter()).all(|((sa, &ra), (sb, &rb))| {
+                sa == sb && self.replicas[ra.index()].op == self.replicas[rb.index()].op
+            })
+    }
+
+    /// True if links `a` and `b` currently carry identical busy patterns
+    /// (slot sequences; the occupying comms are irrelevant — probes only
+    /// see the slots). Same `max_len` cutoff and digest-prefilter
+    /// semantics as [`ScheduleBuilder::proc_content_eq`].
+    pub fn link_slots_eq(&self, a: LinkId, b: LinkId, max_len: usize) -> bool {
+        let (ta, tb) = (&self.link_tl[a.index()], &self.link_tl[b.index()]);
+        ta.len() == tb.len()
+            && ta.len() <= max_len
+            && ta.digest() == tb.digest()
+            && ta.iter().zip(tb.iter()).all(|((sa, _), (sb, _))| sa == sb)
+    }
+
     /// The monotone mutation counter of a lane's timeline (see
     /// [`Timeline::version`]): equal versions of the same lane imply
     /// identical bookings. Rollback churn bumps it conservatively.
@@ -444,6 +473,16 @@ impl<'p> ScheduleBuilder<'p> {
     /// how the sweep engine drives it.
     pub fn op_replicas_version(&self, op: OpId) -> u64 {
         self.replicas_of[op.index()].len() as u64
+    }
+
+    /// The latest booked end over *all* lanes (processor and link
+    /// timelines), [`Time::ZERO`] on an empty schedule. Every probe answer
+    /// on the current state is `≤ max(ready, max_lane_end())`, which is
+    /// what makes the sweep engine's urgency upper bound sound.
+    pub fn max_lane_end(&self) -> Time {
+        let p = self.proc_tl.iter().map(|t| t.last_end());
+        let l = self.link_tl.iter().map(|t| t.last_end());
+        p.chain(l).fold(Time::ZERO, Time::max)
     }
 
     /// Re-runs a recorded probe event against the current timelines and
@@ -485,8 +524,9 @@ impl<'p> ScheduleBuilder<'p> {
         );
         for cid in (mark.comms..self.comms.len()).rev() {
             for (i, hop) in self.comms[cid].hops.iter().enumerate() {
-                let removed = self.link_tl[hop.link.index()].remove(&(CommId(cid as u32), i));
-                debug_assert!(removed.is_some(), "booked hop present on its link");
+                let removed =
+                    self.link_tl[hop.link.index()].remove_at(hop.slot, &(CommId(cid as u32), i));
+                debug_assert!(removed, "booked hop present on its link");
             }
         }
         for comm in self.comms.drain(mark.comms..) {
@@ -496,8 +536,9 @@ impl<'p> ScheduleBuilder<'p> {
         }
         for rid in (mark.replicas..self.replicas.len()).rev() {
             let rep = &self.replicas[rid];
-            let removed = self.proc_tl[rep.proc.index()].remove(&ReplicaId(rid as u32));
-            debug_assert!(removed.is_some(), "booked replica present on its processor");
+            let removed =
+                self.proc_tl[rep.proc.index()].remove_at(rep.slot, &ReplicaId(rid as u32));
+            debug_assert!(removed, "booked replica present on its processor");
             let list = &mut self.replicas_of[rep.op.index()];
             debug_assert_eq!(list.last(), Some(&ReplicaId(rid as u32)));
             list.pop();
@@ -1184,8 +1225,9 @@ impl<'p> ScheduleBuilder<'p> {
         debug_assert_eq!(base.replicas + 1, self.replicas.len());
         for cid in (base.comms..self.comms.len()).rev() {
             for (i, hop) in self.comms[cid].hops.iter().enumerate() {
-                let removed = self.link_tl[hop.link.index()].remove(&(CommId(cid as u32), i));
-                debug_assert!(removed.is_some(), "booked hop present on its link");
+                let removed =
+                    self.link_tl[hop.link.index()].remove_at(hop.slot, &(CommId(cid as u32), i));
+                debug_assert!(removed, "booked hop present on its link");
             }
         }
         let mut comms = self.seg_comms_pool.pop().unwrap_or_default();
@@ -1193,8 +1235,8 @@ impl<'p> ScheduleBuilder<'p> {
         comms.extend(self.comms.drain(base.comms..));
         let rid = ReplicaId(base.replicas as u32);
         let replica = self.replicas.pop().expect("segment replica present");
-        let removed = self.proc_tl[replica.proc.index()].remove(&rid);
-        debug_assert!(removed.is_some(), "booked replica present on its processor");
+        let removed = self.proc_tl[replica.proc.index()].remove_at(replica.slot, &rid);
+        debug_assert!(removed, "booked replica present on its processor");
         let list = &mut self.replicas_of[replica.op.index()];
         debug_assert_eq!(list.last(), Some(&rid));
         list.pop();

@@ -44,6 +44,11 @@ pub enum ScheduleError {
         /// The processor hosting the replica.
         proc: ProcId,
     },
+    /// A derived problem (the clustered strategy's quotient or pinned
+    /// expansion) failed model validation — e.g. a cluster whose members
+    /// have no common allowed processor. Carries the rendered
+    /// [`ftbar_model::ModelError`].
+    DerivedProblem(String),
 }
 
 impl fmt::Display for ScheduleError {
@@ -66,6 +71,9 @@ impl fmt::Display for ScheduleError {
             }
             ScheduleError::CommFailed { op, proc } => {
                 write!(f, "could not route the inputs of {op} to {proc}")
+            }
+            ScheduleError::DerivedProblem(e) => {
+                write!(f, "derived problem failed validation: {e}")
             }
         }
     }

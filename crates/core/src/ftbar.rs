@@ -61,12 +61,34 @@ pub enum SweepStrategy {
     Incremental,
     /// Re-probe every ⟨candidate, processor⟩ pair from scratch each step.
     Naive,
+    /// Two-phase hierarchical clustering (see [`crate::cluster`]): group
+    /// the operations into convex super-operations of at most
+    /// [`FtbarConfig::cluster_size`] members, schedule the cluster graph
+    /// exactly, then re-schedule the original operations with placements
+    /// pinned to the cluster's processors. The only strategy that is
+    /// **not** bit-identical to the others — it trades makespan for
+    /// sweep width and is never chosen by [`SweepStrategy::Adaptive`].
+    Clustered,
 }
 
 /// Default [`FtbarConfig::adaptive_cutoff`]: the measured
 /// incremental-vs-naive crossover on the committed `BENCH_scheduling.json`
 /// workloads (4 processors, CCR 5) sits between 50 and 80 operations.
 pub const ADAPTIVE_SWEEP_CUTOFF: usize = 64;
+
+/// Default [`FtbarConfig::parallel_cutoff`]: below this many operations the
+/// scoped-thread fan-out costs more than the dirty probes it distributes.
+/// Measured on the committed benchmark workloads (4 processors, CCR 5):
+/// the serial sweep wins by ~5–10% up to N≈1000, the two are a wash at
+/// N=2000–5000, and the fan-out only pays (~2–3%) from N≈10000 up — so
+/// the cutoff sits at the top of the serial-wins range.
+pub const PARALLEL_SWEEP_CUTOFF: usize = 2000;
+
+/// Default [`FtbarConfig::cluster_size`]: big enough that the cluster
+/// graph is two orders of magnitude smaller than the operation graph,
+/// small enough that the pinned expansion keeps a meaningful choice of
+/// processors per operation.
+pub const DEFAULT_CLUSTER_SIZE: usize = 8;
 
 /// Tunable knobs of the FTBAR scheduler.
 ///
@@ -86,11 +108,16 @@ pub struct FtbarConfig {
     /// Problem size (operation count) at which [`SweepStrategy::Adaptive`]
     /// switches from the naive to the incremental sweep.
     pub adaptive_cutoff: usize,
-    /// Recompute dirty probe pairs on scoped worker threads. Deterministic:
-    /// results are reduced in the same order as the serial sweep, so the
-    /// schedule is bit-identical. Only effective when the resolved strategy
-    /// is [`SweepStrategy::Incremental`].
-    pub parallel: bool,
+    /// Problem size (operation count) at or above which dirty probe pairs
+    /// are recomputed on scoped worker threads. Deterministic: results are
+    /// reduced in the same order as the serial sweep, so the schedule is
+    /// bit-identical. Only effective when the resolved strategy is
+    /// [`SweepStrategy::Incremental`]. Set to `0` to force the parallel
+    /// sweep on, `usize::MAX` to force it off.
+    pub parallel_cutoff: usize,
+    /// Maximum members per super-operation under
+    /// [`SweepStrategy::Clustered`]; ignored by the exact strategies.
+    pub cluster_size: usize,
 }
 
 impl Default for FtbarConfig {
@@ -101,7 +128,8 @@ impl Default for FtbarConfig {
             trace: false,
             sweep: SweepStrategy::default(),
             adaptive_cutoff: ADAPTIVE_SWEEP_CUTOFF,
-            parallel: false,
+            parallel_cutoff: PARALLEL_SWEEP_CUTOFF,
+            cluster_size: DEFAULT_CLUSTER_SIZE,
         }
     }
 }
@@ -110,7 +138,8 @@ impl FtbarConfig {
     /// The concrete sweep strategy used for a problem of `n_ops`
     /// operations: [`SweepStrategy::Adaptive`] resolves by
     /// [`FtbarConfig::adaptive_cutoff`], the explicit strategies to
-    /// themselves. Never returns [`SweepStrategy::Adaptive`].
+    /// themselves. Never returns [`SweepStrategy::Adaptive`];
+    /// [`SweepStrategy::Clustered`] only when explicitly requested.
     pub fn resolved_sweep(&self, n_ops: usize) -> SweepStrategy {
         match self.sweep {
             SweepStrategy::Adaptive => {
@@ -122,6 +151,12 @@ impl FtbarConfig {
             }
             explicit => explicit,
         }
+    }
+
+    /// Whether the incremental sweep distributes dirty recomputes over
+    /// scoped worker threads for a problem of `n_ops` operations.
+    pub fn resolved_parallel(&self, n_ops: usize) -> bool {
+        n_ops >= self.parallel_cutoff
     }
 }
 
@@ -322,12 +357,17 @@ pub fn schedule_with_pools(
     config: &FtbarConfig,
     pools: EnginePools,
 ) -> Result<(FtbarOutcome, EnginePools), ScheduleError> {
+    let n_ops = problem.alg().op_count();
+    if config.resolved_sweep(n_ops) == SweepStrategy::Clustered {
+        return crate::cluster::schedule_clustered(problem, config, pools);
+    }
     let pressure = Pressure::new(problem);
-    let (sweep, cache) = match config.resolved_sweep(problem.alg().op_count()) {
+    let (sweep, cache) = match config.resolved_sweep(n_ops) {
         SweepStrategy::Adaptive => unreachable!("resolved_sweep never returns Adaptive"),
+        SweepStrategy::Clustered => unreachable!("dispatched above"),
         SweepStrategy::Incremental => {
             let mut engine = SweepEngine::new(problem, &pressure, config.cost);
-            engine.set_parallel(config.parallel);
+            engine.set_parallel(config.resolved_parallel(n_ops));
             // The selection sweep only ranks by the cost function's field,
             // so the cache completes just that probe (see `PointFocus`).
             let focus = match config.cost {

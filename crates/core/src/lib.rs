@@ -42,11 +42,13 @@
 pub mod analysis;
 pub mod basic;
 mod builder;
+pub mod cluster;
 pub mod engine;
 mod error;
 pub mod export;
 pub mod ftbar;
 pub mod gantt;
+pub mod orbit;
 mod pressure;
 pub mod reliability;
 mod replay;
@@ -63,6 +65,7 @@ pub use engine::{Engine, EngineConfig, EngineCx, EngineOutcome, EnginePools, Pla
 pub use error::ScheduleError;
 pub use ftbar::{
     CostFunction, FtbarConfig, FtbarOutcome, StepTrace, SweepStrategy, ADAPTIVE_SWEEP_CUTOFF,
+    DEFAULT_CLUSTER_SIZE, PARALLEL_SWEEP_CUTOFF,
 };
 pub use pressure::Pressure;
 pub use replay::{

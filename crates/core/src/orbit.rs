@@ -1,0 +1,241 @@
+//! Symmetry-pruned sweeps: architecture orbits and the per-step state
+//! fingerprint check (DESIGN.md §12).
+//!
+//! Two processors `p`, `q` are **orbit-equivalent for the current partial
+//! schedule** when some architecture automorphism `φ` with `φ(p) = q`
+//! maps the *entire* schedule state onto itself:
+//!
+//! * every processor timeline carries the same `(slot, operation)`
+//!   sequence as its image (replica identities may differ — only the
+//!   busy pattern and which operation occupies it matter);
+//! * every link lane consulted by any route carries the same slot
+//!   sequence as the corresponding lane of the image route (paired
+//!   hop-by-hop and route-by-route, so heterogeneous tie-broken route
+//!   tables stay sound);
+//! * the static tables are `φ`-invariant: execution times, allowed
+//!   processors, and per-dependency link durations (checked once at
+//!   construction — a permutation violating any of these is discarded).
+//!
+//! Under those conditions the σ evaluation for `(o, q)` is the `φ`-image
+//! of the evaluation for `(o, p)` — every probed instant, booked arrival,
+//! and fault-pattern worst case maps value-for-value (the fault-pattern
+//! set is closed under processor permutations), so the σ *values* are
+//! equal and [`crate::SweepEngine`] replicates the representative's value
+//! instead of probing. The replicated value can never be stale: the check
+//! runs against the live timelines at the very step the value is used,
+//! not against any cached snapshot.
+//!
+//! Timeline content digests ([`crate::Timeline::digest`]) serve as an O(1)
+//! prefilter; equality is then *confirmed* by comparing the actual slot
+//! sequences (and occupying operations, for processors), so a digest
+//! collision can never produce a wrong schedule — only the prefilter's
+//! speed relies on hashing, never correctness.
+
+use ftbar_model::{LinkId, Problem, ProcId};
+
+use crate::builder::ScheduleBuilder;
+
+/// Confirmation ceiling: a state-symmetry check on timelines longer than
+/// this is declared failed without comparing (pruning simply switches off
+/// for the step). Symmetric states occur in the early, short-timeline
+/// phase of a schedule; the cap keeps the per-step cost bounded on
+/// adversarial workloads that stay symmetric while growing long.
+const ORBIT_CONFIRM_MAX: usize = 96;
+
+/// One surviving architecture automorphism with its precomputed state
+/// checks.
+#[derive(Debug)]
+struct ArchPerm {
+    /// `map[p] = φ(p)`.
+    map: Vec<ProcId>,
+    /// Distinct processor pairs `(r, φ(r))` (deduplicated, unordered).
+    proc_pairs: Vec<(ProcId, ProcId)>,
+    /// Distinct link pairs that must carry identical slot sequences:
+    /// route `(a, b)` zipped hop-by-hop with route `(φ(a), φ(b))`, over
+    /// every route of every ordered processor pair.
+    lane_pairs: Vec<(LinkId, LinkId)>,
+}
+
+/// The architecture's usable automorphisms, ready for per-step orbit
+/// classification. Built once per problem; [`OrbitIndex::step_classes`]
+/// then answers "which processors are interchangeable *right now*" from
+/// the live builder state.
+#[derive(Debug)]
+pub struct OrbitIndex {
+    perms: Vec<ArchPerm>,
+    n_procs: usize,
+}
+
+impl OrbitIndex {
+    /// Detects the architecture's automorphisms and filters them against
+    /// the problem's static tables. Returns `None` when only the identity
+    /// survives — an asymmetric architecture (or a symmetric one with
+    /// heterogeneous execution/communication tables) disables orbit
+    /// pruning entirely.
+    pub fn new(problem: &Problem) -> Option<OrbitIndex> {
+        let arch = problem.arch();
+        let n = arch.proc_count();
+        let edges: Vec<Vec<usize>> = arch
+            .links()
+            .map(|l| arch.link(l).endpoints().iter().map(|p| p.index()).collect())
+            .collect();
+        let mut perms = Vec::new();
+        'perm: for map in ftbar_graph::automorphisms(n, &edges) {
+            if map.iter().enumerate().all(|(v, &img)| v == img) {
+                continue; // identity prunes nothing
+            }
+            let map: Vec<ProcId> = map.iter().map(|&v| ProcId::from_index(v)).collect();
+            // Static filter 1: execution times (and thereby the allowed
+            // sets) must be φ-invariant for every operation.
+            let exec = problem.exec();
+            for op in problem.alg().ops() {
+                for r in arch.procs() {
+                    if exec.get(op, r) != exec.get(op, map[r.index()]) {
+                        continue 'perm;
+                    }
+                }
+            }
+            // Pair the routes of (a, b) with the routes of (φa, φb) by
+            // index — the planner walks routes in table order, so value
+            // equality needs the k-th route's lane states to correspond.
+            let routes = problem.routes();
+            let mut lane_pairs: Vec<(LinkId, LinkId)> = Vec::new();
+            for a in arch.procs() {
+                for b in arch.procs() {
+                    if a == b {
+                        continue;
+                    }
+                    let r1 = routes.all(a, b);
+                    let r2 = routes.all(map[a.index()], map[b.index()]);
+                    if r1.len() != r2.len() {
+                        continue 'perm;
+                    }
+                    for (ra, rb) in r1.iter().zip(r2) {
+                        if ra.hops().len() != rb.hops().len() {
+                            continue 'perm;
+                        }
+                        for (ha, hb) in ra.hops().iter().zip(rb.hops()) {
+                            if ha.link != hb.link {
+                                lane_pairs.push(ordered(ha.link, hb.link));
+                            }
+                        }
+                    }
+                }
+            }
+            lane_pairs.sort_unstable();
+            lane_pairs.dedup();
+            // Static filter 2: paired lanes must agree on every
+            // dependency's communication duration.
+            let comm = problem.comm();
+            for &(l1, l2) in &lane_pairs {
+                for dep in problem.alg().deps() {
+                    if comm.get(dep, l1) != comm.get(dep, l2) {
+                        continue 'perm;
+                    }
+                }
+            }
+            let mut proc_pairs: Vec<(ProcId, ProcId)> = arch
+                .procs()
+                .filter(|&r| r != map[r.index()])
+                .map(|r| ordered(r, map[r.index()]))
+                .collect();
+            proc_pairs.sort_unstable();
+            proc_pairs.dedup();
+            perms.push(ArchPerm {
+                map,
+                proc_pairs,
+                lane_pairs,
+            });
+        }
+        if perms.is_empty() {
+            None
+        } else {
+            Some(OrbitIndex { perms, n_procs: n })
+        }
+    }
+
+    /// Classifies the processors into orbit-equivalence classes for the
+    /// *current* builder state: `classes[p]` is the smallest processor
+    /// index in `p`'s class. Returns `true` when at least one class has
+    /// two or more members (i.e. the step can replicate at least one σ).
+    pub fn step_classes(&self, b: &ScheduleBuilder<'_>, classes: &mut Vec<u32>) -> bool {
+        classes.clear();
+        classes.extend(0..self.n_procs as u32);
+        let mut nontrivial = false;
+        for perm in &self.perms {
+            if perm.live(b) {
+                for r in 0..self.n_procs {
+                    union(classes, r as u32, perm.map[r].index() as u32);
+                    nontrivial = true;
+                }
+            }
+        }
+        if nontrivial {
+            // Flatten to canonical (minimum-member) representatives.
+            for i in 0..classes.len() {
+                classes[i] = find(classes, i as u32);
+            }
+        }
+        nontrivial
+    }
+
+    /// Fills `out` with the indices of the automorphisms whose state check
+    /// passes for the *current* builder state ("live" permutations). Pair
+    /// them with [`OrbitIndex::perm_map`] to map processors; HBP's pair
+    /// search uses this to skip ordered processor pairs that are the image
+    /// of an already-trialed pair.
+    pub fn live_perms(&self, b: &ScheduleBuilder<'_>, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.perms
+                .iter()
+                .enumerate()
+                .filter(|(_, perm)| perm.live(b))
+                .map(|(i, _)| i),
+        );
+    }
+
+    /// The processor map of automorphism `i` (`map[p.index()] = φ(p)`);
+    /// `i` comes from [`OrbitIndex::live_perms`].
+    pub fn perm_map(&self, i: usize) -> &[ProcId] {
+        &self.perms[i].map
+    }
+}
+
+impl ArchPerm {
+    /// Whether the permutation maps the current schedule state onto
+    /// itself (the dynamic half of the exactness conditions; the static
+    /// half was checked at construction).
+    fn live(&self, b: &ScheduleBuilder<'_>) -> bool {
+        self.proc_pairs
+            .iter()
+            .all(|&(a, c)| b.proc_content_eq(a, c, ORBIT_CONFIRM_MAX))
+            && self
+                .lane_pairs
+                .iter()
+                .all(|&(l1, l2)| b.link_slots_eq(l1, l2, ORBIT_CONFIRM_MAX))
+    }
+}
+
+fn ordered<T: Ord>(a: T, b: T) -> (T, T) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Minimal union-find over the class vector (path-halving; the minimum
+/// index wins as root so representatives are canonical).
+fn find(classes: &[u32], mut i: u32) -> u32 {
+    while classes[i as usize] != i {
+        i = classes[i as usize];
+    }
+    i
+}
+
+fn union(classes: &mut [u32], a: u32, b: u32) {
+    let (ra, rb) = (find(classes, a), find(classes, b));
+    let (lo, hi) = if ra <= rb { (ra, rb) } else { (rb, ra) };
+    classes[hi as usize] = lo;
+}

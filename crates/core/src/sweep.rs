@@ -59,6 +59,7 @@ use ftbar_model::{OpId, Problem, ProcId, Time};
 use crate::builder::{Lane, PlanProbe, ProbeEvent, ProbePoint, ProbeScratch, ScheduleBuilder};
 use crate::error::ScheduleError;
 use crate::ftbar::CostFunction;
+use crate::orbit::OrbitIndex;
 use crate::pressure::Pressure;
 
 /// Spawning threads is only worth it when enough pairs must be recomputed.
@@ -99,6 +100,18 @@ pub struct SweepStats {
     /// Candidates skipped wholesale by the sweep engine's dirty-set
     /// selection (their pairs were not probed at all that step).
     pub skipped_ops: u64,
+    /// Candidates dismissed by the urgency upper bound (σ can never exceed
+    /// the maximum lane tail plus the worst input-route duration, so a
+    /// candidate whose bound is below the running best cannot win the
+    /// step); their evaluations were not even revalidated.
+    pub bound_skips: u64,
+    /// σ values replicated from an orbit representative instead of being
+    /// probed (symmetry pruning; 0 unless the architecture has a
+    /// registered automorphism group).
+    pub orbit_hits: u64,
+    /// Super-operation clusters built by the clustered strategy (0 for the
+    /// exact strategies).
+    pub clusters: u64,
 }
 
 /// The shared per-⟨operation, processor⟩ probe cache.
@@ -255,6 +268,13 @@ impl ProbeCache {
     /// Cache effectiveness counters.
     pub fn stats(&self) -> SweepStats {
         self.stats
+    }
+
+    /// Records `n` symmetry-pruned evaluations performed by a policy
+    /// outside the sweep engine (HBP's pair search); they surface through
+    /// [`SweepStats::orbit_hits`] like the sweep engine's own.
+    pub fn note_orbit_hits(&mut self, n: u64) {
+        self.stats.orbit_hits += n;
     }
 
     fn idx(&self, op: OpId, proc: ProcId) -> usize {
@@ -520,8 +540,6 @@ struct OpEval {
     urgency_bits: u64,
     /// The `Npf + 1` kept processors, ascending by `(pressure, proc)`.
     kept: Vec<(ProcId, f64)>,
-    /// Sum of the pair row generations the eval was built from.
-    gen_sum: u64,
 }
 
 /// Current builder version of a flat lane (processors first, then links).
@@ -572,10 +590,35 @@ pub struct SweepEngine {
     /// pair contributed to its op's latest kept set. Plan-clean refreshes
     /// update only the entries whose processor lane moved.
     sig: Vec<f64>,
+    /// Live candidates in scan order: descending static bottom level,
+    /// ascending operation id within ties. Scanning in this order makes
+    /// the urgency upper bound monotone, so the selection sweep can stop
+    /// at the first candidate whose bound falls below the running best —
+    /// everything after it is provably non-winning (see `DESIGN.md` §11).
+    order: Vec<OpId>,
+    /// Membership mirror of `order`, for O(1) entrant detection.
+    in_cand: Vec<bool>,
+    /// Per-operation static input slack: the largest route communication
+    /// duration any incoming dependency can incur (0 for entry ops). A
+    /// candidate's input-ready instant can never exceed the maximum lane
+    /// tail plus this slack.
+    in_slack: Vec<Time>,
+    /// Maximum of `in_slack` over all operations — the architecture-wide
+    /// slack that keeps the scan-order bound monotone.
+    route_slack: Time,
     /// Scratch: per-step dirty pairs `(op, proc, replayable)`.
     dirty: Vec<(OpId, ProcId, bool)>,
     /// Scratch: per-candidate sigmas for kept-set rebuilds.
     sigmas: Vec<(ProcId, f64)>,
+    /// The architecture's usable automorphisms (`None` on asymmetric
+    /// architectures — orbit pruning then never engages).
+    orbit: Option<OrbitIndex>,
+    /// Scratch: per-step orbit class of each processor (canonical minimum
+    /// member; see [`OrbitIndex::step_classes`]).
+    orbit_classes: Vec<u32>,
+    /// Scratch: `(class, σ)` pairs probed so far within one operation's
+    /// processor span — the replication source.
+    class_sigma: Vec<(u32, f64)>,
 }
 
 impl SweepEngine {
@@ -589,6 +632,47 @@ impl SweepEngine {
             allowed.extend(problem.exec().allowed_procs(op));
             allowed_off.push(allowed.len() as u32);
         }
+        // Static per-dependency worst route duration: the largest hop-sum
+        // over any usable route between any ordered processor pair. Probed
+        // arrivals start at a replica end (≤ some lane tail) and add one
+        // route's hop durations, each hop also waiting on a link tail, so
+        // this bounds how far past `max_lane_end` an input-ready instant
+        // can reach. Saturates to `Time::MAX` (bound disabled) rather than
+        // ever underestimating.
+        let arch = problem.arch();
+        let routes = problem.routes();
+        let comm = problem.comm();
+        let mut dep_slack = vec![Time::ZERO; alg.dep_count()];
+        for dep in alg.deps() {
+            let mut worst = Time::ZERO;
+            for src in arch.procs() {
+                for dst in arch.procs() {
+                    if src == dst {
+                        continue;
+                    }
+                    'route: for route in routes.all(src, dst) {
+                        let mut sum = Time::ZERO;
+                        for hop in route.hops() {
+                            match comm.get(dep, hop.link) {
+                                Some(d) => sum = sum.checked_add(d).unwrap_or(Time::MAX),
+                                None => continue 'route,
+                            }
+                        }
+                        worst = worst.max(sum);
+                    }
+                }
+            }
+            dep_slack[dep.index()] = worst;
+        }
+        let in_slack: Vec<Time> = alg
+            .ops()
+            .map(|op| {
+                alg.sched_preds(op)
+                    .map(|(d, _)| dep_slack[d.index()])
+                    .fold(Time::ZERO, Time::max)
+            })
+            .collect();
+        let route_slack = in_slack.iter().copied().fold(Time::ZERO, Time::max);
         SweepEngine {
             cost,
             parallel: false,
@@ -601,8 +685,15 @@ impl SweepEngine {
             allowed,
             allowed_off,
             evals: vec![OpEval::default(); alg.op_count()],
+            order: Vec::new(),
+            in_cand: vec![false; alg.op_count()],
+            in_slack,
+            route_slack,
             dirty: Vec::new(),
             sigmas: Vec::new(),
+            orbit: OrbitIndex::new(problem),
+            orbit_classes: Vec::new(),
+            class_sigma: Vec::new(),
         }
     }
 
@@ -663,6 +754,31 @@ impl SweepEngine {
         }
     }
 
+    /// Sound upper bound on `op`'s σ at the current state, as the monotone
+    /// bit image selection compares by. `tail` is the builder's
+    /// [`ScheduleBuilder::max_lane_end`]; `slack` is either the op's own
+    /// input slack (tightest) or the engine-wide `route_slack` (monotone
+    /// along the `order` scan). Soundness: a probe answer never exceeds
+    /// `max(ready, lane tail)`, an input-ready instant never exceeds
+    /// `tail + slack`, `Time → f64` conversion is monotone, and `f64`
+    /// addition of the same non-negative bottom level preserves order.
+    fn upper_bits(&self, op: OpId, tail: Time, slack: Time) -> u64 {
+        let base = match tail.checked_add(slack) {
+            Some(t) => t.as_units(),
+            None => f64::INFINITY,
+        };
+        let u = match self.cost {
+            CostFunction::SchedulePressure => base + self.bottom[op.index()],
+            CostFunction::EarliestStart => base,
+        };
+        u.to_bits()
+    }
+
+    /// The `(bottom level descending, op ascending)` scan key of `order`.
+    fn order_key(&self, op: OpId) -> (std::cmp::Reverse<u64>, OpId) {
+        (std::cmp::Reverse(self.bottom[op.index()].to_bits()), op)
+    }
+
     /// Runs micro-steps À and Á: refreshes every dirty ⟨candidate,
     /// processor⟩ pair, rebuilds the affected kept sets, and returns the
     /// most urgent candidate. `cand` must be the current candidate set,
@@ -680,34 +796,88 @@ impl SweepEngine {
         b: &ScheduleBuilder<'_>,
         cand: &[OpId],
     ) -> Result<(OpId, &[(ProcId, f64)]), ScheduleError> {
-        if self.parallel {
-            self.refresh_parallel(cache, b, cand)?;
+        // Candidate-order maintenance: between retires `cand` only grows,
+        // so one ascending pass finds the entrants; each is inserted into
+        // the static `(bottom desc, op asc)` scan order. A candidate
+        // spanning fewer processors than the replication level errors
+        // here, at its entry step — the same step the naive sweep first
+        // visits it (entrants are walked ascending by id, matching the
+        // naive sweep's first-offender choice).
+        for &op in cand {
+            if !self.in_cand[op.index()] {
+                let span = self.allowed_off[op.index() + 1] - self.allowed_off[op.index()];
+                if (span as usize) < self.k {
+                    return Err(ScheduleError::NotEnoughProcessors { op, needed: self.k });
+                }
+                self.in_cand[op.index()] = true;
+                let key = self.order_key(op);
+                let pos = self.order.partition_point(|&o| self.order_key(o) < key);
+                self.order.insert(pos, op);
+            }
         }
-        // Serial refresh + eval rebuild, with the dirty-set skip:
-        // plan-clean candidates bypass every pair-row validation tier and
-        // only re-complete points whose processor lane actually moved —
-        // each step pays only for the pairs the last placement perturbed.
-        // After refresh_parallel the dirty candidates' pair rows are
-        // already recomputed, so the full path only revalidates (cheap)
-        // and sums generations. `best` is the flat max-structure over
-        // kept-set pressures: candidates iterate in ascending id order and
-        // the comparison is strictly greater, reproducing the naive
-        // sweep's tie-break (largest urgency, then smallest operation id).
+        let tail = b.max_lane_end();
+        // Orbit classification for this step: processors related by an
+        // architecture automorphism that maps the *current* timelines onto
+        // themselves share σ values for every candidate, so one probe per
+        // class suffices (see `crate::orbit`). The check runs against the
+        // live state each step — a replicated σ can never be stale.
+        let orbit_step = match &self.orbit {
+            Some(orbit) => {
+                let mut classes = std::mem::take(&mut self.orbit_classes);
+                let nontrivial = orbit.step_classes(b, &mut classes);
+                self.orbit_classes = classes;
+                nontrivial
+            }
+            None => false,
+        };
+        if self.parallel {
+            self.refresh_parallel(cache, b, tail, orbit_step)?;
+        }
+        // Serial refresh + eval rebuild, with two pruning levels on top of
+        // the dirty-set skip: plan-clean candidates bypass every pair-row
+        // validation tier and only re-complete points whose processor lane
+        // actually moved, while candidates whose σ upper bound (maximum
+        // lane tail + input-route slack + bottom level) falls strictly
+        // below the running best are not touched at all — their σ can
+        // never reach the best, so skipping them is exact. The scan runs
+        // in descending-bottom order, which makes the engine-wide bound
+        // monotone: the first candidate below it ends the step for every
+        // candidate after it too. `best` is the flat max-structure over
+        // kept-set pressures with the naive sweep's tie-break (largest
+        // urgency, then smallest operation id) applied explicitly, since
+        // the scan is no longer in id order.
         let mut best: Option<(u64, OpId)> = None;
         cache.sync(b);
         let (sync, changed) = (cache.sync_count, cache.changed_lanes);
-        for &op in cand {
+        for i in 0..self.order.len() {
+            let op = self.order[i];
+            if let Some((bb, _)) = best {
+                if self.upper_bits(op, tail, self.route_slack) < bb {
+                    cache.stats.bound_skips += (self.order.len() - i) as u64;
+                    break;
+                }
+                if self.upper_bits(op, tail, self.in_slack[op.index()]) < bb {
+                    cache.stats.bound_skips += 1;
+                    continue;
+                }
+            }
             let stamp = cache.stamp(b, op);
             if self.plan_clean(op, stamp, sync, changed) {
                 // Point-only refresh: every pair's plan is exact; σ moves
                 // only where the hosting processor's lane version did.
                 cache.stats.skipped_ops += 1;
-                let mut gen_sum = 0u64;
                 let mut moved = false;
                 for pi in self.allowed_off[op.index()]..self.allowed_off[op.index() + 1] {
                     let pi = pi as usize;
                     let proc = self.allowed[pi];
                     let idx = cache.idx(op, proc);
+                    // Absent rows (orbit-replicated pairs) are skipped:
+                    // plan-clean with an all-ones mask only ever passes in
+                    // a fully quiescent span, where every σ — including
+                    // replicated ones — is still exact as stored.
+                    if !cache.present[idx] {
+                        continue;
+                    }
                     if let PlanProbe::Ready { .. } = cache.plans[idx] {
                         if cache.proc_vers[idx] != b.lane_version(Lane::Proc(proc)) {
                             let (point, _) = cache.complete_point(b, idx, proc);
@@ -718,46 +888,79 @@ impl SweepEngine {
                             }
                         }
                     }
-                    gen_sum += cache.gens[idx];
                 }
                 if moved {
                     self.rebuild_kept(op);
                 }
-                let eval = &mut self.evals[op.index()];
-                eval.eval_sync = sync;
-                eval.gen_sum = gen_sum;
+                self.evals[op.index()].eval_sync = sync;
             } else {
-                let eval = &self.evals[op.index()];
-                let (prev_valid, prev_gen_sum) = (eval.valid, eval.gen_sum);
-                let mut gen_sum = 0u64;
+                let prev_valid = self.evals[op.index()].valid;
+                let mut moved = !prev_valid;
                 let mut plan_mask = 0u64;
-                let span = self.allowed_off[op.index()]..self.allowed_off[op.index() + 1];
-                if (span.len()) < self.k {
-                    return Err(ScheduleError::NotEnoughProcessors { op, needed: self.k });
-                }
-                for pi in span {
+                let mut replicated = false;
+                self.class_sigma.clear();
+                for pi in self.allowed_off[op.index()]..self.allowed_off[op.index() + 1] {
                     let pi = pi as usize;
                     let proc = self.allowed[pi];
-                    let (point, gen) = cache.probe_entry(b, op, proc, stamp)?;
-                    gen_sum += gen;
-                    plan_mask |= cache.lanes_masks[cache.idx(op, proc)];
-                    self.sig[pi] = self.sigma_of(op, point);
+                    let cls = if orbit_step {
+                        self.orbit_classes[proc.index()]
+                    } else {
+                        u32::MAX
+                    };
+                    let hit = self
+                        .class_sigma
+                        .iter()
+                        .find(|&&(c, _)| orbit_step && c == cls)
+                        .map(|&(_, s)| s);
+                    let sigma = match hit {
+                        Some(sigma) => {
+                            // Orbit hit: this processor's σ equals the
+                            // class representative's, probed above. The
+                            // untouched cache row is marked absent so no
+                            // later shortcut can consult its stale plan.
+                            cache.stats.orbit_hits += 1;
+                            let idx = cache.idx(op, proc);
+                            cache.present[idx] = false;
+                            replicated = true;
+                            sigma
+                        }
+                        None => {
+                            let (point, _) = cache.probe_entry(b, op, proc, stamp)?;
+                            plan_mask |= cache.lanes_masks[cache.idx(op, proc)];
+                            let sigma = self.sigma_of(op, point);
+                            if orbit_step {
+                                self.class_sigma.push((cls, sigma));
+                            }
+                            sigma
+                        }
+                    };
+                    if sigma != self.sig[pi] {
+                        self.sig[pi] = sigma;
+                        moved = true;
+                    }
                 }
-                if !(prev_valid && gen_sum == prev_gen_sum) {
+                if moved {
                     // Some pair's value moved: rebuild the kept set.
                     self.rebuild_kept(op);
                 }
                 let eval = &mut self.evals[op.index()];
                 eval.stamp = stamp;
                 eval.eval_sync = sync;
-                eval.plan_mask = plan_mask;
-                eval.gen_sum = gen_sum;
+                // A replicated pair has no probed plan behind it: poison
+                // the mask so the next step takes the full recompute path
+                // (plan-clean would otherwise vouch for a plan layer this
+                // evaluation never built).
+                eval.plan_mask = if replicated { u64::MAX } else { plan_mask };
                 eval.valid = true;
             }
             // Micro-step Á: urgency = the kept-set maximum pressure
             // (non-negative, so the bit image orders like the float).
             let bits = self.evals[op.index()].urgency_bits;
-            if best.is_none_or(|(bb, _)| bits > bb) {
+            let better = match best {
+                None => true,
+                Some((bb, bo)) => bits > bb || (bits == bb && op < bo),
+            };
+            if better {
                 best = Some((bits, op));
             }
         }
@@ -765,13 +968,15 @@ impl SweepEngine {
         Ok((op, &self.evals[op.index()].kept))
     }
 
-    /// Re-validates and recomputes the dirty pairs of `cand` with scoped
-    /// worker threads, applying results in deterministic pair order.
+    /// Re-validates and recomputes the dirty pairs of the candidate order
+    /// with scoped worker threads, applying results in deterministic pair
+    /// order.
     fn refresh_parallel(
         &mut self,
         cache: &mut ProbeCache,
         b: &ScheduleBuilder<'_>,
-        cand: &[OpId],
+        tail: Time,
+        orbit_step: bool,
     ) -> Result<(), ScheduleError> {
         if self.max_workers <= 1 {
             // A single worker is the serial sweep with extra thread-spawn
@@ -781,16 +986,48 @@ impl SweepEngine {
         // Tier-0/2 triage (cheap, serial, deterministic order), with the
         // same plan-clean candidate skip as the serial pass (point
         // completions are always serial — they are two binary searches).
+        // The serial pass's bound skip is mirrored here with a cheap lower
+        // bound on the step's best urgency (the stale urgency of plan-clean
+        // candidates, which in practice only rises as timelines fill).
+        // Candidates whose upper bound falls below it are almost certainly
+        // bound-skipped serially too; if the guess is ever wrong the serial
+        // pass simply recomputes those pairs inline — the triage is a
+        // warm-up, so results cannot change, only thread utilization.
         cache.sync(b);
         let (sync, changed) = (cache.sync_count, cache.changed_lanes);
         self.dirty.clear();
-        for &op in cand {
+        let mut lb: Option<u64> = None;
+        for i in 0..self.order.len() {
+            let op = self.order[i];
+            if let Some(l) = lb {
+                if self.upper_bits(op, tail, self.route_slack) < l {
+                    break;
+                }
+                if self.upper_bits(op, tail, self.in_slack[op.index()]) < l {
+                    continue;
+                }
+            }
             let stamp = cache.stamp(b, op);
             if self.plan_clean(op, stamp, sync, changed) {
+                let bits = self.evals[op.index()].urgency_bits;
+                if lb.is_none_or(|l| bits > l) {
+                    lb = Some(bits);
+                }
                 continue;
             }
+            self.class_sigma.clear();
             for pi in self.allowed_off[op.index()]..self.allowed_off[op.index() + 1] {
                 let proc = self.allowed[pi as usize];
+                if orbit_step {
+                    // Mirror the serial pass's orbit replication: only the
+                    // first processor of each class is probed, so only it
+                    // needs warming.
+                    let cls = self.orbit_classes[proc.index()];
+                    if self.class_sigma.iter().any(|&(c, _)| c == cls) {
+                        continue;
+                    }
+                    self.class_sigma.push((cls, 0.0));
+                }
                 let idx = cache.idx(op, proc);
                 if cache.plan_version_valid(b, idx, stamp) {
                     // Row provably current; nothing for the workers.
@@ -911,10 +1148,18 @@ impl SweepEngine {
         Ok(all)
     }
 
-    /// Retires a scheduled operation: drops its cached evaluation. The
-    /// matching cache row is dropped by the cache's owner
-    /// ([`ProbeCache::forget_op`], called by the engine pipeline).
+    /// Retires a scheduled operation: drops its cached evaluation and
+    /// removes it from the candidate scan order. The matching cache row is
+    /// dropped by the cache's owner ([`ProbeCache::forget_op`], called by
+    /// the engine pipeline).
     pub fn retire(&mut self, op: OpId) {
         self.evals[op.index()].valid = false;
+        if self.in_cand[op.index()] {
+            self.in_cand[op.index()] = false;
+            let key = self.order_key(op);
+            let pos = self.order.partition_point(|&o| self.order_key(o) < key);
+            debug_assert!(self.order.get(pos) == Some(&op));
+            self.order.remove(pos);
+        }
     }
 }

@@ -29,6 +29,88 @@ impl Slot {
     }
 }
 
+/// Split threshold: a chunk reaching this many slots is halved, bounding
+/// every slot-store memmove to `CHUNK_MAX` elements while keeping the chunk
+/// directory short (about `2 len / CHUNK_MAX` entries).
+const CHUNK_MAX: usize = 256;
+
+/// One run of consecutive bookings. Always non-empty.
+#[derive(Debug, Clone)]
+struct Chunk<P> {
+    slots: Vec<Slot>,
+    payloads: Vec<P>,
+    /// The non-empty free intervals between *consecutive slots of this
+    /// chunk*, sorted (equivalently: by strictly increasing start). The gap
+    /// before the chunk's first slot is not stored anywhere — it is a
+    /// chunk-boundary gap, recomputed in O(1) from the neighbouring chunks'
+    /// extents wherever needed.
+    gaps: Vec<Slot>,
+}
+
+impl<P> Chunk<P> {
+    fn first(&self) -> Slot {
+        self.slots[0]
+    }
+
+    fn last(&self) -> Slot {
+        *self.slots.last().expect("chunks are non-empty")
+    }
+
+    fn rebuild_gaps(&mut self) {
+        self.gaps.clear();
+        for w in self.slots.windows(2) {
+            if w[0].end < w[1].start {
+                self.gaps.push(Slot {
+                    start: w[0].end,
+                    end: w[1].start,
+                });
+            }
+        }
+    }
+
+    /// The chunk's directory entry (recomputed after any mutation; the
+    /// `max_gap` fold is O(|gaps|), and the lists stay small).
+    fn dir_entry(&self) -> DirEntry {
+        DirEntry {
+            first: self.first(),
+            last: self.last(),
+            max_gap: self
+                .gaps
+                .iter()
+                .map(Slot::duration)
+                .fold(Time::ZERO, Time::max),
+        }
+    }
+}
+
+/// Per-chunk summary mirrored into a dense directory array so the hot
+/// searches (probe, locate, remove) scan contiguous memory instead of
+/// chasing one pointer per chunk.
+#[derive(Debug, Clone, Copy)]
+struct DirEntry {
+    /// The chunk's first slot.
+    first: Slot,
+    /// The chunk's last slot.
+    last: Slot,
+    /// Exact largest duration among the chunk's internal gaps
+    /// ([`Time::ZERO`] when none): probes skip a whole chunk in O(1) when
+    /// nothing in it can fit.
+    max_gap: Time,
+}
+
+/// `splitmix64`-style bit mix for the content digest.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Order-independent digest contribution of one booked interval.
+fn slot_hash(slot: Slot) -> u64 {
+    mix(slot.start.ticks().wrapping_mul(0x2545_f491_4f6c_dd1d) ^ mix(slot.end.ticks()))
+}
+
 /// A resource timeline holding non-overlapping payloads sorted by start.
 ///
 /// # Versioning
@@ -54,44 +136,55 @@ impl Slot {
 /// assert_eq!(tl.probe(Time::ZERO, Time::from_units(1.0)), Time::from_units(5.0));
 /// assert_eq!(tl.version(), 2);
 /// ```
-/// Storage is struct-of-arrays: the probe hot path touches only the
-/// densely packed `slots` and the free-`gaps` index, while the payloads —
-/// consulted by `remove` and `iter` only — live in a parallel array.
 ///
-/// The gap index holds every maximal free interval strictly *between*
-/// bookings (the head gap before the first slot included, the infinite
-/// tail beyond the last slot implicit), sorted and disjoint. A probe is
-/// then two binary searches plus a scan over *gaps* — on the densely
-/// packed timelines of large schedules that replaces an O(n) walk over
-/// booked slots with O(log n) work, which is what keeps the sweep
-/// engine's point completions cheap at N = 1000 (see `DESIGN.md` §9).
-/// Every mutation repairs the index locally (split on insert, merge on
-/// remove).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// # Storage
+///
+/// Bookings live in a directory of bounded-size chunks, each a dense
+/// struct-of-arrays run of consecutive slots carrying its own index of the
+/// free intervals between them. The `Minimize_start_time` placement loop
+/// retracts and replays whole placements hundreds of thousands of times on
+/// large problems; with flat arrays every such insert or remove is an
+/// `O(len)` memmove over the slot, payload, *and* gap stores, which
+/// dominated the schedule time beyond N ≈ 5000. Chunking bounds each
+/// memmove to `CHUNK_MAX` elements plus a directory walk of
+/// `len / CHUNK_MAX` entries (see `DESIGN.md` §11). Probes still scan true
+/// free intervals only: per-chunk gap lists in order, plus the O(1)
+/// chunk-boundary gaps the lists deliberately omit.
+///
+/// The store also maintains an order-independent *content digest* — a
+/// wrapping sum of per-slot interval hashes, added on insert and subtracted
+/// on remove — so two timelines with equal digests hold the same busy
+/// intervals with overwhelming probability. The symmetry-pruned sweep uses
+/// it as the per-processor load fingerprint.
+#[derive(Debug, Clone)]
 pub struct Timeline<P> {
-    slots: Vec<Slot>,
-    payloads: Vec<P>,
-    gaps: Vec<Slot>,
+    chunks: Vec<Chunk<P>>,
+    /// `dir[i]` summarizes `chunks[i]`; always in sync.
+    dir: Vec<DirEntry>,
+    len: usize,
     version: u64,
+    digest: u64,
 }
 
 impl<P> Default for Timeline<P> {
     fn default() -> Self {
         Timeline {
-            slots: Vec::new(),
-            payloads: Vec::new(),
-            gaps: Vec::new(),
+            chunks: Vec::new(),
+            dir: Vec::new(),
+            len: 0,
             version: 0,
+            digest: 0,
         }
     }
 }
 
-/// Equality compares the booked contents only; the mutation counter is
-/// bookkeeping, not state (a timeline restored by exact rollback equals its
-/// pre-transaction self).
+/// Equality compares the booked contents only; the mutation counter and the
+/// chunk layout are bookkeeping, not state (a timeline restored by exact
+/// rollback equals its pre-transaction self, whatever splits happened in
+/// between).
 impl<P: PartialEq> PartialEq for Timeline<P> {
     fn eq(&self, other: &Self) -> bool {
-        self.slots == other.slots && self.payloads == other.payloads
+        self.len == other.len && self.iter().eq(other.iter())
     }
 }
 
@@ -103,23 +196,32 @@ impl<P> Timeline<P> {
 
     /// Number of booked slots.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.len
     }
 
     /// True if nothing is booked.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.len == 0
     }
 
     /// End of the last booked slot ([`Time::ZERO`] when empty).
     pub fn last_end(&self) -> Time {
-        self.slots.last().map_or(Time::ZERO, |s| s.end)
+        self.dir.last().map_or(Time::ZERO, |d| d.last.end)
     }
 
     /// Monotone mutation counter: bumped by every insert and remove, never
     /// reset. Equal versions of one timeline imply identical contents.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Order-independent content digest: equal busy intervals ⇒ equal
+    /// digests, and unequal contents collide with probability ≈ 2⁻⁶⁴.
+    /// Payloads do not contribute — two timelines with the same busy
+    /// intervals answer every probe identically, which is exactly the
+    /// equivalence symmetry pruning needs.
+    pub fn digest(&self) -> u64 {
+        self.digest
     }
 
     /// Earliest start `t ≥ ready` such that `[t, t + dur)` is free.
@@ -138,7 +240,9 @@ impl<P> Timeline<P> {
         // non-overlap rules out a booking that straddles `ready` next to
         // one that ends at it), and slots are sorted by start *and* end.
         // `next` exists because `ready < last_end`.
-        let next = self.slots[self.slots.partition_point(|s| s.end <= ready)];
+        let ci = self.dir.partition_point(|d| d.last.end <= ready);
+        let c = &self.chunks[ci];
+        let next = c.slots[c.slots.partition_point(|s| s.end <= ready)];
         if ready + dur <= next.start {
             // Fits before the next booking (free run or boundary point).
             return ready;
@@ -151,120 +255,150 @@ impl<P> Timeline<P> {
         // Otherwise the answer is the start of the first free gap at or
         // beyond `next`'s end that is long enough, or the implicit tail.
         // Gap starts are slot ends, so every such gap starts `>= ready`.
-        let gi = self.gaps.partition_point(|g| g.start < next.end);
-        for g in &self.gaps[gi..] {
+        // Free intervals appear in order as: this chunk's remaining
+        // internal gaps, then alternately each boundary gap and the next
+        // chunk's internal gaps.
+        let gi = c.gaps.partition_point(|g| g.start < next.end);
+        for g in &c.gaps[gi..] {
             if g.end - g.start >= dur {
                 return g.start;
             }
         }
+        let mut prev_end = self.dir[ci].last.end;
+        for (d, c) in self.dir[ci + 1..].iter().zip(&self.chunks[ci + 1..]) {
+            if d.first.start - prev_end >= dur {
+                return prev_end;
+            }
+            if d.max_gap >= dur {
+                for g in &c.gaps {
+                    if g.end - g.start >= dur {
+                        return g.start;
+                    }
+                }
+                unreachable!("max_gap promised a fitting internal gap");
+            }
+            prev_end = d.last.end;
+        }
         last
     }
 
-    /// Repairs the gap index around a just-inserted slot at `pos`: the
-    /// free interval that covered `[slot.start, slot.end)` is split into
-    /// its remainders (either may be empty; a zero-width slot splits a gap
-    /// into two abutting pieces, preserving its barrier semantics).
-    fn split_gap_at(&mut self, pos: usize, slot: Slot) {
-        let prev_end = if pos > 0 {
-            self.slots[pos - 1].end
-        } else {
-            Time::ZERO
-        };
-        // `pos` is the slot's own index; its successor (pre-insert next) is
-        // at `pos + 1` now.
-        if let Some(next) = self.slots.get(pos + 1) {
-            let next_start = next.start;
-            if prev_end < next_start {
-                let gi = self.gaps.partition_point(|g| g.start < prev_end);
-                debug_assert!(
-                    self.gaps
-                        .get(gi)
-                        .is_some_and(|g| g.start == prev_end && g.end == next_start),
-                    "covering gap present in the index"
-                );
-                self.gaps.remove(gi);
-                let mut at = gi;
-                if prev_end < slot.start {
-                    self.gaps.insert(
-                        at,
-                        Slot {
-                            start: prev_end,
-                            end: slot.start,
-                        },
-                    );
-                    at += 1;
-                }
-                if slot.end < next_start {
-                    self.gaps.insert(
-                        at,
-                        Slot {
-                            start: slot.end,
-                            end: next_start,
-                        },
-                    );
-                }
+    /// Insertion point for `slot` as `(chunk, index)` under the
+    /// `(start, end)` key. With a non-empty directory the chunk index is
+    /// clamped to the last chunk, so appends land in-chunk rather than
+    /// one-past-the-end (callers handle the empty-directory case).
+    fn locate_insert(&self, slot: Slot) -> (usize, usize) {
+        let key = (slot.start, slot.end);
+        let ci = self
+            .dir
+            .partition_point(|d| (d.last.start, d.last.end) <= key);
+        match self.chunks.get(ci) {
+            Some(c) => (ci, c.slots.partition_point(|s| (s.start, s.end) <= key)),
+            None => {
+                let last = self.chunks.len() - 1;
+                (last, self.chunks[last].slots.len())
             }
-        } else if prev_end < slot.start {
-            // Appended past the end: the tail is implicit, only the free
-            // run before the new slot becomes a tracked gap (and it is the
-            // last one, since all existing gaps lie before `prev_end`).
-            self.gaps.push(Slot {
-                start: prev_end,
-                end: slot.start,
-            });
         }
     }
 
-    /// Repairs the gap index around a just-removed slot that occupied
-    /// `pos`: its flanking gap pieces (if any) and the freed interval
-    /// merge back into one gap — or vanish into the implicit tail when the
-    /// removed slot was the last one.
-    fn merge_gap_at(&mut self, pos: usize, slot: Slot) {
-        let prev_end = if pos > 0 {
-            self.slots[pos - 1].end
+    /// Raw sorted insert of an interval already known to be free, with
+    /// gap-index repair and bounded-memmove chunk inserts.
+    fn insert_sorted(&mut self, slot: Slot, payload: P) {
+        self.version += 1;
+        self.len += 1;
+        self.digest = self.digest.wrapping_add(slot_hash(slot));
+        if self.chunks.is_empty() {
+            self.chunks.push(Chunk {
+                slots: vec![slot],
+                payloads: vec![payload],
+                gaps: Vec::new(),
+            });
+            self.dir.push(self.chunks[0].dir_entry());
+            return;
+        }
+        let (ci, si) = self.locate_insert(slot);
+        let c = &mut self.chunks[ci];
+        // Repair the chunk's internal gap index: the free interval the new
+        // slot lands in is internal exactly when both its frame slots are
+        // in this chunk; boundary gaps (an absent frame side) are not
+        // stored, so only the piece whose both ends are in-chunk appears.
+        // Either piece may be empty; a zero-width slot splits a gap into
+        // two abutting pieces, preserving its barrier semantics.
+        let prev_end = (si > 0).then(|| c.slots[si - 1].end);
+        let next_start = (si < c.slots.len()).then(|| c.slots[si].start);
+        match (prev_end, next_start) {
+            (Some(pe), Some(ns)) => {
+                if pe < ns {
+                    let gi = c.gaps.partition_point(|g| g.start < pe);
+                    debug_assert!(
+                        c.gaps.get(gi).is_some_and(|g| g.start == pe && g.end == ns),
+                        "covering gap present in the index"
+                    );
+                    c.gaps.remove(gi);
+                    let mut at = gi;
+                    if pe < slot.start {
+                        c.gaps.insert(
+                            at,
+                            Slot {
+                                start: pe,
+                                end: slot.start,
+                            },
+                        );
+                        at += 1;
+                    }
+                    if slot.end < ns {
+                        c.gaps.insert(
+                            at,
+                            Slot {
+                                start: slot.end,
+                                end: ns,
+                            },
+                        );
+                    }
+                }
+            }
+            (None, Some(ns)) => {
+                // Front insert: the covering gap was a boundary gap; only
+                // the trailing piece becomes internal.
+                if slot.end < ns {
+                    c.gaps.insert(
+                        0,
+                        Slot {
+                            start: slot.end,
+                            end: ns,
+                        },
+                    );
+                }
+            }
+            (Some(pe), None) => {
+                // Append: the leading piece becomes internal, the tail
+                // stays implicit (or becomes the next chunk's boundary).
+                if pe < slot.start {
+                    c.gaps.push(Slot {
+                        start: pe,
+                        end: slot.start,
+                    });
+                }
+            }
+            (None, None) => unreachable!("chunks are non-empty"),
+        }
+        c.slots.insert(si, slot);
+        c.payloads.insert(si, payload);
+        if c.slots.len() >= CHUNK_MAX {
+            let half = c.slots.len() / 2;
+            let mut tail = Chunk {
+                slots: c.slots.split_off(half),
+                payloads: c.payloads.split_off(half),
+                gaps: Vec::new(),
+            };
+            // The gap between the halves (if any) becomes a boundary gap
+            // and drops out of the stored indexes.
+            c.rebuild_gaps();
+            tail.rebuild_gaps();
+            self.dir[ci] = self.chunks[ci].dir_entry();
+            self.dir.insert(ci + 1, tail.dir_entry());
+            self.chunks.insert(ci + 1, tail);
         } else {
-            Time::ZERO
-        };
-        // The flanking pieces sit consecutively at `gi` (no other gap can
-        // start inside the interval the neighbours and `slot` covered).
-        // Each piece exists exactly when its interval is non-empty — the
-        // index invariant — so presence is decided by the times, not by
-        // matching starts (a zero-width slot makes both pieces share a
-        // boundary).
-        let gi = self.gaps.partition_point(|g| g.start < prev_end);
-        if let Some(next) = self.slots.get(pos) {
-            let next_start = next.start;
-            if prev_end < slot.start {
-                debug_assert_eq!(
-                    (self.gaps[gi].start, self.gaps[gi].end),
-                    (prev_end, slot.start)
-                );
-                self.gaps.remove(gi);
-            }
-            if slot.end < next_start {
-                debug_assert_eq!(
-                    (self.gaps[gi].start, self.gaps[gi].end),
-                    (slot.end, next_start)
-                );
-                self.gaps.remove(gi);
-            }
-            if prev_end < next_start {
-                self.gaps.insert(
-                    gi,
-                    Slot {
-                        start: prev_end,
-                        end: next_start,
-                    },
-                );
-            }
-        } else if prev_end < slot.start {
-            // Removed the last slot: the piece before it joins the
-            // implicit tail.
-            debug_assert_eq!(
-                (self.gaps[gi].start, self.gaps[gi].end),
-                (prev_end, slot.start)
-            );
-            self.gaps.remove(gi);
+            self.dir[ci] = self.chunks[ci].dir_entry();
         }
     }
 
@@ -276,13 +410,7 @@ impl<P> Timeline<P> {
             start,
             end: start + dur,
         };
-        let pos = self
-            .slots
-            .partition_point(|s| (s.start, s.end) <= (slot.start, slot.start + dur));
-        self.slots.insert(pos, slot);
-        self.payloads.insert(pos, payload);
-        self.split_gap_at(pos, slot);
-        self.version += 1;
+        self.insert_sorted(slot, payload);
         slot
     }
 
@@ -296,33 +424,88 @@ impl<P> Timeline<P> {
             start,
             end: start + dur,
         };
-        let pos = self
-            .slots
-            .partition_point(|s| (s.start, s.end) <= (slot.start, slot.end));
         // Booked slots are sorted and pairwise disjoint, so only the
         // immediate neighbours of the insertion point can overlap (and the
         // earlier one first, preserving the reported conflict).
-        if pos > 0 {
-            let prev = self.slots[pos - 1];
-            if prev.overlaps(&slot) {
-                return Err(prev);
+        if !self.chunks.is_empty() {
+            let (ci, si) = self.locate_insert(slot);
+            let c = &self.chunks[ci];
+            let prev = if si > 0 {
+                Some(c.slots[si - 1])
+            } else if ci > 0 {
+                Some(self.dir[ci - 1].last)
+            } else {
+                None
+            };
+            if let Some(prev) = prev {
+                if prev.overlaps(&slot) {
+                    return Err(prev);
+                }
+            }
+            let next = c
+                .slots
+                .get(si)
+                .copied()
+                .or_else(|| self.dir.get(ci + 1).map(|d| d.first));
+            if let Some(next) = next {
+                if next.overlaps(&slot) {
+                    return Err(next);
+                }
             }
         }
-        if let Some(&next) = self.slots.get(pos) {
-            if next.overlaps(&slot) {
-                return Err(next);
-            }
-        }
-        self.slots.insert(pos, slot);
-        self.payloads.insert(pos, payload);
-        self.split_gap_at(pos, slot);
-        self.version += 1;
+        self.insert_sorted(slot, payload);
         Ok(slot)
     }
 
     /// Iterates over `(slot, payload)` in start order.
-    pub fn iter(&self) -> impl ExactSizeIterator<Item = (Slot, &P)> {
-        self.slots.iter().copied().zip(self.payloads.iter())
+    pub fn iter(&self) -> impl Iterator<Item = (Slot, &P)> {
+        self.chunks
+            .iter()
+            .flat_map(|c| c.slots.iter().copied().zip(c.payloads.iter()))
+    }
+
+    /// Drops the slot at chunk `ci`, index `si`, repairing the gap index
+    /// and the chunk directory.
+    fn remove_pos(&mut self, ci: usize, si: usize) -> Slot {
+        self.version += 1;
+        self.len -= 1;
+        let c = &mut self.chunks[ci];
+        // Mirror of the insert repair: internal flanking pieces (a frame
+        // side inside this chunk, non-empty) leave the index; the merged
+        // interval joins it only when both frame slots remain in-chunk.
+        let prev_end = (si > 0).then(|| c.slots[si - 1].end);
+        let next_start = (si + 1 < c.slots.len()).then(|| c.slots[si + 1].start);
+        let slot = c.slots[si];
+        if let Some(pe) = prev_end {
+            if pe < slot.start {
+                let gi = c.gaps.partition_point(|g| g.start < pe);
+                debug_assert_eq!((c.gaps[gi].start, c.gaps[gi].end), (pe, slot.start));
+                c.gaps.remove(gi);
+            }
+        }
+        if let Some(ns) = next_start {
+            if slot.end < ns {
+                let gi = c.gaps.partition_point(|g| g.start < slot.end);
+                debug_assert_eq!((c.gaps[gi].start, c.gaps[gi].end), (slot.end, ns));
+                c.gaps.remove(gi);
+            }
+        }
+        if let (Some(pe), Some(ns)) = (prev_end, next_start) {
+            if pe < ns {
+                let gi = c.gaps.partition_point(|g| g.start < pe);
+                c.gaps.insert(gi, Slot { start: pe, end: ns });
+            }
+        }
+        c.payloads.remove(si);
+        c.slots.remove(si);
+        if c.slots.is_empty() {
+            self.chunks.remove(ci);
+            self.dir.remove(ci);
+        } else {
+            self.dir[ci] = self.chunks[ci].dir_entry();
+        }
+        self.digest = self.digest.wrapping_sub(slot_hash(slot));
+        slot
     }
 
     /// Removes the booking holding `payload` and returns its slot, or
@@ -335,44 +518,102 @@ impl<P> Timeline<P> {
     {
         // Rollback removes the most recent bookings, which usually sit at
         // the tail of the time-sorted store: scan from the back.
-        let pos = self.payloads.iter().rposition(|p| p == payload)?;
-        self.version += 1;
-        self.payloads.remove(pos);
-        let slot = self.slots.remove(pos);
-        self.merge_gap_at(pos, slot);
-        Some(slot)
+        for ci in (0..self.chunks.len()).rev() {
+            if let Some(si) = self.chunks[ci].payloads.iter().rposition(|p| p == payload) {
+                return Some(self.remove_pos(ci, si));
+            }
+        }
+        None
+    }
+
+    /// Removes the booking known to occupy `slot` with `payload` — the
+    /// allocation-free form the builder's undo log uses (it records every
+    /// booked slot, so the linear payload scan of [`Timeline::remove`] is
+    /// replaced by two binary searches).
+    ///
+    /// Returns `false` (timeline unchanged) if no such booking exists.
+    pub fn remove_at(&mut self, slot: Slot, payload: &P) -> bool
+    where
+        P: PartialEq,
+    {
+        let key = (slot.start, slot.end);
+        let mut ci = self
+            .dir
+            .partition_point(|d| (d.last.start, d.last.end) < key);
+        // Zero-width bookings can share an identical interval; walk the
+        // (tiny) run of equal keys until the payload matches.
+        while let Some(c) = self.chunks.get(ci) {
+            if (self.dir[ci].first.start, self.dir[ci].first.end) > key {
+                break;
+            }
+            let mut si = c.slots.partition_point(|s| (s.start, s.end) < key);
+            while let Some(&s) = c.slots.get(si) {
+                if (s.start, s.end) > key {
+                    return false;
+                }
+                if c.payloads[si] == *payload {
+                    self.remove_pos(ci, si);
+                    return true;
+                }
+                si += 1;
+            }
+            ci += 1;
+        }
+        false
     }
 
     /// Total booked duration.
     pub fn busy_time(&self) -> Time {
-        self.slots
-            .iter()
-            .map(Slot::duration)
+        self.iter()
+            .map(|(s, _)| s.duration())
             .fold(Time::ZERO, |a, b| a + b)
     }
 
-    /// Verifies the sorted non-overlap invariant and the gap index (used
-    /// by the validator and the property tests).
+    /// Verifies the sorted non-overlap invariant, the chunk directory, the
+    /// per-chunk gap indexes, and the digest (used by the validator and
+    /// the property tests).
     pub fn check_invariants(&self) -> bool {
-        let sorted = self.slots.len() == self.payloads.len()
-            && self.slots.windows(2).all(|w| {
-                let (a, b) = (&w[0], &w[1]);
-                a.start <= b.start && !a.overlaps(b)
-            });
-        // The gap index must be exactly the non-empty free intervals
-        // between consecutive bookings (head gap included, tail implicit).
-        let mut expected = Vec::new();
-        let mut prev_end = Time::ZERO;
-        for s in &self.slots {
-            if prev_end < s.start {
-                expected.push(Slot {
-                    start: prev_end,
-                    end: s.start,
-                });
+        for c in &self.chunks {
+            if c.slots.is_empty() || c.slots.len() != c.payloads.len() || c.slots.len() >= CHUNK_MAX
+            {
+                return false;
             }
-            prev_end = s.end;
+            // Each chunk's gap list must hold exactly its non-empty
+            // internal free intervals.
+            let mut expected = Vec::new();
+            for w in c.slots.windows(2) {
+                if w[0].end < w[1].start {
+                    expected.push(Slot {
+                        start: w[0].end,
+                        end: w[1].start,
+                    });
+                }
+            }
+            if c.gaps != expected {
+                return false;
+            }
         }
-        sorted && self.gaps == expected
+        if self.len != self.chunks.iter().map(|c| c.slots.len()).sum::<usize>() {
+            return false;
+        }
+        // The directory must mirror every chunk exactly.
+        if self.dir.len() != self.chunks.len()
+            || self.chunks.iter().zip(&self.dir).any(|(c, d)| {
+                let e = c.dir_entry();
+                d.first != e.first || d.last != e.last || d.max_gap != e.max_gap
+            })
+        {
+            return false;
+        }
+        let slots: Vec<Slot> = self.iter().map(|(s, _)| s).collect();
+        let sorted = slots.windows(2).all(|w| {
+            let (a, b) = (&w[0], &w[1]);
+            a.start <= b.start && !a.overlaps(b)
+        });
+        let digest = slots
+            .iter()
+            .fold(0u64, |a, &s| a.wrapping_add(slot_hash(s)));
+        sorted && digest == self.digest
     }
 }
 
@@ -473,11 +714,40 @@ mod tests {
         tl.insert_at(t(0.0), t(1.0), 1).unwrap();
         tl.insert_at(t(5.0), t(1.0), 2).unwrap();
         let before: Vec<_> = tl.iter().map(|(s, &p)| (s, p)).collect();
+        let digest_before = tl.digest();
         let slot = tl.insert_earliest(t(0.5), t(2.0), 3);
+        assert_ne!(tl.digest(), digest_before);
         assert_eq!(tl.remove(&3), Some(slot));
         let after: Vec<_> = tl.iter().map(|(s, &p)| (s, p)).collect();
         assert_eq!(before, after);
+        assert_eq!(tl.digest(), digest_before);
         assert_eq!(tl.remove(&9), None);
+        assert!(tl.check_invariants());
+    }
+
+    #[test]
+    fn remove_at_matches_slot_and_payload() {
+        let mut tl: Timeline<u32> = Timeline::new();
+        let s1 = tl.insert_at(t(0.0), t(1.0), 1).unwrap();
+        let s2 = tl.insert_at(t(5.0), t(1.0), 2).unwrap();
+        // Wrong payload / wrong slot: untouched.
+        assert!(!tl.remove_at(s1, &2));
+        assert!(!tl.remove_at(s2, &1));
+        assert_eq!(tl.len(), 2);
+        assert!(tl.remove_at(s2, &2));
+        assert!(tl.remove_at(s1, &1));
+        assert!(tl.is_empty());
+        assert!(tl.check_invariants());
+    }
+
+    #[test]
+    fn remove_at_distinguishes_equal_zero_width_slots() {
+        let mut tl: Timeline<u32> = Timeline::new();
+        let a = tl.insert_at(t(3.0), Time::ZERO, 1).unwrap();
+        let b = tl.insert_at(t(3.0), Time::ZERO, 2).unwrap();
+        assert_eq!(a, b);
+        assert!(tl.remove_at(b, &2));
+        assert_eq!(tl.iter().map(|(_, &p)| p).collect::<Vec<_>>(), vec![1]);
         assert!(tl.check_invariants());
     }
 
@@ -508,41 +778,57 @@ mod tests {
     }
 
     #[test]
-    fn probe_skips_prefix_consistently() {
-        // The binary-search fast path must agree with a full scan,
-        // including around zero-width slots and straddling ready times.
-        let mut tl: Timeline<u32> = Timeline::new();
-        tl.insert_at(t(0.0), t(2.0), 1).unwrap();
-        tl.insert_at(t(3.0), Time::ZERO, 2).unwrap();
-        tl.insert_at(t(4.0), t(2.0), 3).unwrap();
-        for (ready, dur, want) in [
-            (0.0, 1.0, 2.0),
-            (1.0, 0.0, 2.0),
-            (3.0, 0.0, 3.0),
-            (3.0, 1.0, 3.0),
-            (3.5, 1.0, 6.0),
-            (5.0, 0.0, 6.0),
-            (9.0, 2.0, 9.0),
-        ] {
-            assert_eq!(tl.probe(t(ready), t(dur)), t(want), "probe({ready}, {dur})");
+    fn chunked_store_matches_flat_reference() {
+        // Deterministic churn: many inserts (forcing splits), interleaved
+        // gap-filling and removals; compare every probe answer against a
+        // naive reference over the flattened contents.
+        fn ref_probe(slots: &[(Slot, u32)], ready: Time, dur: Time) -> Time {
+            let mut t = ready;
+            loop {
+                let busy = slots.iter().find(|(s, _)| {
+                    s.overlaps(&Slot {
+                        start: t,
+                        end: t + dur,
+                    }) || (dur == Time::ZERO && s.start < t && t < s.end)
+                });
+                match busy {
+                    Some((s, _)) => t = s.end,
+                    None => return t,
+                }
+            }
         }
-    }
-
-    #[test]
-    fn slot_overlap_rules() {
-        let a = Slot {
-            start: t(0.0),
-            end: t(2.0),
+        let mut tl: Timeline<u32> = Timeline::new();
+        let mut reference: Vec<(Slot, u32)> = Vec::new();
+        let mut state = 0x1234_5678_u64;
+        let mut rand = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
         };
-        let b = Slot {
-            start: t(2.0),
-            end: t(3.0),
-        };
-        assert!(!a.overlaps(&b));
-        let c = Slot {
-            start: t(1.5),
-            end: t(1.6),
-        };
-        assert!(a.overlaps(&c));
+        for i in 0..2000u32 {
+            let ready = Time::from_ticks((rand() % 50_000) as u64);
+            let dur = Time::from_ticks((rand() % 40) as u64);
+            assert_eq!(tl.probe(ready, dur), ref_probe(&reference, ready, dur));
+            let slot = tl.insert_earliest(ready, dur, i);
+            reference.push((slot, i));
+            reference.sort_by_key(|(s, _)| (s.start, s.end));
+            if rand() % 3 == 0 {
+                let victim = rand() % (i + 1);
+                let expect = reference.iter().position(|&(_, p)| p == victim);
+                match expect {
+                    Some(pos) => {
+                        let (s, _) = reference.remove(pos);
+                        assert!(tl.remove_at(s, &victim));
+                    }
+                    None => assert_eq!(tl.remove(&victim), None),
+                }
+            }
+            assert!(tl.check_invariants());
+        }
+        assert_eq!(
+            tl.iter().map(|(s, &p)| (s, p)).collect::<Vec<_>>(),
+            reference
+        );
     }
 }

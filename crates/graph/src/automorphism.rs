@@ -1,0 +1,238 @@
+//! Automorphism detection for small undirected (multi/hyper)graphs.
+//!
+//! The scheduler uses this on the *architecture* graph: processors are
+//! vertices and links are edges (point-to-point links have two endpoints,
+//! buses more). An automorphism is a vertex permutation that maps the edge
+//! multiset onto itself; two processors in the same automorphism orbit are
+//! structurally interchangeable, which the sweep engine exploits to skip
+//! redundant σ probes when the *schedule state* is also symmetric (see
+//! `ftbar-core`'s orbit module).
+//!
+//! The search is a plain backtracking enumeration with a degree-signature
+//! partition refinement up front. Architecture graphs are tiny (the paper
+//! uses 4 processors; the presets top out at 8), so exhaustive enumeration
+//! is cheap; the guards below keep pathological inputs bounded instead of
+//! clever.
+
+/// Vertex-count ceiling above which [`automorphisms`] gives up and returns
+/// only the identity: the enumeration is exponential in the worst case
+/// (`n!` for the complete graph) and the scheduler only ever consumes
+/// orbit information for architecture graphs far below this.
+pub const AUTOMORPHISM_MAX_VERTICES: usize = 16;
+
+/// Result-count ceiling for [`automorphisms`]: enumeration stops after
+/// this many permutations (the prefix found in lexicographic backtracking
+/// order, which always includes the identity). Consumers treat the list as
+/// a sound subset — missing automorphisms can only cost optimization
+/// opportunities, never correctness.
+pub const AUTOMORPHISM_MAX_COUNT: usize = 512;
+
+/// Enumerates automorphisms of the undirected multigraph with `n` vertices
+/// and the given edges (each edge a set of at least two endpoint indices;
+/// hyperedges model buses). Returns permutations `perm` with
+/// `perm[v] = image of v`, in lexicographic order; the first entry is
+/// always the identity.
+///
+/// Parallel edges are honored as a multiset: a permutation must map each
+/// edge onto an edge with the same multiplicity. Edges with out-of-range
+/// endpoints or fewer than two endpoints, `n = 0`, or
+/// `n > AUTOMORPHISM_MAX_VERTICES` short-circuit to just the identity
+/// (callers validate their graphs elsewhere; this function never panics).
+pub fn automorphisms(n: usize, edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let identity: Vec<usize> = (0..n).collect();
+    if n == 0 || n > AUTOMORPHISM_MAX_VERTICES {
+        return vec![identity];
+    }
+    if edges
+        .iter()
+        .any(|e| e.len() < 2 || e.iter().any(|&v| v >= n))
+    {
+        return vec![identity];
+    }
+
+    // Canonical edge multiset: each edge as its sorted endpoint list.
+    let mut canon: Vec<Vec<usize>> = edges
+        .iter()
+        .map(|e| {
+            let mut e = e.clone();
+            e.sort_unstable();
+            e
+        })
+        .collect();
+    canon.sort();
+
+    // Degree signature per vertex: sorted multiset of incident edge
+    // arities. An automorphism can only map vertices with equal
+    // signatures, so unmatched signatures prune whole subtrees.
+    let mut sig: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in &canon {
+        for &v in e {
+            sig[v].push(e.len());
+        }
+    }
+    for s in &mut sig {
+        s.sort_unstable();
+    }
+
+    let mut out = Vec::new();
+    let mut perm = vec![usize::MAX; n];
+    let mut used = vec![false; n];
+    backtrack(0, n, &canon, &sig, &mut perm, &mut used, &mut out);
+    debug_assert_eq!(out.first(), Some(&identity));
+    out
+}
+
+fn backtrack(
+    v: usize,
+    n: usize,
+    canon: &[Vec<usize>],
+    sig: &[Vec<usize>],
+    perm: &mut Vec<usize>,
+    used: &mut Vec<bool>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if out.len() >= AUTOMORPHISM_MAX_COUNT {
+        return;
+    }
+    if v == n {
+        if maps_edges(canon, perm) {
+            out.push(perm.clone());
+        }
+        return;
+    }
+    for img in 0..n {
+        if used[img] || sig[v] != sig[img] {
+            continue;
+        }
+        perm[v] = img;
+        used[img] = true;
+        // Partial consistency: every edge fully mapped so far must land on
+        // an edge of the multiset (full multiplicity is rechecked at the
+        // leaf, where the complete permutation is known).
+        if partial_ok(canon, perm, v + 1) {
+            backtrack(v + 1, n, canon, sig, perm, used, out);
+        }
+        used[img] = false;
+        perm[v] = usize::MAX;
+    }
+}
+
+/// True if every edge whose endpoints are all assigned below `bound` maps
+/// to *some* edge of the canonical multiset.
+fn partial_ok(canon: &[Vec<usize>], perm: &[usize], bound: usize) -> bool {
+    let mut image = Vec::new();
+    for e in canon {
+        if e.iter().any(|&v| v >= bound || perm[v] == usize::MAX) {
+            continue;
+        }
+        image.clear();
+        image.extend(e.iter().map(|&v| perm[v]));
+        image.sort_unstable();
+        if canon.binary_search(&image).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+/// True if `perm` maps the canonical edge multiset exactly onto itself
+/// (multiplicities included).
+fn maps_edges(canon: &[Vec<usize>], perm: &[usize]) -> bool {
+    let mut image: Vec<Vec<usize>> = canon
+        .iter()
+        .map(|e| {
+            let mut m: Vec<usize> = e.iter().map(|&v| perm[v]).collect();
+            m.sort_unstable();
+            m
+        })
+        .collect();
+    image.sort();
+    image == canon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p2p(pairs: &[(usize, usize)]) -> Vec<Vec<usize>> {
+        pairs.iter().map(|&(a, b)| vec![a, b]).collect()
+    }
+
+    #[test]
+    fn complete_graph_has_full_symmetric_group() {
+        let edges = p2p(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(automorphisms(4, &edges).len(), 24);
+    }
+
+    #[test]
+    fn ring_has_dihedral_group() {
+        let edges = p2p(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(automorphisms(4, &edges).len(), 8);
+    }
+
+    #[test]
+    fn path_has_one_flip() {
+        let edges = p2p(&[(0, 1), (1, 2)]);
+        let auts = automorphisms(3, &edges);
+        assert_eq!(auts.len(), 2);
+        assert_eq!(auts[0], vec![0, 1, 2]);
+        assert_eq!(auts[1], vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn hypercube_has_48_automorphisms() {
+        // 3-cube: vertices are bit triples, edges between Hamming-1 pairs.
+        let mut pairs = Vec::new();
+        for a in 0..8usize {
+            for bit in 0..3 {
+                let b = a ^ (1 << bit);
+                if a < b {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        assert_eq!(automorphisms(8, &p2p(&pairs)).len(), 48);
+    }
+
+    #[test]
+    fn parallel_edges_break_symmetry() {
+        // Triangle with a doubled (0,1) edge: only the 0↔1 flip survives.
+        let edges = p2p(&[(0, 1), (0, 1), (1, 2), (2, 0)]);
+        let auts = automorphisms(3, &edges);
+        assert_eq!(auts.len(), 2);
+        assert_eq!(auts[1], vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn bus_maps_onto_bus() {
+        // A 3-endpoint bus plus a (0,1) link: the flip 0↔1 fixes both.
+        let edges = vec![vec![0, 1, 2], vec![0, 1]];
+        let auts = automorphisms(3, &edges);
+        assert_eq!(auts.len(), 2);
+        assert_eq!(auts[1], vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn smallest_asymmetric_graph_has_identity_only() {
+        // Six vertices is the smallest size admitting an asymmetric
+        // graph: a path 0–1–2–3–4 plus a vertex 5 joined to 1 and 2.
+        let edges = p2p(&[(0, 1), (1, 2), (2, 3), (3, 4), (1, 5), (2, 5)]);
+        assert_eq!(automorphisms(6, &edges).len(), 1);
+    }
+
+    #[test]
+    fn oversized_graph_returns_identity() {
+        let n = AUTOMORPHISM_MAX_VERTICES + 1;
+        let edges = p2p(&[(0, 1)]);
+        let auts = automorphisms(n, &edges);
+        assert_eq!(auts.len(), 1);
+        assert_eq!(auts[0], (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degenerate_edges_return_identity() {
+        assert_eq!(automorphisms(3, &[vec![0]]).len(), 1);
+        assert_eq!(automorphisms(3, &[vec![0, 7]]).len(), 1);
+        assert_eq!(automorphisms(0, &[]).len(), 1);
+    }
+}

@@ -47,7 +47,8 @@
 #![warn(missing_docs)]
 
 use ftbar_core::engine::{Engine, EngineConfig, EngineCx, EnginePools, PlacementPolicy};
-use ftbar_core::{PointFocus, Schedule, ScheduleError};
+use ftbar_core::orbit::OrbitIndex;
+use ftbar_core::{PointFocus, Schedule, ScheduleError, SweepStats};
 use ftbar_graph::node_levels;
 use ftbar_model::{OpId, Problem, ProcId, Time};
 
@@ -151,16 +152,53 @@ pub fn schedule_with_pools(
     config: &HbpConfig,
     pools: EnginePools,
 ) -> Result<(Schedule, EnginePools), ScheduleError> {
-    let policy = HbpPolicy::new(problem);
+    let out = run(problem, config, pools)?;
+    Ok((out.schedule, out.pools))
+}
+
+/// Result of [`schedule_with_stats`]: the schedule plus the probe-cache
+/// counters (including symmetry-pruned pair trials as
+/// [`SweepStats::orbit_hits`]).
+#[derive(Debug, Clone)]
+pub struct HbpOutcome {
+    /// The fault-tolerant static schedule.
+    pub schedule: Schedule,
+    /// Probe-cache counters; `None` when the resolved pair search is
+    /// [`PairSearch::Exhaustive`] (the uncached reference).
+    pub sweep_stats: Option<SweepStats>,
+}
+
+/// As [`schedule_with`], additionally returning the probe-cache counters
+/// — diagnostics for the perf gate and the symmetry-pruning tests.
+///
+/// # Errors
+///
+/// See [`schedule`].
+pub fn schedule_with_stats(
+    problem: &Problem,
+    config: &HbpConfig,
+) -> Result<HbpOutcome, ScheduleError> {
+    let out = run(problem, config, EnginePools::default())?;
+    Ok(HbpOutcome {
+        schedule: out.schedule,
+        sweep_stats: out.sweep_stats,
+    })
+}
+
+fn run(
+    problem: &Problem,
+    config: &HbpConfig,
+    pools: EnginePools,
+) -> Result<ftbar_core::engine::EngineOutcome, ScheduleError> {
     let exhaustive = config.resolved_pairs(problem.alg().op_count()) == PairSearch::Exhaustive;
+    let policy = HbpPolicy::new(problem, !exhaustive);
     let engine_config = EngineConfig {
         // The pruned pair search bounds with cached single-copy probes; the
         // exhaustive reference never probes ahead, so it runs uncached.
         cache: (!exhaustive).then_some(PointFocus::Full),
         trace: false,
     };
-    let out = Engine::with_pools(problem, policy, engine_config, pools).run()?;
-    Ok((out.schedule, out.pools))
+    Engine::with_pools(problem, policy, engine_config, pools).run()
 }
 
 /// HBP as an engine policy: static height/bottom-level order for
@@ -178,10 +216,18 @@ struct HbpPolicy {
     /// Scratch reused across operations (hot loop: no per-op allocations).
     allowed: Vec<ProcId>,
     pairs: Vec<(Time, ProcId, ProcId)>,
+    /// Architecture automorphisms for symmetry-pruned pair trials (pruned
+    /// search only; `None` when the architecture or the tables are
+    /// asymmetric, or under the exhaustive reference).
+    orbit: Option<OrbitIndex>,
+    n_procs: usize,
+    /// Scratch: live automorphism indices and the ordered-pair skip grid.
+    live: Vec<usize>,
+    skip: Vec<bool>,
 }
 
 impl HbpPolicy {
-    fn new(problem: &Problem) -> Self {
+    fn new(problem: &Problem, use_orbit: bool) -> Self {
         let alg = problem.alg();
 
         // Height = hop level in the intra-iteration DAG.
@@ -218,6 +264,26 @@ impl HbpPolicy {
             cursor: 0,
             allowed: Vec::new(),
             pairs: Vec::new(),
+            orbit: if use_orbit {
+                OrbitIndex::new(problem)
+            } else {
+                None
+            },
+            n_procs: problem.arch().proc_count(),
+            live: Vec::new(),
+            skip: Vec::new(),
+        }
+    }
+
+    /// Marks the images of the ordered pair `(p1, p2)` under every live
+    /// automorphism as skippable: their trial results are the φ-images of
+    /// this pair's, value-for-value.
+    fn mark_images(&mut self, p1: ProcId, p2: ProcId) {
+        let Some(orbit) = &self.orbit else { return };
+        let n = self.n_procs;
+        for &i in &self.live {
+            let m = orbit.perm_map(i);
+            self.skip[m[p1.index()].index() * n + m[p2.index()].index()] = true;
         }
     }
 }
@@ -279,6 +345,22 @@ impl PlacementPolicy for HbpPolicy {
         // attempt books both copies for real inside a `trial` and is
         // unwound through the engine's undo log — no per-pair deep clone.
         self.pairs.clear();
+        // Symmetry pruning (pruned search only): every trial is unwound,
+        // so all pairs are evaluated against the same state — one live-
+        // automorphism classification covers the whole loop. A pair that
+        // is the φ-image of an already-trialed pair has the exact same
+        // (later, earlier) finish times, and with equal bounds the sort
+        // below placed the pre-image first, so the image can never win the
+        // lexicographic tie-break — skipping its trial is exact.
+        if cx.cached() {
+            self.live.clear();
+            self.skip.clear();
+            self.skip.resize(self.n_procs * self.n_procs, false);
+            if let Some(orbit) = &self.orbit {
+                let (builder, _) = cx.sweep_parts();
+                orbit.live_perms(builder, &mut self.live);
+            }
+        }
         if cx.cached() {
             // Bound phase: one cached probe per processor, then pairs
             // ascending by bound (ties in `(p1, p2)` order, matching the
@@ -306,6 +388,7 @@ impl PlacementPolicy for HbpPolicy {
             }
         }
         let mut best: Option<(Time, Time, ProcId, ProcId)> = None;
+        let mut orbit_skips = 0u64;
         for i in 0..self.pairs.len() {
             let (bound, p1, p2) = self.pairs[i];
             if let Some((bl, _, _, _)) = &best {
@@ -314,6 +397,17 @@ impl PlacementPolicy for HbpPolicy {
                 if bound > *bl {
                     break;
                 }
+            }
+            if !self.live.is_empty() {
+                if self.skip[p1.index() * self.n_procs + p2.index()] {
+                    // Propagate this pair's images too: equality is
+                    // transitive, so compositions outside the enumerated
+                    // automorphism list stay covered.
+                    self.mark_images(p1, p2);
+                    orbit_skips += 1;
+                    continue;
+                }
+                self.mark_images(p1, p2);
             }
             let ends = cx.trial(|cx| {
                 let Ok(r1) = cx.builder_mut().place(op, p1) else {
@@ -337,6 +431,7 @@ impl PlacementPolicy for HbpPolicy {
                 best = Some((later, earlier, p1, p2));
             }
         }
+        cx.note_orbit_hits(orbit_skips);
         let (_, _, p1, p2) = best.ok_or(ScheduleError::NotEnoughProcessors { op, needed: k })?;
         cx.builder_mut().place(op, p1)?;
         cx.builder_mut().place(op, p2)?;

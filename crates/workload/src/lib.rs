@@ -13,7 +13,7 @@
 //!   pair with controlled heterogeneity and CCR;
 //! * [`presets`] — the shared seed/topology scaffolding of the integration
 //!   tests and bench binaries, including the deterministic large-N
-//!   (`N = 200/500/1000`) scheduling-time instances.
+//!   (`N = 200/500/1000/2000/5000/10000`) scheduling-time instances.
 //!
 //! All randomness comes from a caller-provided seed; every generator is a
 //! pure function of its config.

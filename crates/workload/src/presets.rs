@@ -9,7 +9,8 @@
 //!   pinned golden schedules keep matching);
 //! * [`scheduling_point`] — the deterministic problems behind the
 //!   committed `BENCH_scheduling.json` scheduling-time points, including
-//!   the large-N presets (`N = 200/500/1000`). Parameters are part of the
+//!   the large-N presets (`N = 200/500/1000/2000/5000/10000`). Parameters
+//!   are part of the
 //!   perf trajectory: changing them invalidates every committed median.
 
 use ftbar_model::Problem;

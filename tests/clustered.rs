@@ -1,0 +1,123 @@
+//! Properties of the hierarchical clustering strategy
+//! (`SweepStrategy::Clustered`, `ftbar_core::cluster`).
+//!
+//! Clustering is the one strategy that is *not* bit-identical to the
+//! exact engines — it trades makespan for scheduling speed. What it must
+//! preserve: schedule **validity** (the expansion runs the full FTBAR
+//! machinery on the original problem), the replication level, and the
+//! structural invariants of the clustering pass (bounded size, convexity).
+
+use ftbar::core::cluster::cluster_ops;
+use ftbar::core::{FtbarConfig, SweepStrategy};
+use ftbar::prelude::*;
+use ftbar::workload::presets::{problem_on, Topology};
+use proptest::prelude::*;
+
+fn clustered(cluster_size: usize) -> FtbarConfig {
+    FtbarConfig {
+        sweep: SweepStrategy::Clustered,
+        cluster_size,
+        ..FtbarConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The clustering pass: every cluster has at most `cluster_size`
+    /// members, and no dependency connects two operations of the same
+    /// cluster (clusters live inside one precedence level, which is the
+    /// convexity invariant — the quotient graph is trivially acyclic).
+    #[test]
+    fn clusters_are_bounded_and_convex(
+        topo_index in 0usize..4,
+        n_ops in 4usize..40,
+        seed in 0u64..10_000,
+        cluster_size in 1usize..12,
+    ) {
+        let problem = problem_on(Topology::from_index(topo_index), n_ops, 1.0, seed);
+        let alg = problem.alg();
+        let (cluster, n_clusters) = cluster_ops(&problem, cluster_size);
+        prop_assert_eq!(cluster.len(), alg.op_count());
+        let mut sizes = vec![0usize; n_clusters];
+        for &c in &cluster {
+            prop_assert!((c as usize) < n_clusters);
+            sizes[c as usize] += 1;
+        }
+        prop_assert!(sizes.iter().all(|&s| s >= 1 && s <= cluster_size));
+        for dep in alg.deps() {
+            if !alg.is_sched_dep(dep) {
+                continue;
+            }
+            let (u, v) = alg.dep_endpoints(dep);
+            prop_assert!(
+                cluster[u.index()] != cluster[v.index()],
+                "dependency {} inside a cluster breaks convexity", dep
+            );
+        }
+    }
+
+    /// The clustered schedule is a valid fault-tolerant schedule of the
+    /// *original* problem, keeps the replication level, and its makespan
+    /// stays within a small factor of the exact engine's (empirically
+    /// within ~15%; 2x is the regression alarm, not a theoretical bound).
+    #[test]
+    fn clustered_schedules_are_valid_and_competitive(
+        topo_index in 0usize..4,
+        n_ops in 4usize..40,
+        seed in 0u64..10_000,
+    ) {
+        let problem = problem_on(Topology::from_index(topo_index), n_ops, 1.0, seed);
+        let exact = ftbar_schedule(&problem).expect("schedules");
+        let out = ftbar_schedule_with(&problem, &clustered(8)).expect("schedules");
+        let violations = validate(&problem, &out.schedule);
+        prop_assert!(violations.is_empty(), "{violations:#?}");
+        for op in problem.alg().ops() {
+            prop_assert!(out.schedule.replicas_of(op).len() >= problem.replication());
+        }
+        let stats = out.sweep_stats.expect("clustered records stats");
+        prop_assert!(stats.clusters > 0, "cluster count must surface in stats");
+        prop_assert!(
+            out.schedule.makespan() <= exact.makespan() + exact.makespan(),
+            "clustered makespan {} vs exact {}",
+            out.schedule.makespan(), exact.makespan()
+        );
+    }
+}
+
+/// Clustering is deterministic: same problem, same clusters, same
+/// schedule.
+#[test]
+fn clustered_is_deterministic() {
+    let problem = problem_on(Topology::Full, 60, 2.0, 123);
+    let a = ftbar_schedule_with(&problem, &clustered(8)).expect("schedules");
+    let b = ftbar_schedule_with(&problem, &clustered(8)).expect("schedules");
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(cluster_ops(&problem, 8), cluster_ops(&problem, 8));
+}
+
+/// The clustered strategy also masks `Npf` failures — the expansion runs
+/// the real replication pipeline, so fault tolerance is preserved.
+#[test]
+fn clustered_schedules_tolerate_failures() {
+    for topo in Topology::ALL {
+        let problem = problem_on(topo, 30, 2.0, 321);
+        let out = ftbar_schedule_with(&problem, &clustered(8)).expect("schedules");
+        let report = analyze(&problem, &out.schedule);
+        assert!(report.tolerated, "clustered schedule lost FT on {topo:?}");
+    }
+}
+
+/// `cluster_size = 1` degenerates to one cluster per operation: the
+/// pinned expansion then restricts each op to the processors the exact
+/// cluster-graph run chose for it — still valid, still FT.
+#[test]
+fn singleton_clusters_are_valid() {
+    let problem = problem_on(Topology::Full, 24, 2.0, 55);
+    let out = ftbar_schedule_with(&problem, &clustered(1)).expect("schedules");
+    assert!(validate(&problem, &out.schedule).is_empty());
+    assert_eq!(
+        out.sweep_stats.expect("stats").clusters as usize,
+        problem.alg().op_count()
+    );
+}

@@ -46,7 +46,7 @@ fn assert_ftbar_engines_agree(problem: &Problem, context: &str) {
     let parallel = ftbar_schedule_with(
         problem,
         &FtbarConfig {
-            parallel: true,
+            parallel_cutoff: 0,
             ..incremental()
         },
     )
@@ -272,6 +272,119 @@ fn cache_agrees_with_fresh_probes_during_a_ring_schedule() {
         b.place_min_start(op, problem.exec().allowed_procs(op).next().unwrap())
             .unwrap();
     }
+}
+
+/// Orbit pruning replicates σ values on every symmetric preset topology —
+/// and the bit-identity suites above prove the replication exact. This
+/// pins the *positive* side: the pruning actually fires (a regression to
+/// zero hits would silently lose the optimization).
+#[test]
+fn orbit_pruning_fires_on_every_symmetric_topology() {
+    for (i, topo) in Topology::ALL.into_iter().enumerate() {
+        let problem = problem_on(topo, 200, 2.0, 9_000 + i as u64);
+        let out = ftbar_schedule_with(&problem, &incremental()).expect("schedules");
+        let stats = out.sweep_stats.expect("incremental records stats");
+        assert!(
+            stats.orbit_hits > 0,
+            "no orbit hits on symmetric {} (stats {stats:?})",
+            topo.name()
+        );
+    }
+}
+
+/// HBP's pair search skips φ-image pairs on symmetric presets (the
+/// exhaustive-agreement suite above proves the skips exact).
+#[test]
+fn hbp_orbit_skips_fire_on_every_symmetric_topology() {
+    for (i, topo) in Topology::ALL.into_iter().enumerate() {
+        let problem = problem_on(topo, 200, 2.0, 9_000 + i as u64);
+        let out =
+            hbp::schedule_with_stats(&problem, &hbp::HbpConfig::default()).expect("schedules");
+        let stats = out.sweep_stats.expect("pruned search records stats");
+        assert!(
+            stats.orbit_hits > 0,
+            "no HBP orbit skips on symmetric {} (stats {stats:?})",
+            topo.name()
+        );
+    }
+}
+
+/// A symmetric architecture with *heterogeneous* execution times: every
+/// automorphism fails the static table filter, so orbit pruning must be
+/// disabled (zero hits) — and the schedule still matches the references.
+#[test]
+fn heterogeneous_exec_disables_orbit_pruning() {
+    let mut b = Alg::builder("het");
+    let prev: Vec<_> = (0..12).map(|i| b.comp(format!("T{i}"))).collect();
+    for w in prev.windows(2) {
+        b.dep(w[0], w[1]);
+    }
+    for i in 0..6 {
+        b.dep(prev[i], prev[i + 6]);
+    }
+    let alg = b.build().unwrap();
+    let mut a = Arch::builder("quad");
+    let ps: Vec<_> = (0..4).map(|i| a.proc(format!("P{i}"))).collect();
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            a.link(format!("L{i}{j}"), &[ps[i], ps[j]]);
+        }
+    }
+    let arch = a.build().unwrap();
+    // Per-processor distinct times: no permutation leaves the table
+    // invariant.
+    let mut exec = ExecTable::new(12, 4);
+    for (oi, &op) in prev.iter().enumerate() {
+        for (pi, &p) in ps.iter().enumerate() {
+            exec.set(
+                op,
+                p,
+                Time::from_units(1.0 + oi as f64 * 0.1 + pi as f64 * 0.3),
+            );
+        }
+    }
+    let comm = CommTable::uniform(alg.dep_count(), 6, Time::from_units(0.5));
+    let mut pb = Problem::builder(alg, arch, exec, comm);
+    pb.npf(1);
+    let problem = pb.build().unwrap();
+
+    let out = ftbar_schedule_with(&problem, &incremental()).expect("schedules");
+    let stats = out.sweep_stats.expect("incremental records stats");
+    assert_eq!(
+        stats.orbit_hits, 0,
+        "heterogeneous exec table must disable orbit pruning"
+    );
+    assert_ftbar_engines_agree(&problem, "heterogeneous quad");
+
+    let hbp_out =
+        hbp::schedule_with_stats(&problem, &hbp::HbpConfig::default()).expect("schedules");
+    assert_eq!(
+        hbp_out.sweep_stats.expect("stats").orbit_hits,
+        0,
+        "heterogeneous exec table must disable HBP pair skips"
+    );
+}
+
+/// The parallel sweep is folded into the size adaptivity: below the
+/// cutoff the serial sweep runs (the fan-out is a measured regression
+/// there), at or above it the scoped-thread fan-out takes over — and both
+/// sides stay bit-identical to the references regardless.
+#[test]
+fn parallel_sweep_flips_at_the_cutoff() {
+    let config = FtbarConfig::default();
+    assert!(!config.resolved_parallel(ftbar::core::PARALLEL_SWEEP_CUTOFF - 1));
+    assert!(config.resolved_parallel(ftbar::core::PARALLEL_SWEEP_CUTOFF));
+    // The escape hatches: 0 forces the fan-out on, MAX forces it off.
+    let on = FtbarConfig {
+        parallel_cutoff: 0,
+        ..FtbarConfig::default()
+    };
+    assert!(on.resolved_parallel(1));
+    let off = FtbarConfig {
+        parallel_cutoff: usize::MAX,
+        ..FtbarConfig::default()
+    };
+    assert!(!off.resolved_parallel(1_000_000));
 }
 
 /// The adaptive default resolves to naive below the cutoff and
