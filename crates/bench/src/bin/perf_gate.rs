@@ -1,14 +1,15 @@
 //! Machine-readable scheduling-time gate: emits `BENCH_scheduling.json`
-//! (schema 4) with the median nanoseconds of every `scheduling_time`
+//! (schema 5) with the median nanoseconds of every `scheduling_time`
 //! point (the FTBAR/HBP main loops at N up to 10,000; the expensive
 //! naive/HBP references stop at N = 1000), every `batch_throughput`
 //! point (the service layer at several `--jobs` worker counts), every
 //! `scenarios_per_sec` point (contingency campaigns — the DES replay as
-//! a tracked hot path), a `sweep_stats` section (per-size probe-cache,
-//! orbit-pruning, and cluster-granularity counters), and an
-//! `allocations` section (steady-state allocation counts through a
-//! counting global allocator) so the perf trajectory is tracked in-repo,
-//! not anecdotally.
+//! a tracked hot path), every `service_throughput` point (the scheduling
+//! daemon over a Unix socket, cold scheduling vs memoized cache hits),
+//! a `sweep_stats` section (per-size probe-cache, orbit-pruning, and
+//! cluster-granularity counters), and an `allocations` section
+//! (steady-state allocation counts through a counting global allocator)
+//! so the perf trajectory is tracked in-repo, not anecdotally.
 //!
 //! ```sh
 //! cargo run --release -p ftbar-bench --bin perf_gate            # full run
@@ -37,6 +38,8 @@ use ftbar_core::engine::EnginePools;
 use ftbar_core::{ftbar, FtbarConfig, SweepStrategy};
 use ftbar_hbp::{HbpConfig, PairSearch};
 use ftbar_model::Problem;
+use ftbar_service::client::{request, Client, RequestOpts};
+use ftbar_service::server::{serve_with_state, Listener, ServerConfig, ServerState};
 use ftbar_service::{run_batch, run_campaign, BatchConfig, JobInput, JobSpec, SchedulerKind};
 use ftbar_sim::scenario::ScenarioConfig;
 use ftbar_workload::{campaign_problem, scheduling_point};
@@ -236,9 +239,10 @@ fn check_against_baseline(
     let mut failures = Vec::new();
     let mut regressions = Vec::new();
     for required in [
-        "\"schema\": 4",
+        "\"schema\": 5",
         "\"points\": [",
         "\"scenarios\": [",
+        "\"service_throughput\": [",
         "\"sweep_stats\": [",
         "\"allocations\": [",
     ] {
@@ -455,6 +459,7 @@ fn main() {
                 &BatchConfig {
                     jobs: workers,
                     keep_schedules: false,
+                    ..BatchConfig::default()
                 },
             );
             assert!(out.iter().all(|o| o.result.is_ok()));
@@ -524,8 +529,108 @@ fn main() {
         }
     }
 
+    // Service throughput: the long-lived daemon serving the paper example
+    // (9 ops) over a temp Unix socket. `cold` disables the cache so every
+    // request schedules from scratch; `hit` warms the memoizing cache
+    // first so the measured requests are pure cache hits. One pipelined
+    // connection per scheduling worker amortizes the socket round-trip.
+    struct ServicePoint {
+        variant: String,
+        median_ns: u128,
+        requests: usize,
+    }
+    let mut service_points: Vec<ServicePoint> = Vec::new();
+    let service_line = format!(
+        "{{\"spec\": {}}}",
+        serde_json::to_string(&ftbar_model::spec::print_problem(
+            &ftbar_model::paper_example()
+        ))
+        .expect("spec text serializes")
+    );
+    for (cache_bytes, mode) in [(0usize, "cold"), (8 * 1024 * 1024, "hit")] {
+        for workers in [1usize, 4] {
+            let socket = std::env::temp_dir().join(format!(
+                "ftbar-perf-{mode}-{workers}-{}.sock",
+                std::process::id()
+            ));
+            let listener = Listener::Unix(socket);
+            let state = ServerState::new(ServerConfig {
+                workers,
+                cache_bytes,
+                ..ServerConfig::default()
+            });
+            let daemon = {
+                let l = listener.clone();
+                let s = std::sync::Arc::clone(&state);
+                std::thread::spawn(move || serve_with_state(&l, &s))
+            };
+            let opts = RequestOpts::default();
+            request(&listener, "{\"op\": \"status\"}", &opts).expect("daemon comes up");
+            if mode == "hit" {
+                let warm = request(&listener, &service_line, &opts).expect("warm-up request");
+                assert!(warm.contains("\"status\": \"ok\""), "{warm}");
+            }
+            let requests = if smoke { 8 } else { 64 };
+            let per_conn = requests / workers;
+            // Persistent pipelined connections (the protocol's intended
+            // usage): connection setup is paid once, outside the timed
+            // region, so the metric is pure request throughput.
+            let clients: Vec<std::sync::Mutex<Client>> = (0..workers)
+                .map(|_| std::sync::Mutex::new(Client::connect(&listener).expect("connect")))
+                .collect();
+            let f = || {
+                std::thread::scope(|scope| {
+                    for m in &clients {
+                        scope.spawn(|| {
+                            let mut c = m.lock().expect("client free");
+                            for _ in 0..per_conn {
+                                c.queue_line(&service_line).expect("send");
+                            }
+                            c.flush().expect("flush pipeline");
+                            for _ in 0..per_conn {
+                                let r = c.read_line().expect("receive");
+                                assert!(r.contains("\"status\": \"ok\""), "{r}");
+                            }
+                        });
+                    }
+                });
+            };
+            let median = measure(&f, smoke);
+            let per_sec = requests as f64 * 1e9 / median.max(1) as f64;
+            let variant = format!("{mode}-jobs-{workers}");
+            println!(
+                "service_throughput/{variant}/9: {median} ns for {requests} requests ({per_sec:.0}/s)"
+            );
+            service_points.push(ServicePoint {
+                variant,
+                median_ns: median,
+                requests,
+            });
+            // Hang up before the shutdown request: the drain waits for
+            // open connections, and an idle one only releases its thread
+            // at the io timeout.
+            drop(clients);
+            request(&listener, "{\"op\": \"shutdown\"}", &opts).expect("shutdown answers");
+            daemon
+                .join()
+                .expect("daemon thread")
+                .expect("daemon drains cleanly");
+        }
+    }
+    let service_ns = |variant: &str| {
+        service_points
+            .iter()
+            .find(|p| p.variant == variant)
+            .map(|p| p.median_ns)
+            .expect("variant measured")
+    };
+    println!(
+        "service cache speedup (jobs-1): {:.1}x cold -> hit",
+        service_ns("cold-jobs-1") as f64 / service_ns("hit-jobs-1").max(1) as f64
+    );
+
     // Hand-rolled JSON: stable field order, no dependencies.
-    let mut json = String::from("{\n  \"schema\": 4,\n  \"unit\": \"ns\",\n");
+    let mut json = String::from("{\n  \"schema\": 5,\n  \"unit\": \"ns\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n  \"points\": [\n"));
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
@@ -548,6 +653,18 @@ fn main() {
             s.scenarios,
             per_sec,
             if i + 1 < scenario_points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"service_throughput\": [\n");
+    for (i, s) in service_points.iter().enumerate() {
+        let per_sec = s.requests as f64 * 1e9 / s.median_ns.max(1) as f64;
+        json.push_str(&format!(
+            "    {{\"bench\": \"service_throughput\", \"variant\": \"{}\", \"n_ops\": 9, \"median_ns\": {}, \"requests\": {}, \"req_per_sec\": {:.1}}}{}\n",
+            s.variant,
+            s.median_ns,
+            s.requests,
+            per_sec,
+            if i + 1 < service_points.len() { "," } else { "" }
         ));
     }
     // Diagnostics rows (no `median_ns`, so the `--check` point matcher

@@ -21,6 +21,13 @@
 //! * `ftbar gen [--n N] [--procs P] [--topology T] [--ccr X] [--npf N]
 //!   [--seed S]` — print a random problem spec (topologies: `full`, `ring`,
 //!   `bus`, `mesh:WxH`, `hypercube:D`);
+//! * `ftbar serve [--socket PATH | --tcp HOST:PORT] [--workers N]
+//!   [--queue N] [--shed-oldest] [--cache-bytes B] [--timeout-ms T]
+//!   [--max-frame-bytes B]` — run the long-lived scheduling daemon
+//!   (JSON-lines protocol, memoizing cache, admission control; drains and
+//!   exits 0 on SIGTERM/SIGINT or a `shutdown` request);
+//! * `ftbar status [--socket PATH | --tcp HOST:PORT]` — query a running
+//!   daemon's uptime, queue depth, cache and request counters;
 //! * `ftbar example` — print the paper's running example as a spec.
 //!
 //! Flag parsing is table-driven: each command declares its options as
@@ -38,6 +45,8 @@ use std::fmt::Write as _;
 
 use ftbar_core::{analysis, ftbar, gantt, validate, FtbarConfig};
 use ftbar_model::{spec, Problem, Time};
+use ftbar_service::client::RequestOpts;
+use ftbar_service::server::{Listener, ServerConfig};
 use ftbar_service::{BatchConfig, JobInput, JobSpec, SchedulerKind};
 use ftbar_sim::scenario::ScenarioConfig;
 use ftbar_sim::{simulate, Detection, FaultPlan, SimConfig};
@@ -90,6 +99,10 @@ USAGE:
   ftbar batch    <list-file> [--jobs N] [--hbp] [--npf N] [--schedules] [--out PATH]
   ftbar gen      [--n N] [--procs P] [--topology full|ring|bus|mesh:WxH|hypercube:D]
                  [--ccr X] [--npf N] [--seed S] [--het H]
+  ftbar serve    [--socket PATH | --tcp HOST:PORT] [--workers N] [--queue N]
+                 [--shed-oldest] [--cache-bytes B] [--timeout-ms T]
+                 [--max-frame-bytes B]
+  ftbar status   [--socket PATH | --tcp HOST:PORT]
   ftbar example
 ";
 
@@ -107,6 +120,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("scenarios") => cmd_scenarios(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
         Some("example") => Ok(spec::print_problem(&ftbar_model::paper_example())),
         Some("help") | Some("--help") | Some("-h") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(err(format!("unknown subcommand `{other}`\n\n{USAGE}"))),
@@ -774,6 +789,7 @@ fn cmd_batch(rest: &[String]) -> Result<String, CliError> {
         &BatchConfig {
             jobs,
             keep_schedules: schedules,
+            ..BatchConfig::default()
         },
     );
     let failed = outcomes.iter().filter(|o| o.result.is_err()).count();
@@ -802,6 +818,106 @@ fn cmd_batch(rest: &[String]) -> Result<String, CliError> {
             output: Some(text),
         })
     }
+}
+
+/// The default Unix-socket path of `serve`/`status`.
+fn default_socket() -> std::path::PathBuf {
+    std::env::temp_dir().join("ftbar.sock")
+}
+
+/// Resolves the `--socket`/`--tcp` pair into a [`Listener`]; with neither,
+/// the default Unix socket is used.
+fn listener_from(socket: Option<String>, tcp: Option<String>) -> Result<Listener, CliError> {
+    match (socket, tcp) {
+        (Some(_), Some(_)) => Err(err("--socket and --tcp are mutually exclusive")),
+        (None, Some(addr)) => Ok(Listener::Tcp(addr)),
+        (sock, None) => Ok(Listener::Unix(
+            sock.map_or_else(default_socket, std::path::PathBuf::from),
+        )),
+    }
+}
+
+fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
+    let defaults = ServerConfig::default();
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut workers = defaults.workers;
+    let mut queue = defaults.queue_depth;
+    let mut shed_oldest = false;
+    let mut cache_bytes = defaults.cache_bytes;
+    let mut timeout_ms = defaults.default_timeout_ms;
+    let mut max_frame_bytes = defaults.max_frame_bytes;
+    let positional = parse_args(
+        rest,
+        &mut [
+            opt_val("socket", "socket path", &mut socket),
+            opt_val("tcp", "TCP address", &mut tcp),
+            val("workers", "worker count", &mut workers),
+            val("queue", "queue depth", &mut queue),
+            flag("shed-oldest", &mut shed_oldest),
+            val("cache-bytes", "cache byte budget", &mut cache_bytes),
+            val("timeout-ms", "default timeout", &mut timeout_ms),
+            val("max-frame-bytes", "frame size limit", &mut max_frame_bytes),
+        ],
+    )?;
+    if !positional.is_empty() {
+        return Err(err("serve takes no positional arguments"));
+    }
+    if workers == 0 {
+        return Err(err("--workers must be at least 1"));
+    }
+    if queue == 0 {
+        return Err(err("--queue must be at least 1"));
+    }
+    if timeout_ms == 0 {
+        return Err(err("--timeout-ms must be at least 1"));
+    }
+    let listener = listener_from(socket, tcp)?;
+    let config = ServerConfig {
+        workers,
+        queue_depth: queue,
+        shed_oldest,
+        cache_bytes,
+        default_timeout_ms: timeout_ms,
+        max_frame_bytes,
+        handle_signals: true,
+        ..ServerConfig::default()
+    };
+    ftbar_service::server::serve(&listener, config).map_err(|e| CliError {
+        message: format!("serve: {e}\n"),
+        code: 1,
+        output: None,
+    })?;
+    Ok("serve: drained and shut down cleanly\n".to_owned())
+}
+
+fn cmd_status(rest: &[String]) -> Result<String, CliError> {
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let positional = parse_args(
+        rest,
+        &mut [
+            opt_val("socket", "socket path", &mut socket),
+            opt_val("tcp", "TCP address", &mut tcp),
+        ],
+    )?;
+    if !positional.is_empty() {
+        return Err(err("status takes no positional arguments"));
+    }
+    let listener = listener_from(socket, tcp)?;
+    let opts = RequestOpts {
+        attempts: 2,
+        base_backoff: std::time::Duration::from_millis(50),
+        overall_deadline: std::time::Duration::from_secs(5),
+        io_timeout: std::time::Duration::from_secs(5),
+    };
+    let response = ftbar_service::client::request(&listener, "{\"op\": \"status\"}", &opts)
+        .map_err(|e| CliError {
+            message: format!("status: {e}\n"),
+            code: 1,
+            output: None,
+        })?;
+    Ok(format!("{response}\n"))
 }
 
 /// Builds the architecture named by `gen`'s `--topology` flag.
@@ -1277,6 +1393,60 @@ mod tests {
             .message
             .contains("at least 1"));
         assert!(run_strs(&["batch"]).is_err());
+    }
+
+    #[test]
+    fn serve_and_status_round_trip() {
+        let sock = test_dir().join("serve-test.sock");
+        let sock_str = sock.to_str().unwrap().to_owned();
+        let serve = std::thread::spawn(move || {
+            run_strs(&["serve", "--socket", &sock_str, "--workers", "1"])
+        });
+        let listener = Listener::Unix(sock.clone());
+        let opts = RequestOpts {
+            attempts: 20,
+            base_backoff: std::time::Duration::from_millis(20),
+            overall_deadline: std::time::Duration::from_secs(20),
+            io_timeout: std::time::Duration::from_secs(5),
+        };
+        ftbar_service::client::request(&listener, "{\"op\": \"status\"}", &opts)
+            .expect("daemon comes up");
+
+        let status = run_strs(&["status", "--socket", sock.to_str().unwrap()]).unwrap();
+        assert!(status.contains("\"op\": \"status\""), "{status}");
+        assert!(status.contains("\"queue_depth\""), "{status}");
+
+        ftbar_service::client::request(&listener, "{\"op\": \"shutdown\"}", &opts)
+            .expect("shutdown answers");
+        let out = serve.join().unwrap().unwrap();
+        assert!(out.contains("shut down cleanly"));
+    }
+
+    #[test]
+    fn serve_and_status_reject_bad_usage() {
+        for (cmd, msg) in [
+            (vec!["serve", "extra"], "no positional"),
+            (vec!["serve", "--workers", "0"], "at least 1"),
+            (vec!["serve", "--queue", "0"], "at least 1"),
+            (vec!["serve", "--timeout-ms", "0"], "at least 1"),
+            (
+                vec!["serve", "--socket", "/tmp/x", "--tcp", "127.0.0.1:1"],
+                "mutually exclusive",
+            ),
+            (
+                vec!["status", "--socket", "/tmp/x", "--tcp", "127.0.0.1:1"],
+                "mutually exclusive",
+            ),
+            (vec!["status", "extra"], "no positional"),
+        ] {
+            let e = run_strs(&cmd).unwrap_err();
+            assert!(e.message.contains(msg), "{cmd:?}: {}", e.message);
+        }
+        // No daemon on a fresh socket: a clean exit-1 error, not a hang.
+        let sock = test_dir().join("no-daemon.sock");
+        let e = run_strs(&["status", "--socket", sock.to_str().unwrap()]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.starts_with("status:"), "{}", e.message);
     }
 
     #[test]

@@ -195,6 +195,19 @@ impl Parser {
         }
     }
 
+    /// A `NUMBER` token converted through `Time`'s checked parser, so
+    /// out-of-range literals become parse errors instead of panics.
+    fn time_literal(&mut self, what: &str) -> Result<Time, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Number(s) => {
+                let t: Time = s.parse().map_err(|_| self.unexpected(what))?;
+                self.bump();
+                Ok(t)
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
     /// `NUMBER | inf` — `None` encodes `inf`.
     fn time_or_inf(&mut self) -> Result<Option<Time>, ParseError> {
         if self.keyword("inf") {
@@ -256,8 +269,7 @@ impl Parser {
                 }
                 raw_comm = Some(self.comm_section()?);
             } else if self.keyword("rtc") {
-                let v = self.number("deadline")?;
-                rtc = Some(Time::from_units(v));
+                rtc = Some(self.time_literal("deadline")?);
                 self.expect(&TokenKind::Semi, "`;`")?;
             } else if self.keyword("npf") {
                 let v = self.number("failure count")?;
@@ -343,7 +355,11 @@ impl Parser {
                 self.expect(&TokenKind::Arrow, "`->`")?;
                 let dst = self.ident("destination operation")?;
                 let size = if self.keyword("size") {
-                    self.number("data size")?
+                    let v = self.number("data size")?;
+                    if !v.is_finite() || v <= 0.0 {
+                        return Err(self.unexpected("positive finite data size"));
+                    }
+                    v
                 } else {
                     1.0
                 };

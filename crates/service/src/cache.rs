@@ -1,0 +1,441 @@
+//! Canonical request keys and the byte-budget LRU response cache.
+//!
+//! The daemon serves *millions of near-duplicate requests*: the same
+//! problem text arrives re-ordered, re-indented, or re-labelled, and must
+//! hit the same cache slot. Two layers make that cheap and exact:
+//!
+//! 1. **Canonical keys** ([`canonical_key`]) — a deterministic
+//!    serialization of the *parsed* problem (ops, deps, architecture,
+//!    timings, `rtc`, effective `npf`) plus every response-shaping request
+//!    parameter (scheduler, strategy, `include_schedule`). All collections
+//!    are sorted by name, so any two spec texts describing the same
+//!    problem map to the same key regardless of declaration order. Keys
+//!    are compared as full strings — a hash collision can never alias two
+//!    distinct problems to one response.
+//! 2. **A raw-text memo** — maps the exact raw request fields to the
+//!    canonical key, so the steady-state hit path never re-parses the
+//!    spec: one string hash, two map lookups, done.
+//!
+//! Both layers share one byte budget. Eviction is LRU by access stamp;
+//! canonical entries and memo entries are evicted together, oldest first.
+//! A memo entry whose canonical entry has been evicted resolves lazily to
+//! a miss and is dropped.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ftbar_model::Problem;
+
+use crate::SchedulerKind;
+
+/// Fixed per-entry bookkeeping cost charged against the byte budget, on
+/// top of the key/value bytes (map node, stamp, `Arc` header).
+const ENTRY_OVERHEAD: usize = 64;
+
+/// Cache observability counters, reported by the `status` request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Responses served from cache.
+    pub hits: u64,
+    /// Lookups that fell through to the scheduler.
+    pub misses: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Responses inserted.
+    pub insertions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    response: Arc<str>,
+    stamp: u64,
+    cost: usize,
+}
+
+#[derive(Debug)]
+struct MemoEntry {
+    canonical: String,
+    stamp: u64,
+    cost: usize,
+}
+
+/// Byte-budget LRU cache of rendered responses, keyed by canonical
+/// problem keys with a raw-text memo in front.
+#[derive(Debug)]
+pub struct ResponseCache {
+    budget: usize,
+    used: usize,
+    clock: u64,
+    entries: HashMap<String, Entry>,
+    memo: HashMap<String, MemoEntry>,
+    stats: CacheStats,
+}
+
+impl ResponseCache {
+    /// A cache holding at most `budget` bytes of keys + responses.
+    /// A budget of `0` disables caching (every lookup misses).
+    pub fn new(budget: usize) -> Self {
+        ResponseCache {
+            budget,
+            used: 0,
+            clock: 0,
+            entries: HashMap::new(),
+            memo: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks up a response by the exact raw request key (no parsing).
+    pub fn get_raw(&mut self, raw: &str) -> Option<Arc<str>> {
+        self.clock += 1;
+        let stamp = self.clock;
+        let canonical = match self.memo.get_mut(raw) {
+            Some(m) => {
+                m.stamp = stamp;
+                m.canonical.clone()
+            }
+            None => return self.miss(),
+        };
+        match self.entries.get_mut(&canonical) {
+            Some(e) => {
+                e.stamp = stamp;
+                self.stats.hits += 1;
+                Some(Arc::clone(&e.response))
+            }
+            None => {
+                // The canonical entry was evicted under this memo entry;
+                // drop the dangling pointer and fall through to a miss.
+                if let Some(m) = self.memo.remove(raw) {
+                    self.used = self.used.saturating_sub(m.cost);
+                }
+                self.miss()
+            }
+        }
+    }
+
+    /// Looks up a response by canonical key (after a raw-memo miss), and
+    /// memoizes `raw` → `canonical` on a hit.
+    pub fn get_canonical(&mut self, raw: &str, canonical: &str) -> Option<Arc<str>> {
+        self.clock += 1;
+        let stamp = self.clock;
+        let response = match self.entries.get_mut(canonical) {
+            Some(e) => {
+                e.stamp = stamp;
+                Arc::clone(&e.response)
+            }
+            None => return self.miss(),
+        };
+        self.stats.hits += 1;
+        self.memoize(raw, canonical, stamp);
+        Some(response)
+    }
+
+    /// Inserts a rendered response under both keys.
+    ///
+    /// An entry bigger than the whole budget is not cached at all; with a
+    /// zero budget this is a no-op.
+    pub fn insert(&mut self, raw: &str, canonical: &str, response: &Arc<str>) {
+        if self.budget == 0 {
+            return;
+        }
+        self.clock += 1;
+        let stamp = self.clock;
+        let cost = canonical.len() + response.len() + ENTRY_OVERHEAD;
+        if cost <= self.budget && !self.entries.contains_key(canonical) {
+            self.entries.insert(
+                canonical.to_owned(),
+                Entry {
+                    response: Arc::clone(response),
+                    stamp,
+                    cost,
+                },
+            );
+            self.used += cost;
+            self.stats.insertions += 1;
+        }
+        self.memoize(raw, canonical, stamp);
+        self.evict_to_budget();
+    }
+
+    /// Current cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// Number of cached responses (canonical entries).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no responses.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn miss(&mut self) -> Option<Arc<str>> {
+        self.stats.misses += 1;
+        None
+    }
+
+    fn memoize(&mut self, raw: &str, canonical: &str, stamp: u64) {
+        let cost = raw.len() + canonical.len() + ENTRY_OVERHEAD;
+        if cost > self.budget || self.memo.contains_key(raw) {
+            return;
+        }
+        self.memo.insert(
+            raw.to_owned(),
+            MemoEntry {
+                canonical: canonical.to_owned(),
+                stamp,
+                cost,
+            },
+        );
+        self.used += cost;
+        self.evict_to_budget();
+    }
+
+    /// Evicts oldest-stamped entries (responses and memo entries pooled
+    /// together) until `used <= budget`.
+    fn evict_to_budget(&mut self) {
+        while self.used > self.budget {
+            let oldest_entry = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, e)| (k.clone(), e.stamp));
+            let oldest_memo = self
+                .memo
+                .iter()
+                .min_by_key(|(_, m)| m.stamp)
+                .map(|(k, m)| (k.clone(), m.stamp));
+            match (oldest_entry, oldest_memo) {
+                (Some((ek, es)), Some((mk, ms))) => {
+                    if es <= ms {
+                        self.remove_entry(&ek);
+                    } else {
+                        self.remove_memo(&mk);
+                    }
+                }
+                (Some((ek, _)), None) => self.remove_entry(&ek),
+                (None, Some((mk, _))) => self.remove_memo(&mk),
+                (None, None) => break,
+            }
+        }
+    }
+
+    fn remove_entry(&mut self, key: &str) {
+        if let Some(e) = self.entries.remove(key) {
+            self.used = self.used.saturating_sub(e.cost);
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn remove_memo(&mut self, key: &str) {
+        if let Some(m) = self.memo.remove(key) {
+            self.used = self.used.saturating_sub(m.cost);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+/// The canonical key of a scheduling request: a deterministic, sorted
+/// serialization of everything the response depends on.
+///
+/// Two requests get the same key **iff** they describe the same problem
+/// (up to declaration order) and ask for it the same way — so serving a
+/// cached response under this key is byte-exact, and distinct `npf`,
+/// strategy, scheduler, or `include_schedule` values can never collide.
+pub fn canonical_key(
+    problem: &Problem,
+    scheduler: SchedulerKind,
+    strategy: &str,
+    include_schedule: bool,
+) -> String {
+    let alg = problem.alg();
+    let arch = problem.arch();
+    let mut key = String::with_capacity(256);
+    key.push_str("v1|scheduler=");
+    key.push_str(scheduler.name());
+    key.push_str("|strategy=");
+    key.push_str(strategy);
+    key.push_str("|npf=");
+    key.push_str(&problem.npf().to_string());
+    key.push_str("|schedule=");
+    key.push_str(if include_schedule { "1" } else { "0" });
+    key.push_str("|rtc=");
+    match problem.rtc() {
+        Some(t) => key.push_str(&t.ticks().to_string()),
+        None => key.push('-'),
+    }
+
+    key.push_str("|alg=");
+    key.push_str(alg.name());
+    key.push_str("|ops:");
+    let mut ops: Vec<_> = alg
+        .ops()
+        .map(|id| format!("{}/{}", alg.op(id).name(), alg.op(id).kind().keyword()))
+        .collect();
+    ops.sort_unstable();
+    key.push_str(&ops.join(","));
+
+    key.push_str("|deps:");
+    let mut deps: Vec<_> = alg
+        .deps()
+        .map(|id| {
+            let (s, d) = alg.dep_endpoints(id);
+            format!(
+                "{}>{}#{:?}",
+                alg.op(s).name(),
+                alg.op(d).name(),
+                alg.dep(id).size()
+            )
+        })
+        .collect();
+    deps.sort_unstable();
+    key.push_str(&deps.join(","));
+
+    key.push_str("|arch=");
+    key.push_str(arch.name());
+    key.push_str("|procs:");
+    let mut procs: Vec<_> = arch
+        .procs()
+        .map(|id| arch.proc(id).name().to_owned())
+        .collect();
+    procs.sort_unstable();
+    key.push_str(&procs.join(","));
+
+    key.push_str("|links:");
+    let mut links: Vec<_> = arch
+        .links()
+        .map(|id| {
+            let l = arch.link(id);
+            let mut eps: Vec<_> = l.endpoints().iter().map(|p| arch.proc(*p).name()).collect();
+            eps.sort_unstable();
+            format!("{}={}", l.name(), eps.join("+"))
+        })
+        .collect();
+    links.sort_unstable();
+    key.push_str(&links.join(","));
+
+    key.push_str("|exec:");
+    let mut exec: Vec<_> = alg
+        .ops()
+        .flat_map(|op| {
+            arch.procs().map(move |proc| (op, proc)).map(|(op, proc)| {
+                let cell = match problem.exec().get(op, proc) {
+                    Some(t) => t.ticks().to_string(),
+                    None => "inf".to_owned(),
+                };
+                format!("{}@{}={}", alg.op(op).name(), arch.proc(proc).name(), cell)
+            })
+        })
+        .collect();
+    exec.sort_unstable();
+    key.push_str(&exec.join(","));
+
+    key.push_str("|comm:");
+    let mut comm: Vec<_> = alg
+        .deps()
+        .flat_map(|dep| {
+            let (s, d) = alg.dep_endpoints(dep);
+            arch.links()
+                .filter_map(move |link| problem.comm().get(dep, link).map(|t| (s, d, link, t)))
+        })
+        .map(|(s, d, link, t)| {
+            format!(
+                "{}>{}@{}={}",
+                alg.op(s).name(),
+                alg.op(d).name(),
+                arch.link(link).name(),
+                t.ticks()
+            )
+        })
+        .collect();
+    comm.sort_unstable();
+    key.push_str(&comm.join(","));
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbar_model::paper_example;
+
+    fn arc(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn raw_memo_serves_without_reparsing() {
+        let mut c = ResponseCache::new(64 * 1024);
+        let p = paper_example();
+        let canon = canonical_key(&p, SchedulerKind::Ftbar, "adaptive", false);
+        let resp = arc("{\"status\":\"ok\"}");
+        assert!(c.get_raw("raw-a").is_none());
+        c.insert("raw-a", &canon, &resp);
+        assert_eq!(c.get_raw("raw-a").as_deref(), Some(&*resp));
+        // A different raw text with the same canonical key also hits.
+        assert!(c.get_raw("raw-b").is_none());
+        assert_eq!(c.get_canonical("raw-b", &canon).as_deref(), Some(&*resp));
+        // ... and is memoized for next time.
+        assert_eq!(c.get_raw("raw-b").as_deref(), Some(&*resp));
+        let s = c.stats();
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let mut c = ResponseCache::new(0);
+        let resp = arc("resp");
+        c.insert("raw", "canon", &resp);
+        assert!(c.is_empty());
+        assert!(c.get_raw("raw").is_none());
+        assert!(c.get_canonical("raw", "canon").is_none());
+    }
+
+    #[test]
+    fn eviction_respects_byte_budget_lru() {
+        let mut c = ResponseCache::new(600);
+        for i in 0..8 {
+            let resp = arc(&format!("response-{i}-{}", "x".repeat(40)));
+            c.insert(&format!("raw-{i}"), &format!("canon-{i}"), &resp);
+        }
+        assert!(
+            c.used_bytes() <= 600,
+            "budget respected: {}",
+            c.used_bytes()
+        );
+        assert!(c.stats().evictions > 0);
+        // The most recently inserted entry survives.
+        assert!(c.get_raw("raw-7").is_some() || c.get_canonical("raw-7", "canon-7").is_some());
+    }
+
+    #[test]
+    fn distinct_parameters_never_collide() {
+        let p = paper_example();
+        let base = canonical_key(&p, SchedulerKind::Ftbar, "adaptive", false);
+        assert_ne!(
+            base,
+            canonical_key(&p, SchedulerKind::Hbp, "adaptive", false)
+        );
+        assert_ne!(
+            base,
+            canonical_key(&p, SchedulerKind::Ftbar, "clustered", false)
+        );
+        assert_ne!(
+            base,
+            canonical_key(&p, SchedulerKind::Ftbar, "adaptive", true)
+        );
+        let p2 = p.with_npf(0).unwrap();
+        assert_ne!(
+            base,
+            canonical_key(&p2, SchedulerKind::Ftbar, "adaptive", false)
+        );
+    }
+}

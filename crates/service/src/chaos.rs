@@ -1,0 +1,358 @@
+//! Deterministic fault-injection harness driving the real daemon.
+//!
+//! One seeded [`StdRng`] (the same discipline as `ftbar_sim::scenario`)
+//! draws every event: normal requests, worker panics, malformed and
+//! truncated frames, oversized payloads, stalled clients, cache-pressure
+//! storms. The harness runs a real server on a temp Unix socket and
+//! checks three invariants the whole PR rests on:
+//!
+//! 1. **Liveness** — the daemon answers a well-formed request after every
+//!    injected fault, and shuts down cleanly at the end.
+//! 2. **Byte identity** — every uninjected response is byte-identical to
+//!    the direct, cache-free, queue-free [`direct_response`] bytes.
+//! 3. **Code mapping** — every injected failure maps to its documented
+//!    [`ErrorCode`](crate::proto::ErrorCode): worker panics to
+//!    `internal_panic` (then `poisoned`), malformed frames to
+//!    `bad_request`, oversized frames to `too_large`.
+//!
+//! Event *choices* are deterministic in the seed; wall-clock timing (and
+//! therefore cache hit counts) is not, which is why responses carry no
+//! cache markers.
+
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::client::{request, Client, RequestOpts};
+use crate::proto::ScheduleRequest;
+use crate::server::{direct_response, serve_with_state, Listener, ServerConfig, ServerState};
+use crate::SchedulerKind;
+
+/// The marker the harness plants in specs destined to panic a worker.
+pub const PANIC_MARKER: &str = "__chaos_panic__";
+
+/// Chaos campaign configuration.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed of the single RNG driving every injection choice.
+    pub seed: u64,
+    /// Number of injected events.
+    pub events: usize,
+    /// Pool of valid spec texts the normal traffic draws from.
+    pub specs: Vec<String>,
+    /// Unix-socket path for the temp daemon.
+    pub socket: PathBuf,
+    /// Daemon configuration; the harness forces `panic_marker` to
+    /// [`PANIC_MARKER`] and keeps `handle_signals` off.
+    pub server: ServerConfig,
+}
+
+impl ChaosConfig {
+    /// A campaign over `specs` with tight-but-safe daemon limits: small
+    /// cache (storms evict), small frames (oversize is cheap to hit),
+    /// short I/O timeout (stalls resolve quickly).
+    pub fn quick(seed: u64, events: usize, specs: Vec<String>, socket: PathBuf) -> Self {
+        ChaosConfig {
+            seed,
+            events,
+            specs,
+            socket,
+            server: ServerConfig {
+                workers: 2,
+                cache_bytes: 16 * 1024,
+                max_frame_bytes: 16 * 1024,
+                io_timeout_ms: 150,
+                default_timeout_ms: 5_000,
+                ..ServerConfig::default()
+            },
+        }
+    }
+}
+
+/// What a chaos campaign observed.
+#[derive(Debug, Default)]
+pub struct ChaosReport {
+    /// Uninjected requests whose bytes were compared against
+    /// [`direct_response`].
+    pub normal: u64,
+    /// Injected worker panics (each also probes the poisoned refusal).
+    pub panics: u64,
+    /// Malformed frames sent.
+    pub malformed: u64,
+    /// Truncated frames sent (connection cut mid-frame).
+    pub truncated: u64,
+    /// Oversized frames sent.
+    pub oversized: u64,
+    /// Stalled/slow-client connections.
+    pub stalled: u64,
+    /// Cache-pressure storm requests.
+    pub storm: u64,
+    /// Invariant violations; empty on a green campaign.
+    pub violations: Vec<String>,
+    /// Whether the daemon drained and the serve loop returned cleanly.
+    pub clean_shutdown: bool,
+}
+
+impl ChaosReport {
+    /// Panics with every violation if the campaign was not green.
+    pub fn assert_green(&self) {
+        assert!(
+            self.violations.is_empty() && self.clean_shutdown,
+            "chaos campaign failed (clean_shutdown={}):\n{}",
+            self.clean_shutdown,
+            self.violations.join("\n")
+        );
+    }
+}
+
+/// Runs a chaos campaign: starts a daemon, injects `config.events`
+/// seeded faults, verifies the invariants, shuts the daemon down.
+pub fn run(config: &ChaosConfig) -> ChaosReport {
+    assert!(!config.specs.is_empty(), "chaos needs at least one spec");
+    let mut server_config = config.server.clone();
+    server_config.panic_marker = Some(PANIC_MARKER.to_owned());
+    server_config.handle_signals = false;
+    let direct_config = server_config.clone();
+
+    let listener = Listener::Unix(config.socket.clone());
+    let state = ServerState::new(server_config);
+    let serve_state = Arc::clone(&state);
+    let serve_listener = listener.clone();
+    let daemon = std::thread::spawn(move || serve_with_state(&serve_listener, &serve_state));
+
+    let mut report = ChaosReport::default();
+    let opts = RequestOpts {
+        attempts: 5,
+        base_backoff: Duration::from_millis(10),
+        overall_deadline: Duration::from_secs(20),
+        io_timeout: Duration::from_secs(5),
+    };
+
+    // Wait for the socket to come up.
+    if let Err(e) = request(&listener, "{\"op\": \"status\"}", &opts) {
+        report.violations.push(format!("daemon never came up: {e}"));
+        state.begin_shutdown();
+        let _ = daemon.join();
+        return report;
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for event in 0..config.events {
+        match rng.gen_range(0u32..100) {
+            // Uninjected request: bytes must equal the direct path.
+            0..=39 => {
+                let req = draw_request(&mut rng, &config.specs, event);
+                check_normal(&listener, &opts, &req, &mut report);
+                report.normal += 1;
+            }
+            // Worker panic, then the poisoned refusal for the same spec.
+            40..=49 => {
+                let line = format!(
+                    "{{\"spec\": \"{} {}\"}}",
+                    PANIC_MARKER,
+                    event // distinct per event: first hit panics, second is poisoned
+                );
+                expect_code(&listener, &opts, &line, "internal_panic", &mut report);
+                expect_code(&listener, &opts, &line, "poisoned", &mut report);
+                report.panics += 1;
+            }
+            // Malformed frame.
+            50..=59 => {
+                let bad = ["{", "not json", "[]", "{\"op\": 7}", "{\"op\": \"nope\"}"]
+                    [rng.gen_range(0usize..5)];
+                expect_code(&listener, &opts, bad, "bad_request", &mut report);
+                report.malformed += 1;
+            }
+            // Truncated frame: cut the connection mid-frame. No response
+            // is owed; the daemon must simply survive.
+            60..=69 => {
+                if let Ok(mut s) = UnixStream::connect(&config.socket) {
+                    let cut = rng.gen_range(1usize..20);
+                    let _ = s.write_all(&b"{\"op\": \"status\"}"[..cut.min(16)]);
+                    drop(s);
+                }
+                report.truncated += 1;
+            }
+            // Oversized frame.
+            70..=74 => {
+                let big = format!(
+                    "{{\"spec\": \"{}\"}}",
+                    "x".repeat(state.config().max_frame_bytes + 1)
+                );
+                expect_code(&listener, &opts, &big, "too_large", &mut report);
+                report.oversized += 1;
+            }
+            // Stalled client: write half a frame, outlive the I/O
+            // timeout, then try to finish.
+            75..=79 => {
+                if let Ok(mut s) = UnixStream::connect(&config.socket) {
+                    let _ = s.write_all(b"{\"op\": \"stat");
+                    std::thread::sleep(Duration::from_millis(state.config().io_timeout_ms + 50));
+                    // The server has dropped us by now; either write may
+                    // fail, and that is the point — no daemon hang.
+                    let _ = s.write_all(b"us\"}\n");
+                }
+                report.stalled += 1;
+            }
+            // Cache-pressure storm: a pipelined burst of near-duplicate
+            // requests under a tiny cache budget, each byte-checked.
+            _ => {
+                let burst = rng.gen_range(4usize..10);
+                if let Ok(mut client) = Client::connect(&listener) {
+                    for k in 0..burst {
+                        let req = draw_request(&mut rng, &config.specs, event * 31 + k);
+                        let line = render_request_line(&req);
+                        match client.send(&line) {
+                            Ok(resp) => {
+                                let expected = direct_with(&req, &direct_config);
+                                if resp != expected {
+                                    report.violations.push(format!(
+                                        "storm response diverged for {line}:\n got {resp}\n want {expected}"
+                                    ));
+                                }
+                            }
+                            Err(e) => report.violations.push(format!("storm request failed: {e}")),
+                        }
+                        report.storm += 1;
+                    }
+                }
+            }
+        }
+
+        // Liveness probe after every event: the daemon answers status.
+        if let Err(e) = request(&listener, "{\"op\": \"status\"}", &opts) {
+            report
+                .violations
+                .push(format!("daemon unresponsive after event {event}: {e}"));
+            break;
+        }
+    }
+
+    // Clean shutdown via the protocol.
+    match request(&listener, "{\"op\": \"shutdown\"}", &opts) {
+        Ok(resp) => {
+            if !resp.contains("\"op\": \"shutdown\"") {
+                report
+                    .violations
+                    .push(format!("unexpected shutdown response: {resp}"));
+            }
+        }
+        Err(e) => report.violations.push(format!("shutdown failed: {e}")),
+    }
+    match daemon.join() {
+        Ok(Ok(())) => report.clean_shutdown = true,
+        Ok(Err(e)) => report.violations.push(format!("serve returned error: {e}")),
+        Err(_) => report.violations.push("serve thread panicked".to_owned()),
+    }
+    report
+}
+
+/// Draws a request over the spec pool: varies scheduler, npf override,
+/// id, and trailing whitespace (distinct raw keys, same canonical key).
+fn draw_request(rng: &mut StdRng, specs: &[String], salt: usize) -> ScheduleRequest {
+    let mut spec = specs[rng.gen_range(0usize..specs.len())].clone();
+    for _ in 0..rng.gen_range(0usize..3) {
+        spec.push(' '); // same canonical problem, different raw text
+    }
+    ScheduleRequest {
+        id: rng.gen_bool(0.5).then(|| format!("chaos-{salt}")),
+        spec,
+        scheduler: if rng.gen_bool(0.8) {
+            SchedulerKind::Ftbar
+        } else {
+            SchedulerKind::Hbp
+        },
+        npf: if rng.gen_bool(0.3) {
+            Some(rng.gen_range(0u32..2))
+        } else {
+            None
+        },
+        strategy: None,
+        timeout_ms: None,
+        include_schedule: rng.gen_bool(0.2),
+    }
+}
+
+fn render_request_line(req: &ScheduleRequest) -> String {
+    let mut line = String::from("{");
+    if let Some(id) = &req.id {
+        line.push_str(&format!(
+            "\"id\": {}, ",
+            serde_json::to_string(id).expect("strings serialize")
+        ));
+    }
+    line.push_str(&format!(
+        "\"spec\": {}, \"scheduler\": \"{}\"",
+        serde_json::to_string(&req.spec).expect("strings serialize"),
+        req.scheduler.name()
+    ));
+    if let Some(npf) = req.npf {
+        line.push_str(&format!(", \"npf\": {npf}"));
+    }
+    if req.include_schedule {
+        line.push_str(", \"include_schedule\": true");
+    }
+    line.push('}');
+    line
+}
+
+fn direct_with(req: &ScheduleRequest, config: &ServerConfig) -> String {
+    // `direct_response` uses the default config; the chaos daemon runs
+    // with a panic marker, which must not change uninjected responses —
+    // pin that by computing against the daemon's own config.
+    use crate::server::compute_response;
+    use ftbar_core::engine::EnginePools;
+    let (result, _pools) = compute_response(req, config, None, EnginePools::default());
+    match result {
+        Ok((body, _canonical, _degraded)) => crate::proto::with_id(req.id.as_deref(), &body),
+        Err((code, message)) => crate::proto::render_error(req.id.as_deref(), code, &message),
+    }
+}
+
+fn check_normal(
+    listener: &Listener,
+    opts: &RequestOpts,
+    req: &ScheduleRequest,
+    report: &mut ChaosReport,
+) {
+    let line = render_request_line(req);
+    match request(listener, &line, opts) {
+        Ok(resp) => {
+            let expected = direct_response(req);
+            if resp != expected {
+                report.violations.push(format!(
+                    "response diverged for {line}:\n got {resp}\n want {expected}"
+                ));
+            }
+        }
+        Err(e) => report
+            .violations
+            .push(format!("uninjected request failed: {e}")),
+    }
+}
+
+fn expect_code(
+    listener: &Listener,
+    opts: &RequestOpts,
+    line: &str,
+    code: &str,
+    report: &mut ChaosReport,
+) {
+    match request(listener, line, opts) {
+        Ok(resp) => {
+            let want = format!("\"code\": \"{code}\"");
+            if !resp.contains(&want) {
+                report.violations.push(format!(
+                    "expected {want} for frame {line:.60}, got {resp:.200}"
+                ));
+            }
+        }
+        Err(e) => report.violations.push(format!(
+            "injected frame got no response (wanted {code}): {e}"
+        )),
+    }
+}

@@ -1,0 +1,268 @@
+//! In-crate client for the scheduling daemon: one-shot requests with
+//! retry + jittered exponential backoff, and a persistent pipelined
+//! connection for throughput work.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+use crate::server::Listener;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// All attempts failed; the last I/O error.
+    Io(std::io::Error),
+    /// The overall deadline elapsed before a response arrived.
+    DeadlineElapsed,
+    /// The server closed the connection without responding.
+    ConnectionClosed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "request failed: {e}"),
+            ClientError::DeadlineElapsed => write!(f, "overall deadline elapsed"),
+            ClientError::ConnectionClosed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Retry/backoff policy for [`request`].
+#[derive(Debug, Clone)]
+pub struct RequestOpts {
+    /// Total attempts (first try + retries).
+    pub attempts: u32,
+    /// Base backoff; attempt `k` waits `base * 2^k`, jittered ±50%.
+    pub base_backoff: Duration,
+    /// Overall deadline across all attempts and backoffs.
+    pub overall_deadline: Duration,
+    /// Per-connection I/O timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for RequestOpts {
+    fn default() -> Self {
+        RequestOpts {
+            attempts: 4,
+            base_backoff: Duration::from_millis(20),
+            overall_deadline: Duration::from_secs(30),
+            io_timeout: Duration::from_secs(15),
+        }
+    }
+}
+
+/// Sends one request line and returns the response line, retrying
+/// connect/I-O failures with jittered exponential backoff under an
+/// overall deadline.
+///
+/// # Errors
+///
+/// [`ClientError::DeadlineElapsed`] once the overall deadline passes,
+/// otherwise the last attempt's failure.
+pub fn request(listener: &Listener, line: &str, opts: &RequestOpts) -> Result<String, ClientError> {
+    let start = Instant::now();
+    let mut jitter = JitterRng::new(line);
+    let mut last: Option<ClientError> = None;
+    for attempt in 0..opts.attempts.max(1) {
+        if start.elapsed() >= opts.overall_deadline {
+            return Err(ClientError::DeadlineElapsed);
+        }
+        if attempt > 0 {
+            let backoff = opts.base_backoff.saturating_mul(1 << (attempt - 1).min(16));
+            let waited = jitter.jittered(backoff);
+            let remaining = opts.overall_deadline.saturating_sub(start.elapsed());
+            std::thread::sleep(waited.min(remaining));
+            if start.elapsed() >= opts.overall_deadline {
+                return Err(ClientError::DeadlineElapsed);
+            }
+        }
+        match Client::connect_with_timeout(listener, opts.io_timeout) {
+            Ok(mut client) => match client.send(line) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => last = Some(e),
+            },
+            Err(e) => last = Some(ClientError::Io(e)),
+        }
+    }
+    Err(last.unwrap_or(ClientError::DeadlineElapsed))
+}
+
+/// A persistent connection to the daemon: many requests pipelined over
+/// one stream (the throughput benchmark's workhorse). No retry — a
+/// failure surfaces to the caller.
+pub struct Client {
+    writer: BufWriter<Box<dyn Write + Send>>,
+    reader: BufReader<Box<dyn Read + Send>>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket connect failure.
+    pub fn connect(listener: &Listener) -> std::io::Result<Self> {
+        Self::connect_with_timeout(listener, Duration::from_secs(15))
+    }
+
+    /// [`Client::connect`] with an explicit per-operation I/O timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket connect failure.
+    pub fn connect_with_timeout(listener: &Listener, timeout: Duration) -> std::io::Result<Self> {
+        match listener {
+            Listener::Unix(path) => {
+                let stream = UnixStream::connect(path)?;
+                stream.set_read_timeout(Some(timeout))?;
+                stream.set_write_timeout(Some(timeout))?;
+                let reader = stream.try_clone()?;
+                Ok(Client {
+                    writer: BufWriter::new(Box::new(stream)),
+                    reader: BufReader::new(Box::new(reader)),
+                })
+            }
+            Listener::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_read_timeout(Some(timeout))?;
+                stream.set_write_timeout(Some(timeout))?;
+                stream.set_nodelay(true)?;
+                let reader = stream.try_clone()?;
+                Ok(Client {
+                    writer: BufWriter::new(Box::new(stream)),
+                    reader: BufReader::new(Box::new(reader)),
+                })
+            }
+        }
+    }
+
+    /// Sends one request line, waits for its response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and server-side hangups.
+    pub fn send(&mut self, line: &str) -> Result<String, ClientError> {
+        self.write_line(line)?;
+        self.read_line()
+    }
+
+    /// Writes a request line without waiting (pipelining); pair with
+    /// [`Client::read_line`].
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn write_line(&mut self, line: &str) -> Result<(), ClientError> {
+        self.queue_line(line)?;
+        self.flush()
+    }
+
+    /// Buffers a request line without flushing: deep pipelining pays one
+    /// syscall per buffer instead of one per frame. Call
+    /// [`Client::flush`] before waiting on responses, or the tail of the
+    /// batch never reaches the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Write failures (a full buffer flushes implicitly).
+    pub fn queue_line(&mut self, line: &str) -> Result<(), ClientError> {
+        writeln!(self.writer, "{line}").map_err(ClientError::Io)
+    }
+
+    /// Flushes queued request lines to the socket.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        self.writer.flush().map_err(ClientError::Io)
+    }
+
+    /// Reads the next response line.
+    ///
+    /// # Errors
+    ///
+    /// Read failures, or [`ClientError::ConnectionClosed`] on EOF.
+    pub fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(ClientError::Io)?;
+        if n == 0 {
+            return Err(ClientError::ConnectionClosed);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+/// Small deterministic-per-key jitter source (no clock, no global RNG):
+/// good enough to decorrelate retry storms.
+struct JitterRng {
+    state: u64,
+}
+
+impl JitterRng {
+    fn new(key: &str) -> Self {
+        // FNV-1a over the request text + this process id: different
+        // clients and different requests back off at different phases.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes().chain(std::process::id().to_le_bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        JitterRng { state: h.max(1) }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// `d` scaled by a factor uniform in [0.5, 1.5).
+    fn jittered(&mut self, d: Duration) -> Duration {
+        let unit = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
+        d.mul_f64(0.5 + unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let mut j = JitterRng::new("key");
+        let base = Duration::from_millis(100);
+        for _ in 0..100 {
+            let d = j.jittered(base);
+            assert!(d >= base / 2 && d < base * 3 / 2, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn request_fails_cleanly_when_no_daemon_listens() {
+        let listener = Listener::Unix(std::env::temp_dir().join("ftbar-no-such-daemon.sock"));
+        let opts = RequestOpts {
+            attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            overall_deadline: Duration::from_millis(200),
+            io_timeout: Duration::from_millis(50),
+        };
+        let err = request(&listener, "{\"op\": \"status\"}", &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            ClientError::Io(_) | ClientError::DeadlineElapsed
+        ));
+    }
+}

@@ -17,8 +17,8 @@
 //!   for every worker count (`--jobs 1` and `--jobs 4` agree; pinned by
 //!   `tests/batch_service.rs`).
 //! * **Isolation** — a poisoned job (unparsable spec, infeasible `npf`,
-//!   unschedulable problem) yields an `Err` in *its* slot; every other
-//!   job completes normally.
+//!   unschedulable problem, or a worker panic caught at the job boundary)
+//!   yields an `Err` in *its* slot; every other job completes normally.
 //! * **Steady-state allocation** — each worker thread recycles one
 //!   [`EnginePools`] arena through all the jobs it runs
 //!   ([`ftbar_core::ftbar::schedule_with_pools`]), so per-job setup does
@@ -27,9 +27,27 @@
 //! Work is distributed over the vendored crossbeam scoped threads by an
 //! atomic job cursor; ordering is restored by submission index, so the
 //! (nondeterministic) claim order never leaks into results.
+//!
+//! Beyond one-shot batches, the crate hosts the long-lived scheduling
+//! daemon: [`server`] (listener, admission control, panic isolation,
+//! graceful degradation, clean shutdown), [`cache`] (canonical-key
+//! memoization with byte-budget LRU eviction), [`proto`] (the JSON-lines
+//! wire protocol and its documented error codes), [`client`] (retrying
+//! requester + persistent pipelined connection), and [`chaos`] (the
+//! deterministic fault-injection harness that proves the daemon survives
+//! all of the above).
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) solely for the one `#[allow]` in `signal`: the
+// SIGTERM latch needs a C signal handler; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod cache;
+pub mod chaos;
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod signal;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -96,6 +114,11 @@ pub struct BatchConfig {
     /// Retain each job's full [`Schedule`] in its [`JobResult`] (the
     /// summary metrics are always present).
     pub keep_schedules: bool,
+    /// Fault-injection hook for tests and the chaos harness: a job whose
+    /// name or spec text contains this marker panics inside the job
+    /// boundary, exercising the panic-isolation path. `None` in
+    /// production.
+    pub panic_marker: Option<String>,
 }
 
 impl Default for BatchConfig {
@@ -103,6 +126,7 @@ impl Default for BatchConfig {
         BatchConfig {
             jobs: 1,
             keep_schedules: false,
+            panic_marker: None,
         }
     }
 }
@@ -210,10 +234,35 @@ where
 /// wall-clock time, never a byte of the results.
 pub fn run_batch(jobs: &[JobSpec], config: &BatchConfig) -> Vec<JobOutcome> {
     run_indexed(jobs.len(), config.jobs, |i, pools: &mut EnginePools| {
-        let (outcome, p) = run_job(i, &jobs[i], config, std::mem::take(pools));
-        *pools = p;
-        outcome
+        let taken = std::mem::take(pools);
+        // Job-boundary panic isolation: a panicking job lands in its own
+        // `Err` slot instead of poisoning the scoped join. `mem::take`
+        // already left fresh pools in place for the worker's next job.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(i, &jobs[i], config, taken)
+        })) {
+            Ok((outcome, p)) => {
+                *pools = p;
+                outcome
+            }
+            Err(payload) => JobOutcome {
+                index: i,
+                name: jobs[i].name.clone(),
+                result: Err(format!("job panicked: {}", panic_message(payload.as_ref()))),
+            },
+        }
     })
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
+    }
 }
 
 /// Runs a whole contingency campaign (see [`ftbar_sim::scenario`]) for
@@ -261,6 +310,14 @@ fn job_result(
     config: &BatchConfig,
     pools: EnginePools,
 ) -> (Result<JobResult, String>, EnginePools) {
+    // Chaos/test hook: deliberately panic inside the job boundary.
+    if let Some(marker) = &config.panic_marker {
+        let hit = job.name.contains(marker.as_str())
+            || matches!(&job.input, JobInput::Spec(s) if s.contains(marker.as_str()));
+        if hit {
+            panic!("injected panic (marker `{marker}`)");
+        }
+    }
     // Parse/validate inside the job: bad inputs poison only this slot.
     let parsed;
     let mut problem: &Problem = match &job.input {
@@ -400,6 +457,7 @@ mod tests {
             &BatchConfig {
                 jobs: 1,
                 keep_schedules: true,
+                ..BatchConfig::default()
             },
         );
         let p = paper_example();

@@ -1,0 +1,383 @@
+//! The JSON-lines request/response protocol of the scheduling daemon.
+//!
+//! One request per line, one response line per request, both UTF-8 JSON.
+//! Requests:
+//!
+//! ```json
+//! {"op": "schedule", "id": "r1", "spec": "algorithm a { ... }",
+//!  "scheduler": "ftbar", "npf": 1, "strategy": "adaptive",
+//!  "timeout_ms": 2000, "include_schedule": false}
+//! {"op": "status"}
+//! {"op": "shutdown"}
+//! ```
+//!
+//! Responses are rendered with a stable field order so identical requests
+//! produce byte-identical response lines (the cache contract). Every
+//! failure maps to exactly one documented [`ErrorCode`].
+
+use ftbar_core::ftbar::SweepStrategy;
+use serde::Value;
+
+use crate::{JobResult, SchedulerKind};
+
+/// Documented error codes: the complete failure vocabulary of the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame is not valid JSON, or required fields are missing/typed
+    /// wrong.
+    BadRequest,
+    /// The frame exceeds the configured maximum size.
+    TooLarge,
+    /// The spec text failed to parse or validate.
+    SpecError,
+    /// The scheduler rejected the (valid) problem.
+    ScheduleError,
+    /// The per-request deadline elapsed before a worker finished the job.
+    Timeout,
+    /// Admission control rejected the request (queue full).
+    Overloaded,
+    /// This exact request previously panicked a worker and is refused
+    /// without being re-run.
+    Poisoned,
+    /// A worker panicked while scheduling this request.
+    InternalPanic,
+    /// The daemon is draining for shutdown and accepts no new work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire name of the code.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::SpecError => "spec_error",
+            ErrorCode::ScheduleError => "schedule_error",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Poisoned => "poisoned",
+            ErrorCode::InternalPanic => "internal_panic",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Schedule a problem.
+    Schedule(ScheduleRequest),
+    /// Report daemon health and counters.
+    Status,
+    /// Drain in-flight work and exit.
+    Shutdown,
+}
+
+/// The `op: "schedule"` request body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleRequest {
+    /// Caller-chosen id echoed in the response (JSON string), if any.
+    pub id: Option<String>,
+    /// Problem spec text.
+    pub spec: String,
+    /// Scheduler to run.
+    pub scheduler: SchedulerKind,
+    /// `npf` override applied before scheduling.
+    pub npf: Option<u32>,
+    /// Sweep strategy; `None` means the scheduler default (adaptive).
+    pub strategy: Option<SweepStrategy>,
+    /// Per-request deadline override, milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Include the full schedule in the response.
+    pub include_schedule: bool,
+}
+
+impl ScheduleRequest {
+    /// The exact raw cache/poison key of this request: every field that
+    /// shapes the response, joined with the spec text verbatim.
+    pub fn raw_key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}",
+            self.scheduler.name(),
+            strategy_name(self.strategy),
+            self.npf.map_or(-1i64, i64::from),
+            u8::from(self.include_schedule),
+            self.spec,
+        )
+    }
+}
+
+/// The stable wire name of a strategy choice.
+pub fn strategy_name(s: Option<SweepStrategy>) -> &'static str {
+    match s {
+        None | Some(SweepStrategy::Adaptive) => "adaptive",
+        Some(SweepStrategy::Incremental) => "incremental",
+        Some(SweepStrategy::Naive) => "naive",
+        Some(SweepStrategy::Clustered) => "clustered",
+    }
+}
+
+/// Parses one request frame. `Err` carries the message for a
+/// [`ErrorCode::BadRequest`] response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    if v.as_object().is_none() {
+        return Err("request must be a JSON object".into());
+    }
+    let op = match v.get("op") {
+        None => "schedule",
+        Some(o) => o.as_str().ok_or("`op` must be a string")?,
+    };
+    match op {
+        "status" => Ok(Request::Status),
+        "shutdown" => Ok(Request::Shutdown),
+        "schedule" => {
+            let id = match v.get("id") {
+                None => None,
+                Some(i) => Some(
+                    i.as_str()
+                        .map(str::to_owned)
+                        .ok_or("`id` must be a string")?,
+                ),
+            };
+            let spec = v
+                .get("spec")
+                .and_then(Value::as_str)
+                .ok_or("`spec` (string) is required")?
+                .to_owned();
+            let scheduler = match v.get("scheduler") {
+                None => SchedulerKind::Ftbar,
+                Some(s) => match s.as_str() {
+                    Some("ftbar") => SchedulerKind::Ftbar,
+                    Some("hbp") => SchedulerKind::Hbp,
+                    _ => return Err("`scheduler` must be \"ftbar\" or \"hbp\"".into()),
+                },
+            };
+            let npf = match v.get("npf") {
+                None => None,
+                Some(n) => Some(parse_u32(n).ok_or("`npf` must be a non-negative integer")?),
+            };
+            let strategy = match v.get("strategy") {
+                None => None,
+                Some(s) => Some(match s.as_str() {
+                    Some("adaptive") => SweepStrategy::Adaptive,
+                    Some("incremental") => SweepStrategy::Incremental,
+                    Some("naive") => SweepStrategy::Naive,
+                    Some("clustered") => SweepStrategy::Clustered,
+                    _ => {
+                        return Err("`strategy` must be adaptive|incremental|naive|clustered".into())
+                    }
+                }),
+            };
+            let timeout_ms = match v.get("timeout_ms") {
+                None => None,
+                Some(t) => Some(parse_u64(t).ok_or("`timeout_ms` must be a non-negative integer")?),
+            };
+            let include_schedule = match v.get("include_schedule") {
+                None => false,
+                Some(Value::Bool(b)) => *b,
+                Some(_) => return Err("`include_schedule` must be a boolean".into()),
+            };
+            Ok(Request::Schedule(ScheduleRequest {
+                id,
+                spec,
+                scheduler,
+                npf,
+                strategy,
+                timeout_ms,
+                include_schedule,
+            }))
+        }
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+fn parse_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Number(serde::Number::UInt(u)) => Some(*u),
+        _ => None,
+    }
+}
+
+fn parse_u32(v: &Value) -> Option<u32> {
+    parse_u64(v).and_then(|u| u32::try_from(u).ok())
+}
+
+/// Renders the success response for a scheduled job. Deterministic: the
+/// byte-identity contract between cached and direct responses rests on
+/// this function.
+pub fn render_ok(id: Option<&str>, r: &JobResult, degraded: bool) -> String {
+    let mut out = String::from("{");
+    push_id(&mut out, id);
+    out.push_str(&format!(
+        "\"status\": \"ok\", \"scheduler\": \"{}\", \"npf\": {}, \"ops\": {}, \
+         \"procs\": {}, \"makespan\": \"{}\", \"makespan_ticks\": {}, \
+         \"completion_ticks\": {}, \"replicas\": {}, \"comms\": {}, \"rtc_met\": {}",
+        r.scheduler.name(),
+        r.npf,
+        r.ops,
+        r.procs,
+        r.makespan,
+        r.makespan.ticks(),
+        r.completion.ticks(),
+        r.replicas,
+        r.comms,
+        match r.rtc_met {
+            Some(b) => b.to_string(),
+            None => "null".to_owned(),
+        },
+    ));
+    if degraded {
+        out.push_str(", \"degraded\": true");
+    }
+    if let Some(schedule) = &r.schedule {
+        let json = serde_json::to_string(schedule).expect("schedules serialize");
+        out.push_str(&format!(", \"schedule\": {json}"));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders an error response with a documented code.
+pub fn render_error(id: Option<&str>, code: ErrorCode, message: &str) -> String {
+    let mut out = String::from("{");
+    push_id(&mut out, id);
+    out.push_str(&format!(
+        "\"status\": \"error\", \"code\": \"{}\", \"message\": {}",
+        code.name(),
+        json_string(message)
+    ));
+    out.push('}');
+    out
+}
+
+/// Splices `id` into a response body rendered without one (cached bodies
+/// are id-less so distinct callers can share them). With `id: None` this
+/// is the identity, so cached and directly rendered responses are
+/// byte-identical.
+pub fn with_id(id: Option<&str>, body: &str) -> String {
+    match id {
+        None => body.to_owned(),
+        Some(id) => {
+            debug_assert!(body.starts_with('{'));
+            format!("{{\"id\": {}, {}", json_string(id), &body[1..])
+        }
+    }
+}
+
+fn push_id(out: &mut String, id: Option<&str>) {
+    if let Some(id) = id {
+        out.push_str(&format!("\"id\": {}, ", json_string(id)));
+    }
+}
+
+fn json_string(s: &str) -> String {
+    serde_json::to_string(s).expect("strings serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_and_full_requests() {
+        let r = parse_request(r#"{"spec": "x"}"#).unwrap();
+        let Request::Schedule(s) = r else {
+            panic!("expected schedule")
+        };
+        assert_eq!(s.scheduler, SchedulerKind::Ftbar);
+        assert_eq!(s.npf, None);
+        assert!(!s.include_schedule);
+
+        let r = parse_request(
+            r#"{"op": "schedule", "id": "a", "spec": "x", "scheduler": "hbp",
+                "npf": 2, "strategy": "naive", "timeout_ms": 50,
+                "include_schedule": true}"#,
+        )
+        .unwrap();
+        let Request::Schedule(s) = r else {
+            panic!("expected schedule")
+        };
+        assert_eq!(s.id.as_deref(), Some("a"));
+        assert_eq!(s.scheduler, SchedulerKind::Hbp);
+        assert_eq!(s.npf, Some(2));
+        assert_eq!(s.strategy, Some(SweepStrategy::Naive));
+        assert_eq!(s.timeout_ms, Some(50));
+        assert!(s.include_schedule);
+
+        assert_eq!(
+            parse_request(r#"{"op": "status"}"#).unwrap(),
+            Request::Status
+        );
+        assert_eq!(
+            parse_request(r#"{"op": "shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "not json",
+            "[1,2]",
+            r#"{"op": "frobnicate"}"#,
+            r#"{"op": "schedule"}"#,
+            r#"{"spec": 7}"#,
+            r#"{"spec": "x", "scheduler": "lpt"}"#,
+            r#"{"spec": "x", "npf": -1}"#,
+            r#"{"spec": "x", "npf": 1.5}"#,
+            r#"{"spec": "x", "strategy": "magic"}"#,
+            r#"{"spec": "x", "timeout_ms": "soon"}"#,
+            r#"{"spec": "x", "include_schedule": "yes"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "expected Err for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn raw_key_separates_response_shaping_fields() {
+        let base = ScheduleRequest {
+            id: None,
+            spec: "s".into(),
+            scheduler: SchedulerKind::Ftbar,
+            npf: None,
+            strategy: None,
+            timeout_ms: None,
+            include_schedule: false,
+        };
+        let mut keys = vec![base.raw_key()];
+        let mut variant = base.clone();
+        variant.scheduler = SchedulerKind::Hbp;
+        keys.push(variant.raw_key());
+        let mut variant = base.clone();
+        variant.npf = Some(0);
+        keys.push(variant.raw_key());
+        let mut variant = base.clone();
+        variant.strategy = Some(SweepStrategy::Clustered);
+        keys.push(variant.raw_key());
+        let mut variant = base.clone();
+        variant.include_schedule = true;
+        keys.push(variant.raw_key());
+        // `id` and `timeout_ms` do NOT shape the cached body.
+        let mut variant = base.clone();
+        variant.id = Some("x".into());
+        variant.timeout_ms = Some(9);
+        assert_eq!(variant.raw_key(), base.raw_key());
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 5, "every shaping field must separate keys");
+    }
+
+    #[test]
+    fn error_rendering_is_stable() {
+        assert_eq!(
+            render_error(Some("r1"), ErrorCode::Timeout, "deadline elapsed"),
+            r#"{"id": "r1", "status": "error", "code": "timeout", "message": "deadline elapsed"}"#
+        );
+        assert_eq!(
+            render_error(None, ErrorCode::BadRequest, "nope"),
+            r#"{"status": "error", "code": "bad_request", "message": "nope"}"#
+        );
+    }
+}

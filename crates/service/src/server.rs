@@ -1,0 +1,780 @@
+//! The long-lived scheduling daemon: listener, admission control, worker
+//! pool, response cache, panic isolation, degradation, clean shutdown.
+//!
+//! Layering (outer to inner):
+//!
+//! * **Listener shell** ([`serve`]) — non-blocking accept loop (Unix
+//!   socket or TCP) polling the shutdown latch, one thread per
+//!   connection, socket read/write timeouts so stalled clients cannot
+//!   pin resources, per-frame byte cap.
+//! * **Frame core** ([`ServerState::handle_frame`]) — parses one request
+//!   line and produces exactly one response line. Pure enough to drive
+//!   directly from tests and the chaos harness without sockets.
+//! * **Worker pool** — bounded `Mutex<VecDeque>` + `Condvar` job queue
+//!   (shed-oldest or reject-new on overflow), workers recycling
+//!   [`EnginePools`] arenas, `catch_unwind` around every job so a
+//!   panicking spec answers `internal_panic` — and is remembered in the
+//!   poisoned set, refusing identical requests without re-running them.
+//! * **Cache** — [`ResponseCache`]: canonical-key response memoization
+//!   with a raw-text fast path; hits skip spec parsing entirely.
+//!
+//! Degradation: when a request reaches a worker with little deadline
+//! headroom or behind a deep queue, and the problem is large, the exact
+//! sweep falls back to [`SweepStrategy::Clustered`] and the response is
+//! flagged `"degraded": true`. Degraded responses are never cached, so
+//! cached bytes always equal the un-pressured direct response.
+
+use std::collections::{HashSet, VecDeque};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ftbar_core::engine::EnginePools;
+use ftbar_core::ftbar::SweepStrategy;
+use ftbar_core::{ftbar, FtbarConfig};
+use ftbar_model::spec;
+
+use crate::cache::{canonical_key, CacheStats, ResponseCache};
+use crate::proto::{
+    parse_request, render_error, render_ok, strategy_name, with_id, ErrorCode, Request,
+    ScheduleRequest,
+};
+use crate::{panic_message, signal, JobResult, SchedulerKind};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listener {
+    /// A Unix-domain socket at this path (default transport).
+    Unix(PathBuf),
+    /// A TCP socket, `HOST:PORT`.
+    Tcp(String),
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Scheduling worker threads.
+    pub workers: usize,
+    /// Bounded work-queue depth; beyond it, backpressure kicks in.
+    pub queue_depth: usize,
+    /// Backpressure policy on a full queue: `true` sheds the oldest
+    /// queued request (answering it `overloaded`), `false` rejects the
+    /// new one.
+    pub shed_oldest: bool,
+    /// Response-cache byte budget; `0` disables caching.
+    pub cache_bytes: usize,
+    /// Default per-request deadline (overridable per request).
+    pub default_timeout_ms: u64,
+    /// Maximum request-frame size in bytes; longer frames answer
+    /// `too_large`.
+    pub max_frame_bytes: usize,
+    /// Socket read/write timeout, so stalled clients release their
+    /// connection thread.
+    pub io_timeout_ms: u64,
+    /// Minimum operation count before degradation is considered (the
+    /// clustered fallback only pays off on large problems).
+    pub degrade_min_ops: usize,
+    /// Deadline headroom below which a worker degrades an eligible job.
+    pub degrade_headroom_ms: u64,
+    /// Queue depth at enqueue time at or above which an eligible job
+    /// degrades.
+    pub degrade_queue_depth: usize,
+    /// Chaos/test hook: a spec containing this marker panics inside the
+    /// worker (see [`crate::BatchConfig::panic_marker`]). `None` in
+    /// production.
+    pub panic_marker: Option<String>,
+    /// Install the SIGTERM/SIGINT handler and poll it in the accept
+    /// loop. The CLI sets this; tests leave it off.
+    pub handle_signals: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_depth: 64,
+            shed_oldest: false,
+            cache_bytes: 8 * 1024 * 1024,
+            default_timeout_ms: 10_000,
+            max_frame_bytes: 1024 * 1024,
+            io_timeout_ms: 10_000,
+            degrade_min_ops: 256,
+            degrade_headroom_ms: 250,
+            degrade_queue_depth: 8,
+            panic_marker: None,
+            handle_signals: false,
+        }
+    }
+}
+
+/// What a worker sends back to the waiting connection thread.
+type WorkerReply = Result<(Arc<str>, bool), (ErrorCode, String)>;
+
+struct Job {
+    req: ScheduleRequest,
+    raw_key: String,
+    deadline: Instant,
+    depth_at_enqueue: usize,
+    reply: mpsc::Sender<WorkerReply>,
+}
+
+/// Per-outcome request counters (reported by `status`).
+#[derive(Debug, Default)]
+struct Counters {
+    ok: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    errors: [AtomicU64; 9],
+}
+
+fn code_index(code: ErrorCode) -> usize {
+    match code {
+        ErrorCode::BadRequest => 0,
+        ErrorCode::TooLarge => 1,
+        ErrorCode::SpecError => 2,
+        ErrorCode::ScheduleError => 3,
+        ErrorCode::Timeout => 4,
+        ErrorCode::Overloaded => 5,
+        ErrorCode::Poisoned => 6,
+        ErrorCode::InternalPanic => 7,
+        ErrorCode::ShuttingDown => 8,
+    }
+}
+
+const CODE_NAMES: [&str; 9] = [
+    "bad_request",
+    "too_large",
+    "spec_error",
+    "schedule_error",
+    "timeout",
+    "overloaded",
+    "poisoned",
+    "internal_panic",
+    "shutting_down",
+];
+
+/// One response line per request line, plus whether the frame asked the
+/// daemon to shut down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameOutcome {
+    /// Write this response and keep serving.
+    Reply(String),
+    /// Write this response, then drain and exit.
+    ShutdownRequested(String),
+}
+
+impl FrameOutcome {
+    /// The response line, whichever variant.
+    pub fn response(&self) -> &str {
+        match self {
+            FrameOutcome::Reply(r) | FrameOutcome::ShutdownRequested(r) => r,
+        }
+    }
+}
+
+/// Shared state of a running daemon. Construct with [`ServerState::new`],
+/// then either drive frames directly ([`ServerState::handle_frame`], with
+/// [`ServerState::spawn_workers`]) or hand it to [`serve`].
+pub struct ServerState {
+    config: ServerConfig,
+    cache: Mutex<ResponseCache>,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    poisoned: Mutex<HashSet<String>>,
+    shutdown: AtomicBool,
+    started: Instant,
+    counters: Counters,
+    in_flight: AtomicUsize,
+    active_connections: AtomicUsize,
+}
+
+impl ServerState {
+    /// Fresh daemon state (no workers yet).
+    pub fn new(config: ServerConfig) -> Arc<Self> {
+        Arc::new(ServerState {
+            cache: Mutex::new(ResponseCache::new(config.cache_bytes)),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            poisoned: Mutex::new(HashSet::new()),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            counters: Counters::default(),
+            in_flight: AtomicUsize::new(0),
+            active_connections: AtomicUsize::new(0),
+            config,
+        })
+    }
+
+    /// The configuration this daemon runs with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Whether shutdown has been requested (by frame or signal).
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Requests shutdown: stop admitting work, wake idle workers.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.queue_cv.notify_all();
+    }
+
+    /// Spawns the scheduling worker pool; the handles join once shutdown
+    /// has been requested and the queue has drained.
+    pub fn spawn_workers(self: &Arc<Self>) -> Vec<std::thread::JoinHandle<()>> {
+        (0..self.config.workers.max(1))
+            .map(|_| {
+                let state = Arc::clone(self);
+                std::thread::spawn(move || worker_loop(&state))
+            })
+            .collect()
+    }
+
+    /// Handles one request frame, producing exactly one response line.
+    ///
+    /// This is the whole daemon minus the sockets: admission control,
+    /// cache, queueing, deadline, poisoning — tests and the chaos harness
+    /// call it directly.
+    pub fn handle_frame(&self, line: &str) -> FrameOutcome {
+        if line.len() > self.config.max_frame_bytes {
+            return FrameOutcome::Reply(self.error(None, ErrorCode::TooLarge, "frame too large"));
+        }
+        let req = match parse_request(line) {
+            Ok(r) => r,
+            Err(msg) => {
+                return FrameOutcome::Reply(self.error(None, ErrorCode::BadRequest, &msg));
+            }
+        };
+        match req {
+            Request::Status => FrameOutcome::Reply(self.render_status()),
+            Request::Shutdown => {
+                self.begin_shutdown();
+                FrameOutcome::ShutdownRequested(
+                    "{\"status\": \"ok\", \"op\": \"shutdown\", \"draining\": true}".to_owned(),
+                )
+            }
+            Request::Schedule(req) => FrameOutcome::Reply(self.handle_schedule(req)),
+        }
+    }
+
+    fn handle_schedule(&self, req: ScheduleRequest) -> String {
+        let id = req.id.clone();
+        let id = id.as_deref();
+        if self.shutting_down() {
+            return self.error(id, ErrorCode::ShuttingDown, "daemon is draining");
+        }
+        let raw_key = req.raw_key();
+
+        // Poisoned specs are refused cheaply, before any work.
+        if self.poisoned.lock().unwrap().contains(&raw_key) {
+            return self.error(
+                id,
+                ErrorCode::Poisoned,
+                "this request previously panicked a worker and is refused",
+            );
+        }
+
+        // Cache fast path: exact raw text, no parsing.
+        if let Some(body) = self.cache.lock().unwrap().get_raw(&raw_key) {
+            self.counters.ok.fetch_add(1, Ordering::Relaxed);
+            return with_id(id, &body);
+        }
+
+        let timeout = Duration::from_millis(
+            req.timeout_ms
+                .unwrap_or(self.config.default_timeout_ms)
+                .max(1),
+        );
+        let deadline = Instant::now() + timeout;
+        let (tx, rx) = mpsc::channel::<WorkerReply>();
+
+        // Admission control under the queue lock.
+        {
+            let mut queue = self.queue.lock().unwrap();
+            if queue.len() >= self.config.queue_depth.max(1) {
+                if self.config.shed_oldest {
+                    if let Some(oldest) = queue.pop_front() {
+                        self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                        let _ = oldest.reply.send(Err((
+                            ErrorCode::Overloaded,
+                            "shed by a newer request (shed-oldest backpressure)".to_owned(),
+                        )));
+                    }
+                } else {
+                    drop(queue);
+                    return self.error(
+                        id,
+                        ErrorCode::Overloaded,
+                        "work queue is full (reject-new backpressure)",
+                    );
+                }
+            }
+            let depth_at_enqueue = queue.len();
+            queue.push_back(Job {
+                req,
+                raw_key,
+                deadline,
+                depth_at_enqueue,
+                reply: tx,
+            });
+        }
+        self.queue_cv.notify_one();
+
+        match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+            Ok(Ok((body, degraded))) => {
+                self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                if degraded {
+                    self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                }
+                with_id(id, &body)
+            }
+            Ok(Err((code, message))) => self.error(id, code, &message),
+            Err(_) => self.error(
+                id,
+                ErrorCode::Timeout,
+                &format!("deadline of {} ms elapsed", timeout.as_millis()),
+            ),
+        }
+    }
+
+    fn error(&self, id: Option<&str>, code: ErrorCode, message: &str) -> String {
+        self.counters.errors[code_index(code)].fetch_add(1, Ordering::Relaxed);
+        render_error(id, code, message)
+    }
+
+    /// Cache statistics snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().unwrap().stats()
+    }
+
+    fn render_status(&self) -> String {
+        let (stats, entries, bytes) = {
+            let cache = self.cache.lock().unwrap();
+            (cache.stats(), cache.len(), cache.used_bytes())
+        };
+        let mut out = String::from("{\"status\": \"ok\", \"op\": \"status\"");
+        out.push_str(&format!(
+            ", \"uptime_ms\": {}",
+            self.started.elapsed().as_millis()
+        ));
+        out.push_str(&format!(
+            ", \"queue_depth\": {}",
+            self.queue.lock().unwrap().len()
+        ));
+        out.push_str(&format!(
+            ", \"in_flight\": {}",
+            self.in_flight.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            ", \"active_connections\": {}",
+            self.active_connections.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(", \"workers\": {}", self.config.workers.max(1)));
+        out.push_str(&format!(
+            ", \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"insertions\": {}, \"entries\": {}, \"bytes\": {}, \"budget\": {}}}",
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            stats.insertions,
+            entries,
+            bytes,
+            self.config.cache_bytes,
+        ));
+        out.push_str(&format!(
+            ", \"requests\": {{\"ok\": {}, \"degraded\": {}, \"shed\": {}",
+            self.counters.ok.load(Ordering::Relaxed),
+            self.counters.degraded.load(Ordering::Relaxed),
+            self.counters.shed.load(Ordering::Relaxed),
+        ));
+        for (i, name) in CODE_NAMES.iter().enumerate() {
+            out.push_str(&format!(
+                ", \"{name}\": {}",
+                self.counters.errors[i].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Why a worker chose (or declined) the degraded path.
+pub(crate) struct Pressure {
+    remaining: Duration,
+    depth_at_enqueue: usize,
+}
+
+fn worker_loop(state: &Arc<ServerState>) {
+    let mut pools = EnginePools::default();
+    loop {
+        let job = {
+            let mut queue = state.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if state.shutting_down() {
+                    return; // queue drained, daemon draining: exit
+                }
+                let (q, _) = state
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap();
+                queue = q;
+            }
+        };
+        state.in_flight.fetch_add(1, Ordering::Relaxed);
+        execute_job(state, job, &mut pools);
+        state.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn execute_job(state: &ServerState, job: Job, pools: &mut EnginePools) {
+    let now = Instant::now();
+    if now >= job.deadline {
+        // The requester has already been answered `timeout`; skip the work.
+        let _ = job.reply.send(Err((
+            ErrorCode::Timeout,
+            "deadline elapsed before execution".to_owned(),
+        )));
+        return;
+    }
+    let pressure = Pressure {
+        remaining: job.deadline.saturating_duration_since(now),
+        depth_at_enqueue: job.depth_at_enqueue,
+    };
+    let taken = std::mem::take(pools);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        compute_response(&job.req, &state.config, Some(&pressure), taken)
+    }));
+    let reply: WorkerReply = match outcome {
+        Ok((result, p)) => {
+            *pools = p;
+            match result {
+                Ok((body, canonical, degraded)) => {
+                    let body: Arc<str> = Arc::from(body.as_str());
+                    if !degraded {
+                        state
+                            .cache
+                            .lock()
+                            .unwrap()
+                            .insert(&job.raw_key, &canonical, &body);
+                    }
+                    Ok((body, degraded))
+                }
+                Err(e) => Err(e),
+            }
+        }
+        Err(payload) => {
+            // Pools died with the panicking closure; restart the arena
+            // and remember the request so it is never re-run.
+            *pools = EnginePools::default();
+            state.poisoned.lock().unwrap().insert(job.raw_key.clone());
+            Err((
+                ErrorCode::InternalPanic,
+                format!("worker panicked: {}", panic_message(payload.as_ref())),
+            ))
+        }
+    };
+    let _ = job.reply.send(reply);
+}
+
+/// A computed schedule answer: `Ok((body, canonical_key, degraded))` or
+/// the error code + message to report.
+pub(crate) type ComputedResponse = Result<(String, String, bool), (ErrorCode, String)>;
+
+/// Computes the full (body, canonical key, degraded) answer for a
+/// schedule request. With `pressure: None` this is the *direct* path:
+/// exactly what an unloaded daemon answers — the chaos harness compares
+/// server bytes against it.
+pub(crate) fn compute_response(
+    req: &ScheduleRequest,
+    config: &ServerConfig,
+    pressure: Option<&Pressure>,
+    pools: EnginePools,
+) -> (ComputedResponse, EnginePools) {
+    if let Some(marker) = &config.panic_marker {
+        if req.spec.contains(marker.as_str()) {
+            panic!("injected panic (marker `{marker}`)");
+        }
+    }
+    let problem = match spec::parse_problem(&req.spec) {
+        Ok(p) => p,
+        Err(e) => {
+            return (
+                Err((ErrorCode::SpecError, format!("spec error: {e}"))),
+                pools,
+            )
+        }
+    };
+    let problem = match req.npf {
+        None => problem,
+        Some(npf) => match problem.with_npf(npf) {
+            Ok(p) => p,
+            Err(e) => {
+                return (
+                    Err((ErrorCode::SpecError, format!("npf override: {e}"))),
+                    pools,
+                )
+            }
+        },
+    };
+
+    // Graceful degradation: under deadline pressure or a deep queue, a
+    // large problem falls back from the exact sweep to the clustered
+    // one. Only when the caller left the strategy choice to the daemon.
+    let exact_requested = matches!(req.strategy, None | Some(SweepStrategy::Adaptive));
+    let degraded = pressure.is_some_and(|p| {
+        exact_requested
+            && req.scheduler == SchedulerKind::Ftbar
+            && problem.alg().op_count() >= config.degrade_min_ops
+            && (p.remaining < Duration::from_millis(config.degrade_headroom_ms)
+                || p.depth_at_enqueue >= config.degrade_queue_depth)
+    });
+
+    let strategy = if degraded {
+        SweepStrategy::Clustered
+    } else {
+        req.strategy.unwrap_or_default()
+    };
+    let (schedule, pools) = match req.scheduler {
+        SchedulerKind::Ftbar => {
+            let ftbar_config = FtbarConfig {
+                sweep: strategy,
+                ..FtbarConfig::default()
+            };
+            match ftbar::schedule_with_pools(&problem, &ftbar_config, pools) {
+                Ok((outcome, pools)) => (outcome.schedule, pools),
+                Err(e) => {
+                    return (
+                        Err((ErrorCode::ScheduleError, format!("schedule error: {e}"))),
+                        EnginePools::default(),
+                    )
+                }
+            }
+        }
+        SchedulerKind::Hbp => {
+            match ftbar_hbp::schedule_with_pools(&problem, &ftbar_hbp::HbpConfig::default(), pools)
+            {
+                Ok(ok) => ok,
+                Err(e) => {
+                    return (
+                        Err((ErrorCode::ScheduleError, format!("schedule error: {e}"))),
+                        EnginePools::default(),
+                    )
+                }
+            }
+        }
+    };
+    let result = JobResult {
+        scheduler: req.scheduler,
+        npf: problem.npf(),
+        ops: problem.alg().op_count(),
+        procs: problem.arch().proc_count(),
+        makespan: schedule.makespan(),
+        completion: schedule.completion(),
+        replicas: schedule.replica_count(),
+        comms: schedule.comm_count(),
+        rtc_met: problem.rtc().map(|rtc| schedule.makespan() <= rtc),
+        schedule: req.include_schedule.then_some(schedule),
+    };
+    // The canonical key uses the *requested* strategy: degraded bodies
+    // are never cached, so the key only ever labels exact responses.
+    let canonical = canonical_key(
+        &problem,
+        req.scheduler,
+        strategy_name(req.strategy),
+        req.include_schedule,
+    );
+    let body = render_ok(None, &result, degraded);
+    (Ok((body, canonical, degraded)), pools)
+}
+
+/// The response an unloaded daemon gives `req`, bypassing every queue and
+/// cache: the byte-identity reference for tests and the chaos harness.
+pub fn direct_response(req: &ScheduleRequest) -> String {
+    let config = ServerConfig::default();
+    let (result, _pools) = compute_response(req, &config, None, EnginePools::default());
+    match result {
+        Ok((body, _canonical, _degraded)) => with_id(req.id.as_deref(), &body),
+        Err((code, message)) => render_error(req.id.as_deref(), code, &message),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Listener shell
+// ---------------------------------------------------------------------------
+
+/// Runs the daemon on `listener` until a `shutdown` request (or, with
+/// [`ServerConfig::handle_signals`], SIGTERM/SIGINT) drains it.
+///
+/// Returns `Ok(())` after a clean drain — the process should then exit 0.
+///
+/// # Errors
+///
+/// Propagates listener setup failures (bind, nonblocking mode). Accept
+/// and per-connection I/O errors are absorbed: a broken client must never
+/// take the daemon down.
+pub fn serve(listener: &Listener, config: ServerConfig) -> std::io::Result<()> {
+    let state = ServerState::new(config);
+    serve_with_state(listener, &state)
+}
+
+/// [`serve`] over caller-constructed state (tests and the chaos harness
+/// keep a handle to inspect counters while the daemon runs).
+pub fn serve_with_state(listener: &Listener, state: &Arc<ServerState>) -> std::io::Result<()> {
+    if state.config.handle_signals {
+        signal::install();
+    }
+    let workers = state.spawn_workers();
+    match listener {
+        Listener::Unix(path) => {
+            // A stale socket file from a crashed run would fail the bind.
+            let _ = std::fs::remove_file(path);
+            let l = UnixListener::bind(path)?;
+            l.set_nonblocking(true)?;
+            accept_loop(state, || match l.accept() {
+                Ok((stream, _)) => {
+                    let timeout = Duration::from_millis(state.config.io_timeout_ms.max(1));
+                    let _ = stream.set_read_timeout(Some(timeout));
+                    let _ = stream.set_write_timeout(Some(timeout));
+                    let reader = stream.try_clone().ok()?;
+                    Some((
+                        Box::new(reader) as Box<dyn Read + Send>,
+                        Box::new(stream) as Box<dyn Write + Send>,
+                    ))
+                }
+                Err(_) => None,
+            });
+            let _ = std::fs::remove_file(path);
+        }
+        Listener::Tcp(addr) => {
+            let l = TcpListener::bind(addr)?;
+            l.set_nonblocking(true)?;
+            accept_loop(state, || match l.accept() {
+                Ok((stream, _)) => {
+                    let timeout = Duration::from_millis(state.config.io_timeout_ms.max(1));
+                    let _ = stream.set_read_timeout(Some(timeout));
+                    let _ = stream.set_write_timeout(Some(timeout));
+                    let _ = stream.set_nodelay(true);
+                    let reader = stream.try_clone().ok()?;
+                    Some((
+                        Box::new(reader) as Box<dyn Read + Send>,
+                        Box::new(stream) as Box<dyn Write + Send>,
+                    ))
+                }
+                Err(_) => None,
+            });
+        }
+    }
+
+    // Drain: workers exit once the queue is empty, connections once their
+    // client hangs up or times out (bounded by io_timeout).
+    state.begin_shutdown();
+    for w in workers {
+        let _ = w.join();
+    }
+    let grace = Duration::from_millis(2 * state.config.io_timeout_ms.max(1));
+    let drain_start = Instant::now();
+    while state.active_connections.load(Ordering::Relaxed) > 0 && drain_start.elapsed() < grace {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    Ok(())
+}
+
+/// Polls `accept` until shutdown; `accept` returns a reader/writer pair
+/// for each new connection or `None` when no connection is ready.
+fn accept_loop<F>(state: &Arc<ServerState>, accept: F)
+where
+    F: Fn() -> Option<(Box<dyn Read + Send>, Box<dyn Write + Send>)>,
+{
+    loop {
+        if state.shutting_down() || (state.config.handle_signals && signal::requested()) {
+            state.begin_shutdown();
+            return;
+        }
+        match accept() {
+            Some((reader, writer)) => {
+                let state = Arc::clone(state);
+                state.active_connections.fetch_add(1, Ordering::Relaxed);
+                std::thread::spawn(move || {
+                    handle_connection(&state, reader, writer);
+                    state.active_connections.fetch_sub(1, Ordering::Relaxed);
+                });
+            }
+            None => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Serves one connection: reads byte-capped JSON lines, answers each with
+/// exactly one response line. Any I/O error (including a stalled peer
+/// tripping the socket timeout) closes the connection; the daemon lives
+/// on.
+fn handle_connection(
+    state: &ServerState,
+    reader: Box<dyn Read + Send>,
+    writer: Box<dyn Write + Send>,
+) {
+    let mut reader = BufReader::new(reader);
+    let mut writer = BufWriter::new(writer);
+    let limit = state.config.max_frame_bytes as u64 + 1;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        let n = match (&mut reader).take(limit).read_until(b'\n', &mut buf) {
+            Ok(n) => n,
+            Err(_) => return, // stalled or broken client
+        };
+        if n == 0 {
+            return; // EOF
+        }
+        if buf.last() != Some(&b'\n') && n as u64 >= limit {
+            // Oversized frame: answer and close — the stream cannot be
+            // resynchronized to the next frame boundary.
+            let resp = state.error(None, ErrorCode::TooLarge, "frame exceeds max_frame_bytes");
+            let _ = writeln!(writer, "{resp}");
+            let _ = writer.flush();
+            return;
+        }
+        let line = match std::str::from_utf8(&buf) {
+            Ok(s) => s.trim_end_matches(['\n', '\r']).trim(),
+            Err(_) => {
+                let resp = state.error(None, ErrorCode::BadRequest, "frame is not UTF-8");
+                if writeln!(writer, "{resp}").is_err() || writer.flush().is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if line.is_empty() {
+            continue;
+        }
+        match state.handle_frame(line) {
+            FrameOutcome::Reply(resp) => {
+                if writeln!(writer, "{resp}").is_err() {
+                    return;
+                }
+                // Flush only when no pipelined frame is already buffered:
+                // a deep pipeline gets its replies batched into a few
+                // syscalls, while strict request/response still sees the
+                // reply immediately (the read buffer is empty then).
+                if reader.buffer().is_empty() && writer.flush().is_err() {
+                    return;
+                }
+            }
+            FrameOutcome::ShutdownRequested(resp) => {
+                let _ = writeln!(writer, "{resp}");
+                let _ = writer.flush();
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Minimal SIGTERM/SIGINT latch for the daemon's clean-shutdown path.
+//!
+//! The only unsafe code in the crate: registering a C signal handler that
+//! sets an `AtomicBool`. Everything observable from Rust goes through
+//! [`requested`], which the accept loop polls between accepts.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: one relaxed atomic store, nothing else.
+        REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is installed once with a handler that only
+        // performs an atomic store, which is async-signal-safe.
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGTERM/SIGINT handler (idempotent). No-op off Unix.
+pub fn install() {
+    imp::install();
+}
+
+/// Whether a termination signal has been received since [`install`].
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Clears the latch (test support).
+pub fn reset() {
+    REQUESTED.store(false, Ordering::Relaxed);
+}

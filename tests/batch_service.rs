@@ -59,6 +59,7 @@ fn jobs_1_and_jobs_4_produce_identical_json() {
         &BatchConfig {
             jobs: 1,
             keep_schedules: true,
+            ..BatchConfig::default()
         },
     );
     let parallel = run_batch(
@@ -66,6 +67,7 @@ fn jobs_1_and_jobs_4_produce_identical_json() {
         &BatchConfig {
             jobs: 4,
             keep_schedules: true,
+            ..BatchConfig::default()
         },
     );
     assert_eq!(
@@ -102,6 +104,7 @@ fn batched_schedules_equal_direct_scheduling() {
         &BatchConfig {
             jobs: 4,
             keep_schedules: true,
+            ..BatchConfig::default()
         },
     );
     for (job, o) in jobs.iter().zip(&out) {
@@ -115,6 +118,56 @@ fn batched_schedules_equal_direct_scheduling() {
         let got = o.result.as_ref().expect("job succeeds");
         assert_eq!(got.schedule.as_ref().unwrap(), &expected, "{}", o.name);
         assert_eq!(got.makespan, expected.makespan());
+    }
+}
+
+#[test]
+fn panicking_job_leaves_other_outputs_byte_identical() {
+    // Baseline: the clean batch, serial.
+    let clean = mixed_jobs();
+    let baseline = render_json(&run_batch(&clean, &BatchConfig::default()));
+
+    // Same batch plus one job rigged to panic inside the job boundary.
+    let mut jobs = clean.clone();
+    jobs.insert(
+        3,
+        JobSpec {
+            name: "rigged-to-panic".into(),
+            input: JobInput::Problem(Box::new(paper_example())),
+            scheduler: SchedulerKind::Ftbar,
+            npf: None,
+        },
+    );
+    let config = BatchConfig {
+        panic_marker: Some("rigged-to-panic".into()),
+        ..BatchConfig::default()
+    };
+    for workers in [1, 4] {
+        let out = run_batch(
+            &jobs,
+            &BatchConfig {
+                jobs: workers,
+                ..config.clone()
+            },
+        );
+        assert_eq!(out.len(), jobs.len());
+        let panicked = &out[3];
+        let err = panicked.result.as_ref().unwrap_err();
+        assert!(
+            err.contains("panicked"),
+            "panic must land in the job's own slot: {err}"
+        );
+        // Every other job's rendered output is byte-identical to the
+        // panic-free baseline.
+        let mut rest: Vec<_> = out
+            .iter()
+            .filter(|o| o.name != "rigged-to-panic")
+            .cloned()
+            .collect();
+        for (i, o) in rest.iter_mut().enumerate() {
+            o.index = i; // re-pack indices to match the baseline layout
+        }
+        assert_eq!(render_json(&rest), baseline, "workers={workers}");
     }
 }
 

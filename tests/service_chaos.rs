@@ -1,0 +1,81 @@
+//! Chaos campaigns against the real daemon: seeded fault injection —
+//! worker panics, malformed/truncated/oversized frames, stalled clients,
+//! cache-pressure storms — with three standing invariants: the daemon
+//! stays live, uninjected responses are byte-identical to direct
+//! scheduling, and every injected failure maps to a documented error code.
+
+use ftbar::model::{paper_example, spec};
+use ftbar::service::chaos::{self, ChaosConfig};
+use ftbar::workload::{arch, layered, timing, LayeredConfig, TimingConfig};
+
+fn spec_pool() -> Vec<String> {
+    let mut pool = vec![spec::print_problem(&paper_example())];
+    for (n_ops, seed) in [(12usize, 11u64), (20, 23)] {
+        let alg = layered(&LayeredConfig {
+            n_ops,
+            seed,
+            ..Default::default()
+        });
+        let problem = timing(
+            alg,
+            arch::fully_connected(3),
+            &TimingConfig {
+                npf: 1,
+                seed,
+                ..Default::default()
+            },
+        )
+        .expect("valid problem");
+        pool.push(spec::print_problem(&problem));
+    }
+    pool
+}
+
+fn socket(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ftbar-chaos-{tag}-{}.sock", std::process::id()))
+}
+
+#[test]
+fn chaos_campaign_seed_1_is_green() {
+    let config = ChaosConfig::quick(1, 60, spec_pool(), socket("s1"));
+    let report = chaos::run(&config);
+    report.assert_green();
+    // 60 events over the fixed distribution exercise every injection kind.
+    assert!(report.normal > 0, "no normal traffic: {report:?}");
+    assert!(report.panics > 0, "no panic injections: {report:?}");
+    assert!(report.malformed > 0, "no malformed frames: {report:?}");
+    assert!(report.truncated > 0, "no truncated frames: {report:?}");
+    assert!(report.oversized > 0, "no oversized frames: {report:?}");
+    assert!(report.stalled > 0, "no stalled clients: {report:?}");
+    assert!(report.storm > 0, "no cache-pressure storms: {report:?}");
+}
+
+#[test]
+fn chaos_campaign_seed_2_is_green() {
+    let config = ChaosConfig::quick(2, 40, spec_pool(), socket("s2"));
+    chaos::run(&config).assert_green();
+}
+
+#[test]
+fn chaos_campaigns_are_deterministic() {
+    let a = chaos::run(&ChaosConfig::quick(7, 25, spec_pool(), socket("d1")));
+    let b = chaos::run(&ChaosConfig::quick(7, 25, spec_pool(), socket("d2")));
+    a.assert_green();
+    b.assert_green();
+    let counts = |r: &chaos::ChaosReport| {
+        (
+            r.normal,
+            r.panics,
+            r.malformed,
+            r.truncated,
+            r.oversized,
+            r.stalled,
+            r.storm,
+        )
+    };
+    assert_eq!(
+        counts(&a),
+        counts(&b),
+        "same seed must inject the same event sequence"
+    );
+}

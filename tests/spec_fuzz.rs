@@ -1,0 +1,154 @@
+//! Adversarial-input hardening for the surfaces that become network-facing
+//! with the scheduling service: the hand-rolled spec parser and the vendored
+//! JSON parser. Every mutation — truncation, garbage injection, deep
+//! nesting, duplicate keys, hostile number literals — must come back as
+//! `Ok`/`Err`, never a panic or a hang.
+
+use ftbar::model::spec::parse_problem;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const BASE: &str = "algorithm a { op X; op Y kind extio; dep X -> Y size 2; }
+architecture m { proc P1; proc P2; link L: P1 -- P2; }
+exec { X on P1 = 1; X on P2 = 1.5; Y on P1 = 2; Y on P2 = inf; }
+comm { X -> Y on L = 0.5; }
+rtc 10; npf 1;";
+
+/// Bytes we splice into specs: structure characters, digits, and a few
+/// multi-byte UTF-8 sequences to stress char-boundary handling.
+const GARBAGE: &[&str] = &[
+    "{", "}", ";", "->", "--", "=", ":", "0", "9", ".", "inf", "op", "dep", "exec", "\u{0}",
+    "\u{e9}", "\u{2206}", "\n", "\t", "\"", "\\",
+];
+
+fn truncate_at_char_boundary(s: &str, mut at: usize) -> &str {
+    at = at.min(s.len());
+    while at > 0 && !s.is_char_boundary(at) {
+        at -= 1;
+    }
+    &s[..at]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Truncating a valid spec at any byte must fail cleanly (or, for
+    /// whole-spec prefixes that happen to stay well-formed, succeed).
+    #[test]
+    fn truncated_specs_never_panic(at in 0usize..=BASE.len()) {
+        let _ = parse_problem(truncate_at_char_boundary(BASE, at));
+    }
+
+    /// Splicing random garbage fragments into a valid spec must fail
+    /// cleanly; the parser may not panic, abort, or loop forever.
+    #[test]
+    fn garbage_spliced_specs_never_panic(seed in 0u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut spec = BASE.to_string();
+        for _ in 0..rng.gen_range(1usize..8) {
+            let frag = GARBAGE[rng.gen_range(0usize..GARBAGE.len())];
+            let mut at = rng.gen_range(0usize..=spec.len());
+            while !spec.is_char_boundary(at) {
+                at -= 1;
+            }
+            spec.insert_str(at, frag);
+        }
+        let _ = parse_problem(&spec);
+    }
+
+    /// Hostile number literals (huge digit strings overflow f64 to
+    /// infinity; tiny/zero sizes violate model invariants) must surface as
+    /// parse errors, not assertion failures inside the model layer.
+    #[test]
+    fn hostile_numbers_never_panic(zeros in 1usize..500, frac in 0usize..6) {
+        let big = format!("1{}", "0".repeat(zeros));
+        let small = format!("0.{}1", "0".repeat(frac));
+        for lit in [big.as_str(), small.as_str(), "0", "0.0"] {
+            for tmpl in [
+                format!("{BASE} rtc {lit};"),
+                BASE.replace("size 2", &format!("size {lit}")),
+                BASE.replace("npf 1", &format!("npf {lit}")),
+                BASE.replace("= 1.5", &format!("= {lit}")),
+            ] {
+                let _ = parse_problem(&tmpl);
+            }
+        }
+    }
+
+    /// Duplicate keys at every level: repeated sections, repeated op/proc
+    /// names, repeated exec/comm entries. Must be a clean `Err` (or a
+    /// last-write-wins `Ok` for table entries), never a panic.
+    #[test]
+    fn duplicate_keys_never_panic(which in 0usize..6, reps in 2usize..5) {
+        let spec = match which {
+            0 => format!("{} {}", BASE, "algorithm b { op Z; }".repeat(reps)),
+            1 => BASE.replace("op X;", &"op X;".repeat(reps)),
+            2 => BASE.replace("proc P1;", &"proc P1;".repeat(reps)),
+            3 => BASE.replace("X on P1 = 1;", &"X on P1 = 1;".repeat(reps)),
+            4 => BASE.replace("X -> Y on L = 0.5;", &"X -> Y on L = 0.5;".repeat(reps)),
+            _ => format!("{} {}", BASE, "npf 1;".repeat(reps)),
+        };
+        let _ = parse_problem(&spec);
+    }
+
+    /// Deeply "nested" brace storms. The grammar is non-recursive, so this
+    /// must fail fast with a syntax error regardless of depth.
+    #[test]
+    fn brace_storms_never_panic_or_hang(depth in 1usize..2_000, which in 0usize..3) {
+        let spec = match which {
+            0 => format!("algorithm a {}", "{".repeat(depth)),
+            1 => format!("algorithm a {} op X; {}", "{".repeat(depth), "}".repeat(depth)),
+            _ => "}".repeat(depth),
+        };
+        let _ = parse_problem(&spec);
+    }
+}
+
+/// Directed regressions for panics found by the fuzz pass: each of these
+/// inputs used to trip an assert inside `Time::from_units` or
+/// `Alg::dep_sized` before the parser validated its numbers.
+#[test]
+fn former_panic_vectors_are_clean_errors() {
+    let huge = format!("1{}", "0".repeat(400)); // parses to f64::INFINITY
+    for spec in [
+        format!("{BASE} rtc {huge};"),
+        BASE.replace("rtc 10", &format!("rtc {huge}")),
+        BASE.replace("size 2", "size 0"),
+        BASE.replace("size 2", &format!("size {huge}")),
+    ] {
+        assert!(parse_problem(&spec).is_err(), "expected Err for {spec:.80}");
+    }
+}
+
+/// The vendored JSON parser backs the service's request frames: deep
+/// nesting must be rejected with an error instead of overflowing the stack,
+/// and assorted malformed frames must all fail cleanly.
+#[test]
+fn json_parser_survives_adversarial_input() {
+    let deep = format!("{}{}", "[".repeat(200_000), "]".repeat(200_000));
+    assert!(serde_json::from_str::<serde::Value>(&deep).is_err());
+    let deep_obj = format!("{}1{}", "{\"k\":".repeat(100_000), "}".repeat(100_000));
+    assert!(serde_json::from_str::<serde::Value>(&deep_obj).is_err());
+
+    for bad in [
+        "",
+        "{",
+        "[1,",
+        "{\"a\":}",
+        "\"\\u12",
+        "\"\\ud800\"",
+        "nul",
+        "- 1",
+        "{\"a\":1,}",
+        "\u{0}",
+    ] {
+        assert!(
+            serde_json::from_str::<serde::Value>(bad).is_err(),
+            "expected Err for {bad:?}"
+        );
+    }
+
+    // Duplicate keys parse (first-wins lookup via `Value::get`), no panic.
+    let v: serde::Value = serde_json::from_str("{\"a\":1,\"a\":2}").unwrap();
+    assert!(v.get("a").is_some());
+}

@@ -39,6 +39,18 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl crate::Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, crate::Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Value {
     /// Looks up `key` when `self` is an object.
     pub fn get(&self, key: &str) -> Option<&Value> {

@@ -41,6 +41,7 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.parse_value()?;
@@ -150,9 +151,14 @@ fn write_string(out: &mut String, s: &str) {
 // Parser
 // --------------------------------------------------------------------------
 
+/// Maximum container nesting the parser accepts. Deeper input returns an
+/// error instead of risking a stack overflow on adversarial payloads.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -210,7 +216,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::custom("JSON nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn parse_array(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        let v = self.parse_array_inner();
+        self.depth -= 1;
+        v
+    }
+
+    fn parse_array_inner(&mut self) -> Result<Value, Error> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -234,6 +255,13 @@ impl Parser<'_> {
     }
 
     fn parse_object(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        let v = self.parse_object_inner();
+        self.depth -= 1;
+        v
+    }
+
+    fn parse_object_inner(&mut self) -> Result<Value, Error> {
         self.expect(b'{')?;
         let mut entries = Vec::new();
         self.skip_ws();
@@ -415,5 +443,22 @@ mod tests {
         assert!(from_str::<u32>("{").is_err());
         assert!(from_str::<u32>("12 34").is_err());
         assert!(from_str::<String>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(from_str::<serde::Value>(&deep).is_err());
+        let deep_obj = "{\"k\":".repeat(50_000) + "1" + &"}".repeat(50_000);
+        assert!(from_str::<serde::Value>(&deep_obj).is_err());
+    }
+
+    #[test]
+    fn nesting_at_limit_parses() {
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(from_str::<serde::Value>(&ok).is_ok());
+        // Siblings do not accumulate depth.
+        let siblings = "[[1],[2],[3]]";
+        assert!(from_str::<serde::Value>(siblings).is_ok());
     }
 }
