@@ -14,6 +14,12 @@
 //!   [--out PATH]` — contingency campaign: exhaustive ≤Npf fault sweep,
 //!   sampled beyond-Npf sweep, reliability report with a PASS/FAIL
 //!   fault-tolerance certificate (exit 1 on FAIL);
+//! * `ftbar reschedule <spec> --edit JSON [--npf N] [--strategy S]
+//!   [--verify]` — schedule a problem, apply one edit (same JSON shape as
+//!   the daemon's `reschedule` op) and delta-repair the schedule instead
+//!   of re-running the pipeline, reporting the invalidation frontier;
+//!   `--verify` re-schedules the edited problem from scratch and checks
+//!   the repair is bit-identical;
 //! * `ftbar batch <list-file> [--jobs N] [--hbp] [--npf N] [--schedules]
 //!   [--out PATH]` — schedule many independent spec files concurrently
 //!   through the batch service (deterministic JSON results in submission
@@ -96,6 +102,8 @@ USAGE:
   ftbar scenarios <spec-file> [--npf N] [--hbp] [--beyond K] [--samples N]
                  [--cap N] [--links] [--jitter FRAC] [--jitter-samples N]
                  [--deadline T] [--seed S] [--jobs N] [--json] [--out PATH]
+  ftbar reschedule <spec-file> --edit JSON [--npf N] [--verify]
+                 [--strategy adaptive|incremental|naive|clustered]
   ftbar batch    <list-file> [--jobs N] [--hbp] [--npf N] [--schedules] [--out PATH]
   ftbar gen      [--n N] [--procs P] [--topology full|ring|bus|mesh:WxH|hypercube:D]
                  [--ccr X] [--npf N] [--seed S] [--het H]
@@ -118,6 +126,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("scenarios") => cmd_scenarios(&args[1..]),
+        Some("reschedule") => cmd_reschedule(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -267,6 +276,19 @@ fn parse_time(s: &str, what: &str) -> Result<Time, CliError> {
     s.parse().map_err(|_| err(format!("invalid {what}: `{s}`")))
 }
 
+/// Parses the shared `--strategy` flag value.
+fn parse_strategy(s: Option<&str>) -> Result<ftbar_core::SweepStrategy, CliError> {
+    match s {
+        None | Some("adaptive") => Ok(ftbar_core::SweepStrategy::Adaptive),
+        Some("incremental") => Ok(ftbar_core::SweepStrategy::Incremental),
+        Some("naive") => Ok(ftbar_core::SweepStrategy::Naive),
+        Some("clustered") => Ok(ftbar_core::SweepStrategy::Clustered),
+        Some(other) => Err(err(format!(
+            "invalid strategy: `{other}` (expected adaptive, incremental, naive, or clustered)"
+        ))),
+    }
+}
+
 fn cmd_schedule(rest: &[String]) -> Result<String, CliError> {
     let mut npf: Option<u32> = None;
     let mut use_hbp = false;
@@ -311,17 +333,7 @@ fn cmd_schedule(rest: &[String]) -> Result<String, CliError> {
     let path = one_file(&positional, "schedule", "spec file")?;
     let problem = load_problem(path, npf)?;
     let gantt_w = gantt_w.get();
-    let sweep = match strategy.as_deref() {
-        None | Some("adaptive") => ftbar_core::SweepStrategy::Adaptive,
-        Some("incremental") => ftbar_core::SweepStrategy::Incremental,
-        Some("naive") => ftbar_core::SweepStrategy::Naive,
-        Some("clustered") => ftbar_core::SweepStrategy::Clustered,
-        Some(other) => {
-            return Err(err(format!(
-                "invalid strategy: `{other}` (expected adaptive, incremental, naive, or clustered)"
-            )))
-        }
-    };
+    let sweep = parse_strategy(strategy.as_deref())?;
 
     let schedule = if use_hbp {
         ftbar_hbp::schedule(&problem).map_err(|e| err(e.to_string()))?
@@ -734,6 +746,98 @@ fn cmd_scenarios(rest: &[String]) -> Result<String, CliError> {
             output: Some(text),
         })
     }
+}
+
+fn cmd_reschedule(rest: &[String]) -> Result<String, CliError> {
+    let mut npf: Option<u32> = None;
+    let mut strategy: Option<String> = None;
+    let mut edit_json: Option<String> = None;
+    let mut verify = false;
+    let positional = parse_args(
+        rest,
+        &mut [
+            opt_val("npf", "npf", &mut npf),
+            opt_val("strategy", "strategy", &mut strategy),
+            opt_val("edit", "edit JSON", &mut edit_json),
+            flag("verify", &mut verify),
+        ],
+    )?;
+    let path = one_file(&positional, "reschedule", "spec file")?;
+    let problem = load_problem(path, npf)?;
+    let sweep = parse_strategy(strategy.as_deref())?;
+    let edit_json = edit_json.ok_or_else(|| err("reschedule requires --edit JSON"))?;
+    let edit = ftbar_service::proto::parse_edit_json(&edit_json).map_err(err)?;
+
+    let config = FtbarConfig {
+        sweep,
+        ..FtbarConfig::default()
+    };
+    let (base, artifacts) =
+        ftbar_core::schedule_retained(&problem, &config).map_err(|e| err(e.to_string()))?;
+    let outcome = ftbar_core::reschedule(&artifacts, &edit).map_err(|e| err(e.to_string()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "base: makespan = {}, replicas = {}, comms = {}",
+        base.makespan(),
+        base.replica_count(),
+        base.comm_count()
+    );
+    let _ = writeln!(out, "edit: {}", edit.describe());
+    let r = &outcome.report;
+    if r.fell_back {
+        let _ = writeln!(
+            out,
+            "repair: full fallback ({})",
+            r.reason.unwrap_or("unknown")
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "repair: kept {} of {} placement steps, replayed {}",
+            r.frontier,
+            r.steps_total,
+            r.steps_replayed()
+        );
+    }
+    let repaired = &outcome.schedule;
+    let _ = writeln!(
+        out,
+        "edited: makespan = {}, replicas = {}, comms = {}",
+        repaired.makespan(),
+        repaired.replica_count(),
+        repaired.comm_count()
+    );
+    if let Some(rtc) = outcome.artifacts.problem().rtc() {
+        let _ = writeln!(
+            out,
+            "rtc = {} -> {}",
+            rtc,
+            if repaired.makespan() <= rtc {
+                "met"
+            } else {
+                "MISSED"
+            }
+        );
+    }
+    if verify {
+        let edited = edit.apply(&problem).map_err(|e| err(e.to_string()))?;
+        let scratch = ftbar::schedule_with(&edited, &config)
+            .map_err(|e| err(e.to_string()))?
+            .schedule;
+        if scratch == *repaired {
+            out.push_str("verify: repair is bit-identical to a from-scratch run\n");
+        } else {
+            out.push_str("verify: REPAIR DIVERGED from the from-scratch run\n");
+            return Err(CliError {
+                message: out,
+                code: 1,
+                output: None,
+            });
+        }
+    }
+    Ok(out)
 }
 
 fn cmd_batch(rest: &[String]) -> Result<String, CliError> {
@@ -1295,6 +1399,65 @@ mod tests {
         }
         let e = run_strs(&["gen", "--procs", "2", "--topology", "ring"]).unwrap_err();
         assert!(e.message.contains("at least 3"));
+    }
+
+    #[test]
+    fn reschedule_repairs_and_verifies() {
+        let path = example_file();
+        let p = path.to_str().unwrap();
+        // A timing tweak on the sink operation repairs in place.
+        let out = run_strs(&[
+            "reschedule",
+            p,
+            "--edit",
+            "{\"kind\": \"tweak_exec\", \"op\": \"I\", \"proc\": \"P1\", \"units\": 4.0}",
+            "--verify",
+        ])
+        .unwrap();
+        assert!(out.contains("edit: tweak_exec|I|P1|4"), "{out}");
+        assert!(out.contains("repair:"), "{out}");
+        assert!(out.contains("bit-identical"), "{out}");
+
+        // A structural edit falls back to a full run — and still verifies.
+        let out = run_strs(&[
+            "reschedule",
+            p,
+            "--edit",
+            "{\"kind\": \"set_npf\", \"npf\": 0}",
+            "--verify",
+        ])
+        .unwrap();
+        assert!(out.contains("full fallback (structural edit)"), "{out}");
+        assert!(out.contains("bit-identical"), "{out}");
+    }
+
+    #[test]
+    fn reschedule_rejects_bad_usage() {
+        let path = example_file();
+        let p = path.to_str().unwrap();
+        assert!(run_strs(&["reschedule", p])
+            .unwrap_err()
+            .message
+            .contains("requires --edit"));
+        assert!(run_strs(&["reschedule", p, "--edit", "not json"])
+            .unwrap_err()
+            .message
+            .contains("invalid JSON"));
+        assert!(
+            run_strs(&["reschedule", p, "--edit", "{\"kind\": \"warp\"}"])
+                .unwrap_err()
+                .message
+                .contains("unknown edit kind")
+        );
+        // Well-formed JSON, inapplicable edit: the core error surfaces.
+        let e = run_strs(&[
+            "reschedule",
+            p,
+            "--edit",
+            "{\"kind\": \"tweak_exec\", \"op\": \"Zz\", \"proc\": \"P1\", \"units\": 1.0}",
+        ])
+        .unwrap_err();
+        assert!(e.message.contains("unknown operation"), "{}", e.message);
     }
 
     #[test]

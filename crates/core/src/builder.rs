@@ -304,6 +304,37 @@ pub struct BuilderPools {
     seg_comms: Vec<Vec<Comm>>,
 }
 
+/// The entire mutable state of a [`ScheduleBuilder`], detached from its
+/// problem reference — every timeline, booked replica and comm, survival
+/// bitset, and recycling pool, exactly as the builder left them.
+///
+/// Captured with [`ScheduleBuilder::into_state`] at the end of a run and
+/// re-attached later with [`ScheduleBuilder::from_state`], this is the
+/// retained substrate of incremental re-scheduling: cloning the state,
+/// re-attaching it to an edited (timing-compatible) problem, and rolling
+/// back to a recorded [`Checkpoint`] reproduces the exact builder a
+/// from-scratch run of the edited problem would have at that step.
+#[derive(Debug, Clone)]
+pub struct BuilderState {
+    proc_tl: Vec<Timeline<ReplicaId>>,
+    link_tl: Vec<Timeline<(CommId, usize)>>,
+    replicas: Vec<Replica>,
+    comms: Vec<Comm>,
+    replicas_of: Vec<Vec<ReplicaId>>,
+    patterns: Vec<u64>,
+    surv: Vec<Vec<u64>>,
+    fully_live: Vec<bool>,
+    plan_buf: PlanBuf,
+    plan_scratch: ProbeScratch,
+    last_lip: Option<OpId>,
+    preds: Vec<(DepId, OpId)>,
+    pred_off: Vec<u32>,
+    mutations: u64,
+    hops_pool: Vec<Vec<BookedHop>>,
+    surv_pool: Vec<Vec<u64>>,
+    seg_comms_pool: Vec<Vec<Comm>>,
+}
+
 impl<'p> ScheduleBuilder<'p> {
     /// Creates an empty builder for `problem`.
     pub fn new(problem: &'p Problem) -> Self {
@@ -357,6 +388,74 @@ impl<'p> ScheduleBuilder<'p> {
             hops_pool: pools.hops,
             surv_pool: pools.surv,
             seg_comms_pool: pools.seg_comms,
+        }
+    }
+
+    /// Detaches the builder's entire mutable state from its problem
+    /// reference (see [`BuilderState`]). The inverse of
+    /// [`ScheduleBuilder::from_state`].
+    pub fn into_state(self) -> BuilderState {
+        BuilderState {
+            proc_tl: self.proc_tl,
+            link_tl: self.link_tl,
+            replicas: self.replicas,
+            comms: self.comms,
+            replicas_of: self.replicas_of,
+            patterns: self.patterns,
+            surv: self.surv,
+            fully_live: self.fully_live,
+            plan_buf: self.plan_buf,
+            plan_scratch: self.plan_scratch,
+            last_lip: self.last_lip,
+            preds: self.preds,
+            pred_off: self.pred_off,
+            mutations: self.mutations,
+            hops_pool: self.hops_pool,
+            surv_pool: self.surv_pool,
+            seg_comms_pool: self.seg_comms_pool,
+        }
+    }
+
+    /// Re-attaches a detached [`BuilderState`] to `problem`, restoring a
+    /// fully usable builder.
+    ///
+    /// `problem` need not be the instance the state was captured from, but
+    /// it must be *booking-compatible* with it: same operation / processor
+    /// / link / dependency counts, same scheduling DAG, same exec/comm
+    /// allowed-entry pattern (hence the same route table shape), and the
+    /// same `Npf`. Timing *values* may differ — that is the incremental
+    /// reschedule contract: bookings made before the edit's invalidation
+    /// frontier are identical under both problems, and everything after
+    /// the frontier is rolled back before the builder is driven again.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the problem's dimensions do not match
+    /// the state's.
+    pub fn from_state(problem: &'p Problem, state: BuilderState) -> Self {
+        debug_assert_eq!(state.proc_tl.len(), problem.arch().proc_count());
+        debug_assert_eq!(state.link_tl.len(), problem.arch().link_count());
+        debug_assert_eq!(state.replicas_of.len(), problem.alg().op_count());
+        debug_assert_eq!(state.pred_off.len(), problem.alg().op_count() + 1);
+        ScheduleBuilder {
+            problem,
+            proc_tl: state.proc_tl,
+            link_tl: state.link_tl,
+            replicas: state.replicas,
+            comms: state.comms,
+            replicas_of: state.replicas_of,
+            patterns: state.patterns,
+            surv: state.surv,
+            fully_live: state.fully_live,
+            plan_buf: state.plan_buf,
+            plan_scratch: state.plan_scratch,
+            last_lip: state.last_lip,
+            preds: state.preds,
+            pred_off: state.pred_off,
+            mutations: state.mutations,
+            hops_pool: state.hops_pool,
+            surv_pool: state.surv_pool,
+            seg_comms_pool: state.seg_comms_pool,
         }
     }
 

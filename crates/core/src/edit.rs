@@ -1,0 +1,706 @@
+//! Problem edits — the delta half of incremental re-scheduling.
+//!
+//! A [`ProblemEdit`] is a small, named change to an existing
+//! [`Problem`]: a timing tweak, a processor or link going down or coming
+//! back, an operation added or removed, a different `Npf`.
+//! [`ProblemEdit::apply`] materializes the edited problem through the
+//! normal [`Problem::builder`] validation, so an edited problem is exactly
+//! as trustworthy as a freshly parsed one.
+//!
+//! Edits split into two classes (see [`ProblemEdit::is_structural`]):
+//!
+//! * **Timing tweaks** ([`ProblemEdit::TweakExec`],
+//!   [`ProblemEdit::TweakComm`]) change table *values* without changing
+//!   the graph, the allowed-entry pattern, or `Npf`. These are the edits
+//!   [`crate::reschedule()`] can repair incrementally.
+//! * **Structural edits** (everything else) may change dimensions, the
+//!   route table, or the replication level; repair falls back to a full
+//!   run for them.
+//!
+//! Entities are addressed by *name* (operation, processor, link names),
+//! which is what the CLI and the service protocol speak; resolution
+//! happens against the problem being edited.
+
+use std::fmt;
+
+use ftbar_model::{Alg, CommTable, ExecTable, ModelError, Problem, Time};
+
+/// A small, named change to a [`Problem`]. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProblemEdit {
+    /// Changes the execution time of an operation on one processor. The
+    /// pair must already be allowed — use [`ProblemEdit::AllowProc`] to
+    /// open a forbidden pair (that is a structural change).
+    TweakExec {
+        /// Operation name.
+        op: String,
+        /// Processor name.
+        proc: String,
+        /// New execution time, in time units (finite, > 0).
+        units: f64,
+    },
+    /// Changes the transmission time of the dependency `src -> dst`,
+    /// uniformly on every link that currently carries it.
+    TweakComm {
+        /// Producer operation name.
+        src: String,
+        /// Consumer operation name.
+        dst: String,
+        /// New transmission time per link, in time units (finite, > 0).
+        units: f64,
+    },
+    /// Allows an operation on a processor (sets the exec entry whether or
+    /// not it was forbidden). Structural: the allowed-entry pattern
+    /// changes.
+    AllowProc {
+        /// Operation name.
+        op: String,
+        /// Processor name.
+        proc: String,
+        /// Execution time there, in time units (finite, > 0).
+        units: f64,
+    },
+    /// Forbids an operation on a processor (a `Dis` `∞` entry).
+    /// Structural; fails if the operation then has fewer than `Npf + 1`
+    /// allowed processors.
+    ForbidProc {
+        /// Operation name.
+        op: String,
+        /// Processor name.
+        proc: String,
+    },
+    /// Marks a processor down: every operation becomes forbidden on it.
+    /// Structural; fails if some operation then cannot be replicated.
+    ProcDown {
+        /// Processor name.
+        proc: String,
+    },
+    /// Marks a processor back up: every operation currently forbidden on
+    /// it becomes allowed with the given uniform execution time (existing
+    /// entries are kept). Structural.
+    ProcUp {
+        /// Processor name.
+        proc: String,
+        /// Execution time for re-opened entries (finite, > 0).
+        units: f64,
+    },
+    /// Marks a link down: no dependency can use it any more. Structural;
+    /// fails if that leaves a dependency unroutable.
+    LinkDown {
+        /// Link name.
+        link: String,
+    },
+    /// Marks a link back up: every dependency currently missing an entry
+    /// on it gets the given uniform transmission time (existing entries
+    /// are kept). Structural.
+    LinkUp {
+        /// Link name.
+        link: String,
+        /// Transmission time for re-opened entries (finite, > 0).
+        units: f64,
+    },
+    /// Adds a computation operation wired to existing operations.
+    /// Structural.
+    AddOp {
+        /// Name of the new operation (must be fresh).
+        name: String,
+        /// Execution time on every processor (finite, > 0).
+        units: f64,
+        /// Names of producer operations (one new dependency each).
+        preds: Vec<String>,
+        /// Names of consumer operations (one new dependency each).
+        succs: Vec<String>,
+        /// Transmission time of each new dependency on every link
+        /// (finite, > 0).
+        comm_units: f64,
+    },
+    /// Removes an operation and every dependency touching it. Structural.
+    RemoveOp {
+        /// Name of the operation to remove.
+        name: String,
+    },
+    /// Changes the number of tolerated processor failures. Structural.
+    SetNpf {
+        /// The new `Npf`.
+        npf: u32,
+    },
+}
+
+/// Why a [`ProblemEdit`] could not be applied.
+#[derive(Debug)]
+pub enum EditError {
+    /// No operation with this name exists.
+    UnknownOp(String),
+    /// No processor with this name exists.
+    UnknownProc(String),
+    /// No link with this name exists.
+    UnknownLink(String),
+    /// No dependency between these named operations exists.
+    UnknownDep {
+        /// Producer name.
+        src: String,
+        /// Consumer name.
+        dst: String,
+    },
+    /// A time value is not finite and positive.
+    BadUnits {
+        /// The offending value.
+        units: f64,
+    },
+    /// [`ProblemEdit::TweakExec`] addressed a forbidden ⟨operation,
+    /// processor⟩ pair (use [`ProblemEdit::AllowProc`] instead).
+    ForbiddenPair {
+        /// Operation name.
+        op: String,
+        /// Processor name.
+        proc: String,
+    },
+    /// [`ProblemEdit::AddOp`] reuses an existing operation name.
+    DuplicateOp(String),
+    /// The edited problem failed validation.
+    Model(ModelError),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::UnknownOp(name) => write!(f, "unknown operation `{name}`"),
+            EditError::UnknownProc(name) => write!(f, "unknown processor `{name}`"),
+            EditError::UnknownLink(name) => write!(f, "unknown link `{name}`"),
+            EditError::UnknownDep { src, dst } => {
+                write!(f, "no dependency `{src} -> {dst}`")
+            }
+            EditError::BadUnits { units } => {
+                write!(f, "time value {units} must be finite and positive")
+            }
+            EditError::ForbiddenPair { op, proc } => write!(
+                f,
+                "`{op}` is forbidden on `{proc}`; use allow_proc to open the pair"
+            ),
+            EditError::DuplicateOp(name) => {
+                write!(f, "an operation named `{name}` already exists")
+            }
+            EditError::Model(e) => write!(f, "edited problem is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+impl From<ModelError> for EditError {
+    fn from(e: ModelError) -> Self {
+        EditError::Model(e)
+    }
+}
+
+fn units_to_time(units: f64) -> Result<Time, EditError> {
+    if !units.is_finite() || units <= 0.0 {
+        return Err(EditError::BadUnits { units });
+    }
+    Ok(Time::from_units(units))
+}
+
+impl ProblemEdit {
+    /// The edit's kind keyword, as used by the JSON protocol frames.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProblemEdit::TweakExec { .. } => "tweak_exec",
+            ProblemEdit::TweakComm { .. } => "tweak_comm",
+            ProblemEdit::AllowProc { .. } => "allow_proc",
+            ProblemEdit::ForbidProc { .. } => "forbid_proc",
+            ProblemEdit::ProcDown { .. } => "proc_down",
+            ProblemEdit::ProcUp { .. } => "proc_up",
+            ProblemEdit::LinkDown { .. } => "link_down",
+            ProblemEdit::LinkUp { .. } => "link_up",
+            ProblemEdit::AddOp { .. } => "add_op",
+            ProblemEdit::RemoveOp { .. } => "remove_op",
+            ProblemEdit::SetNpf { .. } => "set_npf",
+        }
+    }
+
+    /// True for edits that may change the problem's shape — graph,
+    /// dimensions, allowed-entry pattern, routes, or `Npf`. Structural
+    /// edits always take the full-run fallback in [`crate::reschedule()`];
+    /// only the two timing tweaks are repairable in place.
+    pub fn is_structural(&self) -> bool {
+        !matches!(
+            self,
+            ProblemEdit::TweakExec { .. } | ProblemEdit::TweakComm { .. }
+        )
+    }
+
+    /// A deterministic one-line token naming the edit — stable across
+    /// runs, usable as a cache-key component and in logs.
+    pub fn describe(&self) -> String {
+        match self {
+            ProblemEdit::TweakExec { op, proc, units } => {
+                format!("tweak_exec|{op}|{proc}|{units}")
+            }
+            ProblemEdit::TweakComm { src, dst, units } => {
+                format!("tweak_comm|{src}|{dst}|{units}")
+            }
+            ProblemEdit::AllowProc { op, proc, units } => {
+                format!("allow_proc|{op}|{proc}|{units}")
+            }
+            ProblemEdit::ForbidProc { op, proc } => format!("forbid_proc|{op}|{proc}"),
+            ProblemEdit::ProcDown { proc } => format!("proc_down|{proc}"),
+            ProblemEdit::ProcUp { proc, units } => format!("proc_up|{proc}|{units}"),
+            ProblemEdit::LinkDown { link } => format!("link_down|{link}"),
+            ProblemEdit::LinkUp { link, units } => format!("link_up|{link}|{units}"),
+            ProblemEdit::AddOp {
+                name,
+                units,
+                preds,
+                succs,
+                comm_units,
+            } => format!(
+                "add_op|{name}|{units}|{}|{}|{comm_units}",
+                preds.join(","),
+                succs.join(",")
+            ),
+            ProblemEdit::RemoveOp { name } => format!("remove_op|{name}"),
+            ProblemEdit::SetNpf { npf } => format!("set_npf|{npf}"),
+        }
+    }
+
+    /// Applies the edit to `prev`, producing a freshly validated problem.
+    ///
+    /// # Errors
+    ///
+    /// Name-resolution failures, bad time values, or any
+    /// [`ModelError`] the edited problem's validation raises (wrapped in
+    /// [`EditError::Model`]).
+    pub fn apply(&self, prev: &Problem) -> Result<Problem, EditError> {
+        match self {
+            ProblemEdit::TweakExec { op, proc, units } => {
+                let o = prev
+                    .alg()
+                    .op_by_name(op)
+                    .ok_or_else(|| EditError::UnknownOp(op.clone()))?;
+                let p = prev
+                    .arch()
+                    .proc_by_name(proc)
+                    .ok_or_else(|| EditError::UnknownProc(proc.clone()))?;
+                let t = units_to_time(*units)?;
+                if prev.exec().get(o, p).is_none() {
+                    return Err(EditError::ForbiddenPair {
+                        op: op.clone(),
+                        proc: proc.clone(),
+                    });
+                }
+                // Entry stays `Some`, so allowed sets and routability are
+                // unchanged: the fast path skips full revalidation.
+                Ok(prev.with_exec_entry(o, p, t))
+            }
+            ProblemEdit::TweakComm { src, dst, units } => {
+                let dep =
+                    prev.alg()
+                        .dep_by_names(src, dst)
+                        .ok_or_else(|| EditError::UnknownDep {
+                            src: src.clone(),
+                            dst: dst.clone(),
+                        })?;
+                let t = units_to_time(*units)?;
+                // Only already-present entries are overwritten, so
+                // routability is unchanged: fast path, no revalidation.
+                Ok(prev.with_comm_entries(dep, t))
+            }
+            ProblemEdit::AllowProc { op, proc, units } => {
+                let o = prev
+                    .alg()
+                    .op_by_name(op)
+                    .ok_or_else(|| EditError::UnknownOp(op.clone()))?;
+                let p = prev
+                    .arch()
+                    .proc_by_name(proc)
+                    .ok_or_else(|| EditError::UnknownProc(proc.clone()))?;
+                let t = units_to_time(*units)?;
+                let mut exec = prev.exec().clone();
+                exec.set(o, p, t);
+                rebuild(
+                    prev,
+                    prev.alg().clone(),
+                    exec,
+                    prev.comm().clone(),
+                    prev.npf(),
+                )
+            }
+            ProblemEdit::ForbidProc { op, proc } => {
+                let o = prev
+                    .alg()
+                    .op_by_name(op)
+                    .ok_or_else(|| EditError::UnknownOp(op.clone()))?;
+                let p = prev
+                    .arch()
+                    .proc_by_name(proc)
+                    .ok_or_else(|| EditError::UnknownProc(proc.clone()))?;
+                let mut exec = prev.exec().clone();
+                exec.forbid(o, p);
+                rebuild(
+                    prev,
+                    prev.alg().clone(),
+                    exec,
+                    prev.comm().clone(),
+                    prev.npf(),
+                )
+            }
+            ProblemEdit::ProcDown { proc } => {
+                let p = prev
+                    .arch()
+                    .proc_by_name(proc)
+                    .ok_or_else(|| EditError::UnknownProc(proc.clone()))?;
+                let mut exec = prev.exec().clone();
+                for o in prev.alg().ops() {
+                    exec.forbid(o, p);
+                }
+                rebuild(
+                    prev,
+                    prev.alg().clone(),
+                    exec,
+                    prev.comm().clone(),
+                    prev.npf(),
+                )
+            }
+            ProblemEdit::ProcUp { proc, units } => {
+                let p = prev
+                    .arch()
+                    .proc_by_name(proc)
+                    .ok_or_else(|| EditError::UnknownProc(proc.clone()))?;
+                let t = units_to_time(*units)?;
+                let mut exec = prev.exec().clone();
+                for o in prev.alg().ops() {
+                    if exec.get(o, p).is_none() {
+                        exec.set(o, p, t);
+                    }
+                }
+                rebuild(
+                    prev,
+                    prev.alg().clone(),
+                    exec,
+                    prev.comm().clone(),
+                    prev.npf(),
+                )
+            }
+            ProblemEdit::LinkDown { link } => {
+                let l = prev
+                    .arch()
+                    .link_by_name(link)
+                    .ok_or_else(|| EditError::UnknownLink(link.clone()))?;
+                // CommTable has no "unset": rebuild it without this link's
+                // column.
+                let alg = prev.alg();
+                let mut comm = CommTable::new(alg.dep_count(), prev.arch().link_count());
+                for dep in alg.deps() {
+                    for other in prev.arch().links() {
+                        if other == l {
+                            continue;
+                        }
+                        if let Some(t) = prev.comm().get(dep, other) {
+                            comm.set(dep, other, t);
+                        }
+                    }
+                }
+                rebuild(prev, alg.clone(), prev.exec().clone(), comm, prev.npf())
+            }
+            ProblemEdit::LinkUp { link, units } => {
+                let l = prev
+                    .arch()
+                    .link_by_name(link)
+                    .ok_or_else(|| EditError::UnknownLink(link.clone()))?;
+                let t = units_to_time(*units)?;
+                let mut comm = prev.comm().clone();
+                for dep in prev.alg().deps() {
+                    if comm.get(dep, l).is_none() {
+                        comm.set(dep, l, t);
+                    }
+                }
+                rebuild(
+                    prev,
+                    prev.alg().clone(),
+                    prev.exec().clone(),
+                    comm,
+                    prev.npf(),
+                )
+            }
+            ProblemEdit::AddOp {
+                name,
+                units,
+                preds,
+                succs,
+                comm_units,
+            } => {
+                let alg = prev.alg();
+                if alg.op_by_name(name).is_some() {
+                    return Err(EditError::DuplicateOp(name.clone()));
+                }
+                let exec_t = units_to_time(*units)?;
+                let comm_t = units_to_time(*comm_units)?;
+                // Rebuild the graph verbatim (ids are insertion-ordered,
+                // so existing operations and dependencies keep their ids),
+                // then append the new operation and its dependencies.
+                let mut b = Alg::builder(alg.name());
+                for op in alg.ops() {
+                    b.op(alg.op(op).name(), alg.op(op).kind());
+                }
+                for dep in alg.deps() {
+                    let (s, d) = alg.dep_endpoints(dep);
+                    b.dep_sized(s, d, alg.dep(dep).size());
+                }
+                let new_op = b.comp(name.clone());
+                for pred in preds {
+                    let p = alg
+                        .op_by_name(pred)
+                        .ok_or_else(|| EditError::UnknownOp(pred.clone()))?;
+                    b.dep(p, new_op);
+                }
+                for succ in succs {
+                    let s = alg
+                        .op_by_name(succ)
+                        .ok_or_else(|| EditError::UnknownOp(succ.clone()))?;
+                    b.dep(new_op, s);
+                }
+                let alg2 = b.build()?;
+                let n_procs = prev.arch().proc_count();
+                let mut exec = ExecTable::new(alg2.op_count(), n_procs);
+                for op in alg.ops() {
+                    for proc in prev.arch().procs() {
+                        if let Some(t) = prev.exec().get(op, proc) {
+                            exec.set(op, proc, t);
+                        }
+                    }
+                }
+                for proc in prev.arch().procs() {
+                    exec.set(new_op, proc, exec_t);
+                }
+                let n_links = prev.arch().link_count();
+                let mut comm = CommTable::new(alg2.dep_count(), n_links);
+                for dep in alg.deps() {
+                    for link in prev.arch().links() {
+                        if let Some(t) = prev.comm().get(dep, link) {
+                            comm.set(dep, link, t);
+                        }
+                    }
+                }
+                for dep in alg2.deps().skip(alg.dep_count()) {
+                    for link in prev.arch().links() {
+                        comm.set(dep, link, comm_t);
+                    }
+                }
+                rebuild(prev, alg2, exec, comm, prev.npf())
+            }
+            ProblemEdit::RemoveOp { name } => {
+                let alg = prev.alg();
+                let victim = alg
+                    .op_by_name(name)
+                    .ok_or_else(|| EditError::UnknownOp(name.clone()))?;
+                let mut b = Alg::builder(alg.name());
+                // Surviving operations, re-numbered densely.
+                let mut op_map = vec![None; alg.op_count()];
+                for op in alg.ops() {
+                    if op == victim {
+                        continue;
+                    }
+                    op_map[op.index()] = Some(b.op(alg.op(op).name(), alg.op(op).kind()));
+                }
+                let mut dep_map = vec![None; alg.dep_count()];
+                let mut kept_deps = Vec::new();
+                for dep in alg.deps() {
+                    let (s, d) = alg.dep_endpoints(dep);
+                    let (Some(s2), Some(d2)) = (op_map[s.index()], op_map[d.index()]) else {
+                        continue;
+                    };
+                    dep_map[dep.index()] = Some(b.dep_sized(s2, d2, alg.dep(dep).size()));
+                    kept_deps.push(dep);
+                }
+                let alg2 = b.build()?;
+                let mut exec = ExecTable::new(alg2.op_count(), prev.arch().proc_count());
+                for op in alg.ops() {
+                    let Some(op2) = op_map[op.index()] else {
+                        continue;
+                    };
+                    for proc in prev.arch().procs() {
+                        if let Some(t) = prev.exec().get(op, proc) {
+                            exec.set(op2, proc, t);
+                        }
+                    }
+                }
+                let mut comm = CommTable::new(alg2.dep_count(), prev.arch().link_count());
+                for dep in kept_deps {
+                    let dep2 = dep_map[dep.index()].expect("kept");
+                    for link in prev.arch().links() {
+                        if let Some(t) = prev.comm().get(dep, link) {
+                            comm.set(dep2, link, t);
+                        }
+                    }
+                }
+                rebuild(prev, alg2, exec, comm, prev.npf())
+            }
+            ProblemEdit::SetNpf { npf } => prev.with_npf(*npf).map_err(EditError::Model),
+        }
+    }
+}
+
+/// Rebuilds a problem around edited parts, carrying `rtc` over from `prev`
+/// and validating from scratch.
+fn rebuild(
+    prev: &Problem,
+    alg: Alg,
+    exec: ExecTable,
+    comm: CommTable,
+    npf: u32,
+) -> Result<Problem, EditError> {
+    let mut b = Problem::builder(alg, prev.arch().clone(), exec, comm);
+    if let Some(r) = prev.rtc() {
+        b.rtc(r);
+    }
+    b.npf(npf);
+    b.build().map_err(EditError::Model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbar_model::paper_example;
+
+    #[test]
+    fn tweak_exec_changes_one_entry() {
+        let p = paper_example();
+        let edit = ProblemEdit::TweakExec {
+            op: "A".into(),
+            proc: "P1".into(),
+            units: 9.5,
+        };
+        assert!(!edit.is_structural());
+        let q = edit.apply(&p).unwrap();
+        let a = q.alg().op_by_name("A").unwrap();
+        let p1 = q.arch().proc_by_name("P1").unwrap();
+        assert_eq!(q.exec().get(a, p1), Some(Time::from_units(9.5)));
+        // Everything else is untouched.
+        assert_eq!(q.alg().op_count(), p.alg().op_count());
+        assert_eq!(q.npf(), p.npf());
+    }
+
+    #[test]
+    fn tweak_exec_rejects_forbidden_pair_and_bad_units() {
+        let p = paper_example();
+        // I is forbidden on P3 in the paper example.
+        let edit = ProblemEdit::TweakExec {
+            op: "I".into(),
+            proc: "P3".into(),
+            units: 1.0,
+        };
+        assert!(matches!(
+            edit.apply(&p),
+            Err(EditError::ForbiddenPair { .. })
+        ));
+        let edit = ProblemEdit::TweakExec {
+            op: "A".into(),
+            proc: "P1".into(),
+            units: -1.0,
+        };
+        assert!(matches!(edit.apply(&p), Err(EditError::BadUnits { .. })));
+        let edit = ProblemEdit::TweakExec {
+            op: "ZZZ".into(),
+            proc: "P1".into(),
+            units: 1.0,
+        };
+        assert!(matches!(edit.apply(&p), Err(EditError::UnknownOp(_))));
+    }
+
+    #[test]
+    fn tweak_comm_changes_every_carrying_link() {
+        let p = paper_example();
+        let edit = ProblemEdit::TweakComm {
+            src: "I".into(),
+            dst: "A".into(),
+            units: 3.25,
+        };
+        assert!(!edit.is_structural());
+        let q = edit.apply(&p).unwrap();
+        let dep = q.alg().dep_by_names("I", "A").unwrap();
+        for link in q.arch().links() {
+            if p.comm().get(dep, link).is_some() {
+                assert_eq!(q.comm().get(dep, link), Some(Time::from_units(3.25)));
+            } else {
+                assert!(q.comm().get(dep, link).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn structural_edits_round_trip() {
+        let p = paper_example();
+        // Forbid A on P1; A stays allowed on two processors (npf = 1 ok).
+        let q = ProblemEdit::ForbidProc {
+            op: "A".into(),
+            proc: "P1".into(),
+        }
+        .apply(&p)
+        .unwrap();
+        let a = q.alg().op_by_name("A").unwrap();
+        let p1 = q.arch().proc_by_name("P1").unwrap();
+        assert!(!q.exec().allows(a, p1));
+
+        // Taking a whole processor down breaks replication for some op.
+        let err = ProblemEdit::ProcDown { proc: "P1".into() }.apply(&p);
+        assert!(matches!(err, Err(EditError::Model(_))));
+
+        // Npf change.
+        let q = ProblemEdit::SetNpf { npf: 0 }.apply(&p).unwrap();
+        assert_eq!(q.npf(), 0);
+    }
+
+    #[test]
+    fn add_and_remove_op() {
+        let p = paper_example();
+        let edit = ProblemEdit::AddOp {
+            name: "NEW".into(),
+            units: 1.5,
+            preds: vec!["A".into()],
+            succs: vec!["O".into()],
+            comm_units: 0.5,
+        };
+        assert!(edit.is_structural());
+        let q = edit.apply(&p).unwrap();
+        assert_eq!(q.alg().op_count(), p.alg().op_count() + 1);
+        assert_eq!(q.alg().dep_count(), p.alg().dep_count() + 2);
+        let new = q.alg().op_by_name("NEW").unwrap();
+        assert_eq!(q.alg().sched_preds(new).count(), 1);
+        // Old ops keep their ids and exec entries.
+        for op in p.alg().ops() {
+            for proc in p.arch().procs() {
+                assert_eq!(p.exec().get(op, proc), q.exec().get(op, proc));
+            }
+        }
+
+        let r = ProblemEdit::RemoveOp { name: "NEW".into() }
+            .apply(&q)
+            .unwrap();
+        assert_eq!(r.alg().op_count(), p.alg().op_count());
+        assert_eq!(r.alg().dep_count(), p.alg().dep_count());
+        assert!(r.alg().op_by_name("NEW").is_none());
+
+        assert!(matches!(
+            ProblemEdit::AddOp {
+                name: "A".into(),
+                units: 1.0,
+                preds: vec![],
+                succs: vec![],
+                comm_units: 1.0,
+            }
+            .apply(&p),
+            Err(EditError::DuplicateOp(_))
+        ));
+    }
+
+    #[test]
+    fn describe_is_deterministic() {
+        let e = ProblemEdit::TweakExec {
+            op: "A".into(),
+            proc: "P1".into(),
+            units: 2.5,
+        };
+        assert_eq!(e.describe(), "tweak_exec|A|P1|2.5");
+        assert_eq!(e.kind(), "tweak_exec");
+    }
+}

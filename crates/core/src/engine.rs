@@ -35,7 +35,7 @@
 
 use ftbar_model::{OpId, Problem, ProcId};
 
-use crate::builder::{BuilderPools, ProbePoint, ScheduleBuilder};
+use crate::builder::{BuilderPools, BuilderState, Checkpoint, ProbePoint, ScheduleBuilder};
 use crate::error::ScheduleError;
 use crate::schedule::Schedule;
 use crate::sweep::{CachePools, PointFocus, ProbeCache, SweepStats};
@@ -128,6 +128,27 @@ pub struct EngineConfig {
     pub cache: Option<PointFocus>,
     /// Record a [`StepTrace`] (with schedule snapshots) per step.
     pub trace: bool,
+    /// Retain the run for incremental re-scheduling: record a per-step
+    /// `(op, checkpoint)` placement log and keep the finished builder
+    /// state ([`EngineOutcome::retained`]). The schedule is unchanged;
+    /// retained pools are kept inside the state instead of being
+    /// reclaimed.
+    pub retain: bool,
+}
+
+/// The replayable remains of a retained run ([`EngineConfig::retain`]):
+/// the per-step placement log — which operation each main-loop step
+/// committed, and the undo-log [`Checkpoint`] taken right before that
+/// commit — plus the finished builder state. Rolling the state back to
+/// `steps[t].1` reproduces the exact builder the run had entering step
+/// `t`, which is what [`crate::reschedule()`] resumes from.
+#[derive(Debug)]
+pub struct RetainedRun {
+    /// `(committed op, checkpoint before its commit)` per step, in step
+    /// order.
+    pub steps: Vec<(OpId, Checkpoint)>,
+    /// The builder state at the end of the run, detached from the problem.
+    pub state: BuilderState,
 }
 
 /// Result of [`Engine::run`].
@@ -141,6 +162,9 @@ pub struct EngineOutcome {
     pub sweep_stats: Option<SweepStats>,
     /// Recyclable arenas for the next engine (see [`EnginePools`]).
     pub pools: EnginePools,
+    /// The placement log and final builder state; `None` unless
+    /// [`EngineConfig::retain`] was set.
+    pub retained: Option<RetainedRun>,
 }
 
 /// Recyclable, problem-agnostic arenas of a finished [`Engine`]: the
@@ -249,6 +273,10 @@ pub struct Engine<'p, P> {
     /// counters produce.
     ready: Vec<OpId>,
     trace: bool,
+    retain: bool,
+    /// Number of steps already committed before this engine took over
+    /// (non-zero only for [`Engine::resume`]); offsets step numbering.
+    step_base: usize,
 }
 
 impl<'p, P: PlacementPolicy> Engine<'p, P> {
@@ -283,6 +311,59 @@ impl<'p, P: PlacementPolicy> Engine<'p, P> {
             pending,
             ready,
             trace: config.trace,
+            retain: config.retain,
+            step_base: 0,
+        }
+    }
+
+    /// An engine that picks up a partially built schedule: `builder`
+    /// already carries the placements of exactly the operations in
+    /// `completed` (in that step order), and the engine continues the main
+    /// loop from there — the pending counters and the ready set are
+    /// rebuilt as if the loop itself had just committed `completed`.
+    ///
+    /// The probe cache (if configured) starts cold; cache state never
+    /// affects results, only speed, so a resumed run selects and places
+    /// exactly as a from-scratch run that reached this state. This is the
+    /// replay half of [`crate::reschedule()`].
+    pub fn resume(
+        builder: ScheduleBuilder<'p>,
+        completed: &[OpId],
+        policy: P,
+        config: EngineConfig,
+    ) -> Self {
+        let problem = builder.problem();
+        let alg = problem.alg();
+        let mut pending: Vec<u32> = alg
+            .ops()
+            .map(|o| alg.sched_preds(o).count() as u32)
+            .collect();
+        let mut done = vec![false; alg.op_count()];
+        for &op in completed {
+            debug_assert!(!done[op.index()], "completed ops are distinct");
+            done[op.index()] = true;
+            for (_, succ) in alg.sched_succs(op) {
+                pending[succ.index()] -= 1;
+            }
+        }
+        let mut ready: Vec<OpId> = alg
+            .ops()
+            .filter(|o| !done[o.index()] && pending[o.index()] == 0)
+            .collect();
+        ready.sort_unstable();
+        Engine {
+            cx: EngineCx {
+                cache: config
+                    .cache
+                    .map(|focus| ProbeCache::new_focused(problem, focus)),
+                builder,
+            },
+            policy,
+            pending,
+            ready,
+            trace: config.trace,
+            retain: config.retain,
+            step_base: completed.len(),
         }
     }
 
@@ -296,7 +377,8 @@ impl<'p, P: PlacementPolicy> Engine<'p, P> {
     pub fn run(mut self) -> Result<EngineOutcome, ScheduleError> {
         let alg = self.cx.problem().alg();
         let mut steps = Vec::new();
-        let mut step = 0usize;
+        let mut marks: Vec<(OpId, Checkpoint)> = Vec::new();
+        let mut step = self.step_base;
         // Recycled placement buffer: the loop allocates nothing per step.
         let mut placed: Vec<ProcId> = Vec::new();
         while !self.ready.is_empty() {
@@ -311,6 +393,11 @@ impl<'p, P: PlacementPolicy> Engine<'p, P> {
             } else {
                 Vec::new()
             };
+            if self.retain {
+                // The mark brackets everything this step will book;
+                // rolling back to it re-enters the step on a clean state.
+                marks.push((op, self.cx.builder.checkpoint()));
+            }
             placed.clear();
             self.policy.commit(&mut self.cx, op, &mut placed)?;
 
@@ -343,15 +430,33 @@ impl<'p, P: PlacementPolicy> Engine<'p, P> {
             }
         }
         let sweep_stats = self.cx.cache.as_ref().map(ProbeCache::stats);
-        let (schedule, builder_pools) = self.cx.builder.finish_reclaim();
+        let cache_pools = self.cx.cache.map(ProbeCache::reclaim).unwrap_or_default();
+        let (schedule, builder_pools, retained) = if self.retain {
+            // Keep the builder alive as a detached state; its recycling
+            // pools travel inside the state instead of being reclaimed.
+            let schedule = self.cx.builder.finish_snapshot();
+            let state = self.cx.builder.into_state();
+            (
+                schedule,
+                BuilderPools::default(),
+                Some(RetainedRun {
+                    steps: marks,
+                    state,
+                }),
+            )
+        } else {
+            let (schedule, pools) = self.cx.builder.finish_reclaim();
+            (schedule, pools, None)
+        };
         Ok(EngineOutcome {
             schedule,
             steps,
             sweep_stats,
             pools: EnginePools {
                 builder: builder_pools,
-                cache: self.cx.cache.map(ProbeCache::reclaim).unwrap_or_default(),
+                cache: cache_pools,
             },
+            retained,
         })
     }
 }

@@ -23,6 +23,7 @@
 
 use ftbar_model::{OpId, Problem, ProcId};
 
+use crate::builder::{BuilderState, Checkpoint, ScheduleBuilder};
 use crate::engine::{Engine, EngineConfig, EngineCx, EnginePools, PlacementPolicy};
 use crate::error::ScheduleError;
 use crate::pressure::Pressure;
@@ -361,12 +362,49 @@ pub fn schedule_with_pools(
     if config.resolved_sweep(n_ops) == SweepStrategy::Clustered {
         return crate::cluster::schedule_clustered(problem, config, pools);
     }
+    let (policy, cache) = build_policy(problem, config);
+    let engine_config = EngineConfig {
+        cache,
+        trace: config.trace,
+        retain: false,
+    };
+    let out = Engine::with_pools(problem, policy, engine_config, pools).run()?;
+    Ok((
+        FtbarOutcome {
+            schedule: out.schedule,
+            steps: out.steps,
+            sweep_stats: out.sweep_stats,
+        },
+        out.pools,
+    ))
+}
+
+/// Builds the FTBAR policy and the engine cache focus for `problem`. The
+/// caller has already dispatched [`SweepStrategy::Clustered`] elsewhere.
+fn build_policy(problem: &Problem, config: &FtbarConfig) -> (FtbarPolicy, Option<PointFocus>) {
     let pressure = Pressure::new(problem);
+    build_policy_from(problem, config, &pressure, None)
+}
+
+/// [`build_policy`] with a caller-supplied [`Pressure`] (avoiding a
+/// recompute when the caller already has one) and, for resumed runs, the
+/// pending-operation mask that lets the sweep engine restrict its static
+/// slack bounds to operations that can still become candidates.
+fn build_policy_from(
+    problem: &Problem,
+    config: &FtbarConfig,
+    pressure: &Pressure,
+    pending: Option<&[bool]>,
+) -> (FtbarPolicy, Option<PointFocus>) {
+    let n_ops = problem.alg().op_count();
     let (sweep, cache) = match config.resolved_sweep(n_ops) {
         SweepStrategy::Adaptive => unreachable!("resolved_sweep never returns Adaptive"),
-        SweepStrategy::Clustered => unreachable!("dispatched above"),
+        SweepStrategy::Clustered => unreachable!("dispatched by the caller"),
         SweepStrategy::Incremental => {
-            let mut engine = SweepEngine::new(problem, &pressure, config.cost);
+            let mut engine = match pending {
+                Some(mask) => SweepEngine::new_pending(problem, pressure, config.cost, mask),
+                None => SweepEngine::new(problem, pressure, config.cost),
+            };
             engine.set_parallel(config.resolved_parallel(n_ops));
             // The selection sweep only ranks by the cost function's field,
             // so the cache completes just that probe (see `PointFocus`).
@@ -392,19 +430,86 @@ pub fn schedule_with_pools(
         all: Vec::new(),
         sigmas: Vec::new(),
     };
+    (policy, cache)
+}
+
+/// A retained FTBAR run: the schedule plus everything
+/// [`crate::reschedule()`] needs to repair it later.
+pub(crate) struct RetainedParts {
+    pub schedule: Schedule,
+    /// `(op, checkpoint before its commit)` per main-loop step.
+    pub steps: Vec<(OpId, Checkpoint)>,
+    /// The final builder state, detached from the problem.
+    pub state: BuilderState,
+    /// Bit patterns of the problem's bottom levels, indexed by operation —
+    /// kept so a later repair can diff them against the edited problem's
+    /// levels without recomputing this problem's [`Pressure`].
+    pub bottom_bits: Vec<u64>,
+}
+
+/// Runs FTBAR with [`EngineConfig::retain`] set, keeping the placement
+/// log and the final builder state. The schedule is bit-identical to
+/// [`schedule_with`]. The resolved strategy must not be
+/// [`SweepStrategy::Clustered`] (the two-phase expansion has no single
+/// placement log to retain — callers fall back to plain scheduling).
+pub(crate) fn run_retained(
+    problem: &Problem,
+    config: &FtbarConfig,
+) -> Result<RetainedParts, ScheduleError> {
+    debug_assert_ne!(
+        config.resolved_sweep(problem.alg().op_count()),
+        SweepStrategy::Clustered,
+        "clustered runs cannot be retained"
+    );
+    let (policy, cache) = build_policy(problem, config);
+    let bottom_bits = policy.bottom.iter().map(|b| b.to_bits()).collect();
     let engine_config = EngineConfig {
         cache,
-        trace: config.trace,
+        trace: false,
+        retain: true,
     };
-    let out = Engine::with_pools(problem, policy, engine_config, pools).run()?;
-    Ok((
-        FtbarOutcome {
-            schedule: out.schedule,
-            steps: out.steps,
-            sweep_stats: out.sweep_stats,
-        },
-        out.pools,
-    ))
+    let out = Engine::new(problem, policy, engine_config).run()?;
+    let retained = out.retained.expect("retain was requested");
+    Ok(RetainedParts {
+        schedule: out.schedule,
+        steps: retained.steps,
+        state: retained.state,
+        bottom_bits,
+    })
+}
+
+/// Resumes FTBAR on a partially built `builder` whose placements are
+/// exactly the operations of `completed`, in that step order, finishing
+/// the run with a fresh policy (bottom levels from the caller-supplied
+/// `pressure`, the sweep engine's static bounds restricted to the
+/// still-pending operations) and a cold probe cache. Returns the suffix
+/// placement log only — the caller stitches `completed`'s log back on.
+pub(crate) fn resume_retained(
+    builder: ScheduleBuilder<'_>,
+    completed: &[OpId],
+    config: &FtbarConfig,
+    pressure: &Pressure,
+) -> Result<RetainedParts, ScheduleError> {
+    let problem = builder.problem();
+    let mut pending = vec![true; problem.alg().op_count()];
+    for &op in completed {
+        pending[op.index()] = false;
+    }
+    let (policy, cache) = build_policy_from(problem, config, pressure, Some(&pending));
+    let bottom_bits = policy.bottom.iter().map(|b| b.to_bits()).collect();
+    let engine_config = EngineConfig {
+        cache,
+        trace: false,
+        retain: true,
+    };
+    let out = Engine::resume(builder, completed, policy, engine_config).run()?;
+    let retained = out.retained.expect("retain was requested");
+    Ok(RetainedParts {
+        schedule: out.schedule,
+        steps: retained.steps,
+        state: retained.state,
+        bottom_bits,
+    })
 }
 
 /// Schedules `problem` with the incremental engine and returns the probe

@@ -43,6 +43,7 @@ pub mod analysis;
 pub mod basic;
 mod builder;
 pub mod cluster;
+pub mod edit;
 pub mod engine;
 mod error;
 pub mod export;
@@ -52,6 +53,7 @@ pub mod orbit;
 mod pressure;
 pub mod reliability;
 mod replay;
+pub mod reschedule;
 mod schedule;
 pub mod stats;
 pub mod sweep;
@@ -59,9 +61,13 @@ mod timeline;
 pub mod validate;
 
 pub use builder::{
-    BuilderPools, Lane, PlanProbe, ProbeEvent, ProbePoint, ProbeScratch, ScheduleBuilder,
+    BuilderPools, BuilderState, Checkpoint, Lane, PlanProbe, ProbeEvent, ProbePoint, ProbeScratch,
+    ScheduleBuilder,
 };
-pub use engine::{Engine, EngineConfig, EngineCx, EngineOutcome, EnginePools, PlacementPolicy};
+pub use edit::{EditError, ProblemEdit};
+pub use engine::{
+    Engine, EngineConfig, EngineCx, EngineOutcome, EnginePools, PlacementPolicy, RetainedRun,
+};
 pub use error::ScheduleError;
 pub use ftbar::{
     CostFunction, FtbarConfig, FtbarOutcome, StepTrace, SweepStrategy, ADAPTIVE_SWEEP_CUTOFF,
@@ -70,6 +76,10 @@ pub use ftbar::{
 pub use pressure::Pressure;
 pub use replay::{
     replay, replay_with, FailureScenario, ReplayConfig, ReplayResult, ReplicaOutcome,
+};
+pub use reschedule::{
+    reschedule, schedule_retained, RepairReport, RescheduleError, RescheduleOutcome,
+    ScheduleArtifacts,
 };
 pub use schedule::{BookedHop, Comm, CommId, Replica, ReplicaId, Schedule};
 pub use sweep::{CachePools, PointFocus, ProbeCache, SweepEngine, SweepStats};

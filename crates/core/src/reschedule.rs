@@ -1,0 +1,400 @@
+//! Incremental re-scheduling: repair a schedule after a [`ProblemEdit`]
+//! instead of re-running FTBAR from scratch.
+//!
+//! A normal run retains, at negligible cost, three things (see
+//! [`ScheduleArtifacts`]): the placement log (the operation chosen at each
+//! main-loop step plus the undo-log checkpoint taken just before its
+//! commit), the final [`ScheduleBuilder`] state, and the configuration.
+//! [`reschedule`] then repairs an edit in three moves:
+//!
+//! 1. **Affected set.** For a timing tweak, the operations whose probe
+//!    inputs the edit can reach are the edited operation itself (its
+//!    execution or incoming-communication durations changed) plus every
+//!    operation whose schedule-pressure bottom level changed — detected
+//!    exactly, by bitwise comparison of the [`Pressure`] arrays of the old
+//!    and edited problems.
+//! 2. **Invalidation frontier.** The first step `F` of the recorded run
+//!    at which an affected operation was *ready* (a candidate). Every
+//!    selection and placement before `F` read only unaffected inputs, so
+//!    the prefix is byte-for-byte what a from-scratch run on the edited
+//!    problem would produce. §14 of DESIGN.md gives the full argument.
+//! 3. **Rollback + resume.** Roll the retained builder back to the
+//!    checkpoint of step `F` and resume the engine over the remaining
+//!    operations with a fresh policy (bottom levels from the edited
+//!    problem) and a cold probe cache — both exact, so the suffix too is
+//!    identical to from-scratch.
+//!
+//! Structural edits (anything but the two timing tweaks) and clustered
+//! runs fall back to a full retained run on the edited problem. Either
+//! way the result is **bit-identical to `ftbar::schedule_with` on the
+//! edited problem** — by construction here, and by property test in
+//! `tests/reschedule_prop.rs`.
+
+use ftbar_model::{OpId, Problem};
+
+use crate::builder::{BuilderState, Checkpoint, ScheduleBuilder};
+use crate::edit::{EditError, ProblemEdit};
+use crate::error::ScheduleError;
+use crate::ftbar::{self, FtbarConfig, SweepStrategy};
+use crate::pressure::Pressure;
+use crate::schedule::Schedule;
+
+/// Everything a retained FTBAR run keeps so that a later edit can be
+/// repaired instead of re-scheduled: the edited problem, the
+/// configuration, the placement log, and the final builder state.
+///
+/// Produced by [`schedule_retained`] and by every successful
+/// [`reschedule`] (so repairs chain). Clustered runs retain no engine
+/// state; their artifacts always repair via the full-run fallback.
+#[derive(Debug, Clone)]
+pub struct ScheduleArtifacts {
+    problem: Problem,
+    config: FtbarConfig,
+    /// `(op, checkpoint before its commit)` per step; empty for
+    /// clustered runs (no single placement log exists).
+    retained: Option<(Vec<(OpId, Checkpoint)>, BuilderState)>,
+    /// Bit patterns of this problem's bottom levels, per operation — the
+    /// "old" side of the repair-time [`Pressure`] diff, retained so a
+    /// repair computes only the edited problem's levels. Empty exactly
+    /// when `retained` is `None` (the diff is then never taken).
+    bottom_bits: Vec<u64>,
+}
+
+impl ScheduleArtifacts {
+    /// The problem this run scheduled (after any edits applied so far).
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The configuration the run used (edits never change it).
+    pub fn config(&self) -> &FtbarConfig {
+        &self.config
+    }
+
+    /// Number of recorded placement steps (0 for clustered runs, which
+    /// retain no placement log).
+    pub fn step_count(&self) -> usize {
+        self.retained.as_ref().map_or(0, |(steps, _)| steps.len())
+    }
+}
+
+/// How [`reschedule`] repaired an edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairReport {
+    /// True when the repair was a full re-run of the edited problem.
+    pub fell_back: bool,
+    /// Why the full-run fallback was taken (`None` on the repair path).
+    pub reason: Option<&'static str>,
+    /// First invalidated step: placements `0..frontier` were reused
+    /// verbatim (0 on the fallback path).
+    pub frontier: usize,
+    /// Total placement steps in the repaired schedule.
+    pub steps_total: usize,
+}
+
+impl RepairReport {
+    /// Steps actually re-placed by the repair.
+    pub fn steps_replayed(&self) -> usize {
+        self.steps_total - self.frontier
+    }
+}
+
+/// A repaired schedule plus fresh artifacts (for chaining further edits)
+/// and the repair report.
+#[derive(Debug)]
+pub struct RescheduleOutcome {
+    /// The schedule of the edited problem — bit-identical to a
+    /// from-scratch run.
+    pub schedule: Schedule,
+    /// Retained state of the repaired run; feed it to the next
+    /// [`reschedule`].
+    pub artifacts: ScheduleArtifacts,
+    /// What the repair did.
+    pub report: RepairReport,
+}
+
+/// Why a [`reschedule`] call failed.
+#[derive(Debug)]
+pub enum RescheduleError {
+    /// The edit could not be applied to the previous problem.
+    Edit(EditError),
+    /// The edited problem could not be scheduled.
+    Schedule(ScheduleError),
+}
+
+impl std::fmt::Display for RescheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RescheduleError::Edit(e) => write!(f, "{e}"),
+            RescheduleError::Schedule(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RescheduleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RescheduleError::Edit(e) => Some(e),
+            RescheduleError::Schedule(e) => Some(e),
+        }
+    }
+}
+
+impl From<EditError> for RescheduleError {
+    fn from(e: EditError) -> Self {
+        RescheduleError::Edit(e)
+    }
+}
+
+impl From<ScheduleError> for RescheduleError {
+    fn from(e: ScheduleError) -> Self {
+        RescheduleError::Schedule(e)
+    }
+}
+
+/// Runs FTBAR and captures [`ScheduleArtifacts`] for later repair. The
+/// schedule is bit-identical to [`ftbar::schedule_with`] with the same
+/// configuration.
+///
+/// # Errors
+///
+/// Exactly those of [`ftbar::schedule_with`].
+pub fn schedule_retained(
+    problem: &Problem,
+    config: &FtbarConfig,
+) -> Result<(Schedule, ScheduleArtifacts), ScheduleError> {
+    let n_ops = problem.alg().op_count();
+    if config.resolved_sweep(n_ops) == SweepStrategy::Clustered {
+        // Clustered expansion has no single placement log; retain nothing
+        // and let every repair of these artifacts take the full-run path.
+        let out = ftbar::schedule_with(problem, config)?;
+        let artifacts = ScheduleArtifacts {
+            problem: problem.clone(),
+            config: config.clone(),
+            retained: None,
+            bottom_bits: Vec::new(),
+        };
+        return Ok((out.schedule, artifacts));
+    }
+    let parts = ftbar::run_retained(problem, config)?;
+    let artifacts = ScheduleArtifacts {
+        problem: problem.clone(),
+        config: config.clone(),
+        retained: Some((parts.steps, parts.state)),
+        bottom_bits: parts.bottom_bits,
+    };
+    Ok((parts.schedule, artifacts))
+}
+
+/// Applies `edit` to the previously scheduled problem and produces the
+/// edited problem's schedule — by rollback-and-resume when the edit is a
+/// timing tweak with retained state, by a full run otherwise. The result
+/// is bit-identical to scheduling the edited problem from scratch either
+/// way; only the cost differs.
+///
+/// # Errors
+///
+/// [`RescheduleError::Edit`] if the edit does not apply (unknown names,
+/// bad values, or the edited problem fails validation);
+/// [`RescheduleError::Schedule`] if the edited problem cannot be
+/// scheduled.
+pub fn reschedule(
+    prev: &ScheduleArtifacts,
+    edit: &ProblemEdit,
+) -> Result<RescheduleOutcome, RescheduleError> {
+    let edited = edit.apply(&prev.problem)?;
+
+    let fallback_reason = if edit.is_structural() {
+        Some("structural edit")
+    } else if prev.retained.is_none() {
+        Some("no retained state (clustered run)")
+    } else if prev.config.resolved_sweep(edited.alg().op_count()) == SweepStrategy::Clustered {
+        Some("clustered strategy")
+    } else {
+        None
+    };
+    if let Some(reason) = fallback_reason {
+        let (schedule, artifacts) = schedule_retained(&edited, &prev.config)?;
+        let steps_total = artifacts.step_count();
+        return Ok(RescheduleOutcome {
+            schedule,
+            artifacts,
+            report: RepairReport {
+                fell_back: true,
+                reason: Some(reason),
+                frontier: 0,
+                steps_total,
+            },
+        });
+    }
+
+    let (steps, state) = prev.retained.as_ref().expect("checked above");
+    let pressure = Pressure::new(&edited);
+    let affected = affected_ops(prev, &pressure, edit);
+    let frontier = invalidation_frontier(&prev.problem, steps, &affected);
+
+    let mut builder = ScheduleBuilder::from_state(&edited, state.clone());
+    if frontier < steps.len() {
+        builder.rollback(steps[frontier].1);
+    }
+    let completed: Vec<OpId> = steps[..frontier].iter().map(|&(op, _)| op).collect();
+    let parts = ftbar::resume_retained(builder, &completed, &prev.config, &pressure)?;
+
+    let mut full_steps = steps[..frontier].to_vec();
+    full_steps.extend(parts.steps);
+    let steps_total = full_steps.len();
+    let artifacts = ScheduleArtifacts {
+        problem: edited,
+        config: prev.config.clone(),
+        retained: Some((full_steps, parts.state)),
+        bottom_bits: parts.bottom_bits,
+    };
+    Ok(RescheduleOutcome {
+        schedule: parts.schedule,
+        artifacts,
+        report: RepairReport {
+            fell_back: false,
+            reason: None,
+            frontier,
+            steps_total,
+        },
+    })
+}
+
+/// The operations whose selection or placement inputs the timing tweak
+/// can reach: the edited operation itself plus every operation whose
+/// bottom level changed — compared bitwise (the edited problem's fresh
+/// [`Pressure`] against the bit patterns retained from the previous run),
+/// so this is exact, not a conservative over-approximation.
+fn affected_ops(prev: &ScheduleArtifacts, new: &Pressure, edit: &ProblemEdit) -> Vec<bool> {
+    let alg = prev.problem.alg();
+    let mut affected: Vec<bool> = alg
+        .ops()
+        .map(|op| prev.bottom_bits[op.index()] != new.bottom_level(op).to_bits())
+        .collect();
+    let target = match edit {
+        ProblemEdit::TweakExec { op, .. } => alg.op_by_name(op),
+        // A comm tweak changes the arrival probes of the *consumer*; the
+        // producer's own placement never reads its outgoing durations.
+        ProblemEdit::TweakComm { dst, .. } => alg.op_by_name(dst),
+        _ => unreachable!("only timing tweaks take the repair path"),
+    };
+    affected[target.expect("edit applied, so the name resolved").index()] = true;
+    affected
+}
+
+/// First recorded step at which an affected operation was ready, i.e.
+/// was a selection candidate: replay the ready-set evolution along the
+/// recorded placement order and take the minimum first-ready step over
+/// the affected set. Placements strictly before this step saw no
+/// affected candidate and no affected input.
+fn invalidation_frontier(
+    problem: &Problem,
+    steps: &[(OpId, Checkpoint)],
+    affected: &[bool],
+) -> usize {
+    let alg = problem.alg();
+    let mut pending: Vec<u32> = alg
+        .ops()
+        .map(|op| alg.sched_preds(op).count() as u32)
+        .collect();
+    let mut first_ready: Vec<usize> = pending
+        .iter()
+        .map(|&n| if n == 0 { 0 } else { usize::MAX })
+        .collect();
+    for (t, &(op, _)) in steps.iter().enumerate() {
+        for (_, succ) in alg.sched_succs(op) {
+            pending[succ.index()] -= 1;
+            if pending[succ.index()] == 0 {
+                first_ready[succ.index()] = t + 1;
+            }
+        }
+    }
+    alg.ops()
+        .filter(|op| affected[op.index()])
+        .map(|op| first_ready[op.index()])
+        .min()
+        .unwrap_or(steps.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftbar_model::paper_example;
+
+    fn tweak(op: &str, proc: &str, units: f64) -> ProblemEdit {
+        ProblemEdit::TweakExec {
+            op: op.into(),
+            proc: proc.into(),
+            units,
+        }
+    }
+
+    #[test]
+    fn retained_run_matches_plain_run() {
+        let problem = paper_example();
+        let config = FtbarConfig::default();
+        let plain = ftbar::schedule_with(&problem, &config).unwrap().schedule;
+        let (retained, artifacts) = schedule_retained(&problem, &config).unwrap();
+        assert_eq!(plain, retained);
+        assert_eq!(artifacts.step_count(), problem.alg().op_count());
+    }
+
+    #[test]
+    fn repair_matches_from_scratch() {
+        let problem = paper_example();
+        let config = FtbarConfig::default();
+        let (_, artifacts) = schedule_retained(&problem, &config).unwrap();
+        let edit = tweak("O", "P1", 7.5);
+        let out = reschedule(&artifacts, &edit).unwrap();
+        assert!(!out.report.fell_back);
+        let edited = edit.apply(&problem).unwrap();
+        let scratch = ftbar::schedule_with(&edited, &config).unwrap().schedule;
+        assert_eq!(out.schedule, scratch);
+        // The repaired artifacts chain: edit again from them.
+        let edit2 = tweak("A", "P2", 1.25);
+        let out2 = reschedule(&out.artifacts, &edit2).unwrap();
+        let edited2 = edit2.apply(&edited).unwrap();
+        let scratch2 = ftbar::schedule_with(&edited2, &config).unwrap().schedule;
+        assert_eq!(out2.schedule, scratch2);
+    }
+
+    #[test]
+    fn structural_edit_falls_back_and_still_matches() {
+        let problem = paper_example();
+        let config = FtbarConfig::default();
+        let (_, artifacts) = schedule_retained(&problem, &config).unwrap();
+        let edit = ProblemEdit::SetNpf { npf: 0 };
+        let out = reschedule(&artifacts, &edit).unwrap();
+        assert!(out.report.fell_back);
+        assert_eq!(out.report.reason, Some("structural edit"));
+        let edited = edit.apply(&problem).unwrap();
+        let scratch = ftbar::schedule_with(&edited, &config).unwrap().schedule;
+        assert_eq!(out.schedule, scratch);
+    }
+
+    #[test]
+    fn bad_edit_surfaces_as_edit_error() {
+        let problem = paper_example();
+        let (_, artifacts) = schedule_retained(&problem, &FtbarConfig::default()).unwrap();
+        let edit = tweak("NOPE", "P1", 1.0);
+        assert!(matches!(
+            reschedule(&artifacts, &edit),
+            Err(RescheduleError::Edit(EditError::UnknownOp(_)))
+        ));
+    }
+
+    #[test]
+    fn frontier_is_first_ready_step_of_affected_op() {
+        let problem = paper_example();
+        let config = FtbarConfig::default();
+        let (_, artifacts) = schedule_retained(&problem, &config).unwrap();
+        // Tweaking an exit op's exec time leaves every bottom level above
+        // it changed or unchanged per the tables; the frontier can never
+        // exceed the step where that op first became ready.
+        let edit = tweak("O", "P3", 9.0);
+        let out = reschedule(&artifacts, &edit).unwrap();
+        assert!(out.report.frontier <= out.report.steps_total);
+        assert!(out.report.steps_replayed() >= 1);
+    }
+}

@@ -624,6 +624,34 @@ pub struct SweepEngine {
 impl SweepEngine {
     /// A fresh engine for `problem`.
     pub fn new(problem: &Problem, pressure: &Pressure, cost: CostFunction) -> Self {
+        Self::new_masked(problem, pressure, cost, None)
+    }
+
+    /// A fresh engine for a resumed run: the static slack bounds are
+    /// computed only for operations still `pending` (indexed by operation).
+    ///
+    /// Sound because the bounds are only consulted for candidates, and only
+    /// pending operations ever become candidates; restricting the
+    /// `route_slack` maximum to pending operations can only *tighten* the
+    /// urgency upper bound, and [`SweepEngine::select`] skips a candidate
+    /// only when its bound is **strictly** below the incumbent σ — a
+    /// tighter sound bound therefore never changes which candidate wins,
+    /// only how many probes the sweep avoids.
+    pub fn new_pending(
+        problem: &Problem,
+        pressure: &Pressure,
+        cost: CostFunction,
+        pending: &[bool],
+    ) -> Self {
+        Self::new_masked(problem, pressure, cost, Some(pending))
+    }
+
+    fn new_masked(
+        problem: &Problem,
+        pressure: &Pressure,
+        cost: CostFunction,
+        pending: Option<&[bool]>,
+    ) -> Self {
         let alg = problem.alg();
         let mut allowed = Vec::with_capacity(alg.op_count() * problem.arch().proc_count());
         let mut allowed_off = Vec::with_capacity(alg.op_count() + 1);
@@ -642,8 +670,22 @@ impl SweepEngine {
         let arch = problem.arch();
         let routes = problem.routes();
         let comm = problem.comm();
+        let is_pending = |op: OpId| pending.is_none_or(|m| m[op.index()]);
+        // Only dependencies feeding a pending operation contribute to any
+        // consulted `in_slack`; skip the worst-route scan for the rest.
+        let mut needed = vec![false; alg.dep_count()];
+        for op in alg.ops() {
+            if is_pending(op) {
+                for (d, _) in alg.sched_preds(op) {
+                    needed[d.index()] = true;
+                }
+            }
+        }
         let mut dep_slack = vec![Time::ZERO; alg.dep_count()];
         for dep in alg.deps() {
+            if !needed[dep.index()] {
+                continue;
+            }
             let mut worst = Time::ZERO;
             for src in arch.procs() {
                 for dst in arch.procs() {
@@ -667,12 +709,24 @@ impl SweepEngine {
         let in_slack: Vec<Time> = alg
             .ops()
             .map(|op| {
+                if !is_pending(op) {
+                    return Time::ZERO;
+                }
                 alg.sched_preds(op)
                     .map(|(d, _)| dep_slack[d.index()])
                     .fold(Time::ZERO, Time::max)
             })
             .collect();
         let route_slack = in_slack.iter().copied().fold(Time::ZERO, Time::max);
+        // Orbit pruning is exact — pruned and unpruned runs are
+        // bit-identical (DESIGN.md §12) — so a resumed engine skips
+        // automorphism detection outright: the short suffix it places
+        // rarely amortizes the enumeration.
+        let orbit = if pending.is_some() {
+            None
+        } else {
+            OrbitIndex::new(problem)
+        };
         SweepEngine {
             cost,
             parallel: false,
@@ -691,7 +745,7 @@ impl SweepEngine {
             route_slack,
             dirty: Vec::new(),
             sigmas: Vec::new(),
-            orbit: OrbitIndex::new(problem),
+            orbit,
             orbit_classes: Vec::new(),
             class_sigma: Vec::new(),
         }

@@ -197,6 +197,7 @@ fn run(
         // exhaustive reference never probes ahead, so it runs uncached.
         cache: (!exhaustive).then_some(PointFocus::Full),
         trace: false,
+        retain: false,
     };
     Engine::with_pools(problem, policy, engine_config, pools).run()
 }

@@ -205,6 +205,45 @@ impl Problem {
         b.build()
     }
 
+    /// Returns the same problem with the execution time of one
+    /// already-allowed ⟨operation, processor⟩ entry overwritten.
+    ///
+    /// This is the timing-tweak fast path: because the entry stays `Some`,
+    /// the allowed-processor sets, dependency routability and the cached
+    /// [`RouteTable`] are all unchanged, so the full
+    /// [`ProblemBuilder::build`] revalidation is skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is forbidden (`Dis` `∞`) — overwriting a
+    /// forbidden entry would change the allowed sets and must go through
+    /// [`ProblemBuilder::build`].
+    pub fn with_exec_entry(&self, op: OpId, proc: crate::ids::ProcId, t: Time) -> Problem {
+        assert!(
+            self.exec.get(op, proc).is_some(),
+            "with_exec_entry requires an already-allowed entry"
+        );
+        let mut p = self.clone();
+        p.exec.set(op, proc, t);
+        p
+    }
+
+    /// Returns the same problem with every present transmission-time entry
+    /// of `dep` replaced by `t`.
+    ///
+    /// Like [`Problem::with_exec_entry`], this skips revalidation: only
+    /// entries that are already `Some` are overwritten, so routability is
+    /// unchanged and the cached [`RouteTable`] stays valid.
+    pub fn with_comm_entries(&self, dep: crate::ids::DepId, t: Time) -> Problem {
+        let mut p = self.clone();
+        for link in self.arch.links() {
+            if p.comm.get(dep, link).is_some() {
+                p.comm.set(dep, link, t);
+            }
+        }
+        p
+    }
+
     /// Measured communication-to-computation ratio of the tables:
     /// mean communication entry over mean execution entry.
     pub fn ccr(&self) -> f64 {

@@ -308,7 +308,7 @@ fn direct_with(req: &ScheduleRequest, config: &ServerConfig) -> String {
     use ftbar_core::engine::EnginePools;
     let (result, _pools) = compute_response(req, config, None, EnginePools::default());
     match result {
-        Ok((body, _canonical, _degraded)) => crate::proto::with_id(req.id.as_deref(), &body),
+        Ok(computed) => crate::proto::with_id(req.id.as_deref(), &computed.body),
         Err((code, message)) => crate::proto::render_error(req.id.as_deref(), code, &message),
     }
 }

@@ -7,14 +7,30 @@
 //! {"op": "schedule", "id": "r1", "spec": "algorithm a { ... }",
 //!  "scheduler": "ftbar", "npf": 1, "strategy": "adaptive",
 //!  "timeout_ms": 2000, "include_schedule": false}
+//! {"op": "reschedule", "id": "r2", "spec": "algorithm a { ... }",
+//!  "edit": {"kind": "tweak_exec", "op": "A", "proc": "P1", "units": 2.5}}
 //! {"op": "status"}
 //! {"op": "shutdown"}
 //! ```
+//!
+//! `reschedule` carries the same fields as `schedule` (they identify the
+//! *parent* problem) plus an `edit` object; the daemon answers exactly
+//! what `schedule` would answer for the edited problem, repairing the
+//! parent's retained schedule incrementally when it can. Edit kinds and
+//! their fields: `tweak_exec` (`op`, `proc`, `units`), `tweak_comm`
+//! (`src`, `dst`, `units`), `allow_proc` (`op`, `proc`, `units`),
+//! `forbid_proc` (`op`, `proc`), `proc_down` (`proc`), `proc_up`
+//! (`proc`, `units`), `link_down` (`link`), `link_up` (`link`, `units`),
+//! `add_op` (`name`, `units`, `preds`, `succs`, `comm_units`),
+//! `remove_op` (`name`), `set_npf` (`npf`). A structurally malformed
+//! `edit` answers `bad_request`; an edit that does not *apply* (unknown
+//! names, bad values, invalid edited problem) answers `bad_edit`.
 //!
 //! Responses are rendered with a stable field order so identical requests
 //! produce byte-identical response lines (the cache contract). Every
 //! failure maps to exactly one documented [`ErrorCode`].
 
+use ftbar_core::edit::ProblemEdit;
 use ftbar_core::ftbar::SweepStrategy;
 use serde::Value;
 
@@ -43,6 +59,9 @@ pub enum ErrorCode {
     InternalPanic,
     /// The daemon is draining for shutdown and accepts no new work.
     ShuttingDown,
+    /// The edit of a `reschedule` request does not apply to its problem
+    /// (unknown names, bad values, or the edited problem is invalid).
+    BadEdit,
 }
 
 impl ErrorCode {
@@ -58,6 +77,7 @@ impl ErrorCode {
             ErrorCode::Poisoned => "poisoned",
             ErrorCode::InternalPanic => "internal_panic",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::BadEdit => "bad_edit",
         }
     }
 }
@@ -67,6 +87,9 @@ impl ErrorCode {
 pub enum Request {
     /// Schedule a problem.
     Schedule(ScheduleRequest),
+    /// Edit a previously scheduled problem and schedule the result,
+    /// repairing the parent's retained schedule when possible.
+    Reschedule(RescheduleRequest),
     /// Report daemon health and counters.
     Status,
     /// Drain in-flight work and exit.
@@ -107,6 +130,29 @@ impl ScheduleRequest {
     }
 }
 
+/// The `op: "reschedule"` request body: the parent problem (same fields
+/// as a schedule request) plus the edit to apply to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RescheduleRequest {
+    /// The parent request — identifies the problem being edited and how
+    /// the answer should be rendered.
+    pub base: ScheduleRequest,
+    /// The edit to apply.
+    pub edit: ProblemEdit,
+}
+
+impl RescheduleRequest {
+    /// The exact raw cache/poison key: the parent's key, namespaced, plus
+    /// the edit's deterministic description.
+    pub fn raw_key(&self) -> String {
+        format!(
+            "reschedule|{}|{}",
+            self.edit.describe(),
+            self.base.raw_key()
+        )
+    }
+}
+
 /// The stable wire name of a strategy choice.
 pub fn strategy_name(s: Option<SweepStrategy>) -> &'static str {
     match s {
@@ -131,64 +177,178 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match op {
         "status" => Ok(Request::Status),
         "shutdown" => Ok(Request::Shutdown),
-        "schedule" => {
-            let id = match v.get("id") {
-                None => None,
-                Some(i) => Some(
-                    i.as_str()
-                        .map(str::to_owned)
-                        .ok_or("`id` must be a string")?,
-                ),
-            };
-            let spec = v
-                .get("spec")
-                .and_then(Value::as_str)
-                .ok_or("`spec` (string) is required")?
-                .to_owned();
-            let scheduler = match v.get("scheduler") {
-                None => SchedulerKind::Ftbar,
-                Some(s) => match s.as_str() {
-                    Some("ftbar") => SchedulerKind::Ftbar,
-                    Some("hbp") => SchedulerKind::Hbp,
-                    _ => return Err("`scheduler` must be \"ftbar\" or \"hbp\"".into()),
-                },
-            };
-            let npf = match v.get("npf") {
-                None => None,
-                Some(n) => Some(parse_u32(n).ok_or("`npf` must be a non-negative integer")?),
-            };
-            let strategy = match v.get("strategy") {
-                None => None,
-                Some(s) => Some(match s.as_str() {
-                    Some("adaptive") => SweepStrategy::Adaptive,
-                    Some("incremental") => SweepStrategy::Incremental,
-                    Some("naive") => SweepStrategy::Naive,
-                    Some("clustered") => SweepStrategy::Clustered,
-                    _ => {
-                        return Err("`strategy` must be adaptive|incremental|naive|clustered".into())
-                    }
-                }),
-            };
-            let timeout_ms = match v.get("timeout_ms") {
-                None => None,
-                Some(t) => Some(parse_u64(t).ok_or("`timeout_ms` must be a non-negative integer")?),
-            };
-            let include_schedule = match v.get("include_schedule") {
-                None => false,
-                Some(Value::Bool(b)) => *b,
-                Some(_) => return Err("`include_schedule` must be a boolean".into()),
-            };
-            Ok(Request::Schedule(ScheduleRequest {
-                id,
-                spec,
-                scheduler,
-                npf,
-                strategy,
-                timeout_ms,
-                include_schedule,
-            }))
+        "schedule" => Ok(Request::Schedule(parse_schedule_fields(&v)?)),
+        "reschedule" => {
+            let base = parse_schedule_fields(&v)?;
+            let edit = parse_edit(v.get("edit").ok_or("`edit` (object) is required")?)?;
+            Ok(Request::Reschedule(RescheduleRequest { base, edit }))
         }
         other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Parses the shared schedule/reschedule fields of a request object.
+fn parse_schedule_fields(v: &Value) -> Result<ScheduleRequest, String> {
+    {
+        let id = match v.get("id") {
+            None => None,
+            Some(i) => Some(
+                i.as_str()
+                    .map(str::to_owned)
+                    .ok_or("`id` must be a string")?,
+            ),
+        };
+        let spec = v
+            .get("spec")
+            .and_then(Value::as_str)
+            .ok_or("`spec` (string) is required")?
+            .to_owned();
+        let scheduler = match v.get("scheduler") {
+            None => SchedulerKind::Ftbar,
+            Some(s) => match s.as_str() {
+                Some("ftbar") => SchedulerKind::Ftbar,
+                Some("hbp") => SchedulerKind::Hbp,
+                _ => return Err("`scheduler` must be \"ftbar\" or \"hbp\"".into()),
+            },
+        };
+        let npf = match v.get("npf") {
+            None => None,
+            Some(n) => Some(parse_u32(n).ok_or("`npf` must be a non-negative integer")?),
+        };
+        let strategy = match v.get("strategy") {
+            None => None,
+            Some(s) => Some(match s.as_str() {
+                Some("adaptive") => SweepStrategy::Adaptive,
+                Some("incremental") => SweepStrategy::Incremental,
+                Some("naive") => SweepStrategy::Naive,
+                Some("clustered") => SweepStrategy::Clustered,
+                _ => return Err("`strategy` must be adaptive|incremental|naive|clustered".into()),
+            }),
+        };
+        let timeout_ms = match v.get("timeout_ms") {
+            None => None,
+            Some(t) => Some(parse_u64(t).ok_or("`timeout_ms` must be a non-negative integer")?),
+        };
+        let include_schedule = match v.get("include_schedule") {
+            None => false,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err("`include_schedule` must be a boolean".into()),
+        };
+        Ok(ScheduleRequest {
+            id,
+            spec,
+            scheduler,
+            npf,
+            strategy,
+            timeout_ms,
+            include_schedule,
+        })
+    }
+}
+
+/// Parses a standalone `edit` object from JSON text — the CLI front door
+/// to [`parse_edit`] (the daemon parses edits embedded in request frames).
+///
+/// # Errors
+///
+/// A human-readable message when the text is not valid JSON or not a
+/// well-formed edit object.
+pub fn parse_edit_json(text: &str) -> Result<ProblemEdit, String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    parse_edit(&v)
+}
+
+/// Parses the `edit` object of a `reschedule` request into a
+/// [`ProblemEdit`]. `Err` carries the message for a
+/// [`ErrorCode::BadRequest`] response (the edit is structurally
+/// malformed; edits that are well-formed but do not *apply* answer
+/// [`ErrorCode::BadEdit`] later).
+pub fn parse_edit(v: &Value) -> Result<ProblemEdit, String> {
+    if v.as_object().is_none() {
+        return Err("`edit` must be a JSON object".into());
+    }
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("`edit.kind` (string) is required")?;
+    let str_field = |name: &str| -> Result<String, String> {
+        v.get(name)
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or(format!("`edit.{name}` (string) is required"))
+    };
+    let units_field = |name: &str| -> Result<f64, String> {
+        match v.get(name) {
+            Some(Value::Number(n)) => Ok(n.as_f64()),
+            _ => Err(format!("`edit.{name}` (number) is required")),
+        }
+    };
+    let names_field = |name: &str| -> Result<Vec<String>, String> {
+        match v.get(name) {
+            None => Ok(Vec::new()),
+            Some(Value::Array(items)) => items
+                .iter()
+                .map(|i| {
+                    i.as_str()
+                        .map(str::to_owned)
+                        .ok_or(format!("`edit.{name}` must be an array of strings"))
+                })
+                .collect(),
+            Some(_) => Err(format!("`edit.{name}` must be an array of strings")),
+        }
+    };
+    match kind {
+        "tweak_exec" => Ok(ProblemEdit::TweakExec {
+            op: str_field("op")?,
+            proc: str_field("proc")?,
+            units: units_field("units")?,
+        }),
+        "tweak_comm" => Ok(ProblemEdit::TweakComm {
+            src: str_field("src")?,
+            dst: str_field("dst")?,
+            units: units_field("units")?,
+        }),
+        "allow_proc" => Ok(ProblemEdit::AllowProc {
+            op: str_field("op")?,
+            proc: str_field("proc")?,
+            units: units_field("units")?,
+        }),
+        "forbid_proc" => Ok(ProblemEdit::ForbidProc {
+            op: str_field("op")?,
+            proc: str_field("proc")?,
+        }),
+        "proc_down" => Ok(ProblemEdit::ProcDown {
+            proc: str_field("proc")?,
+        }),
+        "proc_up" => Ok(ProblemEdit::ProcUp {
+            proc: str_field("proc")?,
+            units: units_field("units")?,
+        }),
+        "link_down" => Ok(ProblemEdit::LinkDown {
+            link: str_field("link")?,
+        }),
+        "link_up" => Ok(ProblemEdit::LinkUp {
+            link: str_field("link")?,
+            units: units_field("units")?,
+        }),
+        "add_op" => Ok(ProblemEdit::AddOp {
+            name: str_field("name")?,
+            units: units_field("units")?,
+            preds: names_field("preds")?,
+            succs: names_field("succs")?,
+            comm_units: units_field("comm_units")?,
+        }),
+        "remove_op" => Ok(ProblemEdit::RemoveOp {
+            name: str_field("name")?,
+        }),
+        "set_npf" => {
+            let npf = v
+                .get("npf")
+                .and_then(parse_u32)
+                .ok_or("`edit.npf` must be a non-negative integer")?;
+            Ok(ProblemEdit::SetNpf { npf })
+        }
+        other => Err(format!("unknown edit kind `{other}`")),
     }
 }
 
@@ -367,6 +527,100 @@ mod tests {
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), 5, "every shaping field must separate keys");
+    }
+
+    #[test]
+    fn parses_reschedule_requests() {
+        let r = parse_request(
+            r#"{"op": "reschedule", "id": "e1", "spec": "x",
+                "edit": {"kind": "tweak_exec", "op": "A", "proc": "P1", "units": 2.5}}"#,
+        )
+        .unwrap();
+        let Request::Reschedule(r) = r else {
+            panic!("expected reschedule")
+        };
+        assert_eq!(r.base.id.as_deref(), Some("e1"));
+        assert_eq!(
+            r.edit,
+            ProblemEdit::TweakExec {
+                op: "A".into(),
+                proc: "P1".into(),
+                units: 2.5
+            }
+        );
+
+        let r = parse_request(
+            r#"{"op": "reschedule", "spec": "x",
+                "edit": {"kind": "add_op", "name": "N", "units": 1,
+                         "preds": ["A"], "succs": [], "comm_units": 0.5}}"#,
+        )
+        .unwrap();
+        let Request::Reschedule(r) = r else {
+            panic!("expected reschedule")
+        };
+        assert_eq!(r.edit.kind(), "add_op");
+
+        let r = parse_request(
+            r#"{"op": "reschedule", "spec": "x", "edit": {"kind": "set_npf", "npf": 2}}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            r,
+            Request::Reschedule(RescheduleRequest {
+                edit: ProblemEdit::SetNpf { npf: 2 },
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_edits() {
+        for bad in [
+            r#"{"op": "reschedule", "spec": "x"}"#,
+            r#"{"op": "reschedule", "spec": "x", "edit": 7}"#,
+            r#"{"op": "reschedule", "spec": "x", "edit": {}}"#,
+            r#"{"op": "reschedule", "spec": "x", "edit": {"kind": "frobnicate"}}"#,
+            r#"{"op": "reschedule", "spec": "x", "edit": {"kind": "tweak_exec"}}"#,
+            r#"{"op": "reschedule", "spec": "x",
+                "edit": {"kind": "tweak_exec", "op": "A", "proc": "P1", "units": "fast"}}"#,
+            r#"{"op": "reschedule", "spec": "x",
+                "edit": {"kind": "add_op", "name": "N", "units": 1,
+                         "preds": [3], "comm_units": 1}}"#,
+            r#"{"op": "reschedule", "spec": "x", "edit": {"kind": "set_npf", "npf": -1}}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "expected Err for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn reschedule_raw_key_separates_edits_and_parents() {
+        let base = ScheduleRequest {
+            id: None,
+            spec: "s".into(),
+            scheduler: SchedulerKind::Ftbar,
+            npf: None,
+            strategy: None,
+            timeout_ms: None,
+            include_schedule: false,
+        };
+        let e1 = RescheduleRequest {
+            base: base.clone(),
+            edit: ProblemEdit::SetNpf { npf: 1 },
+        };
+        let e2 = RescheduleRequest {
+            base: base.clone(),
+            edit: ProblemEdit::SetNpf { npf: 2 },
+        };
+        let mut other = base.clone();
+        other.spec = "t".into();
+        let e3 = RescheduleRequest {
+            base: other,
+            edit: ProblemEdit::SetNpf { npf: 1 },
+        };
+        assert_ne!(e1.raw_key(), e2.raw_key());
+        assert_ne!(e1.raw_key(), e3.raw_key());
+        // Never collides with a plain schedule request's key space.
+        assert!(e1.raw_key().starts_with("reschedule|"));
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! flagged `"degraded": true`. Degraded responses are never cached, so
 //! cached bytes always equal the un-pressured direct response.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
@@ -34,10 +34,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use ftbar_core::edit::ProblemEdit;
 use ftbar_core::engine::EnginePools;
 use ftbar_core::ftbar::SweepStrategy;
+use ftbar_core::reschedule::{reschedule, schedule_retained, RescheduleError, ScheduleArtifacts};
 use ftbar_core::{ftbar, FtbarConfig};
-use ftbar_model::spec;
+use ftbar_model::{spec, Problem};
 
 use crate::cache::{canonical_key, CacheStats, ResponseCache};
 use crate::proto::{
@@ -84,6 +86,12 @@ pub struct ServerConfig {
     /// Queue depth at enqueue time at or above which an eligible job
     /// degrades.
     pub degrade_queue_depth: usize,
+    /// Retained-schedule slots for incremental rescheduling: the most
+    /// recent N distinct FTBAR answers keep their engine artifacts so a
+    /// `reschedule` request repairs instead of re-running. `0` disables
+    /// retention (reschedule then always schedules the edited problem
+    /// from scratch).
+    pub artifact_slots: usize,
     /// Chaos/test hook: a spec containing this marker panics inside the
     /// worker (see [`crate::BatchConfig::panic_marker`]). `None` in
     /// production.
@@ -106,6 +114,7 @@ impl Default for ServerConfig {
             degrade_min_ops: 256,
             degrade_headroom_ms: 250,
             degrade_queue_depth: 8,
+            artifact_slots: 32,
             panic_marker: None,
             handle_signals: false,
         }
@@ -117,6 +126,10 @@ type WorkerReply = Result<(Arc<str>, bool), (ErrorCode, String)>;
 
 struct Job {
     req: ScheduleRequest,
+    /// `Some` makes this a reschedule job: apply the edit to the parent
+    /// problem identified by `req`, repairing from retained artifacts
+    /// when possible.
+    edit: Option<ProblemEdit>,
     raw_key: String,
     deadline: Instant,
     depth_at_enqueue: usize,
@@ -129,7 +142,14 @@ struct Counters {
     ok: AtomicU64,
     degraded: AtomicU64,
     shed: AtomicU64,
-    errors: [AtomicU64; 9],
+    /// Reschedule requests answered by incremental repair of retained
+    /// artifacts.
+    reschedule_repairs: AtomicU64,
+    /// Reschedule requests answered by a full run of the edited problem
+    /// (structural edit, artifacts missing/evicted, clustered strategy,
+    /// or a non-FTBAR scheduler).
+    reschedule_fallbacks: AtomicU64,
+    errors: [AtomicU64; 10],
 }
 
 fn code_index(code: ErrorCode) -> usize {
@@ -143,10 +163,11 @@ fn code_index(code: ErrorCode) -> usize {
         ErrorCode::Poisoned => 6,
         ErrorCode::InternalPanic => 7,
         ErrorCode::ShuttingDown => 8,
+        ErrorCode::BadEdit => 9,
     }
 }
 
-const CODE_NAMES: [&str; 9] = [
+const CODE_NAMES: [&str; 10] = [
     "bad_request",
     "too_large",
     "spec_error",
@@ -156,7 +177,50 @@ const CODE_NAMES: [&str; 9] = [
     "poisoned",
     "internal_panic",
     "shutting_down",
+    "bad_edit",
 ];
+
+/// Bounded FIFO store of retained schedule artifacts, keyed by the
+/// canonical key of the response they belong to. A reschedule request
+/// looks its parent up here; every retained FTBAR answer (schedule or
+/// repair) is inserted, evicting the oldest distinct key over capacity.
+struct ArtifactStore {
+    map: HashMap<String, Arc<ScheduleArtifacts>>,
+    order: VecDeque<String>,
+    cap: usize,
+}
+
+impl ArtifactStore {
+    fn new(cap: usize) -> Self {
+        ArtifactStore {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap,
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<Arc<ScheduleArtifacts>> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: String, artifacts: Arc<ScheduleArtifacts>) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.insert(key.clone(), artifacts).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > self.cap {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.map.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
 
 /// One response line per request line, plus whether the frame asked the
 /// daemon to shut down.
@@ -185,6 +249,7 @@ pub struct ServerState {
     cache: Mutex<ResponseCache>,
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
+    artifacts: Mutex<ArtifactStore>,
     poisoned: Mutex<HashSet<String>>,
     shutdown: AtomicBool,
     started: Instant,
@@ -200,6 +265,7 @@ impl ServerState {
             cache: Mutex::new(ResponseCache::new(config.cache_bytes)),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
+            artifacts: Mutex::new(ArtifactStore::new(config.artifact_slots)),
             poisoned: Mutex::new(HashSet::new()),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
@@ -260,17 +326,28 @@ impl ServerState {
                     "{\"status\": \"ok\", \"op\": \"shutdown\", \"draining\": true}".to_owned(),
                 )
             }
-            Request::Schedule(req) => FrameOutcome::Reply(self.handle_schedule(req)),
+            Request::Schedule(req) => {
+                let raw_key = req.raw_key();
+                FrameOutcome::Reply(self.handle_schedule(req, None, raw_key))
+            }
+            Request::Reschedule(r) => {
+                let raw_key = r.raw_key();
+                FrameOutcome::Reply(self.handle_schedule(r.base, Some(r.edit), raw_key))
+            }
         }
     }
 
-    fn handle_schedule(&self, req: ScheduleRequest) -> String {
+    fn handle_schedule(
+        &self,
+        req: ScheduleRequest,
+        edit: Option<ProblemEdit>,
+        raw_key: String,
+    ) -> String {
         let id = req.id.clone();
         let id = id.as_deref();
         if self.shutting_down() {
             return self.error(id, ErrorCode::ShuttingDown, "daemon is draining");
         }
-        let raw_key = req.raw_key();
 
         // Poisoned specs are refused cheaply, before any work.
         if self.poisoned.lock().unwrap().contains(&raw_key) {
@@ -319,6 +396,7 @@ impl ServerState {
             let depth_at_enqueue = queue.len();
             queue.push_back(Job {
                 req,
+                edit,
                 raw_key,
                 deadline,
                 depth_at_enqueue,
@@ -400,7 +478,14 @@ impl ServerState {
                 self.counters.errors[i].load(Ordering::Relaxed)
             ));
         }
-        out.push_str("}}");
+        out.push('}');
+        out.push_str(&format!(
+            ", \"reschedule\": {{\"repairs\": {}, \"fallbacks\": {}, \"artifacts\": {}}}",
+            self.counters.reschedule_repairs.load(Ordering::Relaxed),
+            self.counters.reschedule_fallbacks.load(Ordering::Relaxed),
+            self.artifacts.lock().unwrap().len(),
+        ));
+        out.push('}');
         out
     }
 }
@@ -451,23 +536,31 @@ fn execute_job(state: &ServerState, job: Job, pools: &mut EnginePools) {
         depth_at_enqueue: job.depth_at_enqueue,
     };
     let taken = std::mem::take(pools);
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        compute_response(&job.req, &state.config, Some(&pressure), taken)
+    let outcome = catch_unwind(AssertUnwindSafe(|| match &job.edit {
+        None => compute_response(&job.req, &state.config, Some(&pressure), taken),
+        Some(edit) => compute_reschedule(state, &job.req, edit, taken),
     }));
     let reply: WorkerReply = match outcome {
         Ok((result, p)) => {
             *pools = p;
             match result {
-                Ok((body, canonical, degraded)) => {
-                    let body: Arc<str> = Arc::from(body.as_str());
-                    if !degraded {
+                Ok(computed) => {
+                    let body: Arc<str> = Arc::from(computed.body.as_str());
+                    if !computed.degraded {
+                        state.cache.lock().unwrap().insert(
+                            &job.raw_key,
+                            &computed.canonical,
+                            &body,
+                        );
+                    }
+                    if let Some(artifacts) = computed.artifacts {
                         state
-                            .cache
+                            .artifacts
                             .lock()
                             .unwrap()
-                            .insert(&job.raw_key, &canonical, &body);
+                            .insert(computed.canonical, Arc::new(artifacts));
                     }
-                    Ok((body, degraded))
+                    Ok((body, computed.degraded))
                 }
                 Err(e) => Err(e),
             }
@@ -486,9 +579,21 @@ fn execute_job(state: &ServerState, job: Job, pools: &mut EnginePools) {
     let _ = job.reply.send(reply);
 }
 
-/// A computed schedule answer: `Ok((body, canonical_key, degraded))` or
-/// the error code + message to report.
-pub(crate) type ComputedResponse = Result<(String, String, bool), (ErrorCode, String)>;
+/// A successfully computed schedule answer.
+pub(crate) struct Computed {
+    /// Rendered id-less response body (the cacheable bytes).
+    pub body: String,
+    /// Canonical cache key of the problem this body answers.
+    pub canonical: String,
+    /// True when the degraded (clustered) fallback ran; never cached.
+    pub degraded: bool,
+    /// Retained engine state for later incremental rescheduling, when
+    /// the run produced one worth keeping.
+    pub artifacts: Option<ScheduleArtifacts>,
+}
+
+/// A computed schedule answer or the error code + message to report.
+pub(crate) type ComputedResponse = Result<Computed, (ErrorCode, String)>;
 
 /// Computes the full (body, canonical key, degraded) answer for a
 /// schedule request. With `pressure: None` this is the *direct* path:
@@ -544,26 +649,44 @@ pub(crate) fn compute_response(
     } else {
         req.strategy.unwrap_or_default()
     };
-    let (schedule, pools) = match req.scheduler {
+    let (schedule, pools, artifacts) = match req.scheduler {
         SchedulerKind::Ftbar => {
             let ftbar_config = FtbarConfig {
                 sweep: strategy,
                 ..FtbarConfig::default()
             };
-            match ftbar::schedule_with_pools(&problem, &ftbar_config, pools) {
-                Ok((outcome, pools)) => (outcome.schedule, pools),
-                Err(e) => {
-                    return (
-                        Err((ErrorCode::ScheduleError, format!("schedule error: {e}"))),
-                        EnginePools::default(),
-                    )
+            if !degraded && config.artifact_slots > 0 {
+                // Retain the engine state so a later `reschedule` of this
+                // problem repairs instead of re-running. Bit-identical to
+                // the pooled run.
+                match schedule_retained(&problem, &ftbar_config) {
+                    Ok((schedule, artifacts)) => {
+                        let keep = (artifacts.step_count() > 0).then_some(artifacts);
+                        (schedule, pools, keep)
+                    }
+                    Err(e) => {
+                        return (
+                            Err((ErrorCode::ScheduleError, format!("schedule error: {e}"))),
+                            EnginePools::default(),
+                        )
+                    }
+                }
+            } else {
+                match ftbar::schedule_with_pools(&problem, &ftbar_config, pools) {
+                    Ok((outcome, pools)) => (outcome.schedule, pools, None),
+                    Err(e) => {
+                        return (
+                            Err((ErrorCode::ScheduleError, format!("schedule error: {e}"))),
+                            EnginePools::default(),
+                        )
+                    }
                 }
             }
         }
         SchedulerKind::Hbp => {
             match ftbar_hbp::schedule_with_pools(&problem, &ftbar_hbp::HbpConfig::default(), pools)
             {
-                Ok(ok) => ok,
+                Ok((schedule, pools)) => (schedule, pools, None),
                 Err(e) => {
                     return (
                         Err((ErrorCode::ScheduleError, format!("schedule error: {e}"))),
@@ -573,6 +696,21 @@ pub(crate) fn compute_response(
             }
         }
     };
+    let mut computed = render_scheduled(req, &problem, schedule, degraded);
+    computed.artifacts = artifacts;
+    (Ok(computed), pools)
+}
+
+/// Renders the deterministic (body, canonical key) answer for `schedule`
+/// of `problem` under `req`'s rendering options. The canonical key uses
+/// the *requested* strategy: degraded bodies are never cached, so the key
+/// only ever labels exact responses.
+fn render_scheduled(
+    req: &ScheduleRequest,
+    problem: &Problem,
+    schedule: ftbar_core::Schedule,
+    degraded: bool,
+) -> Computed {
     let result = JobResult {
         scheduler: req.scheduler,
         npf: problem.npf(),
@@ -585,16 +723,139 @@ pub(crate) fn compute_response(
         rtc_met: problem.rtc().map(|rtc| schedule.makespan() <= rtc),
         schedule: req.include_schedule.then_some(schedule),
     };
-    // The canonical key uses the *requested* strategy: degraded bodies
-    // are never cached, so the key only ever labels exact responses.
     let canonical = canonical_key(
-        &problem,
+        problem,
         req.scheduler,
         strategy_name(req.strategy),
         req.include_schedule,
     );
     let body = render_ok(None, &result, degraded);
-    (Ok((body, canonical, degraded)), pools)
+    Computed {
+        body,
+        canonical,
+        degraded,
+        artifacts: None,
+    }
+}
+
+/// Computes the answer for a `reschedule` request: parse the parent
+/// problem, look up its retained artifacts by canonical key, and repair —
+/// falling back to a full run of the edited problem when the artifacts
+/// are missing (never scheduled, evicted, clustered) or the edit is
+/// structural. The body is byte-identical to what a `schedule` request
+/// for the edited problem answers; repair never degrades.
+pub(crate) fn compute_reschedule(
+    state: &ServerState,
+    req: &ScheduleRequest,
+    edit: &ProblemEdit,
+    pools: EnginePools,
+) -> (ComputedResponse, EnginePools) {
+    let config = &state.config;
+    if let Some(marker) = &config.panic_marker {
+        if req.spec.contains(marker.as_str()) {
+            panic!("injected panic (marker `{marker}`)");
+        }
+    }
+    let problem = match spec::parse_problem(&req.spec) {
+        Ok(p) => p,
+        Err(e) => {
+            return (
+                Err((ErrorCode::SpecError, format!("spec error: {e}"))),
+                pools,
+            )
+        }
+    };
+    let problem = match req.npf {
+        None => problem,
+        Some(npf) => match problem.with_npf(npf) {
+            Ok(p) => p,
+            Err(e) => {
+                return (
+                    Err((ErrorCode::SpecError, format!("npf override: {e}"))),
+                    pools,
+                )
+            }
+        },
+    };
+
+    if req.scheduler == SchedulerKind::Hbp {
+        // No retained-repair path for HBP: schedule the edited problem.
+        let edited = match edit.apply(&problem) {
+            Ok(p) => p,
+            Err(e) => return (Err((ErrorCode::BadEdit, format!("bad edit: {e}"))), pools),
+        };
+        state
+            .counters
+            .reschedule_fallbacks
+            .fetch_add(1, Ordering::Relaxed);
+        return match ftbar_hbp::schedule_with_pools(
+            &edited,
+            &ftbar_hbp::HbpConfig::default(),
+            pools,
+        ) {
+            Ok((schedule, pools)) => (Ok(render_scheduled(req, &edited, schedule, false)), pools),
+            Err(e) => (
+                Err((ErrorCode::ScheduleError, format!("schedule error: {e}"))),
+                EnginePools::default(),
+            ),
+        };
+    }
+
+    let ftbar_config = FtbarConfig {
+        sweep: req.strategy.unwrap_or_default(),
+        ..FtbarConfig::default()
+    };
+    let parent_key = canonical_key(
+        &problem,
+        req.scheduler,
+        strategy_name(req.strategy),
+        req.include_schedule,
+    );
+    let parent = state.artifacts.lock().unwrap().get(&parent_key);
+    let (schedule, artifacts, repaired) = match parent {
+        Some(prev) => match reschedule(&prev, edit) {
+            Ok(out) => (out.schedule, out.artifacts, !out.report.fell_back),
+            Err(RescheduleError::Edit(e)) => {
+                return (Err((ErrorCode::BadEdit, format!("bad edit: {e}"))), pools)
+            }
+            Err(RescheduleError::Schedule(e)) => {
+                return (
+                    Err((ErrorCode::ScheduleError, format!("schedule error: {e}"))),
+                    pools,
+                )
+            }
+        },
+        None => {
+            let edited = match edit.apply(&problem) {
+                Ok(p) => p,
+                Err(e) => return (Err((ErrorCode::BadEdit, format!("bad edit: {e}"))), pools),
+            };
+            match schedule_retained(&edited, &ftbar_config) {
+                Ok((schedule, artifacts)) => (schedule, artifacts, false),
+                Err(e) => {
+                    return (
+                        Err((ErrorCode::ScheduleError, format!("schedule error: {e}"))),
+                        pools,
+                    )
+                }
+            }
+        }
+    };
+    if repaired {
+        state
+            .counters
+            .reschedule_repairs
+            .fetch_add(1, Ordering::Relaxed);
+    } else {
+        state
+            .counters
+            .reschedule_fallbacks
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    let mut computed = render_scheduled(req, artifacts.problem(), schedule, false);
+    computed.artifacts =
+        (artifacts.step_count() > 0 && config.artifact_slots > 0).then_some(artifacts);
+    (Ok(computed), pools)
 }
 
 /// The response an unloaded daemon gives `req`, bypassing every queue and
@@ -603,7 +864,7 @@ pub fn direct_response(req: &ScheduleRequest) -> String {
     let config = ServerConfig::default();
     let (result, _pools) = compute_response(req, &config, None, EnginePools::default());
     match result {
-        Ok((body, _canonical, _degraded)) => with_id(req.id.as_deref(), &body),
+        Ok(computed) => with_id(req.id.as_deref(), &computed.body),
         Err((code, message)) => render_error(req.id.as_deref(), code, &message),
     }
 }

@@ -45,5 +45,5 @@ pub mod presets;
 mod timing_gen;
 
 pub use layered_gen::{layered, LayeredConfig};
-pub use presets::{campaign_problem, problem_on, scheduling_point, Topology};
+pub use presets::{campaign_problem, problem_on, reverse_topo_ops, scheduling_point, Topology};
 pub use timing_gen::{timing, TimingConfig};

@@ -106,6 +106,35 @@ pub fn campaign_problem(topology: Topology, n_ops: usize) -> Problem {
     problem_on(topology, n_ops, 1.0, 60_000 + n_ops as u64)
 }
 
+/// Operation names in reverse topological order — sink operations first,
+/// entries last, ties broken by operation id (deterministic).
+///
+/// Edit pickers probing for a *deep* invalidation frontier (an edit whose
+/// bottom-level ripple stays near the end of the placement sequence) walk
+/// this order: the closer an operation sits to the sinks, the fewer
+/// ancestors see their bottom level move when its timing changes.
+pub fn reverse_topo_ops(alg: &ftbar_model::Alg) -> Vec<String> {
+    let n = alg.op_count();
+    let mut out_deg = vec![0usize; n];
+    for op in alg.ops() {
+        out_deg[op.index()] = alg.sched_succs(op).count();
+    }
+    let mut ready: std::collections::VecDeque<_> =
+        alg.ops().filter(|o| out_deg[o.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(op) = ready.pop_front() {
+        order.push(alg.op(op).name().to_owned());
+        for (_, pred) in alg.sched_preds(op) {
+            out_deg[pred.index()] -= 1;
+            if out_deg[pred.index()] == 0 {
+                ready.push_back(pred);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "algorithm graphs are acyclic");
+    order
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +180,24 @@ mod tests {
     /// A cheap deterministic fingerprint without depending on ftbar-core.
     fn ftbar_core_free_probe(p: &Problem) -> (usize, usize, u32) {
         (p.alg().dep_count(), p.arch().link_count(), p.npf())
+    }
+
+    #[test]
+    fn reverse_topo_puts_sinks_before_their_preds() {
+        let p = scheduling_point(50);
+        let order = reverse_topo_ops(p.alg());
+        assert_eq!(order.len(), 50);
+        let pos = |name: &str| order.iter().position(|o| o == name).unwrap();
+        for op in p.alg().ops() {
+            for (_, succ) in p.alg().sched_succs(op) {
+                let succ_name = p.alg().op(succ).name();
+                assert!(
+                    pos(succ_name) < pos(p.alg().op(op).name()),
+                    "successor {succ_name} must precede its predecessor"
+                );
+            }
+        }
+        // Deterministic: same problem, same order.
+        assert_eq!(order, reverse_topo_ops(scheduling_point(50).alg()));
     }
 }

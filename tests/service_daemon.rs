@@ -291,6 +291,87 @@ fn pipelined_client_and_tcp_listener_work() {
 }
 
 #[test]
+fn reschedule_round_trip_matches_cold_schedule_of_edited_spec() {
+    use ftbar::service::proto::parse_edit_json;
+
+    let (listener, state, handle) = start("resched", ServerConfig::default());
+    let spec_text = paper_spec();
+
+    // Warm the daemon: scheduling the parent retains its engine artifacts.
+    let parent = request(
+        &listener,
+        &schedule_line(&spec_text, ", \"include_schedule\": true"),
+        &opts(),
+    )
+    .unwrap();
+    assert!(parent.contains("\"status\": \"ok\""), "{parent}");
+
+    // Repair the parent with a timing tweak.
+    let edit = "{\"kind\": \"tweak_exec\", \"op\": \"I\", \"proc\": \"P1\", \"units\": 4}";
+    let line = format!(
+        "{{\"op\": \"reschedule\", \"id\": \"e1\", \"include_schedule\": true, \
+         \"spec\": {}, \"edit\": {}}}",
+        serde_json::to_string(&spec_text).unwrap(),
+        edit
+    );
+    let repaired = request(&listener, &line, &opts()).unwrap();
+    assert!(repaired.contains("\"status\": \"ok\""), "{repaired}");
+
+    // The contract the CI smoke test `cmp`s: the repair answer is
+    // byte-identical to a cold schedule of the edited spec.
+    let problem = spec::parse_problem(&spec_text).unwrap();
+    let edited = parse_edit_json(edit).unwrap().apply(&problem).unwrap();
+    let cold = direct_response(&ScheduleRequest {
+        id: Some("e1".into()),
+        spec: spec::print_problem(&edited),
+        scheduler: SchedulerKind::Ftbar,
+        npf: None,
+        strategy: None,
+        timeout_ms: None,
+        include_schedule: true,
+    });
+    assert_eq!(
+        repaired, cold,
+        "repair must match a cold schedule of the edited spec"
+    );
+
+    // A structural edit still answers correctly, via the full-run fallback.
+    let structural = format!(
+        "{{\"op\": \"reschedule\", \"spec\": {}, \
+         \"edit\": {{\"kind\": \"set_npf\", \"npf\": 0}}}}",
+        serde_json::to_string(&spec_text).unwrap()
+    );
+    let fell_back = request(&listener, &structural, &opts()).unwrap();
+    assert!(fell_back.contains("\"status\": \"ok\""), "{fell_back}");
+
+    // A well-formed edit that does not apply answers `bad_edit`.
+    let bad = format!(
+        "{{\"op\": \"reschedule\", \"spec\": {}, \
+         \"edit\": {{\"kind\": \"tweak_exec\", \"op\": \"Zz\", \"proc\": \"P1\", \"units\": 1}}}}",
+        serde_json::to_string(&spec_text).unwrap()
+    );
+    let rejected = request(&listener, &bad, &opts()).unwrap();
+    assert!(rejected.contains("\"code\": \"bad_edit\""), "{rejected}");
+
+    // A malformed edit object never reaches the scheduler: `bad_request`.
+    let malformed = format!(
+        "{{\"op\": \"reschedule\", \"spec\": {}, \"edit\": {{\"kind\": \"warp\"}}}}",
+        serde_json::to_string(&spec_text).unwrap()
+    );
+    let refused = request(&listener, &malformed, &opts()).unwrap();
+    assert!(refused.contains("\"code\": \"bad_request\""), "{refused}");
+
+    // Status round-trips the repair/fallback counters and the store size.
+    let status = request(&listener, "{\"op\": \"status\"}", &opts()).unwrap();
+    assert!(
+        status.contains("\"reschedule\": {\"repairs\": 1, \"fallbacks\": 1, \"artifacts\": "),
+        "{status}"
+    );
+    drop(state);
+    shutdown(&listener, handle);
+}
+
+#[test]
 fn shutdown_drains_and_new_work_is_refused_while_draining() {
     let (_listener, state, handle) = start("drain", ServerConfig::default());
     state.begin_shutdown();

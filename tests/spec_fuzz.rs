@@ -5,6 +5,7 @@
 //! `Ok`/`Err`, never a panic or a hang.
 
 use ftbar::model::spec::parse_problem;
+use ftbar::service::proto::parse_edit_json;
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -101,6 +102,103 @@ proptest! {
             _ => "}".repeat(depth),
         };
         let _ = parse_problem(&spec);
+    }
+}
+
+/// A well-formed `edit` frame of every kind, for the mutation harness.
+const EDIT_BASE: &str = "{\"kind\": \"tweak_exec\", \"op\": \"X\", \"proc\": \"P1\", \
+     \"units\": 1.5, \"src\": \"X\", \"dst\": \"Y\", \"link\": \"L\", \"name\": \"Z\", \
+     \"preds\": [\"X\"], \"succs\": [\"Y\"], \"comm_units\": 0.5, \"npf\": 1}";
+
+/// The edit kinds the `reschedule` protocol op accepts.
+const EDIT_KINDS: &[&str] = &[
+    "tweak_exec",
+    "tweak_comm",
+    "allow_proc",
+    "forbid_proc",
+    "proc_down",
+    "proc_up",
+    "link_down",
+    "link_up",
+    "add_op",
+    "remove_op",
+    "set_npf",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// `ProblemEdit` frames under the same mutations as the spec parser:
+    /// truncation and garbage splices must come back as `Ok`/`Err` (the
+    /// documented `bad_request` path), never a panic or a hang.
+    #[test]
+    fn mutated_edit_frames_never_panic(seed in 0u64..5_000, kind in 0usize..11) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut frame = EDIT_BASE.replace("tweak_exec", EDIT_KINDS[kind]);
+        match rng.gen_range(0u32..3) {
+            0 => {
+                let mut at = rng.gen_range(0usize..=frame.len());
+                while !frame.is_char_boundary(at) {
+                    at -= 1;
+                }
+                frame.truncate(at);
+            }
+            _ => {
+                for _ in 0..rng.gen_range(1usize..6) {
+                    let frag = GARBAGE[rng.gen_range(0usize..GARBAGE.len())];
+                    let mut at = rng.gen_range(0usize..=frame.len());
+                    while !frame.is_char_boundary(at) {
+                        at -= 1;
+                    }
+                    frame.insert_str(at, frag);
+                }
+            }
+        }
+        let _ = parse_edit_json(&frame);
+    }
+
+    /// Hostile values in well-formed edit JSON: huge and negative numbers,
+    /// wrong types in every field, deep arrays. A clean `Err` (or an `Ok`
+    /// the model layer will re-validate on `apply`), never a panic.
+    #[test]
+    fn hostile_edit_values_never_panic(kind in 0usize..11, which in 0usize..7) {
+        let frame = EDIT_BASE.replace("tweak_exec", EDIT_KINDS[kind]);
+        let mutated = match which {
+            0 => frame.replace("1.5", &format!("1{}", "0".repeat(400))),
+            1 => frame.replace("1.5", "-7"),
+            2 => frame.replace("\"units\": 1.5", "\"units\": \"soon\""),
+            3 => frame.replace("\"npf\": 1", "\"npf\": -1"),
+            4 => frame.replace("[\"X\"]", &format!("[{}\"X\"{}]", "[".repeat(40), "]".repeat(40))),
+            5 => frame.replace("[\"X\"]", "[1, 2, 3]"),
+            _ => frame.replace("\"op\": \"X\"", "\"op\": {}"),
+        };
+        let _ = parse_edit_json(&mutated);
+    }
+}
+
+/// Every documented edit kind parses from its canonical frame, and the
+/// malformed shapes the protocol documents all answer a clean error.
+#[test]
+fn edit_frames_parse_and_reject_as_documented() {
+    for kind in EDIT_KINDS {
+        let frame = EDIT_BASE.replace("tweak_exec", kind);
+        let parsed = parse_edit_json(&frame)
+            .unwrap_or_else(|e| panic!("canonical `{kind}` frame must parse: {e}"));
+        assert_eq!(parsed.kind(), *kind);
+    }
+    for (bad, msg) in [
+        ("", "invalid JSON"),
+        ("7", "must be a JSON object"),
+        ("{}", "`edit.kind` (string) is required"),
+        ("{\"kind\": \"warp\"}", "unknown edit kind"),
+        ("{\"kind\": \"tweak_exec\"}", "is required"),
+        (
+            "{\"kind\": \"set_npf\", \"npf\": 1.5}",
+            "non-negative integer",
+        ),
+    ] {
+        let e = parse_edit_json(bad).expect_err(bad);
+        assert!(e.contains(msg), "`{bad}` -> `{e}` (wanted `{msg}`)");
     }
 }
 
