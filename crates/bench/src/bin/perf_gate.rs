@@ -1,5 +1,5 @@
 //! Machine-readable scheduling-time gate: emits `BENCH_scheduling.json`
-//! (schema 6) with the median nanoseconds of every `scheduling_time`
+//! (schema 7) with the median nanoseconds of every `scheduling_time`
 //! point (the FTBAR/HBP main loops at N up to 10,000; the expensive
 //! naive/HBP references stop at N = 1000), every `batch_throughput`
 //! point (the service layer at several `--jobs` worker counts), every
@@ -9,9 +9,12 @@
 //! every `reschedule` point (single-edit delta repair vs a from-scratch
 //! re-run at the large-N scaling points), a `sweep_stats` section
 //! (per-size probe-cache, orbit-pruning, and cluster-granularity
-//! counters), and an `allocations` section (steady-state allocation
-//! counts through a counting global allocator) so the perf trajectory is
-//! tracked in-repo, not anecdotally.
+//! counters), an `allocations` section (steady-state allocation
+//! counts through a counting global allocator), and a `persistence`
+//! section (snapshot encode/write and read/decode latency at several
+//! synthetic cache sizes, plus warm-restart request throughput against
+//! a restored cache) so the perf trajectory is tracked in-repo, not
+//! anecdotally.
 //!
 //! ```sh
 //! cargo run --release -p ftbar-bench --bin perf_gate            # full run
@@ -43,6 +46,7 @@ use ftbar_core::{ftbar, FtbarConfig, SweepStrategy};
 use ftbar_hbp::{HbpConfig, PairSearch};
 use ftbar_model::Problem;
 use ftbar_service::client::{request, Client, RequestOpts};
+use ftbar_service::persist::{read_snapshot, write_snapshot, SnapshotData};
 use ftbar_service::server::{serve_with_state, Listener, ServerConfig, ServerState};
 use ftbar_service::{run_batch, run_campaign, BatchConfig, JobInput, JobSpec, SchedulerKind};
 use ftbar_sim::scenario::ScenarioConfig;
@@ -276,6 +280,31 @@ fn point_keys(json: &str) -> Vec<((String, String, usize), u128)> {
         .collect()
 }
 
+/// Section arrays present in `json` that hold no rows — e.g. a baseline
+/// committed from a filtered or partial run. `--check` warns on these
+/// instead of failing: an empty committed section gates nothing, and
+/// silently passing it would read as coverage that does not exist.
+fn empty_sections(json: &str) -> Vec<&'static str> {
+    [
+        "points",
+        "scenarios",
+        "service_throughput",
+        "reschedule",
+        "sweep_stats",
+        "allocations",
+        "persistence",
+    ]
+    .into_iter()
+    .filter(|name| {
+        json.find(&format!("\"{name}\": [")).is_some_and(|i| {
+            json[i..]
+                .split_once('[')
+                .is_some_and(|(_, rest)| rest.trim_start().starts_with(']'))
+        })
+    })
+    .collect()
+}
+
 /// The perf-regression smoke: every point key of the committed baseline
 /// must still exist in the fresh output, and the fresh output must carry
 /// the schema header and every section. With `tolerance = Some(k)` (both
@@ -290,13 +319,14 @@ fn check_against_baseline(
     let mut failures = Vec::new();
     let mut regressions = Vec::new();
     for required in [
-        "\"schema\": 6",
+        "\"schema\": 7",
         "\"points\": [",
         "\"scenarios\": [",
         "\"service_throughput\": [",
         "\"reschedule\": [",
         "\"sweep_stats\": [",
         "\"allocations\": [",
+        "\"persistence\": [",
     ] {
         if !fresh.contains(required) {
             failures.push(format!("fresh output is missing `{required}`"));
@@ -735,8 +765,135 @@ fn main() {
         );
     }
 
+    // Snapshot persistence: encode + atomic-write and read + decode
+    // latency of the durable-state layer at several synthetic cache
+    // sizes (~600-byte bodies, the ballpark of a rendered paper-example
+    // response), plus the warm-restart daemon point: request throughput
+    // against a cache restored from disk instead of computed.
+    struct PersistPoint {
+        variant: String,
+        n_ops: usize,
+        median_ns: u128,
+        bytes: u64,
+    }
+    let mut persist_points: Vec<PersistPoint> = Vec::new();
+    let body: String = "x".repeat(600);
+    for entries in [64usize, 512, 4096] {
+        let data = SnapshotData {
+            cache_entries: (0..entries)
+                .map(|i| {
+                    (
+                        format!("canon-key-{i:06}"),
+                        std::sync::Arc::from(body.as_str()),
+                    )
+                })
+                .collect(),
+            memos: (0..entries)
+                .map(|i| (format!("raw-key-{i:06}"), format!("canon-key-{i:06}")))
+                .collect(),
+            poisoned: Vec::new(),
+            seeds: Vec::new(),
+        };
+        let path = std::env::temp_dir().join(format!(
+            "ftbar-perf-snap-{entries}-{}.snap",
+            std::process::id()
+        ));
+        let stats = write_snapshot(&path, &data).expect("snapshot writes");
+        let write = || {
+            write_snapshot(&path, &data).expect("snapshot writes");
+        };
+        let load = || {
+            let restore = read_snapshot(&path)
+                .expect("snapshot readable")
+                .expect("snapshot present");
+            assert_eq!(restore.data.cache_entries.len(), entries);
+        };
+        for (variant, f) in [("write", &write as &dyn Fn()), ("load", &load)] {
+            let median = measure(f, smoke);
+            println!(
+                "persistence/{variant}/{entries}: {median} ns ({} bytes)",
+                stats.bytes
+            );
+            persist_points.push(PersistPoint {
+                variant: variant.to_string(),
+                n_ops: entries,
+                median_ns: median,
+                bytes: stats.bytes,
+            });
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+    {
+        // Warm-restart throughput: daemon A computes and snapshots the
+        // paper-example response; daemon B restores it from disk and
+        // serves it as pure cache hits.
+        let snap =
+            std::env::temp_dir().join(format!("ftbar-perf-restart-{}.snap", std::process::id()));
+        let _ = std::fs::remove_file(&snap);
+        let config = ServerConfig {
+            workers: 1,
+            cache_bytes: 8 * 1024 * 1024,
+            snapshot_path: Some(snap.clone()),
+            ..ServerConfig::default()
+        };
+        let opts = RequestOpts::default();
+        for phase in ["populate", "restored-hit"] {
+            let socket = std::env::temp_dir()
+                .join(format!("ftbar-perf-{phase}-{}.sock", std::process::id()));
+            let listener = Listener::Unix(socket);
+            let state = ServerState::new(config.clone());
+            let daemon = {
+                let l = listener.clone();
+                let s = std::sync::Arc::clone(&state);
+                std::thread::spawn(move || serve_with_state(&l, &s))
+            };
+            request(&listener, "{\"op\": \"status\"}", &opts).expect("daemon comes up");
+            let warm = request(&listener, &service_line, &opts).expect("warm-up request");
+            assert!(warm.contains("\"status\": \"ok\""), "{warm}");
+            if phase == "populate" {
+                let written =
+                    request(&listener, "{\"op\": \"snapshot\"}", &opts).expect("snapshot answers");
+                assert!(written.contains("\"status\": \"ok\""), "{written}");
+            } else {
+                let status = request(&listener, "{\"op\": \"status\"}", &opts).expect("status");
+                assert!(status.contains("\"restore\": \"restored\""), "{status}");
+                let snap_bytes = std::fs::metadata(&snap).expect("snapshot present").len();
+                let requests = if smoke { 8 } else { 64 };
+                let client = std::sync::Mutex::new(Client::connect(&listener).expect("connect"));
+                let f = || {
+                    let mut c = client.lock().expect("client free");
+                    for _ in 0..requests {
+                        c.queue_line(&service_line).expect("send");
+                    }
+                    c.flush().expect("flush pipeline");
+                    for _ in 0..requests {
+                        let r = c.read_line().expect("receive");
+                        assert!(r.contains("\"status\": \"ok\""), "{r}");
+                    }
+                };
+                let median = measure(&f, smoke);
+                let per_sec = requests as f64 * 1e9 / median.max(1) as f64;
+                println!(
+                    "persistence/restored-hit/9: {median} ns for {requests} requests ({per_sec:.0}/s)"
+                );
+                persist_points.push(PersistPoint {
+                    variant: "restored-hit".to_string(),
+                    n_ops: 9,
+                    median_ns: median,
+                    bytes: snap_bytes,
+                });
+            }
+            request(&listener, "{\"op\": \"shutdown\"}", &opts).expect("shutdown answers");
+            daemon
+                .join()
+                .expect("daemon thread")
+                .expect("daemon drains cleanly");
+        }
+        let _ = std::fs::remove_file(&snap);
+    }
+
     // Hand-rolled JSON: stable field order, no dependencies.
-    let mut json = String::from("{\n  \"schema\": 6,\n  \"unit\": \"ns\",\n");
+    let mut json = String::from("{\n  \"schema\": 7,\n  \"unit\": \"ns\",\n");
     json.push_str(&format!("  \"smoke\": {smoke},\n  \"points\": [\n"));
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
@@ -812,6 +969,17 @@ fn main() {
             if i + 1 < allocs.len() { "," } else { "" }
         ));
     }
+    json.push_str("  ],\n  \"persistence\": [\n");
+    for (i, p) in persist_points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"bench\": \"persistence\", \"variant\": \"{}\", \"n_ops\": {}, \"median_ns\": {}, \"bytes\": {}}}{}\n",
+            p.variant,
+            p.n_ops,
+            p.median_ns,
+            p.bytes,
+            if i + 1 < persist_points.len() { "," } else { "" }
+        ));
+    }
     json.push_str("  ]\n}\n");
     std::fs::write(&out, &json).expect("write BENCH_scheduling.json");
     println!("wrote {out}");
@@ -821,6 +989,12 @@ fn main() {
         // timed: a smoke run (ours or the baseline's) takes one unwarmed
         // sample, so medians are noise.
         let timed = !smoke && !baseline.contains("\"smoke\": true");
+        for section in empty_sections(&baseline) {
+            eprintln!(
+                "perf gate check WARNING vs {baseline_path}: committed section \
+                 `{section}` is present but empty — it gates nothing"
+            );
+        }
         let (failures, regressions) =
             check_against_baseline(&json, &baseline, timed.then_some(tolerance));
         if !failures.is_empty() {

@@ -29,11 +29,14 @@
 //!   `bus`, `mesh:WxH`, `hypercube:D`);
 //! * `ftbar serve [--socket PATH | --tcp HOST:PORT] [--workers N]
 //!   [--queue N] [--shed-oldest] [--cache-bytes B] [--timeout-ms T]
-//!   [--max-frame-bytes B]` — run the long-lived scheduling daemon
-//!   (JSON-lines protocol, memoizing cache, admission control; drains and
-//!   exits 0 on SIGTERM/SIGINT or a `shutdown` request);
+//!   [--max-frame-bytes B] [--snapshot PATH] [--snapshot-interval SECS]`
+//!   — run the long-lived scheduling daemon (JSON-lines protocol,
+//!   memoizing cache, admission control; drains and exits 0 on
+//!   SIGTERM/SIGINT or a `shutdown` request; with `--snapshot` the
+//!   cache/poisoned-set/artifact state is persisted and restored across
+//!   restarts);
 //! * `ftbar status [--socket PATH | --tcp HOST:PORT]` — query a running
-//!   daemon's uptime, queue depth, cache and request counters;
+//!   daemon's uptime, queue depth, cache, request and snapshot counters;
 //! * `ftbar example` — print the paper's running example as a spec.
 //!
 //! Flag parsing is table-driven: each command declares its options as
@@ -109,7 +112,7 @@ USAGE:
                  [--ccr X] [--npf N] [--seed S] [--het H]
   ftbar serve    [--socket PATH | --tcp HOST:PORT] [--workers N] [--queue N]
                  [--shed-oldest] [--cache-bytes B] [--timeout-ms T]
-                 [--max-frame-bytes B]
+                 [--max-frame-bytes B] [--snapshot PATH] [--snapshot-interval SECS]
   ftbar status   [--socket PATH | --tcp HOST:PORT]
   ftbar example
 ";
@@ -951,6 +954,8 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
     let mut cache_bytes = defaults.cache_bytes;
     let mut timeout_ms = defaults.default_timeout_ms;
     let mut max_frame_bytes = defaults.max_frame_bytes;
+    let mut snapshot: Option<String> = None;
+    let mut snapshot_interval = defaults.snapshot_interval_secs;
     let positional = parse_args(
         rest,
         &mut [
@@ -962,6 +967,12 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
             val("cache-bytes", "cache byte budget", &mut cache_bytes),
             val("timeout-ms", "default timeout", &mut timeout_ms),
             val("max-frame-bytes", "frame size limit", &mut max_frame_bytes),
+            opt_val("snapshot", "snapshot path", &mut snapshot),
+            val(
+                "snapshot-interval",
+                "snapshot interval",
+                &mut snapshot_interval,
+            ),
         ],
     )?;
     if !positional.is_empty() {
@@ -976,6 +987,9 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
     if timeout_ms == 0 {
         return Err(err("--timeout-ms must be at least 1"));
     }
+    if snapshot.is_none() && snapshot_interval != 0 {
+        return Err(err("--snapshot-interval requires --snapshot"));
+    }
     let listener = listener_from(socket, tcp)?;
     let config = ServerConfig {
         workers,
@@ -985,6 +999,8 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
         default_timeout_ms: timeout_ms,
         max_frame_bytes,
         handle_signals: true,
+        snapshot_path: snapshot.map(std::path::PathBuf::from),
+        snapshot_interval_secs: snapshot_interval,
         ..ServerConfig::default()
     };
     ftbar_service::server::serve(&listener, config).map_err(|e| CliError {
@@ -1561,9 +1577,19 @@ mod tests {
     #[test]
     fn serve_and_status_round_trip() {
         let sock = test_dir().join("serve-test.sock");
+        let snap = test_dir().join("serve-test.snap");
         let sock_str = sock.to_str().unwrap().to_owned();
+        let snap_str = snap.to_str().unwrap().to_owned();
         let serve = std::thread::spawn(move || {
-            run_strs(&["serve", "--socket", &sock_str, "--workers", "1"])
+            run_strs(&[
+                "serve",
+                "--socket",
+                &sock_str,
+                "--workers",
+                "1",
+                "--snapshot",
+                &snap_str,
+            ])
         });
         let listener = Listener::Unix(sock.clone());
         let opts = RequestOpts {
@@ -1578,11 +1604,15 @@ mod tests {
         let status = run_strs(&["status", "--socket", sock.to_str().unwrap()]).unwrap();
         assert!(status.contains("\"op\": \"status\""), "{status}");
         assert!(status.contains("\"queue_depth\""), "{status}");
+        assert!(status.contains("\"snapshot\""), "{status}");
+        assert!(status.contains("\"configured\": true"), "{status}");
 
         ftbar_service::client::request(&listener, "{\"op\": \"shutdown\"}", &opts)
             .expect("shutdown answers");
         let out = serve.join().unwrap().unwrap();
         assert!(out.contains("shut down cleanly"));
+        // The drain path wrote a final snapshot to the configured path.
+        assert!(snap.exists(), "drain snapshot written");
     }
 
     #[test]
@@ -1595,6 +1625,10 @@ mod tests {
             (
                 vec!["serve", "--socket", "/tmp/x", "--tcp", "127.0.0.1:1"],
                 "mutually exclusive",
+            ),
+            (
+                vec!["serve", "--snapshot-interval", "30"],
+                "requires --snapshot",
             ),
             (
                 vec!["status", "--socket", "/tmp/x", "--tcp", "127.0.0.1:1"],

@@ -59,6 +59,10 @@ struct MemoEntry {
     cost: usize,
 }
 
+/// A snapshot export: `(canonical, body)` cache entries and
+/// `(raw, canonical)` memo records, each oldest access first.
+pub type CacheExport = (Vec<(String, Arc<str>)>, Vec<(String, String)>);
+
 /// Byte-budget LRU cache of rendered responses, keyed by canonical
 /// problem keys with a raw-text memo in front.
 #[derive(Debug)]
@@ -175,6 +179,68 @@ impl ResponseCache {
     /// Whether the cache holds no responses.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Number of raw-memo entries.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Exports the cache for a snapshot: `(canonical, body)` entries and
+    /// `(raw, canonical)` memos, each sorted oldest access first so
+    /// re-inserting in order reproduces the LRU ordering.
+    pub fn export(&self) -> CacheExport {
+        let mut entries: Vec<(u64, String, Arc<str>)> = self
+            .entries
+            .iter()
+            .map(|(k, e)| (e.stamp, k.clone(), Arc::clone(&e.response)))
+            .collect();
+        entries.sort_unstable_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        let mut memos: Vec<(u64, String, String)> = self
+            .memo
+            .iter()
+            .map(|(k, m)| (m.stamp, k.clone(), m.canonical.clone()))
+            .collect();
+        memos.sort_unstable_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        (
+            entries.into_iter().map(|(_, k, r)| (k, r)).collect(),
+            memos.into_iter().map(|(_, k, c)| (k, c)).collect(),
+        )
+    }
+
+    /// Re-inserts a snapshotted response under its canonical key with a
+    /// fresh access stamp (restore path; no raw memo).
+    pub fn restore_entry(&mut self, canonical: &str, response: &Arc<str>) {
+        if self.budget == 0 {
+            return;
+        }
+        self.clock += 1;
+        let stamp = self.clock;
+        let cost = canonical.len() + response.len() + ENTRY_OVERHEAD;
+        if cost <= self.budget && !self.entries.contains_key(canonical) {
+            self.entries.insert(
+                canonical.to_owned(),
+                Entry {
+                    response: Arc::clone(response),
+                    stamp,
+                    cost,
+                },
+            );
+            self.used += cost;
+        }
+        self.evict_to_budget();
+    }
+
+    /// Re-inserts a snapshotted raw → canonical memo entry (restore
+    /// path). Memos whose canonical entry did not survive still resolve
+    /// lazily to a miss, exactly like a post-eviction dangling memo.
+    pub fn restore_memo(&mut self, raw: &str, canonical: &str) {
+        if self.budget == 0 {
+            return;
+        }
+        self.clock += 1;
+        let stamp = self.clock;
+        self.memoize(raw, canonical, stamp);
     }
 
     fn miss(&mut self) -> Option<Arc<str>> {
@@ -414,6 +480,48 @@ mod tests {
         assert!(c.stats().evictions > 0);
         // The most recently inserted entry survives.
         assert!(c.get_raw("raw-7").is_some() || c.get_canonical("raw-7", "canon-7").is_some());
+    }
+
+    #[test]
+    fn export_restore_round_trips_with_lru_order() {
+        let mut c = ResponseCache::new(64 * 1024);
+        for i in 0..4 {
+            let resp = arc(&format!("response-{i}"));
+            c.insert(&format!("raw-{i}"), &format!("canon-{i}"), &resp);
+        }
+        // Touch an old entry so export order differs from insert order.
+        assert!(c.get_raw("raw-0").is_some());
+        let (entries, memos) = c.export();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(memos.len(), 4);
+        assert_eq!(entries.last().unwrap().0, "canon-0", "freshest last");
+
+        let mut restored = ResponseCache::new(64 * 1024);
+        for (canonical, body) in &entries {
+            restored.restore_entry(canonical, body);
+        }
+        for (raw, canonical) in &memos {
+            restored.restore_memo(raw, canonical);
+        }
+        assert_eq!(restored.len(), 4);
+        assert_eq!(restored.memo_len(), 4);
+        for i in 0..4 {
+            assert_eq!(
+                restored.get_raw(&format!("raw-{i}")).as_deref(),
+                Some(format!("response-{i}").as_str())
+            );
+        }
+        // LRU order carried over: shrink the budget of a fresh restore
+        // and the oldest-accessed entries fall out first.
+        let mut tight = ResponseCache::new(300);
+        for (canonical, body) in &entries {
+            tight.restore_entry(canonical, body);
+        }
+        assert!(tight.len() < 4);
+        assert!(
+            tight.get_canonical("r", "canon-0").is_some(),
+            "most recently used entry survives a tight restore"
+        );
     }
 
     #[test]

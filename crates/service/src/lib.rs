@@ -33,9 +33,11 @@
 //! graceful degradation, clean shutdown), [`cache`] (canonical-key
 //! memoization with byte-budget LRU eviction), [`proto`] (the JSON-lines
 //! wire protocol and its documented error codes), [`client`] (retrying
-//! requester + persistent pipelined connection), and [`chaos`] (the
-//! deterministic fault-injection harness that proves the daemon survives
-//! all of the above).
+//! requester + persistent pipelined connection), [`persist`] (crash-safe
+//! snapshot/restore of the cache, artifact seeds, and poisoned set for
+//! warm restarts), and [`chaos`] (the deterministic fault-injection
+//! harness — including restart campaigns against the snapshot files —
+//! that proves the daemon survives all of the above).
 
 // `deny` (not `forbid`) solely for the one `#[allow]` in `signal`: the
 // SIGTERM latch needs a C signal handler; everything else stays safe.
@@ -45,6 +47,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod client;
+pub mod persist;
 pub mod proto;
 pub mod server;
 pub mod signal;

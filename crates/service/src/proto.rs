@@ -10,6 +10,7 @@
 //! {"op": "reschedule", "id": "r2", "spec": "algorithm a { ... }",
 //!  "edit": {"kind": "tweak_exec", "op": "A", "proc": "P1", "units": 2.5}}
 //! {"op": "status"}
+//! {"op": "snapshot"}
 //! {"op": "shutdown"}
 //! ```
 //!
@@ -62,6 +63,9 @@ pub enum ErrorCode {
     /// The edit of a `reschedule` request does not apply to its problem
     /// (unknown names, bad values, or the edited problem is invalid).
     BadEdit,
+    /// An on-demand snapshot could not be taken (no snapshot path
+    /// configured, or the write failed).
+    SnapshotError,
 }
 
 impl ErrorCode {
@@ -78,6 +82,7 @@ impl ErrorCode {
             ErrorCode::InternalPanic => "internal_panic",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::BadEdit => "bad_edit",
+            ErrorCode::SnapshotError => "snapshot_error",
         }
     }
 }
@@ -92,6 +97,8 @@ pub enum Request {
     Reschedule(RescheduleRequest),
     /// Report daemon health and counters.
     Status,
+    /// Write a durable state snapshot now.
+    Snapshot,
     /// Drain in-flight work and exit.
     Shutdown,
 }
@@ -163,6 +170,94 @@ pub fn strategy_name(s: Option<SweepStrategy>) -> &'static str {
     }
 }
 
+/// Inverse of [`strategy_name`]: `None` for an unknown name. A restored
+/// snapshot written by a newer daemon may carry strategy names this build
+/// does not know; the caller drops such records instead of guessing.
+pub fn strategy_from_name(name: &str) -> Option<SweepStrategy> {
+    match name {
+        "adaptive" => Some(SweepStrategy::Adaptive),
+        "incremental" => Some(SweepStrategy::Incremental),
+        "naive" => Some(SweepStrategy::Naive),
+        "clustered" => Some(SweepStrategy::Clustered),
+        _ => None,
+    }
+}
+
+/// Renders an edit as the JSON object [`parse_edit`] reads back — the
+/// serialization used by snapshot artifact seeds. Round-trip exact:
+/// `parse_edit_json(&render_edit(e)) == Ok(e)` for every edit.
+pub fn render_edit(e: &ProblemEdit) -> String {
+    let f = |units: f64| {
+        serde_json::to_string(&Value::Number(serde::Number::Float(units)))
+            .expect("numbers serialize")
+    };
+    let s = json_string;
+    let names = |items: &[String]| {
+        let quoted: Vec<String> = items.iter().map(|n| json_string(n)).collect();
+        format!("[{}]", quoted.join(", "))
+    };
+    match e {
+        ProblemEdit::TweakExec { op, proc, units } => format!(
+            "{{\"kind\": \"tweak_exec\", \"op\": {}, \"proc\": {}, \"units\": {}}}",
+            s(op),
+            s(proc),
+            f(*units)
+        ),
+        ProblemEdit::TweakComm { src, dst, units } => format!(
+            "{{\"kind\": \"tweak_comm\", \"src\": {}, \"dst\": {}, \"units\": {}}}",
+            s(src),
+            s(dst),
+            f(*units)
+        ),
+        ProblemEdit::AllowProc { op, proc, units } => format!(
+            "{{\"kind\": \"allow_proc\", \"op\": {}, \"proc\": {}, \"units\": {}}}",
+            s(op),
+            s(proc),
+            f(*units)
+        ),
+        ProblemEdit::ForbidProc { op, proc } => format!(
+            "{{\"kind\": \"forbid_proc\", \"op\": {}, \"proc\": {}}}",
+            s(op),
+            s(proc)
+        ),
+        ProblemEdit::ProcDown { proc } => {
+            format!("{{\"kind\": \"proc_down\", \"proc\": {}}}", s(proc))
+        }
+        ProblemEdit::ProcUp { proc, units } => format!(
+            "{{\"kind\": \"proc_up\", \"proc\": {}, \"units\": {}}}",
+            s(proc),
+            f(*units)
+        ),
+        ProblemEdit::LinkDown { link } => {
+            format!("{{\"kind\": \"link_down\", \"link\": {}}}", s(link))
+        }
+        ProblemEdit::LinkUp { link, units } => format!(
+            "{{\"kind\": \"link_up\", \"link\": {}, \"units\": {}}}",
+            s(link),
+            f(*units)
+        ),
+        ProblemEdit::AddOp {
+            name,
+            units,
+            preds,
+            succs,
+            comm_units,
+        } => format!(
+            "{{\"kind\": \"add_op\", \"name\": {}, \"units\": {}, \"preds\": {}, \
+             \"succs\": {}, \"comm_units\": {}}}",
+            s(name),
+            f(*units),
+            names(preds),
+            names(succs),
+            f(*comm_units)
+        ),
+        ProblemEdit::RemoveOp { name } => {
+            format!("{{\"kind\": \"remove_op\", \"name\": {}}}", s(name))
+        }
+        ProblemEdit::SetNpf { npf } => format!("{{\"kind\": \"set_npf\", \"npf\": {npf}}}"),
+    }
+}
+
 /// Parses one request frame. `Err` carries the message for a
 /// [`ErrorCode::BadRequest`] response.
 pub fn parse_request(line: &str) -> Result<Request, String> {
@@ -176,6 +271,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     };
     match op {
         "status" => Ok(Request::Status),
+        "snapshot" => Ok(Request::Snapshot),
         "shutdown" => Ok(Request::Shutdown),
         "schedule" => Ok(Request::Schedule(parse_schedule_fields(&v)?)),
         "reschedule" => {
@@ -470,9 +566,78 @@ mod tests {
             Request::Status
         );
         assert_eq!(
+            parse_request(r#"{"op": "snapshot"}"#).unwrap(),
+            Request::Snapshot
+        );
+        assert_eq!(
             parse_request(r#"{"op": "shutdown"}"#).unwrap(),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for s in [
+            SweepStrategy::Adaptive,
+            SweepStrategy::Incremental,
+            SweepStrategy::Naive,
+            SweepStrategy::Clustered,
+        ] {
+            assert_eq!(strategy_from_name(strategy_name(Some(s))), Some(s));
+        }
+        assert_eq!(strategy_from_name("turbo"), None);
+    }
+
+    #[test]
+    fn render_edit_round_trips_every_kind() {
+        let edits = [
+            ProblemEdit::TweakExec {
+                op: "A".into(),
+                proc: "P \"1\"".into(),
+                units: 2.5,
+            },
+            ProblemEdit::TweakComm {
+                src: "A".into(),
+                dst: "B".into(),
+                units: 0.125,
+            },
+            ProblemEdit::AllowProc {
+                op: "A".into(),
+                proc: "P1".into(),
+                units: 3.0,
+            },
+            ProblemEdit::ForbidProc {
+                op: "A".into(),
+                proc: "P1".into(),
+            },
+            ProblemEdit::ProcDown { proc: "P2".into() },
+            ProblemEdit::ProcUp {
+                proc: "P2".into(),
+                units: 1.5,
+            },
+            ProblemEdit::LinkDown { link: "L0".into() },
+            ProblemEdit::LinkUp {
+                link: "L0".into(),
+                units: 7.0,
+            },
+            ProblemEdit::AddOp {
+                name: "N".into(),
+                units: 1.0,
+                preds: vec!["A".into(), "B".into()],
+                succs: vec![],
+                comm_units: 0.5,
+            },
+            ProblemEdit::RemoveOp { name: "A".into() },
+            ProblemEdit::SetNpf { npf: 2 },
+        ];
+        for edit in edits {
+            let json = render_edit(&edit);
+            assert_eq!(
+                parse_edit_json(&json).as_ref(),
+                Ok(&edit),
+                "round-trip failed for {json}"
+            );
+        }
     }
 
     #[test]

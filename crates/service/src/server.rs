@@ -42,9 +42,10 @@ use ftbar_core::{ftbar, FtbarConfig};
 use ftbar_model::{spec, Problem};
 
 use crate::cache::{canonical_key, CacheStats, ResponseCache};
+use crate::persist::{self, ArtifactSeed, RestoreStatus, SnapshotData, SnapshotStats};
 use crate::proto::{
-    parse_request, render_error, render_ok, strategy_name, with_id, ErrorCode, Request,
-    ScheduleRequest,
+    parse_request, render_error, render_ok, strategy_from_name, strategy_name, with_id, ErrorCode,
+    Request, ScheduleRequest,
 };
 use crate::{panic_message, signal, JobResult, SchedulerKind};
 
@@ -92,6 +93,13 @@ pub struct ServerConfig {
     /// retention (reschedule then always schedules the edited problem
     /// from scratch).
     pub artifact_slots: usize,
+    /// Durable-state snapshot file. `None` disables persistence: no
+    /// restore at startup, no periodic or drain snapshots, and the
+    /// `snapshot` op answers `snapshot_error`.
+    pub snapshot_path: Option<PathBuf>,
+    /// Seconds between periodic snapshots; `0` disables the ticker
+    /// (snapshots still happen on drain and on demand).
+    pub snapshot_interval_secs: u64,
     /// Chaos/test hook: a spec containing this marker panics inside the
     /// worker (see [`crate::BatchConfig::panic_marker`]). `None` in
     /// production.
@@ -115,6 +123,8 @@ impl Default for ServerConfig {
             degrade_headroom_ms: 250,
             degrade_queue_depth: 8,
             artifact_slots: 32,
+            snapshot_path: None,
+            snapshot_interval_secs: 0,
             panic_marker: None,
             handle_signals: false,
         }
@@ -149,7 +159,13 @@ struct Counters {
     /// (structural edit, artifacts missing/evicted, clustered strategy,
     /// or a non-FTBAR scheduler).
     reschedule_fallbacks: AtomicU64,
-    errors: [AtomicU64; 10],
+    /// Snapshots written successfully (periodic, on-demand, and drain).
+    snapshots_written: AtomicU64,
+    /// Snapshot attempts that failed to write.
+    snapshots_failed: AtomicU64,
+    /// Snapshot requests coalesced into an already-in-flight write.
+    snapshots_coalesced: AtomicU64,
+    errors: [AtomicU64; 11],
 }
 
 fn code_index(code: ErrorCode) -> usize {
@@ -164,10 +180,11 @@ fn code_index(code: ErrorCode) -> usize {
         ErrorCode::InternalPanic => 7,
         ErrorCode::ShuttingDown => 8,
         ErrorCode::BadEdit => 9,
+        ErrorCode::SnapshotError => 10,
     }
 }
 
-const CODE_NAMES: [&str; 10] = [
+const CODE_NAMES: [&str; 11] = [
     "bad_request",
     "too_large",
     "spec_error",
@@ -178,14 +195,28 @@ const CODE_NAMES: [&str; 10] = [
     "internal_panic",
     "shutting_down",
     "bad_edit",
+    "snapshot_error",
 ];
+
+/// The longest edit lineage a snapshot seed records. An artifact whose
+/// chain outgrows this is still served from memory but is no longer
+/// persisted — replaying an unbounded chain at restore would trade
+/// startup time for an ever-rarer cache line.
+const MAX_SEED_EDITS: usize = 32;
+
+/// A retained artifact plus the replayable lineage that can recreate it
+/// after a restart (`None` when the lineage is unknown or too long).
+struct ArtifactEntry {
+    artifacts: Arc<ScheduleArtifacts>,
+    seed: Option<ArtifactSeed>,
+}
 
 /// Bounded FIFO store of retained schedule artifacts, keyed by the
 /// canonical key of the response they belong to. A reschedule request
 /// looks its parent up here; every retained FTBAR answer (schedule or
 /// repair) is inserted, evicting the oldest distinct key over capacity.
 struct ArtifactStore {
-    map: HashMap<String, Arc<ScheduleArtifacts>>,
+    map: HashMap<String, ArtifactEntry>,
     order: VecDeque<String>,
     cap: usize,
 }
@@ -200,14 +231,27 @@ impl ArtifactStore {
     }
 
     fn get(&self, key: &str) -> Option<Arc<ScheduleArtifacts>> {
-        self.map.get(key).cloned()
+        self.map.get(key).map(|e| Arc::clone(&e.artifacts))
     }
 
-    fn insert(&mut self, key: String, artifacts: Arc<ScheduleArtifacts>) {
+    fn get_seed(&self, key: &str) -> Option<ArtifactSeed> {
+        self.map.get(key).and_then(|e| e.seed.clone())
+    }
+
+    fn insert(
+        &mut self,
+        key: String,
+        artifacts: Arc<ScheduleArtifacts>,
+        seed: Option<ArtifactSeed>,
+    ) {
         if self.cap == 0 {
             return;
         }
-        if self.map.insert(key.clone(), artifacts).is_none() {
+        if self
+            .map
+            .insert(key.clone(), ArtifactEntry { artifacts, seed })
+            .is_none()
+        {
             self.order.push_back(key);
             while self.order.len() > self.cap {
                 if let Some(evicted) = self.order.pop_front() {
@@ -215,6 +259,14 @@ impl ArtifactStore {
                 }
             }
         }
+    }
+
+    /// The persistable seeds, oldest insertion first (snapshot order).
+    fn export_seeds(&self) -> Vec<ArtifactSeed> {
+        self.order
+            .iter()
+            .filter_map(|k| self.map.get(k).and_then(|e| e.seed.clone()))
+            .collect()
     }
 
     fn len(&self) -> usize {
@@ -241,6 +293,39 @@ impl FrameOutcome {
     }
 }
 
+/// What a restore attempt found, reported by `status` for the life of
+/// the process.
+#[derive(Debug, Clone)]
+pub struct RestoreSummary {
+    /// How the snapshot read ended.
+    pub status: RestoreStatus,
+    /// Response-cache entries re-inserted.
+    pub cache_entries: usize,
+    /// Raw-memo entries re-inserted.
+    pub memos: usize,
+    /// Poisoned keys re-inserted.
+    pub poisoned: usize,
+    /// Artifact seeds successfully replayed into retained artifacts.
+    pub seeds_replayed: usize,
+    /// Seeds dropped (stale spec, failed replay, retention disabled).
+    pub seeds_dropped: usize,
+}
+
+/// Snapshot write coordination: one writer at a time, concurrent
+/// requests coalesce onto the in-flight write's outcome.
+#[derive(Default)]
+struct SnapState {
+    /// A snapshot write is in flight.
+    writing: bool,
+    /// Callers currently waiting to coalesce (test observability).
+    waiters: usize,
+    /// Bumped when a write completes, so waiters know *their* write
+    /// finished rather than some earlier one.
+    generation: u64,
+    /// Timestamp and outcome of the most recent write.
+    last: Option<(Instant, Result<SnapshotStats, String>)>,
+}
+
 /// Shared state of a running daemon. Construct with [`ServerState::new`],
 /// then either drive frames directly ([`ServerState::handle_frame`], with
 /// [`ServerState::spawn_workers`]) or hand it to [`serve`].
@@ -256,6 +341,10 @@ pub struct ServerState {
     counters: Counters,
     in_flight: AtomicUsize,
     active_connections: AtomicUsize,
+    snap: Mutex<SnapState>,
+    snap_cv: Condvar,
+    restored: AtomicBool,
+    restore_summary: Mutex<Option<RestoreSummary>>,
 }
 
 impl ServerState {
@@ -272,6 +361,10 @@ impl ServerState {
             counters: Counters::default(),
             in_flight: AtomicUsize::new(0),
             active_connections: AtomicUsize::new(0),
+            snap: Mutex::new(SnapState::default()),
+            snap_cv: Condvar::new(),
+            restored: AtomicBool::new(false),
+            restore_summary: Mutex::new(None),
             config,
         })
     }
@@ -320,6 +413,7 @@ impl ServerState {
         };
         match req {
             Request::Status => FrameOutcome::Reply(self.render_status()),
+            Request::Snapshot => FrameOutcome::Reply(self.handle_snapshot()),
             Request::Shutdown => {
                 self.begin_shutdown();
                 FrameOutcome::ShutdownRequested(
@@ -432,6 +526,174 @@ impl ServerState {
         self.cache.lock().unwrap().stats()
     }
 
+    /// Collects the durable state into a [`SnapshotData`]. The three
+    /// locks are taken one at a time (never nested); a snapshot is a
+    /// point-in-time view per section, which is sound because every
+    /// record is independently valid — restore never needs cross-section
+    /// consistency (a memo without its entry resolves to a miss, a seed
+    /// replays standalone).
+    fn collect_snapshot(&self) -> SnapshotData {
+        let (cache_entries, memos) = self.cache.lock().unwrap().export();
+        let mut poisoned: Vec<String> = self.poisoned.lock().unwrap().iter().cloned().collect();
+        poisoned.sort_unstable();
+        let seeds = self.artifacts.lock().unwrap().export_seeds();
+        SnapshotData {
+            cache_entries,
+            memos,
+            poisoned,
+            seeds,
+        }
+    }
+
+    /// Writes a snapshot now (or coalesces onto one already in flight).
+    /// Returns the write's stats and whether this call coalesced.
+    ///
+    /// # Errors
+    ///
+    /// A message when no snapshot path is configured or the write (this
+    /// call's own, or the in-flight one a coalesced call joined) failed.
+    pub fn snapshot_now(&self) -> Result<(SnapshotStats, bool), String> {
+        let Some(path) = self.config.snapshot_path.as_ref() else {
+            return Err("no snapshot path configured (start with --snapshot PATH)".into());
+        };
+        {
+            let mut s = self.snap.lock().unwrap();
+            if s.writing {
+                // Coalesce: wait for the in-flight write and share its
+                // outcome instead of stacking a second writer.
+                let gen = s.generation;
+                s.waiters += 1;
+                while s.writing && s.generation == gen {
+                    s = self.snap_cv.wait(s).unwrap();
+                }
+                s.waiters -= 1;
+                self.counters
+                    .snapshots_coalesced
+                    .fetch_add(1, Ordering::Relaxed);
+                return match &s.last {
+                    Some((_, Ok(stats))) => Ok((*stats, true)),
+                    Some((_, Err(e))) => Err(e.clone()),
+                    None => Err("coalesced snapshot vanished".into()),
+                };
+            }
+            s.writing = true;
+        }
+        let data = self.collect_snapshot();
+        let result = persist::write_snapshot(path, &data).map_err(|e| e.to_string());
+        {
+            let mut s = self.snap.lock().unwrap();
+            s.writing = false;
+            s.generation += 1;
+            s.last = Some((Instant::now(), result.clone()));
+        }
+        self.snap_cv.notify_all();
+        match result {
+            Ok(stats) => {
+                self.counters
+                    .snapshots_written
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok((stats, false))
+            }
+            Err(e) => {
+                self.counters
+                    .snapshots_failed
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Restores durable state from the configured snapshot file, once,
+    /// before serving. No-op without a snapshot path; a missing file is
+    /// a clean first boot. Corruption degrades toward a cold start (see
+    /// [`RestoreStatus`]) — this function cannot fail or panic the
+    /// daemon, and every restored byte was CRC-validated.
+    pub fn restore_from_snapshot(&self) {
+        let Some(path) = self.config.snapshot_path.as_ref() else {
+            return;
+        };
+        if self.restored.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let restore = match persist::read_snapshot(path) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,
+            Err(_) => {
+                // Unreadable file (not merely absent): treat as corrupt.
+                *self.restore_summary.lock().unwrap() = Some(RestoreSummary {
+                    status: RestoreStatus::RefusedCorrupt,
+                    cache_entries: 0,
+                    memos: 0,
+                    poisoned: 0,
+                    seeds_replayed: 0,
+                    seeds_dropped: 0,
+                });
+                return;
+            }
+        };
+        let mut summary = RestoreSummary {
+            status: restore.status,
+            cache_entries: restore.data.cache_entries.len(),
+            memos: restore.data.memos.len(),
+            poisoned: restore.data.poisoned.len(),
+            seeds_replayed: 0,
+            seeds_dropped: 0,
+        };
+        {
+            let mut cache = self.cache.lock().unwrap();
+            for (canonical, body) in &restore.data.cache_entries {
+                cache.restore_entry(canonical, body);
+            }
+            for (raw, canonical) in &restore.data.memos {
+                cache.restore_memo(raw, canonical);
+            }
+        }
+        {
+            let mut poisoned = self.poisoned.lock().unwrap();
+            for raw in restore.data.poisoned {
+                poisoned.insert(raw);
+            }
+        }
+        for seed in restore.data.seeds {
+            // Replay through the deterministic scheduler instead of
+            // trusting serialized engine state. `catch_unwind` so an
+            // adversarial snapshot can cost us artifacts, never the
+            // daemon.
+            let replayed = catch_unwind(AssertUnwindSafe(|| rehydrate_seed(&seed, &self.config)))
+                .ok()
+                .flatten();
+            match replayed {
+                Some((canonical, artifacts)) => {
+                    self.artifacts.lock().unwrap().insert(
+                        canonical,
+                        Arc::new(artifacts),
+                        Some(seed),
+                    );
+                    summary.seeds_replayed += 1;
+                }
+                None => summary.seeds_dropped += 1,
+            }
+        }
+        *self.restore_summary.lock().unwrap() = Some(summary);
+    }
+
+    fn handle_snapshot(&self) -> String {
+        match self.snapshot_now() {
+            Ok((stats, coalesced)) => format!(
+                "{{\"status\": \"ok\", \"op\": \"snapshot\", \"bytes\": {}, \
+                 \"cache_entries\": {}, \"memos\": {}, \"poisoned\": {}, \"seeds\": {}, \
+                 \"coalesced\": {}}}",
+                stats.bytes,
+                stats.cache_entries,
+                stats.memos,
+                stats.poisoned,
+                stats.seeds,
+                coalesced,
+            ),
+            Err(msg) => self.error(None, ErrorCode::SnapshotError, &msg),
+        }
+    }
+
     fn render_status(&self) -> String {
         let (stats, entries, bytes) = {
             let cache = self.cache.lock().unwrap();
@@ -485,9 +747,96 @@ impl ServerState {
             self.counters.reschedule_fallbacks.load(Ordering::Relaxed),
             self.artifacts.lock().unwrap().len(),
         ));
+        out.push_str(&self.render_snapshot_status());
         out.push('}');
         out
     }
+
+    /// The `"snapshot"` section of the status response: configuration,
+    /// written/failed/coalesced counters, the last write's age and
+    /// per-section entry counts, and how the startup restore ended.
+    fn render_snapshot_status(&self) -> String {
+        let mut out = format!(
+            ", \"snapshot\": {{\"configured\": {}, \"written\": {}, \"failed\": {}, \
+             \"coalesced\": {}",
+            self.config.snapshot_path.is_some(),
+            self.counters.snapshots_written.load(Ordering::Relaxed),
+            self.counters.snapshots_failed.load(Ordering::Relaxed),
+            self.counters.snapshots_coalesced.load(Ordering::Relaxed),
+        );
+        let last = self.snap.lock().unwrap().last.clone();
+        match last {
+            Some((at, Ok(stats))) => out.push_str(&format!(
+                ", \"last_age_ms\": {}, \"last_bytes\": {}, \"last_cache_entries\": {}, \
+                 \"last_memos\": {}, \"last_poisoned\": {}, \"last_seeds\": {}",
+                at.elapsed().as_millis(),
+                stats.bytes,
+                stats.cache_entries,
+                stats.memos,
+                stats.poisoned,
+                stats.seeds,
+            )),
+            Some((at, Err(_))) => out.push_str(&format!(
+                ", \"last_age_ms\": {}, \"last_bytes\": null",
+                at.elapsed().as_millis()
+            )),
+            None => out.push_str(", \"last_age_ms\": null, \"last_bytes\": null"),
+        }
+        match self.restore_summary.lock().unwrap().as_ref() {
+            Some(r) => out.push_str(&format!(
+                ", \"restore\": \"{}\", \"restored_cache_entries\": {}, \
+                 \"restored_memos\": {}, \"restored_poisoned\": {}, \
+                 \"seeds_replayed\": {}, \"seeds_dropped\": {}",
+                r.status.name(),
+                r.cache_entries,
+                r.memos,
+                r.poisoned,
+                r.seeds_replayed,
+                r.seeds_dropped,
+            )),
+            None => out.push_str(", \"restore\": \"none\""),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Replays an [`ArtifactSeed`] into live retained artifacts: parse the
+/// base spec, apply the npf override and the edit chain, and re-run the
+/// retaining scheduler. Deterministic engines make the result
+/// byte-equivalent to the artifacts the seed was taken from. `None`
+/// drops the seed (stale spec, inapplicable edit, failed run).
+fn rehydrate_seed(
+    seed: &ArtifactSeed,
+    config: &ServerConfig,
+) -> Option<(String, ScheduleArtifacts)> {
+    if seed.scheduler != SchedulerKind::Ftbar || config.artifact_slots == 0 {
+        return None;
+    }
+    let strategy = strategy_from_name(&seed.strategy)?;
+    let problem = spec::parse_problem(&seed.spec).ok()?;
+    let mut problem = match seed.npf {
+        None => problem,
+        Some(npf) => problem.with_npf(npf).ok()?,
+    };
+    for edit in &seed.edits {
+        problem = edit.apply(&problem).ok()?;
+    }
+    let ftbar_config = FtbarConfig {
+        sweep: strategy,
+        ..FtbarConfig::default()
+    };
+    let (_schedule, artifacts) = schedule_retained(&problem, &ftbar_config).ok()?;
+    if artifacts.step_count() == 0 {
+        return None;
+    }
+    let canonical = canonical_key(
+        artifacts.problem(),
+        seed.scheduler,
+        &seed.strategy,
+        seed.include_schedule,
+    );
+    Some((canonical, artifacts))
 }
 
 /// Why a worker chose (or declined) the degraded path.
@@ -554,11 +903,11 @@ fn execute_job(state: &ServerState, job: Job, pools: &mut EnginePools) {
                         );
                     }
                     if let Some(artifacts) = computed.artifacts {
-                        state
-                            .artifacts
-                            .lock()
-                            .unwrap()
-                            .insert(computed.canonical, Arc::new(artifacts));
+                        state.artifacts.lock().unwrap().insert(
+                            computed.canonical,
+                            Arc::new(artifacts),
+                            computed.seed,
+                        );
                     }
                     Ok((body, computed.degraded))
                 }
@@ -590,6 +939,9 @@ pub(crate) struct Computed {
     /// Retained engine state for later incremental rescheduling, when
     /// the run produced one worth keeping.
     pub artifacts: Option<ScheduleArtifacts>,
+    /// Replayable lineage of `artifacts`, persisted in snapshots so the
+    /// artifact store survives restarts.
+    pub seed: Option<ArtifactSeed>,
 }
 
 /// A computed schedule answer or the error code + message to report.
@@ -698,6 +1050,16 @@ pub(crate) fn compute_response(
     };
     let mut computed = render_scheduled(req, &problem, schedule, degraded);
     computed.artifacts = artifacts;
+    if computed.artifacts.is_some() {
+        computed.seed = Some(ArtifactSeed {
+            scheduler: req.scheduler,
+            strategy: strategy_name(req.strategy).to_owned(),
+            npf: req.npf,
+            include_schedule: req.include_schedule,
+            spec: req.spec.clone(),
+            edits: Vec::new(),
+        });
+    }
     (Ok(computed), pools)
 }
 
@@ -735,6 +1097,7 @@ fn render_scheduled(
         canonical,
         degraded,
         artifacts: None,
+        seed: None,
     }
 }
 
@@ -811,7 +1174,11 @@ pub(crate) fn compute_reschedule(
         strategy_name(req.strategy),
         req.include_schedule,
     );
-    let parent = state.artifacts.lock().unwrap().get(&parent_key);
+    let (parent, parent_seed) = {
+        let store = state.artifacts.lock().unwrap();
+        (store.get(&parent_key), store.get_seed(&parent_key))
+    };
+    let had_parent = parent.is_some();
     let (schedule, artifacts, repaired) = match parent {
         Some(prev) => match reschedule(&prev, edit) {
             Ok(out) => (out.schedule, out.artifacts, !out.report.fell_back),
@@ -855,6 +1222,29 @@ pub(crate) fn compute_reschedule(
     let mut computed = render_scheduled(req, artifacts.problem(), schedule, false);
     computed.artifacts =
         (artifacts.step_count() > 0 && config.artifact_slots > 0).then_some(artifacts);
+    if computed.artifacts.is_some() {
+        // Extend the parent's lineage by this edit; a fallback run (no
+        // parent) starts a fresh lineage from the base request. A parent
+        // whose own lineage was too long to persist leaves this artifact
+        // unpersisted too.
+        computed.seed = if had_parent {
+            parent_seed.and_then(|mut s| {
+                (s.edits.len() < MAX_SEED_EDITS).then(|| {
+                    s.edits.push(edit.clone());
+                    s
+                })
+            })
+        } else {
+            Some(ArtifactSeed {
+                scheduler: req.scheduler,
+                strategy: strategy_name(req.strategy).to_owned(),
+                npf: req.npf,
+                include_schedule: req.include_schedule,
+                spec: req.spec.clone(),
+                edits: vec![edit.clone()],
+            })
+        };
+    }
     (Ok(computed), pools)
 }
 
@@ -894,7 +1284,11 @@ pub fn serve_with_state(listener: &Listener, state: &Arc<ServerState>) -> std::i
     if state.config.handle_signals {
         signal::install();
     }
+    // Warm restart: restore durable state before the first connection so
+    // no request can observe a half-restored cache.
+    state.restore_from_snapshot();
     let workers = state.spawn_workers();
+    let ticker = spawn_snapshot_ticker(state);
     match listener {
         Listener::Unix(path) => {
             // A stale socket file from a crashed run would fail the bind.
@@ -942,12 +1336,45 @@ pub fn serve_with_state(listener: &Listener, state: &Arc<ServerState>) -> std::i
     for w in workers {
         let _ = w.join();
     }
+    if let Some(t) = ticker {
+        let _ = t.join();
+    }
+    // Final snapshot after the queue has drained, so the file carries
+    // everything the daemon learned — including from requests that were
+    // still in flight when shutdown began. This is the SIGTERM path too:
+    // the signal only sets a latch, so a snapshot can never be torn by
+    // it, only taken here after the drain.
+    if state.config.snapshot_path.is_some() {
+        let _ = state.snapshot_now();
+    }
     let grace = Duration::from_millis(2 * state.config.io_timeout_ms.max(1));
     let drain_start = Instant::now();
     while state.active_connections.load(Ordering::Relaxed) > 0 && drain_start.elapsed() < grace {
         std::thread::sleep(Duration::from_millis(2));
     }
     Ok(())
+}
+
+/// Spawns the periodic-snapshot thread, when configured. Polls the
+/// shutdown latch every 25 ms so drain is never delayed by a long
+/// interval; the final drain snapshot is taken by [`serve_with_state`]
+/// after the workers join, not here.
+fn spawn_snapshot_ticker(state: &Arc<ServerState>) -> Option<std::thread::JoinHandle<()>> {
+    if state.config.snapshot_path.is_none() || state.config.snapshot_interval_secs == 0 {
+        return None;
+    }
+    let state = Arc::clone(state);
+    Some(std::thread::spawn(move || {
+        let period = Duration::from_secs(state.config.snapshot_interval_secs);
+        let mut last = Instant::now();
+        while !state.shutting_down() {
+            std::thread::sleep(Duration::from_millis(25));
+            if last.elapsed() >= period {
+                let _ = state.snapshot_now();
+                last = Instant::now();
+            }
+        }
+    }))
 }
 
 /// Polls `accept` until shutdown; `accept` returns a reader/writer pair
@@ -1037,5 +1464,87 @@ fn handle_connection(
                 return;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_snapshot_requests_coalesce_not_corrupt() {
+        let dir = std::env::temp_dir().join(format!("ftbar-snapcoal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let state = ServerState::new(ServerConfig {
+            snapshot_path: Some(dir.join("state.snap")),
+            ..ServerConfig::default()
+        });
+        // Simulate an in-flight write, park two callers on it.
+        state.snap.lock().unwrap().writing = true;
+        let joiners: Vec<_> = (0..2)
+            .map(|_| {
+                let st = Arc::clone(&state);
+                std::thread::spawn(move || st.snapshot_now())
+            })
+            .collect();
+        // Deterministic rendezvous: wait until both callers are parked.
+        while state.snap.lock().unwrap().waiters != 2 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Complete the fake write; both callers must adopt its outcome.
+        {
+            let mut s = state.snap.lock().unwrap();
+            s.writing = false;
+            s.generation += 1;
+            s.last = Some((Instant::now(), Ok(SnapshotStats::default())));
+        }
+        state.snap_cv.notify_all();
+        for j in joiners {
+            let (stats, coalesced) = j.join().unwrap().unwrap();
+            assert!(coalesced, "parked caller must coalesce, not re-write");
+            assert_eq!(stats, SnapshotStats::default());
+        }
+        assert_eq!(
+            state.counters.snapshots_coalesced.load(Ordering::Relaxed),
+            2
+        );
+        assert_eq!(state.counters.snapshots_written.load(Ordering::Relaxed), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_op_without_path_answers_snapshot_error() {
+        let state = ServerState::new(ServerConfig::default());
+        let out = state.handle_frame(r#"{"op": "snapshot"}"#);
+        assert!(
+            out.response().contains("\"code\": \"snapshot_error\""),
+            "got {}",
+            out.response()
+        );
+        let status = state.handle_frame(r#"{"op": "status"}"#);
+        assert!(status.response().contains("\"configured\": false"));
+        assert!(status.response().contains("\"restore\": \"none\""));
+        assert!(status.response().contains("\"snapshot_error\": 1"));
+    }
+
+    #[test]
+    fn snapshot_op_writes_a_loadable_file() {
+        let dir = std::env::temp_dir().join(format!("ftbar-snapop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.snap");
+        let state = ServerState::new(ServerConfig {
+            snapshot_path: Some(path.clone()),
+            ..ServerConfig::default()
+        });
+        state.poisoned.lock().unwrap().insert("bad-key".into());
+        let out = state.handle_frame(r#"{"op": "snapshot"}"#);
+        assert!(out.response().contains("\"op\": \"snapshot\""));
+        assert!(out.response().contains("\"poisoned\": 1"));
+        let restore = persist::read_snapshot(&path).unwrap().unwrap();
+        assert_eq!(restore.status, RestoreStatus::Restored);
+        assert_eq!(restore.data.poisoned, vec!["bad-key".to_owned()]);
+        let status = state.handle_frame(r#"{"op": "status"}"#);
+        assert!(status.response().contains("\"written\": 1"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -52,6 +52,13 @@ pub fn requested() -> bool {
     REQUESTED.load(Ordering::Relaxed)
 }
 
+/// Sets the latch as if a signal had arrived (test/chaos support): lets
+/// suites drive the SIGTERM drain path deterministically without
+/// delivering a real signal to the whole test process.
+pub fn request_termination() {
+    REQUESTED.store(true, Ordering::Relaxed);
+}
+
 /// Clears the latch (test support).
 pub fn reset() {
     REQUESTED.store(false, Ordering::Relaxed);

@@ -5,7 +5,7 @@
 //! scheduling, and every injected failure maps to a documented error code.
 
 use ftbar::model::{paper_example, spec};
-use ftbar::service::chaos::{self, ChaosConfig};
+use ftbar::service::chaos::{self, ChaosConfig, RestartConfig};
 use ftbar::workload::{arch, layered, timing, LayeredConfig, TimingConfig};
 
 fn spec_pool() -> Vec<String> {
@@ -77,5 +77,56 @@ fn chaos_campaigns_are_deterministic() {
         counts(&a),
         counts(&b),
         "same seed must inject the same event sequence"
+    );
+}
+
+fn restart_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ftbar-restart-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("campaign dir");
+    dir
+}
+
+#[test]
+fn restart_campaign_seed_1_is_green() {
+    let config = RestartConfig::quick(1, 5, spec_pool(), restart_dir("s1"));
+    let report = chaos::run_restart(&config);
+    report.assert_green();
+    assert_eq!(report.rounds, 5, "{report:?}");
+    // Every post-tamper generation classified its restore outcome, and
+    // every one of them kept serving byte-checked traffic.
+    assert_eq!(
+        report.restored + report.tail_dropped + report.refused,
+        report.rounds - 1,
+        "{report:?}"
+    );
+    assert!(report.byte_checked > 0, "no byte comparisons: {report:?}");
+}
+
+#[test]
+fn restart_campaign_seed_2_is_green() {
+    chaos::run_restart(&RestartConfig::quick(2, 4, spec_pool(), restart_dir("s2"))).assert_green();
+}
+
+#[test]
+fn restart_campaigns_are_deterministic() {
+    let a = chaos::run_restart(&RestartConfig::quick(9, 4, spec_pool(), restart_dir("d1")));
+    let b = chaos::run_restart(&RestartConfig::quick(9, 4, spec_pool(), restart_dir("d2")));
+    a.assert_green();
+    b.assert_green();
+    let counts = |r: &chaos::RestartReport| {
+        (
+            r.rounds,
+            r.restored,
+            r.tail_dropped,
+            r.refused,
+            r.storms,
+            r.byte_checked,
+        )
+    };
+    assert_eq!(
+        counts(&a),
+        counts(&b),
+        "same seed must tamper the same way each round"
     );
 }

@@ -1,0 +1,255 @@
+//! Warm-restart contracts over a real Unix socket: snapshot/restore byte
+//! identity, torn-tail and bit-flip recovery (cold at worst, never wrong
+//! bytes), version-skew refusal, poisoned-set persistence, and the
+//! SIGTERM drain snapshot.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ftbar::model::{paper_example, spec};
+use ftbar::service::client::{request, RequestOpts};
+use ftbar::service::persist;
+use ftbar::service::proto::ScheduleRequest;
+use ftbar::service::server::{
+    direct_response, serve_with_state, Listener, ServerConfig, ServerState,
+};
+use ftbar::service::{signal, SchedulerKind};
+
+fn paper_spec() -> String {
+    spec::print_problem(&paper_example())
+}
+
+fn tmp_path(tag: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ftbar-persist-{tag}-{}.{ext}", std::process::id()))
+}
+
+fn opts() -> RequestOpts {
+    RequestOpts {
+        attempts: 6,
+        base_backoff: Duration::from_millis(10),
+        overall_deadline: Duration::from_secs(30),
+        io_timeout: Duration::from_secs(10),
+    }
+}
+
+fn snap_config(tag: &str) -> ServerConfig {
+    ServerConfig {
+        workers: 1,
+        snapshot_path: Some(tmp_path(tag, "snap")),
+        ..ServerConfig::default()
+    }
+}
+
+fn schedule_line(spec: &str) -> String {
+    format!(
+        "{{\"spec\": {}, \"include_schedule\": true}}",
+        serde_json::to_string(&spec.to_owned()).unwrap()
+    )
+}
+
+/// Starts a daemon; returns (listener, state, join handle).
+fn start(
+    tag: &str,
+    config: ServerConfig,
+) -> (
+    Listener,
+    Arc<ServerState>,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let listener = Listener::Unix(tmp_path(tag, "sock"));
+    let state = ServerState::new(config);
+    let l = listener.clone();
+    let s = Arc::clone(&state);
+    let handle = std::thread::spawn(move || serve_with_state(&l, &s));
+    request(&listener, "{\"op\": \"status\"}", &opts()).expect("daemon comes up");
+    (listener, state, handle)
+}
+
+fn shutdown(listener: &Listener, handle: std::thread::JoinHandle<std::io::Result<()>>) {
+    let resp = request(listener, "{\"op\": \"shutdown\"}", &opts()).expect("shutdown answers");
+    assert!(resp.contains("\"op\": \"shutdown\""), "{resp}");
+    handle
+        .join()
+        .expect("serve thread lives")
+        .expect("serve drains cleanly");
+}
+
+fn status_of(listener: &Listener) -> String {
+    request(listener, "{\"op\": \"status\"}", &opts()).unwrap()
+}
+
+/// Populates a snapshot-configured daemon with a cold schedule and a
+/// repair, snapshots on demand, shuts down, and returns the recorded
+/// (request, response) pairs plus the snapshot path.
+fn populate_and_snapshot(tag: &str) -> (Vec<(String, String)>, PathBuf) {
+    let config = snap_config(tag);
+    let snap = config.snapshot_path.clone().unwrap();
+    let _ = std::fs::remove_file(&snap);
+    let (listener, _state, handle) = start(tag, config);
+    let spec_text = paper_spec();
+
+    let mut recorded = Vec::new();
+    let line = schedule_line(&spec_text);
+    let resp = request(&listener, &line, &opts()).unwrap();
+    assert!(resp.contains("\"status\": \"ok\""), "{resp}");
+    recorded.push((line, resp));
+
+    // A repair rides on the retained artifacts and seeds the store.
+    let line = format!(
+        "{{\"op\": \"reschedule\", \"include_schedule\": true, \"spec\": {}, \
+         \"edit\": {{\"kind\": \"tweak_exec\", \"op\": \"I\", \"proc\": \"P1\", \"units\": 4}}}}",
+        serde_json::to_string(&spec_text).unwrap()
+    );
+    let resp = request(&listener, &line, &opts()).unwrap();
+    assert!(resp.contains("\"status\": \"ok\""), "{resp}");
+    recorded.push((line, resp));
+
+    let snap_resp = request(&listener, "{\"op\": \"snapshot\"}", &opts()).unwrap();
+    assert!(snap_resp.contains("\"status\": \"ok\""), "{snap_resp}");
+    shutdown(&listener, handle);
+    assert!(snap.exists(), "snapshot written");
+    (recorded, snap)
+}
+
+/// Restarts on the (possibly tampered) snapshot, checks the restore
+/// outcome against `allowed`, and asserts every recorded request still
+/// answers byte-identically — restored or recomputed, never wrong.
+fn restart_and_check(tag: &str, recorded: &[(String, String)], allowed: &[&str]) -> String {
+    let (listener, _state, handle) = start(tag, snap_config(tag));
+    let status = status_of(&listener);
+    assert!(
+        allowed
+            .iter()
+            .any(|o| status.contains(&format!("\"restore\": \"{o}\""))),
+        "restore outcome not in {allowed:?}: {status}"
+    );
+    for (line, expected) in recorded {
+        let resp = request(&listener, line, &opts()).unwrap();
+        assert_eq!(&resp, expected, "byte identity across restart for {line}");
+    }
+    shutdown(&listener, handle);
+    status
+}
+
+#[test]
+fn warm_restart_serves_byte_identical_responses() {
+    let (recorded, _snap) = populate_and_snapshot("warm");
+    let status = restart_and_check("warm", &recorded, &["restored"]);
+    // Restored counters are reported for observability.
+    assert!(status.contains("\"restored_cache_entries\": "), "{status}");
+    assert!(status.contains("\"seeds_replayed\": "), "{status}");
+
+    // The restored cache hit also matches a cold direct computation: the
+    // snapshot round-trip introduced no drift versus first principles.
+    let cold = direct_response(&ScheduleRequest {
+        id: None,
+        spec: paper_spec(),
+        scheduler: SchedulerKind::Ftbar,
+        npf: None,
+        strategy: None,
+        timeout_ms: None,
+        include_schedule: true,
+    });
+    assert_eq!(recorded[0].1, cold, "restored hit equals cold response");
+}
+
+#[test]
+fn torn_tail_is_dropped_and_daemon_still_serves() {
+    let (recorded, snap) = populate_and_snapshot("torn");
+    let bytes = std::fs::read(&snap).unwrap();
+    std::fs::write(&snap, &bytes[..bytes.len() - 20]).unwrap();
+    restart_and_check("torn", &recorded, &["partial-tail-drop", "refused-corrupt"]);
+}
+
+#[test]
+fn bit_flip_is_cold_at_worst_never_wrong_bytes() {
+    let (recorded, snap) = populate_and_snapshot("flip");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&snap, &bytes).unwrap();
+    restart_and_check("flip", &recorded, &["partial-tail-drop", "refused-corrupt"]);
+}
+
+#[test]
+fn version_skew_is_refused_and_daemon_starts_cold() {
+    let (recorded, snap) = populate_and_snapshot("skew");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    bytes[8..12].copy_from_slice(&0xFFFF_FFFEu32.to_le_bytes());
+    std::fs::write(&snap, &bytes).unwrap();
+    let status = restart_and_check("skew", &recorded, &["refused-corrupt"]);
+    assert!(status.contains("\"restored_cache_entries\": 0"), "{status}");
+}
+
+#[test]
+fn poisoned_spec_is_refused_cheaply_after_restart() {
+    let tag = "poison";
+    let config = ServerConfig {
+        panic_marker: Some("__persist_boom__".into()),
+        ..snap_config(tag)
+    };
+    let snap = config.snapshot_path.clone().unwrap();
+    let _ = std::fs::remove_file(&snap);
+    let (listener, _state, handle) = start(tag, config.clone());
+    let crasher = "{\"spec\": \"__persist_boom__ not a spec\"}";
+    let first = request(&listener, crasher, &opts()).unwrap();
+    assert!(first.contains("\"code\": \"internal_panic\""), "{first}");
+    let again = request(&listener, crasher, &opts()).unwrap();
+    assert!(again.contains("\"code\": \"poisoned\""), "{again}");
+    shutdown(&listener, handle);
+
+    // After restart the crasher is refused without ever reaching a worker.
+    let (listener, _state, handle) = start(tag, config);
+    let refused = request(&listener, crasher, &opts()).unwrap();
+    assert!(refused.contains("\"code\": \"poisoned\""), "{refused}");
+    let status = status_of(&listener);
+    assert!(status.contains("\"internal_panic\": 0"), "{status}");
+    assert!(status.contains("\"restored_poisoned\": 1"), "{status}");
+    shutdown(&listener, handle);
+}
+
+#[test]
+fn snapshot_op_without_configuration_answers_snapshot_error() {
+    let (listener, _state, handle) = start("noconf", ServerConfig::default());
+    let resp = request(&listener, "{\"op\": \"snapshot\"}", &opts()).unwrap();
+    assert!(resp.contains("\"code\": \"snapshot_error\""), "{resp}");
+    let status = status_of(&listener);
+    assert!(status.contains("\"configured\": false"), "{status}");
+    shutdown(&listener, handle);
+}
+
+/// SIGTERM (driven through the test latch, not a real signal) drains the
+/// daemon and lands a final atomic snapshot: the on-disk file is complete
+/// and loadable, with no temp-file debris left behind.
+#[test]
+fn sigterm_drain_writes_a_complete_snapshot() {
+    signal::reset();
+    let tag = "sigterm";
+    let config = ServerConfig {
+        handle_signals: true,
+        ..snap_config(tag)
+    };
+    let snap = config.snapshot_path.clone().unwrap();
+    let _ = std::fs::remove_file(&snap);
+    let (listener, _state, handle) = start(tag, config);
+    let resp = request(&listener, &schedule_line(&paper_spec()), &opts()).unwrap();
+    assert!(resp.contains("\"status\": \"ok\""), "{resp}");
+
+    signal::request_termination();
+    handle
+        .join()
+        .expect("serve thread lives")
+        .expect("drains cleanly on SIGTERM");
+    signal::reset();
+    drop(listener);
+
+    // The drain snapshot is whole: decodes as fully restored, and the
+    // temp file was renamed away, not abandoned.
+    let restore = persist::read_snapshot(&snap)
+        .expect("snapshot readable")
+        .expect("snapshot present");
+    assert_eq!(restore.status, persist::RestoreStatus::Restored);
+    assert!(!restore.data.cache_entries.is_empty(), "cache persisted");
+    assert!(!persist::temp_path(&snap).exists(), "no temp debris");
+}
